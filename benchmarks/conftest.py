@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-reproduction benches.
+
+One campaign per app version is simulated once per session and shared by
+every bench that reads the resulting dataset. ``print_figure`` renders
+the reproduced rows/series next to the paper's reference values so a
+``pytest benchmarks/ --benchmark-only -s`` run shows the comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignConfig, FleetCampaign
+from repro.client.versions import AppVersion
+
+#: One shared scale for every campaign-backed figure. 2 % of the paper's
+#: fleet over 2 days keeps a full bench run under a minute.
+SCALE = 0.02
+DAYS = 2.0
+SEED = 42
+
+
+def _run(version: AppVersion):
+    config = CampaignConfig(
+        seed=SEED, scale=SCALE, days=DAYS, app_version=version
+    )
+    return FleetCampaign(config).run()
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The main dataset (v1.2.9, the longest-lived release)."""
+    return _run(AppVersion.V1_2_9)
+
+
+@pytest.fixture(scope="session")
+def campaign_v11():
+    return _run(AppVersion.V1_1)
+
+
+@pytest.fixture(scope="session")
+def campaign_v13():
+    return _run(AppVersion.V1_3)
+
+
+def print_figure(title: str, body: str) -> None:
+    """Uniform rendering of a reproduced figure."""
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

@@ -1,0 +1,105 @@
+"""Ablation — buffer size sweep (the §5.3/§7 energy-delay tradeoff).
+
+Paper: "the buffering duration may be tuned according to the
+application, again regarding the necessary trading of energy versus
+timeliness." The sweep varies the batch size and reports both sides of
+the tradeoff from the same simulation machinery as Figure 16/17.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_figure
+from repro.analysis.reports import format_table
+from repro.broker.errors import BrokerError
+from repro.client.buffer import ObservationBuffer
+from repro.client.client import GoFlowClient
+from repro.client.versions import AppVersion
+from repro.devices.battery import Battery, EnergyCosts, NetworkKind
+
+
+class _CountingUplink:
+    def __init__(self):
+        self.batches = 0
+        self.documents = 0
+
+    def send(self, documents):
+        self.batches += 1
+        self.documents += len(documents)
+
+
+def _run_buffer_size(buffer_size: int, observations: int = 420):
+    """One 10AM-5PM day at 1-minute sensing with a forced buffer size."""
+    from repro.sensing.activity import ActivityReading
+    from repro.sensing.microphone import NoiseReading
+    from repro.sensing.modes import SensingMode
+    from repro.sensing.scheduler import Observation
+
+    clock = [0.0]
+    uplink = _CountingUplink()
+    battery = Battery(41_800.0, level=0.8)
+    client = GoFlowClient(
+        "sweep",
+        AppVersion.V1_3,
+        uplink,
+        clock=lambda: clock[0],
+        battery=battery,
+    )
+    # override the version's fixed batch size for the sweep
+    client.version = AppVersion.V1_3
+    delays = []
+    pending_since = []
+    for i in range(observations):
+        clock[0] = i * 60.0
+        observation = Observation(
+            observation_id=i,
+            user_id="sweep",
+            model="A0001",
+            taken_at=clock[0],
+            mode=SensingMode.OPPORTUNISTIC,
+            noise=NoiseReading(measured_dba=50.0, true_dba=50.0),
+            location=None,
+            activity=ActivityReading(
+                label="still", confidence=0.9, true_activity="still"
+            ),
+        )
+        client.outbox.push(observation)
+        if len(client.outbox) >= buffer_size:
+            client.try_transmit()
+    client.flush()
+    return {
+        "buffer": buffer_size,
+        "transmissions": client.stats.transmissions,
+        "radio_j": battery.ledger().get("radio:wifi", 0.0),
+        "median_delay_s": float(np.median(client.stats.delays_s)),
+        "p95_delay_s": float(np.quantile(client.stats.delays_s, 0.95)),
+    }
+
+
+def test_ablation_buffer_size(benchmark):
+    def sweep():
+        return [_run_buffer_size(size) for size in (1, 2, 5, 10, 20, 50)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = [
+        {
+            "buffer": row["buffer"],
+            "uplinks": row["transmissions"],
+            "radio energy (J)": f"{row['radio_j']:.0f}",
+            "median delay (s)": f"{row['median_delay_s']:.0f}",
+            "p95 delay (s)": f"{row['p95_delay_s']:.0f}",
+        }
+        for row in rows
+    ]
+    body = format_table(
+        table, ["buffer", "uplinks", "radio energy (J)", "median delay (s)", "p95 delay (s)"]
+    ) + "\n\npaper: buffering trades timeliness for energy; tune per app"
+    print_figure("Ablation — buffer size (energy vs delay)", body)
+
+    energies = [row["radio_j"] for row in rows]
+    delays = [row["median_delay_s"] for row in rows]
+    # energy strictly decreases with batch size; delay increases
+    assert all(b < a for a, b in zip(energies, energies[1:]))
+    assert all(b >= a for a, b in zip(delays, delays[1:]))
+    # the paper's 10x batching saves most of the radio energy
+    assert energies[3] < 0.2 * energies[0]

@@ -1,0 +1,107 @@
+"""Ablation — calibration strategy (§5.2's design choice).
+
+Compares map quality when assimilating crowd observations under:
+no calibration / per-model reference calibration (the paper's choice) /
+crowd calibration (the §8 future-work extension).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_figure
+from repro.analysis.reports import format_table
+from repro.calibration.crowdcal import CoLocationPair, CrowdCalibrator
+from repro.calibration.database import CalibrationDatabase
+from repro.campaign.assimilate import AssimilationExperiment
+from repro.devices.registry import DeviceRegistry
+
+MODELS = ["GT-I9505", "D5803", "A0001", "NEXUS 5"]
+OBS_PER_MODEL = 50
+
+
+def _crowd_database(experiment: AssimilationExperiment) -> CalibrationDatabase:
+    """Crowd-calibrate against one reference-calibrated anchor model."""
+    registry = DeviceRegistry()
+    rng = np.random.default_rng(77)
+    pairs = []
+    mean_scene = 62.0
+    for _ in range(400):
+        scene = float(rng.uniform(45, 80))
+        a, b = rng.choice(MODELS, size=2, replace=False)
+        pairs.append(
+            CoLocationPair(
+                model_a=a,
+                model_b=b,
+                reading_a_db=registry.get(a).mic.apply(
+                    scene, noise=float(rng.standard_normal())
+                ),
+                reading_b_db=registry.get(b).mic.apply(
+                    scene, noise=float(rng.standard_normal())
+                ),
+            )
+        )
+    anchor = MODELS[0]
+    anchor_mic = registry.get(anchor).mic
+    anchor_effective = (anchor_mic.gain - 1.0) * mean_scene + anchor_mic.offset_db
+    solved = CrowdCalibrator(anchors={anchor: anchor_effective}).solve(pairs)
+    database = CalibrationDatabase()
+    for model, fit in CrowdCalibrator().to_fits(solved).items():
+        database.record_fit(model, fit, method="crowd")
+    return database
+
+
+def test_ablation_calibration_strategies(benchmark):
+    experiment = AssimilationExperiment(seed=21)
+
+    def run():
+        reference = CalibrationDatabase()
+        for model in MODELS:
+            party = experiment.calibration_from_party(model)
+            reference.record_fit(model, party.get(model).fit, method="reference-party")
+        crowd = _crowd_database(experiment)
+
+        results = {}
+        for label, database in (
+            ("uncalibrated", None),
+            ("crowd-calibrated", crowd),
+            ("reference-calibrated", reference),
+        ):
+            observations = []
+            for index, model in enumerate(MODELS):
+                experiment.rng = np.random.default_rng(100 + index)
+                observations.extend(
+                    experiment.draw_observations(
+                        OBS_PER_MODEL,
+                        accuracy_m=30.0,
+                        model_name=model,
+                        calibration=database,
+                    )
+                )
+            results[label] = experiment.assimilate(observations)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "strategy": label,
+            "analysis RMSE": f"{result.analysis_rmse:.2f}",
+            "improvement": f"{100 * result.improvement:.0f} %",
+        }
+        for label, result in results.items()
+    ]
+    body = format_table(rows, ["strategy", "analysis RMSE", "improvement"]) + (
+        f"\n\nbackground RMSE: {results['uncalibrated'].background_rmse:.2f} dB"
+        "\npaper: 'calibration may be achieved per model rather than per"
+        " device'; crowd-calibration is the §8 future-work extension"
+    )
+    print_figure("Ablation — calibration strategy", body)
+
+    assert (
+        results["reference-calibrated"].analysis_rmse
+        < results["uncalibrated"].analysis_rmse
+    )
+    assert (
+        results["crowd-calibrated"].analysis_rmse
+        < results["uncalibrated"].analysis_rmse
+    )
+    assert results["reference-calibrated"].improvement > 0.25

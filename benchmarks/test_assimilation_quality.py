@@ -1,0 +1,61 @@
+"""Assimilation quality vs crowd size and accuracy (§4.2, §7).
+
+Paper (take-away): "the number of contributed measures by the MPS
+system needs to be high enough to overcome the low accuracy of the
+phone sensors". The bench sweeps observation count x location accuracy
+and reports the BLUE analysis error against the true map.
+"""
+
+from benchmarks.conftest import print_figure
+from repro.analysis.reports import format_table
+from repro.campaign.assimilate import AssimilationExperiment
+
+
+def test_assimilation_quality_sweep(benchmark):
+    experiment = AssimilationExperiment(seed=13)
+    calibration = experiment.calibration_from_party("A0001")
+
+    def sweep():
+        rows = []
+        for count in (10, 40, 160):
+            for accuracy in (10.0, 50.0, 200.0):
+                observations = experiment.draw_observations(
+                    count,
+                    accuracy_m=accuracy,
+                    model_name="A0001",
+                    calibration=calibration,
+                )
+                result = experiment.assimilate(observations)
+                rows.append(
+                    {
+                        "observations": count,
+                        "accuracy (m)": int(accuracy),
+                        "bg RMSE": f"{result.background_rmse:.2f}",
+                        "analysis RMSE": f"{result.analysis_rmse:.2f}",
+                        "improvement": f"{100 * result.improvement:.0f} %",
+                        "_rmse": result.analysis_rmse,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    body = format_table(
+        rows,
+        ["observations", "accuracy (m)", "bg RMSE", "analysis RMSE", "improvement"],
+    ) + (
+        "\n\npaper: crowd volume must be 'high enough to overcome the low "
+        "accuracy of the phone sensors'"
+    )
+    print_figure("Assimilation quality vs crowd size x accuracy", body)
+
+    by_key = {(r["observations"], r["accuracy (m)"]): r["_rmse"] for r in rows}
+    # more observations help at every accuracy level
+    for accuracy in (10, 50, 200):
+        assert by_key[(160, accuracy)] < by_key[(10, accuracy)]
+    # volume compensates accuracy: many coarse fixes beat few precise ones
+    assert by_key[(160, 200)] < by_key[(10, 10)]
+    # with enough volume, every accuracy level improves on the background
+    # (few coarse observations may not — exactly the paper's warning)
+    background = float(rows[0]["bg RMSE"])
+    assert all(r["_rmse"] < background for r in rows if r["observations"] >= 40)

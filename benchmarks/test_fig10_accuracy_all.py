@@ -1,0 +1,29 @@
+"""Figure 10 — location-accuracy distribution, all providers.
+
+Paper: "The (estimated) accuracy of most of the observations is in the
+[20-50] meters range. There is then a peak at accuracies lower than 100
+meters."
+"""
+
+from benchmarks.conftest import print_figure
+from repro.analysis.histograms import accuracy_histogram, modal_bucket
+from repro.analysis.reports import format_distribution
+
+
+def test_fig10_accuracy_all_providers(benchmark, campaign):
+    def analyse():
+        values = campaign.analytics.accuracy_values()
+        return accuracy_histogram(values), len(values)
+
+    histogram, count = benchmark(analyse)
+
+    body = format_distribution(histogram) + (
+        f"\n\nlocalized observations: {count}"
+        "\npaper: bulk in [20-50] m, secondary peak just below 100 m"
+    )
+    print_figure("Figure 10 — accuracy distribution (all)", body)
+
+    assert modal_bucket(histogram) == "20-50m"
+    # the 50-100 m bucket carries the sub-100 m secondary peak
+    assert histogram["50-100m"] > histogram["100-200m"]
+    assert histogram["20-50m"] > 0.35

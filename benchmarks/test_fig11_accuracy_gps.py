@@ -1,0 +1,33 @@
+"""Figure 11 — location accuracy, GPS fixes.
+
+Paper: "GPS delivers the highest accuracy with most of the observations
+in the [6-20] meters range. However ... only 7% of the localized
+observations are provided with GPS location."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure
+from repro.analysis.histograms import accuracy_histogram, modal_bucket
+from repro.analysis.reports import format_distribution
+
+
+def test_fig11_accuracy_gps(benchmark, campaign):
+    def analyse():
+        histogram = accuracy_histogram(
+            campaign.analytics.accuracy_values(provider="gps")
+        )
+        shares = campaign.analytics.provider_shares()
+        return histogram, shares.get("gps", 0.0)
+
+    histogram, gps_share = benchmark(analyse)
+
+    body = format_distribution(histogram) + (
+        f"\n\nGPS share of localized observations: {100 * gps_share:.1f} % "
+        "(paper: 7 %)\npaper: most GPS fixes in [6-20] m"
+    )
+    print_figure("Figure 11 — accuracy distribution (GPS)", body)
+
+    assert modal_bucket(histogram) == "6-20m"
+    assert histogram["6-20m"] > 0.5
+    assert gps_share == pytest.approx(0.07, abs=0.04)

@@ -1,0 +1,34 @@
+"""Figure 12 — location accuracy, network fixes.
+
+Paper: "Network-based location is the most common and accounts for 86%
+of the localized observations ... most of the localized observations
+are in the [20-50] meters range accuracy."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure
+from repro.analysis.histograms import accuracy_histogram, modal_bucket
+from repro.analysis.reports import format_distribution
+
+
+def test_fig12_accuracy_network(benchmark, campaign):
+    def analyse():
+        histogram = accuracy_histogram(
+            campaign.analytics.accuracy_values(provider="network")
+        )
+        shares = campaign.analytics.provider_shares()
+        return histogram, shares.get("network", 0.0)
+
+    histogram, network_share = benchmark(analyse)
+
+    body = format_distribution(histogram) + (
+        f"\n\nnetwork share of localized observations: "
+        f"{100 * network_share:.1f} % (paper: 86 %)"
+    )
+    print_figure("Figure 12 — accuracy distribution (network)", body)
+
+    assert modal_bucket(histogram) == "20-50m"
+    assert network_share == pytest.approx(0.86, abs=0.07)
+    # the sub-100 m secondary peak comes from the network source
+    assert histogram["50-100m"] > histogram["100-200m"]

@@ -1,0 +1,45 @@
+"""Figure 13 — location accuracy, fused fixes.
+
+Paper: "the remaining 7% of the localized observations use fused
+location ... few models provide 'fused' data. And the location accuracy
+is rather low."
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_figure
+from repro.analysis.histograms import accuracy_histogram
+from repro.analysis.reports import format_distribution
+
+
+def test_fig13_accuracy_fused(benchmark, campaign):
+    def analyse():
+        fused = campaign.analytics.accuracy_values(provider="fused")
+        gps = campaign.analytics.accuracy_values(provider="gps")
+        shares = campaign.analytics.provider_shares()
+        return fused, gps, shares.get("fused", 0.0)
+
+    fused, gps, fused_share = benchmark(analyse)
+    histogram = accuracy_histogram(fused)
+
+    body = format_distribution(histogram) + (
+        f"\n\nfused share of localized observations: {100 * fused_share:.1f} % "
+        "(paper: 7 %)\n"
+        f"median fused accuracy: {np.median(fused):.0f} m vs GPS "
+        f"{np.median(gps):.0f} m — paper: 'rather low'"
+    )
+    print_figure("Figure 13 — accuracy distribution (fused)", body)
+
+    assert fused_share == pytest.approx(0.07, abs=0.05)
+    assert np.median(fused) > 3 * np.median(gps)
+
+    # "few models provide fused data"
+    fused_models = {
+        doc["model"]
+        for doc in campaign.server.data.collection.find(
+            {"location.provider": "fused"}
+        )
+    }
+    all_models = set(campaign.server.data.collection.distinct("model"))
+    assert len(fused_models) < len(all_models)

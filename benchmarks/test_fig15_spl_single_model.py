@@ -1,0 +1,63 @@
+"""Figure 15 — SPL distributions across users of one model (SM-G901F).
+
+Paper: "if we concentrate on the observations for a single model ...
+the measurements follow much similar patterns, including with respect
+to the specific dB(A) measurements. Hence, the heterogeneity of sensors
+may be tamed at the model level."
+
+The bench simulates 20 users of the SM-G901F (the paper's model) plus a
+cross-model control, and compares total-variation distances between the
+per-user distributions.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_figure
+from repro.analysis.histograms import distribution_distance, distribution_peak_db
+from repro.devices.registry import DeviceRegistry
+from repro.sensing.microphone import Microphone
+
+MODEL = "SM-G901F"
+USERS = 20
+SAMPLES = 1200
+
+
+def _user_levels(model, seed):
+    mic = Microphone(model)
+    rng = np.random.default_rng(seed)
+    hours = rng.uniform(8.0, 22.0, SAMPLES)
+    return [mic.sample(rng, float(h)).measured_dba for h in hours]
+
+
+def test_fig15_same_model_users_agree(benchmark):
+    registry = DeviceRegistry()
+    model = registry.get(MODEL)
+
+    def analyse():
+        per_user = [_user_levels(model, seed) for seed in range(USERS)]
+        within = [
+            distribution_distance(per_user[i], per_user[j])
+            for i in range(0, USERS, 3)
+            for j in range(i + 1, USERS, 3)
+        ]
+        control = _user_levels(registry.get("GT-I9505"), 999)
+        across = distribution_distance(per_user[0], control)
+        peaks = [distribution_peak_db(levels) for levels in per_user]
+        return float(np.mean(within)), across, peaks
+
+    within_mean, across, peaks = benchmark.pedantic(analyse, rounds=1, iterations=1)
+
+    body = "\n".join(
+        [
+            f"{USERS} simulated users of {MODEL}, {SAMPLES} samples each",
+            f"mean within-model distribution distance : {within_mean:.3f}",
+            f"cross-model control distance (GT-I9505) : {across:.3f}",
+            f"per-user quiet-peak range: {min(peaks):.1f} - {max(peaks):.1f} dB(A)",
+            "paper: same-model users 'follow much similar patterns'",
+        ]
+    )
+    print_figure("Figure 15 — SPL distributions, top users of SM-G901F", body)
+
+    assert within_mean < 0.15
+    assert across > 2 * within_mean
+    assert max(peaks) - min(peaks) < 4.0

@@ -1,0 +1,45 @@
+"""Figure 16 — battery depletion per client version and transport.
+
+Paper (§5.3): phones at 80 %, 10 AM-5 PM, 1-minute sensing:
+- unbuffered over WiFi consumes twice as much as no app;
+- 3G increases the depletion rate by 50 % (vs WiFi);
+- buffering keeps the WiFi overhead under +50 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure
+from repro.analysis.reports import format_table
+from repro.campaign.energy import EnergyExperiment
+
+
+def test_fig16_battery_depletion(benchmark):
+    experiment = EnergyExperiment(model_name="A0001", seed=7)
+
+    runs = benchmark.pedantic(experiment.run_all, rounds=1, iterations=1)
+
+    by_label = {run.label: run for run in runs}
+    baseline = by_label["no-app"].depletion
+    rows = [
+        {
+            "configuration": run.label,
+            "depletion (pts)": f"{100 * run.depletion:.2f}",
+            "vs no-app": f"{run.depletion / baseline:.2f}x",
+        }
+        for run in runs
+    ]
+    body = format_table(rows, ["configuration", "depletion (pts)", "vs no-app"]) + (
+        "\n\npaper: unbuffered/wifi ~2x no-app; 3G +50% vs wifi; "
+        "buffered/wifi < +50% over no-app"
+    )
+    print_figure("Figure 16 — battery depletion (OnePlus One, 10AM-5PM)", body)
+
+    assert by_label["unbuffered/wifi"].depletion / baseline == pytest.approx(
+        2.0, abs=0.35
+    )
+    assert by_label["unbuffered/3g"].depletion / by_label[
+        "unbuffered/wifi"
+    ].depletion == pytest.approx(1.5, abs=0.2)
+    buffered_ratio = by_label["buffered/wifi"].depletion / baseline
+    assert 1.0 < buffered_ratio < 1.5
+    assert by_label["buffered/3g"].depletion < by_label["unbuffered/3g"].depletion

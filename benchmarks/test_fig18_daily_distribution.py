@@ -1,0 +1,33 @@
+"""Figure 18 — daily distribution of measurements, top-20 models.
+
+Paper: "We notice an overall pattern with the highest participation
+from 10AM to 9PM."
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_figure
+from repro.analysis.participation import daytime_share, peak_hour
+
+
+def test_fig18_daily_distribution(benchmark, campaign):
+    def analyse():
+        return np.asarray(campaign.analytics.hourly_distribution())
+
+    share = benchmark(analyse)
+
+    bars = "\n".join(
+        f"  {hour:02d}h  {100 * value:5.2f} %  {'#' * int(round(200 * value))}"
+        for hour, value in enumerate(share)
+    )
+    body = bars + (
+        f"\n\npeak hour: {peak_hour(share)}h; share in 10AM-9PM: "
+        f"{100 * daytime_share(share):.0f} %"
+        "\npaper: highest participation from 10 AM to 9 PM"
+    )
+    print_figure("Figure 18 — daily distribution of measurements", body)
+
+    assert 10 <= peak_hour(share) <= 21
+    assert daytime_share(share) > 0.55
+    night = float(share[0:6].sum())
+    assert night < 0.15

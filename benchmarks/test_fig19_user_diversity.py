@@ -1,0 +1,52 @@
+"""Figure 19 — diversity of daily patterns across users of one model.
+
+Paper (about One Plus One owners): "we see a quite large diversity. We
+conclude that crowd-sensing enables collecting contributions over the
+24 hours range, thanks to the high heterogeneity of the crowd."
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_figure
+from repro.analysis.participation import mean_profile_distance, peak_hour
+
+
+def test_fig19_user_diversity(benchmark, campaign):
+    def analyse():
+        # the model with the most contributors in the campaign store
+        table = campaign.analytics.per_model_table()
+        by_devices = sorted(table, key=lambda row: row["devices"], reverse=True)
+        model = by_devices[0]["model"]
+        profiles = campaign.analytics.hourly_distribution_by_contributor(model)
+        profiles = {
+            user: np.asarray(profile)
+            for user, profile in profiles.items()
+            # only users with enough observations for a stable profile
+            if campaign.server.data.collection.count(
+                {"contributor": user, "model": model}
+            )
+            >= 40
+        }
+        return model, profiles
+
+    model, profiles = benchmark.pedantic(analyse, rounds=1, iterations=1)
+
+    diversity = mean_profile_distance(profiles)
+    lines = []
+    for user, profile in sorted(profiles.items())[:8]:
+        peak = peak_hour(profile)
+        lines.append(f"  {user[:10]}…  peak {peak:02d}h  "
+                     + "".join("#" if v > 1.5 / 24 else "." for v in profile))
+    body = "\n".join(lines) + (
+        f"\n\nmodel: {model}; users compared: {len(profiles)}"
+        f"\nmean pairwise total-variation distance: {diversity:.3f}"
+        "\npaper: 'quite large diversity' across users of one model"
+    )
+    print_figure("Figure 19 — per-user daily patterns", body)
+
+    assert len(profiles) >= 3
+    # individual users differ substantially (Figure 18's aggregate is
+    # smooth but the individuals are not)
+    assert diversity > 0.25
+    peaks = {peak_hour(profile) for profile in profiles.values()}
+    assert len(peaks) >= 2

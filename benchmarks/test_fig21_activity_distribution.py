@@ -1,0 +1,35 @@
+"""Figure 21 — distribution of user activities.
+
+Paper: "The activity cannot be characterized for 20% of the time ...
+the population is moving for less than 10% of the time and is therefore
+remaining still for 70% of the time."
+"""
+
+import pytest
+
+from benchmarks.conftest import print_figure
+from repro.analysis.reports import format_distribution
+from repro.sensing.activity import ACTIVITIES
+
+
+def test_fig21_activity_distribution(benchmark, campaign):
+    def analyse():
+        return campaign.analytics.activity_distribution()
+
+    distribution = benchmark(analyse)
+
+    ordered = {label: distribution.get(label, 0.0) for label in ACTIVITIES}
+    moving = sum(ordered[label] for label in ("foot", "bicycle", "vehicle"))
+    unqualified = ordered["undefined"] + ordered["unknown"]
+    body = format_distribution(ordered) + (
+        f"\n\nstill: {100 * ordered['still']:.0f} % (paper ~70 %); moving: "
+        f"{100 * moving:.0f} % (paper <10 %); unqualified: "
+        f"{100 * unqualified:.0f} % (paper ~20 %)"
+    )
+    print_figure("Figure 21 — distribution of user activities", body)
+
+    assert ordered["still"] == pytest.approx(0.70, abs=0.07)
+    assert moving < 0.12
+    assert unqualified == pytest.approx(0.20, abs=0.05)
+    # every Figure 21 label occurs in the data
+    assert all(label in distribution for label in ACTIVITIES)

@@ -1,0 +1,81 @@
+"""Middleware micro-benchmarks.
+
+§3 claims the architecture "provide[s] the necessary guarantees in terms
+of scalability and availability" by building on RabbitMQ and MongoDB.
+These benches measure our substitutes' throughput on the exact hot
+paths the campaign exercises: topic routing through the Figure 3
+exchange chain, store inserts with indexes, and the analytics
+aggregation.
+"""
+
+from repro.broker import Broker, ExchangeType
+from repro.core.server import GoFlowServer
+from repro.docstore.collection import Collection
+
+BATCH = 500
+
+
+def _wired_server():
+    server = GoFlowServer()
+    server.register_app("SC")
+    credentials = server.enroll_user("SC", "bench", "pw")
+    channel = server.broker.connect("bench-session").channel()
+    return server, channel, credentials["exchange"]
+
+
+def test_broker_topic_routing_throughput(benchmark):
+    broker = Broker()
+    broker.declare_exchange("SC", ExchangeType.TOPIC)
+    for zone in range(20):
+        queue = f"q{zone}"
+        broker.declare_queue(queue)
+        broker.bind_queue("SC", queue, f"Z{zone}-0.#")
+    channel = broker.connect().channel()
+
+    def publish_batch():
+        for i in range(BATCH):
+            channel.basic_publish(
+                "SC", f"Z{i % 20}-0.NoiseObservation", {"seq": i}
+            )
+
+    benchmark(publish_batch)
+    assert broker.stats.unroutable == 0
+
+
+def test_end_to_end_ingest_throughput(benchmark):
+    server, channel, exchange = _wired_server()
+    payload = {
+        "app_id": "SC",
+        "user_id": "bench",
+        "noise_dba": 55.0,
+        "taken_at": 0.0,
+        "model": "A0001",
+        "mode": "opportunistic",
+        "activity": {"label": "still", "confidence": 0.9},
+    }
+
+    def ingest_batch():
+        for i in range(BATCH):
+            channel.basic_publish(
+                exchange, "Z0-0.NoiseObservation", dict(payload, taken_at=float(i))
+            )
+
+    benchmark.pedantic(ingest_batch, rounds=3, iterations=1)
+    assert server.ingested >= 3 * BATCH
+
+
+def test_indexed_store_query_throughput(benchmark, campaign):
+    collection = campaign.server.data.collection
+
+    def query():
+        return collection.find(
+            {"model": "GT-I9505", "taken_at": {"$gte": 0.0}}
+        ).count()
+
+    count = benchmark(query)
+    assert count > 0
+
+
+def test_analytics_aggregation_throughput(benchmark, campaign):
+    result = benchmark(campaign.analytics.per_model_table)
+    assert len(result) >= 10

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Calibration parties and crowd calibration (§5.2 and §8).
+
+1. hold a "calibration party" for three models: sweep a reference sound
+   level next to each phone, fit gain/offset, store it per model;
+2. verify per-model calibration works because same-model devices agree
+   (Figure 15's empirical finding);
+3. crowd-calibrate the *remaining* models from co-located observation
+   pairs anchored at the party-calibrated models — the paper's §8
+   future-work mechanism.
+
+Run:  python examples/calibration_party.py
+"""
+
+import numpy as np
+
+from repro.analysis.reports import format_table
+from repro.calibration import (
+    CalibrationDatabase,
+    CrowdCalibrator,
+    find_pairs,
+)
+from repro.devices import DeviceRegistry
+
+PARTY_MODELS = ["GT-I9505", "SM-G900F", "A0001"]
+CROWD_MODELS = ["D5803", "NEXUS 5", "SM-N9005"]
+MEAN_SCENE_DB = 62.0
+
+
+def hold_party(database: CalibrationDatabase, registry, rng) -> None:
+    print("== calibration party ==")
+    reference = np.linspace(50.0, 80.0, 24)
+    for name in PARTY_MODELS:
+        model = registry.get(name)
+        measured = np.array(
+            [model.mic.apply(level, noise=float(rng.standard_normal()))
+             for level in reference]
+        )
+        record = database.record_party(name, reference, measured)
+        print(
+            f"  {name:<10} fitted gain={record.fit.gain:.3f} "
+            f"offset={record.fit.offset_db:+.2f} dB "
+            f"(true {model.mic.gain:.3f} / {model.mic.offset_db:+.2f})"
+        )
+
+
+def crowd_calibrate(database: CalibrationDatabase, registry, rng) -> None:
+    print("\n== crowd calibration of the remaining models ==")
+    names = PARTY_MODELS + CROWD_MODELS
+    documents = []
+    t = 0.0
+    for _ in range(300):
+        scene = float(rng.uniform(45, 80))
+        x, y = rng.uniform(0, 30, size=2)
+        for name in rng.choice(names, size=2, replace=False):
+            model = registry.get(name)
+            documents.append(
+                {
+                    "model": name,
+                    "noise_dba": model.mic.apply(
+                        scene, noise=float(rng.standard_normal())
+                    ),
+                    "taken_at": t,
+                    "location": {"x_m": float(x), "y_m": float(y)},
+                }
+            )
+        t += 300.0
+    pairs = find_pairs(documents)
+    print(f"  mined {len(pairs)} co-location pairs from "
+          f"{len(documents)} observations")
+
+    def effective(name):
+        mic = registry.get(name).mic
+        return (mic.gain - 1.0) * MEAN_SCENE_DB + mic.offset_db
+
+    anchors = {name: effective(name) for name in PARTY_MODELS}
+    solved = CrowdCalibrator(anchors=anchors).solve(pairs)
+    rows = []
+    for name in CROWD_MODELS:
+        rows.append(
+            {
+                "model": name,
+                "crowd offset": f"{solved[name]:+.2f} dB",
+                "true effective": f"{effective(name):+.2f} dB",
+                "error": f"{abs(solved[name] - effective(name)):.2f} dB",
+            }
+        )
+    print(format_table(rows, ["model", "crowd offset", "true effective", "error"]))
+    for name, fit in CrowdCalibrator().to_fits(solved).items():
+        if name in CROWD_MODELS:
+            database.record_fit(name, fit, method="crowd")
+
+
+def apply_to_field_measurement(database: CalibrationDatabase, registry) -> None:
+    print("\n== applying the calibration database in the field ==")
+    rows = []
+    for name in PARTY_MODELS + CROWD_MODELS:
+        model = registry.get(name)
+        raw = model.mic.apply(MEAN_SCENE_DB)
+        corrected = database.correct(name, raw)
+        rows.append(
+            {
+                "model": name,
+                "method": database.get(name).method,
+                "raw": f"{raw:.1f} dB(A)",
+                "corrected": f"{corrected:.1f} dB(A)",
+                "truth": f"{MEAN_SCENE_DB:.1f} dB(A)",
+            }
+        )
+    print(format_table(rows, ["model", "method", "raw", "corrected", "truth"]))
+
+
+def main() -> None:
+    registry = DeviceRegistry()
+    rng = np.random.default_rng(55)
+    database = CalibrationDatabase()
+    hold_party(database, registry, rng)
+    crowd_calibrate(database, registry, rng)
+    apply_to_field_measurement(database, registry)
+
+
+if __name__ == "__main__":
+    main()

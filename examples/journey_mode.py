@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Journey mode and the Figure 3 pub/sub scenario.
+
+Two users in the city:
+
+- *mob1* subscribes to feedback reports in their current neighbourhood
+  and to public Journey announcements at their home zone (exactly the
+  scenario the paper narrates around Figure 3);
+- *mob2* walks a participatory Journey (GPS-heavy sensing at a chosen
+  frequency), publishes a public announcement, and drops a feedback
+  report.
+
+The script shows the routing outcome on mob1's queue and compares the
+journey's location quality with opportunistic sensing (Figure 20).
+
+Run:  python examples/journey_mode.py
+"""
+
+from collections import Counter
+
+from repro.client import AppVersion, BrokerUplink, GoFlowClient
+from repro.core import GoFlowServer
+from repro.devices import DeviceRegistry
+from repro.sensing import PhoneContext, SensingScheduler
+from repro.simulation import Simulator
+
+
+class WalkingContext(PhoneContext):
+    """A context that walks east at 1.3 m/s (on foot)."""
+
+    def __init__(self, simulator, x_m, y_m):
+        super().__init__(x_m, y_m)
+        self._sim = simulator
+        self._start = simulator.now
+
+    def position(self):
+        return (self._x + 1.3 * (self._sim.now - self._start), self._y)
+
+    def activity(self):
+        return "foot"
+
+
+def main() -> None:
+    simulator = Simulator(seed=3)
+    server = GoFlowServer(clock=lambda: simulator.now)
+    server.register_app("SC")
+
+    mob1 = server.enroll_user("SC", "mob1", "pw")
+    mob2 = server.enroll_user("SC", "mob2", "pw")
+
+    # -- mob1's subscriptions (Figure 3's bindings) -------------------------
+    server.channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+    server.channels.subscribe("SC", "mob1", "FR92120", "Journey")
+    print("mob1 subscribed to FR75013/Feedback and FR92120/Journey")
+
+    # -- mob2 walks a journey --------------------------------------------------
+    model = DeviceRegistry().get("D5803")  # Xperia Z3 Compact
+    uplink = BrokerUplink(server.broker, mob2["exchange"], app_id="SC")
+    client = GoFlowClient("mob2", AppVersion.V1_2_9, uplink,
+                          clock=lambda: simulator.now)
+    scheduler = SensingScheduler(
+        simulator,
+        "mob2",
+        model,
+        WalkingContext(simulator, 500.0, 800.0),
+        client.on_observation,
+        simulator.rngs.stream("phone.mob2"),
+    )
+    scheduler.start_journey(frequency_s=30.0, duration_s=900.0)  # 15-minute walk
+
+    # mob2 also announces the journey publicly and files a feedback report
+    publisher = server.broker.connect("mob2-extra").channel()
+    publisher.basic_publish(
+        mob2["exchange"],
+        "FR92120.Journey",
+        {"app_id": "SC", "user_id": "mob2", "title": "Canal walk", "public": True},
+    )
+    publisher.basic_publish(
+        mob2["exchange"],
+        "FR75013.Feedback",
+        {"app_id": "SC", "user_id": "mob2", "text": "construction noise"},
+    )
+
+    simulator.run_until(1000.0)
+    client.flush()
+
+    # -- what reached mob1? -------------------------------------------------------
+    queue = server.broker.get_queue(mob1["queue"])
+    print(f"\nmob1's queue received {queue.ready_count} notifications:")
+    while True:
+        delivery = queue.get()
+        if delivery is None:
+            break
+        body = delivery.body
+        kind = "journey" if "title" in body else "feedback"
+        detail = body.get("title") or body.get("text")
+        print(f"  [{kind}] from {body.get('user_id')}: {detail}")
+
+    # -- journey location quality (Figure 20) ----------------------------------------
+    journey_docs = server.data.collection.find({"mode": "journey"}).to_list()
+    providers = Counter(
+        doc["location"]["provider"] for doc in journey_docs if "location" in doc
+    )
+    localized = sum(providers.values())
+    print(f"\njourney produced {len(journey_docs)} observations, "
+          f"{localized} localized:")
+    for provider, count in providers.most_common():
+        print(f"  {provider:<8} {count:3d}  ({100 * count / localized:.0f} %)")
+    print("paper: journey mode yields ~40 points more GPS fixes than "
+          "opportunistic sensing")
+
+
+if __name__ == "__main__":
+    main()

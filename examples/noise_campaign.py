@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""City-scale noise campaign with data assimilation.
+
+The SoundCity story end to end (§4.2):
+
+1. a synthetic city has a *true* noise field (streets + venues);
+2. the numerical model's map is wrong (biased traffic, missing venues,
+   correlated formulation error);
+3. a crowd-sensing campaign runs on the full GoFlow stack — phones sense
+   the city field through their heterogeneous microphones (indoor
+   attenuation, per-model bias), buffer, uplink, and the server stores
+   pseudonymized documents;
+4. stored observations are filtered (outdoor, daytime, localized),
+   calibrated per model, and assimilated with BLUE;
+5. the corrected map is scored against the truth.
+
+Run:  python examples/noise_campaign.py
+"""
+
+from repro.analysis.reports import format_table
+from repro.assimilation.observation import PointObservation
+from repro.calibration.database import CalibrationDatabase
+from repro.campaign import AssimilationExperiment, CampaignConfig, FleetCampaign
+from repro.devices import DeviceRegistry
+
+EXTENT_M = 4000.0
+MOVING = {"foot", "bicycle", "vehicle"}
+
+
+def run_fleet(experiment: AssimilationExperiment):
+    """A 3-day campaign whose phones sense the experiment's true city."""
+    config = CampaignConfig(
+        seed=9,
+        scale=0.03,
+        days=3.0,
+        city_extent_m=EXTENT_M,
+        city_model=experiment.truth_model,
+    )
+    result = FleetCampaign(config).run()
+    totals = result.analytics.totals()
+    print(
+        f"campaign: {len(result.population)} devices, "
+        f"{totals['total']} observations stored, "
+        f"{totals['localized']} localized "
+        f"({100 * totals['localized'] / totals['total']:.0f} %)"
+    )
+    return result
+
+
+def calibrate_fleet(experiment: AssimilationExperiment) -> CalibrationDatabase:
+    """Per-model calibration parties (§5.2) for every fleet model."""
+    database = CalibrationDatabase()
+    for name in DeviceRegistry().names():
+        party = experiment.calibration_from_party(name)
+        database.record_fit(name, party.get(name).fit, method="reference-party")
+    sample = database.get("A0001").fit
+    print(
+        f"calibrated {len(database.models())} models "
+        f"(e.g. A0001: gain={sample.gain:.3f}, offset={sample.offset_db:+.2f} dB)"
+    )
+    return database
+
+
+def select_and_assimilate(campaign, experiment, calibration):
+    """The server-side analysis job: filter, calibrate, assimilate.
+
+    Opportunistic indoor measurements are systematically attenuated by
+    the building envelope — exactly the "many erroneous measurements
+    depending on the situation of the phone" the paper warns about — so
+    the job keeps outdoor evidence: observations taken while the user
+    was recognizably moving, localized to <=120 m, during the day.
+    """
+    documents = campaign.server.data.collection.find(
+        {
+            "location": {"$exists": True},
+            "location.accuracy_m": {"$lte": 120.0},
+            "activity.label": {"$in": sorted(MOVING)},
+        }
+    ).to_list()
+    observations = []
+    for document in documents:
+        hour = (document["taken_at"] % 86400.0) / 3600.0
+        if not 7.0 <= hour < 22.0:
+            continue
+        location = document["location"]
+        if not experiment.grid.contains(location["x_m"], location["y_m"]):
+            continue
+        observations.append(
+            PointObservation(
+                x_m=location["x_m"],
+                y_m=location["y_m"],
+                value_db=calibration.correct(
+                    document["model"], document["noise_dba"]
+                ),
+                accuracy_m=location["accuracy_m"],
+                sensor_sigma_db=max(
+                    3.0, calibration.sensor_sigma_db(document["model"])
+                ),
+            )
+        )
+    print(f"assimilating {len(observations)} outdoor, daytime, localized "
+          "observations from the store (with innovation screening)")
+    # Innovation screening rejects the gross outliers that slip through
+    # the activity filter (misrecognized indoor measurements).
+    return experiment.assimilate(observations, screen_k=2.5)
+
+
+def main() -> None:
+    experiment = AssimilationExperiment(seed=9, extent_m=EXTENT_M)
+    campaign = run_fleet(experiment)
+    calibration = calibrate_fleet(experiment)
+
+    # reference run: synthetic observations drawn directly from the truth
+    direct = experiment.assimilate(
+        experiment.draw_observations(
+            300, accuracy_m=35.0, model_name="A0001", calibration=calibration
+        )
+    )
+    # the real thing: observations that traveled the full middleware stack
+    piped = select_and_assimilate(campaign, experiment, calibration)
+
+    rows = [
+        {
+            "observation source": "synthetic crowd (direct)",
+            "bg RMSE": f"{direct.background_rmse:.2f}",
+            "analysis RMSE": f"{direct.analysis_rmse:.2f}",
+            "improvement": f"{100 * direct.improvement:.0f} %",
+        },
+        {
+            "observation source": "GoFlow campaign store",
+            "bg RMSE": f"{piped.background_rmse:.2f}",
+            "analysis RMSE": f"{piped.analysis_rmse:.2f}",
+            "improvement": f"{100 * piped.improvement:.0f} %",
+        },
+    ]
+    print()
+    print(format_table(rows, ["observation source", "bg RMSE", "analysis RMSE", "improvement"]))
+
+    # render the three maps on one scale (the SoundCity web map, in ASCII)
+    from repro.analysis.maps import render_comparison
+    from repro.assimilation.observation import ObservationBatch  # noqa: F401
+
+    batch = experiment.operator.build(
+        experiment.draw_observations(
+            300, accuracy_m=35.0, model_name="A0001", calibration=calibration
+        )
+    )
+    analysis_map = experiment.blue.analyse(experiment.background_map, batch).analysis
+    print()
+    print(
+        render_comparison(
+            experiment.grid,
+            {
+                "truth": experiment.truth_map,
+                "model (background)": experiment.background_map,
+                "analysis": analysis_map,
+            },
+        )
+    )
+    print("\nassimilating the crowd corrects the model's noise map — the"
+          "\npaper's §4.2 data-assimilation engine, reproduced end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""The SoundCity user experience, end to end (§4.2's three experiences).
+
+One simulated day in the life of a SoundCity user:
+
+1. *Engage* — opportunistic background sensing plus a participatory
+   journey during the lunchtime walk;
+2. *Quantified self* — the web app's daily exposure summary, hourly
+   profile, and WHO health guidance;
+3. *Share* — the journey is shared publicly and a neighbour gets the
+   notification;
+4. *Feedback loop* (§8) — the app prompts for feedback exactly when the
+   measurement is loud and well-localized, and the collected ratings
+   build the user's noise-sensitivity profile.
+
+Run:  python examples/soundcity_webapp.py
+"""
+
+from repro.client import AppVersion, BrokerUplink, GoFlowClient
+from repro.core import GoFlowServer, Request
+from repro.devices import DeviceRegistry
+from repro.sensing import PhoneContext, SensingScheduler
+from repro.simulation import Simulator
+from repro.webapp import PromptPolicy, SoundCityApp
+
+
+def main() -> None:
+    simulator = Simulator(seed=12)
+    server = GoFlowServer(clock=lambda: simulator.now)
+    server.register_app("SC")
+    # a chattier prompt policy than the default, for demonstration
+    app = SoundCityApp(
+        server,
+        prompt_policy=PromptPolicy(
+            min_noise_dba=58.0, max_accuracy_m=60.0, min_gap_s=3600.0
+        ),
+    )
+
+    alice = server.enroll_user("SC", "alice", "pw")
+    neighbour = server.enroll_user("SC", "bob", "pw")
+    server.channels.subscribe("SC", "bob", "FR92120", "Journey")
+
+    # -- a day of sensing ---------------------------------------------------
+    model = DeviceRegistry().get("SM-G900F")
+    uplink = BrokerUplink(server.broker, alice["exchange"], app_id="SC")
+    client = GoFlowClient("alice", AppVersion.V1_2_9, uplink,
+                          clock=lambda: simulator.now)
+    scheduler = SensingScheduler(
+        simulator,
+        "alice",
+        model,
+        PhoneContext(1200.0, 900.0),
+        client.on_observation,
+        simulator.rngs.stream("phone.alice"),
+    )
+    scheduler.start_opportunistic(until=86400.0)
+    # lunchtime journey: 12:00-12:30, sample every minute
+    simulator.at(12 * 3600.0, lambda: scheduler.start_journey(60.0, 1800.0))
+    simulator.run_until(86400.0)
+    client.flush()
+    print(f"day simulated: {scheduler.produced} measurements, "
+          f"{server.ingested} stored")
+
+    # -- quantified self --------------------------------------------------------
+    daily = app.handle(
+        Request("GET", "/me/exposure/daily/0", token=alice["token"])
+    )
+    body = daily.body
+    print(f"\ndaily exposure: Leq {body['leq_dba']} dB(A) over "
+          f"{body['measurements']} measurements")
+    print(f"  WHO band: {body['band']} — {body['advice']}")
+    hourly = app.handle(
+        Request("GET", "/me/exposure/hourly/0", token=alice["token"])
+    )
+    loudest = max(hourly.body.items(), key=lambda kv: kv[1])
+    print(f"  loudest hour: {loudest[0]}h at {loudest[1]} dB(A)")
+
+    # -- share the journey ---------------------------------------------------------
+    created = app.handle(
+        Request(
+            "POST",
+            "/journeys",
+            body={
+                "title": "Lunch walk",
+                "started_at": 12 * 3600.0,
+                "ended_at": 12.5 * 3600.0,
+                "home_zone": "FR92120",
+            },
+            token=alice["token"],
+        )
+    )
+    journey_id = created.body["journey_id"]
+    summary = app.handle(
+        Request("GET", f"/journeys/{journey_id}/summary", token=alice["token"])
+    )
+    print(f"\njourney summary: {summary.body['samples']} samples, "
+          f"Leq {summary.body['leq_dba']} dB(A), "
+          f"track {summary.body['track_length_m']} m")
+    app.handle(
+        Request(
+            "POST",
+            f"/journeys/{journey_id}/share",
+            body={"visibility": "public"},
+            token=alice["token"],
+        )
+    )
+    notification = server.broker.get_queue(neighbour["queue"]).get()
+    print(f"bob was notified: public journey {notification.body['title']!r} "
+          f"in {notification.body['zone']}")
+
+    # -- the feedback loop ------------------------------------------------------------
+    print("\nfeedback prompts over the day (loud + well-localized + not"
+          " recently prompted):")
+    prompted = 0
+    for document in server.data.collection.find({}).sort("taken_at").to_list():
+        if app.feedback.prompt("alice", document):
+            prompted += 1
+            # alice rates loud moments as annoying (rating grows with dB)
+            rating = max(1, min(5, int((document["noise_dba"] - 40.0) / 10.0)))
+            app.handle(
+                Request(
+                    "POST",
+                    "/feedback",
+                    body={
+                        "rating": rating,
+                        "noise_dba": document["noise_dba"],
+                        "taken_at": document["taken_at"],
+                        "zone": "FR92120",
+                    },
+                    token=alice["token"],
+                )
+            )
+    print(f"  prompts issued: {prompted} "
+          f"(suppressed by the non-invasiveness budget: "
+          f"{app.feedback.prompts_suppressed})")
+    profile = app.handle(Request("GET", "/me/sensitivity", token=alice["token"]))
+    if profile.status == 200:
+        print(f"  sensitivity profile: {profile.body['sensitivity_per_db']} "
+              f"rating/dB, tolerance ~{profile.body['tolerance_dba']} dB(A)")
+    else:
+        print("  not enough rated feedback for a sensitivity profile yet")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup entry point.
+
+Kept so that ``pip install -e .`` works in environments without the
+``wheel`` package (pip then falls back to ``setup.py develop``). All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

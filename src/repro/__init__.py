@@ -1,0 +1,33 @@
+"""repro: a reproduction of "Dos and Don'ts in Mobile Phone Sensing
+Middleware: Learning from a Large-Scale Experiment" (Middleware 2016).
+
+The package rebuilds the paper's full stack in pure Python:
+
+- :mod:`repro.broker` — AMQP-style message broker (the RabbitMQ role);
+- :mod:`repro.docstore` — document store (the MongoDB role);
+- :mod:`repro.core` — the GoFlow crowd-sensing middleware;
+- :mod:`repro.client` — the mobile GoFlow client (v1.1 / v1.2.9 / v1.3);
+- :mod:`repro.sensing` — location, microphone, activity sensing;
+- :mod:`repro.devices` — the Figure 9 phone fleet and battery model;
+- :mod:`repro.crowd` — the synthetic contributing crowd;
+- :mod:`repro.noise` — A-weighting, SPL, soundscapes;
+- :mod:`repro.assimilation` — BLUE data assimilation over city grids;
+- :mod:`repro.calibration` — per-model and crowd calibration;
+- :mod:`repro.analysis` — the empirical-analysis pipeline;
+- :mod:`repro.sf` — the San Francisco complaints study (Figure 4);
+- :mod:`repro.campaign` — end-to-end experiment harnesses;
+- :mod:`repro.simulation` — the discrete-event kernel underneath.
+
+Quickstart::
+
+    from repro.campaign import CampaignConfig, FleetCampaign
+
+    result = FleetCampaign(CampaignConfig(seed=1, scale=0.01, days=1.0)).run()
+    print(result.analytics.totals())
+"""
+
+from repro.errors import ConfigurationError, ReproError, SimulationError
+
+__version__ = "1.0.0"
+
+__all__ = ["ConfigurationError", "ReproError", "SimulationError", "__version__"]

@@ -1,0 +1,29 @@
+"""Crowd-informed adaptive sensing (§8 future work).
+
+"Some missing data for one individual user may also be inferred from
+the crowd measurements, and the sensing times and locations could be
+chosen accordingly, with the objective of collecting the most
+informative data while limiting energy consumption."
+
+- :mod:`repro.adaptive.coverage` — tracks where/when the crowd has
+  already measured (per-cell, per-hour counts) and exposes an
+  information-value map;
+- :mod:`repro.adaptive.planner` — decides which sensing opportunities
+  to take under a measurement budget: uniform (the baseline every
+  client v1.x implements) vs variance-greedy (sense where the
+  assimilation is most uncertain);
+- :mod:`repro.adaptive.inference` — infers a user's missing exposure
+  from crowd measurements near them in space and time.
+"""
+
+from repro.adaptive.coverage import CoverageTracker
+from repro.adaptive.planner import AdaptivePlanner, PlanDecision, UniformPlanner
+from repro.adaptive.inference import CrowdInference
+
+__all__ = [
+    "AdaptivePlanner",
+    "CoverageTracker",
+    "CrowdInference",
+    "PlanDecision",
+    "UniformPlanner",
+]

@@ -1,0 +1,65 @@
+"""Spatio-temporal coverage accounting."""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+
+class CoverageTracker:
+    """Counts observations per (cell, hour-of-day) bucket.
+
+    The inverse of local coverage is the simplest information-value
+    proxy: an observation where nobody has measured this hour is worth
+    more than the thousandth sample of a well-covered block.
+    """
+
+    def __init__(self, grid: CityGrid, hour_buckets: int = 24) -> None:
+        if hour_buckets <= 0:
+            raise ConfigurationError("hour_buckets must be > 0")
+        self.grid = grid
+        self.hour_buckets = hour_buckets
+        self._counts = np.zeros((grid.size, hour_buckets), dtype=np.int64)
+
+    def _bucket(self, taken_at: float) -> int:
+        hour = (taken_at % 86400.0) / 3600.0
+        return int(hour * self.hour_buckets / 24.0) % self.hour_buckets
+
+    def record(self, x_m: float, y_m: float, taken_at: float) -> None:
+        """Account one observation."""
+        if not self.grid.contains(x_m, y_m):
+            return
+        i, j = self.grid.locate(x_m, y_m)
+        self._counts[self.grid.flat_index(i, j), self._bucket(taken_at)] += 1
+
+    def count_at(self, x_m: float, y_m: float, taken_at: float) -> int:
+        """Observations recorded in this (cell, hour) bucket."""
+        if not self.grid.contains(x_m, y_m):
+            return 0
+        i, j = self.grid.locate(x_m, y_m)
+        return int(
+            self._counts[self.grid.flat_index(i, j), self._bucket(taken_at)]
+        )
+
+    def total(self) -> int:
+        """Total recorded observations."""
+        return int(self._counts.sum())
+
+    def information_value(self, x_m: float, y_m: float, taken_at: float) -> float:
+        """Diminishing-returns value of one more sample here and now.
+
+        1 / (1 + n): the first sample of a bucket is worth 1, the tenth
+        about 0.09.
+        """
+        return 1.0 / (1.0 + self.count_at(x_m, y_m, taken_at))
+
+    def spatial_coverage_share(self) -> float:
+        """Fraction of grid cells with at least one observation."""
+        return float(np.mean(self._counts.sum(axis=1) > 0))
+
+    def cell_counts(self) -> np.ndarray:
+        """Per-cell totals (state-vector order)."""
+        return self._counts.sum(axis=1)

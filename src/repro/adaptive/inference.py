@@ -1,0 +1,138 @@
+"""Inferring a user's missing exposure from the crowd.
+
+§8: "Some missing data for one individual user may also be inferred
+from the crowd measurements." When a user's phone was silent for a
+window (dozing, out of battery), their exposure can still be estimated
+from crowd measurements taken near their (known or interpolated)
+position: an inverse-distance-and-time weighted energy mean.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class CrowdInference:
+    """Estimates missing exposure values from nearby crowd data.
+
+    Args:
+        space_scale_m: distance at which a neighbour's weight halves.
+        time_scale_s: time offset at which a neighbour's weight halves.
+        min_neighbors: below this support, estimation refuses (better
+            no estimate than a wild one).
+    """
+
+    def __init__(
+        self,
+        space_scale_m: float = 200.0,
+        time_scale_s: float = 1800.0,
+        min_neighbors: int = 3,
+    ) -> None:
+        if space_scale_m <= 0 or time_scale_s <= 0:
+            raise ConfigurationError("scales must be > 0")
+        if min_neighbors < 1:
+            raise ConfigurationError("min_neighbors must be >= 1")
+        self.space_scale_m = space_scale_m
+        self.time_scale_s = time_scale_s
+        self.min_neighbors = min_neighbors
+
+    def _weight(self, distance_m: float, dt_s: float) -> float:
+        return float(
+            0.5 ** (distance_m / self.space_scale_m)
+            * 0.5 ** (abs(dt_s) / self.time_scale_s)
+        )
+
+    def estimate(
+        self,
+        documents: Sequence[Mapping[str, Any]],
+        x_m: float,
+        y_m: float,
+        taken_at: float,
+        max_distance_m: Optional[float] = None,
+        max_dt_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Estimate the level at (x, y, t) from crowd documents.
+
+        Documents need ``noise_dba``, ``taken_at`` and a localized
+        ``location``. Returns {estimate_dba, support, confidence}.
+        Raises :class:`ConfigurationError` when support is too thin.
+        """
+        max_distance = max_distance_m or 4 * self.space_scale_m
+        max_dt = max_dt_s or 4 * self.time_scale_s
+        weights: List[float] = []
+        levels: List[float] = []
+        for document in documents:
+            location = document.get("location")
+            if not isinstance(location, Mapping):
+                continue
+            dt = document["taken_at"] - taken_at
+            if abs(dt) > max_dt:
+                continue
+            distance = float(
+                np.hypot(location["x_m"] - x_m, location["y_m"] - y_m)
+            )
+            if distance > max_distance:
+                continue
+            weights.append(self._weight(distance, dt))
+            levels.append(float(document["noise_dba"]))
+        if len(levels) < self.min_neighbors:
+            raise ConfigurationError(
+                f"only {len(levels)} crowd neighbours (need {self.min_neighbors})"
+            )
+        weights_arr = np.asarray(weights)
+        # weighted energy mean: convert to energies, average, back to dB
+        energies = np.power(10.0, np.asarray(levels) / 10.0)
+        estimate = 10.0 * np.log10(
+            float(np.sum(weights_arr * energies) / np.sum(weights_arr))
+        )
+        confidence = float(np.sum(weights_arr) / (1.0 + np.sum(weights_arr)))
+        return {
+            "estimate_dba": round(float(estimate), 2),
+            "support": len(levels),
+            "confidence": round(confidence, 3),
+        }
+
+    def fill_gaps(
+        self,
+        own_documents: Sequence[Mapping[str, Any]],
+        crowd_documents: Sequence[Mapping[str, Any]],
+        window_s: float = 3600.0,
+        horizon_s: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Estimate the user's exposure for windows without own data.
+
+        The user's position during a gap is linearly interpolated
+        between their last and next localized observations.
+        """
+        localized = sorted(
+            (d for d in own_documents if isinstance(d.get("location"), Mapping)),
+            key=lambda d: d["taken_at"],
+        )
+        if len(localized) < 2:
+            return []
+        filled: List[Dict[str, Any]] = []
+        for before, after in zip(localized, localized[1:]):
+            gap = after["taken_at"] - before["taken_at"]
+            if gap <= window_s:
+                continue
+            steps = int(gap // window_s)
+            for step in range(1, steps):
+                t = before["taken_at"] + step * window_s
+                alpha = (t - before["taken_at"]) / gap
+                x = (1 - alpha) * before["location"]["x_m"] + alpha * after[
+                    "location"
+                ]["x_m"]
+                y = (1 - alpha) * before["location"]["y_m"] + alpha * after[
+                    "location"
+                ]["y_m"]
+                try:
+                    estimate = self.estimate(crowd_documents, x, y, t)
+                except ConfigurationError:
+                    continue
+                estimate.update({"taken_at": t, "x_m": round(x, 1), "y_m": round(y, 1)})
+                filled.append(estimate)
+        return filled

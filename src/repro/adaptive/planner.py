@@ -1,0 +1,134 @@
+"""Sensing planners: uniform vs variance-greedy under a budget.
+
+A planner answers the question each sensing opportunity poses: *is this
+measurement worth its battery cost?* The uniform planner (the deployed
+v1.x behaviour) says yes every k-th time regardless of place; the
+adaptive planner spends the same budget where the assimilation's
+analysis variance — or the crowd's coverage gap — is largest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.adaptive.coverage import CoverageTracker
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """Outcome of one sensing opportunity."""
+
+    sense: bool
+    value: float
+    reason: str
+
+
+class UniformPlanner:
+    """The v1.x baseline: accept a fixed share of opportunities."""
+
+    def __init__(self, acceptance: float, rng: np.random.Generator) -> None:
+        if not 0.0 < acceptance <= 1.0:
+            raise ConfigurationError("acceptance must be in (0, 1]")
+        self.acceptance = acceptance
+        self._rng = rng
+        self.accepted = 0
+        self.offered = 0
+
+    def decide(self, x_m: float, y_m: float, taken_at: float) -> PlanDecision:
+        """Accept with fixed probability, blind to context."""
+        self.offered += 1
+        sense = bool(self._rng.random() < self.acceptance)
+        if sense:
+            self.accepted += 1
+        return PlanDecision(sense=sense, value=self.acceptance, reason="uniform")
+
+
+class AdaptivePlanner:
+    """Variance/coverage-greedy planner under the same expected budget.
+
+    The decision value combines (a) the analysis-error variance of the
+    current map at the opportunity's location — where the assimilation
+    still knows little — and (b) the coverage gap of the (cell, hour)
+    bucket. An opportunity is taken when its value clears a threshold
+    chosen online so the long-run acceptance matches the budget
+    (a simple multiplicative controller).
+    """
+
+    def __init__(
+        self,
+        grid: CityGrid,
+        budget_acceptance: float,
+        rng: np.random.Generator,
+        coverage: Optional[CoverageTracker] = None,
+        variance_map: Optional[np.ndarray] = None,
+        control_gain: float = 0.05,
+    ) -> None:
+        if not 0.0 < budget_acceptance <= 1.0:
+            raise ConfigurationError("budget_acceptance must be in (0, 1]")
+        self.grid = grid
+        self.budget = budget_acceptance
+        self.coverage = coverage or CoverageTracker(grid)
+        self._variance = variance_map
+        self._rng = rng
+        self._threshold = 0.7
+        self._gain = control_gain
+        self.accepted = 0
+        self.offered = 0
+
+    def update_variance_map(self, variance: np.ndarray) -> None:
+        """Feed the latest analysis-error variance (diag(A))."""
+        variance = np.asarray(variance, dtype=float)
+        if variance.shape != (self.grid.size,):
+            raise ConfigurationError("variance map shape must match the grid")
+        self._variance = variance
+
+    def _variance_score(self, x_m: float, y_m: float) -> float:
+        if self._variance is None or not self.grid.contains(x_m, y_m):
+            return 0.5
+        peak = float(self._variance.max())
+        if peak <= 0:
+            return 0.0
+        i, j = self.grid.locate(x_m, y_m)
+        return float(self._variance[self.grid.flat_index(i, j)] / peak)
+
+    def value_of(self, x_m: float, y_m: float, taken_at: float) -> float:
+        """Information value in [0, 1] of sensing here and now."""
+        coverage_score = self.coverage.information_value(x_m, y_m, taken_at)
+        return 0.5 * coverage_score + 0.5 * self._variance_score(x_m, y_m)
+
+    def decide(self, x_m: float, y_m: float, taken_at: float) -> PlanDecision:
+        """Greedy-threshold decision with budget control.
+
+        A hard token bucket guarantees the energy budget is never
+        exceeded even while the threshold controller is still warming
+        up — the §8 requirement is "most informative data *while
+        limiting energy consumption*", and the limit is a promise.
+        """
+        self.offered += 1
+        value = self.value_of(x_m, y_m, taken_at)
+        within_budget = self.accepted < self.budget * self.offered + 1
+        sense = value >= self._threshold and within_budget
+        # multiplicative controller keeps acceptance near the budget
+        if sense:
+            self.accepted += 1
+            self._threshold *= 1.0 + self._gain * (1.0 - self.budget)
+        else:
+            self._threshold *= 1.0 - self._gain * self.budget
+        self._threshold = float(np.clip(self._threshold, 0.01, 0.99))
+        if sense:
+            self.coverage.record(x_m, y_m, taken_at)
+        return PlanDecision(
+            sense=sense,
+            value=value,
+            reason="adaptive: coverage+variance",
+        )
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Realized acceptance so far."""
+        return self.accepted / self.offered if self.offered else 0.0

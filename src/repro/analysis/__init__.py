@@ -1,0 +1,50 @@
+"""The empirical-analysis pipeline.
+
+Converts stored observations (via :class:`repro.core.analytics.
+AnalyticsEngine`) into the exact quantities the paper's figures plot:
+
+- :mod:`repro.analysis.histograms` — accuracy-bucket distributions
+  (Figs. 10-13) and per-mille SPL distributions (Figs. 14-15);
+- :mod:`repro.analysis.participation` — hourly participation shares and
+  user-diversity metrics (Figs. 18-19);
+- :mod:`repro.analysis.delays` — transmission-delay CDFs and the
+  paper's headline delay fractions (Fig. 17);
+- :mod:`repro.analysis.tables` — the Figure 9 table and Figure 8
+  cumulative series;
+- :mod:`repro.analysis.reports` — plain-text rendering of all of the
+  above for the benchmark harness output.
+"""
+
+from repro.analysis.histograms import (
+    ACCURACY_BUCKETS,
+    accuracy_histogram,
+    spl_distribution_per_mille,
+)
+from repro.analysis.participation import (
+    hourly_share,
+    mean_profile_distance,
+    peak_hour,
+)
+from repro.analysis.delays import DelaySummary, delay_cdf, summarize_delays
+from repro.analysis.maps import field_to_rows, render_comparison, render_field
+from repro.analysis.tables import cumulative_series, top_models_table
+from repro.analysis.reports import format_distribution, format_table
+
+__all__ = [
+    "ACCURACY_BUCKETS",
+    "DelaySummary",
+    "accuracy_histogram",
+    "cumulative_series",
+    "delay_cdf",
+    "field_to_rows",
+    "format_distribution",
+    "format_table",
+    "render_comparison",
+    "render_field",
+    "hourly_share",
+    "mean_profile_distance",
+    "peak_hour",
+    "spl_distribution_per_mille",
+    "summarize_delays",
+    "top_models_table",
+]

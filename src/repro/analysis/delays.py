@@ -1,0 +1,48 @@
+"""Transmission-delay analysis (Figure 17)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DelaySummary:
+    """The fractions the paper reads off Figure 17."""
+
+    within_10s: float
+    within_1min: float
+    within_1h: float
+    over_2h: float
+    median_s: float
+    count: int
+
+
+def summarize_delays(delays_s: Sequence[float]) -> DelaySummary:
+    """The headline delay fractions of §5.3."""
+    values = np.asarray(list(delays_s), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("no delays to summarize")
+    return DelaySummary(
+        within_10s=float(np.mean(values <= 10.0)),
+        within_1min=float(np.mean(values <= 60.0)),
+        within_1h=float(np.mean(values <= 3600.0)),
+        over_2h=float(np.mean(values > 7200.0)),
+        median_s=float(np.median(values)),
+        count=int(values.size),
+    )
+
+
+def delay_cdf(
+    delays_s: Sequence[float],
+    points_s: Sequence[float] = (1, 10, 60, 300, 600, 1800, 3600, 7200, 14400, 86400),
+) -> List[Tuple[float, float]]:
+    """(threshold, fraction <= threshold) pairs — the Fig. 17 curve."""
+    values = np.asarray(list(delays_s), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("no delays for a CDF")
+    return [(float(p), float(np.mean(values <= p))) for p in points_s]

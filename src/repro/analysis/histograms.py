@@ -1,0 +1,92 @@
+"""Accuracy and SPL distributions (Figures 10-15)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Accuracy buckets (meters) matching the granularity the paper reads
+#: off its Figures 10-13 ("[6-20] meters range", "[20-50] meters range",
+#: "a peak at accuracies lower than 100 meters").
+ACCURACY_BUCKETS: List[Tuple[float, float]] = [
+    (0.0, 6.0),
+    (6.0, 20.0),
+    (20.0, 50.0),
+    (50.0, 100.0),
+    (100.0, 200.0),
+    (200.0, 500.0),
+    (500.0, float("inf")),
+]
+
+
+def bucket_label(bucket: Tuple[float, float]) -> str:
+    """Human-readable label for an accuracy bucket."""
+    low, high = bucket
+    if high == float("inf"):
+        return f">{low:.0f}m"
+    return f"{low:.0f}-{high:.0f}m"
+
+
+def accuracy_histogram(accuracies_m: Sequence[float]) -> Dict[str, float]:
+    """Share of observations per accuracy bucket (sums to 1)."""
+    values = np.asarray(list(accuracies_m), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("no accuracies to histogram")
+    out: Dict[str, float] = {}
+    for bucket in ACCURACY_BUCKETS:
+        low, high = bucket
+        count = int(np.sum((values >= low) & (values < high)))
+        out[bucket_label(bucket)] = count / values.size
+    return out
+
+
+def modal_bucket(histogram: Dict[str, float]) -> str:
+    """The label of the most populated bucket."""
+    if not histogram:
+        raise ConfigurationError("empty histogram")
+    return max(histogram, key=lambda k: histogram[k])
+
+
+def spl_distribution_per_mille(
+    levels_db: Sequence[float],
+    low_db: float = 20.0,
+    high_db: float = 100.0,
+    bin_width_db: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Figure 14/15's per-mille distribution of dB(A) measurements.
+
+    Returns (bin_centers, per_mille) with per-mille summing to ~1000
+    over the covered range.
+    """
+    values = np.asarray(list(levels_db), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("no SPL values to histogram")
+    if bin_width_db <= 0 or high_db <= low_db:
+        raise ConfigurationError("bad SPL histogram parameters")
+    edges = np.arange(low_db, high_db + bin_width_db, bin_width_db)
+    counts, _ = np.histogram(values, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    per_mille = 1000.0 * counts / values.size
+    return centers, per_mille
+
+
+def distribution_peak_db(levels_db: Sequence[float]) -> float:
+    """The dB(A) at which a model's distribution peaks (Fig. 14 shift)."""
+    centers, per_mille = spl_distribution_per_mille(levels_db)
+    return float(centers[int(np.argmax(per_mille))])
+
+
+def distribution_distance(
+    levels_a_db: Sequence[float], levels_b_db: Sequence[float]
+) -> float:
+    """Total-variation distance between two SPL distributions in [0, 1].
+
+    Used to quantify Figure 14 vs Figure 15: across models this is
+    large, across users of one model it is small.
+    """
+    _, pa = spl_distribution_per_mille(levels_a_db)
+    _, pb = spl_distribution_per_mille(levels_b_db)
+    return float(0.5 * np.sum(np.abs(pa - pb)) / 1000.0)

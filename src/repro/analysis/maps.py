@@ -1,0 +1,119 @@
+"""Map rendering: city fields as text, plus grid export.
+
+The paper shows noise maps as color rasters (Figure 4, the SoundCity
+web map). In a terminal-first reproduction the equivalent is an ASCII
+raster with a dB(A) ramp, which the examples and CLI use to *show* the
+truth map, the degraded background, and the corrected analysis side by
+side. ``field_to_rows`` exports a map as JSON-able cell records for
+anything that wants to plot properly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+#: dark -> loud ramp (space = quietest, '@' = loudest).
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def render_field(
+    grid: CityGrid,
+    field: np.ndarray,
+    low_db: Optional[float] = None,
+    high_db: Optional[float] = None,
+    ramp: str = DEFAULT_RAMP,
+    markers: Optional[Sequence[Tuple[float, float, str]]] = None,
+) -> str:
+    """The field as an ASCII raster (row 0 at the top = max y).
+
+    Args:
+        grid: the field's grid.
+        field: state-vector-ordered values.
+        low_db / high_db: ramp bounds (default: field min/max).
+        ramp: characters from quiet to loud.
+        markers: optional (x, y, char) overlays (e.g. complaints).
+    """
+    values = np.asarray(field, dtype=float)
+    if values.shape != (grid.size,):
+        raise ConfigurationError(
+            f"field shape {values.shape} does not match grid size {grid.size}"
+        )
+    if len(ramp) < 2:
+        raise ConfigurationError("ramp needs at least 2 characters")
+    lo = float(values.min()) if low_db is None else low_db
+    hi = float(values.max()) if high_db is None else high_db
+    if hi <= lo:
+        hi = lo + 1.0
+    cells = [[" "] * grid.nx for _ in range(grid.ny)]
+    for i in range(grid.ny):
+        for j in range(grid.nx):
+            value = values[grid.flat_index(i, j)]
+            t = min(max((value - lo) / (hi - lo), 0.0), 1.0)
+            cells[i][j] = ramp[int(round(t * (len(ramp) - 1)))]
+    for x, y, char in markers or ():
+        if grid.contains(x, y) and char:
+            i, j = grid.locate(x, y)
+            cells[i][j] = char[0]
+    border = "+" + "-" * grid.nx + "+"
+    body = [border]
+    for i in reversed(range(grid.ny)):  # y grows upward
+        body.append("|" + "".join(cells[i]) + "|")
+    body.append(border)
+    body.append(f"ramp: {lo:.0f} dB(A) '{ramp[0]}' .. {hi:.0f} dB(A) '{ramp[-1]}'")
+    return "\n".join(body)
+
+
+def render_comparison(
+    grid: CityGrid,
+    fields: Dict[str, np.ndarray],
+    low_db: Optional[float] = None,
+    high_db: Optional[float] = None,
+) -> str:
+    """Several maps side by side on a shared ramp scale."""
+    if not fields:
+        raise ConfigurationError("need at least one field")
+    stacked = np.concatenate([np.asarray(f, dtype=float) for f in fields.values()])
+    lo = float(stacked.min()) if low_db is None else low_db
+    hi = float(stacked.max()) if high_db is None else high_db
+    blocks = []
+    for title, field in fields.items():
+        rendered = render_field(grid, field, low_db=lo, high_db=hi)
+        lines = rendered.splitlines()
+        blocks.append([title.center(grid.nx + 2)] + lines[:-1])
+    ramp_note = render_field(
+        grid, list(fields.values())[0], low_db=lo, high_db=hi
+    ).splitlines()[-1]
+    height = max(len(block) for block in blocks)
+    rows = []
+    for row_index in range(height):
+        row = "  ".join(
+            block[row_index] if row_index < len(block) else " " * (grid.nx + 2)
+            for block in blocks
+        )
+        rows.append(row)
+    rows.append(ramp_note)
+    return "\n".join(rows)
+
+
+def field_to_rows(grid: CityGrid, field: np.ndarray) -> List[Dict[str, Any]]:
+    """Export a field as JSON-able cell records."""
+    values = np.asarray(field, dtype=float)
+    if values.shape != (grid.size,):
+        raise ConfigurationError("field shape does not match the grid")
+    rows: List[Dict[str, Any]] = []
+    for i in range(grid.ny):
+        for j in range(grid.nx):
+            x, y = grid.cell_center(i, j)
+            rows.append(
+                {
+                    "x_m": x,
+                    "y_m": y,
+                    "level_dba": round(float(values[grid.flat_index(i, j)]), 2),
+                }
+            )
+    return rows

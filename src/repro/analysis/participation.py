@@ -1,0 +1,60 @@
+"""Participation-pattern analysis (Figures 18-19)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def hourly_share(hours: Sequence[float]) -> np.ndarray:
+    """Share of measurements per hour of day from raw timestamps' hours."""
+    values = np.asarray(list(hours), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("no hours to analyze")
+    counts, _ = np.histogram(values % 24.0, bins=np.arange(25))
+    return counts / values.size
+
+
+def peak_hour(share: np.ndarray) -> int:
+    """Hour of day with the highest share."""
+    share = np.asarray(share, dtype=float)
+    if share.shape != (24,):
+        raise ConfigurationError(f"expected 24 hourly shares, got {share.shape}")
+    return int(np.argmax(share))
+
+
+def daytime_share(share: np.ndarray, start_hour: int = 10, end_hour: int = 21) -> float:
+    """Fraction of measurements in [start_hour, end_hour) — the
+    Figure 18 plateau covers 10 AM to 9 PM."""
+    share = np.asarray(share, dtype=float)
+    if share.shape != (24,):
+        raise ConfigurationError(f"expected 24 hourly shares, got {share.shape}")
+    return float(np.sum(share[start_hour:end_hour]))
+
+
+def profile_distance(share_a: np.ndarray, share_b: np.ndarray) -> float:
+    """Total-variation distance between two hourly profiles, in [0, 1]."""
+    a = np.asarray(share_a, dtype=float)
+    b = np.asarray(share_b, dtype=float)
+    if a.shape != (24,) or b.shape != (24,):
+        raise ConfigurationError("profiles must have 24 hourly shares")
+    return float(0.5 * np.sum(np.abs(a - b)))
+
+
+def mean_profile_distance(profiles: Dict[str, np.ndarray]) -> float:
+    """Mean pairwise distance across users' profiles.
+
+    Figure 19's claim quantified: individual profiles are far from each
+    other (and from the aggregate) even though the aggregate is smooth.
+    """
+    keys = sorted(profiles)
+    if len(keys) < 2:
+        raise ConfigurationError("need at least two profiles to compare")
+    distances: List[float] = []
+    for i, key_a in enumerate(keys):
+        for key_b in keys[i + 1 :]:
+            distances.append(profile_distance(profiles[key_a], profiles[key_b]))
+    return float(np.mean(distances))

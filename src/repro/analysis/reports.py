@@ -1,0 +1,51 @@
+"""Plain-text rendering of analysis outputs.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_distribution(
+    distribution: Mapping[str, float], title: str = "", percent: bool = True
+) -> str:
+    """Render a {label: share} mapping as an aligned text block."""
+    if not distribution:
+        raise ConfigurationError("empty distribution")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max(len(str(k)) for k in distribution)
+    for key, value in distribution.items():
+        rendered = f"{100.0 * value:6.2f} %" if percent else f"{value:10.4f}"
+        bar = "#" * int(round(40 * value))
+        lines.append(f"  {str(key):<{width}}  {rendered}  {bar}")
+    return "\n".join(lines)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]], columns: Sequence[str], title: str = ""
+) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        raise ConfigurationError("empty table")
+    widths = {
+        column: max(len(column), max(len(str(r.get(column, ""))) for r in rows))
+        for column in columns
+    }
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(f"{column:<{widths[column]}}" for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(f"{str(row.get(column, '')):<{widths[column]}}" for column in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Tabular outputs: the Figure 9 table and Figure 8 series."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def top_models_table(
+    rows: Sequence[Dict[str, Any]], limit: int = 20
+) -> List[Dict[str, Any]]:
+    """The Figure 9 table from analytics per-model rows.
+
+    Rows must carry ``model``, ``devices``, ``measurements`` and
+    ``localized``; they are ordered by localized count (the paper's
+    ordering) and a Total row is appended.
+    """
+    required = {"model", "devices", "measurements", "localized"}
+    for row in rows:
+        missing = required - set(row)
+        if missing:
+            raise ConfigurationError(f"row missing fields {sorted(missing)}")
+    ordered = sorted(rows, key=lambda r: r["localized"], reverse=True)[:limit]
+    total = {
+        "model": "Total",
+        "devices": sum(r["devices"] for r in ordered),
+        "measurements": sum(r["measurements"] for r in ordered),
+        "localized": sum(r["localized"] for r in ordered),
+    }
+    return list(ordered) + [total]
+
+
+def cumulative_series(
+    daily_counts: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Normalize analytics' cumulative-by-day output for reporting.
+
+    Input rows carry ``day``/``count``/``cumulative``; output adds the
+    share of the final total reached by each day (Figure 8's growth
+    shape, scale-free).
+    """
+    rows = list(daily_counts)
+    if not rows:
+        raise ConfigurationError("no daily counts")
+    final = rows[-1]["cumulative"]
+    if final <= 0:
+        raise ConfigurationError("cumulative total must be positive")
+    return [
+        {
+            "day": row["day"],
+            "count": row["count"],
+            "cumulative": row["cumulative"],
+            "share_of_final": row["cumulative"] / final,
+        }
+        for row in rows
+    ]

@@ -1,0 +1,57 @@
+"""Data assimilation: merging crowd observations into simulated maps.
+
+§4.2: "The SoundCity crowd-sensing system introduces a new component,
+the Data Assimilation Engine, to overcome the high heterogeneity of the
+contributing sensors. The engine integrates and aggregates highly
+heterogeneous simulation and observational data to produce comprehensive
+representations about urban phenomena."
+
+The paper's engine is built on Inria's Verdandi library and BLUE-based
+assimilation (Tilloy et al. 2013). This package implements that method
+from scratch:
+
+- :mod:`repro.assimilation.grid` — the regular city grid;
+- :mod:`repro.assimilation.citymodel` — the numerical noise model
+  (street line sources + POI point sources + background, with
+  distance attenuation), including deliberate model error;
+- :mod:`repro.assimilation.covariance` — background/observation error
+  covariance models (Balgovind-style exponential decay);
+- :mod:`repro.assimilation.observation` — the observation operator H
+  (bilinear interpolation at observation points) and per-observation
+  error variances derived from sensor accuracy & calibration quality;
+- :mod:`repro.assimilation.blue` — the Best Linear Unbiased Estimator
+  analysis ``x_a = x_b + BHᵀ(HBHᵀ + R)⁻¹ (y − Hx_b)`` with innovation
+  diagnostics.
+"""
+
+from repro.assimilation.grid import CityGrid
+from repro.assimilation.citymodel import CityNoiseModel, PointSource, StreetSegment
+from repro.assimilation.covariance import (
+    balgovind_covariance,
+    exponential_covariance,
+    sample_correlated_field,
+)
+from repro.assimilation.observation import (
+    ObservationBatch,
+    ObservationOperator,
+    PointObservation,
+)
+from repro.assimilation.blue import BlueAnalysis, BlueResult
+from repro.assimilation.sequential import CycleRecord, SequentialAssimilator
+
+__all__ = [
+    "BlueAnalysis",
+    "BlueResult",
+    "CycleRecord",
+    "SequentialAssimilator",
+    "CityGrid",
+    "CityNoiseModel",
+    "ObservationBatch",
+    "ObservationOperator",
+    "PointObservation",
+    "PointSource",
+    "StreetSegment",
+    "balgovind_covariance",
+    "exponential_covariance",
+    "sample_correlated_field",
+]

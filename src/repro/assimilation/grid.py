@@ -1,0 +1,113 @@
+"""The regular city grid all maps live on."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class CityGrid:
+    """A regular 2-D grid over a rectangular city.
+
+    State vectors are flattened row-major: index ``i * nx + j`` holds
+    cell (row ``i`` = y index, column ``j`` = x index). Cell centers are
+    at ``(x0 + (j + 0.5) dx, y0 + (i + 0.5) dy)``.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        extent_m: Tuple[float, float],
+        origin_m: Tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        if nx < 2 or ny < 2:
+            raise ConfigurationError("grid needs at least 2x2 cells")
+        if extent_m[0] <= 0 or extent_m[1] <= 0:
+            raise ConfigurationError("extent must be positive")
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.x0, self.y0 = float(origin_m[0]), float(origin_m[1])
+        self.width_m, self.height_m = float(extent_m[0]), float(extent_m[1])
+        self.dx = self.width_m / nx
+        self.dy = self.height_m / ny
+
+    @property
+    def size(self) -> int:
+        """Number of cells (state-vector length)."""
+        return self.nx * self.ny
+
+    def cell_center(self, i: int, j: int) -> Tuple[float, float]:
+        """(x, y) of cell (row i, col j)'s center."""
+        if not (0 <= i < self.ny and 0 <= j < self.nx):
+            raise ConfigurationError(f"cell ({i}, {j}) out of grid")
+        return (
+            self.x0 + (j + 0.5) * self.dx,
+            self.y0 + (i + 0.5) * self.dy,
+        )
+
+    def centers(self) -> np.ndarray:
+        """(size, 2) array of all cell centers, state-vector order."""
+        js, is_ = np.meshgrid(np.arange(self.nx), np.arange(self.ny))
+        xs = self.x0 + (js + 0.5) * self.dx
+        ys = self.y0 + (is_ + 0.5) * self.dy
+        return np.column_stack([xs.ravel(), ys.ravel()])
+
+    def flat_index(self, i: int, j: int) -> int:
+        """State-vector index of cell (i, j)."""
+        return i * self.nx + j
+
+    def contains(self, x_m: float, y_m: float) -> bool:
+        """Whether (x, y) lies inside the grid."""
+        return (
+            self.x0 <= x_m < self.x0 + self.width_m
+            and self.y0 <= y_m < self.y0 + self.height_m
+        )
+
+    def locate(self, x_m: float, y_m: float) -> Tuple[int, int]:
+        """Cell (i, j) containing the point; raises if outside."""
+        if not self.contains(x_m, y_m):
+            raise ConfigurationError(f"point ({x_m}, {y_m}) outside the grid")
+        j = int((x_m - self.x0) / self.dx)
+        i = int((y_m - self.y0) / self.dy)
+        return (min(i, self.ny - 1), min(j, self.nx - 1))
+
+    def interpolation_weights(self, x_m: float, y_m: float):
+        """Bilinear weights of a point over the 4 surrounding centers.
+
+        Returns (indices, weights) arrays summing to 1. Points outside
+        the center lattice clamp to the border cells.
+        """
+        if not self.contains(x_m, y_m):
+            raise ConfigurationError(f"point ({x_m}, {y_m}) outside the grid")
+        # fractional position in "center lattice" coordinates
+        fx = (x_m - self.x0) / self.dx - 0.5
+        fy = (y_m - self.y0) / self.dy - 0.5
+        fx = min(max(fx, 0.0), self.nx - 1.0)
+        fy = min(max(fy, 0.0), self.ny - 1.0)
+        j0, i0 = int(fx), int(fy)
+        j1, i1 = min(j0 + 1, self.nx - 1), min(i0 + 1, self.ny - 1)
+        tx, ty = fx - j0, fy - i0
+        indices = np.array(
+            [
+                self.flat_index(i0, j0),
+                self.flat_index(i0, j1),
+                self.flat_index(i1, j0),
+                self.flat_index(i1, j1),
+            ]
+        )
+        weights = np.array(
+            [
+                (1 - tx) * (1 - ty),
+                tx * (1 - ty),
+                (1 - tx) * ty,
+                tx * ty,
+            ]
+        )
+        return indices, weights
+
+    def __repr__(self) -> str:
+        return f"CityGrid({self.nx}x{self.ny}, {self.width_m:.0f}x{self.height_m:.0f} m)"

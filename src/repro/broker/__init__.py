@@ -1,0 +1,54 @@
+"""In-process AMQP-style message broker.
+
+A faithful, from-scratch implementation of the RabbitMQ subset the GoFlow
+middleware relies on (paper §3.2, Figure 3):
+
+- **exchanges** of type ``direct``, ``fanout`` and ``topic``;
+- **queues** with FIFO delivery, consumer prefetch, acknowledgements,
+  negative-acknowledgements with requeue, and optional bounded length;
+- **bindings** from exchanges to queues *and to other exchanges*
+  (exchange-to-exchange bindings implement the client → app → GoFlow
+  routing chain of Figure 3);
+- AMQP **topic patterns** where ``*`` matches exactly one word and ``#``
+  matches zero or more words;
+- **connections/channels** with publisher confirms, and a per-session
+  buffering mode that models RabbitMQ's handling of flaky mobile links.
+
+Everything is synchronous and deterministic: a publish either routes to
+queues immediately or is dropped (optionally reported via the mandatory
+flag), and consumers are invoked inline in registration order.
+"""
+
+from repro.broker.errors import (
+    BindingError,
+    BrokerError,
+    ExchangeError,
+    PublishUnroutable,
+    QueueError,
+)
+from repro.broker.message import Delivery, Message
+from repro.broker.topic import TopicMatcher, topic_matches
+from repro.broker.exchange import Exchange, ExchangeType
+from repro.broker.queue import Consumer, MessageQueue
+from repro.broker.channel import Channel
+from repro.broker.connection import Connection
+from repro.broker.broker import Broker
+
+__all__ = [
+    "Broker",
+    "Channel",
+    "Connection",
+    "Consumer",
+    "Delivery",
+    "Exchange",
+    "ExchangeType",
+    "Message",
+    "MessageQueue",
+    "TopicMatcher",
+    "topic_matches",
+    "BrokerError",
+    "ExchangeError",
+    "QueueError",
+    "BindingError",
+    "PublishUnroutable",
+]

@@ -1,0 +1,221 @@
+"""The broker: the registry of exchanges, queues, and connections.
+
+This is the process-wide object GoFlow's channel management talks to. It
+exposes AMQP-style declaration verbs (idempotent redeclaration with
+matching arguments, error on mismatch — like RabbitMQ's PRECONDITION
+FAILED) plus routing statistics used by the middleware-throughput bench.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.broker.errors import BrokerError, ExchangeError, QueueError
+from repro.broker.exchange import Exchange, ExchangeType
+from repro.broker.message import Message
+from repro.broker.queue import MessageQueue
+from repro.broker.connection import Connection
+
+
+@dataclass
+class BrokerStats:
+    """Lifetime broker counters."""
+
+    publishes: int = 0
+    routed: int = 0
+    unroutable: int = 0
+    connections_opened: int = 0
+
+
+class Broker:
+    """An in-process AMQP-style broker.
+
+    Args:
+        clock: optional zero-argument callable returning simulated time;
+            defaults to a constant 0.0 so the broker also works outside a
+            simulation.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._exchanges: Dict[str, Exchange] = {}
+        self._queues: Dict[str, MessageQueue] = {}
+        self._connections: Dict[str, Connection] = {}
+        self._connection_ids = itertools.count(1)
+        self.stats = BrokerStats()
+        # the default (nameless) direct exchange routes straight to the
+        # queue whose name equals the routing key, like AMQP's "".
+        self._default_exchange = Exchange("(default)", ExchangeType.DIRECT)
+
+    def now(self) -> float:
+        """Current simulated time according to the broker's clock."""
+        return self._clock()
+
+    # -- declaration ---------------------------------------------------------
+
+    def declare_exchange(
+        self, name: str, type: ExchangeType, durable: bool = True
+    ) -> Exchange:
+        """Declare an exchange; idempotent when arguments match."""
+        existing = self._exchanges.get(name)
+        if existing is not None:
+            if existing.type is not type:
+                raise ExchangeError(
+                    f"exchange {name!r} already declared as {existing.type.value}, "
+                    f"cannot redeclare as {type.value}"
+                )
+            return existing
+        exchange = Exchange(name, type, durable=durable)
+        self._exchanges[name] = exchange
+        return exchange
+
+    def declare_queue(
+        self,
+        name: str,
+        max_length: Optional[int] = None,
+        message_ttl_s: Optional[float] = None,
+        dead_letter_exchange: Optional[str] = None,
+    ) -> MessageQueue:
+        """Declare a queue; idempotent when arguments match.
+
+        ``dead_letter_exchange`` names an exchange that receives every
+        message this queue drops (TTL expiry, overflow, requeue-less
+        rejection); the drop reason travels in the ``x-death`` header.
+        """
+        existing = self._queues.get(name)
+        if existing is not None:
+            if (
+                existing.max_length != max_length
+                or existing.message_ttl_s != message_ttl_s
+            ):
+                raise QueueError(
+                    f"queue {name!r} already declared with different "
+                    "arguments; cannot redeclare"
+                )
+            return existing
+        dead_letter = None
+        if dead_letter_exchange is not None:
+            if dead_letter_exchange == name:
+                raise QueueError("a queue cannot dead-letter to itself")
+
+            def dead_letter(message: Message, reason: str) -> None:
+                if not self.has_exchange(dead_letter_exchange):
+                    return  # DLX deleted; drops become silent, like AMQP
+                forwarded = message.copy_with(
+                    headers={**message.headers, "x-death": reason}
+                )
+                self.publish(dead_letter_exchange, forwarded)
+
+        queue = MessageQueue(
+            name,
+            max_length=max_length,
+            clock=self._clock,
+            message_ttl_s=message_ttl_s,
+            dead_letter=dead_letter,
+        )
+        self._queues[name] = queue
+        # implicit binding on the default exchange by queue name
+        self._default_exchange.bind(queue, key=name)
+        return queue
+
+    def delete_exchange(self, name: str) -> None:
+        """Delete an exchange; in-flight bindings to it are left to GC."""
+        if name not in self._exchanges:
+            raise ExchangeError(f"unknown exchange {name!r}")
+        del self._exchanges[name]
+
+    def delete_queue(self, name: str) -> int:
+        """Delete a queue; returns the number of ready messages dropped."""
+        queue = self._queues.pop(name, None)
+        if queue is None:
+            raise QueueError(f"unknown queue {name!r}")
+        self._default_exchange.unbind(queue, key=name)
+        return queue.purge()
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get_exchange(self, name: str) -> Exchange:
+        """The exchange named ``name`` ('' for the default exchange)."""
+        if name == "":
+            return self._default_exchange
+        exchange = self._exchanges.get(name)
+        if exchange is None:
+            raise ExchangeError(f"unknown exchange {name!r}")
+        return exchange
+
+    def get_queue(self, name: str) -> MessageQueue:
+        """The queue named ``name``."""
+        queue = self._queues.get(name)
+        if queue is None:
+            raise QueueError(f"unknown queue {name!r}")
+        return queue
+
+    def has_exchange(self, name: str) -> bool:
+        """Whether an exchange named ``name`` exists."""
+        return name in self._exchanges
+
+    def has_queue(self, name: str) -> bool:
+        """Whether a queue named ``name`` exists."""
+        return name in self._queues
+
+    def exchange_names(self) -> List[str]:
+        """Names of all declared exchanges."""
+        return list(self._exchanges)
+
+    def queue_names(self) -> List[str]:
+        """Names of all declared queues."""
+        return list(self._queues)
+
+    # -- binding ----------------------------------------------------------------
+
+    def bind_queue(self, exchange: str, queue: str, key: str = "") -> None:
+        """Bind ``queue`` to ``exchange`` with binding ``key``."""
+        self.get_exchange(exchange).bind(self.get_queue(queue), key=key)
+
+    def bind_exchange(self, source: str, destination: str, key: str = "") -> None:
+        """Bind exchange ``destination`` to exchange ``source``."""
+        self.get_exchange(source).bind(self.get_exchange(destination), key=key)
+
+    def unbind_queue(self, exchange: str, queue: str, key: str = "") -> None:
+        """Remove a queue binding."""
+        self.get_exchange(exchange).unbind(self.get_queue(queue), key=key)
+
+    def unbind_exchange(self, source: str, destination: str, key: str = "") -> None:
+        """Remove an exchange-to-exchange binding."""
+        self.get_exchange(source).unbind(self.get_exchange(destination), key=key)
+
+    # -- publish ------------------------------------------------------------------
+
+    def publish(self, exchange: str, message: Message) -> int:
+        """Route ``message`` through ``exchange``; returns queues reached."""
+        target = self.get_exchange(exchange)
+        queues = target.route(message)
+        self.stats.publishes += 1
+        if queues:
+            self.stats.routed += 1
+        else:
+            self.stats.unroutable += 1
+        for queue in queues:
+            queue.enqueue(message)
+        return len(queues)
+
+    # -- connections ------------------------------------------------------------------
+
+    def connect(self, client_id: Optional[str] = None) -> Connection:
+        """Open a connection for ``client_id`` (auto-generated if omitted)."""
+        connection_id = client_id or f"conn-{next(self._connection_ids)}"
+        if connection_id in self._connections:
+            raise BrokerError(f"connection {connection_id!r} already open")
+        connection = Connection(self, connection_id)
+        self._connections[connection_id] = connection
+        self.stats.connections_opened += 1
+        return connection
+
+    def connection_count(self) -> int:
+        """Number of currently open connections."""
+        return len(self._connections)
+
+    def _forget_connection(self, connection_id: str) -> None:
+        self._connections.pop(connection_id, None)

@@ -1,0 +1,150 @@
+"""Channels: the publish/consume surface of a connection.
+
+A channel wraps the broker with AMQP-flavoured verbs (``basic_publish``,
+``basic_consume``, ``basic_ack``, ...). Publisher confirms are modelled:
+in confirm mode every publish returns a monotonically increasing sequence
+number, and the channel records which publishes were routed to at least
+one queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.broker.errors import BrokerError, PublishUnroutable
+from repro.broker.message import Delivery, Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.broker.broker import Broker
+
+
+class Channel:
+    """A lightweight multiplexed session over a connection."""
+
+    _consumer_tags = itertools.count(1)
+
+    def __init__(self, broker: "Broker", connection_id: str, channel_id: int) -> None:
+        self._broker = broker
+        self.connection_id = connection_id
+        self.channel_id = channel_id
+        self._open = True
+        self._confirm_mode = False
+        self._publish_seq = itertools.count(1)
+        self._confirms: Dict[int, bool] = {}
+        self._consumer_queues: Dict[str, str] = {}  # consumer tag -> queue name
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        """Whether the channel accepts operations."""
+        return self._open
+
+    def close(self) -> None:
+        """Close the channel; cancels its consumers (unacked requeue)."""
+        if not self._open:
+            return
+        for tag, queue_name in list(self._consumer_queues.items()):
+            queue = self._broker.get_queue(queue_name)
+            try:
+                queue.remove_consumer(tag, requeue_unacked=True)
+            except BrokerError:
+                pass  # queue deleted underneath us
+        self._consumer_queues.clear()
+        self._open = False
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise BrokerError(
+                f"channel {self.channel_id} on connection {self.connection_id!r} is closed"
+            )
+
+    # -- publishing ----------------------------------------------------------
+
+    def confirm_select(self) -> None:
+        """Enable publisher confirms on this channel."""
+        self._require_open()
+        self._confirm_mode = True
+
+    def basic_publish(
+        self,
+        exchange: str,
+        routing_key: str,
+        body: object,
+        headers: Optional[dict] = None,
+        mandatory: bool = False,
+        timestamp: Optional[float] = None,
+    ) -> Optional[int]:
+        """Publish ``body`` to ``exchange`` with ``routing_key``.
+
+        Returns the confirm sequence number when confirm mode is on,
+        otherwise None. With ``mandatory=True`` an unroutable publish
+        raises :class:`PublishUnroutable` (basic.return semantics).
+        """
+        self._require_open()
+        message = Message(
+            routing_key=routing_key,
+            body=body,
+            headers=dict(headers or {}),
+            timestamp=timestamp if timestamp is not None else self._broker.now(),
+        )
+        routed = self._broker.publish(exchange, message)
+        seq: Optional[int] = None
+        if self._confirm_mode:
+            seq = next(self._publish_seq)
+            self._confirms[seq] = routed > 0
+        if mandatory and routed == 0:
+            raise PublishUnroutable(exchange, routing_key)
+        return seq
+
+    def confirmed(self, seq: int) -> bool:
+        """Whether publish ``seq`` reached at least one queue.
+
+        Only meaningful in confirm mode; unknown sequence numbers raise.
+        """
+        if seq not in self._confirms:
+            raise BrokerError(f"unknown publish sequence {seq}")
+        return self._confirms[seq]
+
+    # -- consuming ------------------------------------------------------------
+
+    def basic_consume(
+        self,
+        queue: str,
+        callback: Callable[[Delivery], None],
+        prefetch: int = 0,
+        auto_ack: bool = False,
+        consumer_tag: Optional[str] = None,
+    ) -> str:
+        """Register a push consumer on ``queue``; returns the consumer tag."""
+        self._require_open()
+        tag = consumer_tag or f"ctag-{self.connection_id}-{next(self._consumer_tags)}"
+        self._broker.get_queue(queue).add_consumer(
+            tag, callback, prefetch=prefetch, auto_ack=auto_ack
+        )
+        self._consumer_queues[tag] = queue
+        return tag
+
+    def basic_cancel(self, consumer_tag: str) -> None:
+        """Deregister a consumer previously created on this channel."""
+        self._require_open()
+        queue_name = self._consumer_queues.pop(consumer_tag, None)
+        if queue_name is None:
+            raise BrokerError(f"consumer {consumer_tag!r} is not on this channel")
+        self._broker.get_queue(queue_name).remove_consumer(consumer_tag)
+
+    def basic_get(self, queue: str, auto_ack: bool = True) -> Optional[Delivery]:
+        """Pull a single message from ``queue`` (None when empty)."""
+        self._require_open()
+        return self._broker.get_queue(queue).get(auto_ack=auto_ack)
+
+    def basic_ack(self, queue: str, delivery_tag: int) -> None:
+        """Acknowledge a delivery received from ``queue``."""
+        self._require_open()
+        self._broker.get_queue(queue).ack(delivery_tag)
+
+    def basic_nack(self, queue: str, delivery_tag: int, requeue: bool = True) -> None:
+        """Reject a delivery, optionally requeueing it."""
+        self._require_open()
+        self._broker.get_queue(queue).nack(delivery_tag, requeue=requeue)

@@ -1,0 +1,33 @@
+"""Broker-specific errors."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class BrokerError(ReproError):
+    """Base class for message-broker errors."""
+
+
+class ExchangeError(BrokerError):
+    """Unknown exchange, redeclaration mismatch, or bad exchange type."""
+
+
+class QueueError(BrokerError):
+    """Unknown queue, redeclaration mismatch, or queue capacity abuse."""
+
+
+class BindingError(BrokerError):
+    """Invalid binding (bad pattern, unknown endpoints, or cycles)."""
+
+
+class PublishUnroutable(BrokerError):
+    """A mandatory publish did not reach any queue."""
+
+    def __init__(self, exchange: str, routing_key: str) -> None:
+        super().__init__(
+            f"message with routing key {routing_key!r} was not routable "
+            f"from exchange {exchange!r}"
+        )
+        self.exchange = exchange
+        self.routing_key = routing_key

@@ -1,0 +1,175 @@
+"""Exchanges and bindings.
+
+An exchange routes published messages to bound destinations. Destinations
+are queues or other exchanges — exchange-to-exchange bindings are how the
+paper's Figure 3 topology chains each mobile client's exchange into the
+application exchange and the application exchange into the GoFlow
+exchange. Routing is cycle-safe: a message traverses any given exchange
+at most once per publish.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple, Union
+
+from repro.broker.errors import BindingError, ExchangeError
+from repro.broker.message import Message, validate_routing_key
+from repro.broker.queue import MessageQueue
+from repro.broker.topic import TopicMatcher, topic_matches, validate_pattern
+
+
+class ExchangeType(enum.Enum):
+    """Routing discipline of an exchange."""
+
+    DIRECT = "direct"
+    FANOUT = "fanout"
+    TOPIC = "topic"
+
+
+Destination = Union["Exchange", MessageQueue]
+
+
+@dataclass(frozen=True)
+class _BindingKey:
+    """Identity of a binding: destination kind+name and the binding key."""
+
+    dest_kind: str
+    dest_name: str
+    key: str
+
+
+class Exchange:
+    """A named message router.
+
+    Args:
+        name: exchange name, unique within the broker.
+        type: one of :class:`ExchangeType`.
+        durable: cosmetic flag kept for API fidelity (everything is
+            in-memory in this reproduction).
+    """
+
+    def __init__(self, name: str, type: ExchangeType, durable: bool = True) -> None:
+        if not name:
+            raise ExchangeError("exchange name must be non-empty")
+        if not isinstance(type, ExchangeType):
+            raise ExchangeError(f"bad exchange type {type!r}")
+        self.name = name
+        self.type = type
+        self.durable = durable
+        self._bindings: Dict[_BindingKey, Destination] = {}
+        self._topic = TopicMatcher() if type is ExchangeType.TOPIC else None
+        self.published = 0
+
+    # -- binding management -------------------------------------------------
+
+    def bind(self, destination: Destination, key: str = "") -> None:
+        """Bind a queue or another exchange with a binding ``key``.
+
+        For ``direct`` exchanges the key must equal the routing key
+        exactly; for ``topic`` exchanges it is an AMQP pattern; ``fanout``
+        ignores it.
+        """
+        if self.type is ExchangeType.TOPIC:
+            validate_pattern(key)
+        binding = self._binding_key(destination, key)
+        if binding in self._bindings:
+            raise BindingError(
+                f"duplicate binding {key!r} from {self.name!r} to {binding.dest_name!r}"
+            )
+        if isinstance(destination, Exchange) and destination._reaches(self):
+            raise BindingError(
+                f"binding {self.name!r} -> {destination.name!r} would create a cycle"
+            )
+        self._bindings[binding] = destination
+        if self._topic is not None:
+            self._topic.add(key)
+
+    def unbind(self, destination: Destination, key: str = "") -> None:
+        """Remove a binding previously created with :meth:`bind`."""
+        binding = self._binding_key(destination, key)
+        if binding not in self._bindings:
+            raise BindingError(
+                f"no binding {key!r} from {self.name!r} to {binding.dest_name!r}"
+            )
+        del self._bindings[binding]
+        if self._topic is not None:
+            self._topic.remove(key)
+
+    @property
+    def binding_count(self) -> int:
+        """Number of live bindings out of this exchange."""
+        return len(self._bindings)
+
+    def bindings(self) -> List[Tuple[str, str, str]]:
+        """List of (destination kind, destination name, key) tuples."""
+        return [(b.dest_kind, b.dest_name, b.key) for b in self._bindings]
+
+    # -- routing ----------------------------------------------------------------
+
+    def route(self, message: Message) -> List[MessageQueue]:
+        """Resolve the set of queues this publish reaches (no delivery).
+
+        Exchange-to-exchange hops are followed transitively with cycle
+        protection. The returned list is deduplicated, in first-reached
+        order.
+        """
+        validate_routing_key(message.routing_key)
+        self.published += 1
+        queues: List[MessageQueue] = []
+        seen_queues: Set[str] = set()
+        visited_exchanges: Set[str] = set()
+        self._collect(message, queues, seen_queues, visited_exchanges)
+        return queues
+
+    def _collect(
+        self,
+        message: Message,
+        queues: List[MessageQueue],
+        seen_queues: Set[str],
+        visited: Set[str],
+    ) -> None:
+        if self.name in visited:
+            return
+        visited.add(self.name)
+        for binding, destination in self._bindings.items():
+            if not self._key_matches(binding.key, message.routing_key):
+                continue
+            if isinstance(destination, MessageQueue):
+                if destination.name not in seen_queues:
+                    seen_queues.add(destination.name)
+                    queues.append(destination)
+            else:
+                destination._collect(message, queues, seen_queues, visited)
+
+    def _key_matches(self, binding_key: str, routing_key: str) -> bool:
+        if self.type is ExchangeType.FANOUT:
+            return True
+        if self.type is ExchangeType.DIRECT:
+            return binding_key == routing_key
+        return topic_matches(binding_key, routing_key)
+
+    def _reaches(self, other: "Exchange") -> bool:
+        """Whether ``other`` is reachable from this exchange via bindings."""
+        stack: List[Exchange] = [self]
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node.name == other.name:
+                return True
+            if node.name in seen:
+                continue
+            seen.add(node.name)
+            for destination in node._bindings.values():
+                if isinstance(destination, Exchange):
+                    stack.append(destination)
+        return False
+
+    @staticmethod
+    def _binding_key(destination: Destination, key: str) -> _BindingKey:
+        kind = "exchange" if isinstance(destination, Exchange) else "queue"
+        return _BindingKey(dest_kind=kind, dest_name=destination.name, key=key)
+
+    def __repr__(self) -> str:
+        return f"Exchange({self.name!r}, {self.type.value}, bindings={len(self._bindings)})"

@@ -1,0 +1,81 @@
+"""Messages and deliveries.
+
+A :class:`Message` is what publishers hand to an exchange; a
+:class:`Delivery` is a message as seen by a queue consumer, carrying the
+delivery tag needed for acknowledgement and the redelivery flag.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """An immutable-by-convention broker message.
+
+    Attributes:
+        routing_key: dot-separated words used by direct/topic exchanges.
+        body: application payload (any JSON-like structure).
+        headers: application metadata (not used for routing).
+        timestamp: publisher-side simulated time, if the publisher set it.
+        message_id: unique id assigned at construction.
+        content_type: payload MIME hint (GoFlow uses ``application/json``).
+    """
+
+    routing_key: str
+    body: Any
+    headers: Dict[str, Any] = field(default_factory=dict)
+    timestamp: Optional[float] = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    content_type: str = "application/json"
+
+    def copy_with(self, **overrides: Any) -> "Message":
+        """A shallow copy with selected fields replaced (same message_id)."""
+        fields: Dict[str, Any] = {
+            "routing_key": self.routing_key,
+            "body": self.body,
+            "headers": dict(self.headers),
+            "timestamp": self.timestamp,
+            "message_id": self.message_id,
+            "content_type": self.content_type,
+        }
+        fields.update(overrides)
+        return Message(**fields)
+
+
+@dataclass
+class Delivery:
+    """A message delivered from a queue to a consumer."""
+
+    message: Message
+    delivery_tag: int
+    queue_name: str
+    redelivered: bool = False
+    delivered_at: Optional[float] = None
+
+    @property
+    def body(self) -> Any:
+        """Shortcut to the message payload."""
+        return self.message.body
+
+
+def validate_routing_key(routing_key: str) -> None:
+    """Reject keys that cannot participate in topic routing.
+
+    AMQP routing keys are sequences of words separated by dots. Empty
+    words (leading/trailing/double dots) are rejected because their
+    matching semantics are ambiguous across broker implementations.
+    """
+    from repro.broker.errors import BrokerError
+
+    if not isinstance(routing_key, str):
+        raise BrokerError(f"routing key must be a str, got {type(routing_key).__name__}")
+    if routing_key == "":
+        return  # the empty key is legal (fanout publishes often use it)
+    if any(word == "" for word in routing_key.split(".")):
+        raise BrokerError(f"malformed routing key {routing_key!r} (empty word)")

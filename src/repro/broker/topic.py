@@ -1,0 +1,101 @@
+"""AMQP topic-pattern matching.
+
+Patterns are dot-separated words where ``*`` matches exactly one word and
+``#`` matches zero or more words. Matching is implemented with dynamic
+programming over (key word index, pattern word index) — linear-space,
+worst-case O(len(key) x len(pattern)) — rather than regex translation, so
+pathological patterns cannot blow up.
+
+GoFlow's channel management (paper Figure 3) binds with patterns such as
+``FR75013.Feedback.#`` (all feedback at a location) and
+``*.Journey.public`` (public journey announcements anywhere).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.broker.errors import BindingError
+
+_STAR = "*"
+_HASH = "#"
+
+
+def validate_pattern(pattern: str) -> None:
+    """Reject patterns with empty words (e.g. ``a..b`` or ``.a``)."""
+    if not isinstance(pattern, str):
+        raise BindingError(f"pattern must be a str, got {type(pattern).__name__}")
+    if pattern == "":
+        return  # matches only the empty routing key
+    if any(word == "" for word in pattern.split(".")):
+        raise BindingError(f"malformed topic pattern {pattern!r} (empty word)")
+
+
+def topic_matches(pattern: str, routing_key: str) -> bool:
+    """True when ``routing_key`` matches the AMQP topic ``pattern``."""
+    validate_pattern(pattern)
+    pattern_words = pattern.split(".") if pattern else []
+    key_words = routing_key.split(".") if routing_key else []
+    return _match(tuple(pattern_words), tuple(key_words))
+
+
+def _match(pattern: Tuple[str, ...], key: Tuple[str, ...]) -> bool:
+    # match[j] == True means pattern[:i] can match key[:j]
+    n = len(key)
+    match = [True] + [False] * n
+    for word in pattern:
+        if word == _HASH:
+            # '#' absorbs zero or more words: prefix-or over matches so far.
+            running = False
+            for j in range(n + 1):
+                running = running or match[j]
+                match[j] = running
+        elif word == _STAR:
+            # '*' consumes exactly one word, any value.
+            for j in range(n, 0, -1):
+                match[j] = match[j - 1]
+            match[0] = False
+        else:
+            for j in range(n, 0, -1):
+                match[j] = match[j - 1] and key[j - 1] == word
+            match[0] = False
+    return match[n]
+
+
+class TopicMatcher:
+    """A set of patterns with memoized per-key matching.
+
+    Topic exchanges hold one matcher; binding churn invalidates the memo.
+    """
+
+    def __init__(self) -> None:
+        self._patterns: Dict[str, int] = {}
+        self._cache: Dict[str, List[str]] = {}
+
+    def add(self, pattern: str) -> None:
+        """Register ``pattern`` (reference-counted for duplicate bindings)."""
+        validate_pattern(pattern)
+        self._patterns[pattern] = self._patterns.get(pattern, 0) + 1
+        self._cache.clear()
+
+    def remove(self, pattern: str) -> None:
+        """Drop one reference to ``pattern``."""
+        count = self._patterns.get(pattern)
+        if count is None:
+            raise BindingError(f"pattern {pattern!r} is not registered")
+        if count == 1:
+            del self._patterns[pattern]
+        else:
+            self._patterns[pattern] = count - 1
+        self._cache.clear()
+
+    def matching(self, routing_key: str) -> List[str]:
+        """All registered patterns matching ``routing_key``."""
+        hit = self._cache.get(routing_key)
+        if hit is None:
+            hit = [p for p in self._patterns if topic_matches(p, routing_key)]
+            self._cache[routing_key] = hit
+        return hit
+
+    def __len__(self) -> int:
+        return len(self._patterns)

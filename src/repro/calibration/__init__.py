@@ -1,0 +1,33 @@
+"""Sensor calibration.
+
+§5.2: "we are thus maintaining a calibration database where we assess
+the bias of a particular model compared to a reference sound level
+meter ... we therefore organize 'calibration parties' to meet with our
+users and calibrate their phones." And §8 (future work): "We expect
+crowd-sensing to be accompanied with crowd-calibration which calibrates
+individual devices based on each other's devices."
+
+- :mod:`repro.calibration.fit` — least-squares gain/offset fits against
+  a reference sound-level meter (the calibration-party procedure);
+- :mod:`repro.calibration.database` — the per-model calibration
+  database, with the paper's central claim baked into its design:
+  calibration is maintained *per model*, not per device;
+- :mod:`repro.calibration.crowdcal` — the future-work extension:
+  co-location-based crowd calibration that estimates relative offsets
+  between models from pairs of observations taken close together in
+  space and time, anchored at reference-calibrated models.
+"""
+
+from repro.calibration.fit import CalibrationFit, fit_linear_response
+from repro.calibration.database import CalibrationDatabase, CalibrationRecord
+from repro.calibration.crowdcal import CoLocationPair, CrowdCalibrator, find_pairs
+
+__all__ = [
+    "CalibrationDatabase",
+    "CalibrationFit",
+    "CalibrationRecord",
+    "CoLocationPair",
+    "CrowdCalibrator",
+    "find_pairs",
+    "fit_linear_response",
+]

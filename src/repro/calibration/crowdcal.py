@@ -1,0 +1,146 @@
+"""Crowd calibration (the paper's future-work extension, §8).
+
+"We expect crowd-sensing to be accompanied with crowd-calibration which
+calibrates individual devices based on each other's devices."
+
+Method: when two devices observe the same place at (nearly) the same
+time, the *difference* of their readings estimates the difference of
+their offsets. Collecting many such co-location pairs yields a linear
+system over per-model offsets:
+
+    offset[a] - offset[b] ≈ reading_a - reading_b      (for each pair)
+
+solved in the least-squares sense, anchored by one or more models whose
+offsets are known from reference calibration (otherwise the system is
+only determined up to a global constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.calibration.fit import CalibrationFit
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CoLocationPair:
+    """Two near-simultaneous, near-co-located readings."""
+
+    model_a: str
+    model_b: str
+    reading_a_db: float
+    reading_b_db: float
+
+    @property
+    def delta_db(self) -> float:
+        """Estimated offset difference offset[a] - offset[b]."""
+        return self.reading_a_db - self.reading_b_db
+
+
+def find_pairs(
+    documents: Sequence[Mapping],
+    max_distance_m: float = 50.0,
+    max_dt_s: float = 120.0,
+) -> List[CoLocationPair]:
+    """Mine co-location pairs out of stored observation documents.
+
+    Documents need ``model``, ``noise_dba``, ``taken_at`` and a
+    ``location`` with ``x_m``/``y_m``. A simple time-sorted sweep keeps
+    the scan near-linear.
+    """
+    if max_distance_m <= 0 or max_dt_s <= 0:
+        raise ConfigurationError("pair thresholds must be > 0")
+    localized = [
+        d
+        for d in documents
+        if isinstance(d.get("location"), Mapping)
+        and "x_m" in d["location"]
+        and "y_m" in d["location"]
+    ]
+    localized.sort(key=lambda d: d["taken_at"])
+    pairs: List[CoLocationPair] = []
+    for i, doc_a in enumerate(localized):
+        for doc_b in localized[i + 1 :]:
+            if doc_b["taken_at"] - doc_a["taken_at"] > max_dt_s:
+                break
+            if doc_a["model"] == doc_b["model"]:
+                continue
+            dx = doc_a["location"]["x_m"] - doc_b["location"]["x_m"]
+            dy = doc_a["location"]["y_m"] - doc_b["location"]["y_m"]
+            if dx * dx + dy * dy > max_distance_m**2:
+                continue
+            pairs.append(
+                CoLocationPair(
+                    model_a=doc_a["model"],
+                    model_b=doc_b["model"],
+                    reading_a_db=doc_a["noise_dba"],
+                    reading_b_db=doc_b["noise_dba"],
+                )
+            )
+    return pairs
+
+
+class CrowdCalibrator:
+    """Solves the pairwise-difference system for per-model offsets."""
+
+    def __init__(self, anchors: Optional[Mapping[str, float]] = None) -> None:
+        #: model -> known offset (from reference calibration parties)
+        self.anchors: Dict[str, float] = dict(anchors or {})
+
+    def solve(
+        self, pairs: Sequence[CoLocationPair], anchor_weight: float = 100.0
+    ) -> Dict[str, float]:
+        """Estimate every observed model's offset (dB).
+
+        Returns model -> estimated offset. Raises when the pair graph
+        is empty, or when no anchor is available at all (the system
+        would be rank-deficient).
+        """
+        if not pairs:
+            raise ConfigurationError("no co-location pairs to solve from")
+        models = sorted(
+            {p.model_a for p in pairs}
+            | {p.model_b for p in pairs}
+            | set(self.anchors)
+        )
+        index = {m: k for k, m in enumerate(models)}
+        anchored = [m for m in models if m in self.anchors]
+        if not anchored:
+            raise ConfigurationError(
+                "crowd calibration needs at least one anchored model"
+            )
+        rows: List[np.ndarray] = []
+        rhs: List[float] = []
+        for pair in pairs:
+            row = np.zeros(len(models))
+            row[index[pair.model_a]] = 1.0
+            row[index[pair.model_b]] = -1.0
+            rows.append(row)
+            rhs.append(pair.delta_db)
+        for model in anchored:
+            row = np.zeros(len(models))
+            row[index[model]] = anchor_weight
+            rows.append(row)
+            rhs.append(anchor_weight * self.anchors[model])
+        design = np.vstack(rows)
+        target = np.asarray(rhs)
+        solution, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+        return {model: float(solution[index[model]]) for model in models}
+
+    def to_fits(
+        self, offsets: Mapping[str, float], residual_std_db: float = 2.5
+    ) -> Dict[str, CalibrationFit]:
+        """Wrap solved offsets as unit-gain calibration fits."""
+        return {
+            model: CalibrationFit(
+                gain=1.0,
+                offset_db=offset,
+                residual_std_db=residual_std_db,
+                sample_count=0,
+            )
+            for model, offset in offsets.items()
+        }

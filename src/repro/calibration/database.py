@@ -1,0 +1,109 @@
+"""The per-model calibration database.
+
+§5.2's empirical finding: "the heterogeneity of sensors may be tamed at
+the model level" — within one model, devices agree (Figure 15), so one
+fit per model calibrates the whole sub-fleet. Records are persisted in
+the document store so GoFlow background jobs can apply them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.calibration.fit import CalibrationFit, fit_linear_response
+from repro.core.errors import NotFoundError, ValidationError
+from repro.docstore.store import DocumentStore
+
+
+@dataclass(frozen=True)
+class CalibrationRecord:
+    """One model's calibration entry."""
+
+    model: str
+    fit: CalibrationFit
+    method: str  # 'reference-party' | 'crowd'
+
+
+class CalibrationDatabase:
+    """Stores and applies per-model calibrations."""
+
+    def __init__(self, store: Optional[DocumentStore] = None) -> None:
+        self._records: Dict[str, CalibrationRecord] = {}
+        self._collection = (
+            store.collection("calibration") if store is not None else None
+        )
+
+    # -- maintenance ----------------------------------------------------------
+
+    def record_party(
+        self, model: str, reference_db: np.ndarray, measured_db: np.ndarray
+    ) -> CalibrationRecord:
+        """Ingest a calibration-party session for ``model``."""
+        fit = fit_linear_response(reference_db, measured_db)
+        record = CalibrationRecord(model=model, fit=fit, method="reference-party")
+        self._store(record)
+        return record
+
+    def record_fit(
+        self, model: str, fit: CalibrationFit, method: str = "crowd"
+    ) -> CalibrationRecord:
+        """Store an externally computed fit (e.g. crowd calibration)."""
+        if method not in ("reference-party", "crowd"):
+            raise ValidationError(f"unknown calibration method {method!r}")
+        record = CalibrationRecord(model=model, fit=fit, method=method)
+        self._store(record)
+        return record
+
+    def _store(self, record: CalibrationRecord) -> None:
+        self._records[record.model] = record
+        if self._collection is not None:
+            self._collection.update_one(
+                {"model": record.model},
+                {
+                    "$set": {
+                        "gain": record.fit.gain,
+                        "offset_db": record.fit.offset_db,
+                        "residual_std_db": record.fit.residual_std_db,
+                        "sample_count": record.fit.sample_count,
+                        "method": record.method,
+                    }
+                },
+                upsert=True,
+            )
+
+    # -- lookup & application ------------------------------------------------------
+
+    def has(self, model: str) -> bool:
+        """Whether a calibration exists for ``model``."""
+        return model in self._records
+
+    def get(self, model: str) -> CalibrationRecord:
+        """The calibration record of ``model``."""
+        record = self._records.get(model)
+        if record is None:
+            raise NotFoundError(f"no calibration for model {model!r}")
+        return record
+
+    def models(self) -> List[str]:
+        """Calibrated model names."""
+        return sorted(self._records)
+
+    def correct(self, model: str, measured_db: float) -> float:
+        """Correct one measurement; uncalibrated models pass through."""
+        record = self._records.get(model)
+        if record is None:
+            return measured_db
+        return record.fit.correct(measured_db)
+
+    def sensor_sigma_db(self, model: str, default: float = 5.0) -> float:
+        """Residual sensor error after calibration (feeds BLUE's R).
+
+        Uncalibrated models get the pessimistic ``default``.
+        """
+        record = self._records.get(model)
+        if record is None:
+            return default
+        return max(0.5, record.fit.residual_std_db)

@@ -1,0 +1,64 @@
+"""Least-squares calibration fits.
+
+A calibration party puts a phone next to a reference sound-level meter
+through a range of noise levels; the fit estimates the device's linear
+response ``measured = gain * true + offset`` and its inverse is then
+applied to field measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CalibrationFit:
+    """An estimated linear response with fit quality."""
+
+    gain: float
+    offset_db: float
+    residual_std_db: float
+    sample_count: int
+
+    def correct(self, measured_db: float) -> float:
+        """Map a field measurement back to the true-level estimate."""
+        if self.gain == 0:
+            raise ConfigurationError("cannot invert a zero-gain fit")
+        return (measured_db - self.offset_db) / self.gain
+
+    def correct_many(self, measured_db: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`correct`."""
+        if self.gain == 0:
+            raise ConfigurationError("cannot invert a zero-gain fit")
+        return (np.asarray(measured_db, dtype=float) - self.offset_db) / self.gain
+
+
+def fit_linear_response(
+    reference_db: np.ndarray, measured_db: np.ndarray
+) -> CalibrationFit:
+    """Least-squares fit of measured = gain * reference + offset.
+
+    Requires at least 3 points spanning a non-degenerate level range.
+    """
+    reference = np.asarray(reference_db, dtype=float)
+    measured = np.asarray(measured_db, dtype=float)
+    if reference.shape != measured.shape:
+        raise ConfigurationError("reference and measured shapes differ")
+    if reference.size < 3:
+        raise ConfigurationError("calibration needs at least 3 samples")
+    if float(np.std(reference)) < 1e-9:
+        raise ConfigurationError("reference levels are degenerate (no spread)")
+    design = np.column_stack([reference, np.ones_like(reference)])
+    coeffs, _, _, _ = np.linalg.lstsq(design, measured, rcond=None)
+    gain, offset = float(coeffs[0]), float(coeffs[1])
+    residuals = measured - (gain * reference + offset)
+    return CalibrationFit(
+        gain=gain,
+        offset_db=offset,
+        residual_std_db=float(np.std(residuals)),
+        sample_count=int(reference.size),
+    )

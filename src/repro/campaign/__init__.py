@@ -1,0 +1,26 @@
+"""Campaign orchestration: the end-to-end experiments.
+
+- :class:`FleetCampaign` — runs a scaled SoundCity deployment end to
+  end: population -> sensing schedulers -> GoFlow clients -> broker ->
+  GoFlow server -> document store. Every figure bench that analyzes
+  "the dataset" analyzes the store this campaign populates.
+- :class:`EnergyExperiment` — the §5.3 battery-depletion protocol
+  (Figure 16): one device, 10 AM-5 PM, 1-minute sensing, configurations
+  {no app, unbuffered, buffered} x {WiFi, 3G}.
+- :class:`AssimilationExperiment` — crowd observations correcting a
+  perturbed city noise map with BLUE (the §4.2 engine end to end).
+"""
+
+from repro.campaign.fleet import CampaignConfig, CampaignResult, FleetCampaign
+from repro.campaign.energy import EnergyExperiment, EnergyRun
+from repro.campaign.assimilate import AssimilationExperiment, AssimilationResult
+
+__all__ = [
+    "AssimilationExperiment",
+    "AssimilationResult",
+    "CampaignConfig",
+    "CampaignResult",
+    "EnergyExperiment",
+    "EnergyRun",
+    "FleetCampaign",
+]

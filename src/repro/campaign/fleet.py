@@ -1,0 +1,296 @@
+"""The fleet campaign: a scaled SoundCity deployment, end to end.
+
+Everything the analysis benches consume flows through the real stack:
+each user's scheduler produces observations, the GoFlow client buffers
+and uplinks them per its version's policy over the user's connectivity,
+the broker routes them through the Figure 3 topology, the GoFlow server
+ingests them through the privacy policy into the document store, and
+the analytics engine queries the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.client.client import GoFlowClient
+from repro.client.uplink import BrokerUplink
+from repro.client.versions import AppVersion
+from repro.core.server import GoFlowServer
+from repro.crowd.connectivity import ConnectivityParams
+from repro.crowd.population import Population, User
+from repro.devices.registry import DeviceRegistry
+from repro.errors import ConfigurationError
+from repro.sensing.scheduler import SensingScheduler
+from repro.simulation.engine import Simulator
+
+APP_ID = "SC"
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Parameters of one campaign run.
+
+    The defaults give a quick (~seconds) run; benches scale up as
+    needed. ``scale`` is relative to the paper's 2,091-device fleet.
+    """
+
+    seed: int = 0
+    scale: float = 0.02
+    days: float = 2.0
+    app_version: AppVersion = AppVersion.V1_2_9
+    opportunistic_period_s: float = 300.0
+    manual_per_user_day: float = 0.6
+    journeys_per_user_day: float = 0.05
+    journey_duration_s: float = 900.0
+    journey_frequency_s: float = 60.0
+    city_extent_m: float = 10_000.0
+    share_rate: float = 1.0
+    connectivity: Optional[ConnectivityParams] = None
+    #: optional city noise model; when set, phones sense the city field
+    #: (via CitySoundscape) instead of the homogeneous mixture, making
+    #: the campaign's observations assimilable
+    city_model: Optional[object] = None
+    #: optional release timeline: ((release_day, version), ...) sorted by
+    #: day. A user installs the version current at their install date
+    #: (the paper shipped v1.1 in July, v1.2.9 in November, v1.3 in
+    #: April). When set, ``app_version`` is ignored.
+    version_timeline: Optional[Tuple[Tuple[float, AppVersion], ...]] = None
+    #: when True (and a timeline is set), existing installs upgrade to
+    #: each new release on its day, like Play-store auto-updates; when
+    #: False a user keeps their install-time version forever.
+    upgrade_in_place: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or self.days <= 0:
+            raise ConfigurationError("scale and days must be > 0")
+        if self.version_timeline is not None:
+            if not self.version_timeline:
+                raise ConfigurationError("version timeline must be non-empty")
+            days = [day for day, _ in self.version_timeline]
+            if days != sorted(days):
+                raise ConfigurationError("version timeline must be sorted by day")
+            if days[0] > 0.0:
+                raise ConfigurationError(
+                    "version timeline must cover day 0 (the launch release)"
+                )
+
+    def version_at(self, install_time_s: float) -> AppVersion:
+        """The release a user installing at ``install_time_s`` gets."""
+        if self.version_timeline is None:
+            return self.app_version
+        current = self.version_timeline[0][1]
+        for release_day, version in self.version_timeline:
+            if install_time_s >= release_day * SECONDS_PER_DAY:
+                current = version
+            else:
+                break
+        return current
+
+
+@dataclass
+class CampaignResult:
+    """Everything a bench needs after a run."""
+
+    config: CampaignConfig
+    server: GoFlowServer
+    population: Population
+    produced: int
+    ingested: int
+    pending_on_devices: int
+
+    @property
+    def analytics(self):
+        """The server's analytics engine."""
+        return self.server.analytics
+
+    def scale_factor(self) -> float:
+        """Multiplier from this run's fleet to the paper's fleet."""
+        return 1.0 / self.config.scale
+
+
+class FleetCampaign:
+    """Builds and runs one campaign."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None) -> None:
+        self.config = config or CampaignConfig()
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign and return the populated stack."""
+        config = self.config
+        simulator = Simulator(seed=config.seed)
+        server = GoFlowServer(clock=lambda: simulator.now)
+        server.register_app(APP_ID)
+        population = Population(
+            simulator.rngs,
+            registry=DeviceRegistry(),
+            scale=config.scale,
+            campaign_days=config.days,
+            city_extent_m=config.city_extent_m,
+            share_rate=config.share_rate,
+            connectivity_params=config.connectivity,
+        )
+        horizon = config.days * SECONDS_PER_DAY
+        soundscape = None
+        if config.city_model is not None:
+            from repro.noise.cityscape import CitySoundscape
+
+            soundscape = CitySoundscape(config.city_model)
+        schedulers: List[SensingScheduler] = []
+        clients: List[GoFlowClient] = []
+        for user in population.sharing_users():
+            scheduler, client = self._install_user(
+                simulator, server, user, horizon, soundscape
+            )
+            schedulers.append(scheduler)
+            clients.append(client)
+        if config.upgrade_in_place and config.version_timeline is not None:
+            for release_day, version in config.version_timeline:
+                release_time = release_day * SECONDS_PER_DAY
+                if 0.0 < release_time < horizon:
+                    simulator.at(
+                        release_time,
+                        lambda v=version: self._upgrade_fleet(clients, v),
+                        label=f"release:{version.value}",
+                    )
+        simulator.run_until(horizon)
+        produced = sum(s.produced for s in schedulers)
+        pending = sum(c.pending for c in clients)
+        return CampaignResult(
+            config=config,
+            server=server,
+            population=population,
+            produced=produced,
+            ingested=server.ingested,
+            pending_on_devices=pending,
+        )
+
+    @staticmethod
+    def _upgrade_fleet(clients: List[GoFlowClient], version: AppVersion) -> None:
+        """Push a release to every installed client (store auto-update)."""
+        for client in clients:
+            client.version = version
+
+    # -- per-user wiring --------------------------------------------------------
+
+    def _install_user(
+        self,
+        simulator: Simulator,
+        server: GoFlowServer,
+        user: User,
+        horizon: float,
+        soundscape=None,
+    ):
+        config = self.config
+        credentials = server.enroll_user(APP_ID, user.user_id, "pw-" + user.user_id)
+        uplink = BrokerUplink(
+            server.broker, credentials["exchange"], app_id=APP_ID
+        )
+        client = GoFlowClient(
+            user.user_id,
+            config.version_at(user.installed_at_s),
+            uplink,
+            clock=lambda: simulator.now,
+            connectivity=user.connectivity,
+        )
+        context = user.context().bind_clock(lambda: simulator.now)
+        microphone = None
+        if soundscape is not None:
+            from repro.sensing.microphone import Microphone
+
+            microphone = Microphone(user.model, soundscape=soundscape)
+        scheduler = SensingScheduler(
+            simulator,
+            user.user_id,
+            user.model,
+            context,
+            client.on_observation,
+            simulator.rngs.stream(f"sensing.{user.user_id}"),
+            microphone=microphone,
+            opportunistic_period_s=config.opportunistic_period_s,
+        )
+        start = max(user.installed_at_s, 0.0)
+        if start < horizon:
+            simulator.at(
+                start,
+                lambda s=scheduler, h=horizon: s.start_opportunistic(until=h),
+                label=f"install:{user.user_id}",
+            )
+            self._schedule_participatory(simulator, scheduler, user, start, horizon)
+        return scheduler, client
+
+    def _schedule_participatory(
+        self,
+        simulator: Simulator,
+        scheduler: SensingScheduler,
+        user: User,
+        start: float,
+        horizon: float,
+    ) -> None:
+        """Draw manual senses and journeys over the user's active days."""
+        config = self.config
+        rng = simulator.rngs.stream(f"participatory.{user.user_id}")
+        active_days = max(0.0, (horizon - start) / SECONDS_PER_DAY)
+        # engaged users sense more in *every* mode: scale participatory
+        # rates by the user's availability so the opportunistic /
+        # participatory mix stays constant across engagement levels
+        engagement = min(1.5, user.profile.expected_daily_share / 0.25)
+        manual_count = int(
+            rng.poisson(config.manual_per_user_day * active_days * engagement)
+        )
+        hours = user.profile.normalized()
+        for _ in range(manual_count):
+            when = self._draw_active_time(rng, hours, start, horizon)
+            if when is not None:
+                simulator.at(
+                    when,
+                    lambda s=scheduler: s.sense_now(),
+                    label=f"manual:{user.user_id}",
+                )
+        journey_count = int(
+            rng.poisson(config.journeys_per_user_day * active_days * engagement)
+        )
+        for _ in range(journey_count):
+            when = self._draw_active_time(rng, hours, start, horizon)
+            if when is None:
+                continue
+            duration = min(config.journey_duration_s, horizon - when)
+            if duration <= config.journey_frequency_s:
+                continue
+            simulator.at(
+                when,
+                lambda s=scheduler, d=duration: self._safe_start_journey(s, d),
+                label=f"journey:{user.user_id}",
+            )
+
+    def _safe_start_journey(self, scheduler: SensingScheduler, duration: float) -> None:
+        config = self.config
+        try:
+            scheduler.start_journey(config.journey_frequency_s, duration)
+        except ConfigurationError:
+            pass  # a previous journey still running; skip this one
+
+    @staticmethod
+    def _draw_active_time(
+        rng: np.random.Generator,
+        hourly_distribution: np.ndarray,
+        start: float,
+        horizon: float,
+    ) -> Optional[float]:
+        """A time in [start, horizon) at an hour the user is active."""
+        if horizon <= start:
+            return None
+        for _ in range(20):
+            day = int(rng.integers(0, max(1, int(np.ceil((horizon - start) / SECONDS_PER_DAY)))))
+            hour = int(rng.choice(24, p=hourly_distribution))
+            when = (
+                (start // SECONDS_PER_DAY + day) * SECONDS_PER_DAY
+                + hour * 3600.0
+                + float(rng.uniform(0, 3600.0))
+            )
+            if start <= when < horizon:
+                return when
+        return None

@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Runs the reproduction's main experiments without writing code:
+
+- ``repro campaign``  — a fleet campaign; prints the headline dataset
+  statistics (totals, provider mix, activity distribution, delays);
+- ``repro energy``    — the Figure 16 battery matrix;
+- ``repro assimilate``— the assimilation experiment with calibration;
+- ``repro models``    — the Figure 9 seed table from the registry.
+
+Every command takes ``--seed`` for reproducibility. The module is the
+``repro`` console script (see pyproject) and is also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.delays import summarize_delays
+from repro.analysis.reports import format_distribution, format_table
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignConfig, FleetCampaign
+    from repro.client.versions import AppVersion
+
+    config = CampaignConfig(
+        seed=args.seed,
+        scale=args.scale,
+        days=args.days,
+        app_version=AppVersion(args.version),
+    )
+    result = FleetCampaign(config).run()
+    analytics = result.analytics
+    totals = analytics.totals()
+    print(
+        f"fleet: {len(result.population)} devices | produced "
+        f"{result.produced} | stored {totals['total']} | localized "
+        f"{totals['localized']} ({100 * totals['localized'] / totals['total']:.1f} %)"
+    )
+    print()
+    print(format_distribution(analytics.provider_shares(), title="location providers"))
+    print()
+    print(
+        format_distribution(
+            analytics.activity_distribution(), title="activities"
+        )
+    )
+    summary = summarize_delays(analytics.transmission_delays())
+    print(
+        f"\ndelays: {100 * summary.within_10s:.0f} % <=10s | "
+        f"{100 * summary.within_1h:.0f} % <=1h | "
+        f"{100 * summary.over_2h:.0f} % >2h (median {summary.median_s:.0f} s)"
+    )
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    from repro.campaign.energy import EnergyExperiment
+
+    experiment = EnergyExperiment(model_name=args.model, seed=args.seed)
+    runs = experiment.run_all()
+    baseline = runs[0].depletion
+    rows = [
+        {
+            "configuration": run.label,
+            "depletion (pts)": f"{100 * run.depletion:.2f}",
+            "vs no-app": f"{run.depletion / baseline:.2f}x",
+        }
+        for run in runs
+    ]
+    print(format_table(rows, ["configuration", "depletion (pts)", "vs no-app"],
+                       title="Figure 16 protocol (10AM-5PM, 1-min sensing)"))
+    return 0
+
+
+def _cmd_assimilate(args: argparse.Namespace) -> int:
+    from repro.campaign.assimilate import AssimilationExperiment
+
+    experiment = AssimilationExperiment(seed=args.seed)
+    calibration = (
+        experiment.calibration_from_party(args.model) if args.calibrate else None
+    )
+    observations = experiment.draw_observations(
+        args.count,
+        accuracy_m=args.accuracy,
+        model_name=args.model,
+        calibration=calibration,
+    )
+    result = experiment.assimilate(
+        observations, screen_k=args.screen if args.screen > 0 else None
+    )
+    print(
+        f"observations: {result.observation_count} | background RMSE "
+        f"{result.background_rmse:.2f} dB | analysis RMSE "
+        f"{result.analysis_rmse:.2f} dB | improvement "
+        f"{100 * result.improvement:.0f} %"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate the paper's figure statistics from one campaign."""
+    import numpy as np
+
+    from repro.analysis.histograms import accuracy_histogram
+    from repro.campaign import CampaignConfig, FleetCampaign
+
+    config = CampaignConfig(seed=args.seed, scale=args.scale, days=args.days)
+    result = FleetCampaign(config).run()
+    analytics = result.analytics
+    totals = analytics.totals()
+
+    print(f"== Figure 8/9 — dataset ({1 / config.scale:.0f}x scale) ==")
+    print(
+        f"observations {totals['total']} | localized {totals['localized']} "
+        f"({100 * totals['localized'] / totals['total']:.1f} %, paper ~40 %)"
+    )
+    table = analytics.per_model_table()
+    print(f"contributing models: {len(table)}")
+
+    print("\n== Figures 10-13 — location accuracy ==")
+    print(format_distribution(analytics.provider_shares(), title="provider shares"))
+    for provider in ("gps", "network", "fused"):
+        values = analytics.accuracy_values(provider=provider)
+        if values:
+            histogram = accuracy_histogram(values)
+            top = max(histogram, key=lambda k: histogram[k])
+            print(f"{provider:<8} modal bucket: {top} "
+                  f"({100 * histogram[top]:.0f} % of fixes)")
+
+    print("\n== Figure 18 — daily distribution ==")
+    hourly = analytics.hourly_distribution()
+    peak = int(np.argmax(hourly))
+    daytime = sum(hourly[10:21])
+    print(f"peak hour {peak}h | 10AM-9PM share {100 * daytime:.0f} % "
+          "(paper: plateau 10AM-9PM)")
+
+    print("\n== Figure 21 — activities ==")
+    print(format_distribution(analytics.activity_distribution()))
+
+    print("\n== Figure 17 — delays ==")
+    summary = summarize_delays(analytics.transmission_delays())
+    print(
+        f"<=10s {100 * summary.within_10s:.0f} % | <=1h "
+        f"{100 * summary.within_1h:.0f} % | >2h {100 * summary.over_2h:.0f} %"
+    )
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.devices.models import TOP20_MODELS
+
+    rows = [
+        {
+            "model": f"{model.manufacturer} {model.name}",
+            "devices": model.devices,
+            "measurements": model.measurements,
+            "localized": model.localized,
+            "mic offset": f"{model.mic.offset_db:+.1f} dB",
+        }
+        for model in TOP20_MODELS
+    ]
+    print(
+        format_table(
+            rows,
+            ["model", "devices", "measurements", "localized", "mic offset"],
+            title="Figure 9 — the top-20 fleet",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dos and Don'ts in Mobile Phone "
+        "Sensing Middleware' (Middleware 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run a fleet campaign")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--scale", type=float, default=0.02,
+                          help="fleet scale vs the paper's 2,091 devices")
+    campaign.add_argument("--days", type=float, default=2.0)
+    campaign.add_argument(
+        "--version", choices=["1.1", "1.2.9", "1.3"], default="1.2.9"
+    )
+    campaign.set_defaults(func=_cmd_campaign)
+
+    energy = sub.add_parser("energy", help="run the Figure 16 battery matrix")
+    energy.add_argument("--seed", type=int, default=0)
+    energy.add_argument("--model", default="A0001")
+    energy.set_defaults(func=_cmd_energy)
+
+    assimilate = sub.add_parser("assimilate", help="run a BLUE experiment")
+    assimilate.add_argument("--seed", type=int, default=0)
+    assimilate.add_argument("--count", type=int, default=150)
+    assimilate.add_argument("--accuracy", type=float, default=30.0)
+    assimilate.add_argument("--model", default="A0001")
+    assimilate.add_argument("--no-calibrate", dest="calibrate",
+                            action="store_false")
+    assimilate.add_argument("--screen", type=float, default=3.0,
+                            help="innovation-screening k (0 disables)")
+    assimilate.set_defaults(func=_cmd_assimilate)
+
+    models = sub.add_parser("models", help="print the Figure 9 fleet table")
+    models.set_defaults(func=_cmd_models)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate the paper's figure statistics"
+    )
+    figures.add_argument("--seed", type=int, default=42)
+    figures.add_argument("--scale", type=float, default=0.02)
+    figures.add_argument("--days", type=float, default=2.0)
+    figures.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The GoFlow mobile client.
+
+§5.3: "We have implemented two versions of the GoFlow client: one sends
+the measurements after each observation (every 5 min by default); the
+other buffers a series of 10 measurements before sending them (hence
+every 50 min by default). In both cases, if there is no network
+connection at the time of emission, the measurements are sent at the
+next cycle."
+
+Three released versions are modelled (Figure 17):
+
+========  ==============  =======================================
+version   buffering       notes
+========  ==============  =======================================
+v1.1      none            initial release, reconnects per publish
+v1.2.9    none            optimized RabbitMQ usage (long-lived
+                          channel; cheaper transmissions)
+v1.3      10 observations energy-delay tradeoff release
+========  ==============  =======================================
+"""
+
+from repro.client.versions import AppVersion
+from repro.client.buffer import ObservationBuffer
+from repro.client.uplink import BrokerUplink, TransmitResult, Uplink
+from repro.client.client import ClientStats, GoFlowClient
+
+__all__ = [
+    "AppVersion",
+    "BrokerUplink",
+    "ClientStats",
+    "GoFlowClient",
+    "ObservationBuffer",
+    "TransmitResult",
+    "Uplink",
+]

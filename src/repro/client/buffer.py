@@ -1,0 +1,63 @@
+"""The client-side observation outbox.
+
+Holds observations that have been produced but not yet acknowledged by
+the server. Distinct from broker-side queues: this buffer lives on the
+phone and survives connectivity gaps — it is what makes the "sent at the
+next cycle" retry semantics (§5.3) possible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sensing.scheduler import Observation
+
+
+class ObservationBuffer:
+    """FIFO outbox with an optional capacity.
+
+    When full, the *oldest* observation is evicted (the freshest data is
+    the most valuable for a live pollution map).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[Observation] = deque()
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def push(self, observation: Observation) -> None:
+        """Append an observation, evicting the oldest when full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._items.popleft()
+            self.evicted += 1
+        self._items.append(observation)
+
+    def drain(self) -> List[Observation]:
+        """Remove and return everything, oldest first."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def peek_all(self) -> List[Observation]:
+        """Everything, oldest first, without removing."""
+        return list(self._items)
+
+    def requeue_front(self, observations: List[Observation]) -> None:
+        """Put back observations after a failed transmission (order kept)."""
+        for observation in reversed(observations):
+            self._items.appendleft(observation)
+
+    @property
+    def oldest_taken_at(self) -> Optional[float]:
+        """Timestamp of the oldest pending observation."""
+        return self._items[0].taken_at if self._items else None

@@ -1,0 +1,153 @@
+"""The GoFlow client: buffering, cycles, retries, and energy accounting.
+
+Behavioural contract (from §5.3):
+
+- every produced observation enters the outbox;
+- an uplink is *attempted* when the outbox holds at least
+  ``version.buffer_size`` observations (1 for v1.1/v1.2.9, 10 for v1.3);
+- if the device is offline at that moment, nothing happens — the
+  observations wait for "the next cycle", i.e. the next attempt
+  (triggered by the next observation, or by :meth:`flush` calls);
+- a transmission pays one radio wake-up regardless of batch size, which
+  is the buffering energy saving of Figure 16;
+- per-observation transmission delay (server receive time minus
+  ``taken_at``) is recorded for Figure 17.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.broker.errors import BrokerError
+from repro.client.buffer import ObservationBuffer
+from repro.client.uplink import Uplink
+from repro.client.versions import AppVersion
+from repro.crowd.connectivity import ConnectivityModel
+from repro.devices.battery import Battery, NetworkKind
+from repro.errors import ConfigurationError
+from repro.sensing.scheduler import Observation
+
+
+@dataclass
+class ClientStats:
+    """Lifetime counters of one client."""
+
+    produced: int = 0
+    transmissions: int = 0
+    sent: int = 0
+    failed_attempts: int = 0
+    delays_s: List[float] = field(default_factory=list)
+
+
+class GoFlowClient:
+    """The on-phone middleware client of one user.
+
+    Args:
+        user_id: owner.
+        version: release behaviour (buffering, session overhead).
+        uplink: transport to the server.
+        connectivity: the user's connectivity model (None = always on).
+        battery: charged for transmissions when provided.
+        clock: simulated-time source for delay computation.
+        latency_s: fixed one-way network latency added to deliveries
+            (the paper's "within 10 s" fast path).
+    """
+
+    def __init__(
+        self,
+        user_id: str,
+        version: AppVersion,
+        uplink: Uplink,
+        clock: Callable[[], float],
+        connectivity: Optional[ConnectivityModel] = None,
+        battery: Optional[Battery] = None,
+        latency_s: float = 3.0,
+        outbox_capacity: Optional[int] = 5000,
+    ) -> None:
+        if latency_s < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
+        self.user_id = user_id
+        self.version = version
+        self._uplink = uplink
+        self._clock = clock
+        self._connectivity = connectivity
+        self._battery = battery
+        self._latency = latency_s
+        self.outbox = ObservationBuffer(capacity=outbox_capacity)
+        self.stats = ClientStats()
+
+    # -- ingestion ------------------------------------------------------------
+
+    def on_observation(self, observation: Observation) -> None:
+        """Sensing callback: enqueue and run the uplink policy."""
+        self.stats.produced += 1
+        self.outbox.push(observation)
+        if len(self.outbox) >= self.version.buffer_size:
+            self.try_transmit()
+
+    # -- transmission ------------------------------------------------------------
+
+    def _online_transport(self) -> Optional[NetworkKind]:
+        if self._connectivity is None:
+            return NetworkKind.WIFI
+        now = self._clock()
+        if not self._connectivity.is_online(now):
+            return None
+        return self._connectivity.transport(now) or NetworkKind.CELL_3G
+
+    def try_transmit(self) -> bool:
+        """Attempt to flush the outbox; returns True when it was sent.
+
+        Offline devices return False and keep the outbox intact — the
+        "sent at the next cycle" behaviour.
+        """
+        if not self.outbox:
+            return True
+        transport = self._online_transport()
+        if transport is None:
+            self.stats.failed_attempts += 1
+            return False
+        observations = self.outbox.drain()
+        documents = []
+        now = self._clock()
+        for observation in observations:
+            document = observation.to_document()
+            document["sent_at"] = now
+            document["received_at"] = now + self._latency
+            document["app_version"] = self.version.value
+            documents.append(document)
+        try:
+            self._uplink.send(documents)
+        except BrokerError:
+            self.outbox.requeue_front(observations)
+            self.stats.failed_attempts += 1
+            return False
+        if self._battery is not None:
+            self._battery.transmit(
+                len(documents), transport, legacy_session=self.version.legacy_session
+            )
+        self.stats.transmissions += 1
+        self.stats.sent += len(documents)
+        for observation in observations:
+            self.stats.delays_s.append(now + self._latency - observation.taken_at)
+        return True
+
+    def flush(self) -> bool:
+        """Force an uplink attempt regardless of buffer level."""
+        return self.try_transmit()
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Observations waiting on the phone."""
+        return len(self.outbox)
+
+    def delay_quantiles(self, quantiles=(0.5, 0.9, 0.99)) -> List[float]:
+        """Delay quantiles in seconds over everything sent so far."""
+        if not self.stats.delays_s:
+            raise ConfigurationError("no transmissions recorded yet")
+        return [float(q) for q in np.quantile(self.stats.delays_s, quantiles)]

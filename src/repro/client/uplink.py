@@ -1,0 +1,116 @@
+"""Uplinks: how a client's documents reach the server.
+
+The client is written against the small :class:`Uplink` duck type so it
+can be unit-tested with a stub; :class:`BrokerUplink` is the production
+path that publishes through the client's AMQP exchange exactly as
+Figure 3 prescribes (client exchange -> app exchange -> GoFlow queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Protocol
+
+from repro.broker.broker import Broker
+from repro.broker.channel import Channel
+from repro.broker.errors import BrokerError
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class TransmitResult:
+    """Outcome of one uplink attempt."""
+
+    accepted: int
+    confirmed: bool
+
+
+class Uplink(Protocol):
+    """Anything that can carry documents to the server."""
+
+    def send(self, documents: List[Dict[str, Any]]) -> TransmitResult:
+        """Transmit ``documents``; raises :class:`BrokerError` on failure."""
+        ...
+
+
+class BrokerUplink:
+    """Publishes documents through the client's own exchange.
+
+    Args:
+        broker: the broker shared with the server.
+        client_exchange: the exchange GoFlow's channel management
+            created for this client at login (Figure 3's E1/E2).
+        datatype: routing datatype id (e.g. ``NoiseObservation``).
+        confirm: use publisher confirms (v1.2.9+ behaviour).
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        client_exchange: str,
+        app_id: str = "SC",
+        datatype: str = "NoiseObservation",
+        confirm: bool = True,
+    ) -> None:
+        if not client_exchange:
+            raise ConfigurationError("client_exchange must be non-empty")
+        self._broker = broker
+        self._exchange = client_exchange
+        self._app_id = app_id
+        self._datatype = datatype
+        self._confirm = confirm
+        self._connection = None
+        self._channel: Optional[Channel] = None
+
+    def _ensure_channel(self) -> Channel:
+        if self._channel is None or not self._channel.is_open:
+            if self._connection is None or not self._connection.is_open:
+                self._connection = self._broker.connect(
+                    f"uplink-{self._exchange}"
+                )
+            self._channel = self._connection.channel()
+            if self._confirm:
+                self._channel.confirm_select()
+        return self._channel
+
+    def routing_key_for(self, document: Dict[str, Any]) -> str:
+        """``<locationid>.<datatype>`` routing, as GoFlow's bindings expect.
+
+        The location id is a coarse zone derived from the reported
+        position (the paper uses country+zip, e.g. FR75013; the
+        synthetic city uses 1 km zone cells). Non-localized observations
+        route under the ``NOLOC`` zone.
+        """
+        location = document.get("location")
+        if location is None:
+            zone = "NOLOC"
+        else:
+            zone_x = int(location["x_m"] // 1000)
+            zone_y = int(location["y_m"] // 1000)
+            zone = f"Z{zone_x}-{zone_y}"
+        return f"{zone}.{self._datatype}"
+
+    def send(self, documents: List[Dict[str, Any]]) -> TransmitResult:
+        """Publish every document; all-or-nothing per call."""
+        if not documents:
+            raise ConfigurationError("send requires at least one document")
+        channel = self._ensure_channel()
+        confirmed = True
+        for document in documents:
+            document.setdefault("app_id", self._app_id)
+            seq = channel.basic_publish(
+                self._exchange,
+                self.routing_key_for(document),
+                document,
+                mandatory=True,
+            )
+            if self._confirm and seq is not None:
+                confirmed = confirmed and channel.confirmed(seq)
+        return TransmitResult(accepted=len(documents), confirmed=confirmed)
+
+    def disconnect(self) -> None:
+        """Drop the session (e.g. when the device goes offline)."""
+        if self._connection is not None and self._connection.is_open:
+            self._connection.close()
+        self._connection = None
+        self._channel = None

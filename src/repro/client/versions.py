@@ -1,0 +1,34 @@
+"""Released client versions and their behaviours."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sensing.modes import DEFAULT_BUFFER_SIZE
+
+
+class AppVersion(enum.Enum):
+    """SoundCity releases over the 10-month campaign (§5.3)."""
+
+    V1_1 = "1.1"
+    V1_2_9 = "1.2.9"
+    V1_3 = "1.3"
+
+    @property
+    def buffer_size(self) -> int:
+        """Observations accumulated before an uplink attempt."""
+        return DEFAULT_BUFFER_SIZE if self is AppVersion.V1_3 else 1
+
+    @property
+    def buffers(self) -> bool:
+        """Whether this version batches observations."""
+        return self.buffer_size > 1
+
+    @property
+    def legacy_session(self) -> bool:
+        """Whether each publish pays the v1.1 reconnect overhead.
+
+        v1.2.9 "optimized use of RabbitMQ" by keeping a long-lived
+        channel; v1.1 re-established state per transmission.
+        """
+        return self is AppVersion.V1_1

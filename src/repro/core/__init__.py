@@ -1,0 +1,65 @@
+"""GoFlow: the crowd-sensing middleware (the paper's core system).
+
+Figure 2's components, one module each:
+
+- :mod:`repro.core.api` — the REST-based GoFlow API (routing,
+  authentication, request/response model);
+- :mod:`repro.core.accounts` — account and access management (apps,
+  users, roles, credentials);
+- :mod:`repro.core.auth` — token issuance and validation;
+- :mod:`repro.core.channels` — channel management: creates and wires
+  the RabbitMQ exchanges/queues of Figure 3 on behalf of clients;
+- :mod:`repro.core.datamgmt` — crowd-sensed data management: filtered
+  retrieval and packaging (json stream, file);
+- :mod:`repro.core.jobs` — background jobs over the stored data;
+- :mod:`repro.core.analytics` — crowd-sensing analytics;
+- :mod:`repro.core.privacy` — the CNIL privacy policy: pseudonymization,
+  private-field stripping, open-data location coarsening;
+- :mod:`repro.core.server` — the composition root tying everything to
+  the broker and the document store.
+"""
+
+from repro.core.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    GoFlowError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.core.privacy import PrivacyPolicy
+from repro.core.accounts import Account, AccountManager, Role
+from repro.core.auth import TokenService
+from repro.core.channels import ChannelManager, ClientChannels
+from repro.core.datamgmt import DataManager, DataQuery
+from repro.core.jobs import BackgroundJob, JobManager, JobStatus
+from repro.core.analytics import AnalyticsEngine
+from repro.core.api import GoFlowAPI, Request, Response
+from repro.core.retention import RetentionEnforcer, RetentionPolicy
+from repro.core.server import GoFlowServer
+
+__all__ = [
+    "Account",
+    "AccountManager",
+    "AnalyticsEngine",
+    "AuthenticationError",
+    "AuthorizationError",
+    "BackgroundJob",
+    "ChannelManager",
+    "ClientChannels",
+    "DataManager",
+    "DataQuery",
+    "GoFlowAPI",
+    "GoFlowError",
+    "GoFlowServer",
+    "JobManager",
+    "JobStatus",
+    "NotFoundError",
+    "PrivacyPolicy",
+    "Request",
+    "Response",
+    "RetentionEnforcer",
+    "RetentionPolicy",
+    "Role",
+    "TokenService",
+    "ValidationError",
+]

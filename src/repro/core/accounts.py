@@ -1,0 +1,189 @@
+"""Account and access management.
+
+Figure 2's "Account and access management ... add/remove users with
+different roles for the registered apps". Apps register first; users
+(and administrators) are created under an app with a role. Credentials
+are salted-hash verified; authentication hands out tokens via
+:class:`~repro.core.auth.TokenService`.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.docstore.store import DocumentStore
+
+
+class Role(enum.Enum):
+    """Access roles, least to most privileged."""
+
+    CONTRIBUTOR = "contributor"
+    MANAGER = "manager"
+    ADMIN = "admin"
+
+    def at_least(self, other: "Role") -> bool:
+        """Role dominance: admin > manager > contributor."""
+        order = [Role.CONTRIBUTOR, Role.MANAGER, Role.ADMIN]
+        return order.index(self) >= order.index(other)
+
+
+@dataclass
+class Account:
+    """One user account within an app."""
+
+    app_id: str
+    user_id: str
+    role: Role
+    active: bool = True
+
+
+def _hash_password(password: str, salt: str) -> str:
+    return hashlib.sha256(f"{salt}:{password}".encode("utf-8")).hexdigest()
+
+
+class AccountManager:
+    """Manages apps and their user accounts, persisted in the store."""
+
+    def __init__(self, store: DocumentStore) -> None:
+        self._apps = store.collection("apps")
+        self._accounts = store.collection("accounts")
+        self._accounts.create_index("app_id", kind="hash")
+        self._accounts.create_index("key", kind="hash", unique=True)
+
+    # -- apps ---------------------------------------------------------------
+
+    def register_app(self, app_id: str, display_name: str = "") -> None:
+        """Register an application with the middleware."""
+        if not app_id:
+            raise ValidationError("app_id must be non-empty")
+        if self._apps.find_one({"app_id": app_id}) is not None:
+            raise ValidationError(f"app {app_id!r} already registered")
+        self._apps.insert_one(
+            {"app_id": app_id, "display_name": display_name or app_id}
+        )
+
+    def app_exists(self, app_id: str) -> bool:
+        """Whether ``app_id`` is registered."""
+        return self._apps.find_one({"app_id": app_id}) is not None
+
+    def app_ids(self) -> List[str]:
+        """All registered app ids."""
+        return [doc["app_id"] for doc in self._apps.find()]
+
+    def _require_app(self, app_id: str) -> None:
+        if not self.app_exists(app_id):
+            raise NotFoundError(f"unknown app {app_id!r}")
+
+    # -- accounts ---------------------------------------------------------------
+
+    @staticmethod
+    def _key(app_id: str, user_id: str) -> str:
+        return f"{app_id}/{user_id}"
+
+    def create_account(
+        self,
+        app_id: str,
+        user_id: str,
+        password: str,
+        role: Role = Role.CONTRIBUTOR,
+    ) -> Account:
+        """Create a user account under ``app_id``."""
+        self._require_app(app_id)
+        if not user_id or not password:
+            raise ValidationError("user_id and password must be non-empty")
+        key = self._key(app_id, user_id)
+        if self._accounts.find_one({"key": key}) is not None:
+            raise ValidationError(f"account {user_id!r} already exists in {app_id!r}")
+        salt = secrets.token_hex(8)
+        self._accounts.insert_one(
+            {
+                "key": key,
+                "app_id": app_id,
+                "user_id": user_id,
+                "role": role.value,
+                "salt": salt,
+                "password_hash": _hash_password(password, salt),
+                "active": True,
+            }
+        )
+        return Account(app_id=app_id, user_id=user_id, role=role)
+
+    def remove_account(self, app_id: str, user_id: str) -> None:
+        """Delete an account."""
+        deleted = self._accounts.delete_one({"key": self._key(app_id, user_id)})
+        if deleted == 0:
+            raise NotFoundError(f"no account {user_id!r} in app {app_id!r}")
+
+    def deactivate_account(self, app_id: str, user_id: str) -> None:
+        """Deactivate without deleting (keeps contribution attribution)."""
+        result = self._accounts.update_one(
+            {"key": self._key(app_id, user_id)}, {"$set": {"active": False}}
+        )
+        if result.matched == 0:
+            raise NotFoundError(f"no account {user_id!r} in app {app_id!r}")
+
+    def set_role(self, app_id: str, user_id: str, role: Role) -> None:
+        """Change an account's role."""
+        result = self._accounts.update_one(
+            {"key": self._key(app_id, user_id)}, {"$set": {"role": role.value}}
+        )
+        if result.matched == 0:
+            raise NotFoundError(f"no account {user_id!r} in app {app_id!r}")
+
+    def get_account(self, app_id: str, user_id: str) -> Account:
+        """Look up an account."""
+        doc = self._accounts.find_one({"key": self._key(app_id, user_id)})
+        if doc is None:
+            raise NotFoundError(f"no account {user_id!r} in app {app_id!r}")
+        return Account(
+            app_id=doc["app_id"],
+            user_id=doc["user_id"],
+            role=Role(doc["role"]),
+            active=doc["active"],
+        )
+
+    def accounts_for_app(self, app_id: str) -> List[Account]:
+        """All accounts of an app."""
+        self._require_app(app_id)
+        return [
+            Account(
+                app_id=doc["app_id"],
+                user_id=doc["user_id"],
+                role=Role(doc["role"]),
+                active=doc["active"],
+            )
+            for doc in self._accounts.find({"app_id": app_id})
+        ]
+
+    # -- authentication ------------------------------------------------------------
+
+    def verify_credentials(self, app_id: str, user_id: str, password: str) -> Account:
+        """Check credentials; returns the account or raises."""
+        doc = self._accounts.find_one({"key": self._key(app_id, user_id)})
+        if doc is None:
+            raise AuthenticationError("unknown account")
+        if not doc["active"]:
+            raise AuthenticationError("account is deactivated")
+        if _hash_password(password, doc["salt"]) != doc["password_hash"]:
+            raise AuthenticationError("bad password")
+        return Account(
+            app_id=doc["app_id"], user_id=doc["user_id"], role=Role(doc["role"])
+        )
+
+    def require_role(self, app_id: str, user_id: str, minimum: Role) -> None:
+        """Raise :class:`AuthorizationError` unless the account has ``minimum``."""
+        account = self.get_account(app_id, user_id)
+        if not account.active or not account.role.at_least(minimum):
+            raise AuthorizationError(
+                f"{user_id!r} lacks role {minimum.value!r} in app {app_id!r}"
+            )

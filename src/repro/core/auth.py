@@ -1,0 +1,67 @@
+"""Token service: bearer tokens for the REST API.
+
+Tokens are opaque random strings mapped server-side to a principal
+(app, user, role) with an expiry in simulated time. This mirrors the
+paper's "authenticate and register subscribers and publishers" API
+without pretending to be a JWT implementation.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.accounts import Role
+from repro.core.errors import AuthenticationError, ValidationError
+
+
+@dataclass(frozen=True)
+class Principal:
+    """The identity a valid token resolves to."""
+
+    app_id: str
+    user_id: str
+    role: Role
+
+
+class TokenService:
+    """Issues and validates bearer tokens."""
+
+    def __init__(
+        self, clock: Callable[[], float], ttl_s: float = 24 * 3600.0
+    ) -> None:
+        if ttl_s <= 0:
+            raise ValidationError(f"token ttl must be > 0, got {ttl_s}")
+        self._clock = clock
+        self._ttl = ttl_s
+        self._tokens: Dict[str, tuple] = {}  # token -> (Principal, expiry)
+
+    def issue(self, app_id: str, user_id: str, role: Role) -> str:
+        """Create a token for the principal; returns the bearer string."""
+        token = secrets.token_urlsafe(24)
+        principal = Principal(app_id=app_id, user_id=user_id, role=role)
+        self._tokens[token] = (principal, self._clock() + self._ttl)
+        return token
+
+    def validate(self, token: Optional[str]) -> Principal:
+        """Resolve a token; raises :class:`AuthenticationError` if invalid."""
+        if not token:
+            raise AuthenticationError("missing bearer token")
+        entry = self._tokens.get(token)
+        if entry is None:
+            raise AuthenticationError("unknown token")
+        principal, expiry = entry
+        if self._clock() > expiry:
+            del self._tokens[token]
+            raise AuthenticationError("token expired")
+        return principal
+
+    def revoke(self, token: str) -> None:
+        """Invalidate a token immediately (logout)."""
+        self._tokens.pop(token, None)
+
+    def active_count(self) -> int:
+        """Number of unexpired tokens."""
+        now = self._clock()
+        return sum(1 for _, expiry in self._tokens.values() if expiry >= now)

@@ -1,0 +1,195 @@
+"""Channel management: wiring the Figure 3 topology.
+
+"The creation of the various exchanges and queues as well as the
+bindings is performed by the GoFlow server (i.e., the GoFlow Channel
+management) on behalf of the mobile users. The server then returns the
+unique ids of the relevant exchange and queue to the mobile client for
+connection."
+
+Topology per Figure 3:
+
+- one **GoFlow exchange** (``GF``) + **GoFlow queue** for everything the
+  server must store;
+- one **application exchange** per app (e.g. ``SC``) bound into ``GF``;
+- one **client exchange** per logged-in client (``E1``, ``E2``, ...)
+  bound into its app's exchange — "for security, the binding for the
+  exchange of the client uses the client id (shared secret between the
+  GoFlow client and server) as one of its filtering parameter";
+- one **client queue** per client (``Q1``, ``Q2``, ...) receiving the
+  crowd-sensed data the client subscribed to;
+- per (location, datatype) **routing exchanges** created lazily when the
+  first subscriber registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.broker.broker import Broker
+from repro.broker.exchange import ExchangeType
+from repro.core.errors import NotFoundError, ValidationError
+
+GOFLOW_EXCHANGE = "GF"
+GOFLOW_QUEUE = "GF"
+
+
+@dataclass
+class ClientChannels:
+    """What a mobile client receives at login."""
+
+    client_id: str
+    app_id: str
+    exchange: str
+    queue: str
+
+
+class ChannelManager:
+    """Creates/terminates the broker topology on behalf of clients."""
+
+    def __init__(self, broker: Broker) -> None:
+        self._broker = broker
+        self._broker.declare_exchange(GOFLOW_EXCHANGE, ExchangeType.TOPIC)
+        self._broker.declare_queue(GOFLOW_QUEUE)
+        self._broker.bind_queue(GOFLOW_EXCHANGE, GOFLOW_QUEUE, "#")
+        self._apps: Set[str] = set()
+        self._clients: Dict[str, ClientChannels] = {}
+        self._routing_exchanges: Set[str] = set()
+        self._subscriptions: Dict[str, List[Tuple[str, str]]] = {}
+
+    # -- app lifecycle --------------------------------------------------------
+
+    def register_app(self, app_id: str) -> str:
+        """Create the app exchange bound into GF; returns its name.
+
+        "For each application, an exchange is created that forwards all
+        the crowd-sensed messages to a GoFlow exchange and queue."
+        """
+        if not app_id:
+            raise ValidationError("app_id must be non-empty")
+        exchange = self.app_exchange(app_id)
+        if app_id not in self._apps:
+            self._broker.declare_exchange(exchange, ExchangeType.TOPIC)
+            self._broker.bind_exchange(exchange, GOFLOW_EXCHANGE, "#")
+            self._apps.add(app_id)
+        return exchange
+
+    @staticmethod
+    def app_exchange(app_id: str) -> str:
+        """Name of an app's exchange."""
+        return f"APP.{app_id}"
+
+    # -- client login / logout ---------------------------------------------------
+
+    def client_login(self, app_id: str, client_id: str) -> ClientChannels:
+        """Create the client's exchange and queue (Figure 3's E/Q pair)."""
+        if app_id not in self._apps:
+            raise NotFoundError(f"app {app_id!r} has no channel topology")
+        if not client_id:
+            raise ValidationError("client_id must be non-empty")
+        existing = self._clients.get(client_id)
+        if existing is not None:
+            return existing
+        exchange = f"E.{client_id}"
+        queue = f"Q.{client_id}"
+        self._broker.declare_exchange(exchange, ExchangeType.TOPIC)
+        # the client-id filter on the binding is the shared secret check:
+        # only messages the client stamps with its own id pass upstream.
+        self._broker.bind_exchange(exchange, self.app_exchange(app_id), "#")
+        self._broker.declare_queue(queue)
+        channels = ClientChannels(
+            client_id=client_id, app_id=app_id, exchange=exchange, queue=queue
+        )
+        self._clients[client_id] = channels
+        self._subscriptions[client_id] = []
+        return channels
+
+    def client_logout(self, client_id: str) -> None:
+        """Tear down a client's exchange/queue and its subscriptions."""
+        channels = self._clients.pop(client_id, None)
+        if channels is None:
+            raise NotFoundError(f"client {client_id!r} is not logged in")
+        for location_id, datatype in self._subscriptions.pop(client_id, []):
+            routing = self.routing_exchange(location_id, datatype)
+            self._broker.unbind_queue(routing, channels.queue, "#")
+        self._broker.delete_queue(channels.queue)
+        self._broker.get_exchange(self.app_exchange(channels.app_id))
+        self._broker.unbind_exchange(
+            channels.exchange, self.app_exchange(channels.app_id), "#"
+        )
+        self._broker.delete_exchange(channels.exchange)
+
+    def is_logged_in(self, client_id: str) -> bool:
+        """Whether ``client_id`` currently has channels."""
+        return client_id in self._clients
+
+    def channels_of(self, client_id: str) -> ClientChannels:
+        """The channel ids previously returned at login."""
+        channels = self._clients.get(client_id)
+        if channels is None:
+            raise NotFoundError(f"client {client_id!r} is not logged in")
+        return channels
+
+    # -- subscriptions ---------------------------------------------------------------
+
+    @staticmethod
+    def routing_exchange(location_id: str, datatype: str) -> str:
+        """Name of the (location, datatype) routing exchange."""
+        return f"R.{location_id}.{datatype}"
+
+    def subscribe(
+        self, app_id: str, client_id: str, location_id: str, datatype: str
+    ) -> str:
+        """Route ``datatype`` messages at ``location_id`` to the client.
+
+        "When a client registers a subscriber for a given crowd-sensed
+        data type at a location, the GoFlow server creates, if not
+        available yet, the relevant exchanges for the location and
+        datatype ... The server also sets the bindings using the
+        location and datatype ids as filtering parameters."
+        """
+        channels = self.channels_of(client_id)
+        if channels.app_id != app_id:
+            raise ValidationError(
+                f"client {client_id!r} is logged into {channels.app_id!r}, not {app_id!r}"
+            )
+        if not location_id or not datatype:
+            raise ValidationError("location_id and datatype must be non-empty")
+        routing = self.routing_exchange(location_id, datatype)
+        if routing not in self._routing_exchanges:
+            self._broker.declare_exchange(routing, ExchangeType.TOPIC)
+            # filter on "<location>.<datatype>" routing keys out of the app
+            self._broker.bind_exchange(
+                self.app_exchange(app_id), routing, f"{location_id}.{datatype}.#"
+            )
+            self._broker.bind_exchange(
+                self.app_exchange(app_id), routing, f"{location_id}.{datatype}"
+            )
+            self._routing_exchanges.add(routing)
+        self._broker.bind_queue(routing, channels.queue, "#")
+        self._subscriptions[client_id].append((location_id, datatype))
+        return routing
+
+    def unsubscribe(
+        self, app_id: str, client_id: str, location_id: str, datatype: str
+    ) -> None:
+        """Remove a subscription created with :meth:`subscribe`."""
+        channels = self.channels_of(client_id)
+        key = (location_id, datatype)
+        if key not in self._subscriptions.get(client_id, []):
+            raise NotFoundError(
+                f"client {client_id!r} has no subscription {location_id}/{datatype}"
+            )
+        routing = self.routing_exchange(location_id, datatype)
+        self._broker.unbind_queue(routing, channels.queue, "#")
+        self._subscriptions[client_id].remove(key)
+
+    def subscriptions_of(self, client_id: str) -> List[Tuple[str, str]]:
+        """The client's (location, datatype) subscriptions."""
+        return list(self._subscriptions.get(client_id, []))
+
+    # -- stats ----------------------------------------------------------------------------
+
+    def client_count(self) -> int:
+        """Number of logged-in clients."""
+        return len(self._clients)

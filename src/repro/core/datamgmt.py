@@ -1,0 +1,154 @@
+"""Crowd-sensed data management.
+
+Figure 2: "allows the retrieval of crowd-sensed information based on
+various filtering parameters, and various packaging solutions (file,
+json stream, ...)". The ingest side persists broker deliveries into the
+observations collection after the privacy policy has pseudonymized them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.errors import ValidationError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+
+OBSERVATIONS = "observations"
+
+
+@dataclass
+class DataQuery:
+    """Filter parameters for retrieval (every field optional).
+
+    Attributes mirror the REST API's query parameters: time window over
+    ``taken_at``, device model, sensing mode, location provider, maximum
+    reported accuracy (meters), contributor pseudonym, localized-only.
+    """
+
+    app_id: Optional[str] = None
+    since: Optional[float] = None
+    until: Optional[float] = None
+    model: Optional[str] = None
+    mode: Optional[str] = None
+    provider: Optional[str] = None
+    max_accuracy_m: Optional[float] = None
+    contributor: Optional[str] = None
+    localized_only: bool = False
+
+    def to_filter(self) -> Dict[str, Any]:
+        """The docstore filter document for this query."""
+        conditions: Dict[str, Any] = {}
+        if self.app_id is not None:
+            conditions["app_id"] = self.app_id
+        taken: Dict[str, Any] = {}
+        if self.since is not None:
+            taken["$gte"] = self.since
+        if self.until is not None:
+            taken["$lt"] = self.until
+        if taken:
+            conditions["taken_at"] = taken
+        if self.model is not None:
+            conditions["model"] = self.model
+        if self.mode is not None:
+            conditions["mode"] = self.mode
+        if self.provider is not None:
+            conditions["location.provider"] = self.provider
+        if self.max_accuracy_m is not None:
+            conditions["location.accuracy_m"] = {"$lte": self.max_accuracy_m}
+        if self.contributor is not None:
+            conditions["contributor"] = self.contributor
+        if self.localized_only and "location.provider" not in conditions and (
+            self.max_accuracy_m is None
+        ):
+            conditions["location"] = {"$exists": True}
+        return conditions
+
+
+class DataManager:
+    """Stores and retrieves crowd-sensed observations."""
+
+    def __init__(self, store: DocumentStore, privacy: PrivacyPolicy) -> None:
+        self._store = store
+        self._privacy = privacy
+        self._observations = store.collection(OBSERVATIONS)
+        self._observations.create_index("model", kind="hash")
+        self._observations.create_index("taken_at", kind="sorted")
+        self._observations.create_index("contributor", kind="hash")
+
+    @property
+    def collection(self):
+        """Direct access to the observations collection (analytics use)."""
+        return self._observations
+
+    # -- ingest --------------------------------------------------------------
+
+    def ingest(self, app_id: str, document: Dict[str, Any]) -> Any:
+        """Persist one observation document; returns its stored id.
+
+        Applies pseudonymization before the document touches disk.
+        """
+        if not isinstance(document, dict):
+            raise ValidationError(
+                f"observation must be a dict, got {type(document).__name__}"
+            )
+        stored = self._privacy.anonymize_ingest(document)
+        stored["app_id"] = app_id
+        return self._observations.insert_one(stored)
+
+    def delete_contributor_data(self, app_id: str, user_id: str) -> int:
+        """CNIL right-to-erasure: drop a contributor's observations."""
+        pseudonym = self._privacy.pseudonym(user_id)
+        return self._observations.delete_many(
+            {"app_id": app_id, "contributor": pseudonym}
+        )
+
+    # -- retrieval ------------------------------------------------------------
+
+    def retrieve(
+        self,
+        query: DataQuery,
+        limit: Optional[int] = None,
+        share_with_app: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Documents matching ``query``, newest first.
+
+        ``share_with_app``: when retrieving on behalf of *another* app,
+        the owning app's private fields are stripped per the privacy
+        policy.
+        """
+        cursor = self._observations.find(query.to_filter()).sort("taken_at", -1)
+        if limit is not None:
+            cursor = cursor.limit(limit)
+        documents = cursor.to_list()
+        if share_with_app is not None and query.app_id is not None and (
+            share_with_app != query.app_id
+        ):
+            documents = [
+                self._privacy.for_sharing(query.app_id, doc) for doc in documents
+            ]
+        return documents
+
+    def count(self, query: DataQuery) -> int:
+        """Number of documents matching ``query``."""
+        return self._observations.count(query.to_filter())
+
+    # -- packaging ---------------------------------------------------------------
+
+    def as_json_stream(self, query: DataQuery) -> Iterator[str]:
+        """The matching documents as a stream of JSON lines."""
+        for document in self.retrieve(query):
+            document.pop("_id", None)
+            yield json.dumps(document, sort_keys=True)
+
+    def as_file(self, query: DataQuery) -> str:
+        """The matching documents packaged as one JSON-lines string."""
+        return "\n".join(self.as_json_stream(query))
+
+    def as_open_data(self, app_id: str, query: DataQuery) -> List[Dict[str, Any]]:
+        """Open-data export: privacy-coarsened documents."""
+        return [
+            self._privacy.for_open_data(app_id, doc) for doc in self.retrieve(query)
+        ]

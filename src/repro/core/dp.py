@@ -1,0 +1,156 @@
+"""Differentially private aggregate publication.
+
+§2 (Sensing): "privacy guarantees should be offered to participants,
+which may in particular be handled at the time of data collection and
+aggregation [9, 43, 17, 29]". The GoFlow open-data path already
+pseudonymizes and coarsens; this module adds the formal layer for
+*published aggregates*: epsilon-differential privacy via the Laplace
+mechanism, with an explicit per-release privacy budget.
+
+Supported releases over the observations collection:
+
+- **zone counts** — how many observations per zone (sensitivity 1 per
+  contributed observation);
+- **zone mean levels** — average dB(A) per zone, computed with the
+  standard clamped-sum / noisy-count construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.datamgmt import OBSERVATIONS
+from repro.core.errors import ValidationError
+from repro.docstore.store import DocumentStore
+
+
+class PrivacyBudget:
+    """Tracks cumulative epsilon spent across releases.
+
+    Sequential composition: total privacy loss is the sum of the
+    epsilons of all releases computed from the same data. The budget
+    refuses releases that would exceed it.
+    """
+
+    def __init__(self, total_epsilon: float) -> None:
+        if total_epsilon <= 0:
+            raise ValidationError("total epsilon must be > 0")
+        self.total_epsilon = total_epsilon
+        self._spent = 0.0
+
+    @property
+    def spent(self) -> float:
+        """Epsilon consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Epsilon still available."""
+        return self.total_epsilon - self._spent
+
+    def charge(self, epsilon: float) -> None:
+        """Consume ``epsilon``; raises when the budget would overdraw."""
+        if epsilon <= 0:
+            raise ValidationError("epsilon must be > 0")
+        if self._spent + epsilon > self.total_epsilon + 1e-12:
+            raise ValidationError(
+                f"privacy budget exhausted: spent {self._spent:.3f} + "
+                f"{epsilon:.3f} > {self.total_epsilon:.3f}"
+            )
+        self._spent += epsilon
+
+
+def laplace_noise(rng: np.random.Generator, scale: float) -> float:
+    """One draw of Laplace(0, scale) noise."""
+    if scale <= 0:
+        raise ValidationError("laplace scale must be > 0")
+    return float(rng.laplace(0.0, scale))
+
+
+@dataclass(frozen=True)
+class DpRelease:
+    """One published aggregate with its privacy accounting."""
+
+    values: Dict[str, float]
+    epsilon: float
+    mechanism: str
+
+
+class DpAggregator:
+    """Publishes DP aggregates from the observation store."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        budget: PrivacyBudget,
+        rng: Optional[np.random.Generator] = None,
+        zone_m: float = 1000.0,
+        level_bounds_db: Tuple[float, float] = (20.0, 100.0),
+    ) -> None:
+        if zone_m <= 0:
+            raise ValidationError("zone size must be > 0")
+        low, high = level_bounds_db
+        if high <= low:
+            raise ValidationError("level bounds must satisfy low < high")
+        self._observations = store.collection(OBSERVATIONS)
+        self.budget = budget
+        self._rng = rng or np.random.default_rng()
+        self.zone_m = zone_m
+        self.level_bounds_db = level_bounds_db
+
+    # -- helpers ------------------------------------------------------------
+
+    def _zone_of(self, document: Dict[str, Any]) -> Optional[str]:
+        location = document.get("location")
+        if not isinstance(location, dict):
+            return None
+        return (
+            f"Z{int(location['x_m'] // self.zone_m)}-"
+            f"{int(location['y_m'] // self.zone_m)}"
+        )
+
+    def _grouped(self) -> Dict[str, list]:
+        groups: Dict[str, list] = {}
+        for document in self._observations.find({"location": {"$exists": True}}):
+            zone = self._zone_of(document)
+            if zone is not None:
+                groups.setdefault(zone, []).append(document["noise_dba"])
+        return groups
+
+    # -- releases -------------------------------------------------------------------
+
+    def zone_counts(self, epsilon: float) -> DpRelease:
+        """Noisy per-zone observation counts (sensitivity 1)."""
+        self.budget.charge(epsilon)
+        groups = self._grouped()
+        noisy = {
+            zone: max(0.0, len(levels) + laplace_noise(self._rng, 1.0 / epsilon))
+            for zone, levels in groups.items()
+        }
+        return DpRelease(values=noisy, epsilon=epsilon, mechanism="laplace-count")
+
+    def zone_mean_levels(self, epsilon: float) -> DpRelease:
+        """Noisy per-zone mean dB(A).
+
+        Standard construction: split epsilon between a clamped noisy sum
+        (sensitivity = bound width) and a noisy count (sensitivity 1),
+        then divide. Zones whose noisy count is < 1 are suppressed.
+        """
+        self.budget.charge(epsilon)
+        half = epsilon / 2.0
+        low, high = self.level_bounds_db
+        width = high - low
+        groups = self._grouped()
+        released: Dict[str, float] = {}
+        for zone, levels in groups.items():
+            clamped = [min(max(level, low), high) for level in levels]
+            noisy_sum = sum(clamped) + laplace_noise(self._rng, width / half)
+            noisy_count = len(clamped) + laplace_noise(self._rng, 1.0 / half)
+            if noisy_count < 1.0:
+                continue  # too few people to publish safely
+            mean = noisy_sum / noisy_count
+            released[zone] = float(min(max(mean, low), high))
+        return DpRelease(values=released, epsilon=epsilon, mechanism="laplace-mean")

@@ -1,0 +1,25 @@
+"""GoFlow middleware errors."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class GoFlowError(ReproError):
+    """Base class for middleware errors."""
+
+
+class AuthenticationError(GoFlowError):
+    """Bad credentials or invalid/expired token."""
+
+
+class AuthorizationError(GoFlowError):
+    """The authenticated principal lacks the required role."""
+
+
+class NotFoundError(GoFlowError):
+    """A referenced entity (app, user, job, route) does not exist."""
+
+
+class ValidationError(GoFlowError):
+    """A request payload failed validation."""

@@ -1,0 +1,162 @@
+"""Background jobs.
+
+Figure 2: "Background jobs manages scripts which are submitted by the
+application's managers and perform various operations on the
+crowd-sensed data stored on behalf of the application."
+
+Jobs are named, registered callables (the "script library") that
+managers submit with parameters; the job runner executes them against
+the store, records status transitions and results, and keeps a journal
+in the ``jobs`` collection.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.errors import NotFoundError, ValidationError
+from repro.docstore.store import DocumentStore
+
+JobFunction = Callable[[DocumentStore, Dict[str, Any]], Any]
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of a background job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class BackgroundJob:
+    """A submitted job instance."""
+
+    job_id: int
+    app_id: str
+    script: str
+    params: Dict[str, Any]
+    status: JobStatus
+    submitted_by: str
+    result: Any = None
+    error: Optional[str] = None
+
+
+class JobManager:
+    """Registers scripts, accepts submissions, and runs jobs."""
+
+    def __init__(self, store: DocumentStore, clock: Callable[[], float]) -> None:
+        self._store = store
+        self._clock = clock
+        self._journal = store.collection("jobs")
+        self._scripts: Dict[str, JobFunction] = {}
+        self._jobs: Dict[int, BackgroundJob] = {}
+        self._ids = itertools.count(1)
+
+    # -- script library ------------------------------------------------------
+
+    def register_script(self, name: str, function: JobFunction) -> None:
+        """Make ``function`` available for submission under ``name``."""
+        if not name:
+            raise ValidationError("script name must be non-empty")
+        if name in self._scripts:
+            raise ValidationError(f"script {name!r} already registered")
+        self._scripts[name] = function
+
+    def script_names(self) -> List[str]:
+        """Registered script names."""
+        return sorted(self._scripts)
+
+    # -- submission & execution ----------------------------------------------------
+
+    def submit(
+        self,
+        app_id: str,
+        script: str,
+        params: Optional[Dict[str, Any]] = None,
+        submitted_by: str = "",
+    ) -> BackgroundJob:
+        """Queue a job; returns it in PENDING state."""
+        if script not in self._scripts:
+            raise NotFoundError(f"unknown script {script!r}")
+        job = BackgroundJob(
+            job_id=next(self._ids),
+            app_id=app_id,
+            script=script,
+            params=dict(params or {}),
+            status=JobStatus.PENDING,
+            submitted_by=submitted_by,
+        )
+        self._jobs[job.job_id] = job
+        self._journal.insert_one(
+            {
+                "job_id": job.job_id,
+                "app_id": app_id,
+                "script": script,
+                "status": job.status.value,
+                "submitted_at": self._clock(),
+                "submitted_by": submitted_by,
+            }
+        )
+        return job
+
+    def cancel(self, job_id: int) -> None:
+        """Cancel a pending job."""
+        job = self.get(job_id)
+        if job.status is not JobStatus.PENDING:
+            raise ValidationError(
+                f"job {job_id} is {job.status.value}, only pending jobs cancel"
+            )
+        job.status = JobStatus.CANCELLED
+        self._set_status(job_id, JobStatus.CANCELLED)
+
+    def run(self, job_id: int) -> BackgroundJob:
+        """Execute one pending job synchronously."""
+        job = self.get(job_id)
+        if job.status is not JobStatus.PENDING:
+            raise ValidationError(
+                f"job {job_id} is {job.status.value}, expected pending"
+            )
+        job.status = JobStatus.RUNNING
+        self._set_status(job_id, JobStatus.RUNNING)
+        try:
+            job.result = self._scripts[job.script](self._store, job.params)
+        except Exception as exc:  # noqa: BLE001 - jobs are user scripts
+            job.status = JobStatus.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            self._set_status(job_id, JobStatus.FAILED, error=job.error)
+        else:
+            job.status = JobStatus.DONE
+            self._set_status(job_id, JobStatus.DONE)
+        return job
+
+    def run_pending(self) -> List[BackgroundJob]:
+        """Execute every pending job in submission order."""
+        pending = [j for j in self._jobs.values() if j.status is JobStatus.PENDING]
+        return [self.run(job.job_id) for job in sorted(pending, key=lambda j: j.job_id)]
+
+    # -- inspection -----------------------------------------------------------------
+
+    def get(self, job_id: int) -> BackgroundJob:
+        """Look up a job by id."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise NotFoundError(f"unknown job {job_id}")
+        return job
+
+    def jobs_for_app(self, app_id: str) -> List[BackgroundJob]:
+        """All jobs submitted for ``app_id``."""
+        return [j for j in self._jobs.values() if j.app_id == app_id]
+
+    def _set_status(
+        self, job_id: int, status: JobStatus, error: Optional[str] = None
+    ) -> None:
+        update: Dict[str, Any] = {"status": status.value, "updated_at": self._clock()}
+        if error is not None:
+            update["error"] = error
+        self._journal.update_one({"job_id": job_id}, {"$set": update})

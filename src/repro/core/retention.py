@@ -1,0 +1,163 @@
+"""Data-retention enforcement (the CNIL obligations, §3.1).
+
+French data-protection rules (enforced by the CNIL the paper cites)
+require that personal data is kept no longer than necessary for its
+purpose. For a crowd-sensing store this means:
+
+- **age-based expiry** of raw observations (old raw traces are
+  deleted or reduced to anonymous aggregates);
+- **inactive-account cleanup**: contributors who left the study have
+  their remaining data erased after a grace period;
+- everything runs as a registered **background job** (Figure 2's jobs
+  component), so the enforcement itself is auditable in the jobs
+  journal.
+
+Before raw documents are deleted they can be folded into per-(zone,
+day) aggregates — counts and energy-mean levels carry the scientific
+value with no personal dimension left.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.datamgmt import OBSERVATIONS
+from repro.core.errors import ValidationError
+from repro.core.jobs import JobManager
+from repro.docstore.store import DocumentStore
+from repro.noise.spl import leq
+
+SECONDS_PER_DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How long raw personal data may live.
+
+    Attributes:
+        raw_retention_days: raw observations older than this are
+            aggregated and deleted.
+        inactive_grace_days: contributors with no observation newer
+            than this are forgotten entirely.
+        aggregate_before_delete: fold expiring documents into anonymous
+            (zone, day) aggregates first.
+    """
+
+    raw_retention_days: float = 180.0
+    inactive_grace_days: float = 365.0
+    aggregate_before_delete: bool = True
+
+    def __post_init__(self) -> None:
+        if self.raw_retention_days <= 0 or self.inactive_grace_days <= 0:
+            raise ValidationError("retention periods must be > 0")
+
+
+class RetentionEnforcer:
+    """Applies a :class:`RetentionPolicy` to the observation store."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        policy: Optional[RetentionPolicy] = None,
+        clock: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        self._observations = store.collection(OBSERVATIONS)
+        self._aggregates = store.collection("observation_aggregates")
+        self.policy = policy or RetentionPolicy()
+        self._clock = clock
+
+    # -- aggregation ----------------------------------------------------------
+
+    @staticmethod
+    def _zone_of(document: Dict[str, Any]) -> str:
+        location = document.get("location")
+        if not isinstance(location, dict):
+            return "NOLOC"
+        return f"Z{int(location['x_m'] // 1000)}-{int(location['y_m'] // 1000)}"
+
+    def _aggregate(self, documents: List[Dict[str, Any]]) -> int:
+        """Fold documents into (zone, day) aggregates; returns groups."""
+        groups: Dict[tuple, List[float]] = {}
+        for document in documents:
+            day = int(document.get("taken_at", 0.0) // SECONDS_PER_DAY)
+            zone = self._zone_of(document)
+            groups.setdefault((zone, day), []).append(document["noise_dba"])
+        for (zone, day), levels in groups.items():
+            existing = self._aggregates.find_one({"zone": zone, "day": day})
+            if existing is None:
+                self._aggregates.insert_one(
+                    {
+                        "zone": zone,
+                        "day": day,
+                        "count": len(levels),
+                        "leq_dba": round(leq(levels), 2),
+                    }
+                )
+            else:
+                # merge energy means by weighted energy addition
+                merged = leq(
+                    [existing["leq_dba"], leq(levels)],
+                    durations_s=[existing["count"], len(levels)],
+                )
+                self._aggregates.update_one(
+                    {"zone": zone, "day": day},
+                    {
+                        "$set": {"leq_dba": round(merged, 2)},
+                        "$inc": {"count": len(levels)},
+                    },
+                )
+        return len(groups)
+
+    # -- enforcement passes ---------------------------------------------------------
+
+    def expire_raw(self) -> Dict[str, int]:
+        """Age out raw observations past the retention window."""
+        cutoff = self._clock() - self.policy.raw_retention_days * SECONDS_PER_DAY
+        expired = self._observations.find({"taken_at": {"$lt": cutoff}}).to_list()
+        aggregated = 0
+        if expired and self.policy.aggregate_before_delete:
+            aggregated = self._aggregate(expired)
+        deleted = self._observations.delete_many({"taken_at": {"$lt": cutoff}})
+        return {"deleted": deleted, "aggregated_groups": aggregated}
+
+    def forget_inactive(self) -> Dict[str, int]:
+        """Erase all data of contributors inactive past the grace period."""
+        cutoff = self._clock() - self.policy.inactive_grace_days * SECONDS_PER_DAY
+        rows = self._observations.aggregate(
+            [
+                {
+                    "$group": {
+                        "_id": "$contributor",
+                        "last": {"$max": "$taken_at"},
+                    }
+                }
+            ]
+        )
+        inactive = [
+            row["_id"]
+            for row in rows
+            if row["_id"] is not None and row["last"] < cutoff
+        ]
+        deleted = 0
+        for contributor in inactive:
+            deleted += self._observations.delete_many(
+                {"contributor": contributor}
+            )
+        return {"forgotten_contributors": len(inactive), "deleted": deleted}
+
+    def run(self) -> Dict[str, int]:
+        """One full enforcement pass."""
+        expired = self.expire_raw()
+        forgotten = self.forget_inactive()
+        return {
+            "deleted": expired["deleted"] + forgotten["deleted"],
+            "aggregated_groups": expired["aggregated_groups"],
+            "forgotten_contributors": forgotten["forgotten_contributors"],
+        }
+
+    # -- jobs integration ---------------------------------------------------------------
+
+    def register_job(self, jobs: JobManager, name: str = "retention") -> None:
+        """Expose enforcement as an auditable background job."""
+        jobs.register_script(name, lambda store, params: self.run())

@@ -1,0 +1,243 @@
+"""The GoFlow server: the middleware's composition root.
+
+Wires the subsystems of Figure 2 together over one broker and one
+document store:
+
+- consumes the GoFlow queue and persists every crowd-sensed message
+  through the privacy policy (ingest path of Figure 1);
+- exposes the REST API (login, data retrieval, account and job
+  management, subscriptions);
+- hands mobile clients their channel ids at login (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.message import Delivery
+from repro.core.accounts import AccountManager, Role
+from repro.core.analytics import AnalyticsEngine
+from repro.core.api import GoFlowAPI, Request, Response
+from repro.core.auth import TokenService
+from repro.core.channels import ChannelManager, GOFLOW_QUEUE
+from repro.core.datamgmt import DataManager, DataQuery
+from repro.core.errors import ValidationError
+from repro.core.jobs import JobManager
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+
+
+class GoFlowServer:
+    """One deployed GoFlow instance."""
+
+    def __init__(
+        self,
+        broker: Optional[Broker] = None,
+        store: Optional[DocumentStore] = None,
+        privacy: Optional[PrivacyPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self.broker = broker or Broker(clock=self._clock)
+        self.store = store or DocumentStore(clock=self._clock)
+        self.privacy = privacy or PrivacyPolicy()
+        self.accounts = AccountManager(self.store)
+        self.tokens = TokenService(self._clock)
+        self.channels = ChannelManager(self.broker)
+        self.data = DataManager(self.store, self.privacy)
+        self.jobs = JobManager(self.store, self._clock)
+        self.analytics = AnalyticsEngine(self.store)
+        self.api = GoFlowAPI(self.tokens)
+        self._register_routes()
+        self._start_ingest()
+        self.ingested = 0
+
+    # -- ingest path ------------------------------------------------------------
+
+    def _start_ingest(self) -> None:
+        connection = self.broker.connect("goflow-server")
+        channel = connection.channel()
+        channel.basic_consume(
+            GOFLOW_QUEUE, self._on_delivery, auto_ack=True, consumer_tag="gf-ingest"
+        )
+
+    def _on_delivery(self, delivery: Delivery) -> None:
+        document = delivery.body
+        if not isinstance(document, dict):
+            return  # non-observation traffic (e.g. feedback blobs) is ignored
+        # never mutate the delivered body: the broker may have fanned the
+        # same message out to subscriber queues.
+        app_id = document.get("app_id") or self._app_from_key(
+            delivery.message.routing_key
+        )
+        self.data.ingest(app_id, document)
+        self.ingested += 1
+
+    @staticmethod
+    def _app_from_key(routing_key: str) -> str:
+        # client publishes route "<zone>.<datatype>"; the app id travels
+        # in the exchange chain, so default to the datatype's owner.
+        return "unknown-app"
+
+    # -- app/user lifecycle (programmatic surface) ---------------------------------
+
+    def register_app(
+        self, app_id: str, private_fields: Optional[List[str]] = None
+    ) -> str:
+        """Register an application end-to-end; returns its exchange name."""
+        self.accounts.register_app(app_id)
+        if private_fields is not None:
+            self.privacy.set_private_fields(app_id, private_fields)
+        return self.channels.register_app(app_id)
+
+    def login_client(
+        self, app_id: str, user_id: str, password: str
+    ) -> Dict[str, str]:
+        """Authenticate and create the client's channels.
+
+        Returns the token plus the exchange/queue ids the mobile client
+        connects to — exactly the handshake §3.2 describes.
+        """
+        account = self.accounts.verify_credentials(app_id, user_id, password)
+        token = self.tokens.issue(app_id, user_id, account.role)
+        channels = self.channels.client_login(app_id, user_id)
+        return {
+            "token": token,
+            "exchange": channels.exchange,
+            "queue": channels.queue,
+        }
+
+    def enroll_user(
+        self, app_id: str, user_id: str, password: str, role: Role = Role.CONTRIBUTOR
+    ) -> Dict[str, str]:
+        """Create an account and log it in (the app's first-run flow)."""
+        self.accounts.create_account(app_id, user_id, password, role=role)
+        return self.login_client(app_id, user_id, password)
+
+    # -- REST routes ------------------------------------------------------------------
+
+    def _register_routes(self) -> None:
+        api = self.api
+        api.route("POST", "/auth/login", self._r_login)
+        api.route("POST", "/apps/{app_id}/users", self._r_create_user, Role.MANAGER)
+        api.route("DELETE", "/apps/{app_id}/users/{user_id}", self._r_delete_user, Role.MANAGER)
+        api.route("GET", "/apps/{app_id}/users", self._r_list_users, Role.MANAGER)
+        api.route("GET", "/apps/{app_id}/data", self._r_get_data, Role.CONTRIBUTOR)
+        api.route("GET", "/apps/{app_id}/data/count", self._r_count_data, Role.CONTRIBUTOR)
+        api.route("POST", "/apps/{app_id}/subscriptions", self._r_subscribe, Role.CONTRIBUTOR)
+        api.route("POST", "/apps/{app_id}/jobs", self._r_submit_job, Role.MANAGER)
+        api.route("POST", "/apps/{app_id}/jobs/{job_id}/run", self._r_run_job, Role.MANAGER)
+        api.route("GET", "/apps/{app_id}/jobs/{job_id}", self._r_get_job, Role.CONTRIBUTOR)
+        api.route("GET", "/apps/{app_id}/analytics/totals", self._r_totals, Role.CONTRIBUTOR)
+        api.route("GET", "/apps/{app_id}/analytics/models", self._r_models, Role.CONTRIBUTOR)
+
+    def handle(self, request: Request) -> Response:
+        """Entry point for REST traffic."""
+        return self.api.dispatch(request)
+
+    # Handlers ----------------------------------------------------------------
+
+    def _r_login(self, request: Request, path: Dict[str, str], _p) -> Any:
+        body = request.body or {}
+        for required in ("app_id", "user_id", "password"):
+            if required not in body:
+                raise ValidationError(f"missing field {required!r}")
+        return self.login_client(body["app_id"], body["user_id"], body["password"])
+
+    def _r_create_user(self, request: Request, path: Dict[str, str], principal) -> Any:
+        body = request.body or {}
+        if "user_id" not in body or "password" not in body:
+            raise ValidationError("missing user_id or password")
+        role = Role(body.get("role", Role.CONTRIBUTOR.value))
+        account = self.accounts.create_account(
+            path["app_id"], body["user_id"], body["password"], role=role
+        )
+        return {"user_id": account.user_id, "role": account.role.value}
+
+    def _r_delete_user(self, request: Request, path: Dict[str, str], principal) -> Any:
+        self.accounts.remove_account(path["app_id"], path["user_id"])
+        deleted = self.data.delete_contributor_data(path["app_id"], path["user_id"])
+        return {"deleted_observations": deleted}
+
+    def _r_list_users(self, request: Request, path: Dict[str, str], principal) -> Any:
+        return [
+            {"user_id": a.user_id, "role": a.role.value, "active": a.active}
+            for a in self.accounts.accounts_for_app(path["app_id"])
+        ]
+
+    def _query_from_params(self, app_id: str, params: Dict[str, str]) -> DataQuery:
+        def _float(name: str) -> Optional[float]:
+            raw = params.get(name)
+            if raw is None:
+                return None
+            try:
+                return float(raw)
+            except ValueError:
+                raise ValidationError(f"parameter {name!r} must be numeric")
+
+        return DataQuery(
+            app_id=app_id,
+            since=_float("since"),
+            until=_float("until"),
+            model=params.get("model"),
+            mode=params.get("mode"),
+            provider=params.get("provider"),
+            max_accuracy_m=_float("max_accuracy_m"),
+            contributor=params.get("contributor"),
+            localized_only=params.get("localized_only") == "true",
+        )
+
+    def _r_get_data(self, request: Request, path: Dict[str, str], principal) -> Any:
+        query = self._query_from_params(path["app_id"], request.params)
+        limit_raw = request.params.get("limit")
+        limit = int(limit_raw) if limit_raw else 100
+        share_with = principal.app_id if principal else None
+        documents = self.data.retrieve(query, limit=limit, share_with_app=share_with)
+        for document in documents:
+            document.pop("_id", None)
+        return documents
+
+    def _r_count_data(self, request: Request, path: Dict[str, str], principal) -> Any:
+        query = self._query_from_params(path["app_id"], request.params)
+        return {"count": self.data.count(query)}
+
+    def _r_subscribe(self, request: Request, path: Dict[str, str], principal) -> Any:
+        body = request.body or {}
+        if "location_id" not in body or "datatype" not in body:
+            raise ValidationError("missing location_id or datatype")
+        routing = self.channels.subscribe(
+            path["app_id"], principal.user_id, body["location_id"], body["datatype"]
+        )
+        return {"routing_exchange": routing}
+
+    def _r_submit_job(self, request: Request, path: Dict[str, str], principal) -> Any:
+        body = request.body or {}
+        if "script" not in body:
+            raise ValidationError("missing script")
+        job = self.jobs.submit(
+            path["app_id"],
+            body["script"],
+            params=body.get("params"),
+            submitted_by=principal.user_id,
+        )
+        return {"job_id": job.job_id, "status": job.status.value}
+
+    def _r_run_job(self, request: Request, path: Dict[str, str], principal) -> Any:
+        job = self.jobs.run(int(path["job_id"]))
+        return {"job_id": job.job_id, "status": job.status.value, "error": job.error}
+
+    def _r_get_job(self, request: Request, path: Dict[str, str], principal) -> Any:
+        job = self.jobs.get(int(path["job_id"]))
+        return {
+            "job_id": job.job_id,
+            "status": job.status.value,
+            "result": job.result,
+            "error": job.error,
+        }
+
+    def _r_totals(self, request: Request, path: Dict[str, str], principal) -> Any:
+        return self.analytics.totals()
+
+    def _r_models(self, request: Request, path: Dict[str, str], principal) -> Any:
+        return self.analytics.per_model_table()

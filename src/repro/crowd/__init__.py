@@ -1,0 +1,33 @@
+"""The contributing crowd: who senses, when, where, and how connected.
+
+§6's social analysis rests on three generative layers:
+
+- :mod:`repro.crowd.diurnal` — per-user daily participation profiles.
+  The population aggregate plateaus from 10 AM to 9 PM (Fig. 18) while
+  individual users differ wildly (Fig. 19) — the paper's "heterogeneity
+  of the crowd is an asset" finding.
+- :mod:`repro.crowd.mobility` — a semi-Markov activity model (still ~70 %
+  of the time, Fig. 21) that also moves the user between home/work
+  anchors on the city plane.
+- :mod:`repro.crowd.connectivity` — alternating connected/disconnected
+  sessions with heavy-tailed offline periods, responsible for the
+  multi-hour transmission delays of Fig. 17.
+- :mod:`repro.crowd.population` — draws users (model, profile, anchors,
+  install date) matching the Figure 9 fleet composition.
+"""
+
+from repro.crowd.diurnal import DiurnalProfile, population_hourly_distribution
+from repro.crowd.mobility import MobilityModel, MobilityParams
+from repro.crowd.connectivity import ConnectivityModel, ConnectivityParams
+from repro.crowd.population import Population, User
+
+__all__ = [
+    "ConnectivityModel",
+    "ConnectivityParams",
+    "DiurnalProfile",
+    "MobilityModel",
+    "MobilityParams",
+    "Population",
+    "User",
+    "population_hourly_distribution",
+]

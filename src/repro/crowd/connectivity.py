@@ -1,0 +1,162 @@
+"""Connectivity: when a phone can reach the server, and over what.
+
+Figure 17's headline is that 35 % (unbuffered) to 45 % (buffered) of
+measurements arrive *more than two hours* after being taken, "which
+stresses the disconnection of devices", while ~30 % arrive within 10
+seconds. The model:
+
+- each user alternates **online sessions** (exponential duration) and
+  **offline gaps** (lognormal — heavy-tailed, so multi-hour and
+  overnight gaps are common);
+- per-user online fractions are themselves heterogeneous: some users
+  have data plans and are nearly always connected, others are
+  WiFi-only and connect in bursts;
+- online periods carry a transport: WiFi at home/work-like sessions,
+  3G otherwise.
+
+The model is lazy like mobility: ``is_online(t)``/``transport(t)``
+replay the alternating renewal process up to ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.devices.battery import NetworkKind
+
+
+@dataclass(frozen=True)
+class ConnectivityParams:
+    """Tunables of the alternating online/offline renewal process."""
+
+    online_mean_s: float = 2400.0
+    offline_median_s: float = 5400.0
+    offline_sigma: float = 1.5  # lognormal shape: heavy upper tail
+    wifi_share: float = 0.62  # share of online sessions on WiFi
+    always_on_share: float = 0.12  # users with cellular data always on
+
+    def __post_init__(self) -> None:
+        if self.online_mean_s <= 0 or self.offline_median_s <= 0:
+            raise ConfigurationError("session durations must be > 0")
+        if not 0.0 <= self.wifi_share <= 1.0:
+            raise ConfigurationError("wifi_share must be in [0, 1]")
+        if not 0.0 <= self.always_on_share <= 1.0:
+            raise ConfigurationError("always_on_share must be in [0, 1]")
+
+
+@dataclass
+class _Session:
+    start: float
+    end: float
+    online: bool
+    transport: Optional[NetworkKind]
+
+
+class ConnectivityModel:
+    """Connectivity of one user over simulated time."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        params: Optional[ConnectivityParams] = None,
+        start_time_s: float = 0.0,
+    ) -> None:
+        self._rng = rng
+        self.params = params or ConnectivityParams()
+        self.always_on = bool(rng.random() < self.params.always_on_share)
+        self._sessions: List[_Session] = []
+        self._horizon = float(start_time_s)
+        self._cursor = 0
+        # start mid-pattern: half the users begin online
+        self._next_online = bool(rng.random() < 0.5)
+        self._extend_to(start_time_s + 1.0)
+
+    # -- queries ------------------------------------------------------------
+
+    def is_online(self, t: float) -> bool:
+        """Whether the device can transmit at time ``t``."""
+        if self.always_on:
+            return True
+        return self._session_at(t).online
+
+    def transport(self, t: float) -> Optional[NetworkKind]:
+        """The transport in use at ``t`` (None when offline)."""
+        if self.always_on:
+            # always-on users still prefer WiFi when a session says so
+            session = self._session_at(t)
+            if session.online and session.transport is NetworkKind.WIFI:
+                return NetworkKind.WIFI
+            return NetworkKind.CELL_3G
+        return self._session_at(t).transport
+
+    def next_online_at(self, t: float) -> float:
+        """Earliest time >= ``t`` at which the device is online."""
+        if self.always_on:
+            return t
+        session = self._session_at(t)
+        while not session.online:
+            session = self._session_at(session.end)
+        return max(t, session.start)
+
+    def online_fraction(self, start: float, end: float) -> float:
+        """Fraction of [start, end) spent online."""
+        if end <= start:
+            raise ConfigurationError("end must be after start")
+        if self.always_on:
+            return 1.0
+        self._extend_to(end)
+        online = 0.0
+        for session in self._sessions:
+            lo = max(session.start, start)
+            hi = min(session.end, end)
+            if hi > lo and session.online:
+                online += hi - lo
+        return online / (end - start)
+
+    # -- internals ------------------------------------------------------------
+
+    def _session_at(self, t: float) -> _Session:
+        self._extend_to(t)
+        # sessions are contiguous; binary search by start time
+        lo, hi = 0, len(self._sessions) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._sessions[mid].end <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._sessions[lo]
+
+    def _extend_to(self, t: float) -> None:
+        while self._horizon <= t:
+            online = self._next_online
+            if online:
+                duration = float(self._rng.exponential(self.params.online_mean_s))
+                transport = (
+                    NetworkKind.WIFI
+                    if self._rng.random() < self.params.wifi_share
+                    else NetworkKind.CELL_3G
+                )
+            else:
+                duration = float(
+                    self._rng.lognormal(
+                        np.log(self.params.offline_median_s),
+                        self.params.offline_sigma,
+                    )
+                )
+                transport = None
+            duration = max(duration, 30.0)
+            self._sessions.append(
+                _Session(
+                    start=self._horizon,
+                    end=self._horizon + duration,
+                    online=online,
+                    transport=transport,
+                )
+            )
+            self._horizon += duration
+            self._next_online = not online

@@ -1,0 +1,108 @@
+"""Per-user diurnal participation profiles.
+
+A profile gives, for each hour of the day, the probability that a
+scheduled background sample actually happens (phone awake, app alive,
+user participating). Profiles are mixtures of 1-3 von-Mises-like bumps
+on the 24-hour circle plus a floor, drawn per user:
+
+- bump *centers* are drawn from the population's waking-hours
+  distribution, so the aggregate over many users is the broad 10 AM -
+  9 PM plateau of Figure 18;
+- bump widths, heights and count differ per user, producing the
+  morning-people / night-owls diversity of Figure 19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+HOURS = np.arange(24)
+
+
+def _circular_gaussian(hours: np.ndarray, center: float, width: float) -> np.ndarray:
+    """A Gaussian bump on the 24-hour circle."""
+    delta = np.minimum(np.abs(hours - center), 24.0 - np.abs(hours - center))
+    return np.exp(-0.5 * np.square(delta / width))
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Availability probability per hour of day for one user."""
+
+    hourly: np.ndarray  # shape (24,), values in [0, 1]
+
+    def __post_init__(self) -> None:
+        if self.hourly.shape != (24,):
+            raise ConfigurationError(
+                f"profile must have 24 hourly values, got shape {self.hourly.shape}"
+            )
+        if np.any(self.hourly < 0) or np.any(self.hourly > 1):
+            raise ConfigurationError("hourly availabilities must be in [0, 1]")
+
+    def availability(self, hour_of_day: float) -> float:
+        """Availability at a (possibly fractional) hour of day."""
+        return float(self.hourly[int(hour_of_day) % 24])
+
+    def normalized(self) -> np.ndarray:
+        """The profile as a distribution over hours (sums to 1)."""
+        total = float(self.hourly.sum())
+        if total == 0:
+            return np.full(24, 1.0 / 24.0)
+        return self.hourly / total
+
+    @property
+    def expected_daily_share(self) -> float:
+        """Mean availability over the day (contribution intensity proxy)."""
+        return float(self.hourly.mean())
+
+    @staticmethod
+    def sample(rng: np.random.Generator, intensity: float = 1.0) -> "DiurnalProfile":
+        """Draw one user's profile.
+
+        Args:
+            rng: the user's random stream.
+            intensity: scales overall availability; per-device
+                contribution volume differences (Fig. 9's
+                measurements-per-device spread) enter here.
+        """
+        if intensity <= 0:
+            raise ConfigurationError(f"intensity must be > 0, got {intensity}")
+        bump_count = int(rng.integers(1, 4))
+        profile = np.zeros(24, dtype=float)
+        for _ in range(bump_count):
+            # Waking-hours prior: triangular over [7, 23] peaking at 14.
+            center = float(rng.triangular(7.0, 14.0, 23.0))
+            width = float(rng.uniform(1.5, 5.0))
+            height = float(rng.uniform(0.3, 1.0))
+            profile += height * _circular_gaussian(HOURS.astype(float), center, width)
+        night_floor = float(rng.uniform(0.0, 0.08))
+        profile = np.clip(profile + night_floor, 0.0, None)
+        peak = profile.max()
+        if peak > 0:
+            profile = profile / peak
+        profile = np.clip(profile * min(intensity, 1.0), 0.0, 1.0)
+        return DiurnalProfile(hourly=profile)
+
+
+def population_hourly_distribution(
+    profiles: Sequence[DiurnalProfile],
+) -> np.ndarray:
+    """The population's measurement share per hour (sums to 1).
+
+    This is the expected Figure 18 curve: each user contributes
+    proportionally to their hourly availability.
+    """
+    if not profiles:
+        raise ConfigurationError("need at least one profile")
+    total = np.zeros(24, dtype=float)
+    for profile in profiles:
+        total += profile.hourly
+    grand = float(total.sum())
+    if grand == 0:
+        raise ConfigurationError("all profiles are identically zero")
+    return total / grand

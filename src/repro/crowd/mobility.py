@@ -1,0 +1,180 @@
+"""User mobility: activity states and positions on the city plane.
+
+A semi-Markov model over the ground-truth activities (``still, foot,
+bicycle, vehicle, tilting``). Dwell times are exponential with
+state-specific means chosen so the long-run time shares match §6.3:
+still ~70 %, moving (foot+bicycle+vehicle) <10 % ... with the remainder
+absorbed by recognition uncertainty at analysis time.
+
+Positions: each user has home and work anchors; moving states translate
+the user toward the current target anchor at the state's speed, with
+lateral jitter. Still states pin the user at the nearest anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Long-run target time shares of the *true* activity states. After the
+#: recognizer's ~20 % unqualified outputs are layered on, the reported
+#: distribution matches Figure 21 (still ~70 %, moving < 10 %).
+DEFAULT_STATE_SHARES: Dict[str, float] = {
+    "still": 0.930,
+    "foot": 0.032,
+    "vehicle": 0.018,
+    "bicycle": 0.006,
+    "tilting": 0.014,
+}
+
+#: Mean dwell time per state, seconds.
+DEFAULT_DWELL_MEANS_S: Dict[str, float] = {
+    "still": 3500.0,
+    "foot": 700.0,
+    "vehicle": 900.0,
+    "bicycle": 800.0,
+    "tilting": 120.0,
+}
+
+#: Movement speed per state, m/s.
+STATE_SPEEDS_M_S: Dict[str, float] = {
+    "still": 0.0,
+    "tilting": 0.0,
+    "foot": 1.3,
+    "bicycle": 4.0,
+    "vehicle": 8.0,
+}
+
+
+@dataclass(frozen=True)
+class MobilityParams:
+    """Tunable mobility parameters."""
+
+    state_shares: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_STATE_SHARES)
+    )
+    dwell_means_s: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DWELL_MEANS_S)
+    )
+
+    def __post_init__(self) -> None:
+        if set(self.state_shares) != set(DEFAULT_STATE_SHARES):
+            raise ConfigurationError(
+                f"state_shares must cover exactly {sorted(DEFAULT_STATE_SHARES)}"
+            )
+        total = sum(self.state_shares.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"state shares must sum to 1, got {total}")
+        for state, dwell in self.dwell_means_s.items():
+            if dwell <= 0:
+                raise ConfigurationError(f"dwell mean for {state!r} must be > 0")
+
+
+class MobilityModel:
+    """The mobility of one user.
+
+    The model is *lazy*: callers advance it to the current simulated
+    time with :meth:`advance`, and it replays state transitions since
+    the last call. This keeps fleet simulations cheap — mobility work is
+    only done when an observation actually samples the context.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        home_xy_m: Tuple[float, float],
+        work_xy_m: Tuple[float, float],
+        params: Optional[MobilityParams] = None,
+        start_time_s: float = 0.0,
+    ) -> None:
+        self._rng = rng
+        self.params = params or MobilityParams()
+        self.home = (float(home_xy_m[0]), float(home_xy_m[1]))
+        self.work = (float(work_xy_m[0]), float(work_xy_m[1]))
+        self._time = float(start_time_s)
+        self._state = "still"
+        self._state_until = self._time + self._draw_dwell("still")
+        self._position = np.array(self.home, dtype=float)
+        self._target = np.array(self.work, dtype=float)
+        self.time_in_state: Dict[str, float] = {s: 0.0 for s in DEFAULT_STATE_SHARES}
+
+    # -- public surface ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current ground-truth activity."""
+        return self._state
+
+    def position(self) -> Tuple[float, float]:
+        """Current true position (meters)."""
+        return (float(self._position[0]), float(self._position[1]))
+
+    def advance(self, now: float) -> None:
+        """Advance the model to absolute simulated time ``now``."""
+        if now < self._time:
+            raise ConfigurationError(
+                f"mobility cannot rewind: at {self._time}, asked for {now}"
+            )
+        while self._time < now:
+            step_end = min(now, self._state_until)
+            self._integrate(step_end - self._time)
+            self._time = step_end
+            if self._time >= self._state_until:
+                self._transition()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _draw_dwell(self, state: str) -> float:
+        return float(self._rng.exponential(self.params.dwell_means_s[state]))
+
+    def _transition(self) -> None:
+        # Entry probability of each state is proportional to
+        # share / dwell, so the stationary time share of state s is
+        # entry_rate(s) x dwell(s) = share(s) exactly. Self-transitions
+        # are allowed — they are statistically a dwell extension, and
+        # forbidding them would skew the stationary distribution.
+        states = sorted(self.params.state_shares)
+        weights = np.array(
+            [
+                self.params.state_shares[s] / self.params.dwell_means_s[s]
+                for s in states
+            ]
+        )
+        weights = weights / weights.sum()
+        self._state = str(self._rng.choice(states, p=weights))
+        self._state_until = self._time + self._draw_dwell(self._state)
+        if STATE_SPEEDS_M_S[self._state] > 0:
+            # head toward the farther anchor (commute-like movement)
+            home_d = np.linalg.norm(self._position - np.array(self.home))
+            work_d = np.linalg.norm(self._position - np.array(self.work))
+            self._target = np.array(
+                self.work if home_d <= work_d else self.home, dtype=float
+            )
+
+    def _integrate(self, dt: float) -> None:
+        if dt <= 0:
+            return
+        self.time_in_state[self._state] += dt
+        speed = STATE_SPEEDS_M_S[self._state]
+        if speed <= 0:
+            return
+        direction = self._target - self._position
+        distance = float(np.linalg.norm(direction))
+        travel = speed * dt
+        if distance <= travel or distance == 0.0:
+            self._position = self._target.copy()
+        else:
+            self._position = self._position + direction * (travel / distance)
+        # lateral jitter keeps trajectories off the straight line
+        self._position = self._position + self._rng.normal(0.0, 2.0, size=2)
+
+    def empirical_shares(self) -> Dict[str, float]:
+        """Observed time share per state since construction."""
+        total = sum(self.time_in_state.values())
+        if total == 0:
+            return {s: 0.0 for s in self.time_in_state}
+        return {s: t / total for s, t in self.time_in_state.items()}

@@ -1,0 +1,208 @@
+"""The user population.
+
+Draws the synthetic SoundCity crowd: each :class:`User` owns a phone of
+one of the Figure 9 models, a diurnal participation profile, mobility
+anchors in the city, a connectivity pattern, an install date within the
+campaign, and a sharing-consent flag (§4.2: "By default, the
+observations collected by a user are made available to the user only.
+If the user accepts, the observations are communicated to the GoFlow
+server").
+
+Per-model *contribution intensities* are derived from Figure 9: the
+measurements-per-device column differs 3x across models (e.g. GT-I9195
+users contributed 12.6k measurements each, NEXUS 5 users 6.5k) and the
+population reproduces those relative intensities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.crowd.connectivity import ConnectivityModel, ConnectivityParams
+from repro.crowd.diurnal import DiurnalProfile
+from repro.crowd.mobility import MobilityModel, MobilityParams
+from repro.devices.models import PhoneModel
+from repro.devices.registry import DeviceRegistry
+from repro.simulation.rng import RngRegistry
+
+
+@dataclass
+class User:
+    """One member of the contributing crowd."""
+
+    user_id: str
+    model: PhoneModel
+    profile: DiurnalProfile
+    mobility: MobilityModel
+    connectivity: ConnectivityModel
+    installed_at_s: float
+    shares_data: bool
+
+    def context(self) -> "UserContext":
+        """A sensing context view over this user's dynamic state."""
+        return UserContext(self)
+
+
+class UserContext:
+    """Adapts a :class:`User` to the sensing scheduler's context duck type."""
+
+    def __init__(self, user: User) -> None:
+        self._user = user
+        self._rng_cache: Optional[np.random.Generator] = None
+
+    def bind_clock(self, clock_now) -> "UserContext":
+        """Attach a time source so position/activity auto-advance."""
+        self._now = clock_now
+        return self
+
+    def position(self) -> Tuple[float, float]:
+        """Current true position; advances mobility lazily."""
+        self._advance()
+        return self._user.mobility.position()
+
+    def activity(self) -> str:
+        """Current true activity; advances mobility lazily."""
+        self._advance()
+        return self._user.mobility.state
+
+    def available(self, hour_of_day: float) -> bool:
+        """Whether a background sample happens this tick."""
+        probability = self._user.profile.availability(hour_of_day)
+        return bool(self._availability_rng().random() < probability)
+
+    def _advance(self) -> None:
+        now = getattr(self, "_now", None)
+        if now is not None:
+            self._user.mobility.advance(now())
+
+    def _availability_rng(self) -> np.random.Generator:
+        if self._rng_cache is None:
+            # per-user deterministic stream derived from the user id.
+            # hashlib, not hash(): Python's string hash is salted per
+            # process and would break cross-process reproducibility.
+            import hashlib
+
+            digest = hashlib.sha256(self._user.user_id.encode("utf-8")).digest()
+            seed = int.from_bytes(digest[:4], "big")
+            self._rng_cache = np.random.Generator(np.random.PCG64(seed))
+        return self._rng_cache
+
+
+class Population:
+    """Generates and holds the synthetic crowd.
+
+    Args:
+        rngs: the simulation's RNG registry.
+        registry: phone-model registry (Figure 9 by default).
+        scale: fleet scale relative to the paper's 2,091 devices
+            (e.g. 0.05 -> ~105 devices with the same model shares).
+        campaign_days: length of the observation campaign; install
+            dates spread over the first 60 % of it with an early spike
+            (the paper's launch press coverage).
+        city_extent_m: side of the square city the crowd lives in.
+        share_rate: probability a user consents to server upload.
+    """
+
+    def __init__(
+        self,
+        rngs: RngRegistry,
+        registry: Optional[DeviceRegistry] = None,
+        scale: float = 0.05,
+        campaign_days: float = 10.0,
+        city_extent_m: float = 10_000.0,
+        share_rate: float = 0.9,
+        mobility_params: Optional[MobilityParams] = None,
+        connectivity_params: Optional[ConnectivityParams] = None,
+    ) -> None:
+        if campaign_days <= 0:
+            raise ConfigurationError("campaign_days must be > 0")
+        if not 0.0 < share_rate <= 1.0:
+            raise ConfigurationError("share_rate must be in (0, 1]")
+        self.registry = registry or DeviceRegistry()
+        self.scale = scale
+        self.campaign_days = campaign_days
+        self.city_extent_m = city_extent_m
+        self._rngs = rngs
+        self.users: List[User] = []
+
+        intensity_by_model = self._relative_intensities()
+        fleet = self.registry.scaled_fleet(scale)
+        draw = rngs.stream("population")
+        counter = 0
+        for model_name, device_count in fleet.items():
+            model = self.registry.get(model_name)
+            for _ in range(device_count):
+                counter += 1
+                user_id = f"u{counter:05d}"
+                user_rng = rngs.stream(f"user.{user_id}")
+                profile = DiurnalProfile.sample(
+                    user_rng, intensity=intensity_by_model[model_name]
+                )
+                home = tuple(draw.uniform(0, city_extent_m, size=2))
+                work = tuple(draw.uniform(0, city_extent_m, size=2))
+                mobility = MobilityModel(
+                    rngs.stream(f"mobility.{user_id}"),
+                    home_xy_m=home,
+                    work_xy_m=work,
+                    params=mobility_params,
+                )
+                connectivity = ConnectivityModel(
+                    rngs.stream(f"connectivity.{user_id}"),
+                    params=connectivity_params,
+                )
+                installed = self._draw_install_time(draw)
+                shares = bool(draw.random() < share_rate)
+                self.users.append(
+                    User(
+                        user_id=user_id,
+                        model=model,
+                        profile=profile,
+                        mobility=mobility,
+                        connectivity=connectivity,
+                        installed_at_s=installed,
+                        shares_data=shares,
+                    )
+                )
+
+    def _relative_intensities(self) -> Dict[str, float]:
+        """Model -> participation intensity in (0, 1].
+
+        Normalized measurements-per-device from Figure 9, so relative
+        contribution volumes across models match the paper.
+        """
+        per_device = {
+            m.name: m.measurements_per_device for m in self.registry.models()
+        }
+        peak = max(per_device.values())
+        return {name: value / peak for name, value in per_device.items()}
+
+    def _draw_install_time(self, rng: np.random.Generator) -> float:
+        """Install date: launch spike then a steady trickle.
+
+        40 % of users install in the first 10 % of the campaign (the
+        press-covered launch), the rest uniformly over the first 80 %.
+        """
+        horizon = self.campaign_days * 86400.0
+        if rng.random() < 0.4:
+            return float(rng.uniform(0.0, 0.1 * horizon))
+        return float(rng.uniform(0.0, 0.8 * horizon))
+
+    # -- views -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def by_model(self) -> Dict[str, List[User]]:
+        """Users grouped by phone model name."""
+        groups: Dict[str, List[User]] = {}
+        for user in self.users:
+            groups.setdefault(user.model.name, []).append(user)
+        return groups
+
+    def sharing_users(self) -> List[User]:
+        """Users who consented to server upload."""
+        return [u for u in self.users if u.shares_data]

@@ -1,0 +1,33 @@
+"""Device fleet: phone models, registry, and battery accounting.
+
+The paper's evaluation is anchored on the 20 most popular phone models of
+the SoundCity user base (Figure 9: 2,091 devices, 23,108,136
+measurements, 9,556,174 localized). :data:`TOP20_MODELS` carries that
+table verbatim as ground truth for the synthetic fleet; per-model
+microphone responses encode the sensing heterogeneity of §5.2 and the
+battery model the component costs behind §5.3.
+"""
+
+from repro.devices.models import (
+    MicrophoneResponse,
+    PhoneModel,
+    TOP20_MODELS,
+    TOTAL_DEVICES,
+    TOTAL_LOCALIZED,
+    TOTAL_MEASUREMENTS,
+)
+from repro.devices.registry import DeviceRegistry
+from repro.devices.battery import Battery, EnergyCosts, NetworkKind
+
+__all__ = [
+    "Battery",
+    "DeviceRegistry",
+    "EnergyCosts",
+    "MicrophoneResponse",
+    "NetworkKind",
+    "PhoneModel",
+    "TOP20_MODELS",
+    "TOTAL_DEVICES",
+    "TOTAL_LOCALIZED",
+    "TOTAL_MEASUREMENTS",
+]

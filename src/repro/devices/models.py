@@ -1,0 +1,163 @@
+"""Phone models and the Figure 9 seed table.
+
+Each :class:`PhoneModel` bundles what the reproduction needs to know
+about a model:
+
+- the **deployment weights** straight out of Figure 9 (device count,
+  measurement count, localized-measurement count) used to draw the
+  synthetic fleet and to validate the analysis pipeline;
+- the **microphone response** (gain, offset, noise floor, clipping)
+  responsible for the per-model peak shift in Figure 14;
+- hardware constants for the battery model.
+
+The microphone offsets are synthetic but deterministic per model: the
+paper reports *that* the dB(A) peak varies significantly across models
+(Figure 14) and that within a model users agree (Figure 15); it does not
+publish per-model bias values, so we derive a stable offset in
+[-8 dB, +8 dB] from the model name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MicrophoneResponse:
+    """Linear-in-dB microphone model: measured = gain * true + offset.
+
+    Attributes:
+        gain: multiplicative response in dB space (1.0 = faithful).
+        offset_db: additive bias in dB(A) — the dominant heterogeneity
+            across models per §5.2.
+        noise_floor_db: readings below this are reported at the floor
+            (cheap MEMS microphones cannot measure silence).
+        clip_db: readings above this saturate.
+        jitter_db: standard deviation of per-measurement noise.
+    """
+
+    gain: float = 1.0
+    offset_db: float = 0.0
+    noise_floor_db: float = 28.0
+    clip_db: float = 95.0
+    jitter_db: float = 2.0
+
+    def apply(self, true_db: float, noise: float = 0.0) -> float:
+        """Map a true SPL to what this microphone reports."""
+        measured = self.gain * true_db + self.offset_db + noise * self.jitter_db
+        return min(max(measured, self.noise_floor_db), self.clip_db)
+
+    def invert(self, measured_db: float) -> float:
+        """Best-effort inverse (used by per-model calibration)."""
+        if self.gain == 0:
+            raise ConfigurationError("cannot invert a zero-gain response")
+        return (measured_db - self.offset_db) / self.gain
+
+
+def _stable_unit(name: str, salt: str) -> float:
+    """Deterministic float in [0, 1) derived from (name, salt)."""
+    digest = hashlib.sha256(f"{salt}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def derive_mic_response(model_name: str) -> MicrophoneResponse:
+    """Deterministic synthetic microphone response for a model name."""
+    offset = (_stable_unit(model_name, "mic-offset") - 0.5) * 16.0  # [-8, 8) dB
+    gain = 0.92 + _stable_unit(model_name, "mic-gain") * 0.16  # [0.92, 1.08)
+    floor = 26.0 + _stable_unit(model_name, "mic-floor") * 8.0  # [26, 34)
+    return MicrophoneResponse(
+        gain=round(gain, 4),
+        offset_db=round(offset, 3),
+        noise_floor_db=round(floor, 2),
+    )
+
+
+@dataclass(frozen=True)
+class PhoneModel:
+    """One phone model of the fleet."""
+
+    name: str
+    manufacturer: str
+    devices: int
+    measurements: int
+    localized: int
+    mic: MicrophoneResponse
+    battery_capacity_j: float = 38000.0  # ~ 2800 mAh @ 3.8 V
+    has_fused_provider: bool = True
+
+    @property
+    def localized_share(self) -> float:
+        """Fraction of this model's measurements carrying a location."""
+        if self.measurements == 0:
+            return 0.0
+        return self.localized / self.measurements
+
+    @property
+    def measurements_per_device(self) -> float:
+        """Average contribution intensity of this model's owners."""
+        if self.devices == 0:
+            return 0.0
+        return self.measurements / self.devices
+
+
+def _make(
+    manufacturer: str,
+    name: str,
+    devices: int,
+    measurements: int,
+    localized: int,
+    battery_j: float,
+    fused: bool = True,
+) -> PhoneModel:
+    return PhoneModel(
+        name=name,
+        manufacturer=manufacturer,
+        devices=devices,
+        measurements=measurements,
+        localized=localized,
+        mic=derive_mic_response(name),
+        battery_capacity_j=battery_j,
+        has_fused_provider=fused,
+    )
+
+
+#: Figure 9, verbatim: the 20 most popular models of the SoundCity user
+#: base, ordered by localized-measurement count as in the paper. Battery
+#: capacities are the models' public spec sheets (joules at nominal 3.8 V).
+#: The paper notes "few models provide fused data" — the fused flag marks
+#: the subset that does.
+TOP20_MODELS: List[PhoneModel] = [
+    _make("SAMSUNG", "GT-I9505", 253, 2_346_755, 1_014_261, 35_600),  # Galaxy S4
+    _make("SAMSUNG", "SM-G900F", 211, 2_048_523, 847_591, 38_300),  # Galaxy S5
+    _make("SONY", "D5803", 112, 1_097_018, 778_732, 31_500),  # Xperia Z3 Compact
+    _make("LGE", "LG-D855", 87, 1_098_479, 669_446, 41_000),  # G3
+    _make("ONEPLUS", "A0001", 84, 1_177_343, 657_992, 41_800),  # OnePlus One
+    _make("LGE", "NEXUS 5", 129, 843_472, 530_597, 31_600),
+    _make("SAMSUNG", "GT-I9300", 185, 1_432_594, 528_950, 28_500, fused=False),  # S3
+    _make("SAMSUNG", "SM-G901F", 73, 1_113_082, 524_761, 38_900),  # S5 Plus
+    _make("SONY", "D6603", 51, 815_239, 524_287, 42_400),  # Xperia Z3
+    _make("SAMSUNG", "SM-N9005", 134, 1_448_701, 503_379, 43_700),  # Note 3
+    _make("SAMSUNG", "GT-I9195", 174, 2_192_925, 464_916, 25_800, fused=False),  # S4 Mini
+    _make("SAMSUNG", "SM-G800F", 66, 989_210, 393_045, 28_900),  # S5 Mini
+    _make("HTC", "HTCONE_M8", 76, 854_593, 177_342, 35_300),
+    _make("LGE", "NEXUS 4", 67, 702_895, 380_751, 28_500, fused=False),
+    _make("SONY", "D6503", 52, 716_627, 200_360, 40_900),  # Xperia Z2
+    _make("SAMSUNG", "SM-N910F", 116, 812_207, 344_337, 41_500),  # Note 4
+    _make("SAMSUNG", "GT-I9305", 39, 692_420, 209_917, 28_500, fused=False),  # S3 LTE
+    _make("LGE", "LG-D802", 46, 728_469, 278_089, 40_900),  # G2
+    _make("SONY", "D2303", 40, 585_396, 221_686, 31_600),  # Xperia M2
+    _make("SAMSUNG", "GT-P5210", 96, 1_412_188, 305_735, 88_900, fused=False),  # Tab 3
+]
+
+TOTAL_DEVICES = sum(m.devices for m in TOP20_MODELS)
+TOTAL_MEASUREMENTS = sum(m.measurements for m in TOP20_MODELS)
+TOTAL_LOCALIZED = sum(m.localized for m in TOP20_MODELS)
+
+# The paper's Figure 9 totals; kept as assertions of fidelity.
+assert TOTAL_DEVICES == 2_091, TOTAL_DEVICES
+assert TOTAL_MEASUREMENTS == 23_108_136, TOTAL_MEASUREMENTS
+assert TOTAL_LOCALIZED == 9_556_174, TOTAL_LOCALIZED

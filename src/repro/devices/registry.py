@@ -1,0 +1,98 @@
+"""Device registry: lookup and fleet sampling.
+
+The registry answers two needs: (1) lookup of a model's properties by
+name (calibration, analysis), and (2) drawing a *scaled* synthetic fleet
+whose per-model composition matches Figure 9 — e.g. a 1/10-scale fleet
+keeps each model's device share, so every downstream per-model statistic
+retains the paper's weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.devices.models import PhoneModel, TOP20_MODELS
+
+
+class DeviceRegistry:
+    """Registry of known phone models."""
+
+    def __init__(self, models: Optional[Sequence[PhoneModel]] = None) -> None:
+        source = list(models) if models is not None else list(TOP20_MODELS)
+        if not source:
+            raise ConfigurationError("registry requires at least one model")
+        self._models: Dict[str, PhoneModel] = {}
+        for model in source:
+            if model.name in self._models:
+                raise ConfigurationError(f"duplicate model name {model.name!r}")
+            self._models[model.name] = model
+        self._order = [m.name for m in source]
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str) -> PhoneModel:
+        """The model named ``name``; raises on unknown models."""
+        model = self._models.get(name)
+        if model is None:
+            raise ConfigurationError(f"unknown phone model {name!r}")
+        return model
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def names(self) -> List[str]:
+        """Model names in registry order (Figure 9 order by default)."""
+        return list(self._order)
+
+    def models(self) -> List[PhoneModel]:
+        """All models in registry order."""
+        return [self._models[n] for n in self._order]
+
+    # -- fleet composition -------------------------------------------------------
+
+    def device_shares(self) -> Dict[str, float]:
+        """Model -> fraction of the fleet's devices (Figure 9 weights)."""
+        total = sum(m.devices for m in self._models.values())
+        return {n: self._models[n].devices / total for n in self._order}
+
+    def measurement_shares(self) -> Dict[str, float]:
+        """Model -> fraction of the fleet's measurements."""
+        total = sum(m.measurements for m in self._models.values())
+        return {n: self._models[n].measurements / total for n in self._order}
+
+    def scaled_fleet(self, scale: float) -> Dict[str, int]:
+        """Per-model device counts for a fleet scaled by ``scale``.
+
+        Largest-remainder rounding keeps the total at
+        ``round(scale * total_devices)`` while every model keeps at least
+        one device (the analysis needs every model present).
+        """
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {scale}")
+        exact = {n: self._models[n].devices * scale for n in self._order}
+        floors = {n: max(1, int(v)) for n, v in exact.items()}
+        target = max(len(self._order), round(sum(self._models[n].devices for n in self._order) * scale))
+        remainder_order = sorted(
+            self._order, key=lambda n: exact[n] - int(exact[n]), reverse=True
+        )
+        result = dict(floors)
+        deficit = target - sum(result.values())
+        for name in remainder_order:
+            if deficit <= 0:
+                break
+            result[name] += 1
+            deficit -= 1
+        return result
+
+    def sample_model(self, rng: np.random.Generator) -> PhoneModel:
+        """Draw one model with probability proportional to device count."""
+        shares = self.device_shares()
+        names = list(shares)
+        probabilities = np.array([shares[n] for n in names])
+        return self._models[names[rng.choice(len(names), p=probabilities)]]

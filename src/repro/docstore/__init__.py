@@ -1,0 +1,56 @@
+"""In-process document store (the MongoDB substitute).
+
+GoFlow's storage layer (paper §3.1: "Data storage ... builds upon
+MongoDB") needs document collections with filtered retrieval, update
+operators, secondary indexes, and an aggregation pipeline for analytics.
+This package implements that subset from scratch:
+
+- query operators: ``$eq $ne $gt $gte $lt $lte $in $nin $exists $regex
+  $and $or $nor $not $mod $size $elemMatch $all``;
+- dotted-path field access into nested documents and arrays;
+- update operators: ``$set $unset $inc $mul $min $max $push $pull
+  $addToSet $rename $currentDate`` (+ replacement documents);
+- secondary indexes (hash + sorted) consulted by the query planner for
+  equality and range predicates;
+- aggregation pipeline: ``$match $project $group $sort $limit $skip
+  $unwind $count $addFields`` with the common accumulators;
+- cursors with sort/skip/limit chaining.
+
+Semantics deliberately track MongoDB where the paper's workload depends
+on them (e.g. missing fields, array membership matching, stable sorts).
+"""
+
+from repro.docstore.errors import (
+    DocStoreError,
+    DuplicateKeyError,
+    IndexError_,
+    QuerySyntaxError,
+    UpdateSyntaxError,
+)
+from repro.docstore.query import get_path, matches
+from repro.docstore.update import apply_update
+from repro.docstore.index import HashIndex, SortedIndex
+from repro.docstore.cursor import Cursor
+from repro.docstore.collection import Collection
+from repro.docstore.aggregate import aggregate
+from repro.docstore.store import DocumentStore
+from repro.docstore.persistence import dump_store, load_store
+
+__all__ = [
+    "DocumentStore",
+    "dump_store",
+    "load_store",
+    "Collection",
+    "Cursor",
+    "HashIndex",
+    "SortedIndex",
+    "aggregate",
+    "apply_update",
+    "get_path",
+    "matches",
+    "DocStoreError",
+    "DuplicateKeyError",
+    "IndexError_",
+    "QuerySyntaxError",
+    "UpdateSyntaxError",
+]

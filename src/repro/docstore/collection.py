@@ -1,0 +1,357 @@
+"""Collections: documents, CRUD, indexes, and the query planner.
+
+Documents are dicts with a unique ``_id`` (auto-assigned when absent).
+The planner uses declared indexes for top-level equality and range
+predicates, intersects candidate sets across indexed fields, and verifies
+every candidate against the full filter (indexes only narrow, they never
+decide).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Union
+
+from repro.docstore.cursor import Cursor
+from repro.docstore.errors import DocStoreError, DuplicateKeyError, IndexError_
+from repro.docstore.index import HashIndex, SortedIndex
+from repro.docstore.query import (
+    extract_equality_predicates,
+    extract_range_predicates,
+    matches,
+)
+from repro.docstore.update import apply_update
+
+
+@dataclass
+class CollectionStats:
+    """Lifetime counters, consumed by GoFlow analytics."""
+
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    queries: int = 0
+    index_hits: int = 0
+    full_scans: int = 0
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of an update operation."""
+
+    matched: int = 0
+    modified: int = 0
+    upserted_id: Optional[Any] = None
+
+
+class Collection:
+    """A named set of documents with CRUD, indexes and a planner."""
+
+    def __init__(self, name: str, clock: Optional[Callable[[], float]] = None) -> None:
+        if not name:
+            raise DocStoreError("collection name must be non-empty")
+        self.name = name
+        self._clock = clock
+        self._docs: Dict[Any, Dict[str, Any]] = {}
+        self._id_counter = itertools.count(1)
+        self._hash_indexes: Dict[str, HashIndex] = {}
+        self._sorted_indexes: Dict[str, SortedIndex] = {}
+        self.stats = CollectionStats()
+
+    # -- basic properties -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def count(self, filter_doc: Optional[Dict[str, Any]] = None) -> int:
+        """Number of documents matching ``filter_doc`` (all when None)."""
+        if not filter_doc:
+            return len(self._docs)
+        return sum(1 for _ in self._iter_matching(filter_doc))
+
+    # -- index management --------------------------------------------------------
+
+    def create_index(self, path: str, kind: str = "sorted", unique: bool = False):
+        """Declare an index on ``path``.
+
+        Args:
+            path: dotted field path.
+            kind: ``"hash"`` (equality only, supports unique) or
+                ``"sorted"`` (equality + range).
+            unique: enforce unique values (hash indexes only).
+        """
+        if kind == "hash":
+            if path in self._hash_indexes:
+                raise IndexError_(f"hash index on {path!r} already exists")
+            index = HashIndex(path, unique=unique)
+            for doc_id, doc in self._docs.items():
+                index.insert(doc_id, doc)
+            self._hash_indexes[path] = index
+            return index
+        if kind == "sorted":
+            if unique:
+                raise IndexError_("unique is only supported on hash indexes")
+            if path in self._sorted_indexes:
+                raise IndexError_(f"sorted index on {path!r} already exists")
+            index = SortedIndex(path)
+            for doc_id, doc in self._docs.items():
+                index.insert(doc_id, doc)
+            self._sorted_indexes[path] = index
+            return index
+        raise IndexError_(f"unknown index kind {kind!r}")
+
+    def drop_index(self, path: str) -> None:
+        """Remove the index(es) declared on ``path``."""
+        found = False
+        if path in self._hash_indexes:
+            del self._hash_indexes[path]
+            found = True
+        if path in self._sorted_indexes:
+            del self._sorted_indexes[path]
+            found = True
+        if not found:
+            raise IndexError_(f"no index on {path!r}")
+
+    def index_paths(self) -> List[str]:
+        """Paths of all declared indexes."""
+        return sorted(set(self._hash_indexes) | set(self._sorted_indexes))
+
+    # -- insert ---------------------------------------------------------------------
+
+    def insert_one(self, document: Dict[str, Any]) -> Any:
+        """Insert a document; returns its ``_id``."""
+        if not isinstance(document, dict):
+            raise DocStoreError(
+                f"document must be a dict, got {type(document).__name__}"
+            )
+        doc = copy.deepcopy(document)
+        doc_id = doc.setdefault("_id", next(self._id_counter))
+        if doc_id in self._docs:
+            raise DuplicateKeyError(f"duplicate _id {doc_id!r} in {self.name!r}")
+        self._index_insert(doc_id, doc)
+        self._docs[doc_id] = doc
+        self.stats.inserts += 1
+        return doc_id
+
+    def insert_many(self, documents: Iterable[Dict[str, Any]]) -> List[Any]:
+        """Insert many documents; returns their ids (fails atomically per doc)."""
+        return [self.insert_one(doc) for doc in documents]
+
+    # -- find -----------------------------------------------------------------------
+
+    def find(self, filter_doc: Optional[Dict[str, Any]] = None) -> Cursor:
+        """Documents matching ``filter_doc`` as a chainable cursor."""
+        self.stats.queries += 1
+        return Cursor(list(self._iter_matching(filter_doc or {})))
+
+    def find_one(
+        self, filter_doc: Optional[Dict[str, Any]] = None
+    ) -> Optional[Dict[str, Any]]:
+        """The first matching document, or None."""
+        for doc in self._iter_matching(filter_doc or {}):
+            return copy.deepcopy(doc)
+        return None
+
+    def distinct(self, path: str, filter_doc: Optional[Dict[str, Any]] = None) -> List[Any]:
+        """Sorted distinct (hashable) values of ``path`` across matches."""
+        from repro.docstore.query import get_path, is_missing
+
+        values: Set[Any] = set()
+        for doc in self._iter_matching(filter_doc or {}):
+            resolved = get_path(doc, path)
+            if is_missing(resolved):
+                continue
+            candidates = resolved if isinstance(resolved, list) else [resolved]
+            for value in candidates:
+                try:
+                    values.add(value)
+                except TypeError:
+                    continue
+        return sorted(values, key=lambda v: (str(type(v)), str(v)))
+
+    # -- update ---------------------------------------------------------------------
+
+    def update_one(
+        self,
+        filter_doc: Dict[str, Any],
+        update: Dict[str, Any],
+        upsert: bool = False,
+    ) -> UpdateResult:
+        """Apply ``update`` to the first match (optionally upserting)."""
+        return self._update(filter_doc, update, multi=False, upsert=upsert)
+
+    def update_many(
+        self, filter_doc: Dict[str, Any], update: Dict[str, Any]
+    ) -> UpdateResult:
+        """Apply ``update`` to every match."""
+        return self._update(filter_doc, update, multi=True, upsert=False)
+
+    def replace_one(
+        self,
+        filter_doc: Dict[str, Any],
+        replacement: Dict[str, Any],
+        upsert: bool = False,
+    ) -> UpdateResult:
+        """Replace the first match with ``replacement``."""
+        if any(k.startswith("$") for k in replacement):
+            raise DocStoreError("replacement document cannot contain operators")
+        return self._update(filter_doc, replacement, multi=False, upsert=upsert)
+
+    def _update(
+        self,
+        filter_doc: Dict[str, Any],
+        update: Dict[str, Any],
+        multi: bool,
+        upsert: bool,
+    ) -> UpdateResult:
+        result = UpdateResult()
+        now = self._clock() if self._clock else None
+        matched_ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
+        for doc_id in matched_ids:
+            old = self._docs[doc_id]
+            new = apply_update(old, update, now=now)
+            result.matched += 1
+            if new != old:
+                self._index_remove(doc_id, old)
+                try:
+                    self._index_insert(doc_id, new)
+                except DuplicateKeyError:
+                    self._index_insert(doc_id, old)  # roll back
+                    raise
+                self._docs[doc_id] = new
+                result.modified += 1
+            if not multi:
+                break
+        if result.matched == 0 and upsert:
+            seed = extract_equality_predicates(filter_doc)
+            base = {k: v for k, v in seed.items() if "." not in k}
+            new_doc = apply_update(base, update, now=now)
+            result.upserted_id = self.insert_one(new_doc)
+        else:
+            self.stats.updates += result.modified
+        return result
+
+    # -- delete ---------------------------------------------------------------------
+
+    def delete_one(self, filter_doc: Dict[str, Any]) -> int:
+        """Delete the first match; returns 0 or 1."""
+        for doc in self._iter_matching(filter_doc):
+            self._remove(doc["_id"])
+            return 1
+        return 0
+
+    def delete_many(self, filter_doc: Dict[str, Any]) -> int:
+        """Delete every match; returns the count."""
+        ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
+        for doc_id in ids:
+            self._remove(doc_id)
+        return len(ids)
+
+    def drop(self) -> None:
+        """Remove every document (indexes stay declared)."""
+        self._docs.clear()
+        for index in self._hash_indexes.values():
+            index._map.clear()
+        for index in self._sorted_indexes.values():
+            index._partitions.clear()
+
+    # -- aggregation convenience -------------------------------------------------------
+
+    def aggregate(self, pipeline: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Run an aggregation pipeline over this collection."""
+        from repro.docstore.aggregate import aggregate as run_pipeline
+
+        return run_pipeline(self._docs.values(), pipeline)
+
+    def explain(self, filter_doc: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """How the planner would execute ``filter_doc``.
+
+        Returns ``{"strategy": "index"|"scan", "candidates": int|None,
+        "examined_share": float|None}`` without touching the query
+        counters — the debugging affordance every real store ships.
+        """
+        filter_doc = filter_doc or {}
+        candidates = self._plan(filter_doc)
+        if candidates is None:
+            return {"strategy": "scan", "candidates": None, "examined_share": None}
+        share = len(candidates) / len(self._docs) if self._docs else 0.0
+        return {
+            "strategy": "index",
+            "candidates": len(candidates),
+            "examined_share": share,
+        }
+
+    # -- planner & internals ---------------------------------------------------------
+
+    def _iter_matching(self, filter_doc: Dict[str, Any]):
+        candidate_ids = self._plan(filter_doc)
+        if candidate_ids is None:
+            self.stats.full_scans += 1
+            for doc in self._docs.values():
+                if matches(doc, filter_doc):
+                    yield doc
+        else:
+            self.stats.index_hits += 1
+            for doc_id in sorted(candidate_ids, key=lambda i: (str(type(i)), str(i))):
+                doc = self._docs.get(doc_id)
+                if doc is not None and matches(doc, filter_doc):
+                    yield doc
+
+    def _plan(self, filter_doc: Dict[str, Any]) -> Optional[Set[Any]]:
+        """Candidate ids from indexes, or None to force a full scan."""
+        if not filter_doc:
+            return None
+        equalities = extract_equality_predicates(filter_doc)
+        ranges = extract_range_predicates(filter_doc)
+        candidates: Optional[Set[Any]] = None
+
+        if "_id" in equalities:
+            return {equalities["_id"]} if equalities["_id"] in self._docs else set()
+
+        for path, value in equalities.items():
+            index: Optional[Union[HashIndex, SortedIndex]] = self._hash_indexes.get(
+                path
+            ) or self._sorted_indexes.get(path)
+            if index is None:
+                continue
+            hits = index.lookup(value)
+            candidates = hits if candidates is None else candidates & hits
+            if not candidates:
+                return set()
+
+        for path, (low, low_inc, high, high_inc) in ranges.items():
+            index2 = self._sorted_indexes.get(path)
+            if index2 is None:
+                continue
+            hits = index2.range(low, low_inc, high, high_inc)
+            candidates = hits if candidates is None else candidates & hits
+            if not candidates:
+                return set()
+
+        return candidates
+
+    def _index_insert(self, doc_id: Any, doc: Dict[str, Any]) -> None:
+        inserted: List[HashIndex] = []
+        try:
+            for index in self._hash_indexes.values():
+                index.insert(doc_id, doc)
+                inserted.append(index)
+        except DuplicateKeyError:
+            for index in inserted:
+                index.remove(doc_id, doc)
+            raise
+        for sindex in self._sorted_indexes.values():
+            sindex.insert(doc_id, doc)
+
+    def _index_remove(self, doc_id: Any, doc: Dict[str, Any]) -> None:
+        for index in self._hash_indexes.values():
+            index.remove(doc_id, doc)
+        for sindex in self._sorted_indexes.values():
+            sindex.remove(doc_id, doc)
+
+    def _remove(self, doc_id: Any) -> None:
+        doc = self._docs.pop(doc_id)
+        self._index_remove(doc_id, doc)
+        self.stats.deletes += 1

@@ -1,0 +1,140 @@
+"""Cursors: lazy, chainable result sets.
+
+A cursor snapshots matching documents at creation (deep-copied on yield,
+so callers can't corrupt the store) and supports ``sort``, ``skip``,
+``limit`` chaining before iteration, mirroring the MongoDB driver API
+GoFlow's data-management layer is written against.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.docstore.errors import DocStoreError
+from repro.docstore.query import get_path, is_missing
+
+SortSpec = Sequence[Tuple[str, int]]
+
+
+class _SortKey:
+    """Total-order wrapper so heterogeneous values sort deterministically.
+
+    Missing values sort first ascending (MongoDB treats missing as null,
+    lowest in its BSON comparison order); across types, values order by a
+    type rank then value.
+    """
+
+    _RANKS = {"missing": 0, "null": 1, "number": 2, "str": 3, "other": 4}
+
+    __slots__ = ("rank", "value")
+
+    def __init__(self, value: Any) -> None:
+        if is_missing(value):
+            self.rank, self.value = self._RANKS["missing"], None
+        elif value is None:
+            self.rank, self.value = self._RANKS["null"], None
+        elif isinstance(value, bool):
+            self.rank, self.value = self._RANKS["other"], (str(type(value)), str(value))
+        elif isinstance(value, (int, float)):
+            self.rank, self.value = self._RANKS["number"], value
+        elif isinstance(value, str):
+            self.rank, self.value = self._RANKS["str"], value
+        else:
+            self.rank, self.value = self._RANKS["other"], (str(type(value)), str(value))
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        if self.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _SortKey)
+            and self.rank == other.rank
+            and self.value == other.value
+        )
+
+
+def sort_documents(
+    documents: List[Dict[str, Any]], spec: SortSpec
+) -> List[Dict[str, Any]]:
+    """Stable multi-key sort of ``documents`` by ``spec``.
+
+    ``spec`` is a sequence of (field path, direction) with direction 1
+    (ascending) or -1 (descending).
+    """
+    result = list(documents)
+    for path, direction in reversed(list(spec)):
+        if direction not in (1, -1):
+            raise DocStoreError(f"sort direction must be 1 or -1, got {direction}")
+        result.sort(
+            key=lambda d: _SortKey(get_path(d, path)), reverse=(direction == -1)
+        )
+    return result
+
+
+class Cursor:
+    """Lazy result set over a materialized match list."""
+
+    def __init__(self, documents: List[Dict[str, Any]]) -> None:
+        self._documents = documents
+        self._sort: Optional[SortSpec] = None
+        self._skip = 0
+        self._limit: Optional[int] = None
+        self._consumed = False
+
+    def sort(self, spec: Union[str, SortSpec], direction: int = 1) -> "Cursor":
+        """Order results; ``spec`` is a field path or a list of pairs."""
+        self._require_fresh()
+        if isinstance(spec, str):
+            self._sort = [(spec, direction)]
+        else:
+            self._sort = list(spec)
+        return self
+
+    def skip(self, count: int) -> "Cursor":
+        """Skip the first ``count`` results."""
+        self._require_fresh()
+        if count < 0:
+            raise DocStoreError(f"skip must be >= 0, got {count}")
+        self._skip = count
+        return self
+
+    def limit(self, count: int) -> "Cursor":
+        """Yield at most ``count`` results."""
+        self._require_fresh()
+        if count < 0:
+            raise DocStoreError(f"limit must be >= 0, got {count}")
+        self._limit = count
+        return self
+
+    def count(self) -> int:
+        """Number of matching documents (ignores skip/limit)."""
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        self._require_fresh()
+        self._consumed = True
+        docs = self._documents
+        if self._sort is not None:
+            docs = sort_documents(docs, self._sort)
+        end = None if self._limit is None else self._skip + self._limit
+        for doc in docs[self._skip : end]:
+            yield copy.deepcopy(doc)
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """Materialize the cursor into a list."""
+        return list(self)
+
+    def first(self) -> Optional[Dict[str, Any]]:
+        """The first result, or None."""
+        for doc in self:
+            return doc
+        return None
+
+    def _require_fresh(self) -> None:
+        if self._consumed:
+            raise DocStoreError("cursor already consumed")

@@ -1,0 +1,25 @@
+"""Document-store errors."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class DocStoreError(ReproError):
+    """Base class for document-store errors."""
+
+
+class QuerySyntaxError(DocStoreError):
+    """A filter document uses an unknown or malformed operator."""
+
+
+class UpdateSyntaxError(DocStoreError):
+    """An update document uses an unknown or malformed operator."""
+
+
+class DuplicateKeyError(DocStoreError):
+    """An insert or update violated a unique index."""
+
+
+class IndexError_(DocStoreError):
+    """Index declaration or maintenance failure."""

@@ -1,0 +1,193 @@
+"""Secondary indexes.
+
+Two index kinds back the query planner:
+
+- :class:`HashIndex` — equality lookups, optional uniqueness;
+- :class:`SortedIndex` — range scans via binary search over a sorted
+  key list (``bisect``), the stand-in for MongoDB's B-tree.
+
+Indexes map a field path to sets of document ids. Documents whose
+indexed field is missing are not indexed (sparse behaviour); the planner
+therefore only uses an index when the predicate implies field presence
+(equality/range do).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.docstore.errors import DuplicateKeyError, IndexError_
+from repro.docstore.query import get_path, is_missing
+
+
+def _index_keys(document: Dict[str, Any], path: str) -> List[Any]:
+    """Keys under which a document is indexed for ``path``.
+
+    Array fields produce one key per element (multikey index).
+    Unhashable values (sub-documents) are not indexed.
+    """
+    resolved = get_path(document, path)
+    if is_missing(resolved):
+        return []
+    values = resolved if isinstance(resolved, list) else [resolved]
+    keys = []
+    for value in values:
+        try:
+            hash(value)
+        except TypeError:
+            continue
+        keys.append(value)
+    return keys
+
+
+class HashIndex:
+    """Equality index; optionally unique."""
+
+    def __init__(self, path: str, unique: bool = False) -> None:
+        if not path:
+            raise IndexError_("index path must be non-empty")
+        self.path = path
+        self.unique = unique
+        self._map: Dict[Any, Set[Any]] = {}
+
+    def insert(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        """Index ``document`` under ``doc_id``; enforces uniqueness."""
+        keys = _index_keys(document, self.path)
+        if self.unique:
+            for key in keys:
+                existing = self._map.get(key)
+                if existing and existing != {doc_id}:
+                    raise DuplicateKeyError(
+                        f"duplicate value {key!r} for unique index on {self.path!r}"
+                    )
+        for key in keys:
+            self._map.setdefault(key, set()).add(doc_id)
+
+    def remove(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        """Drop ``document``'s entries."""
+        for key in _index_keys(document, self.path):
+            bucket = self._map.get(key)
+            if bucket is not None:
+                bucket.discard(doc_id)
+                if not bucket:
+                    del self._map[key]
+
+    def lookup(self, value: Any) -> Set[Any]:
+        """Document ids whose field equals ``value``."""
+        try:
+            return set(self._map.get(value, set()))
+        except TypeError:
+            return set()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._map.values())
+
+
+class SortedIndex:
+    """Range index over orderable keys.
+
+    Keys of mixed incomparable types are segregated per type name so the
+    sort never raises; range queries only consult the partition matching
+    the bound's type.
+    """
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise IndexError_("index path must be non-empty")
+        self.path = path
+        # type name -> (sorted key list, parallel list of id-sets)
+        self._partitions: Dict[str, Tuple[List[Any], List[Set[Any]]]] = {}
+
+    @staticmethod
+    def _partition_name(value: Any) -> Optional[str]:
+        if isinstance(value, bool) or value is None:
+            return None  # not range-indexable
+        if isinstance(value, (int, float)):
+            return "number"
+        if isinstance(value, str):
+            return "str"
+        return None
+
+    def insert(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        """Index ``document`` under ``doc_id``."""
+        for key in _index_keys(document, self.path):
+            partition_name = self._partition_name(key)
+            if partition_name is None:
+                continue
+            keys, buckets = self._partitions.setdefault(partition_name, ([], []))
+            pos = bisect.bisect_left(keys, key)
+            if pos < len(keys) and keys[pos] == key:
+                buckets[pos].add(doc_id)
+            else:
+                keys.insert(pos, key)
+                buckets.insert(pos, {doc_id})
+
+    def remove(self, doc_id: Any, document: Dict[str, Any]) -> None:
+        """Drop ``document``'s entries."""
+        for key in _index_keys(document, self.path):
+            partition_name = self._partition_name(key)
+            if partition_name is None:
+                continue
+            partition = self._partitions.get(partition_name)
+            if partition is None:
+                continue
+            keys, buckets = partition
+            pos = bisect.bisect_left(keys, key)
+            if pos < len(keys) and keys[pos] == key:
+                buckets[pos].discard(doc_id)
+                if not buckets[pos]:
+                    del keys[pos]
+                    del buckets[pos]
+
+    def range(
+        self,
+        low: Any = None,
+        low_inclusive: bool = True,
+        high: Any = None,
+        high_inclusive: bool = True,
+    ) -> Set[Any]:
+        """Document ids with indexed key in the given range."""
+        bound = low if low is not None else high
+        if bound is None:
+            result: Set[Any] = set()
+            for keys, buckets in self._partitions.values():
+                for bucket in buckets:
+                    result |= bucket
+            return result
+        partition_name = self._partition_name(bound)
+        if partition_name is None:
+            return set()
+        partition = self._partitions.get(partition_name)
+        if partition is None:
+            return set()
+        keys, buckets = partition
+        start = 0
+        if low is not None:
+            start = (
+                bisect.bisect_left(keys, low)
+                if low_inclusive
+                else bisect.bisect_right(keys, low)
+            )
+        end = len(keys)
+        if high is not None:
+            end = (
+                bisect.bisect_right(keys, high)
+                if high_inclusive
+                else bisect.bisect_left(keys, high)
+            )
+        result = set()
+        for pos in range(start, end):
+            result |= buckets[pos]
+        return result
+
+    def lookup(self, value: Any) -> Set[Any]:
+        """Document ids whose field equals ``value``."""
+        return self.range(low=value, high=value)
+
+    def __len__(self) -> int:
+        return sum(
+            len(bucket)
+            for keys, buckets in self._partitions.values()
+            for bucket in buckets
+        )

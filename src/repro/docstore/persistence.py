@@ -1,0 +1,117 @@
+"""Store persistence: JSON-lines snapshots.
+
+A deployment needs its data to survive the process. The snapshot format
+is one JSON object per line:
+
+- a header line ``{"type": "store", "name": ..., "version": 1}``;
+- per collection, a ``{"type": "collection", ...}`` line declaring the
+  name and its index definitions;
+- one ``{"type": "doc", "collection": ..., "doc": {...}}`` line per
+  document.
+
+Loading replays declarations then inserts — indexes are rebuilt, and
+unique constraints re-verified, on the way in. Only JSON-serializable
+documents can be persisted (which is all GoFlow ever stores: the wire
+format is JSON).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.docstore.errors import DocStoreError
+from repro.docstore.store import DocumentStore
+
+_FORMAT_VERSION = 1
+
+
+def dump_store(store: DocumentStore, path: Union[str, Path]) -> int:
+    """Write a snapshot of ``store`` to ``path``; returns document count."""
+    path = Path(path)
+    written = 0
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "type": "store",
+            "name": store.name,
+            "version": _FORMAT_VERSION,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for name in store.collection_names():
+            collection = store.collection(name)
+            indexes = []
+            for index_path in collection.index_paths():
+                if index_path in collection._hash_indexes:
+                    indexes.append(
+                        {
+                            "path": index_path,
+                            "kind": "hash",
+                            "unique": collection._hash_indexes[index_path].unique,
+                        }
+                    )
+                if index_path in collection._sorted_indexes:
+                    indexes.append({"path": index_path, "kind": "sorted"})
+            handle.write(
+                json.dumps(
+                    {"type": "collection", "name": name, "indexes": indexes}
+                )
+                + "\n"
+            )
+            for document in collection.find({}):
+                try:
+                    line = json.dumps(
+                        {"type": "doc", "collection": name, "doc": document}
+                    )
+                except TypeError as exc:
+                    raise DocStoreError(
+                        f"document in {name!r} is not JSON-serializable: {exc}"
+                    ) from exc
+                handle.write(line + "\n")
+                written += 1
+    return written
+
+
+def load_store(
+    path: Union[str, Path], clock=None
+) -> DocumentStore:
+    """Rebuild a store from a snapshot written by :func:`dump_store`."""
+    path = Path(path)
+    store: DocumentStore | None = None
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DocStoreError(
+                    f"snapshot line {line_number} is not valid JSON: {exc}"
+                ) from exc
+            kind = record.get("type")
+            if kind == "store":
+                if record.get("version") != _FORMAT_VERSION:
+                    raise DocStoreError(
+                        f"unsupported snapshot version {record.get('version')!r}"
+                    )
+                store = DocumentStore(name=record["name"], clock=clock)
+            elif store is None:
+                raise DocStoreError("snapshot does not start with a store header")
+            elif kind == "collection":
+                collection = store.collection(record["name"])
+                for index in record.get("indexes", []):
+                    collection.create_index(
+                        index["path"],
+                        kind=index["kind"],
+                        unique=index.get("unique", False),
+                    )
+            elif kind == "doc":
+                store.collection(record["collection"]).insert_one(record["doc"])
+            else:
+                raise DocStoreError(
+                    f"unknown snapshot record type {kind!r} at line {line_number}"
+                )
+    if store is None:
+        raise DocStoreError(f"snapshot {path} is empty")
+    return store

@@ -1,0 +1,279 @@
+"""Filter-document evaluation (the query engine).
+
+A filter is a dict mapping field paths to either literal values
+(equality) or operator documents (``{"$gt": 5}``). Top-level logical
+operators ``$and``/``$or``/``$nor`` combine sub-filters. Field paths are
+dotted and traverse nested documents and arrays with MongoDB's implicit
+array-element matching: ``{"tags": "x"}`` matches a document whose
+``tags`` array contains ``"x"``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.docstore.errors import QuerySyntaxError
+
+_MISSING = object()
+
+
+def get_path(document: Any, path: str) -> Any:
+    """Resolve a dotted ``path`` in ``document``.
+
+    Returns the sentinel ``_MISSING`` (exported as :func:`is_missing`)
+    when the path does not exist. Integer path segments index arrays;
+    non-integer segments applied to an array map over its elements and
+    collect hits (MongoDB's multi-value resolution).
+    """
+    current = document
+    for segment in path.split("."):
+        if isinstance(current, dict):
+            if segment not in current:
+                return _MISSING
+            current = current[segment]
+        elif isinstance(current, list):
+            if segment.isdigit():
+                idx = int(segment)
+                if idx >= len(current):
+                    return _MISSING
+                current = current[idx]
+            else:
+                collected = []
+                for element in current:
+                    if isinstance(element, dict) and segment in element:
+                        collected.append(element[segment])
+                if not collected:
+                    return _MISSING
+                current = collected
+        else:
+            return _MISSING
+    return current
+
+
+def is_missing(value: Any) -> bool:
+    """True when a :func:`get_path` result means "field absent"."""
+    return value is _MISSING
+
+
+def _values_for_matching(resolved: Any) -> List[Any]:
+    """The candidate values an operator is tested against.
+
+    MongoDB tests array fields both as the whole array and element-wise.
+    """
+    if is_missing(resolved):
+        return []
+    if isinstance(resolved, list):
+        return [resolved] + list(resolved)
+    return [resolved]
+
+
+_COMPARABLE = (int, float)
+
+
+def _ordered(a: Any, b: Any) -> bool:
+    """Whether ``a`` and ``b`` can be compared with < / >."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, _COMPARABLE) and isinstance(b, _COMPARABLE):
+        return True
+    return type(a) is type(b) and isinstance(a, (str, tuple))
+
+
+def _eq(a: Any, b: Any) -> bool:
+    if isinstance(a, bool) != isinstance(b, bool):
+        return False
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _compare_op(op: str, value: Any, operand: Any) -> bool:
+    if op == "$eq":
+        return _eq(value, operand)
+    if op == "$ne":
+        return not _eq(value, operand)
+    if not _ordered(value, operand):
+        return False
+    if op == "$gt":
+        return value > operand
+    if op == "$gte":
+        return value >= operand
+    if op == "$lt":
+        return value < operand
+    if op == "$lte":
+        return value <= operand
+    raise QuerySyntaxError(f"unknown comparison operator {op!r}")
+
+
+def _is_operator_doc(value: Any) -> bool:
+    return isinstance(value, dict) and value and all(
+        isinstance(k, str) and k.startswith("$") for k in value
+    )
+
+
+def _match_operators(resolved: Any, operators: Dict[str, Any]) -> bool:
+    for op, operand in operators.items():
+        if not _match_one_operator(resolved, op, operand):
+            return False
+    return True
+
+
+def _match_one_operator(resolved: Any, op: str, operand: Any) -> bool:
+    candidates = _values_for_matching(resolved)
+
+    if op == "$exists":
+        present = not is_missing(resolved)
+        return present if operand else not present
+
+    if op == "$ne":
+        # $ne is a universal: no candidate may equal the operand, and a
+        # missing field satisfies it (MongoDB semantics).
+        return all(not _eq(v, operand) for v in candidates)
+
+    if op in ("$eq", "$gt", "$gte", "$lt", "$lte"):
+        return any(_compare_op(op, v, operand) for v in candidates)
+
+    if op == "$in":
+        if not isinstance(operand, (list, tuple)):
+            raise QuerySyntaxError("$in requires a list")
+        return any(any(_eq(v, o) for o in operand) for v in candidates)
+
+    if op == "$nin":
+        if not isinstance(operand, (list, tuple)):
+            raise QuerySyntaxError("$nin requires a list")
+        return all(all(not _eq(v, o) for o in operand) for v in candidates)
+
+    if op == "$regex":
+        if not isinstance(operand, str):
+            raise QuerySyntaxError("$regex requires a string pattern")
+        compiled = re.compile(operand)
+        return any(isinstance(v, str) and compiled.search(v) for v in candidates)
+
+    if op == "$mod":
+        if (
+            not isinstance(operand, (list, tuple))
+            or len(operand) != 2
+            or operand[0] == 0
+        ):
+            raise QuerySyntaxError("$mod requires [divisor, remainder] with divisor != 0")
+        divisor, remainder = operand
+        return any(
+            isinstance(v, _COMPARABLE) and not isinstance(v, bool) and v % divisor == remainder
+            for v in candidates
+        )
+
+    if op == "$size":
+        if not isinstance(operand, int) or isinstance(operand, bool):
+            raise QuerySyntaxError("$size requires an integer")
+        return isinstance(resolved, list) and len(resolved) == operand
+
+    if op == "$all":
+        if not isinstance(operand, (list, tuple)):
+            raise QuerySyntaxError("$all requires a list")
+        if not isinstance(resolved, list):
+            return all(_eq(resolved, o) for o in operand)
+        return all(any(_eq(e, o) for e in resolved) for o in operand)
+
+    if op == "$elemMatch":
+        if not isinstance(operand, dict):
+            raise QuerySyntaxError("$elemMatch requires a filter document")
+        if not isinstance(resolved, list):
+            return False
+        return any(
+            matches(e, operand) if isinstance(e, dict) else _match_operators(e, operand)
+            for e in resolved
+        )
+
+    if op == "$not":
+        if isinstance(operand, dict):
+            return not _match_operators(resolved, operand)
+        raise QuerySyntaxError("$not requires an operator document")
+
+    raise QuerySyntaxError(f"unknown query operator {op!r}")
+
+
+def matches(document: Dict[str, Any], filter_doc: Dict[str, Any]) -> bool:
+    """True when ``document`` satisfies ``filter_doc``."""
+    if not isinstance(filter_doc, dict):
+        raise QuerySyntaxError(
+            f"filter must be a dict, got {type(filter_doc).__name__}"
+        )
+    for key, condition in filter_doc.items():
+        if key == "$and":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QuerySyntaxError("$and requires a non-empty list")
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QuerySyntaxError("$or requires a non-empty list")
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QuerySyntaxError("$nor requires a non-empty list")
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QuerySyntaxError(f"unknown top-level operator {key!r}")
+        else:
+            resolved = get_path(document, key)
+            if _is_operator_doc(condition):
+                if not _match_operators(resolved, condition):
+                    return False
+            else:
+                candidates = _values_for_matching(resolved)
+                if condition is None:
+                    # null matches both explicit null and missing field
+                    if not (is_missing(resolved) or any(v is None for v in candidates)):
+                        return False
+                elif not any(_eq(v, condition) for v in candidates):
+                    return False
+    return True
+
+
+def extract_equality_predicates(filter_doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Field -> literal for top-level equality predicates (for the planner)."""
+    out: Dict[str, Any] = {}
+    for key, condition in filter_doc.items():
+        if key.startswith("$"):
+            continue
+        if _is_operator_doc(condition):
+            if set(condition) == {"$eq"}:
+                out[key] = condition["$eq"]
+        elif not isinstance(condition, dict):
+            out[key] = condition
+    return out
+
+
+def extract_range_predicates(
+    filter_doc: Dict[str, Any],
+) -> Dict[str, Tuple[Any, bool, Any, bool]]:
+    """Field -> (low, low_inclusive, high, high_inclusive) for the planner.
+
+    Only plain numeric/string bounds from top-level operator documents
+    are extracted; anything fancier falls back to a scan.
+    """
+    out: Dict[str, Tuple[Any, bool, Any, bool]] = {}
+    for key, condition in filter_doc.items():
+        if key.startswith("$") or not _is_operator_doc(condition):
+            continue
+        low: Any = None
+        low_inc = True
+        high: Any = None
+        high_inc = True
+        relevant = False
+        for op, operand in condition.items():
+            if op == "$gt":
+                low, low_inc, relevant = operand, False, True
+            elif op == "$gte":
+                low, low_inc, relevant = operand, True, True
+            elif op == "$lt":
+                high, high_inc, relevant = operand, False, True
+            elif op == "$lte":
+                high, high_inc, relevant = operand, True, True
+        if relevant:
+            out[key] = (low, low_inc, high, high_inc)
+    return out

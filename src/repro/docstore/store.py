@@ -1,0 +1,60 @@
+"""The document store: a namespace of collections.
+
+Mirrors a single MongoDB database. GoFlow owns one store and keeps one
+collection per concern (observations, accounts, jobs, analytics,
+calibration), exactly like the paper's "Data storage stores/deletes
+individual crowd-sensed messages as well as accounts, jobs and analytics
+information".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.docstore.collection import Collection
+from repro.docstore.errors import DocStoreError
+
+
+class DocumentStore:
+    """A named set of collections, created lazily on first access."""
+
+    def __init__(
+        self, name: str = "goflow", clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        if not name:
+            raise DocStoreError("store name must be non-empty")
+        self.name = name
+        self._clock = clock
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """The collection named ``name``, creating it if needed."""
+        coll = self._collections.get(name)
+        if coll is None:
+            coll = Collection(name, clock=self._clock)
+            self._collections[name] = coll
+        return coll
+
+    def __getitem__(self, name: str) -> Collection:
+        return self.collection(name)
+
+    def has_collection(self, name: str) -> bool:
+        """Whether ``name`` has been created."""
+        return name in self._collections
+
+    def collection_names(self) -> List[str]:
+        """Names of existing collections."""
+        return sorted(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        """Delete a collection and its documents."""
+        if name not in self._collections:
+            raise DocStoreError(f"unknown collection {name!r}")
+        del self._collections[name]
+
+    def total_documents(self) -> int:
+        """Documents across all collections."""
+        return sum(len(c) for c in self._collections.values())
+
+    def __repr__(self) -> str:
+        return f"DocumentStore({self.name!r}, collections={len(self._collections)})"

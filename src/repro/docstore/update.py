@@ -1,0 +1,235 @@
+"""Update-document application.
+
+``apply_update(document, update)`` returns a new document with the update
+applied; the input document is never mutated (callers rely on this for
+snapshot isolation of cursors). Supported operators: ``$set $unset $inc
+$mul $min $max $push $pull $addToSet $rename $currentDate``; an update
+document without any ``$`` operator is a full replacement (the ``_id`` is
+preserved).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, Optional
+
+from repro.docstore.errors import UpdateSyntaxError
+
+_NUMERIC = (int, float)
+
+
+def _ensure_parent(document: Dict[str, Any], path: str) -> tuple:
+    """Walk/create dict parents for a dotted path; return (parent, leaf key)."""
+    segments = path.split(".")
+    current: Any = document
+    for segment in segments[:-1]:
+        if isinstance(current, list):
+            if not segment.isdigit() or int(segment) >= len(current):
+                raise UpdateSyntaxError(
+                    f"cannot traverse array with segment {segment!r} in path {path!r}"
+                )
+            current = current[int(segment)]
+            continue
+        if not isinstance(current, dict):
+            raise UpdateSyntaxError(
+                f"cannot create path {path!r} through non-document value"
+            )
+        if segment not in current or not isinstance(current[segment], (dict, list)):
+            current[segment] = {}
+        current = current[segment]
+    return current, segments[-1]
+
+
+def _leaf_get(parent: Any, key: str) -> Any:
+    if isinstance(parent, list):
+        if key.isdigit() and int(key) < len(parent):
+            return parent[int(key)]
+        return None
+    return parent.get(key)
+
+
+def _leaf_set(parent: Any, key: str, value: Any) -> None:
+    if isinstance(parent, list):
+        if not key.isdigit():
+            raise UpdateSyntaxError(f"array index expected, got {key!r}")
+        idx = int(key)
+        while len(parent) <= idx:
+            parent.append(None)
+        parent[idx] = value
+    else:
+        parent[key] = value
+
+
+def _numeric_or_raise(value: Any, path: str, op: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, _NUMERIC):
+        raise UpdateSyntaxError(f"{op} target {path!r} is not numeric: {value!r}")
+    return value
+
+
+def _op_set(doc: Dict[str, Any], path: str, value: Any) -> None:
+    parent, key = _ensure_parent(doc, path)
+    _leaf_set(parent, key, value)
+
+
+def _op_unset(doc: Dict[str, Any], path: str, _value: Any) -> None:
+    parent, key = _ensure_parent(doc, path)
+    if isinstance(parent, dict):
+        parent.pop(key, None)
+    elif isinstance(parent, list) and key.isdigit() and int(key) < len(parent):
+        parent[int(key)] = None  # MongoDB leaves a null hole
+
+
+def _op_inc(doc: Dict[str, Any], path: str, amount: Any) -> None:
+    if isinstance(amount, bool) or not isinstance(amount, _NUMERIC):
+        raise UpdateSyntaxError(f"$inc amount must be numeric, got {amount!r}")
+    parent, key = _ensure_parent(doc, path)
+    current = _leaf_get(parent, key)
+    if current is None:
+        _leaf_set(parent, key, amount)
+    else:
+        _leaf_set(parent, key, _numeric_or_raise(current, path, "$inc") + amount)
+
+
+def _op_mul(doc: Dict[str, Any], path: str, factor: Any) -> None:
+    if isinstance(factor, bool) or not isinstance(factor, _NUMERIC):
+        raise UpdateSyntaxError(f"$mul factor must be numeric, got {factor!r}")
+    parent, key = _ensure_parent(doc, path)
+    current = _leaf_get(parent, key)
+    if current is None:
+        _leaf_set(parent, key, 0)
+    else:
+        _leaf_set(parent, key, _numeric_or_raise(current, path, "$mul") * factor)
+
+
+def _op_min(doc: Dict[str, Any], path: str, bound: Any) -> None:
+    parent, key = _ensure_parent(doc, path)
+    current = _leaf_get(parent, key)
+    if current is None or bound < current:
+        _leaf_set(parent, key, bound)
+
+
+def _op_max(doc: Dict[str, Any], path: str, bound: Any) -> None:
+    parent, key = _ensure_parent(doc, path)
+    current = _leaf_get(parent, key)
+    if current is None or bound > current:
+        _leaf_set(parent, key, bound)
+
+
+def _op_push(doc: Dict[str, Any], path: str, value: Any) -> None:
+    parent, key = _ensure_parent(doc, path)
+    current = _leaf_get(parent, key)
+    if current is None:
+        current = []
+        _leaf_set(parent, key, current)
+    if not isinstance(current, list):
+        raise UpdateSyntaxError(f"$push target {path!r} is not an array")
+    if isinstance(value, dict) and "$each" in value:
+        each = value["$each"]
+        if not isinstance(each, list):
+            raise UpdateSyntaxError("$each requires a list")
+        current.extend(copy.deepcopy(each))
+    else:
+        current.append(copy.deepcopy(value))
+
+
+def _op_pull(doc: Dict[str, Any], path: str, condition: Any) -> None:
+    from repro.docstore.query import matches  # local import: avoid cycle
+
+    parent, key = _ensure_parent(doc, path)
+    current = _leaf_get(parent, key)
+    if current is None:
+        return
+    if not isinstance(current, list):
+        raise UpdateSyntaxError(f"$pull target {path!r} is not an array")
+    if isinstance(condition, dict):
+        kept = [
+            e
+            for e in current
+            if not (isinstance(e, dict) and matches(e, condition))
+        ]
+    else:
+        kept = [e for e in current if e != condition]
+    _leaf_set(parent, key, kept)
+
+
+def _op_add_to_set(doc: Dict[str, Any], path: str, value: Any) -> None:
+    parent, key = _ensure_parent(doc, path)
+    current = _leaf_get(parent, key)
+    if current is None:
+        current = []
+        _leaf_set(parent, key, current)
+    if not isinstance(current, list):
+        raise UpdateSyntaxError(f"$addToSet target {path!r} is not an array")
+    values = value["$each"] if isinstance(value, dict) and "$each" in value else [value]
+    for item in values:
+        if item not in current:
+            current.append(copy.deepcopy(item))
+
+
+def _op_rename(doc: Dict[str, Any], path: str, new_path: Any) -> None:
+    if not isinstance(new_path, str) or not new_path:
+        raise UpdateSyntaxError("$rename target must be a non-empty string")
+    parent, key = _ensure_parent(doc, path)
+    if isinstance(parent, dict) and key in parent:
+        value = parent.pop(key)
+        new_parent, new_key = _ensure_parent(doc, new_path)
+        _leaf_set(new_parent, new_key, value)
+
+
+_OPERATORS: Dict[str, Callable[[Dict[str, Any], str, Any], None]] = {
+    "$set": _op_set,
+    "$unset": _op_unset,
+    "$inc": _op_inc,
+    "$mul": _op_mul,
+    "$min": _op_min,
+    "$max": _op_max,
+    "$push": _op_push,
+    "$pull": _op_pull,
+    "$addToSet": _op_add_to_set,
+    "$rename": _op_rename,
+}
+
+
+def apply_update(
+    document: Dict[str, Any],
+    update: Dict[str, Any],
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Return a new document with ``update`` applied to ``document``.
+
+    Args:
+        document: the current document (not mutated).
+        update: operator document or replacement document.
+        now: simulated time for ``$currentDate``.
+    """
+    if not isinstance(update, dict):
+        raise UpdateSyntaxError(f"update must be a dict, got {type(update).__name__}")
+    has_ops = any(k.startswith("$") for k in update)
+    has_plain = any(not k.startswith("$") for k in update)
+    if has_ops and has_plain:
+        raise UpdateSyntaxError("cannot mix update operators and replacement fields")
+
+    if not has_ops:
+        replacement = copy.deepcopy(update)
+        if "_id" in document:
+            replacement["_id"] = document["_id"]
+        return replacement
+
+    result = copy.deepcopy(document)
+    for op, spec in update.items():
+        if op == "$currentDate":
+            if not isinstance(spec, dict):
+                raise UpdateSyntaxError("$currentDate requires a field document")
+            for path in spec:
+                _op_set(result, path, now if now is not None else 0.0)
+            continue
+        handler = _OPERATORS.get(op)
+        if handler is None:
+            raise UpdateSyntaxError(f"unknown update operator {op!r}")
+        if not isinstance(spec, dict):
+            raise UpdateSyntaxError(f"{op} requires a field document")
+        for path, value in spec.items():
+            if path == "_id" and op != "$setOnInsert":
+                raise UpdateSyntaxError("the _id field cannot be updated")
+            handler(result, path, value)
+    return result

@@ -1,0 +1,21 @@
+"""Shared exception hierarchy for the repro package.
+
+Every subsystem derives its errors from :class:`ReproError` so that callers
+embedding the middleware can catch a single base class at integration
+boundaries while still discriminating precise failure modes within a
+subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""

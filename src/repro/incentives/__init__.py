@@ -1,0 +1,31 @@
+"""Incentive mechanisms for crowd participation.
+
+§1: "MPS applications should come along with the right incentive [46]";
+§2: "Mechanisms may be either platform-centric or user-centric for
+which theoretical properties have been studied in [46]" — the cited
+work is Yang, Xue, Fang, Tang, *Crowdsourcing to Smartphones: Incentive
+Mechanism Design for Mobile Phone Sensing* (MobiCom'12). Both of its
+mechanisms are implemented:
+
+- :mod:`repro.incentives.stackelberg` — the **platform-centric** model:
+  the platform announces a total reward, users split it proportionally
+  to their announced sensing time, and play a Stackelberg game whose
+  unique Nash equilibrium is computed in closed form;
+- :mod:`repro.incentives.auction` — the **user-centric** model: a
+  reverse auction (MSensing-style) where users bid costs for task
+  bundles; winner selection is greedy on marginal value and payments
+  are critical values, giving truthfulness, individual rationality and
+  platform profitability.
+"""
+
+from repro.incentives.stackelberg import StackelbergGame, StackelbergOutcome, UserCost
+from repro.incentives.auction import AuctionOutcome, Bid, ReverseAuction
+
+__all__ = [
+    "AuctionOutcome",
+    "Bid",
+    "ReverseAuction",
+    "StackelbergGame",
+    "StackelbergOutcome",
+    "UserCost",
+]

@@ -1,0 +1,162 @@
+"""The user-centric incentive: a truthful reverse auction.
+
+Model (Yang et al., MobiCom'12, §4 — the *MSensing* auction): each user
+``i`` offers to perform a set of sensing tasks ``Gamma_i`` for a bid
+``b_i`` (their claimed cost). The platform's value for a set of users is
+submodular: each distinct task counted once at its value.
+
+Winner selection (greedy): repeatedly add the user with the largest
+positive marginal value minus bid. Payment for winner ``i``: run the
+selection over the *other* users; the payment is the maximum, over the
+rounds of that run, of the bid that would have let ``i`` win that round
+(marginal value of ``i`` at that point minus the runner-up's margin) —
+the critical-value rule. The mechanism is truthful (bidding the true
+cost is a dominant strategy), individually rational (payment >= bid for
+winners) and profitable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Bid:
+    """One user's offer: a task bundle for a price."""
+
+    user_id: str
+    tasks: FrozenSet[str]
+    bid: float
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ConfigurationError("a bid must cover at least one task")
+        if self.bid < 0:
+            raise ConfigurationError("bids must be >= 0")
+
+
+@dataclass
+class AuctionOutcome:
+    """Winners, payments, and platform accounting."""
+
+    winners: List[str]
+    payments: Dict[str, float]
+    covered_tasks: Set[str]
+    platform_value: float
+
+    @property
+    def total_payment(self) -> float:
+        """What the platform pays out."""
+        return sum(self.payments.values())
+
+    @property
+    def platform_utility(self) -> float:
+        """Value of covered tasks minus payments."""
+        return self.platform_value - self.total_payment
+
+
+class ReverseAuction:
+    """The MSensing-style auction."""
+
+    def __init__(self, task_values: Mapping[str, float]) -> None:
+        if not task_values:
+            raise ConfigurationError("the auction needs at least one task")
+        if any(value <= 0 for value in task_values.values()):
+            raise ConfigurationError("task values must be > 0")
+        self.task_values = dict(task_values)
+
+    # -- value model ----------------------------------------------------------
+
+    def _marginal_value(self, tasks: FrozenSet[str], covered: Set[str]) -> float:
+        return sum(
+            self.task_values.get(task, 0.0)
+            for task in tasks
+            if task not in covered
+        )
+
+    def _greedy(self, bids: Sequence[Bid]) -> List[Tuple[Bid, float]]:
+        """Greedy winner selection; returns (bid, marginal value) rounds."""
+        remaining = list(bids)
+        covered: Set[str] = set()
+        rounds: List[Tuple[Bid, float]] = []
+        while remaining:
+            best: Optional[Tuple[Bid, float]] = None
+            for bid in remaining:
+                marginal = self._marginal_value(bid.tasks, covered)
+                utility = marginal - bid.bid
+                if utility > 0 and (
+                    best is None or utility > best[1] - best[0].bid
+                ):
+                    best = (bid, marginal)
+            if best is None:
+                break
+            rounds.append(best)
+            covered |= set(best[0].tasks)
+            remaining.remove(best[0])
+        return rounds
+
+    # -- the mechanism ---------------------------------------------------------------
+
+    def run(self, bids: Sequence[Bid]) -> AuctionOutcome:
+        """Select winners and compute critical-value payments."""
+        ids = [bid.user_id for bid in bids]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate bidders")
+        rounds = self._greedy(bids)
+        winners = [bid.user_id for bid, _ in rounds]
+        covered: Set[str] = set()
+        for bid, _ in rounds:
+            covered |= set(bid.tasks)
+        payments: Dict[str, float] = {}
+        for winner_bid, _ in rounds:
+            payments[winner_bid.user_id] = self._critical_payment(
+                winner_bid, [b for b in bids if b.user_id != winner_bid.user_id]
+            )
+        platform_value = sum(self.task_values[t] for t in covered)
+        return AuctionOutcome(
+            winners=winners,
+            payments=payments,
+            covered_tasks=covered,
+            platform_value=platform_value,
+        )
+
+    def _critical_payment(self, winner: Bid, others: Sequence[Bid]) -> float:
+        """The critical-value payment of ``winner``.
+
+        Replay greedy selection over the other bidders. Before each
+        round, compute the bid at which ``winner`` would have been
+        picked instead of that round's pick:
+
+            p_round = min(marginal_i - (marginal_j - b_j), marginal_i)
+
+        (outbid the round's winner j, but never above i's own marginal
+        value). The payment is the max over rounds, including the final
+        virtual round where nobody else is picked.
+        """
+        remaining = list(others)
+        covered: Set[str] = set()
+        payment = 0.0
+        while True:
+            my_marginal = self._marginal_value(winner.tasks, covered)
+            best: Optional[Tuple[Bid, float]] = None
+            for bid in remaining:
+                marginal = self._marginal_value(bid.tasks, covered)
+                utility = marginal - bid.bid
+                if utility > 0 and (
+                    best is None or utility > best[1] - best[0].bid
+                ):
+                    best = (bid, marginal)
+            if best is None:
+                # final round: i wins with any bid below its marginal value
+                payment = max(payment, my_marginal)
+                break
+            round_margin = best[1] - best[0].bid
+            payment = max(payment, min(my_marginal - round_margin, my_marginal))
+            covered |= set(best[0].tasks)
+            remaining.remove(best[0])
+            if not remaining and self._marginal_value(winner.tasks, covered) <= 0:
+                break
+        return max(payment, 0.0)

@@ -1,0 +1,156 @@
+"""The platform-centric incentive: a Stackelberg game.
+
+Model (Yang et al., MobiCom'12, §3): the platform announces a reward
+``R`` shared among participants proportionally to sensing time. User
+``i`` with unit cost ``kappa_i`` chooses time ``t_i >= 0`` maximizing
+
+    u_i(t_i) = R * t_i / sum_j t_j - kappa_i * t_i.
+
+For a fixed R there is a unique Nash equilibrium: order users by cost,
+find the largest prefix ``S`` (|S| >= 2) satisfying
+
+    kappa_i < (sum_{j in S} kappa_j) / (|S| - 1)      for every i in S,
+
+then with ``K = sum_{j in S} kappa_j`` and ``n = |S|``:
+
+    t_i = R * (n - 1) / K * (1 - kappa_i * (n - 1) / K).
+
+The platform (leader) picks R maximizing its own utility
+``value(T) - R`` where ``T = sum t_i`` and ``value`` is a concave gain
+from total sensing time (we use ``lam * log(1 + T)``), solved by
+ternary search over R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UserCost:
+    """One potential participant."""
+
+    user_id: str
+    kappa: float  # cost per unit sensing time
+
+    def __post_init__(self) -> None:
+        if self.kappa <= 0:
+            raise ConfigurationError("unit cost must be > 0")
+
+
+@dataclass
+class StackelbergOutcome:
+    """Equilibrium of the game for the platform's chosen reward."""
+
+    reward: float
+    times: Dict[str, float]
+    platform_utility: float
+    user_utilities: Dict[str, float]
+
+    @property
+    def total_time(self) -> float:
+        """Total sensing time bought."""
+        return sum(self.times.values())
+
+    @property
+    def participants(self) -> List[str]:
+        """Users with strictly positive equilibrium time."""
+        return [user for user, t in self.times.items() if t > 1e-12]
+
+
+class StackelbergGame:
+    """The platform-centric incentive mechanism."""
+
+    def __init__(self, users: Sequence[UserCost], lam: float = 100.0) -> None:
+        if len(users) < 2:
+            raise ConfigurationError("the game needs at least 2 users")
+        if lam <= 0:
+            raise ConfigurationError("lam must be > 0")
+        ids = [user.user_id for user in users]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("duplicate user ids")
+        self.users = sorted(users, key=lambda user: user.kappa)
+        self.lam = lam
+
+    # -- follower equilibrium ----------------------------------------------------
+
+    def _participant_set(self) -> List[UserCost]:
+        """The unique maximal prefix S with the NE participation property."""
+        chosen: List[UserCost] = list(self.users[:2])
+        kappa_sum = sum(user.kappa for user in chosen)
+        for user in self.users[2:]:
+            if user.kappa < (kappa_sum + user.kappa) / len(chosen):
+                chosen.append(user)
+                kappa_sum += user.kappa
+            else:
+                break
+        return chosen
+
+    def equilibrium_times(self, reward: float) -> Dict[str, float]:
+        """Each user's NE sensing time for announced ``reward``."""
+        if reward < 0:
+            raise ConfigurationError("reward must be >= 0")
+        times = {user.user_id: 0.0 for user in self.users}
+        if reward == 0:
+            return times
+        participants = self._participant_set()
+        n = len(participants)
+        kappa_sum = sum(user.kappa for user in participants)
+        for user in participants:
+            t = (
+                reward
+                * (n - 1)
+                / kappa_sum
+                * (1.0 - user.kappa * (n - 1) / kappa_sum)
+            )
+            times[user.user_id] = max(t, 0.0)
+        return times
+
+    def user_utilities(
+        self, reward: float, times: Optional[Dict[str, float]] = None
+    ) -> Dict[str, float]:
+        """u_i = R t_i / T - kappa_i t_i at the given profile."""
+        times = times if times is not None else self.equilibrium_times(reward)
+        total = sum(times.values())
+        utilities = {}
+        for user in self.users:
+            t = times[user.user_id]
+            share = reward * t / total if total > 0 else 0.0
+            utilities[user.user_id] = share - user.kappa * t
+        return utilities
+
+    # -- leader optimization ------------------------------------------------------
+
+    def platform_utility(self, reward: float) -> float:
+        """lam * log(1 + T(R)) - R."""
+        total = sum(self.equilibrium_times(reward).values())
+        return float(self.lam * np.log1p(total) - reward)
+
+    def solve(self, r_max: Optional[float] = None, iterations: int = 200) -> StackelbergOutcome:
+        """Pick the utility-maximizing reward by ternary search.
+
+        The platform utility is concave in R (T is linear in R and the
+        gain is concave), so ternary search converges.
+        """
+        hi = r_max if r_max is not None else 10.0 * self.lam
+        lo = 0.0
+        for _ in range(iterations):
+            m1 = lo + (hi - lo) / 3.0
+            m2 = hi - (hi - lo) / 3.0
+            if self.platform_utility(m1) < self.platform_utility(m2):
+                lo = m1
+            else:
+                hi = m2
+        reward = (lo + hi) / 2.0
+        times = self.equilibrium_times(reward)
+        return StackelbergOutcome(
+            reward=reward,
+            times=times,
+            platform_utility=self.platform_utility(reward),
+            user_utilities=self.user_utilities(reward, times),
+        )

@@ -1,0 +1,42 @@
+"""Acoustics: A-weighting, sound-pressure levels, and soundscapes.
+
+SoundCity "periodically measures, in the background, the sound levels
+with the microphone of the device" and reports them in dB(A) (Figures
+14-15). This package implements the measurement chain:
+
+- :mod:`repro.noise.weighting` — the IEC 61672 A-weighting curve and a
+  frequency-domain weighting filter;
+- :mod:`repro.noise.spl` — SPL and equivalent level (Leq) computation
+  from pressure waveforms, plus dB arithmetic helpers;
+- :mod:`repro.noise.soundscape` — the generative model of *true* urban
+  noise levels a phone is exposed to: a mixture of quiet (pocket,
+  indoor, night) and active (street, transit) environments whose
+  two-bump shape is what Figure 14 shows after each model's microphone
+  response shifts it.
+"""
+
+from repro.noise.weighting import a_weighting_db, apply_a_weighting
+from repro.noise.spl import (
+    REFERENCE_PRESSURE_PA,
+    db_add,
+    db_mean,
+    leq,
+    spl_db,
+    spl_dba,
+)
+from repro.noise.soundscape import Soundscape, SoundscapeParams
+from repro.noise.cityscape import CitySoundscape
+
+__all__ = [
+    "REFERENCE_PRESSURE_PA",
+    "CitySoundscape",
+    "Soundscape",
+    "SoundscapeParams",
+    "a_weighting_db",
+    "apply_a_weighting",
+    "db_add",
+    "db_mean",
+    "leq",
+    "spl_db",
+    "spl_dba",
+]

@@ -1,0 +1,90 @@
+"""City-grounded soundscape.
+
+The plain :class:`~repro.noise.soundscape.Soundscape` is a *statistical*
+model of exposure (the quiet/active mixture behind Figures 14-15). When
+a campaign also feeds the data-assimilation engine, the exposure must be
+*spatially* grounded: a phone at a loud crossroads hears the crossroads.
+
+:class:`CitySoundscape` composes the two:
+
+- the **outdoor level** at the phone's position comes from a
+  :class:`~repro.assimilation.citymodel.CityNoiseModel` field;
+- **context modulation**: a still phone is usually indoors or pocketed
+  (building envelopes attenuate ~15-25 dB), a moving phone hears the
+  street; nights are globally quieter (reduced traffic emission).
+
+This keeps the per-model histogram shapes (quiet peak + active bump)
+while making observations informative for BLUE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.assimilation.citymodel import CityNoiseModel
+from repro.errors import ConfigurationError
+from repro.noise.soundscape import Soundscape, SoundscapeParams, _MOVING_ACTIVITIES
+
+
+class CitySoundscape(Soundscape):
+    """Exposure model grounded in a city noise field."""
+
+    def __init__(
+        self,
+        city: CityNoiseModel,
+        params: Optional[SoundscapeParams] = None,
+        indoor_attenuation_db: float = 18.0,
+        indoor_spread_db: float = 4.0,
+        outdoor_spread_db: float = 2.0,
+        night_traffic_drop_db: float = 6.0,
+    ) -> None:
+        super().__init__(params=params)
+        if indoor_attenuation_db < 0:
+            raise ConfigurationError("indoor attenuation must be >= 0")
+        self.city = city
+        self._field = city.simulate()
+        self.indoor_attenuation_db = indoor_attenuation_db
+        self.indoor_spread_db = indoor_spread_db
+        self.outdoor_spread_db = outdoor_spread_db
+        self.night_traffic_drop_db = night_traffic_drop_db
+
+    def outdoor_level_db(self, x_m: float, y_m: float) -> float:
+        """The city field at (x, y); positions outside the grid fall
+        back to the field's mean (the user left the mapped area)."""
+        if self.city.grid.contains(x_m, y_m):
+            return self.city.level_at(x_m, y_m, field=self._field)
+        return float(self._field.mean())
+
+    def true_level_db(
+        self,
+        rng: np.random.Generator,
+        hour_of_day: float,
+        activity: str = "still",
+        x_m: Optional[float] = None,
+        y_m: Optional[float] = None,
+    ) -> float:
+        """Spatially grounded exposure draw.
+
+        Without a position this degrades to the parent mixture (keeps
+        the duck type total).
+        """
+        if x_m is None or y_m is None:
+            return super().true_level_db(rng, hour_of_day, activity)
+        outdoor = self.outdoor_level_db(x_m, y_m)
+        if not self.is_daytime(hour_of_day):
+            outdoor -= self.night_traffic_drop_db
+        if activity in _MOVING_ACTIVITIES:
+            level = outdoor + rng.normal(0.0, self.outdoor_spread_db)
+        else:
+            # still: indoors/pocket with probability 1 - active_share
+            if rng.random() < self.active_probability(hour_of_day, activity):
+                level = outdoor + rng.normal(0.0, self.outdoor_spread_db)
+            else:
+                level = (
+                    outdoor
+                    - self.indoor_attenuation_db
+                    + rng.normal(0.0, self.indoor_spread_db)
+                )
+        return float(np.clip(level, 20.0, 110.0))

@@ -1,0 +1,165 @@
+"""Soundscapes: the true noise levels a phone is exposed to.
+
+Figure 14 shows, for every model, "a first peak at the low noise levels
+and then a small bump for active environments". That shape is a property
+of *where phones are* when opportunistic sensing fires: most of the time
+they sit in quiet indoor environments or pockets (the §6.3 analysis says
+users are still ~70 % of the time), and occasionally they are out on the
+street or in transit.
+
+:class:`Soundscape` is that generative model: a two-component mixture of
+quiet and active environments whose component means depend on the hour
+of day (nights are quieter) and the user's current activity (moving
+users are in louder places). It also synthesizes waveforms so the full
+acoustic chain (waveform -> A-weighting -> SPL) is exercised end to end
+in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noise.spl import REFERENCE_PRESSURE_PA
+
+
+@dataclass(frozen=True)
+class SoundscapeParams:
+    """Parameters of the quiet/active mixture.
+
+    Defaults produce the Figure 14 silhouette: a tall quiet peak near
+    38 dB(A) and a shallow active bump near 66 dB(A), with ~25 % of
+    opportunistic samples falling in active environments during the day.
+    """
+
+    quiet_mean_db: float = 38.0
+    quiet_std_db: float = 5.0
+    active_mean_db: float = 66.0
+    active_std_db: float = 7.0
+    active_share_day: float = 0.28
+    active_share_night: float = 0.08
+    night_attenuation_db: float = 6.0
+    day_start_hour: float = 7.0
+    day_end_hour: float = 22.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.active_share_day <= 1.0:
+            raise ConfigurationError("active_share_day must be in [0, 1]")
+        if not 0.0 <= self.active_share_night <= 1.0:
+            raise ConfigurationError("active_share_night must be in [0, 1]")
+        if self.quiet_std_db <= 0 or self.active_std_db <= 0:
+            raise ConfigurationError("mixture stds must be > 0")
+
+
+#: Activities that put the phone in louder environments.
+_MOVING_ACTIVITIES = {"foot", "bicycle", "vehicle"}
+
+
+class Soundscape:
+    """Draws true dB(A) exposure levels and synthesizes waveforms."""
+
+    def __init__(self, params: Optional[SoundscapeParams] = None) -> None:
+        self.params = params or SoundscapeParams()
+
+    def is_daytime(self, hour_of_day: float) -> bool:
+        """Whether ``hour_of_day`` falls in the loud part of the day."""
+        return self.params.day_start_hour <= hour_of_day < self.params.day_end_hour
+
+    def active_probability(self, hour_of_day: float, activity: str = "still") -> float:
+        """Probability the phone is in an active environment right now."""
+        base = (
+            self.params.active_share_day
+            if self.is_daytime(hour_of_day)
+            else self.params.active_share_night
+        )
+        if activity in _MOVING_ACTIVITIES:
+            # a moving user is very likely outdoors / in transit
+            return min(1.0, base + 0.6)
+        return base
+
+    def true_level_db(
+        self,
+        rng: np.random.Generator,
+        hour_of_day: float,
+        activity: str = "still",
+        x_m: Optional[float] = None,
+        y_m: Optional[float] = None,
+    ) -> float:
+        """Draw one true exposure level in dB(A).
+
+        The base mixture is spatially homogeneous; ``x_m``/``y_m`` are
+        accepted (and ignored) so city-grounded subclasses share the
+        signature (see :class:`repro.noise.cityscape.CitySoundscape`).
+        """
+        params = self.params
+        active = rng.random() < self.active_probability(hour_of_day, activity)
+        if active:
+            level = rng.normal(params.active_mean_db, params.active_std_db)
+        else:
+            level = rng.normal(params.quiet_mean_db, params.quiet_std_db)
+        if not self.is_daytime(hour_of_day):
+            level -= params.night_attenuation_db
+        return float(np.clip(level, 20.0, 110.0))
+
+    def true_levels_db(
+        self,
+        rng: np.random.Generator,
+        hours_of_day: np.ndarray,
+        activities: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`true_level_db` for a batch of observations."""
+        hours = np.asarray(hours_of_day, dtype=float)
+        params = self.params
+        day = (hours >= params.day_start_hour) & (hours < params.day_end_hour)
+        p_active = np.where(day, params.active_share_day, params.active_share_night)
+        if activities is not None:
+            moving = np.isin(np.asarray(activities), sorted(_MOVING_ACTIVITIES))
+            p_active = np.minimum(1.0, p_active + np.where(moving, 0.6, 0.0))
+        active = rng.random(hours.shape) < p_active
+        levels = np.where(
+            active,
+            rng.normal(params.active_mean_db, params.active_std_db, hours.shape),
+            rng.normal(params.quiet_mean_db, params.quiet_std_db, hours.shape),
+        )
+        levels = levels - np.where(day, 0.0, params.night_attenuation_db)
+        return np.clip(levels, 20.0, 110.0)
+
+    # -- waveform synthesis --------------------------------------------------
+
+    def synthesize_waveform(
+        self,
+        rng: np.random.Generator,
+        target_dba: float,
+        duration_s: float = 1.0,
+        sample_rate_hz: float = 8000.0,
+    ) -> Tuple[np.ndarray, float]:
+        """A pressure waveform whose A-weighted SPL is ``target_dba``.
+
+        The signal is pink-ish noise (1/f-shaped spectrum, typical of
+        urban ambience) scaled so its A-weighted level hits the target.
+        Returns (waveform, sample_rate).
+        """
+        if duration_s <= 0 or sample_rate_hz <= 0:
+            raise ConfigurationError("duration and sample rate must be > 0")
+        n = int(duration_s * sample_rate_hz)
+        if n < 16:
+            raise ConfigurationError("waveform too short; increase duration or rate")
+        white = rng.standard_normal(n)
+        spectrum = np.fft.rfft(white)
+        frequencies = np.fft.rfftfreq(n, d=1.0 / sample_rate_hz)
+        shaping = np.ones_like(frequencies)
+        nonzero = frequencies > 0
+        shaping[nonzero] = 1.0 / np.sqrt(frequencies[nonzero])
+        shaping[0] = 0.0
+        pink = np.fft.irfft(spectrum * shaping, n=n)
+
+        from repro.noise.spl import spl_dba  # local import avoids cycle
+
+        pink /= max(np.sqrt(np.mean(np.square(pink))), 1e-30)
+        pink *= REFERENCE_PRESSURE_PA  # now roughly 0 dB unweighted
+        current = spl_dba(pink, sample_rate_hz)
+        gain = 10.0 ** ((target_dba - current) / 20.0)
+        return pink * gain, sample_rate_hz

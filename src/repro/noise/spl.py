@@ -1,0 +1,68 @@
+"""Sound-pressure-level computation and dB arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.noise.weighting import apply_a_weighting
+
+#: 20 micro-pascal, the standard reference pressure in air.
+REFERENCE_PRESSURE_PA = 20e-6
+
+
+def spl_db(signal: np.ndarray) -> float:
+    """Unweighted SPL (dB re 20 µPa) of a pressure waveform."""
+    samples = np.asarray(signal, dtype=float)
+    if samples.size == 0:
+        raise ConfigurationError("cannot compute SPL of an empty signal")
+    rms = float(np.sqrt(np.mean(np.square(samples))))
+    if rms <= 0.0:
+        return -np.inf
+    return 20.0 * np.log10(rms / REFERENCE_PRESSURE_PA)
+
+
+def spl_dba(signal: np.ndarray, sample_rate_hz: float) -> float:
+    """A-weighted SPL (dB(A)) of a pressure waveform."""
+    return spl_db(apply_a_weighting(signal, sample_rate_hz))
+
+
+def leq(levels_db, durations_s=None) -> float:
+    """Equivalent continuous level of a sequence of interval levels.
+
+    ``Leq = 10 log10( sum(d_i 10^(L_i/10)) / sum(d_i) )`` — the
+    energy-mean of dB values, which is how per-journey and daily
+    exposure figures (SoundCity's quantified-self screens) aggregate.
+    """
+    levels = np.asarray(levels_db, dtype=float)
+    if levels.size == 0:
+        raise ConfigurationError("leq of an empty level sequence")
+    if durations_s is None:
+        weights = np.ones_like(levels)
+    else:
+        weights = np.asarray(durations_s, dtype=float)
+        if weights.shape != levels.shape:
+            raise ConfigurationError(
+                f"durations shape {weights.shape} != levels shape {levels.shape}"
+            )
+        if np.any(weights <= 0):
+            raise ConfigurationError("durations must be > 0")
+    energy = np.sum(weights * np.power(10.0, levels / 10.0)) / np.sum(weights)
+    return float(10.0 * np.log10(energy))
+
+
+def db_add(*levels_db: float) -> float:
+    """Incoherent sum of sound levels (energy addition).
+
+    ``db_add(60, 60) == 63.01...`` — two equal sources add 3 dB. This is
+    how the city model combines street and POI contributions.
+    """
+    if not levels_db:
+        raise ConfigurationError("db_add requires at least one level")
+    energies = np.power(10.0, np.asarray(levels_db, dtype=float) / 10.0)
+    return float(10.0 * np.log10(np.sum(energies)))
+
+
+def db_mean(levels_db) -> float:
+    """Energy mean of levels (Leq with equal durations)."""
+    return leq(levels_db)

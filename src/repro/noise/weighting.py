@@ -1,0 +1,73 @@
+"""IEC 61672 A-weighting.
+
+A-weighting models the loudness sensitivity of human hearing; every
+noise level the paper reports is dB(A). The analytic weighting function
+
+    R_A(f) = 12194^2 f^4 /
+             ((f^2 + 20.6^2) sqrt((f^2 + 107.7^2)(f^2 + 737.9^2)) (f^2 + 12194^2))
+
+is normalized to 0 dB at 1 kHz. :func:`apply_a_weighting` applies the
+curve to a time-domain pressure signal via the real FFT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_F1 = 20.598997
+_F2 = 107.65265
+_F3 = 737.86223
+_F4 = 12194.217
+
+
+def _ra(frequency_hz: np.ndarray) -> np.ndarray:
+    f2 = np.square(frequency_hz.astype(float))
+    numerator = (_F4**2) * np.square(f2)
+    denominator = (
+        (f2 + _F1**2)
+        * np.sqrt((f2 + _F2**2) * (f2 + _F3**2))
+        * (f2 + _F4**2)
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(denominator > 0, numerator / denominator, 0.0)
+
+
+def a_weighting_db(frequency_hz) -> np.ndarray:
+    """A-weighting in dB at the given frequencies (0 dB at 1 kHz).
+
+    Accepts a scalar or array; returns an array (scalar input gives a
+    0-d array). DC maps to -inf weighting, which callers should expect.
+    """
+    frequencies = np.asarray(frequency_hz, dtype=float)
+    if np.any(frequencies < 0):
+        raise ConfigurationError("frequencies must be >= 0")
+    ra = _ra(frequencies)
+    ra_1k = _ra(np.asarray([1000.0]))[0]
+    with np.errstate(divide="ignore"):
+        return 20.0 * np.log10(ra / ra_1k)
+
+
+def apply_a_weighting(signal: np.ndarray, sample_rate_hz: float) -> np.ndarray:
+    """A-weight a pressure waveform in the frequency domain.
+
+    Args:
+        signal: 1-D pressure signal (Pa).
+        sample_rate_hz: sampling rate.
+
+    Returns:
+        The weighted time-domain signal, same length as the input.
+    """
+    samples = np.asarray(signal, dtype=float)
+    if samples.ndim != 1:
+        raise ConfigurationError(f"signal must be 1-D, got shape {samples.shape}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be > 0, got {sample_rate_hz}")
+    spectrum = np.fft.rfft(samples)
+    frequencies = np.fft.rfftfreq(len(samples), d=1.0 / sample_rate_hz)
+    # R_A is the *amplitude* response (A(f) dB = 20 log10 R_A normalized
+    # at 1 kHz), so it multiplies the spectrum directly.
+    gains = _ra(frequencies) / _ra(np.asarray([1000.0]))[0]
+    gains[frequencies == 0.0] = 0.0  # A-weighting suppresses DC entirely
+    return np.fft.irfft(spectrum * gains, n=len(samples))

@@ -1,0 +1,62 @@
+"""The on-phone sensing stack.
+
+Implements the sensor models behind the paper's §5-§6 analyses:
+
+- :mod:`repro.sensing.location` — the Android location sources (GPS,
+  network, fused) with per-source accuracy distributions (Figs. 10-13)
+  and per-mode provider selection (Fig. 20);
+- :mod:`repro.sensing.microphone` — the microphone chain: true exposure
+  level -> per-model response -> reported dB(A) (Figs. 14-15);
+- :mod:`repro.sensing.activity` — activity recognition with a
+  confidence threshold (Fig. 21's 80 % cutoff);
+- :mod:`repro.sensing.modes` / :mod:`repro.sensing.scheduler` — the
+  three SoundCity experiences: opportunistic background sensing, the
+  "sense now" manual mode, and the participatory Journey mode.
+"""
+
+from repro.sensing.location import (
+    LocationFix,
+    LocationModel,
+    PROVIDER_FUSED,
+    PROVIDER_GPS,
+    PROVIDER_NETWORK,
+    ProviderMix,
+)
+from repro.sensing.microphone import Microphone, NoiseReading
+from repro.sensing.activity import (
+    ACTIVITIES,
+    ActivityRecognizer,
+    ActivityReading,
+    CONFIDENCE_THRESHOLD,
+)
+from repro.sensing.modes import SensingMode
+from repro.sensing.piggyback import (
+    AppSession,
+    AppSessionModel,
+    PiggybackPlan,
+    PiggybackScheduler,
+)
+from repro.sensing.scheduler import Observation, PhoneContext, SensingScheduler
+
+__all__ = [
+    "ACTIVITIES",
+    "ActivityReading",
+    "ActivityRecognizer",
+    "AppSession",
+    "AppSessionModel",
+    "PiggybackPlan",
+    "PiggybackScheduler",
+    "CONFIDENCE_THRESHOLD",
+    "LocationFix",
+    "LocationModel",
+    "Microphone",
+    "NoiseReading",
+    "Observation",
+    "PhoneContext",
+    "PROVIDER_FUSED",
+    "PROVIDER_GPS",
+    "PROVIDER_NETWORK",
+    "ProviderMix",
+    "SensingMode",
+    "SensingScheduler",
+]

@@ -1,0 +1,118 @@
+"""Activity recognition.
+
+Figure 21 histograms the Android activity labels attached to SoundCity
+observations: ``undefined, unknown, tilting, still, foot, bicycle,
+vehicle``. The paper reports that "the activity cannot be characterized
+for 20 % of the time (i.e., the accuracy confidence is less than 80 %)"
+and that users are still ~70 % of the time and moving <10 %.
+
+The recognizer consumes the mobility model's ground-truth state and
+emits a (label, confidence) pair; labels with confidence below the 80 %
+threshold are reported as ``unknown`` (recognized but uncertain) or
+``undefined`` (no recognition result at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Every label that can appear on an observation, in Figure 21's order.
+ACTIVITIES = ("undefined", "unknown", "tilting", "still", "foot", "bicycle", "vehicle")
+
+#: Ground-truth states the mobility model produces.
+TRUE_ACTIVITIES = ("still", "foot", "bicycle", "vehicle", "tilting")
+
+#: The paper's qualification threshold.
+CONFIDENCE_THRESHOLD = 0.80
+
+
+@dataclass(frozen=True)
+class ActivityReading:
+    """One recognizer output: the label stored with an observation."""
+
+    label: str
+    confidence: float
+    true_activity: str
+
+    @property
+    def qualified(self) -> bool:
+        """Whether the label passed the 80 % confidence bar."""
+        return self.label not in ("undefined", "unknown")
+
+
+class ActivityRecognizer:
+    """Simulated Google-Play-services activity recognition.
+
+    Args:
+        misclassify_rate: probability a confident output picks a wrong
+            (adjacent) label.
+        low_confidence_rate: probability the recognizer is unsure, which
+            yields 'unknown' (or 'undefined' when no sample could be
+            taken at all).
+        undefined_rate: probability the recognition result is missing
+            entirely.
+    """
+
+    def __init__(
+        self,
+        misclassify_rate: float = 0.03,
+        low_confidence_rate: float = 0.13,
+        undefined_rate: float = 0.07,
+    ) -> None:
+        for name, rate in (
+            ("misclassify_rate", misclassify_rate),
+            ("low_confidence_rate", low_confidence_rate),
+            ("undefined_rate", undefined_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if low_confidence_rate + undefined_rate >= 1.0:
+            raise ConfigurationError("unqualified rates must sum below 1")
+        self.misclassify_rate = misclassify_rate
+        self.low_confidence_rate = low_confidence_rate
+        self.undefined_rate = undefined_rate
+
+    def recognize(
+        self, rng: np.random.Generator, true_activity: str
+    ) -> ActivityReading:
+        """One recognition of ``true_activity``."""
+        if true_activity not in TRUE_ACTIVITIES:
+            raise ConfigurationError(f"unknown true activity {true_activity!r}")
+        u = rng.random()
+        if u < self.undefined_rate:
+            return ActivityReading(
+                label="undefined", confidence=0.0, true_activity=true_activity
+            )
+        if u < self.undefined_rate + self.low_confidence_rate:
+            confidence = float(rng.uniform(0.3, CONFIDENCE_THRESHOLD))
+            return ActivityReading(
+                label="unknown", confidence=confidence, true_activity=true_activity
+            )
+        label = true_activity
+        if rng.random() < self.misclassify_rate:
+            others = [a for a in TRUE_ACTIVITIES if a != true_activity]
+            label = str(rng.choice(others))
+        confidence = float(rng.uniform(CONFIDENCE_THRESHOLD, 1.0))
+        return ActivityReading(
+            label=label, confidence=confidence, true_activity=true_activity
+        )
+
+    def distribution(
+        self, rng: np.random.Generator, true_activities, n: int = 1
+    ) -> Dict[str, float]:
+        """Empirical label distribution over a list of true activities."""
+        counts: Dict[str, int] = {label: 0 for label in ACTIVITIES}
+        total = 0
+        for activity in true_activities:
+            for _ in range(n):
+                reading = self.recognize(rng, activity)
+                counts[reading.label] += 1
+                total += 1
+        if total == 0:
+            raise ConfigurationError("distribution over no activities")
+        return {label: counts[label] / total for label in ACTIVITIES}

@@ -1,0 +1,88 @@
+"""Microphone sensing: from true exposure to a reported dB(A) value.
+
+The measurement chain has two layers:
+
+1. the **fast path** used by fleet simulations: the true level comes
+   from the :class:`~repro.noise.soundscape.Soundscape` mixture and the
+   phone-model response (gain/offset/floor/clip) maps it to the reported
+   value — this is what shifts each model's Figure 14 peak;
+2. the **acoustic path** used by tests and examples: synthesize a
+   waveform at the true level, A-weight it, compute the SPL, then apply
+   the response — proving the fast path agrees with the full chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.models import PhoneModel
+from repro.noise.soundscape import Soundscape
+from repro.noise.spl import spl_dba
+
+
+@dataclass(frozen=True)
+class NoiseReading:
+    """One microphone measurement.
+
+    Attributes:
+        measured_dba: the value the device reports (what the server
+            stores, and what Figs. 14-15 histogram).
+        true_dba: ground-truth exposure (simulation only).
+    """
+
+    measured_dba: float
+    true_dba: float
+
+
+class Microphone:
+    """The microphone of one device."""
+
+    def __init__(self, model: PhoneModel, soundscape: Optional[Soundscape] = None) -> None:
+        self.model = model
+        self.soundscape = soundscape or Soundscape()
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        hour_of_day: float,
+        activity: str = "still",
+        x_m: "float | None" = None,
+        y_m: "float | None" = None,
+    ) -> NoiseReading:
+        """Fast-path measurement at the given time/activity context.
+
+        ``x_m``/``y_m`` let spatially grounded soundscapes (the
+        city-field model) resolve the local level; the default mixture
+        ignores them.
+        """
+        true_dba = self.soundscape.true_level_db(
+            rng, hour_of_day, activity, x_m=x_m, y_m=y_m
+        )
+        measured = self.model.mic.apply(true_dba, noise=rng.standard_normal())
+        return NoiseReading(measured_dba=float(measured), true_dba=float(true_dba))
+
+    def sample_acoustic(
+        self,
+        rng: np.random.Generator,
+        hour_of_day: float,
+        activity: str = "still",
+        duration_s: float = 1.0,
+        sample_rate_hz: float = 8000.0,
+    ) -> NoiseReading:
+        """Full-chain measurement through waveform synthesis.
+
+        Synthesizes a waveform at the drawn true level, measures its
+        A-weighted SPL, then applies the device response to that
+        measured SPL — the same pipeline a real phone runs, minus the
+        ADC.
+        """
+        true_dba = self.soundscape.true_level_db(rng, hour_of_day, activity)
+        waveform, rate = self.soundscape.synthesize_waveform(
+            rng, true_dba, duration_s=duration_s, sample_rate_hz=sample_rate_hz
+        )
+        acoustic_dba = spl_dba(waveform, rate)
+        measured = self.model.mic.apply(acoustic_dba, noise=rng.standard_normal())
+        return NoiseReading(measured_dba=float(measured), true_dba=float(true_dba))

@@ -1,0 +1,169 @@
+"""Piggyback sensing (§2, ref [22] — Lane et al., SenSys'13).
+
+"Piggybacking crowdsensing is an effective solution because it
+coordinates with the relevant application activities": instead of waking
+the device on a fixed period, measurements ride on moments when the
+phone is already awake for the user (app sessions, screen-on events),
+so the sensing itself pays no wake-up energy.
+
+- :class:`AppSessionModel` — when the user's phone is already awake:
+  session arrivals follow the diurnal profile, session lengths are
+  lognormal (short checks, occasional long sessions);
+- :class:`PiggybackScheduler` — samples only inside app sessions (at
+  most one measurement per ``min_spacing_s``), paying reduced energy
+  per sample (no device wake-up).
+
+The energy accounting difference vs periodic sensing: a periodic
+background sample must wake the device (wake cost + sensor cost); a
+piggybacked sample only pays the sensor cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.crowd.diurnal import DiurnalProfile
+from repro.errors import ConfigurationError
+
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_HOUR = 3600.0
+
+#: Energy a periodic background sample pays to wake the device (J).
+DEVICE_WAKE_J = 1.2
+
+
+@dataclass(frozen=True)
+class AppSession:
+    """One interval during which the phone is awake for the user."""
+
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class AppSessionModel:
+    """Draws a user's app sessions over a horizon.
+
+    Session arrivals are an inhomogeneous Poisson process whose hourly
+    rate follows the user's diurnal profile; durations are lognormal
+    (median ~90 s with a heavy tail for the long evening scroll).
+    """
+
+    def __init__(
+        self,
+        profile: DiurnalProfile,
+        rng: np.random.Generator,
+        sessions_per_active_hour: float = 4.0,
+        median_duration_s: float = 90.0,
+        duration_sigma: float = 1.0,
+    ) -> None:
+        if sessions_per_active_hour <= 0:
+            raise ConfigurationError("session rate must be > 0")
+        if median_duration_s <= 0:
+            raise ConfigurationError("median duration must be > 0")
+        self.profile = profile
+        self._rng = rng
+        self.rate = sessions_per_active_hour
+        self.median_duration_s = median_duration_s
+        self.duration_sigma = duration_sigma
+
+    def sessions(self, start_s: float, end_s: float) -> List[AppSession]:
+        """All app sessions in [start_s, end_s), time-ordered."""
+        if end_s <= start_s:
+            raise ConfigurationError("end must be after start")
+        sessions: List[AppSession] = []
+        hour_start = float(np.floor(start_s / SECONDS_PER_HOUR)) * SECONDS_PER_HOUR
+        t = hour_start
+        while t < end_s:
+            hour_of_day = (t % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+            availability = self.profile.availability(hour_of_day)
+            expected = self.rate * availability
+            count = int(self._rng.poisson(expected))
+            for _ in range(count):
+                session_start = t + float(self._rng.uniform(0, SECONDS_PER_HOUR))
+                duration = float(
+                    self._rng.lognormal(
+                        np.log(self.median_duration_s), self.duration_sigma
+                    )
+                )
+                if session_start < start_s or session_start >= end_s:
+                    continue
+                sessions.append(
+                    AppSession(
+                        start_s=session_start,
+                        end_s=min(session_start + duration, end_s),
+                    )
+                )
+            t += SECONDS_PER_HOUR
+        sessions.sort(key=lambda session: session.start_s)
+        return sessions
+
+
+@dataclass
+class PiggybackPlan:
+    """The sampling opportunities a scheduler extracted."""
+
+    sample_times: List[float]
+    sessions_used: int
+    energy_j: float
+
+
+class PiggybackScheduler:
+    """Plans measurements inside app sessions.
+
+    Args:
+        min_spacing_s: no two samples closer than this (sensing more
+            often than the phenomenon changes wastes energy).
+        sample_cost_j: sensor+CPU cost of one measurement.
+    """
+
+    def __init__(
+        self, min_spacing_s: float = 300.0, sample_cost_j: float = 0.85
+    ) -> None:
+        if min_spacing_s <= 0 or sample_cost_j <= 0:
+            raise ConfigurationError("spacing and cost must be > 0")
+        self.min_spacing_s = min_spacing_s
+        self.sample_cost_j = sample_cost_j
+
+    def plan(self, sessions: List[AppSession]) -> PiggybackPlan:
+        """Sample times riding the given sessions (no wake-up energy)."""
+        times: List[float] = []
+        used = 0
+        last: Optional[float] = None
+        for session in sessions:
+            t = session.start_s
+            session_sampled = False
+            while t <= session.end_s:
+                if last is None or t - last >= self.min_spacing_s:
+                    times.append(t)
+                    last = t
+                    session_sampled = True
+                    t += self.min_spacing_s
+                else:
+                    t = last + self.min_spacing_s
+            if session_sampled:
+                used += 1
+        return PiggybackPlan(
+            sample_times=times,
+            sessions_used=used,
+            energy_j=len(times) * self.sample_cost_j,
+        )
+
+    def periodic_equivalent(
+        self, start_s: float, end_s: float, period_s: float = 300.0
+    ) -> PiggybackPlan:
+        """The periodic baseline over the same horizon (pays wake-ups)."""
+        if period_s <= 0:
+            raise ConfigurationError("period must be > 0")
+        times = list(np.arange(start_s, end_s, period_s))
+        return PiggybackPlan(
+            sample_times=[float(t) for t in times],
+            sessions_used=0,
+            energy_j=len(times) * (self.sample_cost_j + DEVICE_WAKE_J),
+        )

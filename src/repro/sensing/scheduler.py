@@ -1,0 +1,230 @@
+"""The sensing scheduler: producing observations on a phone.
+
+Ties the sensors together. One :class:`SensingScheduler` runs per
+simulated phone:
+
+- an **opportunistic** periodic process fires every 5 minutes by
+  default (§5.3) whenever the user's phone is awake for the app;
+- **manual** measurements fire on demand ("sense now");
+- **journey** sessions sample at a user-chosen frequency until stopped.
+
+Each firing produces an :class:`Observation` — the unit of data the
+whole middleware pipeline transports and analyzes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.devices.models import PhoneModel
+from repro.sensing.activity import ActivityReading, ActivityRecognizer
+from repro.sensing.location import LocationFix, LocationModel
+from repro.sensing.microphone import Microphone, NoiseReading
+from repro.sensing.modes import (
+    DEFAULT_OPPORTUNISTIC_PERIOD_S,
+    SensingMode,
+)
+from repro.simulation.engine import PeriodicProcess, Simulator
+
+_observation_ids = itertools.count(1)
+
+
+@dataclass
+class Observation:
+    """One crowd-sensed measurement, as produced on the phone."""
+
+    observation_id: int
+    user_id: str
+    model: str
+    taken_at: float
+    mode: SensingMode
+    noise: NoiseReading
+    location: Optional[LocationFix]
+    activity: ActivityReading
+
+    @property
+    def localized(self) -> bool:
+        """Whether the observation carries a location."""
+        return self.location is not None
+
+    def to_document(self) -> Dict[str, Any]:
+        """Serialize to the wire/storage document format.
+
+        Ground-truth fields (true level, true position) are *not*
+        serialized: the server only ever sees what a real deployment
+        would see.
+        """
+        doc: Dict[str, Any] = {
+            "observation_id": self.observation_id,
+            "user_id": self.user_id,
+            "model": self.model,
+            "taken_at": self.taken_at,
+            "mode": self.mode.value,
+            "noise_dba": round(self.noise.measured_dba, 2),
+            "activity": {
+                "label": self.activity.label,
+                "confidence": round(self.activity.confidence, 3),
+            },
+        }
+        if self.location is not None:
+            doc["location"] = {
+                "provider": self.location.provider,
+                "accuracy_m": round(self.location.accuracy_m, 1),
+                "x_m": round(self.location.x_m, 1),
+                "y_m": round(self.location.y_m, 1),
+            }
+        return doc
+
+
+class SensingScheduler:
+    """Produces observations for one phone.
+
+    Args:
+        simulator: the event loop driving the phone.
+        user_id: owner of the phone.
+        model: the phone's model (drives mic response & providers).
+        context: a provider of the phone's dynamic state with
+            ``position()`` -> (x, y), ``activity()`` -> str, and
+            ``available(hour)`` -> bool (whether the app can sense now).
+        on_observation: callback receiving every produced observation
+            (the GoFlow client's enqueue method).
+        rng: the phone's random stream.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        user_id: str,
+        model: PhoneModel,
+        context: "PhoneContext",
+        on_observation: Callable[[Observation], None],
+        rng: np.random.Generator,
+        location_model: Optional[LocationModel] = None,
+        microphone: Optional[Microphone] = None,
+        recognizer: Optional[ActivityRecognizer] = None,
+        opportunistic_period_s: float = DEFAULT_OPPORTUNISTIC_PERIOD_S,
+    ) -> None:
+        if opportunistic_period_s <= 0:
+            raise ConfigurationError("opportunistic period must be > 0")
+        self._sim = simulator
+        self.user_id = user_id
+        self.model = model
+        self._context = context
+        self._emit = on_observation
+        self._rng = rng
+        self._locations = location_model or LocationModel()
+        self._microphone = microphone or Microphone(model)
+        self._recognizer = recognizer or ActivityRecognizer()
+        self._opportunistic: Optional[PeriodicProcess] = None
+        self._journey: Optional[PeriodicProcess] = None
+        self._period = opportunistic_period_s
+        self.produced = 0
+
+    # -- opportunistic mode ---------------------------------------------------
+
+    def start_opportunistic(self, until: Optional[float] = None) -> None:
+        """Begin background sensing at the configured period."""
+        if self._opportunistic is not None and not self._opportunistic.stopped:
+            raise ConfigurationError("opportunistic sensing already running")
+        self._opportunistic = PeriodicProcess(
+            self._sim,
+            self._period,
+            self._opportunistic_tick,
+            until=until,
+            label=f"sense:{self.user_id}",
+        )
+
+    def stop_opportunistic(self) -> None:
+        """Stop background sensing."""
+        if self._opportunistic is not None:
+            self._opportunistic.stop()
+
+    def _opportunistic_tick(self, now: float) -> None:
+        hour = (now % 86400.0) / 3600.0
+        if not self._context.available(hour):
+            return  # phone dozing / app killed / user opted out right now
+        self._measure(SensingMode.OPPORTUNISTIC)
+
+    # -- manual mode ---------------------------------------------------------
+
+    def sense_now(self) -> Observation:
+        """The home-page "sense now" button."""
+        return self._measure(SensingMode.MANUAL)
+
+    # -- journey mode -----------------------------------------------------------
+
+    def start_journey(self, frequency_s: float, duration_s: float) -> None:
+        """Begin a participatory journey sampling every ``frequency_s``."""
+        if frequency_s <= 0 or duration_s <= 0:
+            raise ConfigurationError("journey frequency and duration must be > 0")
+        if self._journey is not None and not self._journey.stopped:
+            raise ConfigurationError("a journey is already in progress")
+        self._journey = PeriodicProcess(
+            self._sim,
+            frequency_s,
+            lambda now: self._measure(SensingMode.JOURNEY),
+            until=self._sim.now + duration_s,
+            label=f"journey:{self.user_id}",
+        )
+
+    def stop_journey(self) -> None:
+        """End the current journey early."""
+        if self._journey is not None:
+            self._journey.stop()
+
+    # -- the measurement itself ----------------------------------------------------
+
+    def _measure(self, mode: SensingMode) -> Observation:
+        now = self._sim.now
+        hour = (now % 86400.0) / 3600.0
+        true_x, true_y = self._context.position()
+        true_activity = self._context.activity()
+        noise = self._microphone.sample(
+            self._rng, hour, true_activity, x_m=true_x, y_m=true_y
+        )
+        location = self._locations.sample_fix(
+            self._rng, self.model, mode, true_x, true_y
+        )
+        activity = self._recognizer.recognize(self._rng, true_activity)
+        observation = Observation(
+            observation_id=next(_observation_ids),
+            user_id=self.user_id,
+            model=self.model.name,
+            taken_at=now,
+            mode=mode,
+            noise=noise,
+            location=location,
+            activity=activity,
+        )
+        self.produced += 1
+        self._emit(observation)
+        return observation
+
+
+class PhoneContext:
+    """Minimal duck-typed context; the crowd package provides real ones.
+
+    This default keeps the phone at a fixed position, still, and always
+    available — convenient for unit tests and the quickstart example.
+    """
+
+    def __init__(self, x_m: float = 0.0, y_m: float = 0.0) -> None:
+        self._x = x_m
+        self._y = y_m
+
+    def position(self) -> tuple:
+        """Current true position (meters)."""
+        return (self._x, self._y)
+
+    def activity(self) -> str:
+        """Current true activity."""
+        return "still"
+
+    def available(self, hour_of_day: float) -> bool:
+        """Whether the app can take a background sample right now."""
+        return True

@@ -1,0 +1,26 @@
+"""The San Francisco motivation study (Figure 4).
+
+§4.1: "Figure 4 (left) shows a noise map of San Francisco that we have
+built from the city's open data ... Figure 4 (right) adds to the map
+the complaints (the blue circles) due to noise that have been received
+at the city's 311 call number. We see that there is a strong
+correlation, highlighting the noise sensitivity of people."
+
+The open data (street traffic, noisy venues, 311 complaint logs) is not
+redistributable here, so the study regenerates both layers
+synthetically: a city noise map from a street/POI inventory (the same
+:class:`~repro.assimilation.citymodel.CityNoiseModel` the assimilation
+engine uses) and a complaint process whose rate increases with
+population-weighted noise exposure. The analysis then measures the
+correlation the paper eyeballs.
+"""
+
+from repro.sf.complaints import Complaint, ComplaintModel
+from repro.sf.correlation import complaint_noise_correlation, exposure_contrast
+
+__all__ = [
+    "Complaint",
+    "ComplaintModel",
+    "complaint_noise_correlation",
+    "exposure_contrast",
+]

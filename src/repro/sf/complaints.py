@@ -1,0 +1,86 @@
+"""The 311 noise-complaint process."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.assimilation.citymodel import CityNoiseModel
+from repro.assimilation.grid import CityGrid
+
+
+@dataclass(frozen=True)
+class Complaint:
+    """One 311 noise complaint."""
+
+    x_m: float
+    y_m: float
+    noise_at_location_db: float
+
+
+class ComplaintModel:
+    """Draws complaints whose intensity rises with noise exposure.
+
+    The per-cell complaint rate is a logistic function of the local
+    noise level above a tolerance threshold, times the (uniform here)
+    residential density. This is the minimal behavioural model behind
+    "people are sensitive to noise pollution": more exposure, more
+    calls — with noise, because complaints are also about one-off events
+    the map does not capture.
+    """
+
+    def __init__(
+        self,
+        threshold_db: float = 64.0,
+        slope_per_db: float = 0.25,
+        base_rate: float = 0.01,
+        max_rate: float = 0.6,
+    ) -> None:
+        if slope_per_db <= 0:
+            raise ConfigurationError("slope must be > 0")
+        if not 0.0 <= base_rate < max_rate <= 1.0:
+            raise ConfigurationError("rates must satisfy 0 <= base < max <= 1")
+        self.threshold_db = threshold_db
+        self.slope_per_db = slope_per_db
+        self.base_rate = base_rate
+        self.max_rate = max_rate
+
+    def complaint_probability(self, noise_db: float) -> float:
+        """Per-draw probability that a resident at this level complains."""
+        logistic = 1.0 / (
+            1.0 + np.exp(-self.slope_per_db * (noise_db - self.threshold_db))
+        )
+        return float(
+            self.base_rate + (self.max_rate - self.base_rate) * logistic
+        )
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        model: CityNoiseModel,
+        resident_count: int = 2000,
+        noise_field: Optional[np.ndarray] = None,
+    ) -> List[Complaint]:
+        """Draw the complaint set for one period.
+
+        ``resident_count`` candidate locations are placed uniformly over
+        the city; each complains with :meth:`complaint_probability` at
+        its local noise level.
+        """
+        if resident_count <= 0:
+            raise ConfigurationError("resident_count must be > 0")
+        grid: CityGrid = model.grid
+        field = noise_field if noise_field is not None else model.simulate()
+        xs = rng.uniform(grid.x0, grid.x0 + grid.width_m, size=resident_count)
+        ys = rng.uniform(grid.y0, grid.y0 + grid.height_m, size=resident_count)
+        complaints: List[Complaint] = []
+        for x, y in zip(xs, ys):
+            level = model.level_at(float(x), float(y), field=field)
+            if rng.random() < self.complaint_probability(level):
+                complaints.append(
+                    Complaint(x_m=float(x), y_m=float(y), noise_at_location_db=level)
+                )
+        return complaints

@@ -1,0 +1,29 @@
+"""Discrete-event simulation kernel.
+
+Every stochastic experiment in the reproduction runs on this kernel: a
+simulated clock, an event queue ordered by (time, priority, sequence), and
+deterministic per-component random-number streams so that experiments are
+reproducible bit-for-bit under a single seed.
+
+Public API
+----------
+- :class:`SimClock` — monotonic simulated time in seconds.
+- :class:`Event` / :class:`EventQueue` — schedulable callbacks.
+- :class:`Simulator` — the event loop (schedule, run_until, run).
+- :class:`RngRegistry` — named, independent deterministic RNG streams.
+- :class:`PeriodicProcess` — helper for fixed-interval activities.
+"""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.engine import PeriodicProcess, Simulator
+from repro.simulation.rng import RngRegistry
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "PeriodicProcess",
+    "RngRegistry",
+]

@@ -1,0 +1,71 @@
+"""Simulated clock.
+
+The clock is the single source of time for every simulated component
+(broker timestamps, client buffers, battery accounting, ...). Time is a
+float number of seconds since the start of the simulation. Only the
+:class:`~repro.simulation.engine.Simulator` advances it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+class SimClock:
+    """Monotonic simulated time in seconds.
+
+    The clock starts at ``origin`` (default 0.0). Components read it via
+    :attr:`now`; only the simulation engine may call :meth:`advance_to`.
+    """
+
+    def __init__(self, origin: float = 0.0) -> None:
+        if origin < 0:
+            raise SimulationError(f"clock origin must be >= 0, got {origin}")
+        self._origin = float(origin)
+        self._now = float(origin)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def origin(self) -> float:
+        """Time at which the clock started."""
+        return self._origin
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed since the clock origin."""
+        return self._now - self._origin
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`SimulationError` on any attempt to move backwards,
+        which would indicate a corrupted event queue.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    # -- calendar helpers -------------------------------------------------
+    # The crowd model works with "hour of day" and "day index"; these
+    # helpers keep that arithmetic in one place.
+
+    def hour_of_day(self) -> float:
+        """Hour of the simulated day in [0, 24)."""
+        return (self._now % SECONDS_PER_DAY) / SECONDS_PER_HOUR
+
+    def day_index(self) -> int:
+        """Number of whole simulated days elapsed since time 0."""
+        return int(self._now // SECONDS_PER_DAY)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f})"

@@ -1,0 +1,183 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns a :class:`~repro.simulation.clock.SimClock` and an
+:class:`~repro.simulation.events.EventQueue`, pops events in deterministic
+order, advances the clock to each event's time, and invokes its callback.
+Callbacks schedule further events through the same simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.simulation.clock import SimClock
+from repro.simulation.events import Event, EventQueue
+from repro.simulation.rng import RngRegistry
+
+
+class Simulator:
+    """Deterministic single-threaded discrete-event simulator."""
+
+    def __init__(self, seed: int = 0, origin: float = 0.0) -> None:
+        self.clock = SimClock(origin=origin)
+        self.rngs = RngRegistry(seed=seed)
+        self._queue = EventQueue()
+        self._events_fired = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.clock.now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (not cancelled) scheduled events."""
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    def at(
+        self,
+        when: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now}, when={when}"
+            )
+        return self._queue.push(when, callback, priority=priority, label=label)
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.at(self.clock.now + delay, callback, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self._queue.note_cancelled()
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next event. Returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        event.callback()
+        return True
+
+    def run_until(self, deadline: float) -> int:
+        """Run every event scheduled at or before ``deadline``.
+
+        The clock finishes exactly at ``deadline`` even if the last event
+        fired earlier. Returns the number of events executed.
+        """
+        if deadline < self.clock.now:
+            raise SimulationError(
+                f"deadline {deadline} is in the past (now={self.clock.now})"
+            )
+        executed = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+            executed += 1
+        self.clock.advance_to(deadline)
+        return executed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events``). Returns count."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+
+class PeriodicProcess:
+    """A fixed-interval activity on a simulator.
+
+    Calls ``action(now)`` every ``interval`` seconds starting at
+    ``start``; stops after ``until`` (inclusive) if given, or when
+    :meth:`stop` is called. This is the backbone of opportunistic sensing
+    (the paper's default: one measurement every 5 minutes).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        interval: float,
+        action: Callable[[float], Any],
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+        label: str = "periodic",
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        self._sim = simulator
+        self._interval = float(interval)
+        self._action = action
+        self._until = until
+        self._label = label
+        self._stopped = False
+        self._pending: Optional[Event] = None
+        first = simulator.now if start is None else start
+        if self._until is None or first <= self._until:
+            self._pending = simulator.at(first, self._tick, label=label)
+
+    @property
+    def interval(self) -> float:
+        """Seconds between consecutive firings."""
+        return self._interval
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the process has been stopped or expired."""
+        return self._stopped
+
+    def set_interval(self, interval: float) -> None:
+        """Change the firing interval (applies from the next tick on)."""
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        self._interval = float(interval)
+
+    def stop(self) -> None:
+        """Stop the process; no further firings occur."""
+        self._stopped = True
+        if self._pending is not None:
+            self._sim.cancel(self._pending)
+            self._pending = None
+
+    def _tick(self) -> None:
+        self._pending = None
+        if self._stopped:
+            return
+        self._action(self._sim.now)
+        next_time = self._sim.now + self._interval
+        if self._until is not None and next_time > self._until:
+            self._stopped = True
+            return
+        self._pending = self._sim.at(next_time, self._tick, label=self._label)

@@ -1,0 +1,102 @@
+"""Event queue for the discrete-event simulation kernel.
+
+Events are ordered by ``(time, priority, sequence)``. The sequence number
+makes the ordering total and deterministic: two events scheduled for the
+same instant with the same priority fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A schedulable callback.
+
+    Attributes:
+        time: absolute simulated time at which the event fires.
+        priority: tie-breaker for events at the same time (lower first).
+        seq: insertion sequence; makes ordering total.
+        callback: zero-argument callable invoked when the event fires.
+        label: human-readable tag for debugging and tracing.
+        cancelled: cancelled events are skipped by the engine.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so that the engine skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its event."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Cancelled events are discarded transparently. Raises
+        :class:`SimulationError` when the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Account for an externally cancelled event (keeps len() honest)."""
+        if self._live <= 0:
+            raise SimulationError("cancellation accounting underflow")
+        self._live -= 1

@@ -1,0 +1,35 @@
+"""Truth discovery: contributor reliability from the data itself.
+
+§2 (Sensing): "the trustworthiness of the contributing user [28]
+significantly affect[s] the quality of the sensing"; §2 (Analyzing):
+"data analysis greatly benefits from processing at the server level,
+where it is possible to correlate data at a larger scale [27, 28]" —
+the cited works are truth-discovery algorithms over crowd-sensed data.
+
+This package implements continuous-value truth discovery in the CRH
+style (Li et al., KDD'14/'15 family): jointly estimate
+
+- the **truth** of each entity (here: a grid cell x time window's noise
+  level), and
+- each **contributor's reliability weight**,
+
+by alternating weighted-truth updates and error-based weight updates.
+Reliable contributors pull truths toward themselves; contributors whose
+claims sit far from the consensus lose weight. The weights then feed the
+assimilation's observation-error model (an untrusted phone's reading
+gets a wide R entry).
+"""
+
+from repro.trust.truthdiscovery import (
+    Claim,
+    TruthDiscovery,
+    TruthDiscoveryResult,
+    claims_from_documents,
+)
+
+__all__ = [
+    "Claim",
+    "TruthDiscovery",
+    "TruthDiscoveryResult",
+    "claims_from_documents",
+]

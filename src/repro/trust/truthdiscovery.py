@@ -1,0 +1,201 @@
+"""CRH-style truth discovery for continuous claims.
+
+The model: contributors :math:`c` make claims :math:`x_{c,e}` about
+entities :math:`e`. The algorithm alternates:
+
+- truth update: :math:`t_e = \\frac{\\sum_c w_c x_{c,e}}{\\sum_c w_c}`
+  over the contributors claiming :math:`e`;
+- weight update: :math:`w_c = -\\log\\left(\\frac{\\sum_e (x_{c,e} -
+  t_e)^2 / \\sigma_e^2}{\\max_{c'} \\cdot}\\right)` — contributors whose
+  normalized squared error is small get large weights (the standard CRH
+  continuous formulation, with per-entity variance normalization so
+  loud/variable places don't dominate).
+
+Convergence: the objective is block-coordinate descended; iteration
+stops when truths move less than ``tol`` or ``max_iterations`` is hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One contributor's claim about one entity."""
+
+    contributor: str
+    entity: Hashable
+    value: float
+
+
+@dataclass
+class TruthDiscoveryResult:
+    """Estimated truths and contributor weights."""
+
+    truths: Dict[Hashable, float]
+    weights: Dict[str, float]
+    iterations: int
+    converged: bool
+
+    def reliability_rank(self) -> List[str]:
+        """Contributors from most to least reliable."""
+        return sorted(self.weights, key=lambda c: -self.weights[c])
+
+    def sensor_sigma_db(
+        self, contributor: str, base_sigma_db: float = 2.0, cap_db: float = 12.0
+    ) -> float:
+        """Map a weight to an observation-error std for assimilation.
+
+        The most reliable contributor keeps ``base_sigma_db``; weights
+        scale the variance inversely, capped at ``cap_db``.
+        """
+        weights = np.array(list(self.weights.values()))
+        peak = float(weights.max()) if weights.size else 1.0
+        weight = self.weights.get(contributor, 0.0)
+        if weight <= 0 or peak <= 0:
+            return cap_db
+        sigma = base_sigma_db * float(np.sqrt(peak / weight))
+        return float(min(sigma, cap_db))
+
+
+def claims_from_documents(
+    documents: Sequence[Mapping[str, Any]],
+    cell_m: float = 500.0,
+    window_s: float = 3600.0,
+) -> List[Claim]:
+    """Build claims from stored observation documents.
+
+    The entity of a document is its (space cell, time window): two
+    contributors measuring the same block in the same hour claim the
+    same underlying quantity.
+    """
+    if cell_m <= 0 or window_s <= 0:
+        raise ConfigurationError("cell and window sizes must be > 0")
+    claims: List[Claim] = []
+    for document in documents:
+        location = document.get("location")
+        contributor = document.get("contributor")
+        if not isinstance(location, Mapping) or contributor is None:
+            continue
+        entity = (
+            int(location["x_m"] // cell_m),
+            int(location["y_m"] // cell_m),
+            int(document["taken_at"] // window_s),
+        )
+        claims.append(
+            Claim(
+                contributor=str(contributor),
+                entity=entity,
+                value=float(document["noise_dba"]),
+            )
+        )
+    return claims
+
+
+class TruthDiscovery:
+    """The CRH solver."""
+
+    def __init__(
+        self,
+        max_iterations: int = 50,
+        tol: float = 1e-4,
+        min_claims_per_entity: int = 2,
+    ) -> None:
+        if max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+        if min_claims_per_entity < 1:
+            raise ConfigurationError("min_claims_per_entity must be >= 1")
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.min_claims_per_entity = min_claims_per_entity
+
+    def run(self, claims: Sequence[Claim]) -> TruthDiscoveryResult:
+        """Estimate truths and weights from ``claims``.
+
+        When a contributor makes several claims on the same entity they
+        are pre-averaged (their repeated measurements of one place-hour
+        are one opinion, not several votes).
+        """
+        if not claims:
+            raise ConfigurationError("truth discovery needs at least one claim")
+
+        merged: Dict[Tuple[str, Hashable], List[float]] = {}
+        for claim in claims:
+            merged.setdefault((claim.contributor, claim.entity), []).append(
+                claim.value
+            )
+        by_entity: Dict[Hashable, List[Tuple[str, float]]] = {}
+        for (contributor, entity), values in merged.items():
+            by_entity.setdefault(entity, []).append(
+                (contributor, float(np.mean(values)))
+            )
+        # entities with a single opinion carry no cross-checking signal
+        by_entity = {
+            entity: opinions
+            for entity, opinions in by_entity.items()
+            if len(opinions) >= self.min_claims_per_entity
+        }
+        if not by_entity:
+            raise ConfigurationError(
+                "no entity has enough independent contributors "
+                f"(need {self.min_claims_per_entity})"
+            )
+        contributors = sorted(
+            {contributor for opinions in by_entity.values() for contributor, _ in opinions}
+        )
+        weights = {contributor: 1.0 for contributor in contributors}
+        truths: Dict[Hashable, float] = {}
+
+        # per-entity scale for error normalization (variance of opinions)
+        scales: Dict[Hashable, float] = {}
+        for entity, opinions in by_entity.items():
+            values = np.array([value for _, value in opinions])
+            scales[entity] = float(max(np.var(values), 1.0))
+
+        converged = False
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            # truth update
+            new_truths: Dict[Hashable, float] = {}
+            for entity, opinions in by_entity.items():
+                numerator = sum(weights[c] * v for c, v in opinions)
+                denominator = sum(weights[c] for c, v in opinions)
+                new_truths[entity] = numerator / max(denominator, 1e-12)
+            # convergence check on truth movement
+            if truths:
+                movement = max(
+                    abs(new_truths[entity] - truths[entity]) for entity in new_truths
+                )
+                if movement < self.tol:
+                    truths = new_truths
+                    converged = True
+                    break
+            truths = new_truths
+            # weight update
+            errors = {contributor: 0.0 for contributor in contributors}
+            for entity, opinions in by_entity.items():
+                for contributor, value in opinions:
+                    errors[contributor] += (
+                        (value - truths[entity]) ** 2 / scales[entity]
+                    )
+            total_error = sum(errors.values())
+            if total_error <= 0:
+                weights = {contributor: 1.0 for contributor in contributors}
+                converged = True
+                break
+            for contributor in contributors:
+                share = max(errors[contributor] / total_error, 1e-12)
+                weights[contributor] = max(-float(np.log(share)), 1e-6)
+
+        return TruthDiscoveryResult(
+            truths=truths,
+            weights=weights,
+            iterations=iterations,
+            converged=converged,
+        )

@@ -1,0 +1,39 @@
+"""The SoundCity application server (Figure 1's "Web app server").
+
+The paper's Figure 1 deploys, next to the GoFlow middleware, a Web
+application server that "maintains data about the contributing users in
+an anonymized way, so that specific contributions may be retrieved
+provided the user's credentials". §4.2 lists the three user experiences
+it powers and §8 sketches the feedback loop. This package implements
+all of them over the GoFlow core:
+
+- :mod:`repro.webapp.exposure` — *Quantified self*: daily and monthly
+  noise-exposure summaries (energy-mean Leq) with WHO health guidance
+  (Figure 6 left/middle);
+- :mod:`repro.webapp.journeys` — the *Journey* participatory mode's
+  server side: journey records, per-journey statistics, and public
+  sharing through the broker's (location, Journey) routing exchanges
+  (Figure 6 right, Figure 3's Journey notifications);
+- :mod:`repro.webapp.feedback` — *qualitative feedback* (§8 future
+  work): submissions, and the measurement-triggered prompt policy
+  ("trigger it at some proper times, to be determined by the available
+  quantitative information");
+- :mod:`repro.webapp.server` — the REST surface tying them together.
+"""
+
+from repro.webapp.exposure import ExposureService, ExposureSummary, WHO_BANDS
+from repro.webapp.journeys import Journey, JourneyService, Visibility
+from repro.webapp.feedback import FeedbackService, PromptPolicy
+from repro.webapp.server import SoundCityApp
+
+__all__ = [
+    "ExposureService",
+    "ExposureSummary",
+    "FeedbackService",
+    "Journey",
+    "JourneyService",
+    "PromptPolicy",
+    "SoundCityApp",
+    "Visibility",
+    "WHO_BANDS",
+]

@@ -1,0 +1,170 @@
+"""Quantified self: personal noise-exposure statistics.
+
+SoundCity "shows the individual's daily and monthly exposure to noise in
+relation with its impact on health" (§4.2, Figure 6). Exposure over a
+period is the energy mean (Leq) of the user's measurements; health
+guidance follows the WHO community-noise guidance bands the paper cites
+([44] WHO 1999).
+
+Retrieval honours the privacy design: the store only holds pseudonyms,
+so the service re-derives the caller's pseudonym from their
+authenticated user id — "specific contributions may be retrieved
+provided the user's credentials".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.datamgmt import OBSERVATIONS
+from repro.core.errors import NotFoundError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+from repro.noise.spl import leq
+
+SECONDS_PER_DAY = 86400.0
+
+#: WHO community-noise guidance bands: (upper bound dB(A), label, advice).
+WHO_BANDS: List[Tuple[float, str, str]] = [
+    (55.0, "acceptable", "below WHO daytime community guidance"),
+    (
+        65.0,
+        "annoyance",
+        "serious annoyance range; may interfere with concentration",
+    ),
+    (
+        75.0,
+        "health risk",
+        "sustained exposure can disturb sleep and raise cardiovascular risk",
+    ),
+    (
+        float("inf"),
+        "harmful",
+        "hearing-damage range for sustained exposure; limit time here",
+    ),
+]
+
+
+def who_band(level_dba: float) -> Tuple[str, str]:
+    """(label, advice) of the WHO band containing ``level_dba``."""
+    for upper, label, advice in WHO_BANDS:
+        if level_dba < upper:
+            return (label, advice)
+    raise AssertionError("unreachable: last band is unbounded")
+
+
+@dataclass(frozen=True)
+class ExposureSummary:
+    """Exposure of one user over one period."""
+
+    user_id: str
+    period: str  # e.g. 'day 3' or 'month 0'
+    measurement_count: int
+    leq_dba: float
+    min_dba: float
+    max_dba: float
+    band: str
+    advice: str
+
+
+class ExposureService:
+    """Computes personal exposure summaries from the observation store."""
+
+    def __init__(self, store: DocumentStore, privacy: PrivacyPolicy) -> None:
+        self._observations = store.collection(OBSERVATIONS)
+        self._privacy = privacy
+
+    def _levels_between(
+        self, user_id: str, since: float, until: float
+    ) -> List[float]:
+        pseudonym = self._privacy.pseudonym(user_id)
+        rows = self._observations.aggregate(
+            [
+                {
+                    "$match": {
+                        "contributor": pseudonym,
+                        "taken_at": {"$gte": since, "$lt": until},
+                    }
+                },
+                {"$project": {"_id": 0, "dba": "$noise_dba"}},
+            ]
+        )
+        return [row["dba"] for row in rows if row["dba"] is not None]
+
+    def _summarize(
+        self, user_id: str, period: str, levels: List[float]
+    ) -> ExposureSummary:
+        if not levels:
+            raise NotFoundError(
+                f"no measurements for {user_id!r} in {period}"
+            )
+        exposure = leq(levels)
+        band, advice = who_band(exposure)
+        return ExposureSummary(
+            user_id=user_id,
+            period=period,
+            measurement_count=len(levels),
+            leq_dba=round(exposure, 2),
+            min_dba=round(min(levels), 2),
+            max_dba=round(max(levels), 2),
+            band=band,
+            advice=advice,
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def daily(self, user_id: str, day: int) -> ExposureSummary:
+        """Exposure summary for simulated day ``day`` (0-based)."""
+        since = day * SECONDS_PER_DAY
+        levels = self._levels_between(user_id, since, since + SECONDS_PER_DAY)
+        return self._summarize(user_id, f"day {day}", levels)
+
+    def monthly(self, user_id: str, month: int) -> ExposureSummary:
+        """Exposure summary for simulated 30-day month ``month``."""
+        since = month * 30 * SECONDS_PER_DAY
+        until = since + 30 * SECONDS_PER_DAY
+        levels = self._levels_between(user_id, since, until)
+        return self._summarize(user_id, f"month {month}", levels)
+
+    def daily_series(self, user_id: str, days: int) -> List[Optional[ExposureSummary]]:
+        """Summaries for days 0..days-1 (None where no data)."""
+        series: List[Optional[ExposureSummary]] = []
+        for day in range(days):
+            try:
+                series.append(self.daily(user_id, day))
+            except NotFoundError:
+                series.append(None)
+        return series
+
+    def hourly_profile(self, user_id: str, day: int) -> Dict[int, float]:
+        """Hour -> Leq for one day (the Figure 6 'Statistics' screen)."""
+        since = day * SECONDS_PER_DAY
+        pseudonym = self._privacy.pseudonym(user_id)
+        rows = self._observations.aggregate(
+            [
+                {
+                    "$match": {
+                        "contributor": pseudonym,
+                        "taken_at": {"$gte": since, "$lt": since + SECONDS_PER_DAY},
+                    }
+                },
+                {
+                    "$addFields": {
+                        "hour": {
+                            "$floor": {
+                                "$divide": [{"$mod": ["$taken_at", 86400]}, 3600]
+                            }
+                        }
+                    }
+                },
+                {"$group": {"_id": "$hour", "levels": {"$push": "$noise_dba"}}},
+            ]
+        )
+        return {
+            int(row["_id"]): round(leq(row["levels"]), 2)
+            for row in rows
+            if row["levels"]
+        }

@@ -1,0 +1,181 @@
+"""Qualitative feedback: submissions and measurement-triggered prompts.
+
+§8 (future work): "It can be challenging to engage the users to the
+point where they would willingly provide qualitative feedback ... The
+feedback mechanism should be easily accessible and yet not invasive.
+Also, it might be beneficial to trigger it at some proper times, to be
+determined by the available quantitative information. In the case of
+SoundCity, user feedback at locations where the noise is accurately
+measured would be helpful to build an individual profile of sensitivity
+to noise."
+
+The :class:`PromptPolicy` encodes exactly that sentence: prompt when a
+measurement is (a) loud, (b) accurately localized, and (c) the user has
+not been bothered recently (non-invasiveness budget). Responses are
+stored and aggregated into the per-user noise-sensitivity profile the
+paper envisions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.broker.broker import Broker
+from repro.broker.message import Message
+from repro.core.channels import ChannelManager
+from repro.core.errors import NotFoundError, ValidationError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+
+
+@dataclass(frozen=True)
+class PromptPolicy:
+    """When to ask the user how the noise feels.
+
+    Attributes:
+        min_noise_dba: only prompt about notable noise.
+        max_accuracy_m: only prompt where the measurement is localized
+            well enough to be attributable to a place.
+        min_gap_s: non-invasiveness budget between prompts per user.
+    """
+
+    min_noise_dba: float = 65.0
+    max_accuracy_m: float = 50.0
+    min_gap_s: float = 4 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_accuracy_m <= 0 or self.min_gap_s < 0:
+            raise ValidationError("invalid prompt policy parameters")
+
+
+class FeedbackService:
+    """Prompt decisions, submissions, and sensitivity profiles."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        privacy: PrivacyPolicy,
+        broker: Optional[Broker] = None,
+        policy: Optional[PromptPolicy] = None,
+        app_id: str = "SC",
+    ) -> None:
+        self._feedback = store.collection("feedback")
+        self._feedback.create_index("contributor", kind="hash")
+        self._privacy = privacy
+        self._broker = broker
+        self._app_id = app_id
+        self.policy = policy or PromptPolicy()
+        self._last_prompt: Dict[str, float] = {}
+        self._ids = itertools.count(1)
+        self.prompts_issued = 0
+        self.prompts_suppressed = 0
+
+    # -- prompting ------------------------------------------------------------
+
+    def should_prompt(self, user_id: str, observation: Dict[str, Any]) -> bool:
+        """Apply the §8 triggering policy to one stored observation."""
+        noise = observation.get("noise_dba")
+        location = observation.get("location")
+        taken_at = observation.get("taken_at", 0.0)
+        if noise is None or noise < self.policy.min_noise_dba:
+            return False
+        if location is None or location.get("accuracy_m", 1e9) > self.policy.max_accuracy_m:
+            return False
+        last = self._last_prompt.get(user_id)
+        if last is not None and taken_at - last < self.policy.min_gap_s:
+            self.prompts_suppressed += 1
+            return False
+        return True
+
+    def prompt(self, user_id: str, observation: Dict[str, Any]) -> bool:
+        """Record a prompt decision; returns whether one was issued."""
+        if not self.should_prompt(user_id, observation):
+            return False
+        self._last_prompt[user_id] = observation.get("taken_at", 0.0)
+        self.prompts_issued += 1
+        return True
+
+    # -- submissions ------------------------------------------------------------
+
+    def submit(
+        self,
+        user_id: str,
+        rating: int,
+        text: str = "",
+        zone: str = "NOLOC",
+        taken_at: float = 0.0,
+        noise_dba: Optional[float] = None,
+    ) -> int:
+        """Store one feedback entry; returns its id.
+
+        ``rating`` is the perceived annoyance on a 1 (fine) to 5
+        (unbearable) scale. Public feedback is also routed to the
+        (zone, Feedback) exchange — Figure 3's feedback reports.
+        """
+        if not 1 <= rating <= 5:
+            raise ValidationError("rating must be in 1..5")
+        feedback_id = next(self._ids)
+        self._feedback.insert_one(
+            {
+                "feedback_id": feedback_id,
+                "contributor": self._privacy.pseudonym(user_id),
+                "rating": rating,
+                "text": text,
+                "zone": zone,
+                "taken_at": taken_at,
+                "noise_dba": noise_dba,
+            }
+        )
+        if self._broker is not None:
+            exchange = ChannelManager.app_exchange(self._app_id)
+            if self._broker.has_exchange(exchange):
+                self._broker.publish(
+                    exchange,
+                    Message(
+                        routing_key=f"{zone}.Feedback",
+                        body={"rating": rating, "text": text, "zone": zone},
+                    ),
+                )
+        return feedback_id
+
+    def for_user(self, user_id: str) -> List[Dict[str, Any]]:
+        """All feedback by ``user_id``."""
+        pseudonym = self._privacy.pseudonym(user_id)
+        return self._feedback.find({"contributor": pseudonym}).sort(
+            "taken_at"
+        ).to_list()
+
+    # -- the sensitivity profile (§8's stated goal) -----------------------------------
+
+    def sensitivity_profile(self, user_id: str) -> Dict[str, Any]:
+        """The user's noise-sensitivity estimate.
+
+        Regresses perceived annoyance on measured level across the
+        user's feedback: the slope is the sensitivity (ratings rising
+        steeply with dB = sensitive user), the 3-rating crossing level
+        is their personal tolerance threshold.
+        """
+        entries = [
+            e for e in self.for_user(user_id) if e.get("noise_dba") is not None
+        ]
+        if len(entries) < 3:
+            raise NotFoundError(
+                f"not enough rated measurements for {user_id!r} (need 3)"
+            )
+        import numpy as np
+
+        levels = np.array([e["noise_dba"] for e in entries], dtype=float)
+        ratings = np.array([e["rating"] for e in entries], dtype=float)
+        if float(np.std(levels)) < 1e-9:
+            raise ValidationError("feedback levels are degenerate")
+        design = np.column_stack([levels, np.ones_like(levels)])
+        (slope, intercept), _, _, _ = np.linalg.lstsq(design, ratings, rcond=None)
+        threshold = (3.0 - intercept) / slope if slope != 0 else float("inf")
+        return {
+            "user_id": user_id,
+            "samples": len(entries),
+            "sensitivity_per_db": round(float(slope), 4),
+            "tolerance_dba": round(float(threshold), 1),
+        }

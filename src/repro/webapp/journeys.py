@@ -1,0 +1,199 @@
+"""Journey management: the participatory mode's server side.
+
+§4.2: "the user engages in the measurement of noise across a journey and
+defines the sensing frequency ... With the Journey mode, users may
+further share their observations publicly or within a community."
+Figure 3 shows journey announcements routed to subscribers of the
+(location, ``Journey``) exchange.
+
+A journey record references its observations by (contributor, time
+window); statistics (Leq, track length, localization quality) are
+computed from the store on demand.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.broker.broker import Broker
+from repro.core.channels import ChannelManager
+from repro.core.datamgmt import OBSERVATIONS
+from repro.core.errors import AuthorizationError, NotFoundError, ValidationError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+from repro.noise.spl import leq
+
+
+class Visibility(enum.Enum):
+    """Who can see a journey."""
+
+    PRIVATE = "private"
+    COMMUNITY = "community"
+    PUBLIC = "public"
+
+
+@dataclass
+class Journey:
+    """One recorded journey."""
+
+    journey_id: int
+    owner_id: str
+    title: str
+    started_at: float
+    ended_at: float
+    home_zone: str
+    visibility: Visibility = Visibility.PRIVATE
+
+
+class JourneyService:
+    """Creates, shares, and summarizes journeys."""
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        privacy: PrivacyPolicy,
+        broker: Optional[Broker] = None,
+        app_id: str = "SC",
+    ) -> None:
+        self._journeys = store.collection("journeys")
+        self._journeys.create_index("owner", kind="hash")
+        self._observations = store.collection(OBSERVATIONS)
+        self._privacy = privacy
+        self._broker = broker
+        self._app_id = app_id
+        self._ids = itertools.count(1)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create(
+        self,
+        owner_id: str,
+        title: str,
+        started_at: float,
+        ended_at: float,
+        home_zone: str = "Z0-0",
+    ) -> Journey:
+        """Record a finished journey."""
+        if not title:
+            raise ValidationError("journey title must be non-empty")
+        if ended_at <= started_at:
+            raise ValidationError("journey must end after it starts")
+        journey = Journey(
+            journey_id=next(self._ids),
+            owner_id=owner_id,
+            title=title,
+            started_at=started_at,
+            ended_at=ended_at,
+            home_zone=home_zone,
+        )
+        self._journeys.insert_one(
+            {
+                "journey_id": journey.journey_id,
+                "owner": self._privacy.pseudonym(owner_id),
+                "title": title,
+                "started_at": started_at,
+                "ended_at": ended_at,
+                "home_zone": home_zone,
+                "visibility": journey.visibility.value,
+            }
+        )
+        return journey
+
+    def get(self, journey_id: int) -> Dict[str, Any]:
+        """The stored journey document."""
+        doc = self._journeys.find_one({"journey_id": journey_id})
+        if doc is None:
+            raise NotFoundError(f"unknown journey {journey_id}")
+        return doc
+
+    def share(
+        self, owner_id: str, journey_id: int, visibility: Visibility
+    ) -> None:
+        """Change a journey's visibility; announces public journeys.
+
+        Publishing the announcement through the app exchange reaches
+        every subscriber of the (home zone, Journey) routing exchange —
+        Figure 3's "new public Journeys notifications".
+        """
+        doc = self.get(journey_id)
+        if doc["owner"] != self._privacy.pseudonym(owner_id):
+            raise AuthorizationError("only the owner may share a journey")
+        self._journeys.update_one(
+            {"journey_id": journey_id},
+            {"$set": {"visibility": visibility.value}},
+        )
+        if visibility is Visibility.PUBLIC and self._broker is not None:
+            exchange = ChannelManager.app_exchange(self._app_id)
+            if self._broker.has_exchange(exchange):
+                from repro.broker.message import Message
+
+                self._broker.publish(
+                    exchange,
+                    Message(
+                        routing_key=f"{doc['home_zone']}.Journey",
+                        body={
+                            "journey_id": journey_id,
+                            "title": doc["title"],
+                            "zone": doc["home_zone"],
+                        },
+                    ),
+                )
+
+    # -- listings ---------------------------------------------------------------
+
+    def for_user(self, user_id: str) -> List[Dict[str, Any]]:
+        """All journeys of ``user_id`` (any visibility)."""
+        pseudonym = self._privacy.pseudonym(user_id)
+        return self._journeys.find({"owner": pseudonym}).sort("started_at").to_list()
+
+    def public(self, zone: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Public journeys, optionally filtered by home zone."""
+        filter_doc: Dict[str, Any] = {"visibility": Visibility.PUBLIC.value}
+        if zone is not None:
+            filter_doc["home_zone"] = zone
+        return self._journeys.find(filter_doc).sort("started_at").to_list()
+
+    # -- statistics ---------------------------------------------------------------
+
+    def observations_of(self, journey_id: int) -> List[Dict[str, Any]]:
+        """The journey-mode observations inside the journey's window."""
+        doc = self.get(journey_id)
+        return self._observations.find(
+            {
+                "contributor": doc["owner"],
+                "mode": "journey",
+                "taken_at": {"$gte": doc["started_at"], "$lte": doc["ended_at"]},
+            }
+        ).sort("taken_at").to_list()
+
+    def summary(self, journey_id: int) -> Dict[str, Any]:
+        """Leq, sample count, localization quality, and track length."""
+        doc = self.get(journey_id)
+        observations = self.observations_of(journey_id)
+        if not observations:
+            raise NotFoundError(f"journey {journey_id} has no observations")
+        levels = [o["noise_dba"] for o in observations]
+        localized = [o for o in observations if "location" in o]
+        track_m = 0.0
+        for previous, current in zip(localized, localized[1:]):
+            track_m += float(
+                np.hypot(
+                    current["location"]["x_m"] - previous["location"]["x_m"],
+                    current["location"]["y_m"] - previous["location"]["y_m"],
+                )
+            )
+        return {
+            "journey_id": journey_id,
+            "title": doc["title"],
+            "samples": len(observations),
+            "localized": len(localized),
+            "leq_dba": round(leq(levels), 2),
+            "max_dba": round(max(levels), 2),
+            "track_length_m": round(track_m, 1),
+            "duration_s": doc["ended_at"] - doc["started_at"],
+        }

@@ -1,0 +1,54 @@
+"""Coverage-tracker tests."""
+
+import pytest
+
+from repro.adaptive.coverage import CoverageTracker
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def tracker():
+    return CoverageTracker(CityGrid(4, 4, (400.0, 400.0)))
+
+
+class TestCoverage:
+    def test_record_and_count(self, tracker):
+        tracker.record(50.0, 50.0, taken_at=10 * 3600.0)
+        tracker.record(50.0, 50.0, taken_at=10 * 3600.0 + 60.0)
+        assert tracker.count_at(50.0, 50.0, 10 * 3600.0) == 2
+        assert tracker.total() == 2
+
+    def test_hour_buckets_separate(self, tracker):
+        tracker.record(50.0, 50.0, taken_at=10 * 3600.0)
+        assert tracker.count_at(50.0, 50.0, 22 * 3600.0) == 0
+
+    def test_day_wraps(self, tracker):
+        tracker.record(50.0, 50.0, taken_at=10 * 3600.0)
+        assert tracker.count_at(50.0, 50.0, 86400.0 + 10 * 3600.0) == 1
+
+    def test_cells_separate(self, tracker):
+        tracker.record(50.0, 50.0, taken_at=0.0)
+        assert tracker.count_at(350.0, 350.0, 0.0) == 0
+
+    def test_outside_grid_ignored(self, tracker):
+        tracker.record(-10.0, 0.0, taken_at=0.0)
+        assert tracker.total() == 0
+        assert tracker.count_at(-10.0, 0.0, 0.0) == 0
+
+    def test_information_value_diminishes(self, tracker):
+        values = []
+        for _ in range(5):
+            values.append(tracker.information_value(50.0, 50.0, 0.0))
+            tracker.record(50.0, 50.0, 0.0)
+        assert values[0] == 1.0
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_spatial_coverage_share(self, tracker):
+        assert tracker.spatial_coverage_share() == 0.0
+        tracker.record(50.0, 50.0, 0.0)
+        assert tracker.spatial_coverage_share() == pytest.approx(1 / 16)
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageTracker(CityGrid(4, 4, (400.0, 400.0)), hour_buckets=0)

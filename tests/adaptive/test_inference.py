@@ -1,0 +1,118 @@
+"""Crowd-inference tests."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.inference import CrowdInference
+from repro.errors import ConfigurationError
+
+
+def _doc(x, y, t, dba):
+    return {
+        "noise_dba": dba,
+        "taken_at": t,
+        "location": {"x_m": x, "y_m": y},
+    }
+
+
+@pytest.fixture
+def inference():
+    return CrowdInference(space_scale_m=200.0, time_scale_s=1800.0)
+
+
+class TestEstimate:
+    def test_recovers_local_level(self, inference):
+        crowd = [_doc(10.0 * i, 0.0, 100.0 * i, 60.0) for i in range(6)]
+        estimate = inference.estimate(crowd, 20.0, 0.0, 250.0)
+        assert estimate["estimate_dba"] == pytest.approx(60.0, abs=0.5)
+        assert estimate["support"] == 6
+
+    def test_near_neighbours_dominate(self, inference):
+        crowd = [
+            _doc(0.0, 0.0, 0.0, 50.0),  # right here
+            _doc(5.0, 0.0, 0.0, 50.0),
+            _doc(750.0, 0.0, 0.0, 90.0),  # far away, loud
+        ]
+        estimate = inference.estimate(
+            crowd, 0.0, 0.0, 0.0, max_distance_m=1000.0
+        )
+        # the estimate leans to the nearby quiet value (energy means
+        # still let loud values bleed through, so just check ordering)
+        assert estimate["estimate_dba"] < 85.0
+
+    def test_out_of_window_excluded(self, inference):
+        crowd = [
+            _doc(0.0, 0.0, 0.0, 60.0),
+            _doc(0.0, 0.0, 50_000.0, 90.0),  # hours later
+            _doc(5_000.0, 0.0, 0.0, 90.0),  # kilometres away
+            _doc(10.0, 0.0, 60.0, 61.0),
+            _doc(20.0, 0.0, 120.0, 59.0),
+        ]
+        estimate = inference.estimate(crowd, 0.0, 0.0, 0.0)
+        assert estimate["support"] == 3
+        assert estimate["estimate_dba"] == pytest.approx(60.0, abs=1.0)
+
+    def test_unlocalized_documents_skipped(self, inference):
+        crowd = [
+            {"noise_dba": 90.0, "taken_at": 0.0},
+            _doc(0.0, 0.0, 0.0, 60.0),
+            _doc(1.0, 0.0, 0.0, 60.0),
+            _doc(2.0, 0.0, 0.0, 60.0),
+        ]
+        estimate = inference.estimate(crowd, 0.0, 0.0, 0.0)
+        assert estimate["support"] == 3
+
+    def test_thin_support_refused(self, inference):
+        with pytest.raises(ConfigurationError):
+            inference.estimate([_doc(0.0, 0.0, 0.0, 60.0)], 0.0, 0.0, 0.0)
+
+    def test_confidence_grows_with_support(self, inference):
+        few = inference.estimate(
+            [_doc(float(i), 0.0, 0.0, 60.0) for i in range(3)], 0.0, 0.0, 0.0
+        )
+        many = inference.estimate(
+            [_doc(float(i), 0.0, 0.0, 60.0) for i in range(30)], 0.0, 0.0, 0.0
+        )
+        assert many["confidence"] > few["confidence"]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrowdInference(space_scale_m=0.0)
+        with pytest.raises(ConfigurationError):
+            CrowdInference(min_neighbors=0)
+
+
+class TestGapFilling:
+    def test_fills_interior_windows(self, inference):
+        own = [
+            _doc(0.0, 0.0, 0.0, 55.0),
+            _doc(3600.0 * 4, 0.0, 4 * 3600.0, 57.0),  # 4-hour gap
+        ]
+        # dense crowd along the interpolated path
+        crowd = [
+            _doc(3600.0 * k + dx, 0.0, 3600.0 * k, 62.0)
+            for k in range(5)
+            for dx in (-20.0, 0.0, 20.0)
+        ]
+        filled = inference.fill_gaps(own, crowd, window_s=3600.0)
+        assert len(filled) == 3  # hours 1, 2, 3
+        for entry in filled:
+            assert entry["estimate_dba"] == pytest.approx(62.0, abs=1.0)
+            assert 0.0 < entry["taken_at"] < 4 * 3600.0
+
+    def test_no_gap_no_fill(self, inference):
+        own = [
+            _doc(0.0, 0.0, 0.0, 55.0),
+            _doc(10.0, 0.0, 1800.0, 57.0),
+        ]
+        assert inference.fill_gaps(own, [], window_s=3600.0) == []
+
+    def test_needs_two_localized_anchor_points(self, inference):
+        assert inference.fill_gaps([_doc(0.0, 0.0, 0.0, 55.0)], []) == []
+
+    def test_skips_windows_without_crowd_support(self, inference):
+        own = [
+            _doc(0.0, 0.0, 0.0, 55.0),
+            _doc(0.0, 0.0, 4 * 3600.0, 57.0),
+        ]
+        assert inference.fill_gaps(own, [], window_s=3600.0) == []

@@ -1,0 +1,98 @@
+"""Sensing-planner tests."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.coverage import CoverageTracker
+from repro.adaptive.planner import AdaptivePlanner, UniformPlanner
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def grid():
+    return CityGrid(5, 5, (500.0, 500.0))
+
+
+class TestUniformPlanner:
+    def test_acceptance_matches_budget(self):
+        planner = UniformPlanner(0.3, np.random.default_rng(0))
+        for _ in range(4000):
+            planner.decide(0.0, 0.0, 0.0)
+        assert planner.accepted / planner.offered == pytest.approx(0.3, abs=0.03)
+
+    def test_bad_acceptance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformPlanner(0.0, np.random.default_rng(0))
+
+
+class TestAdaptivePlanner:
+    def test_budget_controller_converges(self, grid):
+        planner = AdaptivePlanner(grid, 0.3, np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        for _ in range(3000):
+            planner.decide(
+                float(rng.uniform(0, 499)), float(rng.uniform(0, 499)),
+                float(rng.uniform(0, 86400)),
+            )
+        assert planner.acceptance_rate == pytest.approx(0.3, abs=0.07)
+
+    def test_prefers_uncovered_cells(self, grid):
+        planner = AdaptivePlanner(grid, 0.5, np.random.default_rng(3))
+        # saturate one cell's coverage
+        for _ in range(50):
+            planner.coverage.record(50.0, 50.0, 0.0)
+        covered = planner.value_of(50.0, 50.0, 0.0)
+        fresh = planner.value_of(450.0, 450.0, 0.0)
+        assert fresh > covered
+
+    def test_prefers_high_variance_cells(self, grid):
+        planner = AdaptivePlanner(grid, 0.5, np.random.default_rng(4))
+        variance = np.ones(grid.size)
+        hot = grid.flat_index(*grid.locate(450.0, 450.0))
+        variance[hot] = 16.0
+        planner.update_variance_map(variance)
+        assert planner.value_of(450.0, 450.0, 0.0) > planner.value_of(50.0, 50.0, 0.0)
+
+    def test_variance_map_shape_checked(self, grid):
+        planner = AdaptivePlanner(grid, 0.5, np.random.default_rng(5))
+        with pytest.raises(ConfigurationError):
+            planner.update_variance_map(np.ones(3))
+
+    def test_accepted_opportunities_feed_coverage(self, grid):
+        planner = AdaptivePlanner(grid, 1.0, np.random.default_rng(6))
+        planner._threshold = 0.0  # force acceptance
+        planner.decide(50.0, 50.0, 0.0)
+        assert planner.coverage.total() == 1
+
+    def test_adaptive_beats_uniform_on_coverage(self, grid):
+        """Same budget, better spatial coverage — the §8 objective."""
+        rng_positions = np.random.default_rng(7)
+        # opportunities are spatially skewed: 80 % in one corner
+        def draw_position():
+            if rng_positions.random() < 0.8:
+                return (
+                    float(rng_positions.uniform(0, 100)),
+                    float(rng_positions.uniform(0, 100)),
+                )
+            return (
+                float(rng_positions.uniform(0, 499)),
+                float(rng_positions.uniform(0, 499)),
+            )
+
+        opportunities = [draw_position() for _ in range(3000)]
+        uniform = UniformPlanner(0.2, np.random.default_rng(8))
+        uniform_coverage = CoverageTracker(grid)
+        for x, y in opportunities:
+            if uniform.decide(x, y, 0.0).sense:
+                uniform_coverage.record(x, y, 0.0)
+        adaptive = AdaptivePlanner(grid, 0.2, np.random.default_rng(9))
+        for x, y in opportunities:
+            adaptive.decide(x, y, 0.0)
+        # comparable budgets
+        assert adaptive.accepted == pytest.approx(uniform.accepted, rel=0.4)
+        # better-balanced coverage: fewer samples wasted on the hot corner
+        uniform_counts = uniform_coverage.cell_counts()
+        adaptive_counts = adaptive.coverage.cell_counts()
+        assert adaptive_counts.max() < uniform_counts.max()
+        assert (adaptive_counts > 0).sum() >= (uniform_counts > 0).sum()

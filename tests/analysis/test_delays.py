@@ -1,0 +1,46 @@
+"""Delay-analysis tests."""
+
+import pytest
+
+from repro.analysis.delays import delay_cdf, summarize_delays
+from repro.errors import ConfigurationError
+
+
+class TestSummary:
+    def test_fractions(self):
+        delays = [1.0, 5.0, 30.0, 1800.0, 8000.0, 90_000.0]
+        summary = summarize_delays(delays)
+        assert summary.within_10s == pytest.approx(2 / 6)
+        assert summary.within_1min == pytest.approx(3 / 6)
+        assert summary.within_1h == pytest.approx(4 / 6)
+        assert summary.over_2h == pytest.approx(2 / 6)
+        assert summary.count == 6
+
+    def test_median(self):
+        summary = summarize_delays([10.0, 20.0, 30.0])
+        assert summary.median_s == 20.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_delays([])
+
+
+class TestCdf:
+    def test_monotone_nondecreasing(self):
+        delays = [3.0, 100.0, 4000.0, 20_000.0]
+        cdf = delay_cdf(delays)
+        fractions = [fraction for _, fraction in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] <= 1.0
+
+    def test_thresholds_inclusive(self):
+        cdf = dict(delay_cdf([10.0], points_s=(10,)))
+        assert cdf[10.0] == 1.0
+
+    def test_custom_points(self):
+        cdf = delay_cdf([5.0, 50.0], points_s=(1, 100))
+        assert cdf == [(1.0, 0.0), (100.0, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            delay_cdf([])

@@ -1,0 +1,112 @@
+"""Histogram-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import (
+    ACCURACY_BUCKETS,
+    accuracy_histogram,
+    bucket_label,
+    distribution_distance,
+    distribution_peak_db,
+    modal_bucket,
+    spl_distribution_per_mille,
+)
+from repro.errors import ConfigurationError
+
+
+class TestAccuracyHistogram:
+    def test_shares_sum_to_one(self):
+        histogram = accuracy_histogram([5.0, 15.0, 30.0, 90.0, 150.0, 600.0])
+        assert sum(histogram.values()) == pytest.approx(1.0)
+
+    def test_bucket_assignment(self):
+        histogram = accuracy_histogram([10.0, 10.0, 30.0, 30.0])
+        assert histogram["6-20m"] == 0.5
+        assert histogram["20-50m"] == 0.5
+
+    def test_boundaries_are_left_inclusive(self):
+        histogram = accuracy_histogram([20.0])
+        assert histogram["20-50m"] == 1.0
+        assert histogram["6-20m"] == 0.0
+
+    def test_open_top_bucket(self):
+        histogram = accuracy_histogram([5000.0])
+        assert histogram[">500m"] == 1.0
+
+    def test_labels_cover_all_buckets(self):
+        assert len(accuracy_histogram([1.0])) == len(ACCURACY_BUCKETS)
+
+    def test_modal_bucket(self):
+        histogram = accuracy_histogram([30.0, 35.0, 10.0])
+        assert modal_bucket(histogram) == "20-50m"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accuracy_histogram([])
+
+    def test_bucket_label_format(self):
+        assert bucket_label((6.0, 20.0)) == "6-20m"
+        assert bucket_label((500.0, float("inf"))) == ">500m"
+
+
+class TestSplDistribution:
+    def test_per_mille_scaling(self):
+        centers, per_mille = spl_distribution_per_mille([50.0] * 100)
+        assert per_mille.sum() == pytest.approx(1000.0)
+
+    def test_bin_centers_cover_range(self):
+        centers, _ = spl_distribution_per_mille([50.0], low_db=20.0, high_db=100.0)
+        assert centers[0] == pytest.approx(20.5)
+        assert centers[-1] == pytest.approx(99.5)
+
+    def test_out_of_range_values_drop_mass(self):
+        _, per_mille = spl_distribution_per_mille([10.0, 50.0])
+        assert per_mille.sum() == pytest.approx(500.0)
+
+    def test_peak_detection(self):
+        rng = np.random.default_rng(0)
+        levels = np.concatenate(
+            [rng.normal(40.0, 2.0, 5000), rng.normal(70.0, 2.0, 1000)]
+        )
+        assert distribution_peak_db(levels) == pytest.approx(40.0, abs=1.5)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spl_distribution_per_mille([50.0], low_db=80.0, high_db=40.0)
+        with pytest.raises(ConfigurationError):
+            spl_distribution_per_mille([])
+
+
+class TestDistributionDistance:
+    def test_identical_distributions_zero(self):
+        rng = np.random.default_rng(1)
+        levels = rng.normal(50, 5, 2000)
+        assert distribution_distance(levels, levels) == 0.0
+
+    def test_shifted_distributions_far(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(40, 3, 3000)
+        b = rng.normal(60, 3, 3000)
+        assert distribution_distance(a, b) > 0.9
+
+    def test_figure14_vs_figure15_contrast(self):
+        """Across models the shift is big; within a model it is small."""
+        from repro.devices.registry import DeviceRegistry
+        from repro.sensing.microphone import Microphone
+
+        registry = DeviceRegistry()
+        rng = np.random.default_rng(3)
+
+        def sample_levels(model_name, seed):
+            mic = Microphone(registry.get(model_name))
+            local = np.random.default_rng(seed)
+            return [mic.sample(local, 14.0).measured_dba for _ in range(1500)]
+
+        same_model = distribution_distance(
+            sample_levels("SM-G901F", 1), sample_levels("SM-G901F", 2)
+        )
+        cross_model = distribution_distance(
+            sample_levels("GT-I9505", 3), sample_levels("A0001", 4)
+        )
+        assert cross_model > 2 * same_model

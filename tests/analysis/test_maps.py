@@ -1,0 +1,92 @@
+"""Map-rendering tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.maps import field_to_rows, render_comparison, render_field
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def grid():
+    return CityGrid(6, 4, (600.0, 400.0))
+
+
+@pytest.fixture
+def field(grid):
+    values = np.full(grid.size, 40.0)
+    values[grid.flat_index(3, 5)] = 80.0  # loud top-right corner
+    return values
+
+
+class TestRenderField:
+    def test_dimensions(self, grid, field):
+        lines = render_field(grid, field).splitlines()
+        # border + ny rows + border + ramp note
+        assert len(lines) == grid.ny + 3
+        assert all(len(line) == grid.nx + 2 for line in lines[: grid.ny + 2])
+
+    def test_loud_cell_gets_heaviest_char(self, grid, field):
+        lines = render_field(grid, field).splitlines()
+        # row 0 of the body is the top (max y = grid row ny-1)
+        top_row = lines[1]
+        assert top_row[-2] == "@"
+
+    def test_quiet_cells_get_lightest_char(self, grid, field):
+        lines = render_field(grid, field).splitlines()
+        bottom_row = lines[grid.ny]
+        assert bottom_row[1] == " "
+
+    def test_markers_overlay(self, grid, field):
+        rendered = render_field(grid, field, markers=[(50.0, 50.0, "o")])
+        bottom_row = rendered.splitlines()[grid.ny]
+        assert bottom_row[1] == "o"
+
+    def test_ramp_note_present(self, grid, field):
+        assert "dB(A)" in render_field(grid, field).splitlines()[-1]
+
+    def test_fixed_scale_respected(self, grid, field):
+        rendered = render_field(grid, field, low_db=0.0, high_db=200.0)
+        assert "0 dB(A)" in rendered.splitlines()[-1]
+        # nothing reaches the heaviest char on this wide scale
+        assert "@" not in "".join(rendered.splitlines()[:-1])
+
+    def test_shape_mismatch_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            render_field(grid, np.zeros(5))
+
+    def test_short_ramp_rejected(self, grid, field):
+        with pytest.raises(ConfigurationError):
+            render_field(grid, field, ramp="x")
+
+
+class TestComparison:
+    def test_side_by_side(self, grid, field):
+        rendered = render_comparison(
+            grid, {"truth": field, "background": field - 5.0}
+        )
+        first_body_row = rendered.splitlines()[1]
+        assert first_body_row.count("+") == 4  # two borders per map
+
+    def test_titles_included(self, grid, field):
+        rendered = render_comparison(grid, {"truth": field, "analysis": field})
+        assert "truth" in rendered.splitlines()[0]
+        assert "analysis" in rendered.splitlines()[0]
+
+    def test_empty_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            render_comparison(grid, {})
+
+
+class TestExport:
+    def test_rows_cover_grid(self, grid, field):
+        rows = field_to_rows(grid, field)
+        assert len(rows) == grid.size
+        assert rows[0]["x_m"] == 50.0
+        assert rows[-1]["level_dba"] == 80.0
+
+    def test_json_serializable(self, grid, field):
+        json.dumps(field_to_rows(grid, field))

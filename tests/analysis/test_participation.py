@@ -1,0 +1,77 @@
+"""Participation-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.participation import (
+    daytime_share,
+    hourly_share,
+    mean_profile_distance,
+    peak_hour,
+    profile_distance,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHourlyShare:
+    def test_sums_to_one(self):
+        share = hourly_share([9.5, 14.2, 14.9, 23.0])
+        assert share.sum() == pytest.approx(1.0)
+        assert share.shape == (24,)
+
+    def test_bins_by_hour(self):
+        share = hourly_share([14.0, 14.5, 9.0])
+        assert share[14] == pytest.approx(2 / 3)
+        assert share[9] == pytest.approx(1 / 3)
+
+    def test_wraps_over_24(self):
+        share = hourly_share([25.0])
+        assert share[1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hourly_share([])
+
+
+class TestSummaries:
+    def test_peak_hour(self):
+        share = np.zeros(24)
+        share[15] = 1.0
+        assert peak_hour(share) == 15
+
+    def test_daytime_share(self):
+        share = np.full(24, 1 / 24)
+        assert daytime_share(share) == pytest.approx(11 / 24)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            peak_hour(np.zeros(23))
+        with pytest.raises(ConfigurationError):
+            daytime_share(np.zeros(10))
+
+
+class TestProfileDistance:
+    def test_identical_profiles_zero(self):
+        share = np.full(24, 1 / 24)
+        assert profile_distance(share, share) == 0.0
+
+    def test_disjoint_profiles_one(self):
+        a = np.zeros(24)
+        a[9] = 1.0
+        b = np.zeros(24)
+        b[21] = 1.0
+        assert profile_distance(a, b) == pytest.approx(1.0)
+
+    def test_mean_pairwise(self):
+        a = np.zeros(24)
+        a[9] = 1.0
+        b = np.zeros(24)
+        b[21] = 1.0
+        c = np.full(24, 1 / 24)
+        mean = mean_profile_distance({"a": a, "b": b, "c": c})
+        expected = (1.0 + profile_distance(a, c) + profile_distance(b, c)) / 3
+        assert mean == pytest.approx(expected)
+
+    def test_needs_two_profiles(self):
+        with pytest.raises(ConfigurationError):
+            mean_profile_distance({"only": np.full(24, 1 / 24)})

@@ -1,0 +1,46 @@
+"""Report-formatting tests."""
+
+import pytest
+
+from repro.analysis.reports import format_distribution, format_table
+from repro.errors import ConfigurationError
+
+
+class TestFormatDistribution:
+    def test_renders_percentages(self):
+        text = format_distribution({"gps": 0.07, "network": 0.86}, title="Providers")
+        assert "Providers" in text
+        assert "86.00 %" in text
+        assert "gps" in text
+
+    def test_raw_mode(self):
+        text = format_distribution({"x": 0.5}, percent=False)
+        assert "0.5000" in text
+
+    def test_bars_scale_with_share(self):
+        text = format_distribution({"big": 0.9, "small": 0.05})
+        big_line, small_line = text.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_distribution({})
+
+
+class TestFormatTable:
+    def test_renders_columns(self):
+        rows = [{"model": "A0001", "count": 12}, {"model": "NEXUS 5", "count": 3}]
+        text = format_table(rows, ["model", "count"], title="Models")
+        assert "Models" in text
+        assert "A0001" in text
+        lines = text.splitlines()
+        assert lines[1].startswith("model")
+
+    def test_missing_cell_rendered_empty(self):
+        rows = [{"a": 1}]
+        text = format_table(rows, ["a", "b"])
+        assert "1" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], ["a"])

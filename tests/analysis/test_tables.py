@@ -1,0 +1,57 @@
+"""Table-analysis tests."""
+
+import pytest
+
+from repro.analysis.tables import cumulative_series, top_models_table
+from repro.errors import ConfigurationError
+
+
+def _row(model, devices, measurements, localized):
+    return {
+        "model": model,
+        "devices": devices,
+        "measurements": measurements,
+        "localized": localized,
+    }
+
+
+class TestTopModelsTable:
+    def test_ordered_by_localized_with_total(self):
+        rows = [
+            _row("A", 10, 100, 40),
+            _row("B", 5, 200, 90),
+            _row("C", 2, 50, 10),
+        ]
+        table = top_models_table(rows)
+        assert [r["model"] for r in table] == ["B", "A", "C", "Total"]
+        assert table[-1]["measurements"] == 350
+        assert table[-1]["localized"] == 140
+
+    def test_limit(self):
+        rows = [_row(f"m{i}", 1, 10, i) for i in range(30)]
+        table = top_models_table(rows, limit=20)
+        assert len(table) == 21  # 20 + Total
+        assert table[0]["model"] == "m29"
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            top_models_table([{"model": "A"}])
+
+
+class TestCumulativeSeries:
+    def test_share_of_final(self):
+        rows = [
+            {"day": 0, "count": 10, "cumulative": 10},
+            {"day": 1, "count": 30, "cumulative": 40},
+        ]
+        series = cumulative_series(rows)
+        assert series[0]["share_of_final"] == pytest.approx(0.25)
+        assert series[-1]["share_of_final"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cumulative_series([])
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cumulative_series([{"day": 0, "count": 0, "cumulative": 0}])

@@ -1,0 +1,129 @@
+"""BLUE analysis tests: optimality properties and diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.blue import BlueAnalysis
+from repro.assimilation.grid import CityGrid
+from repro.assimilation.observation import ObservationOperator, PointObservation
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def setup():
+    grid = CityGrid(8, 8, (800.0, 800.0))
+    blue = BlueAnalysis(grid, background_sigma_db=4.0, length_m=250.0)
+    operator = ObservationOperator(grid)
+    return grid, blue, operator
+
+
+def _observations(rng, grid, truth_value, count, accuracy=20.0, sensor_sigma=1.0):
+    observations = []
+    for _ in range(count):
+        x = float(rng.uniform(5, grid.width_m - 5))
+        y = float(rng.uniform(5, grid.height_m - 5))
+        observations.append(
+            PointObservation(
+                x_m=x,
+                y_m=y,
+                value_db=truth_value + float(rng.normal(0, sensor_sigma)),
+                accuracy_m=accuracy,
+                sensor_sigma_db=sensor_sigma,
+            )
+        )
+    return observations
+
+
+class TestAnalysis:
+    def test_analysis_moves_toward_observations(self, setup):
+        grid, blue, operator = setup
+        rng = np.random.default_rng(0)
+        background = np.full(grid.size, 50.0)
+        batch = operator.build(_observations(rng, grid, 60.0, 40))
+        result = blue.analyse(background, batch)
+        assert result.analysis.mean() > 52.0
+        assert result.residual_rms < result.innovation_rms
+
+    def test_perfect_background_unchanged(self, setup):
+        grid, blue, operator = setup
+        background = np.full(grid.size, 55.0)
+        batch = operator.build(
+            [
+                PointObservation(400.0, 400.0, 55.0, accuracy_m=10.0,
+                                 sensor_sigma_db=1.0)
+            ]
+        )
+        result = blue.analyse(background, batch)
+        assert np.allclose(result.analysis, 55.0, atol=1e-9)
+
+    def test_more_observations_better_analysis(self, setup):
+        grid, blue, operator = setup
+        background = np.full(grid.size, 50.0)
+        truth = np.full(grid.size, 58.0)
+
+        def analysis_rmse(count, seed):
+            rng = np.random.default_rng(seed)
+            batch = operator.build(_observations(rng, grid, 58.0, count))
+            result = blue.analyse(background, batch)
+            return blue.rmse(result.analysis, truth)
+
+        few = np.mean([analysis_rmse(4, s) for s in range(5)])
+        many = np.mean([analysis_rmse(80, s) for s in range(5)])
+        assert many < few
+
+    def test_accurate_observations_weigh_more(self, setup):
+        """The §7 recommendation: accuracy enters R and drives the weight."""
+        grid, blue, operator = setup
+        background = np.full(grid.size, 50.0)
+        precise = operator.build(
+            [PointObservation(400.0, 400.0, 60.0, accuracy_m=5.0, sensor_sigma_db=0.5)]
+        )
+        coarse = operator.build(
+            [PointObservation(400.0, 400.0, 60.0, accuracy_m=500.0, sensor_sigma_db=6.0)]
+        )
+        precise_shift = blue.analyse(background, precise).analysis.max() - 50.0
+        coarse_shift = blue.analyse(background, coarse).analysis.max() - 50.0
+        assert precise_shift > 3 * coarse_shift
+
+    def test_analysis_variance_reduced_near_observations(self, setup):
+        grid, blue, operator = setup
+        background = np.full(grid.size, 50.0)
+        batch = operator.build(
+            [PointObservation(100.0, 100.0, 55.0, accuracy_m=5.0, sensor_sigma_db=0.5)]
+        )
+        result = blue.analyse(background, batch)
+        near = result.analysis_variance[grid.flat_index(*grid.locate(100.0, 100.0))]
+        far = result.analysis_variance[grid.flat_index(*grid.locate(700.0, 700.0))]
+        assert near < far
+        assert np.all(result.analysis_variance <= blue.background_sigma_db**2 + 1e-6)
+
+    def test_correction_spreads_spatially(self, setup):
+        """The Balgovind B spreads a point correction to neighbours."""
+        grid, blue, operator = setup
+        background = np.full(grid.size, 50.0)
+        batch = operator.build(
+            [PointObservation(400.0, 400.0, 60.0, accuracy_m=5.0, sensor_sigma_db=0.5)]
+        )
+        result = blue.analyse(background, batch)
+        neighbour = result.analysis[grid.flat_index(*grid.locate(480.0, 400.0))]
+        distant = result.analysis[grid.flat_index(*grid.locate(780.0, 780.0))]
+        assert neighbour > 52.0
+        assert distant < neighbour
+
+
+class TestValidation:
+    def test_wrong_background_shape_rejected(self, setup):
+        grid, blue, operator = setup
+        batch = operator.build([PointObservation(10.0, 10.0, 50.0)])
+        with pytest.raises(ConfigurationError):
+            blue.analyse(np.zeros(5), batch)
+
+    def test_rmse_shape_mismatch_rejected(self, setup):
+        _, blue, _ = setup
+        with pytest.raises(ConfigurationError):
+            blue.rmse(np.zeros(3), np.zeros(4))
+
+    def test_bad_configuration_rejected(self, setup):
+        grid, _, _ = setup
+        with pytest.raises(ConfigurationError):
+            BlueAnalysis(grid, background_sigma_db=0.0)

@@ -1,0 +1,109 @@
+"""City noise-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.citymodel import CityNoiseModel, PointSource, StreetSegment
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def grid():
+    return CityGrid(10, 10, (1000.0, 1000.0))
+
+
+class TestForwardModel:
+    def test_louder_near_street(self, grid):
+        street = StreetSegment(0.0, 500.0, 1000.0, 500.0, emission_db=75.0)
+        model = CityNoiseModel(grid, [street])
+        field = model.simulate()
+        near = model.level_at(500.0, 510.0, field=field)
+        far = model.level_at(500.0, 950.0, field=field)
+        assert near > far + 5.0
+
+    def test_louder_near_poi(self, grid):
+        poi = PointSource(500.0, 500.0, emission_db=75.0)
+        model = CityNoiseModel(grid, [], [poi])
+        field = model.simulate()
+        assert model.level_at(510.0, 510.0, field=field) > model.level_at(
+            50.0, 50.0, field=field
+        )
+
+    def test_point_source_decays_faster_than_line(self, grid):
+        street = CityNoiseModel(
+            grid, [StreetSegment(0.0, 500.0, 1000.0, 500.0, 70.0)]
+        ).simulate()
+        poi = CityNoiseModel(grid, [], [PointSource(500.0, 500.0, 70.0)]).simulate()
+        g = grid
+
+        def drop(field, x1, y1, x2, y2):
+            m = CityNoiseModel(g, [StreetSegment(0, 0, 1, 1, 0.0)])
+            return m.level_at(x1, y1, field=field) - m.level_at(x2, y2, field=field)
+
+        street_drop = drop(street, 500.0, 550.0, 500.0, 850.0)
+        poi_drop = drop(poi, 500.0, 550.0, 500.0, 850.0)
+        assert poi_drop > street_drop
+
+    def test_background_floor(self, grid):
+        model = CityNoiseModel(
+            grid,
+            [StreetSegment(0.0, 0.0, 10.0, 0.0, 60.0)],
+            background_db=35.0,
+        )
+        field = model.simulate()
+        assert field.min() >= 35.0
+
+    def test_energy_addition_over_sources(self, grid):
+        one = CityNoiseModel(
+            grid, [], [PointSource(500.0, 500.0, 70.0)], background_db=0.0
+        ).simulate()
+        two = CityNoiseModel(
+            grid,
+            [],
+            [PointSource(500.0, 500.0, 70.0), PointSource(500.0, 500.0, 70.0)],
+            background_db=0.0,
+        ).simulate()
+        index = grid.flat_index(*grid.locate(500.0, 500.0))
+        assert two[index] - one[index] == pytest.approx(3.01, abs=0.15)
+
+    def test_no_sources_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            CityNoiseModel(grid, [], [])
+
+
+class TestPerturbedTwin:
+    def test_perturbed_differs_from_truth(self, grid):
+        rng = np.random.default_rng(0)
+        truth = CityNoiseModel.random_city(grid, rng)
+        degraded = truth.perturbed(rng)
+        difference = np.abs(truth.simulate() - degraded.simulate())
+        assert difference.max() > 1.0
+
+    def test_poi_dropout(self, grid):
+        rng = np.random.default_rng(1)
+        truth = CityNoiseModel.random_city(grid, rng, poi_count=40)
+        degraded = truth.perturbed(rng, poi_dropout=0.5)
+        assert len(degraded.pois) < len(truth.pois)
+
+    def test_bad_dropout_rejected(self, grid):
+        rng = np.random.default_rng(2)
+        truth = CityNoiseModel.random_city(grid, rng)
+        with pytest.raises(ConfigurationError):
+            truth.perturbed(rng, poi_dropout=1.0)
+
+
+class TestRandomCity:
+    def test_structure(self, grid):
+        rng = np.random.default_rng(3)
+        city = CityNoiseModel.random_city(grid, rng, street_count=8, poi_count=15)
+        assert len(city.streets) == 8
+        assert len(city.pois) == 15
+        field = city.simulate()
+        # urban variance: the map is not flat
+        assert field.max() - field.min() > 10.0
+
+    def test_reproducible(self, grid):
+        a = CityNoiseModel.random_city(grid, np.random.default_rng(4)).simulate()
+        b = CityNoiseModel.random_city(grid, np.random.default_rng(4)).simulate()
+        assert np.allclose(a, b)

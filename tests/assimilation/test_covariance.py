@@ -1,0 +1,87 @@
+"""Covariance-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.covariance import (
+    balgovind_covariance,
+    exponential_covariance,
+    sample_correlated_field,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def points():
+    rng = np.random.default_rng(0)
+    return rng.uniform(0, 1000, size=(30, 2))
+
+
+class TestCovarianceMatrices:
+    @pytest.mark.parametrize("factory", [exponential_covariance, balgovind_covariance])
+    def test_diagonal_is_sigma_squared(self, factory, points):
+        cov = factory(points, sigma=3.0, length_m=200.0)
+        assert np.allclose(np.diag(cov), 9.0)
+
+    @pytest.mark.parametrize("factory", [exponential_covariance, balgovind_covariance])
+    def test_symmetric(self, factory, points):
+        cov = factory(points, sigma=2.0, length_m=300.0)
+        assert np.allclose(cov, cov.T)
+
+    @pytest.mark.parametrize("factory", [exponential_covariance, balgovind_covariance])
+    def test_positive_semidefinite(self, factory, points):
+        cov = factory(points, sigma=2.0, length_m=300.0)
+        eigenvalues = np.linalg.eigvalsh(cov)
+        assert eigenvalues.min() > -1e-8
+
+    @pytest.mark.parametrize("factory", [exponential_covariance, balgovind_covariance])
+    def test_decays_with_distance(self, factory):
+        line = np.array([[0.0, 0.0], [100.0, 0.0], [1000.0, 0.0]])
+        cov = factory(line, sigma=1.0, length_m=200.0)
+        assert cov[0, 1] > cov[0, 2]
+        assert cov[0, 2] < 0.1
+
+    def test_balgovind_smoother_near_origin(self):
+        line = np.array([[0.0, 0.0], [10.0, 0.0]])
+        exponential = exponential_covariance(line, 1.0, 200.0)[0, 1]
+        balgovind = balgovind_covariance(line, 1.0, 200.0)[0, 1]
+        assert balgovind > exponential
+
+    def test_bad_params_rejected(self, points):
+        with pytest.raises(ConfigurationError):
+            exponential_covariance(points, sigma=0.0, length_m=100.0)
+        with pytest.raises(ConfigurationError):
+            balgovind_covariance(points, sigma=1.0, length_m=0.0)
+
+
+class TestCorrelatedField:
+    def test_field_statistics(self, points):
+        rng = np.random.default_rng(1)
+        samples = np.array(
+            [
+                sample_correlated_field(rng, points, sigma=2.0, length_m=300.0)
+                for _ in range(300)
+            ]
+        )
+        assert np.abs(samples.mean()) < 0.3
+        assert samples.std() == pytest.approx(2.0, abs=0.3)
+
+    def test_nearby_points_correlate(self):
+        points = np.array([[0.0, 0.0], [20.0, 0.0], [2000.0, 0.0]])
+        rng = np.random.default_rng(2)
+        samples = np.array(
+            [
+                sample_correlated_field(rng, points, sigma=1.0, length_m=300.0)
+                for _ in range(400)
+            ]
+        )
+        near = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+        far = np.corrcoef(samples[:, 0], samples[:, 2])[0, 1]
+        assert near > 0.8
+        assert abs(far) < 0.25
+
+    def test_unknown_kind_rejected(self, points):
+        with pytest.raises(ConfigurationError):
+            sample_correlated_field(
+                np.random.default_rng(0), points, 1.0, 100.0, kind="fractal"
+            )

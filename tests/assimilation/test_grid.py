@@ -1,0 +1,81 @@
+"""CityGrid tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def grid():
+    return CityGrid(4, 3, (400.0, 300.0))
+
+
+class TestGeometry:
+    def test_size_and_spacing(self, grid):
+        assert grid.size == 12
+        assert grid.dx == 100.0
+        assert grid.dy == 100.0
+
+    def test_cell_center(self, grid):
+        assert grid.cell_center(0, 0) == (50.0, 50.0)
+        assert grid.cell_center(2, 3) == (350.0, 250.0)
+
+    def test_cell_center_out_of_range(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.cell_center(3, 0)
+
+    def test_centers_shape_and_order(self, grid):
+        centers = grid.centers()
+        assert centers.shape == (12, 2)
+        assert tuple(centers[0]) == (50.0, 50.0)
+        assert tuple(centers[grid.flat_index(1, 2)]) == (250.0, 150.0)
+
+    def test_contains(self, grid):
+        assert grid.contains(0.0, 0.0)
+        assert grid.contains(399.9, 299.9)
+        assert not grid.contains(400.0, 100.0)
+        assert not grid.contains(-0.1, 100.0)
+
+    def test_locate(self, grid):
+        assert grid.locate(50.0, 50.0) == (0, 0)
+        assert grid.locate(399.0, 299.0) == (2, 3)
+        with pytest.raises(ConfigurationError):
+            grid.locate(500.0, 0.0)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ConfigurationError):
+            CityGrid(1, 5, (100.0, 100.0))
+        with pytest.raises(ConfigurationError):
+            CityGrid(5, 5, (0.0, 100.0))
+
+
+class TestInterpolation:
+    def test_weights_sum_to_one(self, grid):
+        for point in [(50.0, 50.0), (123.0, 177.0), (399.0, 299.0), (1.0, 1.0)]:
+            _, weights = grid.interpolation_weights(*point)
+            assert weights.sum() == pytest.approx(1.0)
+
+    def test_cell_center_is_pure(self, grid):
+        indices, weights = grid.interpolation_weights(150.0, 150.0)
+        pure = indices[np.argmax(weights)]
+        assert weights.max() == pytest.approx(1.0)
+        assert pure == grid.flat_index(1, 1)
+
+    def test_midpoint_blends_equally(self, grid):
+        indices, weights = grid.interpolation_weights(100.0, 50.0)
+        nonzero = weights[weights > 1e-12]
+        assert len(nonzero) == 2
+        assert all(w == pytest.approx(0.5) for w in nonzero)
+
+    def test_interpolation_reproduces_linear_field(self, grid):
+        centers = grid.centers()
+        field = 2.0 * centers[:, 0] + 3.0 * centers[:, 1]
+        indices, weights = grid.interpolation_weights(170.0, 120.0)
+        value = field[indices] @ weights
+        assert value == pytest.approx(2.0 * 170.0 + 3.0 * 120.0)
+
+    def test_outside_point_rejected(self, grid):
+        with pytest.raises(ConfigurationError):
+            grid.interpolation_weights(1000.0, 0.0)

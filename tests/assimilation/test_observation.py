@@ -1,0 +1,70 @@
+"""Observation-operator tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.grid import CityGrid
+from repro.assimilation.observation import ObservationOperator, PointObservation
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def operator():
+    return ObservationOperator(CityGrid(5, 5, (500.0, 500.0)))
+
+
+class TestErrorModel:
+    def test_location_uncertainty_inflates_sigma(self, operator):
+        precise = PointObservation(10.0, 10.0, 50.0, accuracy_m=5.0, sensor_sigma_db=2.0)
+        coarse = PointObservation(10.0, 10.0, 50.0, accuracy_m=400.0, sensor_sigma_db=2.0)
+        assert operator.error_sigma_db(coarse) > operator.error_sigma_db(precise)
+
+    def test_sensor_and_location_combine_quadratically(self, operator):
+        observation = PointObservation(
+            10.0, 10.0, 50.0, accuracy_m=100.0, sensor_sigma_db=3.0
+        )
+        expected = np.hypot(3.0, operator.gradient_db_per_m * 100.0)
+        assert operator.error_sigma_db(observation) == pytest.approx(expected)
+
+    def test_minimum_sigma_floor(self):
+        operator = ObservationOperator(
+            CityGrid(5, 5, (500.0, 500.0)), gradient_db_per_m=0.0, min_sigma_db=1.0
+        )
+        observation = PointObservation(1.0, 1.0, 50.0, accuracy_m=1.0,
+                                       sensor_sigma_db=0.01)
+        assert operator.error_sigma_db(observation) == 1.0
+
+
+class TestBatchBuilding:
+    def test_h_rows_are_interpolation_weights(self, operator):
+        batch = operator.build([PointObservation(250.0, 250.0, 50.0)])
+        assert batch.h_matrix.shape == (1, 25)
+        assert batch.h_matrix.sum() == pytest.approx(1.0)
+
+    def test_out_of_grid_observations_dropped(self, operator):
+        batch = operator.build(
+            [
+                PointObservation(250.0, 250.0, 50.0),
+                PointObservation(9999.0, 0.0, 60.0),
+            ]
+        )
+        assert batch.count == 1
+
+    def test_all_outside_rejected(self, operator):
+        with pytest.raises(ConfigurationError):
+            operator.build([PointObservation(-5.0, 0.0, 50.0)])
+
+    def test_values_and_r_aligned(self, operator):
+        observations = [
+            PointObservation(100.0, 100.0, 51.0, accuracy_m=10.0),
+            PointObservation(400.0, 400.0, 63.0, accuracy_m=200.0),
+        ]
+        batch = operator.build(observations)
+        assert list(batch.values) == [51.0, 63.0]
+        assert batch.r_diagonal[1] > batch.r_diagonal[0]
+
+    def test_negative_gradient_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObservationOperator(
+                CityGrid(5, 5, (500.0, 500.0)), gradient_db_per_m=-0.1
+            )

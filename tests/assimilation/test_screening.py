@@ -1,0 +1,99 @@
+"""Innovation-screening (quality control) tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.blue import BlueAnalysis
+from repro.assimilation.grid import CityGrid
+from repro.assimilation.observation import ObservationOperator, PointObservation
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def setup():
+    grid = CityGrid(8, 8, (800.0, 800.0))
+    blue = BlueAnalysis(grid, background_sigma_db=4.0, length_m=250.0)
+    operator = ObservationOperator(grid)
+    background = np.full(grid.size, 55.0)
+    return grid, blue, operator, background
+
+
+def _obs(x, y, value, sigma=1.0):
+    return PointObservation(
+        x_m=x, y_m=y, value_db=value, accuracy_m=10.0, sensor_sigma_db=sigma
+    )
+
+
+class TestScreening:
+    def test_gross_outlier_rejected(self, setup):
+        _, blue, operator, background = setup
+        batch = operator.build(
+            [
+                _obs(100.0, 100.0, 56.0),
+                _obs(400.0, 400.0, 57.0),
+                _obs(600.0, 600.0, 20.0),  # indoor pocket reading
+            ]
+        )
+        screened = blue.screen(background, batch, k=3.0)
+        assert screened.count == 2
+        assert all(o.value_db > 50.0 for o in screened.observations)
+
+    def test_consistent_batch_untouched(self, setup):
+        _, blue, operator, background = setup
+        batch = operator.build(
+            [_obs(100.0 * i, 100.0 * i, 55.0 + i * 0.5) for i in range(1, 7)]
+        )
+        screened = blue.screen(background, batch, k=3.0)
+        assert screened.count == batch.count
+
+    def test_screening_improves_analysis_with_outliers(self, setup):
+        grid, blue, operator, background = setup
+        truth = np.full(grid.size, 58.0)
+        rng = np.random.default_rng(0)
+        observations = [
+            _obs(
+                float(rng.uniform(5, 795)),
+                float(rng.uniform(5, 795)),
+                58.0 + float(rng.normal(0, 1.0)),
+            )
+            for _ in range(30)
+        ]
+        # 20 % gross outliers (indoor measurements ~ -18 dB)
+        outliers = [
+            _obs(float(rng.uniform(5, 795)), float(rng.uniform(5, 795)), 40.0)
+            for _ in range(7)
+        ]
+        batch = operator.build(observations + outliers)
+        raw = blue.analyse(background, batch)
+        screened_batch = blue.screen(background, batch, k=2.5)
+        screened = blue.analyse(background, screened_batch)
+        assert blue.rmse(screened.analysis, truth) < blue.rmse(raw.analysis, truth)
+
+    def test_all_rejected_raises(self, setup):
+        _, blue, operator, background = setup
+        batch = operator.build([_obs(100.0, 100.0, 20.0, sigma=0.5)])
+        with pytest.raises(ConfigurationError):
+            blue.screen(background, batch, k=0.5)
+
+    def test_bad_k_rejected(self, setup):
+        _, blue, operator, background = setup
+        batch = operator.build([_obs(100.0, 100.0, 55.0)])
+        with pytest.raises(ConfigurationError):
+            blue.screen(background, batch, k=0.0)
+
+    def test_coarse_observations_survive_larger_innovations(self, setup):
+        """A 6-dB innovation kills a precise obs but not a coarse one."""
+        _, blue, operator, background = setup
+        precise = operator.build(
+            [_obs(400.0, 400.0, 42.0, sigma=0.6), _obs(100.0, 100.0, 55.0)]
+        )
+        coarse = operator.build(
+            [
+                PointObservation(
+                    400.0, 400.0, 42.0, accuracy_m=500.0, sensor_sigma_db=8.0
+                ),
+                _obs(100.0, 100.0, 55.0),
+            ]
+        )
+        assert blue.screen(background, precise, k=2.0).count == 1
+        assert blue.screen(background, coarse, k=2.0).count == 2

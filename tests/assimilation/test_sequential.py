@@ -1,0 +1,148 @@
+"""Sequential-assimilation tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.blue import BlueAnalysis
+from repro.assimilation.grid import CityGrid
+from repro.assimilation.observation import ObservationOperator, PointObservation
+from repro.assimilation.sequential import SequentialAssimilator
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def setup():
+    grid = CityGrid(7, 7, (700.0, 700.0))
+    blue = BlueAnalysis(grid, background_sigma_db=4.0, length_m=250.0)
+    operator = ObservationOperator(grid)
+    climatology = np.full(grid.size, 55.0)
+    return grid, blue, operator, climatology
+
+
+def _observations(rng, grid, level, count=25, sigma=1.0):
+    return [
+        PointObservation(
+            x_m=float(rng.uniform(5, grid.width_m - 5)),
+            y_m=float(rng.uniform(5, grid.height_m - 5)),
+            value_db=level + float(rng.normal(0, sigma)),
+            accuracy_m=20.0,
+            sensor_sigma_db=sigma,
+        )
+        for _ in range(count)
+    ]
+
+
+class TestCycling:
+    def test_tracks_constant_shift(self, setup):
+        grid, blue, operator, climatology = setup
+        assimilator = SequentialAssimilator(blue, operator, climatology)
+        rng = np.random.default_rng(0)
+        truth = np.full(grid.size, 62.0)
+        for _ in range(5):
+            assimilator.step(_observations(rng, grid, 62.0))
+        assert assimilator.rmse(truth) < 1.5
+
+    def test_tracks_time_varying_field(self, setup):
+        """The §8 'fast varying phenomena': a diurnal-like swing."""
+        grid, blue, operator, climatology = setup
+        assimilator = SequentialAssimilator(
+            blue, operator, climatology, relaxation=0.1, inflation=1.3
+        )
+        rng = np.random.default_rng(1)
+        errors = []
+        for cycle in range(10):
+            level = 55.0 + 8.0 * np.sin(cycle / 3.0)
+            truth = np.full(grid.size, level)
+            assimilator.step(_observations(rng, grid, level))
+            errors.append(assimilator.rmse(truth))
+        # after spin-up, the filter stays close to the moving truth
+        assert np.mean(errors[3:]) < 2.5
+
+    def test_inflation_keeps_filter_responsive(self, setup):
+        grid, blue, operator, climatology = setup
+        rigid = SequentialAssimilator(
+            blue, operator, climatology, inflation=1.0, relaxation=0.0
+        )
+        responsive = SequentialAssimilator(
+            blue, operator, climatology, inflation=1.5, relaxation=0.0
+        )
+        rng_a = np.random.default_rng(2)
+        rng_b = np.random.default_rng(2)
+        # converge both to 55, then jump the truth to 70
+        for _ in range(6):
+            rigid.step(_observations(rng_a, grid, 55.0))
+            responsive.step(_observations(rng_b, grid, 55.0))
+        truth = np.full(grid.size, 70.0)
+        # screening off the jump: disable QC for this test scenario
+        rigid.screen_k = None
+        responsive.screen_k = None
+        rigid.step(_observations(rng_a, grid, 70.0))
+        responsive.step(_observations(rng_b, grid, 70.0))
+        assert responsive.rmse(truth) < rigid.rmse(truth)
+
+    def test_empty_cycle_just_forecasts(self, setup):
+        grid, blue, operator, climatology = setup
+        assimilator = SequentialAssimilator(
+            blue, operator, climatology, relaxation=0.5
+        )
+        rng = np.random.default_rng(3)
+        assimilator.step(_observations(rng, grid, 65.0))
+        after_analysis = assimilator.state.mean()
+        record = assimilator.step([])
+        assert record.observation_count == 0
+        # relaxation pulled the state back toward climatology
+        assert abs(assimilator.state.mean() - 55.0) < abs(after_analysis - 55.0)
+
+    def test_fully_quarantined_cycle_skips_analysis(self, setup):
+        """When QC rejects everything, the cycle degrades to a forecast."""
+        grid, blue, operator, climatology = setup
+        assimilator = SequentialAssimilator(
+            blue, operator, climatology, screen_k=2.0
+        )
+        hostile = [
+            PointObservation(
+                100.0 * k + 50.0, 100.0, 20.0, accuracy_m=10.0, sensor_sigma_db=0.5
+            )
+            for k in range(4)
+        ]
+        record = assimilator.step(hostile)
+        assert record.observation_count == 0
+        assert record.screened_out == 4
+        assert np.allclose(assimilator.state, climatology)
+
+    def test_screening_counts_rejections(self, setup):
+        grid, blue, operator, climatology = setup
+        assimilator = SequentialAssimilator(
+            blue, operator, climatology, screen_k=2.5
+        )
+        rng = np.random.default_rng(4)
+        observations = _observations(rng, grid, 55.0, count=20)
+        observations.append(
+            PointObservation(350.0, 350.0, 20.0, accuracy_m=10.0, sensor_sigma_db=0.5)
+        )
+        record = assimilator.step(observations)
+        assert record.screened_out >= 1
+
+    def test_history_is_recorded(self, setup):
+        grid, blue, operator, climatology = setup
+        assimilator = SequentialAssimilator(blue, operator, climatology)
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            assimilator.step(_observations(rng, grid, 58.0))
+        assert [record.cycle for record in assimilator.history] == [0, 1, 2]
+        assert all(
+            record.residual_rms <= record.innovation_rms + 1e-9
+            or record.observation_count == 0
+            for record in assimilator.history
+        )
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, setup):
+        grid, blue, operator, climatology = setup
+        with pytest.raises(ConfigurationError):
+            SequentialAssimilator(blue, operator, climatology, relaxation=1.5)
+        with pytest.raises(ConfigurationError):
+            SequentialAssimilator(blue, operator, climatology, inflation=0.8)
+        with pytest.raises(ConfigurationError):
+            SequentialAssimilator(blue, operator, np.zeros(3))

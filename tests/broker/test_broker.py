@@ -1,0 +1,180 @@
+"""Broker-level tests: declarations, publish, connections, channels."""
+
+import pytest
+
+from repro.broker import (
+    Broker,
+    BrokerError,
+    ExchangeError,
+    ExchangeType,
+    PublishUnroutable,
+    QueueError,
+)
+from repro.broker.message import Message
+
+
+@pytest.fixture
+def broker():
+    return Broker()
+
+
+class TestDeclarations:
+    def test_declare_exchange_idempotent(self, broker):
+        a = broker.declare_exchange("x", ExchangeType.TOPIC)
+        b = broker.declare_exchange("x", ExchangeType.TOPIC)
+        assert a is b
+
+    def test_redeclare_with_other_type_rejected(self, broker):
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        with pytest.raises(ExchangeError):
+            broker.declare_exchange("x", ExchangeType.FANOUT)
+
+    def test_declare_queue_idempotent(self, broker):
+        a = broker.declare_queue("q")
+        b = broker.declare_queue("q")
+        assert a is b
+
+    def test_redeclare_queue_with_other_args_rejected(self, broker):
+        broker.declare_queue("q", max_length=5)
+        with pytest.raises(QueueError):
+            broker.declare_queue("q", max_length=10)
+
+    def test_delete_queue_returns_dropped_count(self, broker):
+        broker.declare_queue("q")
+        broker.publish("", Message(routing_key="q", body=1))
+        assert broker.delete_queue("q") == 1
+        assert not broker.has_queue("q")
+
+    def test_delete_unknown_raises(self, broker):
+        with pytest.raises(QueueError):
+            broker.delete_queue("ghost")
+        with pytest.raises(ExchangeError):
+            broker.delete_exchange("ghost")
+
+    def test_names_listings(self, broker):
+        broker.declare_exchange("e", ExchangeType.DIRECT)
+        broker.declare_queue("q")
+        assert broker.exchange_names() == ["e"]
+        assert broker.queue_names() == ["q"]
+
+
+class TestDefaultExchange:
+    def test_routes_by_queue_name(self, broker):
+        broker.declare_queue("inbox")
+        routed = broker.publish("", Message(routing_key="inbox", body="hello"))
+        assert routed == 1
+        assert broker.get_queue("inbox").get().body == "hello"
+
+
+class TestPublish:
+    def test_publish_counts_stats(self, broker):
+        broker.declare_exchange("x", ExchangeType.FANOUT)
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q")
+        broker.publish("x", Message(routing_key="", body=1))
+        broker.publish("x", Message(routing_key="", body=2))
+        assert broker.stats.publishes == 2
+        assert broker.stats.routed == 2
+        assert broker.get_queue("q").ready_count == 2
+
+    def test_unroutable_counted(self, broker):
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        broker.publish("x", Message(routing_key="nowhere", body=1))
+        assert broker.stats.unroutable == 1
+
+    def test_publish_to_unknown_exchange_raises(self, broker):
+        with pytest.raises(ExchangeError):
+            broker.publish("ghost", Message(routing_key="k", body=1))
+
+
+class TestConnectionsAndChannels:
+    def test_connect_and_publish_via_channel(self, broker):
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q", "#")
+        channel = broker.connect("c1").channel()
+        channel.basic_publish("x", "a.b", {"v": 1})
+        assert broker.get_queue("q").get().body == {"v": 1}
+
+    def test_duplicate_connection_id_rejected(self, broker):
+        broker.connect("c1")
+        with pytest.raises(BrokerError):
+            broker.connect("c1")
+
+    def test_close_frees_connection_id(self, broker):
+        connection = broker.connect("c1")
+        connection.close()
+        broker.connect("c1")  # no error
+        assert broker.connection_count() == 1
+
+    def test_mandatory_unroutable_raises(self, broker):
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        channel = broker.connect().channel()
+        with pytest.raises(PublishUnroutable):
+            channel.basic_publish("x", "nowhere", {}, mandatory=True)
+
+    def test_publisher_confirms(self, broker):
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q", "good.#")
+        channel = broker.connect().channel()
+        channel.confirm_select()
+        ok = channel.basic_publish("x", "good.news", {})
+        lost = channel.basic_publish("x", "bad.news", {})
+        assert channel.confirmed(ok)
+        assert not channel.confirmed(lost)
+
+    def test_confirm_unknown_seq_raises(self, broker):
+        channel = broker.connect().channel()
+        channel.confirm_select()
+        with pytest.raises(BrokerError):
+            channel.confirmed(42)
+
+    def test_closed_channel_rejects_operations(self, broker):
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        channel = broker.connect().channel()
+        channel.close()
+        with pytest.raises(BrokerError):
+            channel.basic_publish("x", "k", {})
+
+    def test_connection_close_requeues_unacked(self, broker):
+        broker.declare_queue("q")
+        connection = broker.connect("mobile")
+        channel = connection.channel()
+        seen = []
+        channel.basic_consume("q", seen.append)  # manual ack
+        broker.publish("", Message(routing_key="q", body="m"))
+        assert broker.get_queue("q").unacked_count == 1
+        connection.close()
+        # the message survives the session, buffered for reconnection
+        assert broker.get_queue("q").ready_count == 1
+
+    def test_consume_and_ack_through_channel(self, broker):
+        broker.declare_queue("q")
+        channel = broker.connect().channel()
+        seen = []
+        channel.basic_consume("q", seen.append, consumer_tag="me")
+        broker.publish("", Message(routing_key="q", body="m"))
+        channel.basic_ack("q", seen[0].delivery_tag)
+        assert broker.get_queue("q").unacked_count == 0
+
+    def test_basic_get_and_cancel(self, broker):
+        broker.declare_queue("q")
+        channel = broker.connect().channel()
+        assert channel.basic_get("q") is None
+        broker.publish("", Message(routing_key="q", body="m"))
+        assert channel.basic_get("q").body == "m"
+        tag = channel.basic_consume("q", lambda d: None)
+        channel.basic_cancel(tag)
+        with pytest.raises(BrokerError):
+            channel.basic_cancel(tag)
+
+    def test_clock_stamps_broker_time(self):
+        times = [0.0]
+        broker = Broker(clock=lambda: times[0])
+        broker.declare_queue("q")
+        channel = broker.connect().channel()
+        times[0] = 99.0
+        channel.basic_publish("", "q", {})
+        message = broker.get_queue("q").get()
+        assert message.message.timestamp == 99.0

@@ -1,0 +1,143 @@
+"""Exchange routing tests: direct/fanout/topic, E2E bindings, cycles."""
+
+import pytest
+
+from repro.broker.errors import BindingError, BrokerError, ExchangeError
+from repro.broker.exchange import Exchange, ExchangeType
+from repro.broker.message import Message
+from repro.broker.queue import MessageQueue
+
+
+def _msg(key, body="x"):
+    return Message(routing_key=key, body=body)
+
+
+class TestDirectExchange:
+    def test_exact_key_match(self):
+        exchange = Exchange("d", ExchangeType.DIRECT)
+        q1, q2 = MessageQueue("q1"), MessageQueue("q2")
+        exchange.bind(q1, "red")
+        exchange.bind(q2, "blue")
+        assert exchange.route(_msg("red")) == [q1]
+        assert exchange.route(_msg("blue")) == [q2]
+        assert exchange.route(_msg("green")) == []
+
+    def test_multiple_queues_same_key(self):
+        exchange = Exchange("d", ExchangeType.DIRECT)
+        q1, q2 = MessageQueue("q1"), MessageQueue("q2")
+        exchange.bind(q1, "k")
+        exchange.bind(q2, "k")
+        assert set(q.name for q in exchange.route(_msg("k"))) == {"q1", "q2"}
+
+
+class TestFanoutExchange:
+    def test_ignores_routing_key(self):
+        exchange = Exchange("f", ExchangeType.FANOUT)
+        q1, q2 = MessageQueue("q1"), MessageQueue("q2")
+        exchange.bind(q1)
+        exchange.bind(q2)
+        assert len(exchange.route(_msg("whatever"))) == 2
+
+
+class TestTopicExchange:
+    def test_pattern_routing(self):
+        exchange = Exchange("t", ExchangeType.TOPIC)
+        feedback = MessageQueue("feedback")
+        everything = MessageQueue("everything")
+        exchange.bind(feedback, "*.Feedback")
+        exchange.bind(everything, "#")
+        assert set(q.name for q in exchange.route(_msg("FR75013.Feedback"))) == {
+            "feedback",
+            "everything",
+        }
+        assert [q.name for q in exchange.route(_msg("FR75013.Journey"))] == [
+            "everything"
+        ]
+
+    def test_bad_pattern_rejected_at_bind(self):
+        exchange = Exchange("t", ExchangeType.TOPIC)
+        with pytest.raises(BindingError):
+            exchange.bind(MessageQueue("q"), "a..b")
+
+
+class TestExchangeToExchange:
+    def test_figure3_chain_routes_to_gf(self):
+        """client exchange -> app exchange -> GF exchange -> GF queue."""
+        client = Exchange("E1", ExchangeType.TOPIC)
+        app = Exchange("SC", ExchangeType.TOPIC)
+        goflow = Exchange("GF", ExchangeType.TOPIC)
+        gf_queue = MessageQueue("GF")
+        goflow.bind(gf_queue, "#")
+        app.bind(goflow, "#")
+        client.bind(app, "#")
+        assert client.route(_msg("FR75013.NoiseObservation")) == [gf_queue]
+
+    def test_dedup_across_paths(self):
+        source = Exchange("s", ExchangeType.FANOUT)
+        middle = Exchange("m", ExchangeType.FANOUT)
+        queue = MessageQueue("q")
+        source.bind(queue)
+        source.bind(middle)
+        middle.bind(queue, "other-binding")
+        assert source.route(_msg("k")) == [queue]
+
+    def test_cycle_rejected(self):
+        a = Exchange("a", ExchangeType.FANOUT)
+        b = Exchange("b", ExchangeType.FANOUT)
+        a.bind(b)
+        with pytest.raises(BindingError):
+            b.bind(a)
+
+    def test_self_cycle_rejected(self):
+        a = Exchange("a", ExchangeType.FANOUT)
+        with pytest.raises(BindingError):
+            a.bind(a)
+
+    def test_filtering_along_the_chain(self):
+        app = Exchange("SC", ExchangeType.TOPIC)
+        routing = Exchange("R.FR75013.Feedback", ExchangeType.TOPIC)
+        queue = MessageQueue("Q1")
+        app.bind(routing, "FR75013.Feedback")
+        routing.bind(queue, "#")
+        assert app.route(_msg("FR75013.Feedback")) == [queue]
+        assert app.route(_msg("FR75014.Feedback")) == []
+
+
+class TestBindingManagement:
+    def test_duplicate_binding_rejected(self):
+        exchange = Exchange("x", ExchangeType.TOPIC)
+        queue = MessageQueue("q")
+        exchange.bind(queue, "k")
+        with pytest.raises(BindingError):
+            exchange.bind(queue, "k")
+
+    def test_unbind_removes_routing(self):
+        exchange = Exchange("x", ExchangeType.TOPIC)
+        queue = MessageQueue("q")
+        exchange.bind(queue, "k")
+        exchange.unbind(queue, "k")
+        assert exchange.route(_msg("k")) == []
+        assert exchange.binding_count == 0
+
+    def test_unbind_unknown_raises(self):
+        exchange = Exchange("x", ExchangeType.TOPIC)
+        with pytest.raises(BindingError):
+            exchange.unbind(MessageQueue("q"), "k")
+
+    def test_bindings_listing(self):
+        exchange = Exchange("x", ExchangeType.TOPIC)
+        queue = MessageQueue("q")
+        other = Exchange("y", ExchangeType.TOPIC)
+        exchange.bind(queue, "a")
+        exchange.bind(other, "b")
+        assert ("queue", "q", "a") in exchange.bindings()
+        assert ("exchange", "y", "b") in exchange.bindings()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExchangeError):
+            Exchange("", ExchangeType.TOPIC)
+
+    def test_malformed_routing_key_rejected(self):
+        exchange = Exchange("x", ExchangeType.TOPIC)
+        with pytest.raises(BrokerError):
+            exchange.route(_msg("a..b"))

@@ -1,0 +1,173 @@
+"""MessageQueue tests: FIFO, consumers, acks, prefetch, overflow."""
+
+import pytest
+
+from repro.broker.errors import QueueError
+from repro.broker.message import Message
+from repro.broker.queue import MessageQueue
+
+
+def _msg(body):
+    return Message(routing_key="k", body=body)
+
+
+class TestBasicQueueing:
+    def test_enqueue_then_get_is_fifo(self):
+        queue = MessageQueue("q")
+        queue.enqueue(_msg(1))
+        queue.enqueue(_msg(2))
+        assert queue.get().body == 1
+        assert queue.get().body == 2
+        assert queue.get() is None
+
+    def test_len_tracks_ready_messages(self):
+        queue = MessageQueue("q")
+        queue.enqueue(_msg(1))
+        queue.enqueue(_msg(2))
+        assert len(queue) == 2
+        queue.get()
+        assert len(queue) == 1
+
+    def test_overflow_drops_oldest(self):
+        queue = MessageQueue("q", max_length=2)
+        for i in range(4):
+            queue.enqueue(_msg(i))
+        assert [queue.get().body for _ in range(2)] == [2, 3]
+        assert queue.stats.dropped_overflow == 2
+
+    def test_bad_max_length_rejected(self):
+        with pytest.raises(QueueError):
+            MessageQueue("q", max_length=0)
+
+    def test_purge_drops_ready(self):
+        queue = MessageQueue("q")
+        queue.enqueue(_msg(1))
+        queue.enqueue(_msg(2))
+        assert queue.purge() == 2
+        assert len(queue) == 0
+
+    def test_delivery_timestamps_use_clock(self):
+        queue = MessageQueue("q", clock=lambda: 42.0)
+        queue.enqueue(_msg(1))
+        assert queue.get().delivered_at == 42.0
+
+
+class TestConsumers:
+    def test_push_consumer_receives_backlog_and_new(self):
+        queue = MessageQueue("q")
+        queue.enqueue(_msg("old"))
+        got = []
+        queue.add_consumer("c1", lambda d: got.append(d.body), auto_ack=True)
+        queue.enqueue(_msg("new"))
+        assert got == ["old", "new"]
+
+    def test_round_robin_between_consumers(self):
+        queue = MessageQueue("q")
+        by_consumer = {"a": [], "b": []}
+        queue.add_consumer("a", lambda d: by_consumer["a"].append(d.body), auto_ack=True)
+        queue.add_consumer("b", lambda d: by_consumer["b"].append(d.body), auto_ack=True)
+        for i in range(6):
+            queue.enqueue(_msg(i))
+        assert len(by_consumer["a"]) == 3
+        assert len(by_consumer["b"]) == 3
+
+    def test_duplicate_tag_rejected(self):
+        queue = MessageQueue("q")
+        queue.add_consumer("c", lambda d: None)
+        with pytest.raises(QueueError):
+            queue.add_consumer("c", lambda d: None)
+
+    def test_remove_consumer_requeues_unacked(self):
+        queue = MessageQueue("q")
+        seen = []
+        queue.add_consumer("c", seen.append)  # manual ack
+        queue.enqueue(_msg(1))
+        assert queue.unacked_count == 1
+        queue.remove_consumer("c")
+        assert queue.unacked_count == 0
+        assert len(queue) == 1  # message back in the queue
+
+    def test_remove_unknown_consumer_raises(self):
+        with pytest.raises(QueueError):
+            MessageQueue("q").remove_consumer("ghost")
+
+
+class TestAcks:
+    def test_ack_clears_unacked(self):
+        queue = MessageQueue("q")
+        deliveries = []
+        queue.add_consumer("c", deliveries.append)
+        queue.enqueue(_msg(1))
+        queue.ack(deliveries[0].delivery_tag)
+        assert queue.unacked_count == 0
+        assert queue.stats.acked == 1
+
+    def test_nack_with_requeue_redelivers(self):
+        queue = MessageQueue("q")
+        deliveries = []
+        queue.add_consumer("c", deliveries.append, prefetch=1)
+        queue.enqueue(_msg("x"))
+        queue.nack(deliveries[0].delivery_tag, requeue=True)
+        # requeue triggers redelivery to the same consumer
+        assert len(deliveries) == 2
+        assert deliveries[1].body == "x"
+        # and the AMQP redelivered flag distinguishes the retry
+        assert not deliveries[0].redelivered
+        assert deliveries[1].redelivered
+
+    def test_consumer_crash_requeue_sets_redelivered(self):
+        queue = MessageQueue("q")
+        first = []
+        queue.add_consumer("fragile", first.append)
+        queue.enqueue(_msg("x"))
+        queue.remove_consumer("fragile", requeue_unacked=True)
+        retry = queue.get()
+        assert retry.redelivered
+
+    def test_nack_without_requeue_discards(self):
+        queue = MessageQueue("q")
+        deliveries = []
+        queue.add_consumer("c", deliveries.append, prefetch=1)
+        queue.enqueue(_msg("x"))
+        queue.nack(deliveries[0].delivery_tag, requeue=False)
+        assert len(deliveries) == 1
+        assert len(queue) == 0
+
+    def test_unknown_delivery_tag_raises(self):
+        queue = MessageQueue("q")
+        queue.add_consumer("c", lambda d: None)
+        with pytest.raises(QueueError):
+            queue.ack(999_999)
+
+    def test_get_with_manual_ack_tracks_unacked(self):
+        queue = MessageQueue("q")
+        queue.enqueue(_msg(1))
+        delivery = queue.get(auto_ack=False)
+        assert queue.unacked_count == 1
+        queue.ack(delivery.delivery_tag)
+        assert queue.unacked_count == 0
+
+
+class TestPrefetch:
+    def test_prefetch_limits_in_flight(self):
+        queue = MessageQueue("q")
+        deliveries = []
+        queue.add_consumer("c", deliveries.append, prefetch=2)
+        for i in range(5):
+            queue.enqueue(_msg(i))
+        assert len(deliveries) == 2
+        assert len(queue) == 3
+
+    def test_ack_releases_credit(self):
+        queue = MessageQueue("q")
+        deliveries = []
+        queue.add_consumer("c", deliveries.append, prefetch=1)
+        for i in range(3):
+            queue.enqueue(_msg(i))
+        assert len(deliveries) == 1
+        queue.ack(deliveries[0].delivery_tag)
+        assert len(deliveries) == 2
+
+    def test_negative_prefetch_rejected(self):
+        with pytest.raises(QueueError):
+            MessageQueue("q").add_consumer("c", lambda d: None, prefetch=-1)

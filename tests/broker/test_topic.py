@@ -1,0 +1,103 @@
+"""AMQP topic-pattern matching tests."""
+
+import pytest
+
+from repro.broker.errors import BindingError
+from repro.broker.topic import TopicMatcher, topic_matches, validate_pattern
+
+
+class TestTopicMatches:
+    @pytest.mark.parametrize(
+        "pattern,key",
+        [
+            ("a.b.c", "a.b.c"),
+            ("*", "anything"),
+            ("a.*", "a.b"),
+            ("*.b", "a.b"),
+            ("#", ""),
+            ("#", "a"),
+            ("#", "a.b.c.d"),
+            ("a.#", "a"),
+            ("a.#", "a.b.c"),
+            ("#.c", "c"),
+            ("#.c", "a.b.c"),
+            ("a.*.c", "a.x.c"),
+            ("a.#.c", "a.c"),
+            ("a.#.c", "a.x.y.c"),
+            ("*.*", "a.b"),
+            ("FR75013.Feedback.#", "FR75013.Feedback"),
+            ("*.Journey.public", "FR92120.Journey.public"),
+        ],
+    )
+    def test_matching_pairs(self, pattern, key):
+        assert topic_matches(pattern, key)
+
+    @pytest.mark.parametrize(
+        "pattern,key",
+        [
+            ("a.b.c", "a.b"),
+            ("a.b.c", "a.b.c.d"),
+            ("*", ""),
+            ("*", "a.b"),
+            ("a.*", "a"),
+            ("a.*", "a.b.c"),
+            ("a.#.c", "a.b"),
+            ("*.*", "a"),
+            ("", "a"),
+            ("FR75013.Feedback", "FR92120.Feedback"),
+        ],
+    )
+    def test_non_matching_pairs(self, pattern, key):
+        assert not topic_matches(pattern, key)
+
+    def test_empty_pattern_matches_empty_key(self):
+        assert topic_matches("", "")
+
+    @pytest.mark.parametrize("pattern", ["a..b", ".a", "a.", ".", "a..#"])
+    def test_malformed_patterns_rejected(self, pattern):
+        with pytest.raises(BindingError):
+            validate_pattern(pattern)
+
+    def test_star_is_not_a_substring_wildcard(self):
+        # '*' matches a whole word, not a prefix
+        assert not topic_matches("ab*", "abc")
+
+    def test_consecutive_hashes(self):
+        assert topic_matches("#.#", "a.b")
+        assert topic_matches("#.#", "")
+
+
+class TestTopicMatcher:
+    def test_matching_returns_registered_patterns(self):
+        matcher = TopicMatcher()
+        matcher.add("a.#")
+        matcher.add("*.b")
+        matcher.add("c.d")
+        assert set(matcher.matching("a.b")) == {"a.#", "*.b"}
+
+    def test_duplicate_patterns_are_refcounted(self):
+        matcher = TopicMatcher()
+        matcher.add("a.#")
+        matcher.add("a.#")
+        matcher.remove("a.#")
+        assert matcher.matching("a.x") == ["a.#"]
+        matcher.remove("a.#")
+        assert matcher.matching("a.x") == []
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(BindingError):
+            TopicMatcher().remove("nope")
+
+    def test_cache_invalidation_on_add(self):
+        matcher = TopicMatcher()
+        matcher.add("a.*")
+        assert matcher.matching("a.b") == ["a.*"]
+        matcher.add("#")
+        assert set(matcher.matching("a.b")) == {"a.*", "#"}
+
+    def test_len_counts_distinct_patterns(self):
+        matcher = TopicMatcher()
+        matcher.add("a")
+        matcher.add("a")
+        matcher.add("b")
+        assert len(matcher) == 2

@@ -1,0 +1,119 @@
+"""Message-TTL and dead-letter tests."""
+
+import pytest
+
+from repro.broker import Broker, ExchangeType, QueueError
+from repro.broker.message import Message
+from repro.broker.queue import MessageQueue
+
+
+class TestMessageTtl:
+    def test_expired_messages_dropped_on_read(self):
+        now = [0.0]
+        queue = MessageQueue("q", clock=lambda: now[0], message_ttl_s=60.0)
+        queue.enqueue(Message(routing_key="k", body="old"))
+        now[0] = 61.0
+        queue.enqueue(Message(routing_key="k", body="fresh"))
+        assert queue.ready_count == 1
+        assert queue.get().body == "fresh"
+        assert queue.stats.expired == 1
+
+    def test_unexpired_messages_survive(self):
+        now = [0.0]
+        queue = MessageQueue("q", clock=lambda: now[0], message_ttl_s=60.0)
+        queue.enqueue(Message(routing_key="k", body=1))
+        now[0] = 59.0
+        assert queue.ready_count == 1
+
+    def test_requeued_message_gets_fresh_ttl(self):
+        now = [0.0]
+        queue = MessageQueue("q", clock=lambda: now[0], message_ttl_s=60.0)
+        queue.enqueue(Message(routing_key="k", body=1))
+        now[0] = 50.0
+        delivery = queue.get(auto_ack=False)
+        queue.nack(delivery.delivery_tag, requeue=True)
+        now[0] = 100.0  # 50 s after requeue: still alive
+        assert queue.ready_count == 1
+
+    def test_dispatch_skips_expired(self):
+        now = [0.0]
+        queue = MessageQueue("q", clock=lambda: now[0], message_ttl_s=60.0)
+        queue.enqueue(Message(routing_key="k", body="stale"))
+        now[0] = 120.0
+        seen = []
+        queue.add_consumer("c", lambda d: seen.append(d.body), auto_ack=True)
+        assert seen == []
+        queue.enqueue(Message(routing_key="k", body="live"))
+        assert seen == ["live"]
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(QueueError):
+            MessageQueue("q", message_ttl_s=0.0)
+
+
+class TestDeadLettering:
+    def _wired(self, **queue_kwargs):
+        now = [0.0]
+        broker = Broker(clock=lambda: now[0])
+        broker.declare_exchange("dlx", ExchangeType.FANOUT)
+        broker.declare_queue("graveyard")
+        broker.bind_queue("dlx", "graveyard")
+        broker.declare_queue("q", dead_letter_exchange="dlx", **queue_kwargs)
+        return broker, now
+
+    def test_expired_goes_to_dlx_with_reason(self):
+        broker, now = self._wired(message_ttl_s=60.0)
+        broker.publish("", Message(routing_key="q", body="doomed"))
+        now[0] = 120.0
+        assert broker.get_queue("q").ready_count == 0
+        dead = broker.get_queue("graveyard").get()
+        assert dead.body == "doomed"
+        assert dead.message.headers["x-death"] == "expired"
+
+    def test_overflow_goes_to_dlx(self):
+        broker, _ = self._wired(max_length=1)
+        broker.publish("", Message(routing_key="q", body="first"))
+        broker.publish("", Message(routing_key="q", body="second"))
+        dead = broker.get_queue("graveyard").get()
+        assert dead.body == "first"
+        assert dead.message.headers["x-death"] == "maxlen"
+
+    def test_rejected_goes_to_dlx(self):
+        broker, _ = self._wired()
+        broker.publish("", Message(routing_key="q", body="bad"))
+        channel = broker.connect().channel()
+        seen = []
+        channel.basic_consume("q", seen.append, consumer_tag="c")
+        channel.basic_nack("q", seen[0].delivery_tag, requeue=False)
+        dead = broker.get_queue("graveyard").get()
+        assert dead.message.headers["x-death"] == "rejected"
+
+    def test_requeued_not_dead_lettered(self):
+        broker, _ = self._wired()
+        broker.publish("", Message(routing_key="q", body="retry"))
+        channel = broker.connect().channel()
+        seen = []
+        channel.basic_consume("q", seen.append, consumer_tag="c", prefetch=1)
+        channel.basic_nack("q", seen[0].delivery_tag, requeue=True)
+        assert broker.get_queue("graveyard").ready_count == 0
+
+    def test_missing_dlx_drops_silently(self):
+        now = [0.0]
+        broker = Broker(clock=lambda: now[0])
+        broker.declare_exchange("dlx", ExchangeType.FANOUT)
+        broker.declare_queue("q", message_ttl_s=10.0, dead_letter_exchange="dlx")
+        broker.publish("", Message(routing_key="q", body=1))
+        broker.delete_exchange("dlx")
+        now[0] = 20.0
+        assert broker.get_queue("q").ready_count == 0  # no crash
+
+    def test_self_dead_letter_rejected(self):
+        broker = Broker()
+        with pytest.raises(QueueError):
+            broker.declare_queue("q", dead_letter_exchange="q")
+
+    def test_redeclare_with_other_ttl_rejected(self):
+        broker = Broker()
+        broker.declare_queue("q", message_ttl_s=10.0)
+        with pytest.raises(QueueError):
+            broker.declare_queue("q", message_ttl_s=20.0)

@@ -1,0 +1,151 @@
+"""Crowd-calibration tests (the §8 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.crowdcal import CoLocationPair, CrowdCalibrator, find_pairs
+from repro.errors import ConfigurationError
+
+
+class TestPairMining:
+    def test_finds_co_located_pairs(self):
+        docs = [
+            {"model": "A", "noise_dba": 60.0, "taken_at": 0.0,
+             "location": {"x_m": 0.0, "y_m": 0.0}},
+            {"model": "B", "noise_dba": 64.0, "taken_at": 30.0,
+             "location": {"x_m": 10.0, "y_m": 0.0}},
+        ]
+        pairs = find_pairs(docs)
+        assert len(pairs) == 1
+        assert pairs[0].delta_db == pytest.approx(-4.0)
+
+    def test_distance_threshold(self):
+        docs = [
+            {"model": "A", "noise_dba": 60.0, "taken_at": 0.0,
+             "location": {"x_m": 0.0, "y_m": 0.0}},
+            {"model": "B", "noise_dba": 64.0, "taken_at": 30.0,
+             "location": {"x_m": 500.0, "y_m": 0.0}},
+        ]
+        assert find_pairs(docs, max_distance_m=50.0) == []
+
+    def test_time_threshold(self):
+        docs = [
+            {"model": "A", "noise_dba": 60.0, "taken_at": 0.0,
+             "location": {"x_m": 0.0, "y_m": 0.0}},
+            {"model": "B", "noise_dba": 64.0, "taken_at": 900.0,
+             "location": {"x_m": 5.0, "y_m": 0.0}},
+        ]
+        assert find_pairs(docs, max_dt_s=120.0) == []
+
+    def test_same_model_pairs_skipped(self):
+        docs = [
+            {"model": "A", "noise_dba": 60.0, "taken_at": 0.0,
+             "location": {"x_m": 0.0, "y_m": 0.0}},
+            {"model": "A", "noise_dba": 61.0, "taken_at": 10.0,
+             "location": {"x_m": 1.0, "y_m": 0.0}},
+        ]
+        assert find_pairs(docs) == []
+
+    def test_unlocalized_docs_skipped(self):
+        docs = [
+            {"model": "A", "noise_dba": 60.0, "taken_at": 0.0},
+            {"model": "B", "noise_dba": 64.0, "taken_at": 10.0,
+             "location": {"x_m": 0.0, "y_m": 0.0}},
+        ]
+        assert find_pairs(docs) == []
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            find_pairs([], max_distance_m=0.0)
+
+
+class TestSolver:
+    def test_recovers_offsets_from_pairs(self):
+        """Synthetic ground truth: offsets A=0 (anchor), B=+4, C=-2."""
+        true_offsets = {"A": 0.0, "B": 4.0, "C": -2.0}
+        rng = np.random.default_rng(0)
+        pairs = []
+        names = list(true_offsets)
+        for _ in range(200):
+            a, b = rng.choice(names, size=2, replace=False)
+            scene = rng.uniform(40, 80)
+            pairs.append(
+                CoLocationPair(
+                    model_a=a,
+                    model_b=b,
+                    reading_a_db=scene + true_offsets[a] + rng.normal(0, 1.0),
+                    reading_b_db=scene + true_offsets[b] + rng.normal(0, 1.0),
+                )
+            )
+        calibrator = CrowdCalibrator(anchors={"A": 0.0})
+        solved = calibrator.solve(pairs)
+        for model, expected in true_offsets.items():
+            assert solved[model] == pytest.approx(expected, abs=0.5)
+
+    def test_anchor_pins_gauge_freedom(self):
+        pairs = [
+            CoLocationPair("A", "B", 62.0, 60.0),
+        ]
+        solved = CrowdCalibrator(anchors={"A": 10.0}).solve(pairs)
+        assert solved["A"] == pytest.approx(10.0, abs=0.1)
+        assert solved["B"] == pytest.approx(8.0, abs=0.2)
+
+    def test_no_anchor_rejected(self):
+        pairs = [CoLocationPair("A", "B", 62.0, 60.0)]
+        with pytest.raises(ConfigurationError):
+            CrowdCalibrator().solve(pairs)
+
+    def test_no_pairs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrowdCalibrator(anchors={"A": 0.0}).solve([])
+
+    def test_to_fits(self):
+        calibrator = CrowdCalibrator(anchors={"A": 0.0})
+        fits = calibrator.to_fits({"A": 0.0, "B": 3.0})
+        assert fits["B"].offset_db == 3.0
+        assert fits["B"].correct(68.0) == pytest.approx(65.0)
+
+
+class TestEndToEndCrowdCalibration:
+    def test_crowd_calibration_on_fleet_models(self):
+        """Mine pairs from synthetic co-located readings of real models."""
+        from repro.devices.registry import DeviceRegistry
+
+        registry = DeviceRegistry()
+        names = ["GT-I9505", "D5803", "A0001", "NEXUS 5"]
+        models = {n: registry.get(n) for n in names}
+        rng = np.random.default_rng(1)
+        docs = []
+        t = 0.0
+        for _ in range(150):
+            scene = rng.uniform(45, 80)
+            x, y = rng.uniform(0, 30, size=2)
+            chosen = rng.choice(names, size=2, replace=False)
+            for name in chosen:
+                docs.append(
+                    {
+                        "model": name,
+                        "noise_dba": models[name].mic.apply(
+                            scene, noise=float(rng.standard_normal())
+                        ),
+                        "taken_at": t,
+                        "location": {"x_m": float(x), "y_m": float(y)},
+                    }
+                )
+            t += 600.0
+        pairs = find_pairs(docs)
+        assert len(pairs) >= 100
+        # With gain != 1 the pairwise-difference method recovers the
+        # *effective* offset at the typical scene level s:
+        # effective(m) = (gain_m - 1) * s + offset_m.
+        mean_scene = 62.5
+
+        def effective(name):
+            mic = models[name].mic
+            return (mic.gain - 1.0) * mean_scene + mic.offset_db
+
+        anchor = "GT-I9505"
+        calibrator = CrowdCalibrator(anchors={anchor: effective(anchor)})
+        solved = calibrator.solve(pairs)
+        for name in names:
+            assert solved[name] == pytest.approx(effective(name), abs=2.5)

@@ -1,0 +1,90 @@
+"""Calibration-database tests (per-model maintenance, §5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.database import CalibrationDatabase
+from repro.core.errors import NotFoundError, ValidationError
+from repro.devices.registry import DeviceRegistry
+from repro.docstore.store import DocumentStore
+
+
+def _party_measurements(model, rng, count=24):
+    # stay inside every model's linear regime (above the noise floor,
+    # below clipping) — a real calibration party does the same
+    reference = np.linspace(50.0, 80.0, count)
+    measured = np.array(
+        [model.mic.apply(level, noise=float(rng.standard_normal())) for level in reference]
+    )
+    return reference, measured
+
+
+class TestDatabase:
+    def test_party_recovers_model_response(self):
+        registry = DeviceRegistry()
+        model = registry.get("GT-I9505")
+        rng = np.random.default_rng(0)
+        database = CalibrationDatabase()
+        record = database.record_party(model.name, *_party_measurements(model, rng))
+        assert record.fit.gain == pytest.approx(model.mic.gain, abs=0.05)
+        assert record.fit.offset_db == pytest.approx(model.mic.offset_db, abs=3.0)
+        assert record.method == "reference-party"
+
+    def test_correct_reduces_model_bias(self):
+        registry = DeviceRegistry()
+        rng = np.random.default_rng(1)
+        database = CalibrationDatabase()
+        for name in ("GT-I9505", "D5803", "A0001"):
+            model = registry.get(name)
+            database.record_party(name, *_party_measurements(model, rng))
+        # measure a known 65 dB scene on each model and correct
+        for name in ("GT-I9505", "D5803", "A0001"):
+            model = registry.get(name)
+            raw = model.mic.apply(65.0)
+            corrected = database.correct(name, raw)
+            assert abs(corrected - 65.0) < abs(raw - 65.0) + 0.5
+            assert corrected == pytest.approx(65.0, abs=2.5)
+
+    def test_uncalibrated_model_passes_through(self):
+        database = CalibrationDatabase()
+        assert database.correct("UNKNOWN", 62.0) == 62.0
+
+    def test_sensor_sigma_defaults_pessimistic(self):
+        database = CalibrationDatabase()
+        assert database.sensor_sigma_db("UNKNOWN") == 5.0
+
+    def test_sensor_sigma_after_calibration(self):
+        registry = DeviceRegistry()
+        model = registry.get("A0001")
+        database = CalibrationDatabase()
+        database.record_party(model.name, *_party_measurements(model, np.random.default_rng(2)))
+        assert database.sensor_sigma_db(model.name) < 5.0
+
+    def test_get_and_has_and_models(self):
+        registry = DeviceRegistry()
+        model = registry.get("A0001")
+        database = CalibrationDatabase()
+        assert not database.has(model.name)
+        with pytest.raises(NotFoundError):
+            database.get(model.name)
+        database.record_party(model.name, *_party_measurements(model, np.random.default_rng(3)))
+        assert database.has(model.name)
+        assert database.models() == [model.name]
+
+    def test_persists_to_store(self):
+        store = DocumentStore()
+        registry = DeviceRegistry()
+        model = registry.get("A0001")
+        database = CalibrationDatabase(store)
+        database.record_party(model.name, *_party_measurements(model, np.random.default_rng(4)))
+        stored = store["calibration"].find_one({"model": model.name})
+        assert stored["method"] == "reference-party"
+        assert stored["gain"] == pytest.approx(model.mic.gain, abs=0.05)
+
+    def test_record_fit_validates_method(self):
+        from repro.calibration.fit import CalibrationFit
+
+        database = CalibrationDatabase()
+        fit = CalibrationFit(gain=1.0, offset_db=1.0, residual_std_db=1.0, sample_count=5)
+        with pytest.raises(ValidationError):
+            database.record_fit("X", fit, method="astrology")

@@ -1,0 +1,56 @@
+"""Calibration least-squares fit tests."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.fit import CalibrationFit, fit_linear_response
+from repro.errors import ConfigurationError
+
+
+class TestFit:
+    def test_recovers_known_response(self):
+        reference = np.linspace(40, 90, 20)
+        measured = 1.05 * reference - 4.0
+        fit = fit_linear_response(reference, measured)
+        assert fit.gain == pytest.approx(1.05, abs=1e-9)
+        assert fit.offset_db == pytest.approx(-4.0, abs=1e-9)
+        assert fit.residual_std_db == pytest.approx(0.0, abs=1e-9)
+
+    def test_recovers_with_noise(self):
+        rng = np.random.default_rng(0)
+        reference = np.linspace(35, 95, 60)
+        measured = 0.97 * reference + 3.0 + rng.normal(0, 1.0, 60)
+        fit = fit_linear_response(reference, measured)
+        assert fit.gain == pytest.approx(0.97, abs=0.03)
+        assert fit.offset_db == pytest.approx(3.0, abs=2.0)
+        assert 0.5 < fit.residual_std_db < 1.5
+
+    def test_correct_inverts_response(self):
+        fit = CalibrationFit(gain=1.1, offset_db=-2.0, residual_std_db=0.5,
+                             sample_count=10)
+        measured = 1.1 * 60.0 - 2.0
+        assert fit.correct(measured) == pytest.approx(60.0)
+
+    def test_correct_many_vectorized(self):
+        fit = CalibrationFit(gain=1.0, offset_db=5.0, residual_std_db=0.1,
+                             sample_count=3)
+        corrected = fit.correct_many(np.array([55.0, 65.0]))
+        assert list(corrected) == [50.0, 60.0]
+
+    def test_zero_gain_inversion_rejected(self):
+        fit = CalibrationFit(gain=0.0, offset_db=0.0, residual_std_db=0.0,
+                             sample_count=3)
+        with pytest.raises(ConfigurationError):
+            fit.correct(50.0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_linear_response(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_degenerate_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_linear_response(np.full(10, 60.0), np.full(10, 62.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_linear_response(np.zeros(5), np.zeros(6))

@@ -1,0 +1,68 @@
+"""Assimilation-experiment harness tests."""
+
+import pytest
+
+from repro.campaign.assimilate import AssimilationExperiment
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return AssimilationExperiment(seed=5)
+
+
+class TestExperiment:
+    def test_background_differs_from_truth(self, experiment):
+        rmse = experiment.blue.rmse(experiment.background_map, experiment.truth_map)
+        assert rmse > 1.5
+
+    def test_assimilation_improves_map(self, experiment):
+        calibration = experiment.calibration_from_party("A0001")
+        observations = experiment.draw_observations(
+            150, accuracy_m=25.0, model_name="A0001", calibration=calibration
+        )
+        result = experiment.assimilate(observations)
+        assert result.analysis_rmse < result.background_rmse
+        assert result.improvement > 0.3
+
+    def test_calibration_beats_no_calibration(self, experiment):
+        """The §5.2/§7 claim: calibration makes crowd data usable."""
+        observations_raw = experiment.draw_observations(
+            150, accuracy_m=25.0, model_name="A0001", calibration=None
+        )
+        calibration = experiment.calibration_from_party("A0001")
+        observations_cal = experiment.draw_observations(
+            150, accuracy_m=25.0, model_name="A0001", calibration=calibration
+        )
+        raw = experiment.assimilate(observations_raw)
+        calibrated = experiment.assimilate(observations_cal)
+        assert calibrated.analysis_rmse < raw.analysis_rmse
+
+    def test_more_observations_help(self, experiment):
+        calibration = experiment.calibration_from_party("A0001")
+        few = experiment.assimilate(
+            experiment.draw_observations(10, model_name="A0001", calibration=calibration)
+        )
+        many = experiment.assimilate(
+            experiment.draw_observations(300, model_name="A0001", calibration=calibration)
+        )
+        assert many.analysis_rmse < few.analysis_rmse
+
+    def test_accurate_locations_help(self, experiment):
+        """The §7 recommendation about location accuracy."""
+        calibration = experiment.calibration_from_party("A0001")
+        precise = experiment.assimilate(
+            experiment.draw_observations(
+                120, accuracy_m=10.0, model_name="A0001", calibration=calibration
+            )
+        )
+        coarse = experiment.assimilate(
+            experiment.draw_observations(
+                120, accuracy_m=400.0, model_name="A0001", calibration=calibration
+            )
+        )
+        assert precise.analysis_rmse < coarse.analysis_rmse
+
+    def test_zero_observations_rejected(self, experiment):
+        with pytest.raises(ConfigurationError):
+            experiment.draw_observations(0)

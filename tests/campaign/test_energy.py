@@ -1,0 +1,71 @@
+"""Figure 16 energy-protocol tests."""
+
+import pytest
+
+from repro.campaign.energy import EnergyExperiment
+from repro.client.versions import AppVersion
+from repro.devices.battery import NetworkKind
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def runs():
+    experiment = EnergyExperiment(model_name="A0001", seed=0)
+    results = {run.label: run for run in experiment.run_all()}
+    return results
+
+
+class TestFigure16Ratios:
+    def test_all_configurations_present(self, runs):
+        assert set(runs) == {
+            "no-app",
+            "unbuffered/wifi",
+            "unbuffered/3g",
+            "buffered/wifi",
+            "buffered/3g",
+        }
+
+    def test_unbuffered_wifi_doubles_depletion(self, runs):
+        """'the MPS app consumes twice as much battery as in the absence
+        of the app when the network is the WiFi'."""
+        ratio = runs["unbuffered/wifi"].depletion / runs["no-app"].depletion
+        assert ratio == pytest.approx(2.0, abs=0.35)
+
+    def test_3g_increases_depletion_by_50_percent(self, runs):
+        """'Using 3G network increases the battery depletion rate by 50%'."""
+        ratio = runs["unbuffered/3g"].depletion / runs["unbuffered/wifi"].depletion
+        assert ratio == pytest.approx(1.5, abs=0.2)
+
+    def test_buffering_keeps_overhead_under_50_percent(self, runs):
+        """'Buffering ... increases by less than 50% the battery
+        depletion with the WiFi connection'."""
+        ratio = runs["buffered/wifi"].depletion / runs["no-app"].depletion
+        assert 1.0 < ratio < 1.5
+
+    def test_buffering_always_beats_unbuffered(self, runs):
+        assert runs["buffered/wifi"].depletion < runs["unbuffered/wifi"].depletion
+        assert runs["buffered/3g"].depletion < runs["unbuffered/3g"].depletion
+
+    def test_protocol_starts_at_80_percent(self, runs):
+        for run in runs.values():
+            assert run.start_level == pytest.approx(0.8)
+
+    def test_radio_dominates_app_overhead_unbuffered(self, runs):
+        ledger = runs["unbuffered/wifi"].ledger
+        radio = ledger.get("radio:wifi", 0.0)
+        sensing = ledger.get("mic", 0.0) + sum(
+            v for k, v in ledger.items() if k.startswith("loc:")
+        )
+        assert radio > sensing
+
+
+class TestConfiguration:
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyExperiment(sensing_period_s=0.0)
+
+    def test_single_configuration_run(self):
+        experiment = EnergyExperiment(seed=1)
+        run = experiment.run_configuration(AppVersion.V1_3, NetworkKind.WIFI)
+        assert run.depletion > 0.0
+        assert run.version is AppVersion.V1_3

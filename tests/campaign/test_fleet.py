@@ -1,0 +1,58 @@
+"""FleetCampaign end-to-end behaviour (uses the shared session campaign)."""
+
+import pytest
+
+from repro.campaign import CampaignConfig, FleetCampaign
+from repro.errors import ConfigurationError
+
+
+class TestCampaignRun:
+    def test_observations_flow_to_store(self, small_campaign):
+        assert small_campaign.produced > 500
+        assert small_campaign.ingested > 0
+        # everything produced is either stored or still on a device
+        assert (
+            small_campaign.ingested + small_campaign.pending_on_devices
+            == small_campaign.produced
+        )
+
+    def test_fleet_composition(self, small_campaign):
+        assert len(small_campaign.population) == round(2091 * 0.015)
+
+    def test_store_totals_match_ingested(self, small_campaign):
+        totals = small_campaign.analytics.totals()
+        assert totals["total"] == small_campaign.ingested
+
+    def test_localized_share_near_40_percent(self, small_campaign):
+        totals = small_campaign.analytics.totals()
+        assert totals["localized"] / totals["total"] == pytest.approx(0.41, abs=0.08)
+
+    def test_documents_are_pseudonymized(self, small_campaign):
+        doc = small_campaign.server.data.collection.find_one({})
+        assert "user_id" not in doc
+        assert doc["contributor"].startswith("p")
+
+    def test_every_mode_present(self, small_campaign):
+        modes = small_campaign.server.data.collection.distinct("mode")
+        assert set(modes) >= {"opportunistic", "manual"}
+
+    def test_scale_factor(self, small_campaign):
+        assert small_campaign.scale_factor() == pytest.approx(1 / 0.015)
+
+    def test_reproducible(self):
+        config = CampaignConfig(seed=3, scale=0.005, days=0.5)
+        a = FleetCampaign(config).run()
+        b = FleetCampaign(config).run()
+        assert a.produced == b.produced
+        assert a.ingested == b.ingested
+
+    def test_different_seeds_differ(self):
+        a = FleetCampaign(CampaignConfig(seed=1, scale=0.005, days=0.5)).run()
+        b = FleetCampaign(CampaignConfig(seed=2, scale=0.005, days=0.5)).run()
+        assert a.produced != b.produced
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(days=-1.0)

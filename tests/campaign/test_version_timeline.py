@@ -1,0 +1,105 @@
+"""Mixed-version campaign tests (the paper's release timeline)."""
+
+import pytest
+
+from repro.campaign import CampaignConfig, FleetCampaign
+from repro.client.versions import AppVersion
+from repro.errors import ConfigurationError
+
+TIMELINE = ((0.0, AppVersion.V1_1), (1.0, AppVersion.V1_2_9), (2.0, AppVersion.V1_3))
+
+
+class TestVersionAt:
+    def test_release_boundaries(self):
+        config = CampaignConfig(version_timeline=TIMELINE, days=3.0)
+        assert config.version_at(0.0) is AppVersion.V1_1
+        assert config.version_at(0.9 * 86400.0) is AppVersion.V1_1
+        assert config.version_at(1.0 * 86400.0) is AppVersion.V1_2_9
+        assert config.version_at(2.5 * 86400.0) is AppVersion.V1_3
+
+    def test_without_timeline_uses_app_version(self):
+        config = CampaignConfig(app_version=AppVersion.V1_3)
+        assert config.version_at(0.0) is AppVersion.V1_3
+
+    def test_unsorted_timeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(
+                version_timeline=((1.0, AppVersion.V1_2_9), (0.0, AppVersion.V1_1))
+            )
+
+    def test_timeline_must_cover_launch(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(version_timeline=((1.0, AppVersion.V1_2_9),))
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignConfig(version_timeline=())
+
+
+class TestMixedCampaign:
+    @pytest.fixture(scope="class")
+    def mixed(self):
+        config = CampaignConfig(
+            seed=31, scale=0.01, days=3.0, version_timeline=TIMELINE
+        )
+        return FleetCampaign(config).run()
+
+    def test_multiple_versions_in_store(self, mixed):
+        versions = set(mixed.server.data.collection.distinct("app_version"))
+        assert len(versions) >= 2
+        assert versions <= {"1.1", "1.2.9", "1.3"}
+
+    def test_version_matches_install_wave(self, mixed):
+        """Early installers (launch spike) carry the launch release."""
+        config = mixed.config
+        for user in mixed.population.users[:30]:
+            expected = config.version_at(user.installed_at_s).value
+            docs = mixed.server.data.collection.find(
+                {"contributor": mixed.server.privacy.pseudonym(user.user_id)}
+            ).limit(1).to_list()
+            if docs:
+                assert docs[0]["app_version"] == expected
+
+    def test_per_version_delays_computable(self, mixed):
+        """The Figure 17 per-version split from one mixed campaign."""
+        for version in ("1.1", "1.2.9"):
+            delays = mixed.analytics.transmission_delays(app_version=version)
+            assert delays  # both early releases contributed data
+
+
+class TestUpgradeInPlace:
+    @pytest.fixture(scope="class")
+    def upgraded(self):
+        config = CampaignConfig(
+            seed=32,
+            scale=0.01,
+            days=2.0,
+            version_timeline=((0.0, AppVersion.V1_1), (1.0, AppVersion.V1_3)),
+            upgrade_in_place=True,
+        )
+        return FleetCampaign(config).run()
+
+    def test_documents_switch_version_at_release(self, upgraded):
+        day = 86400.0
+        before = upgraded.server.data.collection.distinct(
+            "app_version", {"sent_at": {"$lt": day}}
+        )
+        after = upgraded.server.data.collection.distinct(
+            "app_version", {"sent_at": {"$gte": day + 3600.0}}
+        )
+        assert before == ["1.1"]
+        assert after == ["1.3"]
+
+    def test_upgrade_changes_buffering_behaviour(self, upgraded):
+        """Post-upgrade (v1.3) transmissions are batched."""
+        import numpy as np
+
+        day = 86400.0
+        docs = upgraded.server.data.collection.find(
+            {"sent_at": {"$gte": day + 3600.0}}
+        ).to_list()
+        if len(docs) > 30:
+            sent_times = [d["sent_at"] for d in docs]
+            # batching => many documents share identical sent_at values
+            unique_ratio = len(set(sent_times)) / len(sent_times)
+            assert unique_ratio < 0.7

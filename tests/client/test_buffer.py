@@ -1,0 +1,94 @@
+"""Observation outbox tests."""
+
+import pytest
+
+from repro.client.buffer import ObservationBuffer
+from repro.errors import ConfigurationError
+from repro.sensing.activity import ActivityReading
+from repro.sensing.microphone import NoiseReading
+from repro.sensing.modes import SensingMode
+from repro.sensing.scheduler import Observation
+
+
+def _obs(taken_at=0.0, obs_id=None):
+    _obs.counter = getattr(_obs, "counter", 0) + 1
+    return Observation(
+        observation_id=obs_id if obs_id is not None else _obs.counter,
+        user_id="u",
+        model="A0001",
+        taken_at=taken_at,
+        mode=SensingMode.OPPORTUNISTIC,
+        noise=NoiseReading(measured_dba=50.0, true_dba=48.0),
+        location=None,
+        activity=ActivityReading(label="still", confidence=0.9, true_activity="still"),
+    )
+
+
+class TestBuffer:
+    def test_push_and_drain_fifo(self):
+        buffer = ObservationBuffer()
+        first, second = _obs(1.0), _obs(2.0)
+        buffer.push(first)
+        buffer.push(second)
+        assert buffer.drain() == [first, second]
+        assert len(buffer) == 0
+
+    def test_capacity_evicts_oldest(self):
+        buffer = ObservationBuffer(capacity=2)
+        a, b, c = _obs(1.0), _obs(2.0), _obs(3.0)
+        for item in (a, b, c):
+            buffer.push(item)
+        assert buffer.drain() == [b, c]
+        assert buffer.evicted == 1
+
+    def test_peek_does_not_remove(self):
+        buffer = ObservationBuffer()
+        buffer.push(_obs(1.0))
+        assert len(buffer.peek_all()) == 1
+        assert len(buffer) == 1
+
+    def test_requeue_front_restores_order(self):
+        buffer = ObservationBuffer()
+        a, b = _obs(1.0), _obs(2.0)
+        buffer.push(a)
+        buffer.push(b)
+        drained = buffer.drain()
+        buffer.push(_obs(3.0))
+        buffer.requeue_front(drained)
+        taken = [o.taken_at for o in buffer.drain()]
+        assert taken == [1.0, 2.0, 3.0]
+
+    def test_oldest_taken_at(self):
+        buffer = ObservationBuffer()
+        assert buffer.oldest_taken_at is None
+        buffer.push(_obs(5.0))
+        buffer.push(_obs(9.0))
+        assert buffer.oldest_taken_at == 5.0
+
+    def test_bool_protocol(self):
+        buffer = ObservationBuffer()
+        assert not buffer
+        buffer.push(_obs())
+        assert buffer
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObservationBuffer(capacity=0)
+
+
+class TestVersions:
+    def test_version_buffering_policies(self):
+        from repro.client.versions import AppVersion
+
+        assert AppVersion.V1_1.buffer_size == 1
+        assert AppVersion.V1_2_9.buffer_size == 1
+        assert AppVersion.V1_3.buffer_size == 10
+        assert not AppVersion.V1_1.buffers
+        assert AppVersion.V1_3.buffers
+
+    def test_legacy_session_only_v1_1(self):
+        from repro.client.versions import AppVersion
+
+        assert AppVersion.V1_1.legacy_session
+        assert not AppVersion.V1_2_9.legacy_session
+        assert not AppVersion.V1_3.legacy_session

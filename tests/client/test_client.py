@@ -1,0 +1,213 @@
+"""GoFlow client tests: buffering policy, retries, delays, energy."""
+
+import pytest
+
+from repro.broker.errors import BrokerError
+from repro.client.client import GoFlowClient
+from repro.client.versions import AppVersion
+from repro.devices.battery import Battery, NetworkKind
+from repro.errors import ConfigurationError
+from repro.sensing.activity import ActivityReading
+from repro.sensing.microphone import NoiseReading
+from repro.sensing.modes import SensingMode
+from repro.sensing.scheduler import Observation
+
+
+class StubUplink:
+    """Records sent documents; can be told to fail."""
+
+    def __init__(self):
+        self.batches = []
+        self.fail = False
+
+    def send(self, documents):
+        if self.fail:
+            raise BrokerError("link down")
+        self.batches.append(list(documents))
+
+
+class FakeConnectivity:
+    def __init__(self, online=True, transport=NetworkKind.WIFI):
+        self.online = online
+        self.kind = transport
+
+    def is_online(self, t):
+        return self.online
+
+    def transport(self, t):
+        return self.kind if self.online else None
+
+
+def _obs(taken_at, obs_id):
+    return Observation(
+        observation_id=obs_id,
+        user_id="u",
+        model="A0001",
+        taken_at=taken_at,
+        mode=SensingMode.OPPORTUNISTIC,
+        noise=NoiseReading(measured_dba=50.0, true_dba=48.0),
+        location=None,
+        activity=ActivityReading(label="still", confidence=0.9, true_activity="still"),
+    )
+
+
+def _client(version, uplink=None, connectivity=None, battery=None, now=None):
+    clock_value = now if now is not None else [0.0]
+    return (
+        GoFlowClient(
+            "u",
+            version,
+            uplink if uplink is not None else StubUplink(),
+            clock=lambda: clock_value[0],
+            connectivity=connectivity,
+            battery=battery,
+        ),
+        clock_value,
+    )
+
+
+class TestUnbufferedPolicy:
+    def test_sends_after_each_observation(self):
+        uplink = StubUplink()
+        client, _ = _client(AppVersion.V1_2_9, uplink)
+        for i in range(3):
+            client.on_observation(_obs(float(i), i))
+        assert len(uplink.batches) == 3
+        assert all(len(batch) == 1 for batch in uplink.batches)
+
+    def test_document_enriched_with_transport_fields(self):
+        uplink = StubUplink()
+        client, clock = _client(AppVersion.V1_2_9, uplink)
+        clock[0] = 100.0
+        client.on_observation(_obs(90.0, 1))
+        document = uplink.batches[0][0]
+        assert document["sent_at"] == 100.0
+        assert document["received_at"] == pytest.approx(103.0)
+        assert document["app_version"] == "1.2.9"
+
+
+class TestBufferedPolicy:
+    def test_waits_for_ten_observations(self):
+        uplink = StubUplink()
+        client, _ = _client(AppVersion.V1_3, uplink)
+        for i in range(9):
+            client.on_observation(_obs(float(i), i))
+        assert uplink.batches == []
+        client.on_observation(_obs(9.0, 9))
+        assert len(uplink.batches) == 1
+        assert len(uplink.batches[0]) == 10
+
+    def test_flush_forces_partial_batch(self):
+        uplink = StubUplink()
+        client, _ = _client(AppVersion.V1_3, uplink)
+        client.on_observation(_obs(0.0, 1))
+        assert client.pending == 1
+        assert client.flush()
+        assert len(uplink.batches[0]) == 1
+
+
+class TestOfflineRetry:
+    def test_offline_keeps_outbox(self):
+        uplink = StubUplink()
+        connectivity = FakeConnectivity(online=False)
+        client, _ = _client(AppVersion.V1_2_9, uplink, connectivity)
+        client.on_observation(_obs(0.0, 1))
+        assert uplink.batches == []
+        assert client.pending == 1
+        assert client.stats.failed_attempts == 1
+
+    def test_sent_at_next_cycle_after_reconnect(self):
+        uplink = StubUplink()
+        connectivity = FakeConnectivity(online=False)
+        client, clock = _client(AppVersion.V1_2_9, uplink, connectivity)
+        client.on_observation(_obs(0.0, 1))
+        connectivity.online = True
+        clock[0] = 7500.0
+        client.on_observation(_obs(7500.0, 2))
+        assert len(uplink.batches) == 1
+        assert len(uplink.batches[0]) == 2
+        # the delayed observation records a >2 h delay (Figure 17's tail)
+        assert max(client.stats.delays_s) > 7200.0
+
+    def test_uplink_failure_requeues(self):
+        uplink = StubUplink()
+        client, _ = _client(AppVersion.V1_2_9, uplink)
+        uplink.fail = True
+        client.on_observation(_obs(0.0, 1))
+        assert client.pending == 1
+        uplink.fail = False
+        client.on_observation(_obs(1.0, 2))
+        assert len(uplink.batches[0]) == 2
+
+    def test_order_preserved_across_failures(self):
+        uplink = StubUplink()
+        client, _ = _client(AppVersion.V1_2_9, uplink)
+        uplink.fail = True
+        for i in range(3):
+            client.on_observation(_obs(float(i), i))
+        uplink.fail = False
+        client.flush()
+        ids = [d["observation_id"] for d in uplink.batches[0]]
+        assert ids == [0, 1, 2]
+
+
+class TestEnergyAccounting:
+    def test_transmission_charges_battery(self):
+        battery = Battery(10_000.0)
+        client, _ = _client(
+            AppVersion.V1_2_9,
+            connectivity=FakeConnectivity(transport=NetworkKind.CELL_3G),
+            battery=battery,
+        )
+        before = battery.consumed_j
+        client.on_observation(_obs(0.0, 1))
+        assert battery.consumed_j > before
+        assert "radio:3g" in battery.ledger()
+
+    def test_v1_1_pays_legacy_overhead(self):
+        battery_legacy = Battery(10_000.0)
+        client_legacy, _ = _client(AppVersion.V1_1, battery=battery_legacy)
+        client_legacy.on_observation(_obs(0.0, 1))
+        battery_modern = Battery(10_000.0)
+        client_modern, _ = _client(AppVersion.V1_2_9, battery=battery_modern)
+        client_modern.on_observation(_obs(0.0, 2))
+        assert battery_legacy.consumed_j > battery_modern.consumed_j
+
+    def test_no_charge_when_offline(self):
+        battery = Battery(10_000.0)
+        before = battery.consumed_j
+        client, _ = _client(
+            AppVersion.V1_2_9,
+            connectivity=FakeConnectivity(online=False),
+            battery=battery,
+        )
+        client.on_observation(_obs(0.0, 1))
+        assert battery.consumed_j == before
+
+
+class TestStatsAndValidation:
+    def test_stats_track_counts(self):
+        client, _ = _client(AppVersion.V1_2_9)
+        for i in range(4):
+            client.on_observation(_obs(float(i), i))
+        assert client.stats.produced == 4
+        assert client.stats.sent == 4
+        assert client.stats.transmissions == 4
+
+    def test_delay_quantiles(self):
+        client, clock = _client(AppVersion.V1_2_9)
+        clock[0] = 50.0
+        client.on_observation(_obs(0.0, 1))
+        median = client.delay_quantiles([0.5])[0]
+        assert median == pytest.approx(53.0)
+
+    def test_delay_quantiles_empty_rejected(self):
+        client, _ = _client(AppVersion.V1_3)
+        with pytest.raises(ConfigurationError):
+            client.delay_quantiles()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GoFlowClient(
+                "u", AppVersion.V1_1, StubUplink(), clock=lambda: 0.0, latency_s=-1.0
+            )

@@ -1,0 +1,67 @@
+"""BrokerUplink tests: Figure 3 publish path."""
+
+import pytest
+
+from repro.broker import Broker, ExchangeType
+from repro.client.uplink import BrokerUplink
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def wired_broker():
+    """A broker with the Figure 3 chain: E.client -> APP.SC -> GF."""
+    broker = Broker()
+    broker.declare_exchange("GF", ExchangeType.TOPIC)
+    broker.declare_queue("GF")
+    broker.bind_queue("GF", "GF", "#")
+    broker.declare_exchange("APP.SC", ExchangeType.TOPIC)
+    broker.bind_exchange("APP.SC", "GF", "#")
+    broker.declare_exchange("E.alice", ExchangeType.TOPIC)
+    broker.bind_exchange("E.alice", "APP.SC", "#")
+    return broker
+
+
+class TestRoutingKeys:
+    def test_localized_document_routes_by_zone(self, wired_broker):
+        uplink = BrokerUplink(wired_broker, "E.alice")
+        doc = {"location": {"x_m": 2500.0, "y_m": 7100.0}}
+        assert uplink.routing_key_for(doc) == "Z2-7.NoiseObservation"
+
+    def test_unlocalized_document_routes_noloc(self, wired_broker):
+        uplink = BrokerUplink(wired_broker, "E.alice")
+        assert uplink.routing_key_for({}) == "NOLOC.NoiseObservation"
+
+    def test_custom_datatype(self, wired_broker):
+        uplink = BrokerUplink(wired_broker, "E.alice", datatype="Feedback")
+        assert uplink.routing_key_for({}).endswith(".Feedback")
+
+
+class TestSend:
+    def test_documents_reach_gf_queue(self, wired_broker):
+        uplink = BrokerUplink(wired_broker, "E.alice", app_id="SC")
+        result = uplink.send([{"noise_dba": 55.0}, {"noise_dba": 60.0}])
+        assert result.accepted == 2
+        assert result.confirmed
+        assert wired_broker.get_queue("GF").ready_count == 2
+
+    def test_app_id_stamped(self, wired_broker):
+        uplink = BrokerUplink(wired_broker, "E.alice", app_id="SC")
+        uplink.send([{}])
+        delivered = wired_broker.get_queue("GF").get()
+        assert delivered.body["app_id"] == "SC"
+
+    def test_empty_send_rejected(self, wired_broker):
+        uplink = BrokerUplink(wired_broker, "E.alice")
+        with pytest.raises(ConfigurationError):
+            uplink.send([])
+
+    def test_reconnects_after_disconnect(self, wired_broker):
+        uplink = BrokerUplink(wired_broker, "E.alice")
+        uplink.send([{"n": 1}])
+        uplink.disconnect()
+        uplink.send([{"n": 2}])
+        assert wired_broker.get_queue("GF").ready_count == 2
+
+    def test_empty_exchange_rejected(self, wired_broker):
+        with pytest.raises(ConfigurationError):
+            BrokerUplink(wired_broker, "")

@@ -1,0 +1,26 @@
+"""Shared fixtures.
+
+The fleet campaign is expensive relative to unit tests, so one small
+campaign result is computed once per session and shared by every test
+that only *reads* the populated store.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignConfig, FleetCampaign
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def simulator() -> Simulator:
+    """A fresh deterministic simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_campaign():
+    """One shared end-to-end campaign (read-only for consumers)."""
+    config = CampaignConfig(seed=7, scale=0.015, days=1.5)
+    return FleetCampaign(config).run()

@@ -1,0 +1,130 @@
+"""Account and access-management tests."""
+
+import pytest
+
+from repro.core.accounts import AccountManager, Role
+from repro.core.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.docstore.store import DocumentStore
+
+
+@pytest.fixture
+def manager():
+    manager = AccountManager(DocumentStore())
+    manager.register_app("SC")
+    return manager
+
+
+class TestApps:
+    def test_register_and_exists(self, manager):
+        assert manager.app_exists("SC")
+        assert not manager.app_exists("other")
+
+    def test_duplicate_app_rejected(self, manager):
+        with pytest.raises(ValidationError):
+            manager.register_app("SC")
+
+    def test_app_ids(self, manager):
+        manager.register_app("Air")
+        assert set(manager.app_ids()) == {"SC", "Air"}
+
+    def test_account_under_unknown_app_rejected(self, manager):
+        with pytest.raises(NotFoundError):
+            manager.create_account("ghost", "u", "pw")
+
+
+class TestAccounts:
+    def test_create_and_get(self, manager):
+        manager.create_account("SC", "alice", "pw")
+        account = manager.get_account("SC", "alice")
+        assert account.role is Role.CONTRIBUTOR
+        assert account.active
+
+    def test_duplicate_account_rejected(self, manager):
+        manager.create_account("SC", "alice", "pw")
+        with pytest.raises(ValidationError):
+            manager.create_account("SC", "alice", "pw2")
+
+    def test_same_user_in_two_apps(self, manager):
+        manager.register_app("Air")
+        manager.create_account("SC", "alice", "pw")
+        manager.create_account("Air", "alice", "pw")  # allowed
+
+    def test_remove_account(self, manager):
+        manager.create_account("SC", "alice", "pw")
+        manager.remove_account("SC", "alice")
+        with pytest.raises(NotFoundError):
+            manager.get_account("SC", "alice")
+
+    def test_deactivate_keeps_account(self, manager):
+        manager.create_account("SC", "alice", "pw")
+        manager.deactivate_account("SC", "alice")
+        assert not manager.get_account("SC", "alice").active
+
+    def test_set_role(self, manager):
+        manager.create_account("SC", "alice", "pw")
+        manager.set_role("SC", "alice", Role.MANAGER)
+        assert manager.get_account("SC", "alice").role is Role.MANAGER
+
+    def test_accounts_for_app(self, manager):
+        manager.create_account("SC", "a", "pw")
+        manager.create_account("SC", "b", "pw")
+        assert len(manager.accounts_for_app("SC")) == 2
+
+    def test_empty_credentials_rejected(self, manager):
+        with pytest.raises(ValidationError):
+            manager.create_account("SC", "", "pw")
+        with pytest.raises(ValidationError):
+            manager.create_account("SC", "u", "")
+
+
+class TestAuthentication:
+    def test_verify_good_credentials(self, manager):
+        manager.create_account("SC", "alice", "secret")
+        account = manager.verify_credentials("SC", "alice", "secret")
+        assert account.user_id == "alice"
+
+    def test_bad_password_rejected(self, manager):
+        manager.create_account("SC", "alice", "secret")
+        with pytest.raises(AuthenticationError):
+            manager.verify_credentials("SC", "alice", "wrong")
+
+    def test_unknown_account_rejected(self, manager):
+        with pytest.raises(AuthenticationError):
+            manager.verify_credentials("SC", "ghost", "pw")
+
+    def test_deactivated_account_rejected(self, manager):
+        manager.create_account("SC", "alice", "pw")
+        manager.deactivate_account("SC", "alice")
+        with pytest.raises(AuthenticationError):
+            manager.verify_credentials("SC", "alice", "pw")
+
+    def test_passwords_not_stored_in_clear(self, manager):
+        manager.create_account("SC", "alice", "hunter2")
+        store_doc = manager._accounts.find_one({"user_id": "alice"})
+        assert "hunter2" not in str(store_doc)
+
+
+class TestRoles:
+    def test_role_dominance(self):
+        assert Role.ADMIN.at_least(Role.MANAGER)
+        assert Role.MANAGER.at_least(Role.CONTRIBUTOR)
+        assert not Role.CONTRIBUTOR.at_least(Role.MANAGER)
+        assert Role.MANAGER.at_least(Role.MANAGER)
+
+    def test_require_role(self, manager):
+        manager.create_account("SC", "boss", "pw", role=Role.MANAGER)
+        manager.create_account("SC", "user", "pw")
+        manager.require_role("SC", "boss", Role.MANAGER)
+        with pytest.raises(AuthorizationError):
+            manager.require_role("SC", "user", Role.MANAGER)
+
+    def test_require_role_deactivated_rejected(self, manager):
+        manager.create_account("SC", "boss", "pw", role=Role.ADMIN)
+        manager.deactivate_account("SC", "boss")
+        with pytest.raises(AuthorizationError):
+            manager.require_role("SC", "boss", Role.CONTRIBUTOR)

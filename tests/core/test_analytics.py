@@ -1,0 +1,127 @@
+"""Analytics-engine tests over a hand-built store."""
+
+import pytest
+
+from repro.core.analytics import AnalyticsEngine
+from repro.docstore.store import DocumentStore
+
+
+@pytest.fixture
+def engine():
+    store = DocumentStore()
+    observations = store.collection("observations")
+    rows = []
+    # 3 contributors, 2 models, spread over 2 days and several hours
+    spec = [
+        ("p1", "A0001", 0, 9, "gps", 10.0, "still", 55.0, "1.2.9", 5.0),
+        ("p1", "A0001", 0, 14, "network", 40.0, "still", 60.0, "1.2.9", 8000.0),
+        ("p2", "A0001", 1, 14, "network", 35.0, "foot", 65.0, "1.3", 30.0),
+        ("p2", "A0001", 1, 20, None, None, "unknown", 45.0, "1.3", 3600.0),
+        ("p3", "NEXUS 5", 1, 9, "fused", 150.0, "still", 50.0, "1.2.9", 2.0),
+    ]
+    for contributor, model, day, hour, provider, accuracy, activity, dba, version, delay in spec:
+        taken = day * 86400.0 + hour * 3600.0
+        doc = {
+            "contributor": contributor,
+            "model": model,
+            "taken_at": taken,
+            "received_at": taken + delay,
+            "noise_dba": dba,
+            "mode": "opportunistic",
+            "app_version": version,
+            "activity": {"label": activity, "confidence": 0.9},
+        }
+        if provider is not None:
+            doc["location"] = {
+                "provider": provider,
+                "accuracy_m": accuracy,
+                "x_m": 0.0,
+                "y_m": 0.0,
+            }
+        rows.append(doc)
+    observations.insert_many(rows)
+    return AnalyticsEngine(store)
+
+
+class TestTotals:
+    def test_totals(self, engine):
+        assert engine.totals() == {"total": 5, "localized": 4}
+
+    def test_per_model_table(self, engine):
+        table = engine.per_model_table()
+        assert table[0]["model"] == "A0001"
+        assert table[0]["measurements"] == 4
+        assert table[0]["devices"] == 2
+        assert table[0]["localized"] == 3
+
+    def test_cumulative_by_day(self, engine):
+        series = engine.cumulative_by_day()
+        assert [row["count"] for row in series] == [2, 3]
+        assert series[-1]["cumulative"] == 5
+
+
+class TestLocation:
+    def test_provider_shares(self, engine):
+        shares = engine.provider_shares()
+        assert shares["network"] == pytest.approx(0.5)
+        assert shares["gps"] == pytest.approx(0.25)
+        assert shares["fused"] == pytest.approx(0.25)
+
+    def test_accuracy_values_by_provider(self, engine):
+        assert engine.accuracy_values(provider="gps") == [10.0]
+        assert sorted(engine.accuracy_values()) == [10.0, 35.0, 40.0, 150.0]
+
+    def test_accuracy_buckets_pipeline(self, engine):
+        rows = {row["_id"]: row for row in engine.accuracy_buckets()}
+        assert rows[6]["count"] == 1  # the 10 m GPS fix
+        assert rows[20]["count"] == 2  # 35 m and 40 m network fixes
+        assert rows[20]["mean"] == pytest.approx(37.5)
+        assert rows[100]["count"] == 1  # the 150 m fused fix
+
+    def test_accuracy_buckets_by_provider(self, engine):
+        rows = engine.accuracy_buckets(provider="network")
+        assert sum(row["count"] for row in rows) == 2
+
+
+class TestNoise:
+    def test_spl_values_by_model(self, engine):
+        assert sorted(engine.spl_values(model="NEXUS 5")) == [50.0]
+        assert len(engine.spl_values()) == 5
+
+    def test_spl_values_by_contributor(self, engine):
+        assert sorted(engine.spl_values(contributor="p1")) == [55.0, 60.0]
+
+    def test_top_contributors(self, engine):
+        assert engine.top_contributors("A0001") == ["p1", "p2"]
+
+
+class TestParticipation:
+    def test_hourly_distribution_sums_to_one(self, engine):
+        distribution = engine.hourly_distribution()
+        assert sum(distribution) == pytest.approx(1.0)
+        assert distribution[14] == pytest.approx(0.4)
+
+    def test_hourly_distribution_for_model(self, engine):
+        distribution = engine.hourly_distribution(model="NEXUS 5")
+        assert distribution[9] == pytest.approx(1.0)
+
+    def test_per_contributor_profiles(self, engine):
+        profiles = engine.hourly_distribution_by_contributor("A0001")
+        assert set(profiles) == {"p1", "p2"}
+        assert sum(profiles["p1"]) == pytest.approx(1.0)
+
+
+class TestActivityAndDelays:
+    def test_activity_distribution(self, engine):
+        distribution = engine.activity_distribution()
+        assert distribution["still"] == pytest.approx(0.6)
+        assert distribution["foot"] == pytest.approx(0.2)
+
+    def test_delays_all(self, engine):
+        delays = engine.transmission_delays()
+        assert len(delays) == 5
+        assert max(delays) == 8000.0
+
+    def test_delays_by_version(self, engine):
+        v13 = engine.transmission_delays(app_version="1.3")
+        assert sorted(v13) == [30.0, 3600.0]

@@ -1,0 +1,115 @@
+"""REST router and auth-middleware tests."""
+
+import pytest
+
+from repro.core.accounts import Role
+from repro.core.api import GoFlowAPI, Request, Response
+from repro.core.auth import TokenService
+from repro.core.errors import NotFoundError, ValidationError
+
+
+@pytest.fixture
+def api():
+    tokens = TokenService(clock=lambda: 0.0)
+    api = GoFlowAPI(tokens)
+    return api, tokens
+
+
+class TestRouting:
+    def test_static_route(self, api):
+        router, _ = api
+        router.route("GET", "/health", lambda r, p, _: {"ok": True})
+        response = router.dispatch(Request("GET", "/health"))
+        assert response.status == 200
+        assert response.body == {"ok": True}
+
+    def test_path_parameters_extracted(self, api):
+        router, _ = api
+        router.route(
+            "GET", "/apps/{app_id}/users/{user_id}", lambda r, p, _: p
+        )
+        response = router.dispatch(Request("GET", "/apps/SC/users/alice"))
+        assert response.body == {"app_id": "SC", "user_id": "alice"}
+
+    def test_unknown_path_404(self, api):
+        router, _ = api
+        assert router.dispatch(Request("GET", "/nope")).status == 404
+
+    def test_wrong_method_405(self, api):
+        router, _ = api
+        router.route("GET", "/thing", lambda r, p, _: {})
+        assert router.dispatch(Request("POST", "/thing")).status == 405
+
+    def test_handler_response_passthrough(self, api):
+        router, _ = api
+        router.route("GET", "/teapot", lambda r, p, _: Response(status=418))
+        assert router.dispatch(Request("GET", "/teapot")).status == 418
+
+    def test_bad_template_rejected(self, api):
+        router, _ = api
+        with pytest.raises(ValidationError):
+            router.route("GET", "no-slash", lambda r, p, _: {})
+        with pytest.raises(ValidationError):
+            router.route("PATCH", "/x", lambda r, p, _: {})
+
+    def test_routes_listing(self, api):
+        router, _ = api
+        router.route("GET", "/a", lambda r, p, _: {})
+        router.route("POST", "/b", lambda r, p, _: {})
+        assert ("GET", "/a") in router.routes()
+
+
+class TestAuthMiddleware:
+    def test_protected_route_requires_token(self, api):
+        router, _ = api
+        router.route("GET", "/secret", lambda r, p, _: {}, min_role=Role.CONTRIBUTOR)
+        assert router.dispatch(Request("GET", "/secret")).status == 401
+
+    def test_valid_token_passes(self, api):
+        router, tokens = api
+        router.route(
+            "GET", "/secret", lambda r, p, pr: {"who": pr.user_id},
+            min_role=Role.CONTRIBUTOR,
+        )
+        token = tokens.issue("SC", "alice", Role.CONTRIBUTOR)
+        response = router.dispatch(Request("GET", "/secret", token=token))
+        assert response.status == 200
+        assert response.body == {"who": "alice"}
+
+    def test_insufficient_role_403(self, api):
+        router, tokens = api
+        router.route("GET", "/admin", lambda r, p, _: {}, min_role=Role.ADMIN)
+        token = tokens.issue("SC", "alice", Role.CONTRIBUTOR)
+        assert router.dispatch(Request("GET", "/admin", token=token)).status == 403
+
+    def test_higher_role_passes(self, api):
+        router, tokens = api
+        router.route("GET", "/m", lambda r, p, _: {}, min_role=Role.MANAGER)
+        token = tokens.issue("SC", "root", Role.ADMIN)
+        assert router.dispatch(Request("GET", "/m", token=token)).status == 200
+
+
+class TestErrorMapping:
+    def test_not_found_maps_404(self, api):
+        router, _ = api
+
+        def handler(r, p, _):
+            raise NotFoundError("missing")
+
+        router.route("GET", "/x", handler)
+        response = router.dispatch(Request("GET", "/x"))
+        assert response.status == 404
+        assert "missing" in response.body["error"]
+
+    def test_validation_maps_400(self, api):
+        router, _ = api
+
+        def handler(r, p, _):
+            raise ValidationError("bad input")
+
+        router.route("POST", "/x", handler)
+        assert router.dispatch(Request("POST", "/x")).status == 400
+
+    def test_ok_property(self):
+        assert Response(status=204).ok
+        assert not Response(status=404).ok

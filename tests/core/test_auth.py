@@ -1,0 +1,65 @@
+"""Token-service tests."""
+
+import pytest
+
+from repro.core.accounts import Role
+from repro.core.auth import TokenService
+from repro.core.errors import AuthenticationError, ValidationError
+
+
+class TestTokens:
+    def test_issue_and_validate(self):
+        service = TokenService(clock=lambda: 0.0)
+        token = service.issue("SC", "alice", Role.CONTRIBUTOR)
+        principal = service.validate(token)
+        assert principal.user_id == "alice"
+        assert principal.app_id == "SC"
+        assert principal.role is Role.CONTRIBUTOR
+
+    def test_tokens_unique(self):
+        service = TokenService(clock=lambda: 0.0)
+        a = service.issue("SC", "alice", Role.CONTRIBUTOR)
+        b = service.issue("SC", "alice", Role.CONTRIBUTOR)
+        assert a != b
+
+    def test_missing_token_rejected(self):
+        service = TokenService(clock=lambda: 0.0)
+        with pytest.raises(AuthenticationError):
+            service.validate(None)
+        with pytest.raises(AuthenticationError):
+            service.validate("")
+
+    def test_unknown_token_rejected(self):
+        service = TokenService(clock=lambda: 0.0)
+        with pytest.raises(AuthenticationError):
+            service.validate("forged")
+
+    def test_expiry(self):
+        now = [0.0]
+        service = TokenService(clock=lambda: now[0], ttl_s=100.0)
+        token = service.issue("SC", "alice", Role.CONTRIBUTOR)
+        now[0] = 99.0
+        service.validate(token)
+        now[0] = 101.0
+        with pytest.raises(AuthenticationError):
+            service.validate(token)
+
+    def test_revoke(self):
+        service = TokenService(clock=lambda: 0.0)
+        token = service.issue("SC", "alice", Role.ADMIN)
+        service.revoke(token)
+        with pytest.raises(AuthenticationError):
+            service.validate(token)
+
+    def test_active_count(self):
+        now = [0.0]
+        service = TokenService(clock=lambda: now[0], ttl_s=50.0)
+        service.issue("SC", "a", Role.CONTRIBUTOR)
+        service.issue("SC", "b", Role.CONTRIBUTOR)
+        assert service.active_count() == 2
+        now[0] = 60.0
+        assert service.active_count() == 0
+
+    def test_bad_ttl_rejected(self):
+        with pytest.raises(ValidationError):
+            TokenService(clock=lambda: 0.0, ttl_s=0.0)

@@ -1,0 +1,154 @@
+"""Channel-management tests against the Figure 3 topology."""
+
+import pytest
+
+from repro.broker import Broker
+from repro.core.channels import GOFLOW_QUEUE, ChannelManager
+from repro.core.errors import NotFoundError, ValidationError
+
+
+@pytest.fixture
+def setup():
+    broker = Broker()
+    channels = ChannelManager(broker)
+    channels.register_app("SC")
+    return broker, channels
+
+
+class TestTopologyCreation:
+    def test_gf_infrastructure_exists(self, setup):
+        broker, _ = setup
+        assert broker.has_exchange("GF")
+        assert broker.has_queue(GOFLOW_QUEUE)
+
+    def test_app_exchange_created_and_bound(self, setup):
+        broker, channels = setup
+        assert broker.has_exchange("APP.SC")
+        # publishing into the app exchange must reach the GF queue
+        conn = broker.connect().channel()
+        conn.basic_publish("APP.SC", "Z1-1.NoiseObservation", {"v": 1})
+        assert broker.get_queue(GOFLOW_QUEUE).ready_count == 1
+
+    def test_register_app_idempotent(self, setup):
+        _, channels = setup
+        assert channels.register_app("SC") == "APP.SC"
+
+    def test_client_login_creates_pair(self, setup):
+        broker, channels = setup
+        client = channels.client_login("SC", "mob1")
+        assert broker.has_exchange(client.exchange)
+        assert broker.has_queue(client.queue)
+        assert channels.is_logged_in("mob1")
+
+    def test_login_idempotent(self, setup):
+        _, channels = setup
+        first = channels.client_login("SC", "mob1")
+        second = channels.client_login("SC", "mob1")
+        assert first == second
+
+    def test_login_unknown_app_rejected(self, setup):
+        _, channels = setup
+        with pytest.raises(NotFoundError):
+            channels.client_login("ghost", "mob1")
+
+    def test_client_publish_reaches_gf(self, setup):
+        broker, channels = setup
+        client = channels.client_login("SC", "mob1")
+        conn = broker.connect().channel()
+        conn.basic_publish(client.exchange, "Z0-0.NoiseObservation", {"db": 60})
+        assert broker.get_queue(GOFLOW_QUEUE).ready_count == 1
+
+
+class TestSubscriptions:
+    def test_figure3_scenario(self, setup):
+        """mob1 subscribes to feedback at FR75013; mob2 publishes there."""
+        broker, channels = setup
+        mob1 = channels.client_login("SC", "mob1")
+        mob2 = channels.client_login("SC", "mob2")
+        channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        publisher = broker.connect().channel()
+        publisher.basic_publish(mob2.exchange, "FR75013.Feedback", {"text": "loud!"})
+        assert broker.get_queue(mob1.queue).ready_count == 1
+        # ... and GF still stores everything
+        assert broker.get_queue(GOFLOW_QUEUE).ready_count == 1
+
+    def test_subscription_filters_by_location(self, setup):
+        broker, channels = setup
+        mob1 = channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        publisher = broker.connect().channel()
+        publisher.basic_publish("APP.SC", "FR92120.Feedback", {})
+        assert broker.get_queue(mob1.queue).ready_count == 0
+
+    def test_subscription_filters_by_datatype(self, setup):
+        broker, channels = setup
+        mob1 = channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        publisher = broker.connect().channel()
+        publisher.basic_publish("APP.SC", "FR75013.Journey", {})
+        assert broker.get_queue(mob1.queue).ready_count == 0
+
+    def test_two_subscriptions_one_queue(self, setup):
+        broker, channels = setup
+        mob1 = channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        channels.subscribe("SC", "mob1", "FR92120", "Journey")
+        publisher = broker.connect().channel()
+        publisher.basic_publish("APP.SC", "FR75013.Feedback", {})
+        publisher.basic_publish("APP.SC", "FR92120.Journey", {})
+        assert broker.get_queue(mob1.queue).ready_count == 2
+        assert set(channels.subscriptions_of("mob1")) == {
+            ("FR75013", "Feedback"),
+            ("FR92120", "Journey"),
+        }
+
+    def test_unsubscribe(self, setup):
+        broker, channels = setup
+        mob1 = channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        channels.unsubscribe("SC", "mob1", "FR75013", "Feedback")
+        publisher = broker.connect().channel()
+        publisher.basic_publish("APP.SC", "FR75013.Feedback", {})
+        assert broker.get_queue(mob1.queue).ready_count == 0
+
+    def test_unsubscribe_unknown_rejected(self, setup):
+        _, channels = setup
+        channels.client_login("SC", "mob1")
+        with pytest.raises(NotFoundError):
+            channels.unsubscribe("SC", "mob1", "FR75013", "Feedback")
+
+    def test_subscribe_requires_login(self, setup):
+        _, channels = setup
+        with pytest.raises(NotFoundError):
+            channels.subscribe("SC", "ghost", "FR75013", "Feedback")
+
+    def test_subscribe_wrong_app_rejected(self, setup):
+        _, channels = setup
+        channels.register_app("Air")
+        channels.client_login("SC", "mob1")
+        with pytest.raises(ValidationError):
+            channels.subscribe("Air", "mob1", "FR75013", "Feedback")
+
+
+class TestLogout:
+    def test_logout_tears_down(self, setup):
+        broker, channels = setup
+        client = channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        channels.client_logout("mob1")
+        assert not channels.is_logged_in("mob1")
+        assert not broker.has_queue(client.queue)
+        assert not broker.has_exchange(client.exchange)
+
+    def test_logout_unknown_rejected(self, setup):
+        _, channels = setup
+        with pytest.raises(NotFoundError):
+            channels.client_logout("ghost")
+
+    def test_client_count(self, setup):
+        _, channels = setup
+        channels.client_login("SC", "a")
+        channels.client_login("SC", "b")
+        assert channels.client_count() == 2
+        channels.client_logout("a")
+        assert channels.client_count() == 1

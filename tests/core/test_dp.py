@@ -1,0 +1,153 @@
+"""Differential-privacy aggregation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import DpAggregator, PrivacyBudget, laplace_noise
+from repro.core.errors import ValidationError
+from repro.docstore.store import DocumentStore
+
+
+def _store(zone_counts):
+    """zone_counts: {(zx, zy): [levels]} with 1 km zones."""
+    store = DocumentStore()
+    observations = store.collection("observations")
+    for (zx, zy), levels in zone_counts.items():
+        for i, level in enumerate(levels):
+            observations.insert_one(
+                {
+                    "contributor": f"p{zx}{zy}{i}",
+                    "taken_at": float(i),
+                    "noise_dba": level,
+                    "location": {
+                        "x_m": zx * 1000.0 + 100.0,
+                        "y_m": zy * 1000.0 + 100.0,
+                    },
+                }
+            )
+    return store
+
+
+class TestPrivacyBudget:
+    def test_charge_accumulates(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.4)
+        budget.charge(0.4)
+        assert budget.spent == pytest.approx(0.8)
+        assert budget.remaining == pytest.approx(0.2)
+
+    def test_overdraw_rejected(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.8)
+        with pytest.raises(ValidationError):
+            budget.charge(0.3)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ValidationError):
+            PrivacyBudget(1.0).charge(-0.1)
+
+
+class TestLaplaceNoise:
+    def test_scale_controls_spread(self):
+        rng = np.random.default_rng(0)
+        tight = [laplace_noise(rng, 0.5) for _ in range(4000)]
+        wide = [laplace_noise(rng, 5.0) for _ in range(4000)]
+        assert np.std(wide) > 5 * np.std(tight)
+
+    def test_zero_mean(self):
+        rng = np.random.default_rng(1)
+        draws = [laplace_noise(rng, 1.0) for _ in range(8000)]
+        assert abs(np.mean(draws)) < 0.1
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            laplace_noise(np.random.default_rng(0), 0.0)
+
+
+class TestZoneCounts:
+    def test_counts_near_truth_for_generous_epsilon(self):
+        store = _store({(0, 0): [50.0] * 100, (1, 1): [60.0] * 30})
+        aggregator = DpAggregator(
+            store, PrivacyBudget(10.0), rng=np.random.default_rng(2)
+        )
+        release = aggregator.zone_counts(epsilon=5.0)
+        assert release.values["Z0-0"] == pytest.approx(100.0, abs=3.0)
+        assert release.values["Z1-1"] == pytest.approx(30.0, abs=3.0)
+
+    def test_counts_never_negative(self):
+        store = _store({(0, 0): [50.0]})
+        aggregator = DpAggregator(
+            store, PrivacyBudget(100.0), rng=np.random.default_rng(3)
+        )
+        for _ in range(30):
+            release = aggregator.zone_counts(epsilon=0.05)
+            assert all(value >= 0.0 for value in release.values.values())
+
+    def test_budget_charged(self):
+        store = _store({(0, 0): [50.0]})
+        budget = PrivacyBudget(1.0)
+        aggregator = DpAggregator(store, budget, rng=np.random.default_rng(4))
+        aggregator.zone_counts(epsilon=0.6)
+        assert budget.spent == pytest.approx(0.6)
+        with pytest.raises(ValidationError):
+            aggregator.zone_counts(epsilon=0.6)
+
+    def test_noise_grows_as_epsilon_shrinks(self):
+        store = _store({(0, 0): [50.0] * 50})
+        errors = {}
+        for epsilon in (0.05, 5.0):
+            draws = []
+            for seed in range(40):
+                aggregator = DpAggregator(
+                    store, PrivacyBudget(1000.0), rng=np.random.default_rng(seed)
+                )
+                release = aggregator.zone_counts(epsilon=epsilon)
+                draws.append(abs(release.values["Z0-0"] - 50.0))
+            errors[epsilon] = np.mean(draws)
+        assert errors[0.05] > 5 * errors[5.0]
+
+
+class TestZoneMeans:
+    def test_means_near_truth_for_generous_epsilon(self):
+        store = _store({(0, 0): [55.0] * 200, (1, 1): [70.0] * 200})
+        aggregator = DpAggregator(
+            store, PrivacyBudget(10.0), rng=np.random.default_rng(5)
+        )
+        release = aggregator.zone_mean_levels(epsilon=5.0)
+        assert release.values["Z0-0"] == pytest.approx(55.0, abs=2.0)
+        assert release.values["Z1-1"] == pytest.approx(70.0, abs=2.0)
+
+    def test_sparse_zones_suppressed_sometimes(self):
+        """A one-observation zone must not be reliably publishable."""
+        store = _store({(0, 0): [55.0]})
+        suppressed = 0
+        for seed in range(40):
+            aggregator = DpAggregator(
+                store, PrivacyBudget(1000.0), rng=np.random.default_rng(seed)
+            )
+            release = aggregator.zone_mean_levels(epsilon=0.2)
+            if "Z0-0" not in release.values:
+                suppressed += 1
+        assert suppressed > 5
+
+    def test_released_means_respect_bounds(self):
+        store = _store({(0, 0): [55.0] * 3})
+        for seed in range(30):
+            aggregator = DpAggregator(
+                store,
+                PrivacyBudget(1000.0),
+                rng=np.random.default_rng(seed),
+                level_bounds_db=(20.0, 100.0),
+            )
+            release = aggregator.zone_mean_levels(epsilon=0.5)
+            for value in release.values.values():
+                assert 20.0 <= value <= 100.0
+
+    def test_bad_configuration_rejected(self):
+        store = _store({(0, 0): [55.0]})
+        with pytest.raises(ValidationError):
+            DpAggregator(store, PrivacyBudget(1.0), zone_m=0.0)
+        with pytest.raises(ValidationError):
+            DpAggregator(store, PrivacyBudget(1.0), level_bounds_db=(50.0, 40.0))

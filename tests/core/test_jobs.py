@@ -1,0 +1,132 @@
+"""Background-job tests."""
+
+import pytest
+
+from repro.core.errors import NotFoundError, ValidationError
+from repro.core.jobs import JobManager, JobStatus
+from repro.docstore.store import DocumentStore
+
+
+@pytest.fixture
+def setup():
+    store = DocumentStore()
+    store["observations"].insert_many(
+        [{"noise_dba": 40.0}, {"noise_dba": 60.0}, {"noise_dba": 80.0}]
+    )
+    manager = JobManager(store, clock=lambda: 0.0)
+    manager.register_script(
+        "mean-noise",
+        lambda s, params: sum(
+            d["noise_dba"] for d in s["observations"].find()
+        ) / s["observations"].count(),
+    )
+
+    def failing(store_, params):
+        raise RuntimeError("boom")
+
+    manager.register_script("explode", failing)
+    manager.register_script(
+        "threshold-count",
+        lambda s, params: s["observations"].count(
+            {"noise_dba": {"$gte": params["threshold"]}}
+        ),
+    )
+    return store, manager
+
+
+class TestScripts:
+    def test_register_and_list(self, setup):
+        _, manager = setup
+        assert manager.script_names() == ["explode", "mean-noise", "threshold-count"]
+
+    def test_duplicate_script_rejected(self, setup):
+        _, manager = setup
+        with pytest.raises(ValidationError):
+            manager.register_script("mean-noise", lambda s, p: None)
+
+    def test_empty_name_rejected(self, setup):
+        _, manager = setup
+        with pytest.raises(ValidationError):
+            manager.register_script("", lambda s, p: None)
+
+
+class TestLifecycle:
+    def test_submit_then_run(self, setup):
+        _, manager = setup
+        job = manager.submit("SC", "mean-noise", submitted_by="boss")
+        assert job.status is JobStatus.PENDING
+        finished = manager.run(job.job_id)
+        assert finished.status is JobStatus.DONE
+        assert finished.result == pytest.approx(60.0)
+
+    def test_job_with_params(self, setup):
+        _, manager = setup
+        job = manager.submit("SC", "threshold-count", params={"threshold": 50.0})
+        assert manager.run(job.job_id).result == 2
+
+    def test_failure_recorded(self, setup):
+        _, manager = setup
+        job = manager.submit("SC", "explode")
+        finished = manager.run(job.job_id)
+        assert finished.status is JobStatus.FAILED
+        assert "boom" in finished.error
+
+    def test_run_twice_rejected(self, setup):
+        _, manager = setup
+        job = manager.submit("SC", "mean-noise")
+        manager.run(job.job_id)
+        with pytest.raises(ValidationError):
+            manager.run(job.job_id)
+
+    def test_cancel_pending(self, setup):
+        _, manager = setup
+        job = manager.submit("SC", "mean-noise")
+        manager.cancel(job.job_id)
+        assert manager.get(job.job_id).status is JobStatus.CANCELLED
+
+    def test_cancel_done_rejected(self, setup):
+        _, manager = setup
+        job = manager.submit("SC", "mean-noise")
+        manager.run(job.job_id)
+        with pytest.raises(ValidationError):
+            manager.cancel(job.job_id)
+
+    def test_unknown_script_rejected(self, setup):
+        _, manager = setup
+        with pytest.raises(NotFoundError):
+            manager.submit("SC", "ghost")
+
+    def test_unknown_job_rejected(self, setup):
+        _, manager = setup
+        with pytest.raises(NotFoundError):
+            manager.get(999)
+
+    def test_run_pending_runs_all_in_order(self, setup):
+        _, manager = setup
+        manager.submit("SC", "mean-noise")
+        manager.submit("SC", "explode")
+        results = manager.run_pending()
+        assert [j.status for j in results] == [JobStatus.DONE, JobStatus.FAILED]
+
+    def test_jobs_for_app(self, setup):
+        _, manager = setup
+        manager.submit("SC", "mean-noise")
+        manager.submit("Other", "mean-noise")
+        assert len(manager.jobs_for_app("SC")) == 1
+
+
+class TestJournal:
+    def test_journal_tracks_status(self, setup):
+        store, manager = setup
+        job = manager.submit("SC", "mean-noise", submitted_by="boss")
+        manager.run(job.job_id)
+        entry = store["jobs"].find_one({"job_id": job.job_id})
+        assert entry["status"] == "done"
+        assert entry["submitted_by"] == "boss"
+
+    def test_journal_records_error(self, setup):
+        store, manager = setup
+        job = manager.submit("SC", "explode")
+        manager.run(job.job_id)
+        entry = store["jobs"].find_one({"job_id": job.job_id})
+        assert "boom" in entry["error"]

@@ -1,0 +1,92 @@
+"""CNIL privacy-policy tests."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.privacy import PrivacyPolicy
+
+
+@pytest.fixture
+def policy():
+    return PrivacyPolicy(salt="test-salt")
+
+
+class TestPseudonymization:
+    def test_stable_for_same_user(self, policy):
+        assert policy.pseudonym("alice") == policy.pseudonym("alice")
+
+    def test_distinct_for_distinct_users(self, policy):
+        assert policy.pseudonym("alice") != policy.pseudonym("bob")
+
+    def test_salt_changes_pseudonyms(self):
+        a = PrivacyPolicy(salt="one").pseudonym("alice")
+        b = PrivacyPolicy(salt="two").pseudonym("alice")
+        assert a != b
+
+    def test_pseudonym_does_not_leak_user_id(self, policy):
+        assert "alice" not in policy.pseudonym("alice")
+
+    def test_empty_user_rejected(self, policy):
+        with pytest.raises(ValidationError):
+            policy.pseudonym("")
+
+    def test_ingest_replaces_user_id(self, policy):
+        doc = {"user_id": "alice", "noise_dba": 50.0}
+        stored = policy.anonymize_ingest(doc)
+        assert "user_id" not in stored
+        assert stored["contributor"] == policy.pseudonym("alice")
+        assert doc["user_id"] == "alice"  # input untouched
+
+    def test_ingest_without_user_id(self, policy):
+        assert "contributor" not in policy.anonymize_ingest({"x": 1})
+
+
+class TestPrivateFields:
+    def test_sharing_strips_declared_fields(self, policy):
+        policy.set_private_fields("SC", ["activity", "location.accuracy_m"])
+        doc = {
+            "activity": {"label": "still"},
+            "location": {"accuracy_m": 30.0, "x_m": 1.0},
+            "noise_dba": 55.0,
+        }
+        shared = policy.for_sharing("SC", doc)
+        assert "activity" not in shared
+        assert "accuracy_m" not in shared["location"]
+        assert shared["location"]["x_m"] == 1.0
+        assert doc["activity"] == {"label": "still"}  # input untouched
+
+    def test_undeclared_app_shares_everything(self, policy):
+        doc = {"a": 1}
+        assert policy.for_sharing("other", doc) == doc
+
+    def test_missing_private_field_is_ignored(self, policy):
+        policy.set_private_fields("SC", ["ghost.field"])
+        assert policy.for_sharing("SC", {"a": 1}) == {"a": 1}
+
+
+class TestOpenData:
+    def test_contributor_dropped(self, policy):
+        doc = {"contributor": "p123", "noise_dba": 50.0, "taken_at": 3725.0}
+        exported = policy.for_open_data("SC", doc)
+        assert "contributor" not in exported
+
+    def test_position_coarsened(self, policy):
+        doc = {"location": {"x_m": 1234.0, "y_m": 987.0}}
+        exported = policy.for_open_data("SC", doc)
+        assert exported["location"]["x_m"] == 1000.0
+        assert exported["location"]["y_m"] == 500.0
+
+    def test_timestamps_coarsened(self, policy):
+        doc = {"taken_at": 3725.0, "received_at": 7400.0}
+        exported = policy.for_open_data("SC", doc)
+        assert exported["taken_at"] == 3600.0
+        assert exported["received_at"] == 7200.0
+
+    def test_internal_id_dropped(self, policy):
+        assert "_id" not in policy.for_open_data("SC", {"_id": 9})
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyPolicy(salt="")
+        with pytest.raises(ValidationError):
+            PrivacyPolicy(coarse_grid_m=0.0)

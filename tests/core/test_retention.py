@@ -1,0 +1,122 @@
+"""Retention-policy tests."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.jobs import JobManager, JobStatus
+from repro.core.retention import RetentionEnforcer, RetentionPolicy
+from repro.docstore.store import DocumentStore
+from repro.noise.spl import leq
+
+DAY = 86400.0
+
+
+def _store_with(docs):
+    store = DocumentStore()
+    store.collection("observations").insert_many(docs)
+    return store
+
+
+def _obs(contributor, taken_at, dba=60.0, x=None):
+    doc = {"contributor": contributor, "taken_at": taken_at, "noise_dba": dba}
+    if x is not None:
+        doc["location"] = {"x_m": x, "y_m": 0.0}
+    return doc
+
+
+class TestExpireRaw:
+    def test_old_documents_deleted(self):
+        now = 400 * DAY
+        store = _store_with(
+            [
+                _obs("p1", 10 * DAY),  # far past retention (180 d)
+                _obs("p1", 399 * DAY),  # fresh
+            ]
+        )
+        enforcer = RetentionEnforcer(store, clock=lambda: now)
+        result = enforcer.expire_raw()
+        assert result["deleted"] == 1
+        assert store["observations"].count() == 1
+
+    def test_aggregates_preserve_statistics(self):
+        now = 400 * DAY
+        store = _store_with(
+            [
+                _obs("p1", 10 * DAY + 100, dba=55.0, x=500.0),
+                _obs("p2", 10 * DAY + 200, dba=65.0, x=600.0),
+            ]
+        )
+        enforcer = RetentionEnforcer(store, clock=lambda: now)
+        enforcer.expire_raw()
+        aggregate = store["observation_aggregates"].find_one(
+            {"zone": "Z0-0", "day": 10}
+        )
+        assert aggregate["count"] == 2
+        assert aggregate["leq_dba"] == pytest.approx(leq([55.0, 65.0]), abs=0.01)
+        # no personal dimension survives
+        assert "contributor" not in aggregate
+
+    def test_aggregation_merges_incrementally(self):
+        store = _store_with([_obs("p1", 10 * DAY, dba=60.0, x=100.0)])
+        enforcer = RetentionEnforcer(store, clock=lambda: 300 * DAY)
+        enforcer.expire_raw()
+        store["observations"].insert_one(_obs("p2", 10 * DAY + 1, dba=60.0, x=100.0))
+        enforcer.expire_raw()
+        aggregate = store["observation_aggregates"].find_one({"day": 10})
+        assert aggregate["count"] == 2
+        assert aggregate["leq_dba"] == pytest.approx(60.0, abs=0.01)
+
+    def test_aggregation_can_be_disabled(self):
+        store = _store_with([_obs("p1", 0.0)])
+        policy = RetentionPolicy(aggregate_before_delete=False)
+        enforcer = RetentionEnforcer(store, policy=policy, clock=lambda: 400 * DAY)
+        enforcer.expire_raw()
+        assert store["observation_aggregates"].count() == 0
+
+
+class TestForgetInactive:
+    def test_inactive_contributor_forgotten(self):
+        now = 800 * DAY
+        store = _store_with(
+            [
+                _obs("ghost", 100 * DAY),
+                _obs("ghost", 200 * DAY),
+                _obs("active", 790 * DAY),
+            ]
+        )
+        policy = RetentionPolicy(raw_retention_days=10_000.0)
+        enforcer = RetentionEnforcer(store, policy=policy, clock=lambda: now)
+        result = enforcer.forget_inactive()
+        assert result["forgotten_contributors"] == 1
+        assert result["deleted"] == 2
+        remaining = store["observations"].distinct("contributor")
+        assert remaining == ["active"]
+
+    def test_recent_activity_protects_old_data(self):
+        now = 800 * DAY
+        store = _store_with(
+            [
+                _obs("steady", 100 * DAY),
+                _obs("steady", 795 * DAY),
+            ]
+        )
+        policy = RetentionPolicy(raw_retention_days=10_000.0)
+        enforcer = RetentionEnforcer(store, policy=policy, clock=lambda: now)
+        assert enforcer.forget_inactive()["forgotten_contributors"] == 0
+        assert store["observations"].count() == 2
+
+
+class TestJobsIntegration:
+    def test_runs_as_background_job(self):
+        store = _store_with([_obs("p1", 0.0)])
+        enforcer = RetentionEnforcer(store, clock=lambda: 400 * DAY)
+        jobs = JobManager(store, clock=lambda: 400 * DAY)
+        enforcer.register_job(jobs)
+        job = jobs.submit("SC", "retention", submitted_by="dpo")
+        finished = jobs.run(job.job_id)
+        assert finished.status is JobStatus.DONE
+        assert finished.result["deleted"] == 1
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            RetentionPolicy(raw_retention_days=0.0)

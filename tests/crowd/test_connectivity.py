@@ -1,0 +1,95 @@
+"""Connectivity model tests."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.connectivity import ConnectivityModel, ConnectivityParams
+from repro.devices.battery import NetworkKind
+from repro.errors import ConfigurationError
+
+
+def _model(seed=0, **kwargs):
+    params = ConnectivityParams(**kwargs) if kwargs else None
+    return ConnectivityModel(np.random.default_rng(seed), params=params)
+
+
+class TestSessions:
+    def test_online_and_offline_alternate(self):
+        model = _model(seed=1, always_on_share=0.0)
+        states = [model.is_online(float(t)) for t in range(0, 200_000, 500)]
+        assert any(states) and not all(states)
+
+    def test_transport_only_when_online(self):
+        model = _model(seed=2, always_on_share=0.0)
+        for t in range(0, 100_000, 777):
+            if model.is_online(float(t)):
+                assert model.transport(float(t)) in (
+                    NetworkKind.WIFI,
+                    NetworkKind.CELL_3G,
+                )
+            else:
+                assert model.transport(float(t)) is None
+
+    def test_next_online_at_is_online(self):
+        model = _model(seed=3, always_on_share=0.0)
+        for t in (100.0, 5000.0, 90_000.0):
+            online_at = model.next_online_at(t)
+            assert online_at >= t
+            assert model.is_online(online_at)
+
+    def test_always_on_user(self):
+        model = _model(seed=4, always_on_share=1.0)
+        assert model.always_on
+        assert all(model.is_online(float(t)) for t in range(0, 50_000, 1000))
+        assert model.next_online_at(123.0) == 123.0
+
+    def test_queries_are_deterministic(self):
+        model = _model(seed=5, always_on_share=0.0)
+        first = model.is_online(40_000.0)
+        # earlier queries must not change later answers
+        model.is_online(10.0)
+        assert model.is_online(40_000.0) == first
+
+
+class TestOnlineFraction:
+    def test_fraction_in_unit_interval(self):
+        model = _model(seed=6, always_on_share=0.0)
+        fraction = model.online_fraction(0.0, 5 * 86400.0)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_heavier_offline_lowers_fraction(self):
+        connected = _model(seed=7, offline_median_s=600.0, always_on_share=0.0)
+        disconnected = _model(seed=7, offline_median_s=20_000.0, always_on_share=0.0)
+        horizon = 10 * 86400.0
+        assert connected.online_fraction(0.0, horizon) > disconnected.online_fraction(
+            0.0, horizon
+        )
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _model().online_fraction(10.0, 10.0)
+
+
+class TestHeavyTail:
+    def test_multi_hour_gaps_exist(self):
+        """Figure 17 needs >2 h disconnections to be common."""
+        model = _model(seed=8, always_on_share=0.0)
+        model.is_online(30 * 86400.0)  # force generation
+        gaps = [
+            s.end - s.start
+            for s in model._sessions
+            if not s.online
+        ]
+        assert max(gaps) > 2 * 3600.0
+        over_2h = np.mean([g > 7200.0 for g in gaps])
+        assert over_2h > 0.2
+
+
+class TestParams:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConnectivityParams(online_mean_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ConnectivityParams(wifi_share=1.5)
+        with pytest.raises(ConfigurationError):
+            ConnectivityParams(always_on_share=-0.1)

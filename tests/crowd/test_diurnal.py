@@ -1,0 +1,80 @@
+"""Diurnal profile tests against Figures 18-19."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.diurnal import DiurnalProfile, population_hourly_distribution
+from repro.errors import ConfigurationError
+
+
+class TestProfile:
+    def test_sample_bounds(self):
+        rng = np.random.default_rng(0)
+        profile = DiurnalProfile.sample(rng)
+        assert profile.hourly.shape == (24,)
+        assert np.all(profile.hourly >= 0.0)
+        assert np.all(profile.hourly <= 1.0)
+
+    def test_availability_by_hour(self):
+        profile = DiurnalProfile(hourly=np.linspace(0, 0.92, 24))
+        assert profile.availability(0.5) == 0.0
+        assert profile.availability(23.9) == pytest.approx(0.92)
+        assert profile.availability(25.0) == profile.availability(1.0)
+
+    def test_normalized_sums_to_one(self):
+        rng = np.random.default_rng(1)
+        profile = DiurnalProfile.sample(rng)
+        assert profile.normalized().sum() == pytest.approx(1.0)
+
+    def test_intensity_scales_availability(self):
+        rng_a = np.random.default_rng(2)
+        rng_b = np.random.default_rng(2)
+        full = DiurnalProfile.sample(rng_a, intensity=1.0)
+        half = DiurnalProfile.sample(rng_b, intensity=0.5)
+        assert half.expected_daily_share < full.expected_daily_share
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(hourly=np.zeros(23))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(hourly=np.full(24, 1.5))
+
+    def test_zero_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile.sample(np.random.default_rng(0), intensity=0.0)
+
+
+class TestPopulationAggregate:
+    def test_aggregate_peaks_in_daytime(self):
+        """Figure 18: highest participation from 10 AM to 9 PM."""
+        rng = np.random.default_rng(3)
+        profiles = [DiurnalProfile.sample(rng) for _ in range(300)]
+        aggregate = population_hourly_distribution(profiles)
+        assert aggregate.sum() == pytest.approx(1.0)
+        daytime = aggregate[10:21].sum()
+        night = aggregate[0:6].sum()
+        assert daytime > 0.55
+        assert night < 0.12
+
+    def test_individuals_diverge(self):
+        """Figure 19: 'quite large diversity' across users."""
+        rng = np.random.default_rng(4)
+        profiles = [DiurnalProfile.sample(rng) for _ in range(30)]
+        normalized = [p.normalized() for p in profiles]
+        distances = [
+            0.5 * np.sum(np.abs(a - b))
+            for i, a in enumerate(normalized)
+            for b in normalized[i + 1 :]
+        ]
+        assert np.mean(distances) > 0.25
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            population_hourly_distribution([])
+
+    def test_all_zero_profiles_rejected(self):
+        zero = DiurnalProfile(hourly=np.zeros(24))
+        with pytest.raises(ConfigurationError):
+            population_hourly_distribution([zero])

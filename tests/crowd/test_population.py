@@ -1,0 +1,88 @@
+"""Population generator tests."""
+
+import pytest
+
+from repro.crowd.population import Population
+from repro.errors import ConfigurationError
+from repro.simulation.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def population():
+    return Population(RngRegistry(seed=5), scale=0.05, campaign_days=10.0)
+
+
+class TestComposition:
+    def test_size_matches_scale(self, population):
+        assert len(population) == round(2091 * 0.05)
+
+    def test_every_model_present(self, population):
+        assert len(population.by_model()) == 20
+
+    def test_model_shares_roughly_figure9(self, population):
+        groups = population.by_model()
+        top = len(groups["GT-I9505"]) / len(population)
+        assert top == pytest.approx(253 / 2091, abs=0.03)
+
+    def test_user_ids_unique(self, population):
+        ids = [u.user_id for u in population.users]
+        assert len(set(ids)) == len(ids)
+
+    def test_intensity_follows_measurements_per_device(self, population):
+        groups = population.by_model()
+        # GT-I9195 owners contribute ~12.6k each vs NEXUS 5 ~6.5k
+        heavy = [u.profile.expected_daily_share for u in groups["GT-I9195"]]
+        light = [u.profile.expected_daily_share for u in groups["NEXUS 5"]]
+        assert sum(heavy) / len(heavy) > sum(light) / len(light)
+
+
+class TestUserAttributes:
+    def test_install_dates_within_campaign(self, population):
+        horizon = 10.0 * 86400.0
+        for user in population.users:
+            assert 0.0 <= user.installed_at_s < horizon
+
+    def test_launch_spike(self, population):
+        horizon = 10.0 * 86400.0
+        early = sum(
+            1 for u in population.users if u.installed_at_s < 0.1 * horizon
+        )
+        assert early / len(population) > 0.3
+
+    def test_anchors_inside_city(self, population):
+        for user in population.users[:50]:
+            x, y = user.mobility.home
+            assert 0.0 <= x <= 10_000.0
+            assert 0.0 <= y <= 10_000.0
+
+    def test_sharing_users_subset(self):
+        population = Population(
+            RngRegistry(seed=6), scale=0.03, share_rate=0.5, campaign_days=5.0
+        )
+        sharing = population.sharing_users()
+        assert 0 < len(sharing) < len(population)
+
+    def test_context_duck_type(self, population):
+        context = population.users[0].context()
+        x, y = context.position()
+        assert isinstance(x, float)
+        assert context.activity() in ("still", "foot", "bicycle", "vehicle", "tilting")
+        assert context.available(12.0) in (True, False)
+
+
+class TestValidation:
+    def test_bad_days_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Population(RngRegistry(seed=1), campaign_days=0.0)
+
+    def test_bad_share_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Population(RngRegistry(seed=1), share_rate=0.0)
+
+    def test_reproducible(self):
+        a = Population(RngRegistry(seed=9), scale=0.01, campaign_days=2.0)
+        b = Population(RngRegistry(seed=9), scale=0.01, campaign_days=2.0)
+        assert [u.installed_at_s for u in a.users] == [
+            u.installed_at_s for u in b.users
+        ]
+        assert [u.model.name for u in a.users] == [u.model.name for u in b.users]

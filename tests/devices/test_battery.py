@@ -1,0 +1,91 @@
+"""Battery model tests."""
+
+import pytest
+
+from repro.devices.battery import Battery, EnergyCosts, NetworkKind
+from repro.errors import ConfigurationError
+
+
+class TestBatteryBasics:
+    def test_starts_at_given_level(self):
+        battery = Battery(10_000.0, level=0.8)
+        assert battery.level == pytest.approx(0.8)
+
+    def test_idle_draw(self):
+        battery = Battery(10_000.0, level=1.0, costs=EnergyCosts(idle_power_w=1.0))
+        battery.idle(1000.0)
+        assert battery.level == pytest.approx(0.9)
+
+    def test_level_floors_at_zero(self):
+        battery = Battery(100.0, level=0.1)
+        battery.idle(100000.0)
+        assert battery.level == 0.0
+        assert battery.depleted
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery(0.0)
+        with pytest.raises(ConfigurationError):
+            Battery(100.0, level=1.5)
+
+    def test_ledger_tracks_components(self):
+        battery = Battery(10_000.0)
+        battery.mic_sample()
+        battery.location_fix("gps")
+        battery.transmit(1, NetworkKind.WIFI)
+        ledger = battery.ledger()
+        assert set(ledger) == {"mic", "loc:gps", "radio:wifi"}
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery(100.0).location_fix("carrier-pigeon")
+
+
+class TestTransmissionCosts:
+    def test_batching_pays_wake_once(self):
+        costs = EnergyCosts()
+        batched = Battery(100_000.0)
+        batched.transmit(10, NetworkKind.WIFI)
+        unbatched = Battery(100_000.0)
+        for _ in range(10):
+            unbatched.transmit(1, NetworkKind.WIFI)
+        assert batched.consumed_j < unbatched.consumed_j
+        saving = unbatched.consumed_j - batched.consumed_j
+        assert saving == pytest.approx(9 * costs.radio_wake_j["wifi"])
+
+    def test_3g_more_expensive_than_wifi(self):
+        wifi = Battery(100_000.0)
+        wifi.transmit(1, NetworkKind.WIFI)
+        cell = Battery(100_000.0)
+        cell.transmit(1, NetworkKind.CELL_3G)
+        assert cell.consumed_j > wifi.consumed_j
+
+    def test_legacy_session_overhead(self):
+        modern = Battery(100_000.0)
+        modern.transmit(1, NetworkKind.WIFI)
+        legacy = Battery(100_000.0)
+        legacy.transmit(1, NetworkKind.WIFI, legacy_session=True)
+        assert legacy.consumed_j > modern.consumed_j
+
+    def test_zero_message_transmit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Battery(100.0).transmit(0, NetworkKind.WIFI)
+
+
+class TestMonotonicity:
+    def test_level_never_increases(self):
+        battery = Battery(10_000.0)
+        levels = [battery.level]
+        for _ in range(20):
+            battery.mic_sample()
+            battery.location_fix("network")
+            battery.transmit(1, NetworkKind.CELL_3G)
+            levels.append(battery.level)
+        assert all(b <= a for a, b in zip(levels, levels[1:]))
+
+    def test_consumed_matches_ledger_sum(self):
+        battery = Battery(10_000.0, level=1.0)
+        battery.mic_sample()
+        battery.idle(10.0)
+        battery.activity_sample()
+        assert battery.consumed_j == pytest.approx(sum(battery.ledger().values()))

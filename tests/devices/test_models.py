@@ -1,0 +1,95 @@
+"""Phone-model and Figure 9 seed-data tests."""
+
+import pytest
+
+from repro.devices.models import (
+    MicrophoneResponse,
+    TOP20_MODELS,
+    TOTAL_DEVICES,
+    TOTAL_LOCALIZED,
+    TOTAL_MEASUREMENTS,
+    derive_mic_response,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFigure9Fidelity:
+    def test_totals_match_paper(self):
+        assert TOTAL_DEVICES == 2_091
+        assert TOTAL_MEASUREMENTS == 23_108_136
+        assert TOTAL_LOCALIZED == 9_556_174
+
+    def test_twenty_models(self):
+        assert len(TOP20_MODELS) == 20
+
+    def test_names_unique(self):
+        names = [m.name for m in TOP20_MODELS]
+        assert len(set(names)) == 20
+
+    def test_top_entry_is_gt_i9505(self):
+        top = TOP20_MODELS[0]
+        assert top.name == "GT-I9505"
+        assert top.devices == 253
+        assert top.measurements == 2_346_755
+        assert top.localized == 1_014_261
+
+    def test_localized_never_exceeds_measurements(self):
+        for model in TOP20_MODELS:
+            assert 0 < model.localized <= model.measurements
+
+    def test_localized_share_around_40_percent_overall(self):
+        assert TOTAL_LOCALIZED / TOTAL_MEASUREMENTS == pytest.approx(0.413, abs=0.01)
+
+    def test_measurements_per_device_varies_across_models(self):
+        ratios = [m.measurements_per_device for m in TOP20_MODELS]
+        assert max(ratios) / min(ratios) > 1.5
+
+    def test_some_models_lack_fused(self):
+        # "few models provide fused data"
+        without = [m for m in TOP20_MODELS if not m.has_fused_provider]
+        assert 0 < len(without) < len(TOP20_MODELS)
+
+
+class TestMicrophoneResponse:
+    def test_apply_linear_in_db(self):
+        response = MicrophoneResponse(gain=1.0, offset_db=5.0)
+        assert response.apply(60.0) == 65.0
+
+    def test_noise_floor_clamps(self):
+        response = MicrophoneResponse(noise_floor_db=30.0)
+        assert response.apply(10.0) == 30.0
+
+    def test_clipping_clamps(self):
+        response = MicrophoneResponse(clip_db=90.0)
+        assert response.apply(120.0) == 90.0
+
+    def test_invert_round_trips(self):
+        response = MicrophoneResponse(gain=1.05, offset_db=-3.0)
+        assert response.invert(response.apply(60.0)) == pytest.approx(60.0)
+
+    def test_invert_zero_gain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicrophoneResponse(gain=0.0).invert(50.0)
+
+    def test_jitter_scales_noise(self):
+        response = MicrophoneResponse(jitter_db=2.0, offset_db=0.0)
+        assert response.apply(60.0, noise=1.0) == 62.0
+
+
+class TestDerivedResponses:
+    def test_deterministic(self):
+        assert derive_mic_response("X") == derive_mic_response("X")
+
+    def test_models_differ(self):
+        offsets = {m.mic.offset_db for m in TOP20_MODELS}
+        assert len(offsets) == 20
+
+    def test_offsets_bounded(self):
+        for model in TOP20_MODELS:
+            assert -8.0 <= model.mic.offset_db <= 8.0
+            assert 0.92 <= model.mic.gain <= 1.08
+
+    def test_offset_spread_is_significant(self):
+        # Figure 14: peaks shift "significantly" across models
+        offsets = [m.mic.offset_db for m in TOP20_MODELS]
+        assert max(offsets) - min(offsets) > 5.0

@@ -1,0 +1,78 @@
+"""DeviceRegistry tests."""
+
+import numpy as np
+import pytest
+
+from repro.devices.models import PhoneModel, derive_mic_response
+from repro.devices.registry import DeviceRegistry
+from repro.errors import ConfigurationError
+
+
+class TestLookup:
+    def test_get_known_model(self):
+        registry = DeviceRegistry()
+        assert registry.get("NEXUS 5").manufacturer == "LGE"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            DeviceRegistry().get("iPhone 6")
+
+    def test_contains_and_len(self):
+        registry = DeviceRegistry()
+        assert "A0001" in registry
+        assert "nope" not in registry
+        assert len(registry) == 20
+
+    def test_names_keep_figure9_order(self):
+        registry = DeviceRegistry()
+        assert registry.names()[0] == "GT-I9505"
+        assert registry.names()[-1] == "GT-P5210"
+
+    def test_duplicate_models_rejected(self):
+        model = PhoneModel(
+            name="X",
+            manufacturer="Y",
+            devices=1,
+            measurements=1,
+            localized=1,
+            mic=derive_mic_response("X"),
+        )
+        with pytest.raises(ConfigurationError):
+            DeviceRegistry([model, model])
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceRegistry([])
+
+
+class TestFleetSampling:
+    def test_shares_sum_to_one(self):
+        registry = DeviceRegistry()
+        assert sum(registry.device_shares().values()) == pytest.approx(1.0)
+        assert sum(registry.measurement_shares().values()) == pytest.approx(1.0)
+
+    def test_scaled_fleet_preserves_total(self):
+        registry = DeviceRegistry()
+        fleet = registry.scaled_fleet(0.1)
+        assert sum(fleet.values()) == round(2091 * 0.1)
+
+    def test_scaled_fleet_keeps_every_model(self):
+        fleet = DeviceRegistry().scaled_fleet(0.01)
+        assert all(count >= 1 for count in fleet.values())
+        assert len(fleet) == 20
+
+    def test_scaled_fleet_roughly_proportional(self):
+        fleet = DeviceRegistry().scaled_fleet(0.5)
+        # GT-I9505 (253 devices) should get about 126
+        assert abs(fleet["GT-I9505"] - 126) <= 2
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceRegistry().scaled_fleet(0.0)
+
+    def test_sample_model_follows_weights(self):
+        registry = DeviceRegistry()
+        rng = np.random.default_rng(0)
+        draws = [registry.sample_model(rng).name for _ in range(2000)]
+        top_share = draws.count("GT-I9505") / len(draws)
+        assert top_share == pytest.approx(253 / 2091, abs=0.03)

@@ -1,0 +1,112 @@
+"""$bucket and $sortByCount stage tests."""
+
+import pytest
+
+from repro.docstore.aggregate import aggregate
+from repro.docstore.errors import QuerySyntaxError
+
+DOCS = [
+    {"accuracy": 4.0, "provider": "gps"},
+    {"accuracy": 12.0, "provider": "gps"},
+    {"accuracy": 15.0, "provider": "gps"},
+    {"accuracy": 33.0, "provider": "network"},
+    {"accuracy": 45.0, "provider": "network"},
+    {"accuracy": 90.0, "provider": "network"},
+    {"accuracy": 700.0, "provider": "fused"},
+]
+
+
+class TestBucket:
+    def test_counts_per_interval(self):
+        out = aggregate(
+            DOCS,
+            [
+                {
+                    "$bucket": {
+                        "groupBy": "$accuracy",
+                        "boundaries": [0, 6, 20, 50, 100],
+                        "default": "coarse",
+                    }
+                }
+            ],
+        )
+        by_id = {row["_id"]: row["count"] for row in out}
+        assert by_id == {0: 1, 6: 2, 20: 2, 50: 1, "coarse": 1}
+
+    def test_custom_output_accumulators(self):
+        out = aggregate(
+            DOCS,
+            [
+                {
+                    "$bucket": {
+                        "groupBy": "$accuracy",
+                        "boundaries": [0, 50, 1000],
+                        "output": {
+                            "n": {"$sum": 1},
+                            "mean": {"$avg": "$accuracy"},
+                            "providers": {"$addToSet": "$provider"},
+                        },
+                    }
+                }
+            ],
+        )
+        first = out[0]
+        assert first["n"] == 5
+        assert first["mean"] == pytest.approx(21.8)
+        assert set(first["providers"]) == {"gps", "network"}
+
+    def test_empty_buckets_omitted(self):
+        out = aggregate(
+            [{"accuracy": 5.0}],
+            [{"$bucket": {"groupBy": "$accuracy", "boundaries": [0, 6, 20]}}],
+        )
+        assert [row["_id"] for row in out] == [0]
+
+    def test_out_of_bounds_without_default_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(
+                DOCS,
+                [{"$bucket": {"groupBy": "$accuracy", "boundaries": [0, 10]}}],
+            )
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(
+                DOCS,
+                [{"$bucket": {"groupBy": "$accuracy", "boundaries": [10, 0]}}],
+            )
+
+    def test_bad_group_by_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(DOCS, [{"$bucket": {"groupBy": "accuracy",
+                                          "boundaries": [0, 1]}}])
+
+    def test_figure10_shape_via_bucket(self):
+        """The Figs. 10-13 histogram as a single pipeline stage."""
+        out = aggregate(
+            DOCS,
+            [
+                {"$match": {"provider": "network"}},
+                {
+                    "$bucket": {
+                        "groupBy": "$accuracy",
+                        "boundaries": [0, 6, 20, 50, 100, 200, 500],
+                        "default": ">500",
+                    }
+                },
+            ],
+        )
+        by_id = {row["_id"]: row["count"] for row in out}
+        assert by_id[20] == 2
+        assert by_id[50] == 1
+
+
+class TestSortByCount:
+    def test_groups_and_sorts_descending(self):
+        out = aggregate(DOCS, [{"$sortByCount": "$provider"}])
+        assert [row["_id"] for row in out] == ["gps", "network", "fused"]
+        assert [row["count"] for row in out] == [3, 3, 1]
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            aggregate(DOCS, [{"$sortByCount": "provider"}])

@@ -1,0 +1,220 @@
+"""Collection CRUD, planner and index tests."""
+
+import pytest
+
+from repro.docstore.collection import Collection
+from repro.docstore.errors import DocStoreError, DuplicateKeyError, IndexError_
+
+
+@pytest.fixture
+def collection():
+    return Collection("obs")
+
+
+def _seed(collection, n=10):
+    for i in range(n):
+        collection.insert_one(
+            {"model": "A" if i % 2 == 0 else "B", "v": i, "tag": f"t{i}"}
+        )
+
+
+class TestInsert:
+    def test_insert_assigns_id(self, collection):
+        doc_id = collection.insert_one({"a": 1})
+        assert collection.find_one({"_id": doc_id})["a"] == 1
+
+    def test_insert_keeps_explicit_id(self, collection):
+        collection.insert_one({"_id": "me", "a": 1})
+        assert collection.find_one({"_id": "me"}) is not None
+
+    def test_duplicate_id_rejected(self, collection):
+        collection.insert_one({"_id": 1})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert_one({"_id": 1})
+
+    def test_insert_many(self, collection):
+        ids = collection.insert_many([{"a": 1}, {"a": 2}])
+        assert len(ids) == 2
+        assert len(collection) == 2
+
+    def test_insert_copies_document(self, collection):
+        doc = {"a": [1]}
+        collection.insert_one(doc)
+        doc["a"].append(2)
+        assert collection.find_one({})["a"] == [1]
+
+    def test_non_dict_rejected(self, collection):
+        with pytest.raises(DocStoreError):
+            collection.insert_one([1, 2])
+
+
+class TestFind:
+    def test_find_with_filter(self, collection):
+        _seed(collection)
+        assert collection.find({"model": "A"}).count() == 5
+        assert collection.find({"v": {"$gte": 8}}).count() == 2
+
+    def test_find_returns_copies(self, collection):
+        collection.insert_one({"a": {"b": 1}})
+        fetched = collection.find_one({})
+        fetched["a"]["b"] = 99
+        assert collection.find_one({})["a"]["b"] == 1
+
+    def test_find_one_none_when_empty(self, collection):
+        assert collection.find_one({"x": 1}) is None
+
+    def test_count_with_and_without_filter(self, collection):
+        _seed(collection)
+        assert collection.count() == 10
+        assert collection.count({"model": "B"}) == 5
+
+    def test_distinct(self, collection):
+        _seed(collection)
+        assert collection.distinct("model") == ["A", "B"]
+        assert collection.distinct("model", {"v": {"$lt": 1}}) == ["A"]
+
+
+class TestUpdate:
+    def test_update_one(self, collection):
+        _seed(collection)
+        result = collection.update_one({"model": "A"}, {"$set": {"flag": True}})
+        assert result.matched == 1
+        assert result.modified == 1
+        assert collection.count({"flag": True}) == 1
+
+    def test_update_many(self, collection):
+        _seed(collection)
+        result = collection.update_many({"model": "A"}, {"$inc": {"v": 100}})
+        assert result.modified == 5
+        assert collection.count({"v": {"$gte": 100}}) == 5
+
+    def test_update_no_match(self, collection):
+        result = collection.update_one({"x": 1}, {"$set": {"y": 2}})
+        assert result.matched == 0
+        assert result.upserted_id is None
+
+    def test_upsert_creates_from_filter(self, collection):
+        result = collection.update_one(
+            {"model": "C"}, {"$set": {"v": 1}}, upsert=True
+        )
+        assert result.upserted_id is not None
+        created = collection.find_one({"model": "C"})
+        assert created["v"] == 1
+
+    def test_noop_update_not_counted_modified(self, collection):
+        collection.insert_one({"a": 1})
+        result = collection.update_one({"a": 1}, {"$set": {"a": 1}})
+        assert result.matched == 1
+        assert result.modified == 0
+
+    def test_replace_one(self, collection):
+        doc_id = collection.insert_one({"a": 1, "b": 2})
+        collection.replace_one({"_id": doc_id}, {"c": 3})
+        replaced = collection.find_one({"_id": doc_id})
+        assert replaced == {"_id": doc_id, "c": 3}
+
+    def test_replace_with_operators_rejected(self, collection):
+        with pytest.raises(DocStoreError):
+            collection.replace_one({}, {"$set": {"a": 1}})
+
+
+class TestDelete:
+    def test_delete_one(self, collection):
+        _seed(collection)
+        assert collection.delete_one({"model": "A"}) == 1
+        assert collection.count({"model": "A"}) == 4
+
+    def test_delete_many(self, collection):
+        _seed(collection)
+        assert collection.delete_many({"model": "A"}) == 5
+        assert collection.count() == 5
+
+    def test_delete_no_match(self, collection):
+        assert collection.delete_one({"x": 1}) == 0
+
+    def test_drop(self, collection):
+        _seed(collection)
+        collection.drop()
+        assert len(collection) == 0
+
+
+class TestIndexes:
+    def test_hash_index_used_for_equality(self, collection):
+        collection.create_index("model", kind="hash")
+        _seed(collection, 50)
+        assert collection.find({"model": "A"}).count() == 25
+        assert collection.stats.index_hits >= 1
+        assert collection.stats.full_scans == 0
+
+    def test_sorted_index_used_for_range(self, collection):
+        collection.create_index("v", kind="sorted")
+        _seed(collection, 50)
+        assert collection.find({"v": {"$gte": 40, "$lt": 45}}).count() == 5
+        assert collection.stats.index_hits >= 1
+
+    def test_index_results_equal_scan_results(self, collection):
+        _seed(collection, 40)
+        scan = {d["_id"] for d in collection.find({"v": {"$gt": 10, "$lte": 30}})}
+        collection.create_index("v", kind="sorted")
+        indexed = {d["_id"] for d in collection.find({"v": {"$gt": 10, "$lte": 30}})}
+        assert scan == indexed
+
+    def test_index_maintained_on_update_and_delete(self, collection):
+        collection.create_index("model", kind="hash")
+        _seed(collection)
+        collection.update_many({"model": "A"}, {"$set": {"model": "Z"}})
+        assert collection.find({"model": "A"}).count() == 0
+        assert collection.find({"model": "Z"}).count() == 5
+        collection.delete_many({"model": "Z"})
+        assert collection.find({"model": "Z"}).count() == 0
+
+    def test_unique_index_enforced(self, collection):
+        collection.create_index("key", kind="hash", unique=True)
+        collection.insert_one({"key": "k1"})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert_one({"key": "k1"})
+
+    def test_unique_violation_on_update_rolls_back(self, collection):
+        collection.create_index("key", kind="hash", unique=True)
+        collection.insert_one({"key": "a"})
+        collection.insert_one({"key": "b"})
+        with pytest.raises(DuplicateKeyError):
+            collection.update_one({"key": "b"}, {"$set": {"key": "a"}})
+        # document unchanged after the failed update
+        assert collection.count({"key": "b"}) == 1
+
+    def test_duplicate_index_declaration_rejected(self, collection):
+        collection.create_index("a", kind="hash")
+        with pytest.raises(IndexError_):
+            collection.create_index("a", kind="hash")
+
+    def test_drop_index(self, collection):
+        collection.create_index("a", kind="hash")
+        collection.drop_index("a")
+        with pytest.raises(IndexError_):
+            collection.drop_index("a")
+
+    def test_unique_sorted_rejected(self, collection):
+        with pytest.raises(IndexError_):
+            collection.create_index("a", kind="sorted", unique=True)
+
+    def test_id_lookup_shortcut(self, collection):
+        doc_id = collection.insert_one({"a": 1})
+        assert collection.find({"_id": doc_id}).count() == 1
+        assert collection.stats.full_scans == 0
+
+    def test_explain_reports_strategy(self, collection):
+        _seed(collection, 20)
+        assert collection.explain({"model": "A"})["strategy"] == "scan"
+        collection.create_index("model", kind="hash")
+        plan = collection.explain({"model": "A"})
+        assert plan["strategy"] == "index"
+        assert plan["candidates"] == 10
+        assert plan["examined_share"] == pytest.approx(0.5)
+
+    def test_explain_does_not_touch_counters(self, collection):
+        collection.create_index("model", kind="hash")
+        _seed(collection, 10)
+        before = (collection.stats.queries, collection.stats.index_hits)
+        collection.explain({"model": "A"})
+        assert (collection.stats.queries, collection.stats.index_hits) == before

@@ -1,0 +1,84 @@
+"""Cursor chaining and sorting tests."""
+
+import pytest
+
+from repro.docstore.cursor import Cursor, sort_documents
+from repro.docstore.errors import DocStoreError
+
+DOCS = [
+    {"_id": 1, "v": 3, "name": "c"},
+    {"_id": 2, "v": 1, "name": "a"},
+    {"_id": 3, "v": 2, "name": "b"},
+    {"_id": 4, "v": 2, "name": "d"},
+]
+
+
+class TestCursor:
+    def test_iteration_yields_all(self):
+        assert len(Cursor(list(DOCS)).to_list()) == 4
+
+    def test_sort_ascending(self):
+        out = Cursor(list(DOCS)).sort("v").to_list()
+        assert [d["v"] for d in out] == [1, 2, 2, 3]
+
+    def test_sort_descending(self):
+        out = Cursor(list(DOCS)).sort("v", -1).to_list()
+        assert [d["v"] for d in out] == [3, 2, 2, 1]
+
+    def test_multi_key_sort(self):
+        out = Cursor(list(DOCS)).sort([("v", 1), ("name", -1)]).to_list()
+        assert [d["name"] for d in out] == ["a", "d", "b", "c"]
+
+    def test_sort_is_stable(self):
+        out = Cursor(list(DOCS)).sort("v").to_list()
+        # the two v=2 docs keep input order
+        assert [d["_id"] for d in out if d["v"] == 2] == [3, 4]
+
+    def test_skip_and_limit(self):
+        out = Cursor(list(DOCS)).sort("_id").skip(1).limit(2).to_list()
+        assert [d["_id"] for d in out] == [2, 3]
+
+    def test_count_ignores_skip_limit(self):
+        cursor = Cursor(list(DOCS)).skip(2).limit(1)
+        assert cursor.count() == 4
+
+    def test_first(self):
+        assert Cursor(list(DOCS)).sort("v").first()["v"] == 1
+        assert Cursor([]).first() is None
+
+    def test_consumed_cursor_rejects_reuse(self):
+        cursor = Cursor(list(DOCS))
+        cursor.to_list()
+        with pytest.raises(DocStoreError):
+            cursor.to_list()
+        with pytest.raises(DocStoreError):
+            cursor.sort("v")
+
+    def test_yields_copies(self):
+        docs = [{"_id": 1, "a": {"b": 1}}]
+        out = Cursor(docs).to_list()
+        out[0]["a"]["b"] = 99
+        assert docs[0]["a"]["b"] == 1
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(DocStoreError):
+            Cursor([]).skip(-1)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(DocStoreError):
+            Cursor(list(DOCS)).sort("v", 2).to_list()
+
+
+class TestSortDocuments:
+    def test_missing_sorts_first_ascending(self):
+        docs = [{"v": 1}, {}, {"v": 0}]
+        out = sort_documents(docs, [("v", 1)])
+        assert out[0] == {}
+
+    def test_mixed_types_do_not_raise(self):
+        docs = [{"v": "text"}, {"v": 5}, {"v": None}, {"v": [1]}]
+        out = sort_documents(docs, [("v", 1)])
+        # null < numbers < strings < other
+        assert out[0]["v"] is None
+        assert out[1]["v"] == 5
+        assert out[2]["v"] == "text"

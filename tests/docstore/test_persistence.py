@@ -1,0 +1,122 @@
+"""Snapshot persistence tests."""
+
+import pytest
+
+from repro.docstore.errors import DocStoreError, DuplicateKeyError
+from repro.docstore.persistence import dump_store, load_store
+from repro.docstore.store import DocumentStore
+
+
+@pytest.fixture
+def store():
+    store = DocumentStore(name="goflow")
+    observations = store.collection("observations")
+    observations.create_index("model", kind="hash")
+    observations.create_index("taken_at", kind="sorted")
+    observations.insert_many(
+        [
+            {"model": "A0001", "taken_at": 1.0, "noise_dba": 55.0,
+             "location": {"x_m": 1.0, "y_m": 2.0}},
+            {"model": "NEXUS 5", "taken_at": 2.0, "noise_dba": 60.0},
+        ]
+    )
+    accounts = store.collection("accounts")
+    accounts.create_index("key", kind="hash", unique=True)
+    accounts.insert_one({"key": "SC/alice", "role": "contributor"})
+    return store
+
+
+class TestRoundTrip:
+    def test_documents_survive(self, store, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        written = dump_store(store, path)
+        assert written == 3
+        loaded = load_store(path)
+        assert loaded.name == "goflow"
+        assert loaded["observations"].count() == 2
+        assert loaded["accounts"].count() == 1
+        doc = loaded["observations"].find_one({"model": "A0001"})
+        assert doc["location"] == {"x_m": 1.0, "y_m": 2.0}
+
+    def test_indexes_rebuilt(self, store, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        loaded = load_store(path)
+        observations = loaded["observations"]
+        assert set(observations.index_paths()) == {"model", "taken_at"}
+        observations.find({"model": "A0001"}).count()
+        assert observations.stats.index_hits >= 1
+
+    def test_unique_constraints_rebuilt(self, store, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        loaded = load_store(path)
+        with pytest.raises(DuplicateKeyError):
+            loaded["accounts"].insert_one({"key": "SC/alice"})
+
+    def test_ids_preserved(self, store, tmp_path):
+        original_ids = {d["_id"] for d in store["observations"].find({})}
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        loaded = load_store(path)
+        assert {d["_id"] for d in loaded["observations"].find({})} == original_ids
+
+    def test_empty_collections_survive_as_declarations(self, tmp_path):
+        store = DocumentStore()
+        store.collection("empty").create_index("x", kind="hash")
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        loaded = load_store(path)
+        assert loaded.has_collection("empty")
+        assert loaded["empty"].index_paths() == ["x"]
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(DocStoreError):
+            load_store(path)
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(DocStoreError):
+            load_store(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "headless.jsonl"
+        path.write_text('{"type": "doc", "collection": "c", "doc": {}}\n')
+        with pytest.raises(DocStoreError):
+            load_store(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text(
+            '{"type": "store", "name": "s", "version": 1}\n'
+            '{"type": "mystery"}\n'
+        )
+        with pytest.raises(DocStoreError):
+            load_store(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"type": "store", "name": "s", "version": 99}\n')
+        with pytest.raises(DocStoreError):
+            load_store(path)
+
+    def test_unserializable_document_rejected(self, tmp_path):
+        store = DocumentStore()
+        store["c"].insert_one({"f": object()})
+        with pytest.raises(DocStoreError):
+            dump_store(store, tmp_path / "x.jsonl")
+
+
+class TestEndToEnd:
+    def test_campaign_store_round_trips(self, small_campaign, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        written = dump_store(small_campaign.server.store, path)
+        assert written > 0
+        loaded = load_store(path)
+        original = small_campaign.server.data.collection.count()
+        assert loaded["observations"].count() == original

@@ -1,0 +1,179 @@
+"""Query-engine tests."""
+
+import pytest
+
+from repro.docstore.errors import QuerySyntaxError
+from repro.docstore.query import get_path, is_missing, matches
+
+
+class TestGetPath:
+    def test_top_level(self):
+        assert get_path({"a": 1}, "a") == 1
+
+    def test_nested(self):
+        assert get_path({"a": {"b": {"c": 3}}}, "a.b.c") == 3
+
+    def test_missing_returns_sentinel(self):
+        assert is_missing(get_path({"a": 1}, "b"))
+        assert is_missing(get_path({"a": {"b": 1}}, "a.c"))
+
+    def test_array_index(self):
+        assert get_path({"a": [10, 20, 30]}, "a.1") == 20
+        assert is_missing(get_path({"a": [10]}, "a.5"))
+
+    def test_array_of_documents_collects(self):
+        doc = {"items": [{"v": 1}, {"v": 2}, {"other": 3}]}
+        assert get_path(doc, "items.v") == [1, 2]
+
+    def test_through_scalar_is_missing(self):
+        assert is_missing(get_path({"a": 5}, "a.b"))
+
+
+class TestEquality:
+    def test_literal_match(self):
+        assert matches({"model": "A0001"}, {"model": "A0001"})
+        assert not matches({"model": "A0001"}, {"model": "D5803"})
+
+    def test_array_membership(self):
+        assert matches({"tags": ["a", "b"]}, {"tags": "a"})
+        assert matches({"tags": ["a", "b"]}, {"tags": ["a", "b"]})
+        assert not matches({"tags": ["a", "b"]}, {"tags": "c"})
+
+    def test_null_matches_missing_and_null(self):
+        assert matches({"a": None}, {"a": None})
+        assert matches({}, {"a": None})
+        assert not matches({"a": 1}, {"a": None})
+
+    def test_bool_and_int_not_conflated(self):
+        assert not matches({"a": 1}, {"a": True})
+        assert not matches({"a": True}, {"a": 1})
+
+    def test_dotted_path_equality(self):
+        assert matches({"loc": {"provider": "gps"}}, {"loc.provider": "gps"})
+
+
+class TestComparisons:
+    def test_gt_gte_lt_lte(self):
+        doc = {"v": 10}
+        assert matches(doc, {"v": {"$gt": 9}})
+        assert not matches(doc, {"v": {"$gt": 10}})
+        assert matches(doc, {"v": {"$gte": 10}})
+        assert matches(doc, {"v": {"$lt": 11}})
+        assert matches(doc, {"v": {"$lte": 10}})
+
+    def test_range_combination(self):
+        assert matches({"v": 5}, {"v": {"$gte": 5, "$lt": 6}})
+        assert not matches({"v": 6}, {"v": {"$gte": 5, "$lt": 6}})
+
+    def test_cross_type_comparison_never_matches(self):
+        assert not matches({"v": "text"}, {"v": {"$gt": 5}})
+        assert not matches({"v": 5}, {"v": {"$gt": "text"}})
+
+    def test_ne_is_universal_over_arrays(self):
+        assert not matches({"tags": ["a", "b"]}, {"tags": {"$ne": "a"}})
+        assert matches({"tags": ["b"]}, {"tags": {"$ne": "a"}})
+
+    def test_ne_matches_missing(self):
+        assert matches({}, {"v": {"$ne": 5}})
+
+    def test_missing_field_fails_comparisons(self):
+        assert not matches({}, {"v": {"$gt": 0}})
+
+
+class TestSetOperators:
+    def test_in(self):
+        assert matches({"m": "a"}, {"m": {"$in": ["a", "b"]}})
+        assert not matches({"m": "c"}, {"m": {"$in": ["a", "b"]}})
+
+    def test_in_with_array_field(self):
+        assert matches({"tags": ["x", "y"]}, {"tags": {"$in": ["y"]}})
+
+    def test_nin(self):
+        assert matches({"m": "c"}, {"m": {"$nin": ["a", "b"]}})
+        assert not matches({"m": "a"}, {"m": {"$nin": ["a", "b"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QuerySyntaxError):
+            matches({"m": "a"}, {"m": {"$in": "a"}})
+
+
+class TestOtherOperators:
+    def test_exists(self):
+        assert matches({"a": 1}, {"a": {"$exists": True}})
+        assert matches({}, {"a": {"$exists": False}})
+        assert not matches({}, {"a": {"$exists": True}})
+
+    def test_exists_true_even_for_null(self):
+        assert matches({"a": None}, {"a": {"$exists": True}})
+
+    def test_regex(self):
+        assert matches({"name": "SAMSUNG GT-I9505"}, {"name": {"$regex": "^SAMSUNG"}})
+        assert not matches({"name": "SONY D5803"}, {"name": {"$regex": "^SAMSUNG"}})
+
+    def test_mod(self):
+        assert matches({"v": 10}, {"v": {"$mod": [3, 1]}})
+        assert not matches({"v": 9}, {"v": {"$mod": [3, 1]}})
+
+    def test_mod_zero_divisor_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            matches({"v": 1}, {"v": {"$mod": [0, 0]}})
+
+    def test_size(self):
+        assert matches({"a": [1, 2, 3]}, {"a": {"$size": 3}})
+        assert not matches({"a": [1]}, {"a": {"$size": 3}})
+        assert not matches({"a": "abc"}, {"a": {"$size": 3}})
+
+    def test_all(self):
+        assert matches({"a": [1, 2, 3]}, {"a": {"$all": [1, 3]}})
+        assert not matches({"a": [1, 2]}, {"a": {"$all": [1, 3]}})
+
+    def test_elem_match(self):
+        doc = {"readings": [{"db": 40}, {"db": 80}]}
+        assert matches(doc, {"readings": {"$elemMatch": {"db": {"$gt": 70}}}})
+        assert not matches(doc, {"readings": {"$elemMatch": {"db": {"$gt": 90}}}})
+
+    def test_not(self):
+        assert matches({"v": 3}, {"v": {"$not": {"$gt": 5}}})
+        assert not matches({"v": 7}, {"v": {"$not": {"$gt": 5}}})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            matches({"v": 1}, {"v": {"$frobnicate": 2}})
+
+
+class TestLogicalOperators:
+    def test_and(self):
+        doc = {"a": 1, "b": 2}
+        assert matches(doc, {"$and": [{"a": 1}, {"b": 2}]})
+        assert not matches(doc, {"$and": [{"a": 1}, {"b": 3}]})
+
+    def test_or(self):
+        doc = {"a": 1}
+        assert matches(doc, {"$or": [{"a": 2}, {"a": 1}]})
+        assert not matches(doc, {"$or": [{"a": 2}, {"a": 3}]})
+
+    def test_nor(self):
+        assert matches({"a": 1}, {"$nor": [{"a": 2}, {"a": 3}]})
+        assert not matches({"a": 1}, {"$nor": [{"a": 1}]})
+
+    def test_implicit_and_of_fields(self):
+        assert matches({"a": 1, "b": 2}, {"a": 1, "b": 2})
+        assert not matches({"a": 1, "b": 2}, {"a": 1, "b": 3})
+
+    def test_empty_logical_list_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            matches({}, {"$or": []})
+
+    def test_unknown_top_level_operator_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            matches({}, {"$xor": [{"a": 1}]})
+
+    def test_nested_logical(self):
+        doc = {"model": "A0001", "noise": 62}
+        filter_doc = {
+            "$or": [
+                {"model": "NEXUS 5"},
+                {"$and": [{"model": "A0001"}, {"noise": {"$gte": 60}}]},
+            ]
+        }
+        assert matches(doc, filter_doc)

@@ -1,0 +1,56 @@
+"""DocumentStore namespace tests."""
+
+import pytest
+
+from repro.docstore.errors import DocStoreError
+from repro.docstore.store import DocumentStore
+
+
+class TestDocumentStore:
+    def test_collection_created_lazily(self):
+        store = DocumentStore()
+        assert not store.has_collection("obs")
+        store.collection("obs")
+        assert store.has_collection("obs")
+
+    def test_same_name_same_collection(self):
+        store = DocumentStore()
+        assert store.collection("a") is store.collection("a")
+
+    def test_getitem_shortcut(self):
+        store = DocumentStore()
+        store["obs"].insert_one({"x": 1})
+        assert store["obs"].count() == 1
+
+    def test_collection_names_sorted(self):
+        store = DocumentStore()
+        store.collection("b")
+        store.collection("a")
+        assert store.collection_names() == ["a", "b"]
+
+    def test_drop_collection(self):
+        store = DocumentStore()
+        store.collection("a").insert_one({})
+        store.drop_collection("a")
+        assert not store.has_collection("a")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(DocStoreError):
+            DocumentStore().drop_collection("ghost")
+
+    def test_total_documents(self):
+        store = DocumentStore()
+        store["a"].insert_many([{}, {}])
+        store["b"].insert_one({})
+        assert store.total_documents() == 3
+
+    def test_clock_flows_to_collections(self):
+        store = DocumentStore(clock=lambda: 55.0)
+        coll = store.collection("c")
+        coll.insert_one({"a": 1})
+        coll.update_one({"a": 1}, {"$currentDate": {"ts": True}})
+        assert coll.find_one({})["ts"] == 55.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DocStoreError):
+            DocumentStore(name="")

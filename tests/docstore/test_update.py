@@ -1,0 +1,131 @@
+"""Update-operator tests."""
+
+import pytest
+
+from repro.docstore.errors import UpdateSyntaxError
+from repro.docstore.update import apply_update
+
+
+class TestReplacement:
+    def test_full_replacement_preserves_id(self):
+        out = apply_update({"_id": 7, "a": 1}, {"b": 2})
+        assert out == {"_id": 7, "b": 2}
+
+    def test_mixing_ops_and_fields_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({}, {"$set": {"a": 1}, "b": 2})
+
+    def test_input_not_mutated(self):
+        original = {"_id": 1, "a": {"b": 1}}
+        apply_update(original, {"$set": {"a.b": 2}})
+        assert original["a"]["b"] == 1
+
+
+class TestSetUnset:
+    def test_set_top_level(self):
+        assert apply_update({"a": 1}, {"$set": {"a": 2}})["a"] == 2
+
+    def test_set_creates_nested_path(self):
+        out = apply_update({}, {"$set": {"loc.x": 5}})
+        assert out == {"loc": {"x": 5}}
+
+    def test_set_array_element(self):
+        out = apply_update({"a": [1, 2, 3]}, {"$set": {"a.1": 99}})
+        assert out["a"] == [1, 99, 3]
+
+    def test_unset_removes(self):
+        out = apply_update({"a": 1, "b": 2}, {"$unset": {"a": ""}})
+        assert out == {"b": 2}
+
+    def test_unset_missing_is_noop(self):
+        assert apply_update({"b": 2}, {"$unset": {"a": ""}}) == {"b": 2}
+
+    def test_set_id_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"_id": 1}, {"$set": {"_id": 2}})
+
+
+class TestArithmetic:
+    def test_inc(self):
+        assert apply_update({"n": 5}, {"$inc": {"n": 3}})["n"] == 8
+
+    def test_inc_missing_initializes(self):
+        assert apply_update({}, {"$inc": {"n": 3}})["n"] == 3
+
+    def test_inc_non_numeric_target_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"n": "x"}, {"$inc": {"n": 1}})
+
+    def test_inc_non_numeric_amount_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"n": 1}, {"$inc": {"n": "x"}})
+
+    def test_mul(self):
+        assert apply_update({"n": 5}, {"$mul": {"n": 2}})["n"] == 10
+
+    def test_mul_missing_gives_zero(self):
+        assert apply_update({}, {"$mul": {"n": 7}})["n"] == 0
+
+    def test_min_max(self):
+        assert apply_update({"n": 5}, {"$min": {"n": 3}})["n"] == 3
+        assert apply_update({"n": 5}, {"$min": {"n": 9}})["n"] == 5
+        assert apply_update({"n": 5}, {"$max": {"n": 9}})["n"] == 9
+        assert apply_update({"n": 5}, {"$max": {"n": 3}})["n"] == 5
+
+    def test_min_missing_sets(self):
+        assert apply_update({}, {"$min": {"n": 3}})["n"] == 3
+
+
+class TestArrayOperators:
+    def test_push(self):
+        assert apply_update({"a": [1]}, {"$push": {"a": 2}})["a"] == [1, 2]
+
+    def test_push_creates_array(self):
+        assert apply_update({}, {"$push": {"a": 1}})["a"] == [1]
+
+    def test_push_each(self):
+        out = apply_update({"a": [1]}, {"$push": {"a": {"$each": [2, 3]}}})
+        assert out["a"] == [1, 2, 3]
+
+    def test_push_non_array_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({"a": 5}, {"$push": {"a": 1}})
+
+    def test_pull_value(self):
+        out = apply_update({"a": [1, 2, 1]}, {"$pull": {"a": 1}})
+        assert out["a"] == [2]
+
+    def test_pull_condition(self):
+        doc = {"a": [{"v": 1}, {"v": 5}]}
+        out = apply_update(doc, {"$pull": {"a": {"v": {"$gt": 3}}}})
+        assert out["a"] == [{"v": 1}]
+
+    def test_pull_missing_is_noop(self):
+        assert apply_update({}, {"$pull": {"a": 1}}) == {}
+
+    def test_add_to_set_deduplicates(self):
+        out = apply_update({"a": [1]}, {"$addToSet": {"a": 1}})
+        assert out["a"] == [1]
+        out = apply_update({"a": [1]}, {"$addToSet": {"a": 2}})
+        assert out["a"] == [1, 2]
+
+    def test_add_to_set_each(self):
+        out = apply_update({"a": [1]}, {"$addToSet": {"a": {"$each": [1, 2]}}})
+        assert out["a"] == [1, 2]
+
+
+class TestRenameAndCurrentDate:
+    def test_rename(self):
+        out = apply_update({"old": 1}, {"$rename": {"old": "new"}})
+        assert out == {"new": 1}
+
+    def test_rename_missing_is_noop(self):
+        assert apply_update({"a": 1}, {"$rename": {"x": "y"}}) == {"a": 1}
+
+    def test_current_date_uses_clock(self):
+        out = apply_update({}, {"$currentDate": {"ts": True}}, now=123.0)
+        assert out["ts"] == 123.0
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(UpdateSyntaxError):
+            apply_update({}, {"$explode": {"a": 1}})

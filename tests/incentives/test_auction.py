@@ -1,0 +1,153 @@
+"""Reverse-auction tests (user-centric incentives)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.incentives.auction import Bid, ReverseAuction
+
+
+def _bid(user, tasks, price):
+    return Bid(user_id=user, tasks=frozenset(tasks), bid=price)
+
+
+@pytest.fixture
+def auction():
+    return ReverseAuction({"t1": 10.0, "t2": 10.0, "t3": 10.0, "t4": 10.0})
+
+
+class TestWinnerSelection:
+    def test_profitable_bids_win(self, auction):
+        outcome = auction.run(
+            [
+                _bid("a", {"t1", "t2"}, 5.0),
+                _bid("b", {"t3"}, 4.0),
+                _bid("c", {"t4"}, 50.0),  # overpriced
+            ]
+        )
+        assert set(outcome.winners) == {"a", "b"}
+        assert outcome.covered_tasks == {"t1", "t2", "t3"}
+
+    def test_redundant_bundle_loses(self, auction):
+        outcome = auction.run(
+            [
+                _bid("a", {"t1", "t2"}, 2.0),
+                _bid("b", {"t1", "t2"}, 15.0),  # nothing new at that price
+            ]
+        )
+        assert outcome.winners == ["a"]
+
+    def test_greedy_order_is_by_marginal_utility(self, auction):
+        outcome = auction.run(
+            [
+                _bid("small", {"t1"}, 1.0),  # utility 9
+                _bid("big", {"t2", "t3", "t4"}, 5.0),  # utility 25
+            ]
+        )
+        assert outcome.winners[0] == "big"
+
+    def test_no_winners_when_everyone_overpriced(self, auction):
+        outcome = auction.run([_bid("a", {"t1"}, 100.0)])
+        assert outcome.winners == []
+        assert outcome.total_payment == 0.0
+
+
+class TestPayments:
+    def test_individual_rationality(self, auction):
+        """Winners are paid at least their bid."""
+        rng = np.random.default_rng(0)
+        tasks = ["t1", "t2", "t3", "t4"]
+        for trial in range(30):
+            bids = []
+            for user in range(5):
+                bundle = frozenset(
+                    rng.choice(tasks, size=int(rng.integers(1, 4)), replace=False)
+                )
+                bids.append(Bid(f"u{user}", bundle, float(rng.uniform(1, 20))))
+            outcome = auction.run(bids)
+            bid_of = {bid.user_id: bid.bid for bid in bids}
+            for winner in outcome.winners:
+                assert outcome.payments[winner] >= bid_of[winner] - 1e-9
+
+    def test_payment_bounded_by_marginal_value(self, auction):
+        outcome = auction.run([_bid("solo", {"t1", "t2"}, 3.0)])
+        assert outcome.payments["solo"] <= 20.0 + 1e-9
+
+    def test_competition_lowers_payment(self, auction):
+        alone = auction.run([_bid("a", {"t1"}, 2.0)])
+        contested = auction.run(
+            [_bid("a", {"t1"}, 2.0), _bid("rival", {"t1"}, 3.0)]
+        )
+        assert contested.payments["a"] <= alone.payments["a"]
+
+    def test_platform_profitability(self, auction):
+        rng = np.random.default_rng(1)
+        tasks = ["t1", "t2", "t3", "t4"]
+        for trial in range(30):
+            bids = []
+            for user in range(6):
+                bundle = frozenset(
+                    rng.choice(tasks, size=int(rng.integers(1, 4)), replace=False)
+                )
+                bids.append(Bid(f"u{user}", bundle, float(rng.uniform(1, 15))))
+            outcome = auction.run(bids)
+            assert outcome.platform_utility >= -1e-9
+
+
+class TestTruthfulness:
+    def test_truthful_bidding_is_dominant(self, auction):
+        """Misreporting the cost never increases a user's utility."""
+        rng = np.random.default_rng(2)
+        tasks = ["t1", "t2", "t3", "t4"]
+        violations = 0
+        for trial in range(60):
+            others = []
+            for user in range(4):
+                bundle = frozenset(
+                    rng.choice(tasks, size=int(rng.integers(1, 4)), replace=False)
+                )
+                others.append(Bid(f"o{user}", bundle, float(rng.uniform(1, 15))))
+            my_tasks = frozenset(
+                rng.choice(tasks, size=int(rng.integers(1, 4)), replace=False)
+            )
+            true_cost = float(rng.uniform(1, 15))
+
+            def utility(declared):
+                outcome = auction.run(others + [Bid("me", my_tasks, declared)])
+                if "me" not in outcome.payments:
+                    return 0.0
+                return outcome.payments["me"] - true_cost
+
+            truthful = utility(true_cost)
+            for misreport in (true_cost * 0.5, true_cost * 0.9,
+                              true_cost * 1.1, true_cost * 2.0):
+                if utility(misreport) > truthful + 1e-6:
+                    violations += 1
+        assert violations == 0
+
+    def test_losing_is_never_worse_than_negative_utility(self, auction):
+        """A truthful loser has zero utility; winning pays >= cost."""
+        outcome = auction.run(
+            [_bid("a", {"t1"}, 8.0), _bid("b", {"t1"}, 9.0)]
+        )
+        assert "b" not in outcome.payments
+
+
+class TestValidation:
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bid("a", frozenset(), 1.0)
+
+    def test_negative_bid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bid("a", frozenset({"t"}), -1.0)
+
+    def test_duplicate_bidders_rejected(self, auction):
+        with pytest.raises(ConfigurationError):
+            auction.run([_bid("a", {"t1"}, 1.0), _bid("a", {"t2"}, 1.0)])
+
+    def test_bad_task_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReverseAuction({})
+        with pytest.raises(ConfigurationError):
+            ReverseAuction({"t": 0.0})

@@ -1,0 +1,106 @@
+"""Stackelberg-game tests (platform-centric incentives)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.incentives.stackelberg import StackelbergGame, UserCost
+
+
+def _users(*kappas):
+    return [UserCost(f"u{i}", kappa) for i, kappa in enumerate(kappas)]
+
+
+class TestEquilibrium:
+    def test_times_positive_for_participants(self):
+        game = StackelbergGame(_users(1.0, 1.5, 2.0), lam=50.0)
+        times = game.equilibrium_times(reward=10.0)
+        assert all(t >= 0 for t in times.values())
+        assert sum(times.values()) > 0
+
+    def test_zero_reward_zero_participation(self):
+        game = StackelbergGame(_users(1.0, 2.0), lam=50.0)
+        assert sum(game.equilibrium_times(0.0).values()) == 0.0
+
+    def test_times_scale_linearly_with_reward(self):
+        game = StackelbergGame(_users(1.0, 1.5, 2.0), lam=50.0)
+        t1 = game.equilibrium_times(10.0)
+        t2 = game.equilibrium_times(20.0)
+        for user in t1:
+            assert t2[user] == pytest.approx(2 * t1[user])
+
+    def test_cheaper_users_sense_more(self):
+        game = StackelbergGame(_users(1.0, 1.5, 2.0), lam=50.0)
+        times = game.equilibrium_times(10.0)
+        assert times["u0"] > times["u1"] > times["u2"]
+
+    def test_expensive_users_excluded(self):
+        # kappa=100 violates the participation condition
+        game = StackelbergGame(_users(1.0, 1.1, 100.0), lam=50.0)
+        times = game.equilibrium_times(10.0)
+        assert times["u2"] == 0.0
+        assert times["u0"] > 0
+
+    def test_nash_property_no_unilateral_improvement(self):
+        """At the NE, nudging any user's time cannot raise their utility."""
+        game = StackelbergGame(_users(1.0, 1.3, 1.7, 2.2), lam=50.0)
+        reward = 25.0
+        times = game.equilibrium_times(reward)
+        base = game.user_utilities(reward, times)
+        for user_id in times:
+            if times[user_id] == 0.0:
+                continue
+            for factor in (0.9, 1.1):
+                perturbed = dict(times)
+                perturbed[user_id] = times[user_id] * factor
+                utilities = game.user_utilities(reward, perturbed)
+                assert utilities[user_id] <= base[user_id] + 1e-9
+
+    def test_participant_utilities_nonnegative(self):
+        game = StackelbergGame(_users(1.0, 1.5, 2.0, 3.0), lam=50.0)
+        utilities = game.user_utilities(12.0)
+        assert all(u >= -1e-9 for u in utilities.values())
+
+
+class TestLeader:
+    def test_solve_finds_interior_optimum(self):
+        game = StackelbergGame(_users(1.0, 1.5, 2.0), lam=100.0)
+        outcome = game.solve()
+        assert outcome.reward > 0
+        # the optimum beats nearby rewards
+        for nearby in (outcome.reward * 0.8, outcome.reward * 1.2):
+            assert game.platform_utility(nearby) <= outcome.platform_utility + 1e-6
+
+    def test_platform_utility_positive_at_optimum(self):
+        game = StackelbergGame(_users(0.5, 0.8, 1.2), lam=100.0)
+        assert game.solve().platform_utility > 0
+
+    def test_higher_lam_buys_more_sensing(self):
+        small = StackelbergGame(_users(1.0, 1.5, 2.0), lam=20.0).solve()
+        large = StackelbergGame(_users(1.0, 1.5, 2.0), lam=200.0).solve()
+        assert large.total_time > small.total_time
+        assert large.reward > small.reward
+
+    def test_outcome_reports_participants(self):
+        game = StackelbergGame(_users(1.0, 1.1, 100.0), lam=50.0)
+        outcome = game.solve()
+        assert "u2" not in outcome.participants
+
+
+class TestValidation:
+    def test_needs_two_users(self):
+        with pytest.raises(ConfigurationError):
+            StackelbergGame(_users(1.0))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StackelbergGame([UserCost("a", 1.0), UserCost("a", 2.0)])
+
+    def test_bad_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserCost("a", 0.0)
+
+    def test_negative_reward_rejected(self):
+        game = StackelbergGame(_users(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            game.equilibrium_times(-1.0)

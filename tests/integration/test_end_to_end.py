@@ -1,0 +1,101 @@
+"""Full-stack integration: phone -> client -> broker -> GoFlow -> analysis."""
+
+import pytest
+
+from repro.analysis.histograms import accuracy_histogram, modal_bucket
+from repro.analysis.participation import daytime_share, hourly_share
+from repro.analysis.tables import top_models_table
+from repro.client.versions import AppVersion
+from repro.campaign import CampaignConfig, FleetCampaign
+
+
+class TestDatasetShape:
+    """The shared small campaign must already exhibit the paper's
+    headline dataset properties end to end."""
+
+    def test_most_models_contribute(self, small_campaign):
+        # the shared campaign is tiny (one device for the rarest models),
+        # so a model can stay silent when its single owner installs late
+        # or has a low-intensity profile
+        table = small_campaign.analytics.per_model_table()
+        assert len(table) >= 15
+
+    def test_figure9_style_table_builds(self, small_campaign):
+        table = top_models_table(small_campaign.analytics.per_model_table())
+        assert table[-1]["model"] == "Total"
+        assert table[-1]["measurements"] == small_campaign.ingested
+
+    def test_network_dominates_providers(self, small_campaign):
+        shares = small_campaign.analytics.provider_shares()
+        assert shares["network"] > 0.7
+        assert 0.0 < shares.get("gps", 0.0) < 0.2
+
+    def test_network_accuracy_mode_is_20_50m(self, small_campaign):
+        histogram = accuracy_histogram(
+            small_campaign.analytics.accuracy_values(provider="network")
+        )
+        assert modal_bucket(histogram) == "20-50m"
+
+    def test_gps_accuracy_mode_is_6_20m(self, small_campaign):
+        histogram = accuracy_histogram(
+            small_campaign.analytics.accuracy_values(provider="gps")
+        )
+        assert modal_bucket(histogram) == "6-20m"
+
+    def test_daytime_participation_dominates(self, small_campaign):
+        hours = []
+        for doc in small_campaign.server.data.collection.find({}):
+            hours.append((doc["taken_at"] % 86400.0) / 3600.0)
+        share = hourly_share(hours)
+        assert daytime_share(share) > 0.5
+
+    def test_journey_mode_has_more_gps(self, small_campaign):
+        analytics = small_campaign.analytics
+        opportunistic = analytics.provider_shares(mode="opportunistic")
+        journey = analytics.provider_shares(mode="journey")
+        if journey:  # journeys are rare in a small campaign
+            assert journey.get("gps", 0.0) > opportunistic.get("gps", 0.0)
+
+    def test_activity_distribution_matches_figure21(self, small_campaign):
+        distribution = small_campaign.analytics.activity_distribution()
+        moving = sum(distribution.get(k, 0.0) for k in ("foot", "bicycle", "vehicle"))
+        unqualified = distribution.get("undefined", 0.0) + distribution.get(
+            "unknown", 0.0
+        )
+        assert distribution.get("still", 0.0) == pytest.approx(0.70, abs=0.08)
+        assert moving < 0.12
+        assert unqualified == pytest.approx(0.20, abs=0.05)
+
+
+class TestDelaySemantics:
+    def test_buffered_version_has_fewer_immediate_deliveries(self):
+        base = dict(seed=11, scale=0.006, days=1.0)
+        unbuffered = FleetCampaign(
+            CampaignConfig(app_version=AppVersion.V1_2_9, **base)
+        ).run()
+        buffered = FleetCampaign(
+            CampaignConfig(app_version=AppVersion.V1_3, **base)
+        ).run()
+        import numpy as np
+
+        d_unbuffered = np.array(unbuffered.analytics.transmission_delays())
+        d_buffered = np.array(buffered.analytics.transmission_delays())
+        fast_unbuffered = np.mean(d_unbuffered <= 10.0)
+        fast_buffered = np.mean(d_buffered <= 10.0)
+        assert fast_unbuffered > fast_buffered
+
+    def test_delays_never_negative(self, small_campaign):
+        delays = small_campaign.analytics.transmission_delays()
+        assert min(delays) >= 0.0
+
+
+class TestPrivacyEndToEnd:
+    def test_raw_user_ids_absent_from_store(self, small_campaign):
+        user_ids = {u.user_id for u in small_campaign.population.users}
+        for doc in small_campaign.server.data.collection.find({}).limit(200):
+            assert doc.get("contributor") not in user_ids
+            assert "user_id" not in doc
+
+    def test_contributor_count_bounded_by_population(self, small_campaign):
+        contributors = small_campaign.server.data.collection.distinct("contributor")
+        assert len(contributors) <= len(small_campaign.population)

@@ -1,0 +1,144 @@
+"""Failure injection across the stack.
+
+The paper's deployment lived with flaky links, dying apps, and broker
+restarts for 10 months. These tests inject the equivalent faults and
+assert the stack's at-least-once accounting: every produced observation
+is either stored on the server or still sitting in a client outbox /
+broker queue — never silently lost (except where a policy explicitly
+drops, and then it is counted).
+"""
+
+import numpy as np
+import pytest
+
+from repro.broker.errors import BrokerError
+from repro.client.client import GoFlowClient
+from repro.client.uplink import BrokerUplink
+from repro.client.versions import AppVersion
+from repro.core.server import GoFlowServer
+from repro.devices.registry import DeviceRegistry
+from repro.sensing.scheduler import PhoneContext, SensingScheduler
+from repro.simulation import Simulator
+
+
+class FlakyUplink:
+    """Wraps a real uplink; fails a configurable fraction of sends."""
+
+    def __init__(self, inner, rng, failure_rate=0.5):
+        self._inner = inner
+        self._rng = rng
+        self.failure_rate = failure_rate
+        self.failures = 0
+
+    def send(self, documents):
+        if self._rng.random() < self.failure_rate:
+            self.failures += 1
+            raise BrokerError("injected link failure")
+        return self._inner.send(documents)
+
+
+@pytest.fixture
+def stack():
+    simulator = Simulator(seed=99)
+    server = GoFlowServer(clock=lambda: simulator.now)
+    server.register_app("SC")
+    return simulator, server
+
+
+class TestFlakyUplink:
+    def test_no_loss_under_50_percent_send_failures(self, stack):
+        simulator, server = stack
+        credentials = server.enroll_user("SC", "alice", "pw")
+        real = BrokerUplink(server.broker, credentials["exchange"], app_id="SC")
+        flaky = FlakyUplink(real, np.random.default_rng(1), failure_rate=0.5)
+        client = GoFlowClient(
+            "alice", AppVersion.V1_2_9, flaky, clock=lambda: simulator.now
+        )
+        scheduler = SensingScheduler(
+            simulator,
+            "alice",
+            DeviceRegistry().get("A0001"),
+            PhoneContext(100.0, 100.0),
+            client.on_observation,
+            simulator.rngs.stream("phone"),
+        )
+        scheduler.start_opportunistic(until=6 * 3600.0)
+        simulator.run()
+        assert flaky.failures > 5  # faults actually fired
+        # accounting: produced == ingested + pending, nothing vanished
+        assert scheduler.produced == server.ingested + client.pending
+        # retries eventually pushed most data through
+        assert server.ingested > 0
+
+    def test_total_blackout_keeps_everything_on_device(self, stack):
+        simulator, server = stack
+        credentials = server.enroll_user("SC", "alice", "pw")
+        real = BrokerUplink(server.broker, credentials["exchange"], app_id="SC")
+        dead = FlakyUplink(real, np.random.default_rng(2), failure_rate=1.0)
+        client = GoFlowClient(
+            "alice", AppVersion.V1_2_9, dead, clock=lambda: simulator.now
+        )
+        scheduler = SensingScheduler(
+            simulator,
+            "alice",
+            DeviceRegistry().get("NEXUS 5"),
+            PhoneContext(0.0, 0.0),
+            client.on_observation,
+            simulator.rngs.stream("phone"),
+        )
+        scheduler.start_opportunistic(until=3600.0)
+        simulator.run()
+        assert server.ingested == 0
+        assert client.pending == scheduler.produced
+        # link repaired: one flush drains everything, order preserved
+        dead.failure_rate = 0.0
+        client.flush()
+        assert server.ingested == scheduler.produced
+        stored = server.data.collection.find({}).sort("taken_at").to_list()
+        taken = [doc["taken_at"] for doc in stored]
+        assert taken == sorted(taken)
+
+
+class TestServerConsumerCrash:
+    def test_backlog_survives_consumer_restart(self, stack):
+        simulator, server = stack
+        credentials = server.enroll_user("SC", "alice", "pw")
+        # kill the server's ingest consumer (process crash)
+        server.broker.get_queue("GF").remove_consumer("gf-ingest")
+        uplink = BrokerUplink(server.broker, credentials["exchange"], app_id="SC")
+        uplink.send(
+            [
+                {"user_id": "alice", "taken_at": float(i), "noise_dba": 50.0}
+                for i in range(5)
+            ]
+        )
+        assert server.ingested == 0
+        assert server.broker.get_queue("GF").ready_count == 5
+        # restart the consumer: the broker-buffered backlog drains
+        server._start_ingest_restarted = server._start_ingest  # readability
+        server.broker.get_queue("GF").add_consumer(
+            "gf-ingest-2", server._on_delivery, auto_ack=True
+        )
+        assert server.ingested == 5
+
+
+class TestDuplicateDeliveries:
+    def test_at_least_once_can_duplicate_but_is_attributable(self, stack):
+        """Requeue-after-crash redelivers; duplicates carry the same
+        observation_id so downstream dedup is possible."""
+        simulator, server = stack
+        credentials = server.enroll_user("SC", "alice", "pw")
+        server.broker.get_queue("GF").remove_consumer("gf-ingest")
+        uplink = BrokerUplink(server.broker, credentials["exchange"], app_id="SC")
+        uplink.send([{"user_id": "alice", "observation_id": 7, "taken_at": 1.0}])
+
+        # a consumer crashes mid-processing: manual-ack delivery requeued
+        crashed = []
+        queue = server.broker.get_queue("GF")
+        queue.add_consumer("fragile", crashed.append)  # never acks
+        queue.remove_consumer("fragile", requeue_unacked=True)
+        # healthy consumer picks it up again
+        queue.add_consumer("healthy", server._on_delivery, auto_ack=True)
+        assert server.ingested == 1
+        stored = server.data.collection.find({"observation_id": 7}).to_list()
+        assert len(stored) == 1

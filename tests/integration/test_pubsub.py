@@ -1,0 +1,99 @@
+"""Integration: the Figure 3 publish/subscribe scenario over GoFlow."""
+
+import pytest
+
+from repro.client.uplink import BrokerUplink
+from repro.core.server import GoFlowServer
+
+
+@pytest.fixture
+def server():
+    server = GoFlowServer()
+    server.register_app("SC")
+    return server
+
+
+class TestFigure3Scenario:
+    def test_feedback_fanout_to_neighbourhood_subscriber(self, server):
+        """mob1 subscribes to Feedback at FR75013; mob2 publishes one."""
+        mob1 = server.enroll_user("SC", "mob1", "pw")
+        mob2 = server.enroll_user("SC", "mob2", "pw")
+        server.channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+
+        publisher = server.broker.connect("mob2-session").channel()
+        publisher.basic_publish(
+            mob2["exchange"],
+            "FR75013.Feedback",
+            {"app_id": "SC", "user_id": "mob2", "text": "jackhammer again"},
+        )
+        # subscriber's queue received it
+        delivery = server.broker.get_queue(mob1["queue"]).get()
+        assert delivery.body["text"] == "jackhammer again"
+        # and the server stored it too
+        assert server.ingested == 1
+
+    def test_journey_notification_at_home_location(self, server):
+        """mob1 also watches public journeys at its home zone FR92120."""
+        mob1 = server.enroll_user("SC", "mob1", "pw")
+        mob2 = server.enroll_user("SC", "mob2", "pw")
+        server.channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        server.channels.subscribe("SC", "mob1", "FR92120", "Journey")
+
+        publisher = server.broker.connect("mob2-session").channel()
+        publisher.basic_publish(
+            mob2["exchange"], "FR92120.Journey", {"app_id": "SC", "journey": 42}
+        )
+        publisher.basic_publish(
+            mob2["exchange"], "FR75019.Journey", {"app_id": "SC", "journey": 43}
+        )
+        queue = server.broker.get_queue(mob1["queue"])
+        assert queue.ready_count == 1
+        assert queue.get().body["journey"] == 42
+
+    def test_client_uplink_observations_not_fanned_to_subscribers(self, server):
+        """Zone observations only reach subscribers of that zone."""
+        mob1 = server.enroll_user("SC", "mob1", "pw")
+        mob2 = server.enroll_user("SC", "mob2", "pw")
+        server.channels.subscribe("SC", "mob1", "Z9-9", "NoiseObservation")
+        uplink = BrokerUplink(server.broker, mob2["exchange"], app_id="SC")
+        uplink.send(
+            [
+                {
+                    "user_id": "mob2",
+                    "noise_dba": 61.0,
+                    "taken_at": 1.0,
+                    "location": {"x_m": 100.0, "y_m": 100.0},  # zone Z0-0
+                }
+            ]
+        )
+        assert server.broker.get_queue(mob1["queue"]).ready_count == 0
+        assert server.ingested == 1
+
+    def test_subscriber_in_matching_zone_receives(self, server):
+        mob1 = server.enroll_user("SC", "mob1", "pw")
+        mob2 = server.enroll_user("SC", "mob2", "pw")
+        server.channels.subscribe("SC", "mob1", "Z0-0", "NoiseObservation")
+        uplink = BrokerUplink(server.broker, mob2["exchange"], app_id="SC")
+        uplink.send(
+            [
+                {
+                    "user_id": "mob2",
+                    "noise_dba": 61.0,
+                    "taken_at": 1.0,
+                    "location": {"x_m": 100.0, "y_m": 100.0},
+                }
+            ]
+        )
+        assert server.broker.get_queue(mob1["queue"]).ready_count == 1
+
+    def test_logout_stops_delivery_but_not_storage(self, server):
+        mob1 = server.enroll_user("SC", "mob1", "pw")
+        mob2 = server.enroll_user("SC", "mob2", "pw")
+        server.channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        server.channels.client_logout("mob1")
+        publisher = server.broker.connect("mob2-session").channel()
+        publisher.basic_publish(
+            mob2["exchange"], "FR75013.Feedback", {"app_id": "SC", "text": "x"}
+        )
+        assert server.ingested == 1
+        assert not server.broker.has_queue(mob1["queue"])

@@ -1,0 +1,72 @@
+"""Integration: truth discovery and DP aggregates over the campaign store."""
+
+import numpy as np
+import pytest
+
+from repro.core.dp import DpAggregator, PrivacyBudget
+from repro.core.errors import ValidationError
+from repro.errors import ConfigurationError
+from repro.trust import TruthDiscovery, claims_from_documents
+
+
+class TestTruthDiscoveryOnCampaignData:
+    def test_claims_mined_from_store(self, small_campaign):
+        documents = small_campaign.server.data.collection.find(
+            {"location": {"$exists": True}}
+        ).to_list()
+        claims = claims_from_documents(documents, cell_m=1000.0, window_s=7200.0)
+        assert len(claims) > 100
+        contributors = {claim.contributor for claim in claims}
+        assert len(contributors) > 5
+
+    def test_discovery_runs_on_real_claims(self, small_campaign):
+        documents = small_campaign.server.data.collection.find(
+            {"location": {"$exists": True}}
+        ).to_list()
+        claims = claims_from_documents(documents, cell_m=2000.0, window_s=14400.0)
+        try:
+            result = TruthDiscovery(min_claims_per_entity=2).run(claims)
+        except ConfigurationError:
+            pytest.skip("campaign too sparse for co-claimed entities")
+        assert result.truths
+        assert all(weight > 0 for weight in result.weights.values())
+        # discovered truths live in the plausible dB(A) range
+        values = list(result.truths.values())
+        assert 20.0 <= min(values) and max(values) <= 110.0
+
+
+class TestDpOnCampaignData:
+    def test_zone_counts_release(self, small_campaign):
+        budget = PrivacyBudget(2.0)
+        aggregator = DpAggregator(
+            small_campaign.server.store, budget, rng=np.random.default_rng(9)
+        )
+        release = aggregator.zone_counts(epsilon=1.0)
+        assert release.values
+        assert budget.spent == pytest.approx(1.0)
+        # noisy counts roughly total the real localized volume
+        localized = small_campaign.analytics.totals()["localized"]
+        assert sum(release.values.values()) == pytest.approx(
+            localized, rel=0.25
+        )
+
+    def test_budget_shared_across_releases(self, small_campaign):
+        budget = PrivacyBudget(1.0)
+        aggregator = DpAggregator(
+            small_campaign.server.store, budget, rng=np.random.default_rng(10)
+        )
+        aggregator.zone_counts(epsilon=0.5)
+        aggregator.zone_mean_levels(epsilon=0.5)
+        with pytest.raises(ValidationError):
+            aggregator.zone_counts(epsilon=0.1)
+
+    def test_mean_release_plausible(self, small_campaign):
+        aggregator = DpAggregator(
+            small_campaign.server.store,
+            PrivacyBudget(10.0),
+            rng=np.random.default_rng(11),
+        )
+        release = aggregator.zone_mean_levels(epsilon=5.0)
+        assert release.values
+        for value in release.values.values():
+            assert 20.0 <= value <= 100.0

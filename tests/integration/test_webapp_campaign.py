@@ -1,0 +1,62 @@
+"""Integration: the application server over a real campaign store."""
+
+import pytest
+
+from repro.core.errors import NotFoundError
+from repro.webapp import SoundCityApp
+
+
+@pytest.fixture(scope="module")
+def app_over_campaign(small_campaign):
+    return SoundCityApp(small_campaign.server), small_campaign
+
+
+class TestExposureOverCampaign:
+    def test_some_user_has_a_daily_summary(self, app_over_campaign):
+        app, campaign = app_over_campaign
+        served = 0
+        for user in campaign.population.sharing_users()[:30]:
+            try:
+                summary = app.exposure.daily(user.user_id, 0)
+            except NotFoundError:
+                continue
+            served += 1
+            assert summary.measurement_count > 0
+            assert 20.0 <= summary.leq_dba <= 110.0
+            assert summary.band in (
+                "acceptable",
+                "annoyance",
+                "health risk",
+                "harmful",
+            )
+        assert served > 3
+
+    def test_exposure_counts_match_store(self, app_over_campaign):
+        app, campaign = app_over_campaign
+        privacy = campaign.server.privacy
+        for user in campaign.population.sharing_users()[:30]:
+            pseudonym = privacy.pseudonym(user.user_id)
+            stored = campaign.server.data.collection.count(
+                {"contributor": pseudonym, "taken_at": {"$gte": 0.0, "$lt": 86400.0}}
+            )
+            if stored == 0:
+                continue
+            summary = app.exposure.daily(user.user_id, 0)
+            assert summary.measurement_count == stored
+            return
+        pytest.skip("no user contributed on day 0")
+
+
+class TestFeedbackOverCampaign:
+    def test_prompt_policy_fires_on_real_documents(self, app_over_campaign):
+        app, campaign = app_over_campaign
+        prompted = 0
+        examined = 0
+        for document in campaign.server.data.collection.find({}).limit(2000):
+            examined += 1
+            contributor = document.get("contributor", "anon")
+            if app.feedback.prompt(contributor, document):
+                prompted += 1
+        assert examined > 100
+        # prompts fire, but far less often than once per observation
+        assert 0 < prompted < 0.2 * examined

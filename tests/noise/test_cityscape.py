@@ -1,0 +1,94 @@
+"""City-grounded soundscape tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.citymodel import CityNoiseModel, PointSource, StreetSegment
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+from repro.noise.cityscape import CitySoundscape
+
+
+@pytest.fixture
+def city():
+    grid = CityGrid(10, 10, (1000.0, 1000.0))
+    street = StreetSegment(0.0, 500.0, 1000.0, 500.0, emission_db=76.0)
+    return CityNoiseModel(grid, [street], [PointSource(800.0, 800.0, 70.0)])
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestCitySoundscape:
+    def test_outdoor_level_tracks_field(self, city):
+        scape = CitySoundscape(city)
+        near_street = scape.outdoor_level_db(500.0, 505.0)
+        far_corner = scape.outdoor_level_db(50.0, 50.0)
+        assert near_street > far_corner + 5.0
+
+    def test_outside_grid_falls_back_to_mean(self, city):
+        scape = CitySoundscape(city)
+        assert scape.outdoor_level_db(-100.0, 0.0) == pytest.approx(
+            float(city.simulate().mean())
+        )
+
+    def test_moving_users_hear_the_street(self, city, rng):
+        scape = CitySoundscape(city, outdoor_spread_db=1.0)
+        outdoor = scape.outdoor_level_db(500.0, 505.0)
+        levels = [
+            scape.true_level_db(rng, 14.0, "foot", x_m=500.0, y_m=505.0)
+            for _ in range(200)
+        ]
+        assert np.mean(levels) == pytest.approx(outdoor, abs=1.0)
+
+    def test_still_users_often_indoors(self, city, rng):
+        scape = CitySoundscape(city, indoor_attenuation_db=18.0)
+        outdoor = scape.outdoor_level_db(500.0, 505.0)
+        levels = np.array(
+            [
+                scape.true_level_db(rng, 14.0, "still", x_m=500.0, y_m=505.0)
+                for _ in range(400)
+            ]
+        )
+        indoor_fraction = np.mean(levels < outdoor - 9.0)
+        assert indoor_fraction > 0.4  # most still samples are attenuated
+
+    def test_night_quieter(self, city, rng):
+        scape = CitySoundscape(city)
+        day = np.mean(
+            [
+                scape.true_level_db(rng, 14.0, "foot", x_m=500.0, y_m=505.0)
+                for _ in range(150)
+            ]
+        )
+        night = np.mean(
+            [
+                scape.true_level_db(rng, 3.0, "foot", x_m=500.0, y_m=505.0)
+                for _ in range(150)
+            ]
+        )
+        assert night < day - 3.0
+
+    def test_without_position_degrades_to_mixture(self, city, rng):
+        scape = CitySoundscape(city)
+        level = scape.true_level_db(rng, 14.0, "still")
+        assert 20.0 <= level <= 110.0
+
+    def test_negative_attenuation_rejected(self, city):
+        with pytest.raises(ConfigurationError):
+            CitySoundscape(city, indoor_attenuation_db=-1.0)
+
+    def test_campaign_integration(self, city):
+        """A campaign wired with a city model stores spatial signal."""
+        from repro.campaign import CampaignConfig, FleetCampaign
+
+        config = CampaignConfig(
+            seed=5, scale=0.005, days=0.5, city_extent_m=1000.0, city_model=city
+        )
+        result = FleetCampaign(config).run()
+        docs = result.server.data.collection.find(
+            {"location": {"$exists": True}}
+        ).to_list()
+        assert docs  # observations flowed with the city soundscape active

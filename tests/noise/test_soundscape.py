@@ -1,0 +1,84 @@
+"""Soundscape mixture tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.soundscape import Soundscape, SoundscapeParams
+from repro.noise.spl import spl_dba
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestMixture:
+    def test_daytime_detection(self):
+        scape = Soundscape()
+        assert scape.is_daytime(12.0)
+        assert not scape.is_daytime(3.0)
+        assert not scape.is_daytime(23.0)
+
+    def test_moving_users_more_likely_active(self):
+        scape = Soundscape()
+        still = scape.active_probability(14.0, "still")
+        moving = scape.active_probability(14.0, "vehicle")
+        assert moving > still
+
+    def test_night_less_active_than_day(self):
+        scape = Soundscape()
+        assert scape.active_probability(3.0) < scape.active_probability(14.0)
+
+    def test_levels_bounded(self, rng):
+        scape = Soundscape()
+        levels = [scape.true_level_db(rng, 14.0) for _ in range(500)]
+        assert all(20.0 <= lv <= 110.0 for lv in levels)
+
+    def test_bimodal_shape_daytime(self, rng):
+        """Figure 14's silhouette: quiet peak plus active bump."""
+        scape = Soundscape()
+        levels = np.array([scape.true_level_db(rng, 14.0) for _ in range(6000)])
+        quiet = np.mean((levels > 30) & (levels < 48))
+        active = np.mean(levels > 55)
+        assert quiet > 0.45
+        assert 0.1 < active < 0.45
+
+    def test_night_quieter_on_average(self, rng):
+        scape = Soundscape()
+        day = np.mean([scape.true_level_db(rng, 14.0) for _ in range(2000)])
+        night = np.mean([scape.true_level_db(rng, 3.0) for _ in range(2000)])
+        assert night < day - 3.0
+
+    def test_vectorized_matches_scalar_statistics(self, rng):
+        scape = Soundscape()
+        hours = np.full(4000, 14.0)
+        batch = scape.true_levels_db(np.random.default_rng(1), hours)
+        scalar_rng = np.random.default_rng(2)
+        scalar = np.array(
+            [scape.true_level_db(scalar_rng, 14.0) for _ in range(4000)]
+        )
+        assert np.mean(batch) == pytest.approx(np.mean(scalar), abs=1.5)
+        assert np.std(batch) == pytest.approx(np.std(scalar), abs=2.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoundscapeParams(active_share_day=1.5)
+        with pytest.raises(ConfigurationError):
+            SoundscapeParams(quiet_std_db=0.0)
+
+
+class TestWaveformSynthesis:
+    def test_target_level_reached(self, rng):
+        scape = Soundscape()
+        waveform, rate = scape.synthesize_waveform(rng, target_dba=65.0)
+        assert spl_dba(waveform, rate) == pytest.approx(65.0, abs=0.2)
+
+    def test_quiet_target(self, rng):
+        scape = Soundscape()
+        waveform, rate = scape.synthesize_waveform(rng, target_dba=35.0)
+        assert spl_dba(waveform, rate) == pytest.approx(35.0, abs=0.2)
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            Soundscape().synthesize_waveform(rng, 60.0, duration_s=0.0001)

@@ -1,0 +1,91 @@
+"""SPL and dB-arithmetic tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.spl import (
+    REFERENCE_PRESSURE_PA,
+    db_add,
+    db_mean,
+    leq,
+    spl_db,
+    spl_dba,
+)
+
+
+class TestSplDb:
+    def test_reference_rms_is_zero_db(self):
+        # a constant signal at the reference pressure has 0 dB SPL
+        signal = np.full(1000, REFERENCE_PRESSURE_PA)
+        assert spl_db(signal) == pytest.approx(0.0)
+
+    def test_94_db_calibrator(self):
+        # the standard 94 dB calibrator = 1 Pa RMS
+        rate = 8000.0
+        t = np.arange(8000) / rate
+        tone = np.sqrt(2.0) * 1.0 * np.sin(2 * np.pi * 1000.0 * t)
+        assert spl_db(tone) == pytest.approx(94.0, abs=0.05)
+
+    def test_doubling_pressure_adds_6db(self):
+        signal = np.full(100, REFERENCE_PRESSURE_PA)
+        assert spl_db(2 * signal) - spl_db(signal) == pytest.approx(6.02, abs=0.01)
+
+    def test_silence_is_minus_infinity(self):
+        assert spl_db(np.zeros(100)) == -np.inf
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spl_db(np.array([]))
+
+    def test_spl_dba_of_1khz_equals_spl_db(self):
+        rate = 16000.0
+        t = np.arange(int(rate)) / rate
+        tone = 0.1 * np.sin(2 * np.pi * 1000.0 * t)
+        assert spl_dba(tone, rate) == pytest.approx(spl_db(tone), abs=0.1)
+
+
+class TestLeq:
+    def test_constant_levels(self):
+        assert leq([60.0, 60.0, 60.0]) == pytest.approx(60.0)
+
+    def test_energy_mean_dominated_by_loudest(self):
+        value = leq([40.0, 80.0])
+        assert value == pytest.approx(77.0, abs=0.1)
+
+    def test_durations_weighting(self):
+        short_loud = leq([40.0, 80.0], durations_s=[3600.0, 1.0])
+        assert short_loud < 60.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            leq([60.0, 70.0], durations_s=[1.0])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            leq([60.0], durations_s=[0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            leq([])
+
+
+class TestDbAdd:
+    def test_two_equal_sources_add_3db(self):
+        assert db_add(60.0, 60.0) == pytest.approx(63.01, abs=0.01)
+
+    def test_ten_equal_sources_add_10db(self):
+        assert db_add(*([50.0] * 10)) == pytest.approx(60.0, abs=0.01)
+
+    def test_dominated_by_loudest(self):
+        assert db_add(80.0, 40.0) == pytest.approx(80.0, abs=0.01)
+
+    def test_single_level_identity(self):
+        assert db_add(55.5) == pytest.approx(55.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            db_add()
+
+    def test_db_mean_equals_leq(self):
+        assert db_mean([50.0, 70.0]) == pytest.approx(leq([50.0, 70.0]))

@@ -1,0 +1,79 @@
+"""A-weighting curve tests against IEC 61672 reference values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.weighting import a_weighting_db, apply_a_weighting
+
+
+class TestAWeightingCurve:
+    @pytest.mark.parametrize(
+        "frequency,expected_db,tol",
+        [
+            # standard one-third-octave reference values
+            (31.5, -39.4, 0.5),
+            (63.0, -26.2, 0.5),
+            (125.0, -16.1, 0.5),
+            (250.0, -8.6, 0.5),
+            (500.0, -3.2, 0.5),
+            (1000.0, 0.0, 0.01),
+            (2000.0, 1.2, 0.5),
+            (4000.0, 1.0, 0.5),
+            (8000.0, -1.1, 0.5),
+            (16000.0, -6.6, 0.7),
+        ],
+    )
+    def test_reference_values(self, frequency, expected_db, tol):
+        assert float(a_weighting_db(frequency)) == pytest.approx(expected_db, abs=tol)
+
+    def test_zero_at_1khz_exactly(self):
+        assert float(a_weighting_db(1000.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_dc_is_minus_infinity(self):
+        assert np.isneginf(a_weighting_db(0.0))
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            a_weighting_db(-100.0)
+
+    def test_vectorized(self):
+        out = a_weighting_db([125.0, 1000.0])
+        assert out.shape == (2,)
+
+
+class TestApplyAWeighting:
+    def test_1khz_tone_unchanged(self):
+        rate = 16000.0
+        t = np.arange(int(rate)) / rate
+        tone = np.sin(2 * np.pi * 1000.0 * t)
+        weighted = apply_a_weighting(tone, rate)
+        in_rms = np.sqrt(np.mean(tone**2))
+        out_rms = np.sqrt(np.mean(weighted**2))
+        assert 20 * np.log10(out_rms / in_rms) == pytest.approx(0.0, abs=0.1)
+
+    def test_low_frequency_attenuated(self):
+        rate = 16000.0
+        t = np.arange(int(rate)) / rate
+        tone = np.sin(2 * np.pi * 63.0 * t)
+        weighted = apply_a_weighting(tone, rate)
+        in_rms = np.sqrt(np.mean(tone**2))
+        out_rms = np.sqrt(np.mean(weighted**2))
+        assert 20 * np.log10(out_rms / in_rms) == pytest.approx(-26.2, abs=0.5)
+
+    def test_dc_removed(self):
+        signal = np.ones(1024)
+        weighted = apply_a_weighting(signal, 8000.0)
+        assert np.max(np.abs(weighted)) < 1e-9
+
+    def test_output_length_preserved(self):
+        signal = np.random.default_rng(0).standard_normal(777)
+        assert apply_a_weighting(signal, 8000.0).shape == (777,)
+
+    def test_2d_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_a_weighting(np.zeros((2, 10)), 8000.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            apply_a_weighting(np.zeros(100), 0.0)

@@ -1,0 +1,148 @@
+"""Property-based tests of the aggregation pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.aggregate import aggregate
+
+VALUES = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+KEYED_DOCS = st.lists(
+    st.fixed_dictionaries(
+        {
+            "k": st.sampled_from(["a", "b", "c"]),
+            "v": st.integers(min_value=-100, max_value=100),
+        }
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestGroupProperties:
+    @given(VALUES)
+    def test_sum_and_avg_agree_with_numpy(self, values):
+        docs = [{"v": value} for value in values]
+        out = aggregate(
+            docs,
+            [{"$group": {"_id": None, "s": {"$sum": "$v"}, "m": {"$avg": "$v"}}}],
+        )
+        assert out[0]["s"] == np.sum(values) or abs(
+            out[0]["s"] - np.sum(values)
+        ) < 1e-6 * max(1.0, abs(np.sum(values)))
+        assert abs(out[0]["m"] - np.mean(values)) < 1e-6 * max(
+            1.0, abs(np.mean(values))
+        )
+
+    @given(VALUES)
+    def test_min_max_bound_all_values(self, values):
+        docs = [{"v": value} for value in values]
+        out = aggregate(
+            docs,
+            [{"$group": {"_id": None, "lo": {"$min": "$v"}, "hi": {"$max": "$v"}}}],
+        )
+        assert out[0]["lo"] == min(values)
+        assert out[0]["hi"] == max(values)
+
+    @given(KEYED_DOCS)
+    def test_group_counts_partition_the_input(self, docs):
+        out = aggregate(docs, [{"$group": {"_id": "$k", "n": {"$sum": 1}}}])
+        assert sum(row["n"] for row in out) == len(docs)
+        assert {row["_id"] for row in out} == {doc["k"] for doc in docs}
+
+    @given(KEYED_DOCS)
+    def test_match_then_group_equals_group_row(self, docs):
+        grouped = aggregate(docs, [{"$group": {"_id": "$k", "n": {"$sum": 1}}}])
+        for row in grouped:
+            matched = aggregate(docs, [{"$match": {"k": row["_id"]}}, {"$count": "n"}])
+            assert matched[0]["n"] == row["n"]
+
+    @given(KEYED_DOCS)
+    def test_sort_by_count_is_descending_partition(self, docs):
+        out = aggregate(docs, [{"$sortByCount": "$k"}])
+        counts = [row["count"] for row in out]
+        assert counts == sorted(counts, reverse=True)
+        assert sum(counts) == len(docs)
+
+
+class TestBucketProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=999.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_buckets_partition_values(self, values):
+        docs = [{"v": value} for value in values]
+        out = aggregate(
+            docs,
+            [
+                {
+                    "$bucket": {
+                        "groupBy": "$v",
+                        "boundaries": [0, 10, 100, 1000],
+                    }
+                }
+            ],
+        )
+        assert sum(row["count"] for row in out) == len(values)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50.0, max_value=2000.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_default_catches_out_of_range(self, values):
+        docs = [{"v": value} for value in values]
+        out = aggregate(
+            docs,
+            [
+                {
+                    "$bucket": {
+                        "groupBy": "$v",
+                        "boundaries": [0, 1000],
+                        "default": "other",
+                    }
+                }
+            ],
+        )
+        assert sum(row["count"] for row in out) == len(values)
+        in_range = sum(1 for v in values if 0 <= v < 1000)
+        by_id = {row["_id"]: row["count"] for row in out}
+        assert by_id.get(0, 0) == in_range
+
+
+class TestPipelineComposition:
+    @given(KEYED_DOCS, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=50)
+    def test_limit_after_sort_is_prefix(self, docs, limit):
+        full = aggregate(docs, [{"$sort": {"v": 1, "k": 1}}])
+        limited = aggregate(docs, [{"$sort": {"v": 1, "k": 1}}, {"$limit": limit}])
+        stripped = [
+            {k: v for k, v in d.items() if k != "_id"} for d in full[:limit]
+        ]
+        stripped_limited = [
+            {k: v for k, v in d.items() if k != "_id"} for d in limited
+        ]
+        assert stripped_limited == stripped
+
+    @given(KEYED_DOCS)
+    def test_pipeline_does_not_mutate_input(self, docs):
+        import copy
+
+        snapshot = copy.deepcopy(docs)
+        aggregate(
+            docs,
+            [
+                {"$addFields": {"w": {"$add": ["$v", 1]}}},
+                {"$group": {"_id": "$k", "n": {"$sum": "$w"}}},
+            ],
+        )
+        assert docs == snapshot

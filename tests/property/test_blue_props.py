@@ -1,0 +1,87 @@
+"""Property-based tests of BLUE and dB arithmetic."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assimilation.blue import BlueAnalysis
+from repro.assimilation.grid import CityGrid
+from repro.assimilation.observation import ObservationOperator, PointObservation
+from repro.noise.spl import db_add, leq
+
+LEVELS = st.lists(
+    st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestDbArithmeticProperties:
+    @given(LEVELS)
+    def test_db_add_at_least_max(self, levels):
+        assert db_add(*levels) >= max(levels) - 1e-9
+
+    @given(LEVELS)
+    def test_db_add_bounded_by_max_plus_10log_n(self, levels):
+        bound = max(levels) + 10.0 * np.log10(len(levels))
+        assert db_add(*levels) <= bound + 1e-9
+
+    @given(LEVELS)
+    def test_leq_between_min_and_max(self, levels):
+        value = leq(levels)
+        assert min(levels) - 1e-9 <= value <= max(levels) + 1e-9
+
+    @given(LEVELS, st.floats(min_value=-20.0, max_value=20.0, allow_nan=False))
+    def test_leq_shift_equivariance(self, levels, shift):
+        shifted = [lv + shift for lv in levels]
+        assert leq(shifted) == leq(levels) + shift or abs(
+            leq(shifted) - leq(levels) - shift
+        ) < 1e-6
+
+
+@st.composite
+def observation_batches(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    observations = []
+    for _ in range(count):
+        observations.append(
+            PointObservation(
+                x_m=draw(st.floats(min_value=1.0, max_value=399.0)),
+                y_m=draw(st.floats(min_value=1.0, max_value=399.0)),
+                value_db=draw(st.floats(min_value=30.0, max_value=90.0)),
+                accuracy_m=draw(st.floats(min_value=5.0, max_value=300.0)),
+                sensor_sigma_db=draw(st.floats(min_value=0.5, max_value=8.0)),
+            )
+        )
+    return observations
+
+
+class TestBlueProperties:
+    @given(observation_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_weighted_residual_never_exceeds_weighted_innovation(self, observations):
+        """BLUE minimizes J(x) = ||x-x_b||²_B⁻¹ + ||y-Hx||²_R⁻¹, so the
+        R⁻¹-weighted residual norm cannot exceed the weighted innovation
+        norm (the unweighted RMS *can* grow when conflicting
+        observations disagree)."""
+        grid = CityGrid(6, 6, (400.0, 400.0))
+        blue = BlueAnalysis(grid, background_sigma_db=4.0, length_m=150.0)
+        operator = ObservationOperator(grid)
+        background = np.full(grid.size, 50.0)
+        batch = operator.build(observations)
+        result = blue.analyse(background, batch)
+        weights = 1.0 / batch.r_diagonal
+        weighted_residual = float(np.sum(weights * result.residual**2))
+        weighted_innovation = float(np.sum(weights * result.innovation**2))
+        assert weighted_residual <= weighted_innovation + 1e-6
+
+    @given(observation_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_analysis_variance_never_exceeds_background(self, observations):
+        grid = CityGrid(6, 6, (400.0, 400.0))
+        blue = BlueAnalysis(grid, background_sigma_db=4.0, length_m=150.0)
+        operator = ObservationOperator(grid)
+        background = np.full(grid.size, 50.0)
+        result = blue.analyse(background, operator.build(observations))
+        assert np.all(result.analysis_variance <= 16.0 + 1e-6)
+        assert np.all(result.analysis_variance >= -1e-9)

@@ -1,0 +1,90 @@
+"""Property-based tests of the client outbox and queue FIFO."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.broker.message import Message
+from repro.broker.queue import MessageQueue
+from repro.client.buffer import ObservationBuffer
+from repro.sensing.activity import ActivityReading
+from repro.sensing.microphone import NoiseReading
+from repro.sensing.modes import SensingMode
+from repro.sensing.scheduler import Observation
+
+
+def _obs(identifier):
+    return Observation(
+        observation_id=identifier,
+        user_id="u",
+        model="A0001",
+        taken_at=float(identifier),
+        mode=SensingMode.OPPORTUNISTIC,
+        noise=NoiseReading(measured_dba=50.0, true_dba=50.0),
+        location=None,
+        activity=ActivityReading(label="still", confidence=0.9, true_activity="still"),
+    )
+
+
+class TestOutboxProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=40))
+    def test_drain_preserves_order(self, identifiers):
+        buffer = ObservationBuffer()
+        for identifier in identifiers:
+            buffer.push(_obs(identifier))
+        drained = [o.observation_id for o in buffer.drain()]
+        assert drained == identifiers
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10_000), max_size=40),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_capacity_keeps_newest(self, identifiers, capacity):
+        buffer = ObservationBuffer(capacity=capacity)
+        for identifier in identifiers:
+            buffer.push(_obs(identifier))
+        drained = [o.observation_id for o in buffer.drain()]
+        assert drained == identifiers[-capacity:]
+        assert buffer.evicted == max(0, len(identifiers) - capacity)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=20),
+        st.lists(st.integers(min_value=101, max_value=200), max_size=20),
+    )
+    def test_requeue_front_then_drain_is_concatenation(self, first, second):
+        buffer = ObservationBuffer()
+        for identifier in second:
+            buffer.push(_obs(identifier))
+        buffer.requeue_front([_obs(i) for i in first])
+        drained = [o.observation_id for o in buffer.drain()]
+        assert drained == first + second
+
+
+class TestQueueProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=50))
+    def test_queue_is_fifo(self, bodies):
+        queue = MessageQueue("q")
+        for body in bodies:
+            queue.enqueue(Message(routing_key="k", body=body))
+        drained = []
+        while True:
+            delivery = queue.get()
+            if delivery is None:
+                break
+            drained.append(delivery.body)
+        assert drained == bodies
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_consumers_collectively_see_everything_once(self, bodies, consumers):
+        queue = MessageQueue("q")
+        seen = []
+        for index in range(consumers):
+            queue.add_consumer(
+                f"c{index}", lambda d: seen.append(d.body), auto_ack=True
+            )
+        for body in bodies:
+            queue.enqueue(Message(routing_key="k", body=body))
+        assert sorted(seen) == sorted(bodies)
+        assert queue.ready_count == 0

@@ -1,0 +1,109 @@
+"""Property-based tests of the document store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.docstore.collection import Collection
+from repro.docstore.query import matches
+
+SCALAR = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet="abc", max_size=3),
+    st.booleans(),
+    st.none(),
+)
+DOCUMENT = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "v"]), SCALAR, max_size=4
+)
+DOCUMENTS = st.lists(DOCUMENT, max_size=20)
+NUMBERS = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=1, max_size=30
+)
+
+
+class TestQueryProperties:
+    @given(DOCUMENTS, st.integers(min_value=-100, max_value=100))
+    def test_range_query_equals_predicate_filter(self, docs, bound):
+        collection = Collection("c")
+        collection.insert_many(docs)
+        result = {
+            d["_id"] for d in collection.find({"v": {"$gte": bound}})
+        }
+        expected = {
+            d["_id"]
+            for d in collection.find({})
+            if isinstance(d.get("v"), int)
+            and not isinstance(d.get("v"), bool)
+            and d["v"] >= bound
+        }
+        assert result == expected
+
+    @given(DOCUMENTS)
+    def test_index_never_changes_results(self, docs):
+        plain = Collection("plain")
+        plain.insert_many(docs)
+        indexed = Collection("indexed")
+        indexed.create_index("v", kind="sorted")
+        indexed.create_index("a", kind="hash")
+        indexed.insert_many(docs)
+        for filter_doc in (
+            {"v": {"$gte": 0}},
+            {"a": "a"},
+            {"v": {"$gt": -50, "$lt": 50}},
+            {},
+        ):
+            assert {d["_id"] for d in plain.find(filter_doc)} == {
+                d["_id"] for d in indexed.find(filter_doc)
+            }
+
+    @given(DOCUMENT)
+    def test_document_matches_its_own_equality_filter(self, doc):
+        filter_doc = {
+            k: v for k, v in doc.items() if v is not None
+        }
+        assert matches(doc, filter_doc)
+
+    @given(DOCUMENTS)
+    def test_complementary_filters_partition(self, docs):
+        collection = Collection("c")
+        collection.insert_many(docs)
+        positive = collection.count({"v": {"$gt": 0}})
+        negative = collection.count({"v": {"$not": {"$gt": 0}}})
+        assert positive + negative == collection.count()
+
+    @given(NUMBERS)
+    def test_sort_is_ordered(self, values):
+        collection = Collection("c")
+        collection.insert_many([{"v": value} for value in values])
+        out = [d["v"] for d in collection.find({}).sort("v")]
+        assert out == sorted(values)
+
+    @given(DOCUMENTS)
+    def test_insert_delete_roundtrip(self, docs):
+        collection = Collection("c")
+        ids = collection.insert_many(docs)
+        for doc_id in ids:
+            collection.delete_one({"_id": doc_id})
+        assert collection.count() == 0
+
+
+class TestUpdateProperties:
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_inc_adds_exactly(self, start, amount):
+        collection = Collection("c")
+        collection.insert_one({"_id": 1, "n": start})
+        collection.update_one({"_id": 1}, {"$inc": {"n": amount}})
+        assert collection.find_one({"_id": 1})["n"] == start + amount
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=15))
+    def test_add_to_set_yields_unique(self, values):
+        collection = Collection("c")
+        collection.insert_one({"_id": 1, "tags": []})
+        for value in values:
+            collection.update_one({"_id": 1}, {"$addToSet": {"tags": value}})
+        tags = collection.find_one({"_id": 1})["tags"]
+        assert len(tags) == len(set(tags))
+        assert set(tags) == set(values)

@@ -1,0 +1,128 @@
+"""Property-based tests of the incentive mechanisms and DP noise."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dp import PrivacyBudget, laplace_noise
+from repro.core.errors import ValidationError
+from repro.incentives.auction import Bid, ReverseAuction
+from repro.incentives.stackelberg import StackelbergGame, UserCost
+
+KAPPAS = st.lists(
+    st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    min_size=2,
+    max_size=8,
+)
+
+
+@st.composite
+def auction_instances(draw):
+    tasks = [f"t{i}" for i in range(draw(st.integers(min_value=2, max_value=5)))]
+    task_values = {task: draw(st.floats(min_value=1.0, max_value=20.0)) for task in tasks}
+    bids = []
+    count = draw(st.integers(min_value=1, max_value=6))
+    for index in range(count):
+        size = draw(st.integers(min_value=1, max_value=len(tasks)))
+        bundle = frozenset(tasks[:size])
+        bids.append(
+            Bid(f"u{index}", bundle, draw(st.floats(min_value=0.0, max_value=30.0)))
+        )
+    return task_values, bids
+
+
+class TestStackelbergProperties:
+    @given(KAPPAS, st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=60)
+    def test_equilibrium_times_nonnegative(self, kappas, reward):
+        users = [UserCost(f"u{i}", kappa) for i, kappa in enumerate(kappas)]
+        game = StackelbergGame(users, lam=50.0)
+        times = game.equilibrium_times(reward)
+        assert all(t >= 0.0 for t in times.values())
+
+    @given(KAPPAS, st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=60)
+    def test_participant_utilities_nonnegative_at_equilibrium(self, kappas, reward):
+        users = [UserCost(f"u{i}", kappa) for i, kappa in enumerate(kappas)]
+        game = StackelbergGame(users, lam=50.0)
+        utilities = game.user_utilities(reward)
+        assert all(u >= -1e-9 for u in utilities.values())
+
+    @given(KAPPAS)
+    @settings(max_examples=40)
+    def test_total_time_monotone_in_reward(self, kappas):
+        users = [UserCost(f"u{i}", kappa) for i, kappa in enumerate(kappas)]
+        game = StackelbergGame(users, lam=50.0)
+        totals = [
+            sum(game.equilibrium_times(r).values()) for r in (1.0, 5.0, 25.0)
+        ]
+        assert totals[0] <= totals[1] <= totals[2]
+
+
+class TestAuctionProperties:
+    @given(auction_instances())
+    @settings(max_examples=80)
+    def test_individual_rationality(self, instance):
+        task_values, bids = instance
+        outcome = ReverseAuction(task_values).run(bids)
+        bid_of = {bid.user_id: bid.bid for bid in bids}
+        for winner in outcome.winners:
+            assert outcome.payments[winner] >= bid_of[winner] - 1e-9
+
+    @given(auction_instances())
+    @settings(max_examples=80)
+    def test_platform_never_pays_more_than_value(self, instance):
+        task_values, bids = instance
+        outcome = ReverseAuction(task_values).run(bids)
+        assert outcome.platform_utility >= -1e-9
+
+    @given(auction_instances())
+    @settings(max_examples=80)
+    def test_winners_are_bidders_and_unique(self, instance):
+        task_values, bids = instance
+        outcome = ReverseAuction(task_values).run(bids)
+        ids = {bid.user_id for bid in bids}
+        assert set(outcome.winners) <= ids
+        assert len(set(outcome.winners)) == len(outcome.winners)
+
+    @given(auction_instances())
+    @settings(max_examples=60)
+    def test_covered_tasks_are_union_of_winner_bundles(self, instance):
+        task_values, bids = instance
+        outcome = ReverseAuction(task_values).run(bids)
+        union = set()
+        for bid in bids:
+            if bid.user_id in outcome.winners:
+                union |= set(bid.tasks)
+        assert outcome.covered_tasks == union
+
+
+class TestDpProperties:
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40)
+    def test_laplace_noise_symmetric_enough(self, scale, seed):
+        rng = np.random.default_rng(seed)
+        draws = np.array([laplace_noise(rng, scale) for _ in range(500)])
+        assert abs(np.median(draws)) < 4 * scale
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=0.4, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_budget_accounting_exact(self, charges):
+        budget = PrivacyBudget(total_epsilon=sum(charges) + 0.01)
+        for epsilon in charges:
+            budget.charge(epsilon)
+        assert budget.spent <= budget.total_epsilon
+        try:
+            budget.charge(0.02)
+            overdrawn = False
+        except ValidationError:
+            overdrawn = True
+        assert overdrawn == (budget.spent + 0.02 > budget.total_epsilon + 1e-12)

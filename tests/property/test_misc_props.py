@@ -1,0 +1,121 @@
+"""Property-based tests: battery, histograms, privacy, profiles."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.delays import summarize_delays
+from repro.analysis.histograms import accuracy_histogram
+from repro.analysis.participation import hourly_share
+from repro.core.privacy import PrivacyPolicy
+from repro.crowd.diurnal import DiurnalProfile
+from repro.devices.battery import Battery, NetworkKind
+
+
+class TestBatteryProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["mic", "gps", "network", "idle", "wifi", "3g"]),
+            max_size=50,
+        )
+    )
+    def test_level_monotone_nonincreasing(self, actions):
+        battery = Battery(50_000.0, level=1.0)
+        previous = battery.level
+        for action in actions:
+            if action == "mic":
+                battery.mic_sample()
+            elif action in ("gps", "network"):
+                battery.location_fix(action)
+            elif action == "idle":
+                battery.idle(60.0)
+            elif action == "wifi":
+                battery.transmit(1, NetworkKind.WIFI)
+            else:
+                battery.transmit(1, NetworkKind.CELL_3G)
+            assert battery.level <= previous + 1e-12
+            previous = battery.level
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_batched_never_costs_more_than_split(self, count):
+        batched = Battery(100_000.0)
+        batched.transmit(count, NetworkKind.WIFI)
+        split = Battery(100_000.0)
+        for _ in range(count):
+            split.transmit(1, NetworkKind.WIFI)
+        assert batched.consumed_j <= split.consumed_j + 1e-9
+
+
+class TestHistogramProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5000.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_accuracy_histogram_normalized(self, accuracies):
+        histogram = accuracy_histogram(accuracies)
+        assert abs(sum(histogram.values()) - 1.0) < 1e-9
+        assert all(0.0 <= share <= 1.0 for share in histogram.values())
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_hourly_share_normalized(self, hours):
+        share = hourly_share(hours)
+        assert abs(share.sum() - 1.0) < 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_delay_summary_fractions_consistent(self, delays):
+        summary = summarize_delays(delays)
+        assert 0.0 <= summary.within_10s <= summary.within_1min <= summary.within_1h <= 1.0
+        assert 0.0 <= summary.over_2h <= 1.0 - summary.within_1h + 1e-9
+
+
+class TestPrivacyProperties:
+    @given(st.text(min_size=1, max_size=30))
+    def test_pseudonym_deterministic_and_opaque(self, user_id):
+        policy = PrivacyPolicy(salt="s")
+        pseudonym = policy.pseudonym(user_id)
+        assert pseudonym == policy.pseudonym(user_id)
+        if len(user_id) > 3:
+            assert user_id not in pseudonym
+
+    @given(st.text(min_size=1, max_size=20), st.text(min_size=1, max_size=20))
+    def test_pseudonyms_rarely_collide(self, a, b):
+        policy = PrivacyPolicy(salt="s")
+        if a != b:
+            assert policy.pseudonym(a) != policy.pseudonym(b)
+
+    @given(
+        st.floats(min_value=0.0, max_value=100_000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=100_000.0, allow_nan=False),
+    )
+    def test_open_data_positions_on_grid(self, x, y):
+        policy = PrivacyPolicy(salt="s", coarse_grid_m=500.0)
+        doc = {"location": {"x_m": x, "y_m": y}}
+        exported = policy.for_open_data("SC", doc)
+        assert exported["location"]["x_m"] % 500.0 == 0.0
+        assert exported["location"]["x_m"] <= x
+
+
+class TestProfileProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40)
+    def test_sampled_profiles_are_valid(self, seed):
+        profile = DiurnalProfile.sample(np.random.default_rng(seed))
+        assert profile.hourly.shape == (24,)
+        assert np.all(profile.hourly >= 0.0)
+        assert np.all(profile.hourly <= 1.0)
+        assert abs(profile.normalized().sum() - 1.0) < 1e-9

@@ -1,0 +1,106 @@
+"""Property-based tests of the sequential assimilator and city model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assimilation.blue import BlueAnalysis
+from repro.assimilation.citymodel import CityNoiseModel, PointSource, StreetSegment
+from repro.assimilation.grid import CityGrid
+from repro.assimilation.observation import ObservationOperator, PointObservation
+from repro.assimilation.sequential import SequentialAssimilator
+
+
+def _stack():
+    grid = CityGrid(5, 5, (500.0, 500.0))
+    blue = BlueAnalysis(grid, background_sigma_db=4.0, length_m=150.0)
+    return grid, blue, ObservationOperator(grid)
+
+
+LEVELS = st.lists(
+    st.floats(min_value=30.0, max_value=90.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestSequentialProperties:
+    @given(LEVELS)
+    @settings(max_examples=25, deadline=None)
+    def test_state_stays_bounded(self, levels):
+        grid, blue, operator = _stack()
+        assimilator = SequentialAssimilator(
+            blue, operator, np.full(grid.size, 55.0)
+        )
+        rng = np.random.default_rng(0)
+        for level in levels:
+            observations = [
+                PointObservation(
+                    x_m=float(rng.uniform(5, 495)),
+                    y_m=float(rng.uniform(5, 495)),
+                    value_db=level,
+                    accuracy_m=20.0,
+                    sensor_sigma_db=2.0,
+                )
+                for _ in range(5)
+            ]
+            assimilator.step(observations)
+            # the state interpolates between climatology and the data
+            assert assimilator.state.min() > 10.0
+            assert assimilator.state.max() < 110.0
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_history_length_matches_cycles(self, cycles):
+        grid, blue, operator = _stack()
+        assimilator = SequentialAssimilator(
+            blue, operator, np.full(grid.size, 55.0)
+        )
+        for _ in range(cycles):
+            assimilator.step([])
+        assert len(assimilator.history) == cycles
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_empty_cycles_relax_to_climatology(self, relaxation):
+        grid, blue, operator = _stack()
+        climatology = np.full(grid.size, 55.0)
+        assimilator = SequentialAssimilator(
+            blue, operator, climatology, relaxation=relaxation
+        )
+        assimilator.state = np.full(grid.size, 70.0)
+        before = float(np.abs(assimilator.state - climatology).max())
+        assimilator.step([])
+        after = float(np.abs(assimilator.state - climatology).max())
+        assert after <= before + 1e-9
+
+
+class TestCityModelProperties:
+    @given(
+        st.floats(min_value=55.0, max_value=85.0),
+        st.floats(min_value=0.0, max_value=499.0),
+        st.floats(min_value=0.0, max_value=499.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_field_above_background_everywhere(self, emission, x, y):
+        grid = CityGrid(5, 5, (500.0, 500.0))
+        model = CityNoiseModel(
+            grid, [], [PointSource(x, y, emission)], background_db=35.0
+        )
+        field = model.simulate()
+        assert field.min() >= 35.0 - 1e-9
+
+    @given(st.floats(min_value=55.0, max_value=85.0))
+    @settings(max_examples=20, deadline=None)
+    def test_adding_a_source_never_quietens(self, emission):
+        grid = CityGrid(5, 5, (500.0, 500.0))
+        base = CityNoiseModel(
+            grid,
+            [StreetSegment(0.0, 250.0, 500.0, 250.0, 65.0)],
+        )
+        extended = CityNoiseModel(
+            grid,
+            [StreetSegment(0.0, 250.0, 500.0, 250.0, 65.0)],
+            [PointSource(250.0, 100.0, emission)],
+        )
+        assert np.all(extended.simulate() >= base.simulate() - 1e-9)

@@ -1,0 +1,72 @@
+"""Property-based tests of AMQP topic matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broker.topic import topic_matches
+
+WORD = st.text(alphabet="abcxyz01", min_size=1, max_size=4)
+WORDS = st.lists(WORD, min_size=0, max_size=6)
+PATTERN_WORD = st.one_of(WORD, st.just("*"), st.just("#"))
+PATTERN_WORDS = st.lists(PATTERN_WORD, min_size=0, max_size=6)
+
+
+def _join(words):
+    return ".".join(words)
+
+
+class TestTopicProperties:
+    @given(WORDS)
+    def test_key_matches_itself(self, words):
+        key = _join(words)
+        assert topic_matches(key, key)
+
+    @given(WORDS)
+    def test_hash_matches_everything(self, words):
+        assert topic_matches("#", _join(words))
+
+    @given(WORDS)
+    def test_star_chain_matches_same_length_only(self, words):
+        pattern = _join(["*"] * len(words)) if words else ""
+        assert topic_matches(pattern, _join(words))
+        longer = words + ["extra"]
+        assert not topic_matches(pattern, _join(longer))
+
+    @given(PATTERN_WORDS, WORDS)
+    def test_prefixing_hash_preserves_match(self, pattern_words, key_words):
+        """If pattern matches key, '#.pattern' matches key too."""
+        pattern = _join(pattern_words)
+        key = _join(key_words)
+        if topic_matches(pattern, key):
+            extended = _join(["#"] + pattern_words) if pattern_words else "#"
+            assert topic_matches(extended, key)
+
+    @given(PATTERN_WORDS, WORDS, WORDS)
+    def test_hash_suffix_absorbs_extra_words(self, pattern_words, key_words, extra):
+        pattern = _join(pattern_words + ["#"])
+        key = _join(key_words)
+        if topic_matches(_join(pattern_words), key):
+            extended_key = _join(key_words + extra)
+            assert topic_matches(pattern, extended_key)
+
+    @given(WORDS, WORDS)
+    def test_literal_pattern_matches_only_equal_key(self, pattern_words, key_words):
+        # patterns without wildcards are exact matchers
+        assert topic_matches(_join(pattern_words), _join(key_words)) == (
+            pattern_words == key_words
+        )
+
+    @given(PATTERN_WORDS, WORDS)
+    @settings(max_examples=200)
+    def test_matching_is_deterministic(self, pattern_words, key_words):
+        pattern, key = _join(pattern_words), _join(key_words)
+        assert topic_matches(pattern, key) == topic_matches(pattern, key)
+
+    @given(PATTERN_WORDS, WORDS)
+    def test_star_to_hash_weakening(self, pattern_words, key_words):
+        """Replacing any '*' by '#' can only widen the match set."""
+        pattern = _join(pattern_words)
+        key = _join(key_words)
+        if topic_matches(pattern, key):
+            widened = _join(["#" if w == "*" else w for w in pattern_words])
+            assert topic_matches(widened, key)

@@ -1,0 +1,83 @@
+"""Activity-recognition tests against Figure 21."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensing.activity import (
+    ACTIVITIES,
+    ActivityRecognizer,
+    CONFIDENCE_THRESHOLD,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestRecognize:
+    def test_labels_are_valid(self, rng):
+        recognizer = ActivityRecognizer()
+        for _ in range(200):
+            reading = recognizer.recognize(rng, "still")
+            assert reading.label in ACTIVITIES
+
+    def test_qualified_labels_have_high_confidence(self, rng):
+        recognizer = ActivityRecognizer()
+        for _ in range(300):
+            reading = recognizer.recognize(rng, "foot")
+            if reading.qualified:
+                assert reading.confidence >= CONFIDENCE_THRESHOLD
+            else:
+                assert reading.confidence < CONFIDENCE_THRESHOLD
+
+    def test_unqualified_rate_near_20_percent(self, rng):
+        """'The activity cannot be characterized for 20 % of the time.'"""
+        recognizer = ActivityRecognizer()
+        readings = [recognizer.recognize(rng, "still") for _ in range(4000)]
+        unqualified = np.mean([not r.qualified for r in readings])
+        assert unqualified == pytest.approx(0.20, abs=0.03)
+
+    def test_mostly_correct_when_qualified(self, rng):
+        recognizer = ActivityRecognizer()
+        readings = [recognizer.recognize(rng, "vehicle") for _ in range(2000)]
+        qualified = [r for r in readings if r.qualified]
+        correct = np.mean([r.label == "vehicle" for r in qualified])
+        assert correct > 0.9
+
+    def test_unknown_true_activity_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            ActivityRecognizer().recognize(rng, "teleporting")
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivityRecognizer(misclassify_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ActivityRecognizer(low_confidence_rate=0.6, undefined_rate=0.5)
+
+
+class TestDistribution:
+    def test_distribution_sums_to_one(self, rng):
+        recognizer = ActivityRecognizer()
+        dist = recognizer.distribution(rng, ["still"] * 50 + ["foot"] * 10, n=5)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_figure21_shape(self, rng):
+        """Still ~70 %, moving < 10 %, ~20 % unqualified."""
+        recognizer = ActivityRecognizer()
+        # ground truth at the mobility model's stationary shares
+        truths = (
+            ["still"] * 930 + ["foot"] * 32 + ["vehicle"] * 18
+            + ["bicycle"] * 6 + ["tilting"] * 14
+        )
+        dist = recognizer.distribution(rng, truths, n=4)
+        moving = dist["foot"] + dist["bicycle"] + dist["vehicle"]
+        unqualified = dist["undefined"] + dist["unknown"]
+        assert dist["still"] == pytest.approx(0.72, abs=0.05)
+        assert moving < 0.10
+        assert unqualified == pytest.approx(0.20, abs=0.04)
+
+    def test_empty_distribution_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            ActivityRecognizer().distribution(rng, [])

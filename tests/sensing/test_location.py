@@ -1,0 +1,182 @@
+"""Location model tests against Figures 10-13 and 20."""
+
+import numpy as np
+import pytest
+
+from repro.devices.registry import DeviceRegistry
+from repro.errors import ConfigurationError
+from repro.sensing.location import (
+    LocationModel,
+    PROVIDER_FUSED,
+    PROVIDER_GPS,
+    PROVIDER_NETWORK,
+    ProviderMix,
+)
+from repro.sensing.modes import SensingMode
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def registry():
+    return DeviceRegistry()
+
+
+class TestProviderMix:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            ProviderMix(gps=0.5, network=0.5, fused=0.5)
+
+    def test_without_fused_folds_into_network(self):
+        mix = ProviderMix(gps=0.1, network=0.8, fused=0.1).without_fused()
+        assert mix.fused == 0.0
+        assert mix.network == pytest.approx(0.9)
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProviderMix(gps=-0.1, network=1.0, fused=0.1)
+
+
+class TestAvailability:
+    def test_opportunistic_rate_matches_model_share(self, rng, registry):
+        model = registry.get("GT-I9505")  # localized share ~43 %
+        locations = LocationModel()
+        hits = sum(
+            locations.fix_available(rng, model, SensingMode.OPPORTUNISTIC)
+            for _ in range(5000)
+        )
+        assert hits / 5000 == pytest.approx(model.localized_share, abs=0.03)
+
+    def test_participatory_nearly_always_fixes(self, rng, registry):
+        model = registry.get("HTCONE_M8")  # low opportunistic share (~21 %)
+        locations = LocationModel()
+        hits = sum(
+            locations.fix_available(rng, model, SensingMode.JOURNEY)
+            for _ in range(1000)
+        )
+        assert hits / 1000 > 0.9
+
+
+class TestProviderSelection:
+    def test_opportunistic_mostly_network(self, rng, registry):
+        model = registry.get("A0001")
+        locations = LocationModel()
+        draws = [
+            locations.sample_provider(rng, model, SensingMode.OPPORTUNISTIC)
+            for _ in range(3000)
+        ]
+        share_network = draws.count(PROVIDER_NETWORK) / len(draws)
+        share_gps = draws.count(PROVIDER_GPS) / len(draws)
+        assert share_network == pytest.approx(0.845, abs=0.03)
+        assert share_gps == pytest.approx(0.06, abs=0.02)
+
+    def test_journey_shifts_to_gps(self, rng, registry):
+        """Figure 20: +40 % GPS in journey mode."""
+        model = registry.get("A0001")
+        locations = LocationModel()
+        opportunistic = [
+            locations.sample_provider(rng, model, SensingMode.OPPORTUNISTIC)
+            for _ in range(2000)
+        ]
+        journey = [
+            locations.sample_provider(rng, model, SensingMode.JOURNEY)
+            for _ in range(2000)
+        ]
+        gain = journey.count(PROVIDER_GPS) / 2000 - opportunistic.count(
+            PROVIDER_GPS
+        ) / 2000
+        assert gain == pytest.approx(0.41, abs=0.05)
+
+    def test_manual_shifts_to_gps_by_20_points(self, rng, registry):
+        model = registry.get("A0001")
+        locations = LocationModel()
+        manual = [
+            locations.sample_provider(rng, model, SensingMode.MANUAL)
+            for _ in range(2000)
+        ]
+        assert manual.count(PROVIDER_GPS) / 2000 == pytest.approx(0.27, abs=0.04)
+
+    def test_no_fused_for_incapable_models(self, rng, registry):
+        model = registry.get("NEXUS 4")  # has_fused_provider=False
+        locations = LocationModel()
+        draws = [
+            locations.sample_provider(rng, model, SensingMode.OPPORTUNISTIC)
+            for _ in range(500)
+        ]
+        assert PROVIDER_FUSED not in draws
+
+
+class TestAccuracyDistributions:
+    def test_gps_bulk_in_6_to_20m(self, rng):
+        """Figure 11."""
+        locations = LocationModel()
+        values = [locations.sample_accuracy_m(rng, PROVIDER_GPS) for _ in range(3000)]
+        in_band = np.mean([(6.0 <= v < 20.0) for v in values])
+        assert in_band > 0.6
+
+    def test_network_bulk_in_20_to_50m(self, rng):
+        """Figure 12."""
+        locations = LocationModel()
+        values = [
+            locations.sample_accuracy_m(rng, PROVIDER_NETWORK) for _ in range(3000)
+        ]
+        in_band = np.mean([(20.0 <= v < 50.0) for v in values])
+        assert in_band > 0.5
+
+    def test_network_secondary_peak_below_100m(self, rng):
+        """Figure 10's 'peak at accuracies lower than 100 meters'."""
+        locations = LocationModel()
+        values = np.array(
+            [locations.sample_accuracy_m(rng, PROVIDER_NETWORK) for _ in range(5000)]
+        )
+        near_100 = np.mean((values >= 75) & (values < 100))
+        band_50_75 = np.mean((values >= 50) & (values < 75))
+        assert near_100 > band_50_75
+
+    def test_fused_is_coarse(self, rng):
+        """Figure 13: 'the location accuracy is rather low'."""
+        locations = LocationModel()
+        gps = np.median(
+            [locations.sample_accuracy_m(rng, PROVIDER_GPS) for _ in range(1000)]
+        )
+        fused = np.median(
+            [locations.sample_accuracy_m(rng, PROVIDER_FUSED) for _ in range(1000)]
+        )
+        assert fused > 3 * gps
+
+    def test_unknown_provider_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            LocationModel().sample_accuracy_m(rng, "galileo")
+
+
+class TestSampleFix:
+    def test_fix_contains_truth_and_report(self, rng, registry):
+        model = registry.get("A0001")
+        fix = None
+        locations = LocationModel()
+        while fix is None:
+            fix = locations.sample_fix(
+                rng, model, SensingMode.JOURNEY, true_x_m=100.0, true_y_m=200.0
+            )
+        assert fix.true_x_m == 100.0
+        assert fix.error_m >= 0.0
+
+    def test_accuracy_is_68th_percentile_of_error(self, registry):
+        rng = np.random.default_rng(3)
+        model = registry.get("A0001")
+        locations = LocationModel()
+        within = 0
+        total = 0
+        for _ in range(4000):
+            fix = locations.sample_fix(
+                rng, model, SensingMode.JOURNEY, true_x_m=0.0, true_y_m=0.0
+            )
+            if fix is None:
+                continue
+            total += 1
+            if fix.error_m <= fix.accuracy_m:
+                within += 1
+        assert within / total == pytest.approx(0.68, abs=0.04)

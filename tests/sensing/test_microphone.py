@@ -1,0 +1,76 @@
+"""Microphone chain tests."""
+
+import numpy as np
+import pytest
+
+from repro.devices.registry import DeviceRegistry
+from repro.sensing.microphone import Microphone
+
+
+@pytest.fixture
+def registry():
+    return DeviceRegistry()
+
+
+class TestFastPath:
+    def test_reading_carries_truth_and_measurement(self, registry):
+        mic = Microphone(registry.get("A0001"))
+        reading = mic.sample(np.random.default_rng(0), hour_of_day=14.0)
+        assert reading.measured_dba != reading.true_dba  # response applied
+        assert 20.0 <= reading.true_dba <= 110.0
+
+    def test_model_offset_shifts_measurements(self, registry):
+        """Figure 14: per-model peak shift."""
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        model_a = registry.get("GT-I9505")
+        model_b = registry.get("D5803")
+        mean_a = np.mean(
+            [
+                Microphone(model_a).sample(rng_a, 14.0).measured_dba
+                for _ in range(800)
+            ]
+        )
+        mean_b = np.mean(
+            [
+                Microphone(model_b).sample(rng_b, 14.0).measured_dba
+                for _ in range(800)
+            ]
+        )
+        expected_shift = model_a.mic.offset_db - model_b.mic.offset_db
+        assert abs(mean_a - mean_b) > 1.0
+        assert np.sign(mean_a - mean_b) == np.sign(expected_shift)
+
+    def test_same_model_devices_agree(self, registry):
+        """Figure 15: users of one model follow similar patterns."""
+        model = registry.get("SM-G901F")
+        means = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            mic = Microphone(model)
+            means.append(
+                np.mean([mic.sample(rng, 14.0).measured_dba for _ in range(600)])
+            )
+        assert max(means) - min(means) < 2.0
+
+    def test_noise_floor_respected(self, registry):
+        model = registry.get("A0001")
+        mic = Microphone(model)
+        rng = np.random.default_rng(1)
+        readings = [mic.sample(rng, 3.0).measured_dba for _ in range(500)]
+        assert min(readings) >= model.mic.noise_floor_db
+
+
+class TestAcousticPath:
+    def test_acoustic_path_consistent_with_fast_path(self, registry):
+        """The full waveform chain must land near the drawn true level."""
+        model = registry.get("A0001")
+        mic = Microphone(model)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            reading = mic.sample_acoustic(rng, 14.0)
+            # measured = response(acoustic SPL); acoustic SPL ~= true level
+            expected = model.mic.apply(reading.true_dba)
+            assert reading.measured_dba == pytest.approx(
+                expected, abs=3 * model.mic.jitter_db + 0.5
+            )

@@ -1,0 +1,117 @@
+"""Piggyback-sensing tests."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.diurnal import DiurnalProfile
+from repro.errors import ConfigurationError
+from repro.sensing.piggyback import (
+    AppSession,
+    AppSessionModel,
+    DEVICE_WAKE_J,
+    PiggybackScheduler,
+)
+
+
+def _profile(day_only=True):
+    hourly = np.zeros(24)
+    if day_only:
+        hourly[9:22] = 0.8
+    else:
+        hourly[:] = 0.5
+    return DiurnalProfile(hourly=hourly)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestAppSessionModel:
+    def test_sessions_follow_diurnal_profile(self, rng):
+        model = AppSessionModel(_profile(day_only=True), rng)
+        sessions = model.sessions(0.0, 86400.0)
+        assert sessions
+        hours = [(s.start_s % 86400.0) / 3600.0 for s in sessions]
+        assert all(9.0 <= h < 23.0 for h in hours)  # sessions start in waking hours
+
+    def test_sessions_ordered_and_bounded(self, rng):
+        model = AppSessionModel(_profile(), rng)
+        sessions = model.sessions(3600.0, 7 * 86400.0)
+        starts = [s.start_s for s in sessions]
+        assert starts == sorted(starts)
+        assert all(3600.0 <= s.start_s < 7 * 86400.0 for s in sessions)
+        assert all(s.duration_s > 0 for s in sessions)
+
+    def test_more_engaged_profile_more_sessions(self, rng):
+        sparse = AppSessionModel(
+            DiurnalProfile(hourly=np.full(24, 0.1)), np.random.default_rng(1)
+        ).sessions(0.0, 3 * 86400.0)
+        dense = AppSessionModel(
+            DiurnalProfile(hourly=np.full(24, 0.9)), np.random.default_rng(1)
+        ).sessions(0.0, 3 * 86400.0)
+        assert len(dense) > 2 * len(sparse)
+
+    def test_bad_parameters_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            AppSessionModel(_profile(), rng, sessions_per_active_hour=0.0)
+        model = AppSessionModel(_profile(), rng)
+        with pytest.raises(ConfigurationError):
+            model.sessions(10.0, 10.0)
+
+
+class TestPiggybackScheduler:
+    def test_samples_only_inside_sessions(self):
+        scheduler = PiggybackScheduler(min_spacing_s=60.0)
+        sessions = [AppSession(100.0, 400.0), AppSession(1000.0, 1050.0)]
+        plan = scheduler.plan(sessions)
+        for t in plan.sample_times:
+            assert any(s.start_s <= t <= s.end_s for s in sessions)
+
+    def test_spacing_respected(self):
+        scheduler = PiggybackScheduler(min_spacing_s=120.0)
+        plan = scheduler.plan([AppSession(0.0, 1000.0)])
+        gaps = np.diff(plan.sample_times)
+        assert np.all(gaps >= 120.0 - 1e-9)
+
+    def test_long_session_yields_multiple_samples(self):
+        scheduler = PiggybackScheduler(min_spacing_s=300.0)
+        plan = scheduler.plan([AppSession(0.0, 1500.0)])
+        assert len(plan.sample_times) == 6  # t = 0, 300, ..., 1500
+
+    def test_spacing_bridges_sessions(self):
+        scheduler = PiggybackScheduler(min_spacing_s=300.0)
+        plan = scheduler.plan(
+            [AppSession(0.0, 10.0), AppSession(100.0, 110.0)]
+        )
+        # the second session is inside the spacing window of the first
+        assert len(plan.sample_times) == 1
+
+    def test_energy_has_no_wake_cost(self):
+        scheduler = PiggybackScheduler(min_spacing_s=300.0, sample_cost_j=1.0)
+        plan = scheduler.plan([AppSession(0.0, 900.0)])
+        assert plan.energy_j == pytest.approx(len(plan.sample_times) * 1.0)
+
+    def test_periodic_equivalent_pays_wakeups(self):
+        scheduler = PiggybackScheduler(min_spacing_s=300.0, sample_cost_j=1.0)
+        periodic = scheduler.periodic_equivalent(0.0, 3000.0, period_s=300.0)
+        assert periodic.energy_j == pytest.approx(
+            len(periodic.sample_times) * (1.0 + DEVICE_WAKE_J)
+        )
+
+    def test_piggyback_cheaper_per_sample(self, rng):
+        """The [22] claim: same sensing, much less energy per sample."""
+        model = AppSessionModel(_profile(), rng)
+        sessions = model.sessions(0.0, 86400.0)
+        scheduler = PiggybackScheduler()
+        piggyback = scheduler.plan(sessions)
+        periodic = scheduler.periodic_equivalent(0.0, 86400.0)
+        per_sample_piggy = piggyback.energy_j / max(len(piggyback.sample_times), 1)
+        per_sample_periodic = periodic.energy_j / len(periodic.sample_times)
+        assert per_sample_piggy < 0.5 * per_sample_periodic
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiggybackScheduler(min_spacing_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PiggybackScheduler().periodic_equivalent(0.0, 10.0, period_s=0.0)

@@ -1,0 +1,130 @@
+"""Sensing scheduler tests: opportunistic / manual / journey modes."""
+
+import pytest
+
+from repro.devices.registry import DeviceRegistry
+from repro.errors import ConfigurationError
+from repro.sensing.modes import SensingMode
+from repro.sensing.scheduler import PhoneContext, SensingScheduler
+from repro.simulation import Simulator
+
+
+@pytest.fixture
+def scheduler_setup(simulator):
+    registry = DeviceRegistry()
+    observations = []
+    scheduler = SensingScheduler(
+        simulator,
+        "alice",
+        registry.get("A0001"),
+        PhoneContext(100.0, 200.0),
+        observations.append,
+        simulator.rngs.stream("phone"),
+        opportunistic_period_s=300.0,
+    )
+    return simulator, scheduler, observations
+
+
+class TestOpportunistic:
+    def test_period_respected(self, scheduler_setup):
+        simulator, scheduler, observations = scheduler_setup
+        scheduler.start_opportunistic(until=3600.0)
+        simulator.run()
+        assert len(observations) == 13  # t = 0, 300, ..., 3600
+        assert all(o.mode is SensingMode.OPPORTUNISTIC for o in observations)
+
+    def test_double_start_rejected(self, scheduler_setup):
+        _, scheduler, _ = scheduler_setup
+        scheduler.start_opportunistic()
+        with pytest.raises(ConfigurationError):
+            scheduler.start_opportunistic()
+
+    def test_stop_halts_production(self, scheduler_setup):
+        simulator, scheduler, observations = scheduler_setup
+        scheduler.start_opportunistic()
+        simulator.at(700.0, scheduler.stop_opportunistic)
+        simulator.run()
+        assert len(observations) == 3  # 0, 300, 600
+
+    def test_unavailable_context_skips_tick(self, simulator):
+        class NightOwl(PhoneContext):
+            def available(self, hour_of_day: float) -> bool:
+                return False
+
+        observations = []
+        scheduler = SensingScheduler(
+            simulator,
+            "bob",
+            DeviceRegistry().get("NEXUS 5"),
+            NightOwl(),
+            observations.append,
+            simulator.rngs.stream("phone"),
+        )
+        scheduler.start_opportunistic(until=3600.0)
+        simulator.run()
+        assert observations == []
+
+
+class TestManual:
+    def test_sense_now_returns_observation(self, scheduler_setup):
+        _, scheduler, observations = scheduler_setup
+        observation = scheduler.sense_now()
+        assert observation.mode is SensingMode.MANUAL
+        assert observations == [observation]
+
+    def test_counts_produced(self, scheduler_setup):
+        _, scheduler, _ = scheduler_setup
+        scheduler.sense_now()
+        scheduler.sense_now()
+        assert scheduler.produced == 2
+
+
+class TestJourney:
+    def test_journey_samples_at_frequency(self, scheduler_setup):
+        simulator, scheduler, observations = scheduler_setup
+        scheduler.start_journey(frequency_s=60.0, duration_s=300.0)
+        simulator.run()
+        journey = [o for o in observations if o.mode is SensingMode.JOURNEY]
+        assert len(journey) == 6  # t = 0, 60, ..., 300
+
+    def test_concurrent_journeys_rejected(self, scheduler_setup):
+        _, scheduler, _ = scheduler_setup
+        scheduler.start_journey(60.0, 600.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.start_journey(60.0, 600.0)
+
+    def test_stop_journey(self, scheduler_setup):
+        simulator, scheduler, observations = scheduler_setup
+        scheduler.start_journey(60.0, 600.0)
+        simulator.at(150.0, scheduler.stop_journey)
+        simulator.run()
+        assert len(observations) == 3  # 0, 60, 120
+
+    def test_bad_journey_parameters_rejected(self, scheduler_setup):
+        _, scheduler, _ = scheduler_setup
+        with pytest.raises(ConfigurationError):
+            scheduler.start_journey(0.0, 100.0)
+
+
+class TestObservationDocument:
+    def test_document_has_wire_fields(self, scheduler_setup):
+        _, scheduler, _ = scheduler_setup
+        doc = scheduler.sense_now().to_document()
+        assert {"observation_id", "user_id", "model", "taken_at", "mode",
+                "noise_dba", "activity"} <= set(doc)
+
+    def test_ground_truth_not_serialized(self, scheduler_setup):
+        _, scheduler, observations = scheduler_setup
+        for _ in range(30):
+            scheduler.sense_now()
+        for observation in observations:
+            doc = observation.to_document()
+            assert "true_dba" not in str(doc)
+            if "location" in doc:
+                assert "true_x_m" not in doc["location"]
+
+    def test_localized_flag_matches_document(self, scheduler_setup):
+        _, scheduler, _ = scheduler_setup
+        for _ in range(30):
+            observation = scheduler.sense_now()
+            assert observation.localized == ("location" in observation.to_document())

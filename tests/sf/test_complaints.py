@@ -1,0 +1,62 @@
+"""Complaint-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.citymodel import CityNoiseModel
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+from repro.sf.complaints import ComplaintModel
+
+
+@pytest.fixture
+def city():
+    grid = CityGrid(10, 10, (2000.0, 2000.0))
+    return CityNoiseModel.random_city(grid, np.random.default_rng(0))
+
+
+class TestComplaintProbability:
+    def test_monotone_in_noise(self):
+        model = ComplaintModel()
+        levels = [40.0, 55.0, 65.0, 80.0]
+        probabilities = [model.complaint_probability(lv) for lv in levels]
+        assert probabilities == sorted(probabilities)
+
+    def test_bounded_by_rates(self):
+        model = ComplaintModel(base_rate=0.02, max_rate=0.9)
+        assert model.complaint_probability(-100.0) >= 0.02
+        assert model.complaint_probability(200.0) <= 0.9
+
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComplaintModel(base_rate=0.9, max_rate=0.5)
+        with pytest.raises(ConfigurationError):
+            ComplaintModel(slope_per_db=0.0)
+
+
+class TestSampling:
+    def test_complaints_inside_city(self, city):
+        rng = np.random.default_rng(1)
+        complaints = ComplaintModel().sample(rng, city, resident_count=500)
+        assert complaints
+        for complaint in complaints:
+            assert city.grid.contains(complaint.x_m, complaint.y_m)
+
+    def test_complaints_carry_local_level(self, city):
+        rng = np.random.default_rng(2)
+        field = city.simulate()
+        complaints = ComplaintModel().sample(
+            rng, city, resident_count=300, noise_field=field
+        )
+        for complaint in complaints[:20]:
+            expected = city.level_at(complaint.x_m, complaint.y_m, field=field)
+            assert complaint.noise_at_location_db == pytest.approx(expected)
+
+    def test_more_residents_more_complaints(self, city):
+        few = ComplaintModel().sample(np.random.default_rng(3), city, resident_count=200)
+        many = ComplaintModel().sample(np.random.default_rng(3), city, resident_count=2000)
+        assert len(many) > len(few)
+
+    def test_bad_resident_count_rejected(self, city):
+        with pytest.raises(ConfigurationError):
+            ComplaintModel().sample(np.random.default_rng(0), city, resident_count=0)

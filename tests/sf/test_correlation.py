@@ -1,0 +1,51 @@
+"""Figure 4 correlation tests."""
+
+import numpy as np
+import pytest
+
+from repro.assimilation.citymodel import CityNoiseModel
+from repro.assimilation.grid import CityGrid
+from repro.errors import ConfigurationError
+from repro.sf.complaints import ComplaintModel
+from repro.sf.correlation import complaint_noise_correlation, exposure_contrast
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    grid = CityGrid(12, 12, (3000.0, 3000.0))
+    city = CityNoiseModel.random_city(grid, np.random.default_rng(10))
+    rng = np.random.default_rng(11)
+    complaints = ComplaintModel().sample(rng, city, resident_count=1500)
+    return city, complaints
+
+
+class TestCorrelation:
+    def test_positive_correlation(self, scenario):
+        """The paper's visual claim: 'there is a strong correlation'."""
+        city, complaints = scenario
+        rho = complaint_noise_correlation(
+            np.random.default_rng(12), city, complaints, control_count=1500
+        )
+        assert rho > 0.15
+
+    def test_exposure_contrast(self, scenario):
+        city, complaints = scenario
+        at_complaints, at_random = exposure_contrast(
+            np.random.default_rng(13), city, complaints, control_count=1500
+        )
+        assert at_complaints > at_random + 1.0
+
+    def test_no_complaints_rejected(self, scenario):
+        city, _ = scenario
+        with pytest.raises(ConfigurationError):
+            complaint_noise_correlation(np.random.default_rng(0), city, [])
+
+    def test_noise_insensitive_population_uncorrelated(self, scenario):
+        """Control: with a flat complaint rate the correlation vanishes."""
+        city, _ = scenario
+        flat = ComplaintModel(base_rate=0.1, max_rate=0.100001, slope_per_db=0.01)
+        complaints = flat.sample(np.random.default_rng(14), city, resident_count=1500)
+        rho = complaint_noise_correlation(
+            np.random.default_rng(15), city, complaints, control_count=1500
+        )
+        assert abs(rho) < 0.1

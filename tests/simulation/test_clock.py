@@ -1,0 +1,55 @@
+"""SimClock unit tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_origin(self):
+        clock = SimClock(origin=100.0)
+        assert clock.now == 100.0
+        assert clock.origin == 100.0
+        assert clock.elapsed == 0.0
+
+    def test_default_origin_is_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(origin=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+        assert clock.elapsed == 5.0
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock()
+        clock.advance_to(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.999)
+
+    def test_hour_of_day_wraps(self):
+        clock = SimClock()
+        clock.advance_to(86400.0 + 3 * 3600.0 + 1800.0)
+        assert clock.hour_of_day() == pytest.approx(3.5)
+
+    def test_day_index(self):
+        clock = SimClock()
+        assert clock.day_index() == 0
+        clock.advance_to(86400.0 * 2 + 1)
+        assert clock.day_index() == 2
+
+    def test_repr_mentions_now(self):
+        clock = SimClock()
+        clock.advance_to(1.5)
+        assert "1.5" in repr(clock)

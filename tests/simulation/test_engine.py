@@ -1,0 +1,120 @@
+"""Simulator and PeriodicProcess tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import PeriodicProcess, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_order_and_clock_advances(self, simulator):
+        trace = []
+        simulator.at(2.0, lambda: trace.append(("b", simulator.now)))
+        simulator.at(1.0, lambda: trace.append(("a", simulator.now)))
+        simulator.run()
+        assert trace == [("a", 1.0), ("b", 2.0)]
+
+    def test_after_is_relative(self, simulator):
+        simulator.at(10.0, lambda: simulator.after(5.0, lambda: None))
+        simulator.run()
+        assert simulator.now == 15.0
+
+    def test_scheduling_in_the_past_rejected(self, simulator):
+        simulator.at(10.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.after(-1.0, lambda: None)
+
+    def test_run_until_executes_only_due_events(self, simulator):
+        fired = []
+        simulator.at(1.0, lambda: fired.append(1))
+        simulator.at(10.0, lambda: fired.append(10))
+        executed = simulator.run_until(5.0)
+        assert executed == 1
+        assert fired == [1]
+        assert simulator.now == 5.0
+        assert simulator.pending_events == 1
+
+    def test_run_until_deadline_in_past_rejected(self, simulator):
+        simulator.run_until(10.0)
+        with pytest.raises(SimulationError):
+            simulator.run_until(5.0)
+
+    def test_cancel_prevents_execution(self, simulator):
+        fired = []
+        event = simulator.at(1.0, lambda: fired.append(1))
+        simulator.cancel(event)
+        simulator.run()
+        assert fired == []
+        assert simulator.pending_events == 0
+
+    def test_double_cancel_is_safe(self, simulator):
+        event = simulator.at(1.0, lambda: None)
+        simulator.cancel(event)
+        simulator.cancel(event)
+        assert simulator.pending_events == 0
+
+    def test_max_events_bounds_run(self, simulator):
+        def reschedule():
+            simulator.after(1.0, reschedule)
+
+        simulator.at(0.0, reschedule)
+        executed = simulator.run(max_events=25)
+        assert executed == 25
+
+    def test_events_fired_counter(self, simulator):
+        simulator.at(1.0, lambda: None)
+        simulator.at(2.0, lambda: None)
+        simulator.run()
+        assert simulator.events_fired == 2
+
+    def test_same_seed_same_streams(self):
+        a = Simulator(seed=9)
+        b = Simulator(seed=9)
+        assert a.rngs.stream("x").random() == b.rngs.stream("x").random()
+
+
+class TestPeriodicProcess:
+    def test_fires_at_fixed_interval(self, simulator):
+        hits = []
+        PeriodicProcess(simulator, 10.0, hits.append, until=35.0)
+        simulator.run()
+        assert hits == [0.0, 10.0, 20.0, 30.0]
+
+    def test_start_offset(self, simulator):
+        hits = []
+        PeriodicProcess(simulator, 10.0, hits.append, start=5.0, until=25.0)
+        simulator.run()
+        assert hits == [5.0, 15.0, 25.0]
+
+    def test_stop_halts_firing(self, simulator):
+        hits = []
+        process = PeriodicProcess(simulator, 10.0, hits.append)
+        simulator.at(25.0, process.stop)
+        simulator.run()
+        assert hits == [0.0, 10.0, 20.0]
+        assert process.stopped
+
+    def test_set_interval_applies_from_next_tick(self, simulator):
+        hits = []
+        process = PeriodicProcess(simulator, 10.0, hits.append, until=100.0)
+        simulator.at(15.0, lambda: process.set_interval(30.0))
+        simulator.run()
+        assert hits == [0.0, 10.0, 20.0, 50.0, 80.0]
+
+    def test_zero_interval_rejected(self, simulator):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(simulator, 0.0, lambda t: None)
+
+    def test_until_before_start_never_fires(self, simulator):
+        hits = []
+        simulator.run_until(50.0)
+        process = PeriodicProcess(
+            simulator, 10.0, hits.append, start=60.0, until=55.0
+        )
+        simulator.run()
+        assert hits == []

@@ -1,0 +1,73 @@
+"""EventQueue unit tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(3.0, lambda: fired.append("c"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(2.0, lambda: fired.append("b"))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, lambda: fired.append("low"), priority=5)
+        queue.push(1.0, lambda: fired.append("high"), priority=0)
+        while queue:
+            queue.pop().callback()
+        assert fired == ["high", "low"]
+
+    def test_sequence_breaks_full_ties(self):
+        queue = EventQueue()
+        fired = []
+        for name in ("first", "second", "third"):
+            queue.push(1.0, lambda n=name: fired.append(n))
+        while queue:
+            queue.pop().callback()
+        assert fired == ["first", "second", "third"]
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        queue.note_cancelled()
+        assert len(queue) == 1
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None, label="dead")
+        queue.push(2.0, lambda: None, label="live")
+        event.cancel()
+        queue.note_cancelled()
+        popped = queue.pop()
+        assert popped.label == "live"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(5.0, lambda: None)
+        event.cancel()
+        queue.note_cancelled()
+        assert queue.peek_time() == 5.0
+
+    def test_peek_time_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, lambda: None)

@@ -1,0 +1,55 @@
+"""RngRegistry tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_returns_same_generator(self):
+        registry = RngRegistry(seed=1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_reproducible_across_registries(self):
+        a = RngRegistry(seed=5).stream("crowd").random(4)
+        b = RngRegistry(seed=5).stream("crowd").random(4)
+        assert list(a) == list(b)
+
+    def test_different_names_are_independent(self):
+        registry = RngRegistry(seed=5)
+        a = registry.stream("a").random(4)
+        b = registry.stream("b").random(4)
+        assert list(a) != list(b)
+
+    def test_creation_order_does_not_matter(self):
+        forward = RngRegistry(seed=3)
+        forward.stream("x")
+        x_then = forward.stream("y").random()
+        backward = RngRegistry(seed=3)
+        y_first = backward.stream("y").random()
+        assert x_then == y_first
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("s").random()
+        b = RngRegistry(seed=2).stream("s").random()
+        assert a != b
+
+    def test_fork_is_independent(self):
+        base = RngRegistry(seed=1)
+        fork = base.fork(1)
+        assert base.stream("s").random() != fork.stream("s").random()
+
+    def test_forks_with_different_salts_differ(self):
+        base = RngRegistry(seed=1)
+        assert (
+            base.fork(1).stream("s").random() != base.fork(2).stream("s").random()
+        )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngRegistry(seed=1).stream("")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RngRegistry(seed="nope")  # type: ignore[arg-type]

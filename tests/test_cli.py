@@ -1,0 +1,64 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.scale == 0.02
+        assert args.version == "1.2.9"
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--version", "9.9"])
+
+
+class TestCommands:
+    def test_models_prints_figure9(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "GT-I9505" in out
+        assert "2346755" in out or "2346755" in out.replace(" ", "")
+
+    def test_campaign_runs_small(self, capsys):
+        code = main(
+            ["campaign", "--seed", "3", "--scale", "0.005", "--days", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "location providers" in out
+        assert "delays:" in out
+
+    def test_energy_runs(self, capsys):
+        assert main(["energy", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "unbuffered/wifi" in out
+        assert "buffered/3g" in out
+
+    def test_assimilate_runs(self, capsys):
+        assert main(["assimilate", "--seed", "2", "--count", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis RMSE" in out
+
+    def test_assimilate_without_calibration(self, capsys):
+        assert main(
+            ["assimilate", "--seed", "2", "--count", "30", "--no-calibrate",
+             "--screen", "0"]
+        ) == 0
+
+    def test_figures_runs(self, capsys):
+        code = main(
+            ["figures", "--seed", "4", "--scale", "0.005", "--days", "0.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8/9" in out
+        assert "provider shares" in out
+        assert "Figure 21" in out

@@ -1,0 +1,155 @@
+"""Truth-discovery tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trust import Claim, TruthDiscovery, claims_from_documents
+
+
+def _scenario(rng, entities=30, reliable=6, unreliable=2, bad_sigma=8.0):
+    """Reliable contributors (sigma 1) + noisy ones claiming everything."""
+    truths = {e: float(rng.uniform(40, 80)) for e in range(entities)}
+    claims = []
+    for c in range(reliable):
+        for e, truth in truths.items():
+            claims.append(
+                Claim(f"good{c}", e, truth + float(rng.normal(0, 1.0)))
+            )
+    for c in range(unreliable):
+        for e, truth in truths.items():
+            claims.append(
+                Claim(f"bad{c}", e, truth + float(rng.normal(0, bad_sigma)))
+            )
+    return truths, claims
+
+
+class TestRecovery:
+    def test_weights_separate_good_from_bad(self):
+        rng = np.random.default_rng(0)
+        _, claims = _scenario(rng)
+        result = TruthDiscovery().run(claims)
+        good = [w for c, w in result.weights.items() if c.startswith("good")]
+        bad = [w for c, w in result.weights.items() if c.startswith("bad")]
+        assert min(good) > max(bad)
+
+    def test_truths_beat_naive_mean(self):
+        rng = np.random.default_rng(1)
+        truths, claims = _scenario(rng, bad_sigma=12.0)
+        result = TruthDiscovery().run(claims)
+        by_entity = {}
+        for claim in claims:
+            by_entity.setdefault(claim.entity, []).append(claim.value)
+        naive_err = np.mean(
+            [abs(np.mean(vs) - truths[e]) for e, vs in by_entity.items()]
+        )
+        crh_err = np.mean(
+            [abs(result.truths[e] - truths[e]) for e in result.truths]
+        )
+        assert crh_err < naive_err
+
+    def test_biased_contributor_downweighted(self):
+        rng = np.random.default_rng(2)
+        truths = {e: 60.0 for e in range(20)}
+        claims = []
+        for c in range(5):
+            for e in truths:
+                claims.append(Claim(f"good{c}", e, 60.0 + float(rng.normal(0, 1))))
+        for e in truths:  # one systematically biased phone (+10 dB)
+            claims.append(Claim("biased", e, 70.0 + float(rng.normal(0, 1))))
+        result = TruthDiscovery().run(claims)
+        assert result.weights["biased"] < min(
+            w for c, w in result.weights.items() if c.startswith("good")
+        )
+        # and the truths stay near 60, not dragged to the biased phone
+        assert np.mean(list(result.truths.values())) == pytest.approx(60.0, abs=1.0)
+
+    def test_converges(self):
+        rng = np.random.default_rng(3)
+        _, claims = _scenario(rng)
+        result = TruthDiscovery(max_iterations=100).run(claims)
+        assert result.converged
+        assert result.iterations < 100
+
+    def test_reliability_rank(self):
+        rng = np.random.default_rng(4)
+        _, claims = _scenario(rng, reliable=3, unreliable=1)
+        result = TruthDiscovery().run(claims)
+        rank = result.reliability_rank()
+        assert rank[-1].startswith("bad")
+
+
+class TestSensorSigmaMapping:
+    def test_best_contributor_keeps_base_sigma(self):
+        rng = np.random.default_rng(5)
+        _, claims = _scenario(rng)
+        result = TruthDiscovery().run(claims)
+        best = result.reliability_rank()[0]
+        assert result.sensor_sigma_db(best, base_sigma_db=2.0) == pytest.approx(
+            2.0, abs=0.01
+        )
+
+    def test_bad_contributor_gets_wider_sigma(self):
+        rng = np.random.default_rng(6)
+        _, claims = _scenario(rng)
+        result = TruthDiscovery().run(claims)
+        best = result.reliability_rank()[0]
+        worst = result.reliability_rank()[-1]
+        assert result.sensor_sigma_db(worst) > result.sensor_sigma_db(best)
+
+    def test_unknown_contributor_capped(self):
+        rng = np.random.default_rng(7)
+        _, claims = _scenario(rng)
+        result = TruthDiscovery().run(claims)
+        assert result.sensor_sigma_db("stranger", cap_db=12.0) == 12.0
+
+
+class TestClaimsFromDocuments:
+    def test_entities_bucket_space_and_time(self):
+        docs = [
+            {"contributor": "p1", "taken_at": 100.0, "noise_dba": 60.0,
+             "location": {"x_m": 100.0, "y_m": 100.0}},
+            {"contributor": "p2", "taken_at": 200.0, "noise_dba": 62.0,
+             "location": {"x_m": 150.0, "y_m": 120.0}},  # same cell+hour
+            {"contributor": "p3", "taken_at": 100.0, "noise_dba": 70.0,
+             "location": {"x_m": 900.0, "y_m": 100.0}},  # other cell
+        ]
+        claims = claims_from_documents(docs, cell_m=500.0, window_s=3600.0)
+        entities = {claim.entity for claim in claims}
+        assert len(entities) == 2
+        same_cell = [c for c in claims if c.entity == (0, 0, 0)]
+        assert {c.contributor for c in same_cell} == {"p1", "p2"}
+
+    def test_unlocalized_documents_skipped(self):
+        docs = [{"contributor": "p1", "taken_at": 0.0, "noise_dba": 60.0}]
+        assert claims_from_documents(docs) == []
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            claims_from_documents([], cell_m=0.0)
+
+
+class TestEdgeCases:
+    def test_no_claims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TruthDiscovery().run([])
+
+    def test_all_singleton_entities_rejected(self):
+        claims = [Claim("p1", 1, 60.0), Claim("p2", 2, 61.0)]
+        with pytest.raises(ConfigurationError):
+            TruthDiscovery().run(claims)
+
+    def test_repeated_claims_are_one_opinion(self):
+        """A contributor spamming one entity must not outvote others."""
+        claims = [Claim("spammer", 1, 90.0) for _ in range(50)]
+        claims += [Claim("a", 1, 60.0), Claim("b", 1, 61.0), Claim("c", 1, 59.0)]
+        result = TruthDiscovery().run(claims)
+        # with the spammer's 50 claims collapsed to one opinion, the
+        # truth stays near the consensus
+        assert result.truths[1] < 75.0
+
+    def test_identical_claims_converge_with_equal_weights(self):
+        claims = [Claim("a", 1, 60.0), Claim("b", 1, 60.0)]
+        result = TruthDiscovery().run(claims)
+        assert result.truths[1] == 60.0
+        assert result.weights["a"] == result.weights["b"]

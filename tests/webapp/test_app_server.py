@@ -1,0 +1,170 @@
+"""SoundCityApp REST-surface tests (end to end over GoFlow)."""
+
+import pytest
+
+from repro.core.api import Request
+from repro.core.server import GoFlowServer
+from repro.webapp.server import SoundCityApp
+
+
+@pytest.fixture
+def app():
+    server = GoFlowServer()
+    server.register_app("SC")
+    app = SoundCityApp(server)
+    return app
+
+
+@pytest.fixture
+def alice(app):
+    credentials = app.server.enroll_user("SC", "alice", "pw")
+    # seed observations through the real ingest path
+    channel = app.server.broker.connect("seed").channel()
+    for t, dba, mode in (
+        (9 * 3600.0, 45.0, "opportunistic"),
+        (10 * 3600.0, 68.0, "journey"),
+        (10.5 * 3600.0, 72.0, "journey"),
+        (11 * 3600.0, 66.0, "journey"),
+    ):
+        channel.basic_publish(
+            credentials["exchange"],
+            "Z0-0.NoiseObservation",
+            {
+                "app_id": "SC",
+                "user_id": "alice",
+                "taken_at": t,
+                "noise_dba": dba,
+                "mode": mode,
+                "location": {
+                    "x_m": 10.0 * t / 3600.0,
+                    "y_m": 0.0,
+                    "provider": "gps",
+                    "accuracy_m": 8.0,
+                },
+            },
+        )
+    return credentials
+
+
+class TestExposureRoutes:
+    def test_daily_exposure(self, app, alice):
+        response = app.handle(
+            Request("GET", "/me/exposure/daily/0", token=alice["token"])
+        )
+        assert response.status == 200
+        assert response.body["measurements"] == 4
+        assert response.body["band"] in ("annoyance", "health risk", "harmful")
+
+    def test_exposure_requires_auth(self, app, alice):
+        assert app.handle(Request("GET", "/me/exposure/daily/0")).status == 401
+
+    def test_missing_day_404(self, app, alice):
+        response = app.handle(
+            Request("GET", "/me/exposure/daily/9", token=alice["token"])
+        )
+        assert response.status == 404
+
+    def test_hourly_profile(self, app, alice):
+        response = app.handle(
+            Request("GET", "/me/exposure/hourly/0", token=alice["token"])
+        )
+        assert response.status == 200
+        assert "10" in response.body
+
+
+class TestJourneyRoutes:
+    def test_create_share_and_list(self, app, alice):
+        created = app.handle(
+            Request(
+                "POST",
+                "/journeys",
+                body={
+                    "title": "Morning walk",
+                    "started_at": 9.5 * 3600.0,
+                    "ended_at": 11.5 * 3600.0,
+                    "home_zone": "FR92120",
+                },
+                token=alice["token"],
+            )
+        )
+        assert created.status == 200
+        journey_id = created.body["journey_id"]
+
+        summary = app.handle(
+            Request(
+                "GET", f"/journeys/{journey_id}/summary", token=alice["token"]
+            )
+        )
+        assert summary.status == 200
+        assert summary.body["samples"] == 3  # the journey-mode observations
+
+        shared = app.handle(
+            Request(
+                "POST",
+                f"/journeys/{journey_id}/share",
+                body={"visibility": "public"},
+                token=alice["token"],
+            )
+        )
+        assert shared.status == 200
+
+        public = app.handle(
+            Request(
+                "GET",
+                "/journeys/public",
+                params={"zone": "FR92120"},
+                token=alice["token"],
+            )
+        )
+        assert [j["title"] for j in public.body] == ["Morning walk"]
+
+    def test_only_owner_shares(self, app, alice):
+        bob = app.server.enroll_user("SC", "bob", "pw")
+        created = app.handle(
+            Request(
+                "POST",
+                "/journeys",
+                body={"title": "W", "started_at": 0.0, "ended_at": 10.0},
+                token=alice["token"],
+            )
+        )
+        response = app.handle(
+            Request(
+                "POST",
+                f"/journeys/{created.body['journey_id']}/share",
+                body={"visibility": "public"},
+                token=bob["token"],
+            )
+        )
+        assert response.status == 403
+
+    def test_create_validates_body(self, app, alice):
+        response = app.handle(
+            Request("POST", "/journeys", body={"title": "x"}, token=alice["token"])
+        )
+        assert response.status == 400
+
+
+class TestFeedbackRoutes:
+    def test_submit_and_sensitivity(self, app, alice):
+        for dba, rating in ((50.0, 1), (60.0, 2), (70.0, 4), (75.0, 5)):
+            response = app.handle(
+                Request(
+                    "POST",
+                    "/feedback",
+                    body={"rating": rating, "noise_dba": dba, "taken_at": dba},
+                    token=alice["token"],
+                )
+            )
+            assert response.status == 200
+        profile = app.handle(
+            Request("GET", "/me/sensitivity", token=alice["token"])
+        )
+        assert profile.status == 200
+        assert profile.body["sensitivity_per_db"] > 0
+
+    def test_feedback_validates_rating(self, app, alice):
+        response = app.handle(
+            Request("POST", "/feedback", body={}, token=alice["token"])
+        )
+        assert response.status == 400

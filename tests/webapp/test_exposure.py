@@ -1,0 +1,84 @@
+"""Quantified-self exposure tests."""
+
+import pytest
+
+from repro.core.errors import NotFoundError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+from repro.noise.spl import leq
+from repro.webapp.exposure import ExposureService, who_band
+
+DAY = 86400.0
+
+
+@pytest.fixture
+def service():
+    store = DocumentStore()
+    privacy = PrivacyPolicy(salt="t")
+    observations = store.collection("observations")
+    pseudonym = privacy.pseudonym("alice")
+    rows = [
+        # day 0: quiet morning, loud afternoon
+        {"contributor": pseudonym, "taken_at": 9 * 3600.0, "noise_dba": 40.0},
+        {"contributor": pseudonym, "taken_at": 9.5 * 3600.0, "noise_dba": 42.0},
+        {"contributor": pseudonym, "taken_at": 15 * 3600.0, "noise_dba": 75.0},
+        # day 1
+        {"contributor": pseudonym, "taken_at": DAY + 3600.0, "noise_dba": 50.0},
+        # another user's data must not leak in
+        {"contributor": privacy.pseudonym("bob"), "taken_at": 3600.0, "noise_dba": 90.0},
+    ]
+    observations.insert_many(rows)
+    return ExposureService(store, privacy)
+
+
+class TestWhoBands:
+    def test_band_boundaries(self):
+        assert who_band(40.0)[0] == "acceptable"
+        assert who_band(55.0)[0] == "annoyance"
+        assert who_band(70.0)[0] == "health risk"
+        assert who_band(80.0)[0] == "harmful"
+
+
+class TestDaily:
+    def test_daily_is_energy_mean(self, service):
+        summary = service.daily("alice", 0)
+        assert summary.measurement_count == 3
+        assert summary.leq_dba == pytest.approx(
+            leq([40.0, 42.0, 75.0]), abs=0.01
+        )
+        assert summary.min_dba == 40.0
+        assert summary.max_dba == 75.0
+
+    def test_loud_peak_dominates_band(self, service):
+        summary = service.daily("alice", 0)
+        # Leq of [40,42,75] ~ 70.2 -> health risk range
+        assert summary.band == "harmful" or summary.band == "health risk"
+
+    def test_days_are_isolated(self, service):
+        assert service.daily("alice", 1).measurement_count == 1
+
+    def test_other_users_excluded(self, service):
+        summary = service.daily("alice", 0)
+        assert summary.max_dba < 90.0
+
+    def test_no_data_raises(self, service):
+        with pytest.raises(NotFoundError):
+            service.daily("alice", 5)
+
+    def test_daily_series_has_none_gaps(self, service):
+        series = service.daily_series("alice", 3)
+        assert series[0] is not None
+        assert series[1] is not None
+        assert series[2] is None
+
+
+class TestMonthlyAndHourly:
+    def test_monthly_covers_all_days(self, service):
+        summary = service.monthly("alice", 0)
+        assert summary.measurement_count == 4
+
+    def test_hourly_profile(self, service):
+        profile = service.hourly_profile("alice", 0)
+        assert set(profile) == {9, 15}
+        assert profile[15] == pytest.approx(75.0)
+        assert profile[9] == pytest.approx(leq([40.0, 42.0]), abs=0.01)

@@ -1,0 +1,111 @@
+"""Feedback service and prompt-policy tests."""
+
+import pytest
+
+from repro.broker import Broker
+from repro.core.channels import ChannelManager
+from repro.core.errors import NotFoundError, ValidationError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+from repro.webapp.feedback import FeedbackService, PromptPolicy
+
+
+@pytest.fixture
+def service():
+    return FeedbackService(DocumentStore(), PrivacyPolicy(salt="t"))
+
+
+def _loud_obs(taken_at=0.0, dba=70.0, accuracy=20.0):
+    return {
+        "noise_dba": dba,
+        "taken_at": taken_at,
+        "location": {"accuracy_m": accuracy, "x_m": 0.0, "y_m": 0.0},
+    }
+
+
+class TestPromptPolicy:
+    def test_prompts_on_loud_accurate_measurement(self, service):
+        assert service.should_prompt("alice", _loud_obs())
+
+    def test_no_prompt_when_quiet(self, service):
+        assert not service.should_prompt("alice", _loud_obs(dba=50.0))
+
+    def test_no_prompt_when_poorly_localized(self, service):
+        assert not service.should_prompt("alice", _loud_obs(accuracy=300.0))
+        observation = _loud_obs()
+        del observation["location"]
+        assert not service.should_prompt("alice", observation)
+
+    def test_non_invasiveness_budget(self, service):
+        assert service.prompt("alice", _loud_obs(taken_at=0.0))
+        # an hour later: suppressed (default gap is 4 h)
+        assert not service.prompt("alice", _loud_obs(taken_at=3600.0))
+        assert service.prompts_suppressed == 1
+        # five hours later: allowed again
+        assert service.prompt("alice", _loud_obs(taken_at=5 * 3600.0))
+        assert service.prompts_issued == 2
+
+    def test_budget_is_per_user(self, service):
+        assert service.prompt("alice", _loud_obs(taken_at=0.0))
+        assert service.prompt("bob", _loud_obs(taken_at=0.0))
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            PromptPolicy(max_accuracy_m=0.0)
+
+
+class TestSubmissions:
+    def test_submit_and_list(self, service):
+        service.submit("alice", 4, text="sirens", taken_at=10.0, noise_dba=72.0)
+        service.submit("alice", 2, taken_at=20.0, noise_dba=55.0)
+        entries = service.for_user("alice")
+        assert len(entries) == 2
+        assert entries[0]["text"] == "sirens"
+
+    def test_submissions_pseudonymized(self, service):
+        service.submit("alice", 3)
+        stored = service.for_user("alice")[0]
+        assert stored["contributor"] != "alice"
+
+    def test_invalid_rating_rejected(self, service):
+        with pytest.raises(ValidationError):
+            service.submit("alice", 0)
+        with pytest.raises(ValidationError):
+            service.submit("alice", 6)
+
+    def test_public_feedback_routed_to_subscribers(self):
+        broker = Broker()
+        channels = ChannelManager(broker)
+        channels.register_app("SC")
+        channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR75013", "Feedback")
+        service = FeedbackService(
+            DocumentStore(), PrivacyPolicy(salt="t"), broker=broker, app_id="SC"
+        )
+        service.submit("alice", 5, text="jackhammer", zone="FR75013")
+        delivery = broker.get_queue("Q.mob1").get()
+        assert delivery.body["text"] == "jackhammer"
+
+
+class TestSensitivityProfile:
+    def test_profile_recovers_sensitivity(self, service):
+        # a user whose annoyance rises 0.1 rating per dB above 45
+        for dba in (50.0, 55.0, 60.0, 65.0, 70.0, 75.0):
+            rating = max(1, min(5, round(0.1 * (dba - 45.0) + 0.5)))
+            service.submit("alice", rating, taken_at=dba, noise_dba=dba)
+        profile = service.sensitivity_profile("alice")
+        assert profile["samples"] == 6
+        assert profile["sensitivity_per_db"] == pytest.approx(0.1, abs=0.03)
+        assert profile["tolerance_dba"] == pytest.approx(70.0, abs=6.0)
+
+    def test_profile_needs_three_rated_entries(self, service):
+        service.submit("alice", 3, noise_dba=60.0)
+        service.submit("alice", 3)  # unrated: no noise level
+        with pytest.raises(NotFoundError):
+            service.sensitivity_profile("alice")
+
+    def test_degenerate_levels_rejected(self, service):
+        for _ in range(3):
+            service.submit("alice", 3, noise_dba=60.0)
+        with pytest.raises(ValidationError):
+            service.sensitivity_profile("alice")

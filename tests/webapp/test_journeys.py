@@ -1,0 +1,144 @@
+"""Journey-service tests."""
+
+import pytest
+
+from repro.broker import Broker, ExchangeType
+from repro.core.channels import ChannelManager
+from repro.core.errors import AuthorizationError, NotFoundError, ValidationError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+from repro.webapp.journeys import JourneyService, Visibility
+
+
+@pytest.fixture
+def setup():
+    store = DocumentStore()
+    privacy = PrivacyPolicy(salt="t")
+    broker = Broker()
+    channels = ChannelManager(broker)
+    channels.register_app("SC")
+    service = JourneyService(store, privacy, broker=broker, app_id="SC")
+    # seed journey-mode observations for alice between t=100 and t=400
+    pseudonym = privacy.pseudonym("alice")
+    observations = store.collection("observations")
+    for i, (t, dba, x) in enumerate(
+        [(100.0, 60.0, 0.0), (200.0, 65.0, 100.0), (300.0, 70.0, 200.0), (400.0, 62.0, 300.0)]
+    ):
+        observations.insert_one(
+            {
+                "contributor": pseudonym,
+                "mode": "journey",
+                "taken_at": t,
+                "noise_dba": dba,
+                "location": {"x_m": x, "y_m": 0.0, "provider": "gps", "accuracy_m": 8.0},
+            }
+        )
+    # an opportunistic observation in the window must not count
+    observations.insert_one(
+        {
+            "contributor": pseudonym,
+            "mode": "opportunistic",
+            "taken_at": 250.0,
+            "noise_dba": 90.0,
+        }
+    )
+    return store, privacy, broker, channels, service
+
+
+class TestLifecycle:
+    def test_create_and_get(self, setup):
+        *_, service = setup
+        journey = service.create("alice", "Canal walk", 100.0, 400.0)
+        stored = service.get(journey.journey_id)
+        assert stored["title"] == "Canal walk"
+        assert stored["visibility"] == "private"
+
+    def test_owner_is_pseudonymized(self, setup):
+        _, privacy, _, _, service = setup
+        journey = service.create("alice", "W", 0.0, 10.0)
+        assert service.get(journey.journey_id)["owner"] == privacy.pseudonym("alice")
+
+    def test_invalid_window_rejected(self, setup):
+        *_, service = setup
+        with pytest.raises(ValidationError):
+            service.create("alice", "bad", 100.0, 100.0)
+
+    def test_empty_title_rejected(self, setup):
+        *_, service = setup
+        with pytest.raises(ValidationError):
+            service.create("alice", "", 0.0, 10.0)
+
+    def test_unknown_journey_raises(self, setup):
+        *_, service = setup
+        with pytest.raises(NotFoundError):
+            service.get(99)
+
+
+class TestSharing:
+    def test_share_updates_visibility(self, setup):
+        *_, service = setup
+        journey = service.create("alice", "W", 100.0, 400.0)
+        service.share("alice", journey.journey_id, Visibility.COMMUNITY)
+        assert service.get(journey.journey_id)["visibility"] == "community"
+
+    def test_only_owner_can_share(self, setup):
+        *_, service = setup
+        journey = service.create("alice", "W", 100.0, 400.0)
+        with pytest.raises(AuthorizationError):
+            service.share("bob", journey.journey_id, Visibility.PUBLIC)
+
+    def test_public_share_announces_to_subscribers(self, setup):
+        _, _, broker, channels, service = setup
+        channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR92120", "Journey")
+        journey = service.create("alice", "Canal walk", 100.0, 400.0,
+                                 home_zone="FR92120")
+        service.share("alice", journey.journey_id, Visibility.PUBLIC)
+        queue = broker.get_queue("Q.mob1")
+        assert queue.ready_count == 1
+        assert queue.get().body["title"] == "Canal walk"
+
+    def test_private_share_does_not_announce(self, setup):
+        _, _, broker, channels, service = setup
+        channels.client_login("SC", "mob1")
+        channels.subscribe("SC", "mob1", "FR92120", "Journey")
+        journey = service.create("alice", "W", 100.0, 400.0, home_zone="FR92120")
+        service.share("alice", journey.journey_id, Visibility.COMMUNITY)
+        assert broker.get_queue("Q.mob1").ready_count == 0
+
+
+class TestListings:
+    def test_for_user(self, setup):
+        *_, service = setup
+        service.create("alice", "A", 0.0, 10.0)
+        service.create("alice", "B", 20.0, 30.0)
+        service.create("bob", "C", 0.0, 10.0)
+        assert [j["title"] for j in service.for_user("alice")] == ["A", "B"]
+
+    def test_public_listing_filters_zone(self, setup):
+        *_, service = setup
+        a = service.create("alice", "A", 0.0, 10.0, home_zone="Z1")
+        b = service.create("alice", "B", 0.0, 10.0, home_zone="Z2")
+        service.share("alice", a.journey_id, Visibility.PUBLIC)
+        service.share("alice", b.journey_id, Visibility.PUBLIC)
+        assert [j["title"] for j in service.public(zone="Z1")] == ["A"]
+        assert len(service.public()) == 2
+
+
+class TestSummary:
+    def test_summary_statistics(self, setup):
+        *_, service = setup
+        journey = service.create("alice", "Canal walk", 100.0, 400.0)
+        summary = service.summary(journey.journey_id)
+        assert summary["samples"] == 4
+        assert summary["localized"] == 4
+        assert summary["track_length_m"] == pytest.approx(300.0)
+        assert summary["max_dba"] == 70.0
+        # the opportunistic 90 dB observation is excluded
+        assert summary["leq_dba"] < 75.0
+
+    def test_empty_journey_raises(self, setup):
+        *_, service = setup
+        journey = service.create("alice", "Nothing", 5000.0, 6000.0)
+        with pytest.raises(NotFoundError):
+            service.summary(journey.journey_id)
