@@ -1,0 +1,128 @@
+"""Run the middleware throughput benches and record the results.
+
+Wraps pytest-benchmark: runs ``benchmarks/test_middleware_throughput.py``
+with ``--benchmark-json``, then folds the run into ``BENCH_middleware.json``
+under a named stage. Keeping a *baseline* stage and an *after* stage in
+one committed file is the evidence trail for routing/docstore
+optimisations — the file also reports the per-bench speedup whenever
+both stages are present.
+
+Usage::
+
+    python benchmarks/run_bench.py --stage baseline   # before a change
+    python benchmarks/run_bench.py --stage after      # after the change
+    python benchmarks/run_bench.py --stage after --from-json raw.json
+
+``--from-json`` imports an existing pytest-benchmark JSON file instead
+of running the suite (useful when the raw run was captured separately).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = "benchmarks/test_middleware_throughput.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
+
+#: stats kept per benchmark (full pytest-benchmark output is megabytes)
+KEPT_STATS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
+
+
+def run_suite(keyword: str | None) -> dict:
+    """Run the bench suite, returning the parsed pytest-benchmark JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = Path(handle.name)
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        BENCH_FILE,
+        "--benchmark-only",
+        "--benchmark-json",
+        str(raw_path),
+        "-q",
+    ]
+    if keyword:
+        command += ["-k", keyword]
+    env_path = str(REPO_ROOT / "src")
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = env_path + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+    try:
+        return json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+
+
+def summarize(raw: dict) -> dict:
+    """Trim a pytest-benchmark JSON blob to the stats worth committing."""
+    benches = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benches[bench["name"]] = {key: stats.get(key) for key in KEPT_STATS}
+    return {
+        "datetime": raw.get("datetime"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": benches,
+    }
+
+
+def speedups(stages: dict) -> dict:
+    """baseline_mean / after_mean per benchmark present in both stages."""
+    baseline = stages.get("baseline", {}).get("benchmarks", {})
+    after = stages.get("after", {}).get("benchmarks", {})
+    result = {}
+    for name in baseline.keys() & after.keys():
+        before_mean = baseline[name].get("mean")
+        after_mean = after[name].get("mean")
+        if before_mean and after_mean:
+            result[name] = round(before_mean / after_mean, 2)
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--stage", default="after", help="stage label (baseline/after)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("-k", dest="keyword", default=None, help="pytest -k filter")
+    parser.add_argument(
+        "--from-json",
+        type=Path,
+        default=None,
+        help="import an existing pytest-benchmark JSON instead of running",
+    )
+    args = parser.parse_args(argv)
+
+    if args.from_json is not None:
+        if not args.from_json.exists():
+            raise SystemExit(f"no such benchmark JSON: {args.from_json}")
+        raw = json.loads(args.from_json.read_text())
+    else:
+        raw = run_suite(args.keyword)
+
+    document = (
+        json.loads(args.output.read_text()) if args.output.exists() else {"stages": {}}
+    )
+    document.setdefault("stages", {})[args.stage] = summarize(raw)
+    ratio = speedups(document["stages"])
+    if ratio:
+        document["speedup_baseline_over_after"] = ratio
+    args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    print(f"wrote stage {args.stage!r} to {args.output}")
+    for name, factor in sorted(ratio.items()):
+        print(f"  {name}: {factor}x")
+
+
+if __name__ == "__main__":
+    main()

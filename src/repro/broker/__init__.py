@@ -27,7 +27,7 @@ from repro.broker.errors import (
     QueueError,
 )
 from repro.broker.message import Delivery, Message
-from repro.broker.topic import TopicMatcher, topic_matches
+from repro.broker.topic import TopicMatcher, topic_matches, topic_matches_raw
 from repro.broker.exchange import Exchange, ExchangeType
 from repro.broker.queue import Consumer, MessageQueue
 from repro.broker.channel import Channel
@@ -46,6 +46,7 @@ __all__ = [
     "MessageQueue",
     "TopicMatcher",
     "topic_matches",
+    "topic_matches_raw",
     "BrokerError",
     "ExchangeError",
     "QueueError",

@@ -4,19 +4,31 @@ This is the process-wide object GoFlow's channel management talks to. It
 exposes AMQP-style declaration verbs (idempotent redeclaration with
 matching arguments, error on mismatch — like RabbitMQ's PRECONDITION
 FAILED) plus routing statistics used by the middleware-throughput bench.
+
+The publish hot path keeps a **route-plan cache**: the resolved queue
+list of ``(exchange, routing_key)`` covering the full transitive
+exchange-to-exchange traversal of Figure 3. Entries carry the topology
+version at which they were computed; any bind/unbind/declare/delete
+bumps the version, so stale plans are never served. The cache is a
+bounded LRU: per-user routing keys (``Z*-0.NoiseObservation`` at
+23M-observation scale) can be unbounded in number, cached plans cannot.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.broker.errors import BrokerError, ExchangeError, QueueError
 from repro.broker.exchange import Exchange, ExchangeType
 from repro.broker.message import Message
 from repro.broker.queue import MessageQueue
 from repro.broker.connection import Connection
+
+#: Default bound on cached route plans.
+DEFAULT_ROUTE_CACHE_SIZE = 4096
 
 
 @dataclass
@@ -27,6 +39,10 @@ class BrokerStats:
     routed: int = 0
     unroutable: int = 0
     connections_opened: int = 0
+    route_cache_hits: int = 0
+    route_cache_misses: int = 0
+    topic_cache_hits: int = 0
+    topic_cache_misses: int = 0
 
 
 class Broker:
@@ -36,22 +52,61 @@ class Broker:
         clock: optional zero-argument callable returning simulated time;
             defaults to a constant 0.0 so the broker also works outside a
             simulation.
+        route_cache_size: LRU bound on the route-plan cache (``<= 0``
+            disables route-plan caching entirely).
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
+    ) -> None:
         self._clock = clock or (lambda: 0.0)
         self._exchanges: Dict[str, Exchange] = {}
         self._queues: Dict[str, MessageQueue] = {}
         self._connections: Dict[str, Connection] = {}
         self._connection_ids = itertools.count(1)
         self.stats = BrokerStats()
+        self._route_cache_size = route_cache_size
+        self._route_cache: "OrderedDict[Tuple[str, str], Tuple[int, List[MessageQueue]]]" = (
+            OrderedDict()
+        )
+        self._topology_version = 0
         # the default (nameless) direct exchange routes straight to the
         # queue whose name equals the routing key, like AMQP's "".
-        self._default_exchange = Exchange("(default)", ExchangeType.DIRECT)
+        self._default_exchange = self._new_exchange("(default)", ExchangeType.DIRECT)
 
     def now(self) -> float:
         """Current simulated time according to the broker's clock."""
         return self._clock()
+
+    # -- topology versioning -------------------------------------------------
+
+    def _new_exchange(
+        self, name: str, type: ExchangeType, durable: bool = True
+    ) -> Exchange:
+        exchange = Exchange(name, type, durable=durable, stats=self.stats)
+        exchange._on_change = self._bump_topology
+        return exchange
+
+    def _bump_topology(self) -> None:
+        """Invalidate every cached route plan (lazily, via the version)."""
+        self._topology_version += 1
+
+    @property
+    def topology_version(self) -> int:
+        """Monotone counter bumped on any bind/unbind/declare/delete."""
+        return self._topology_version
+
+    def route_cache_info(self) -> Dict[str, int]:
+        """Observability snapshot of the route-plan cache."""
+        return {
+            "size": len(self._route_cache),
+            "capacity": self._route_cache_size,
+            "hits": self.stats.route_cache_hits,
+            "misses": self.stats.route_cache_misses,
+            "topology_version": self._topology_version,
+        }
 
     # -- declaration ---------------------------------------------------------
 
@@ -67,8 +122,9 @@ class Broker:
                     f"cannot redeclare as {type.value}"
                 )
             return existing
-        exchange = Exchange(name, type, durable=durable)
+        exchange = self._new_exchange(name, type, durable=durable)
         self._exchanges[name] = exchange
+        self._bump_topology()
         return exchange
 
     def declare_queue(
@@ -121,17 +177,32 @@ class Broker:
         return queue
 
     def delete_exchange(self, name: str) -> None:
-        """Delete an exchange; in-flight bindings to it are left to GC."""
+        """Delete an exchange and every binding referencing it.
+
+        Other exchanges' bindings into the deleted exchange are swept so
+        no publish keeps flowing through a dead hop.
+        """
         if name not in self._exchanges:
             raise ExchangeError(f"unknown exchange {name!r}")
         del self._exchanges[name]
+        for other in self._exchanges.values():
+            other._drop_destination("exchange", name)
+        self._bump_topology()
 
     def delete_queue(self, name: str) -> int:
-        """Delete a queue; returns the number of ready messages dropped."""
+        """Delete a queue; returns the number of ready messages dropped.
+
+        Every binding referencing the queue — the implicit default-
+        exchange binding and any explicit ones in other exchanges — is
+        removed, so a deleted queue can never receive routed messages.
+        """
         queue = self._queues.pop(name, None)
         if queue is None:
             raise QueueError(f"unknown queue {name!r}")
-        self._default_exchange.unbind(queue, key=name)
+        self._default_exchange._drop_destination("queue", name)
+        for exchange in self._exchanges.values():
+            exchange._drop_destination("queue", name)
+        self._bump_topology()
         return queue.purge()
 
     # -- lookup ------------------------------------------------------------------
@@ -189,9 +260,28 @@ class Broker:
     # -- publish ------------------------------------------------------------------
 
     def publish(self, exchange: str, message: Message) -> int:
-        """Route ``message`` through ``exchange``; returns queues reached."""
+        """Route ``message`` through ``exchange``; returns queues reached.
+
+        Route resolution is served from the route-plan cache when the
+        topology has not changed since the plan was computed; otherwise
+        the exchange graph is walked once and the plan is (re)cached.
+        """
         target = self.get_exchange(exchange)
-        queues = target.route(message)
+        cache = self._route_cache
+        cache_key = (exchange, message.routing_key)
+        entry = cache.get(cache_key)
+        if entry is not None and entry[0] == self._topology_version:
+            cache.move_to_end(cache_key)
+            queues = entry[1]
+            target.published += 1
+            self.stats.route_cache_hits += 1
+        else:
+            queues = target.route(message)
+            self.stats.route_cache_misses += 1
+            if self._route_cache_size > 0:
+                cache[cache_key] = (self._topology_version, queues)
+                if len(cache) > self._route_cache_size:
+                    cache.popitem(last=False)
         self.stats.publishes += 1
         if queues:
             self.stats.routed += 1

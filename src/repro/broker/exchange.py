@@ -6,18 +6,25 @@ paper's Figure 3 topology chains each mobile client's exchange into the
 application exchange and the application exchange into the GoFlow
 exchange. Routing is cycle-safe: a message traverses any given exchange
 at most once per publish.
+
+Routing is table-driven rather than scan-driven: every bind compiles the
+binding into a per-type index (key→destinations hash map for ``direct``,
+pattern→destinations map consulted through the memoized
+:class:`~repro.broker.topic.TopicMatcher` for ``topic``, a plain
+destination list for ``fanout``), so per-publish cost no longer grows
+linearly with the number of bindings whose keys don't match.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 from repro.broker.errors import BindingError, ExchangeError
 from repro.broker.message import Message, validate_routing_key
 from repro.broker.queue import MessageQueue
-from repro.broker.topic import TopicMatcher, topic_matches, validate_pattern
+from repro.broker.topic import TopicMatcher, validate_pattern
 
 
 class ExchangeType(enum.Enum):
@@ -29,6 +36,8 @@ class ExchangeType(enum.Enum):
 
 
 Destination = Union["Exchange", MessageQueue]
+
+_EMPTY: Tuple[Destination, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -48,9 +57,17 @@ class Exchange:
         type: one of :class:`ExchangeType`.
         durable: cosmetic flag kept for API fidelity (everything is
             in-memory in this reproduction).
+        stats: optional counter sink shared with the owning broker
+            (feeds the topic matcher's cache hit/miss counters).
     """
 
-    def __init__(self, name: str, type: ExchangeType, durable: bool = True) -> None:
+    def __init__(
+        self,
+        name: str,
+        type: ExchangeType,
+        durable: bool = True,
+        stats: Optional[Any] = None,
+    ) -> None:
         if not name:
             raise ExchangeError("exchange name must be non-empty")
         if not isinstance(type, ExchangeType):
@@ -59,7 +76,16 @@ class Exchange:
         self.type = type
         self.durable = durable
         self._bindings: Dict[_BindingKey, Destination] = {}
-        self._topic = TopicMatcher() if type is ExchangeType.TOPIC else None
+        self._topic = (
+            TopicMatcher(stats=stats) if type is ExchangeType.TOPIC else None
+        )
+        # compiled routing tables: direct/topic index destinations by
+        # binding key (exact key resp. pattern); fanout keeps bind order.
+        self._by_key: Dict[str, List[Destination]] = {}
+        self._fanout: List[Destination] = []
+        # the owning broker hooks this to invalidate its route-plan cache
+        # on any topology change.
+        self._on_change: Optional[Callable[[], None]] = None
         self.published = 0
 
     # -- binding management -------------------------------------------------
@@ -68,8 +94,8 @@ class Exchange:
         """Bind a queue or another exchange with a binding ``key``.
 
         For ``direct`` exchanges the key must equal the routing key
-        exactly; for ``topic`` exchanges it is an AMQP pattern; ``fanout``
-        ignores it.
+        exactly; for ``topic`` exchanges it is an AMQP pattern validated
+        here, once — never on the publish path; ``fanout`` ignores it.
         """
         if self.type is ExchangeType.TOPIC:
             validate_pattern(key)
@@ -83,8 +109,13 @@ class Exchange:
                 f"binding {self.name!r} -> {destination.name!r} would create a cycle"
             )
         self._bindings[binding] = destination
-        if self._topic is not None:
-            self._topic.add(key)
+        if self.type is ExchangeType.FANOUT:
+            self._fanout.append(destination)
+        else:
+            self._by_key.setdefault(key, []).append(destination)
+            if self._topic is not None:
+                self._topic.add(key)
+        self._notify_change()
 
     def unbind(self, destination: Destination, key: str = "") -> None:
         """Remove a binding previously created with :meth:`bind`."""
@@ -94,8 +125,53 @@ class Exchange:
                 f"no binding {key!r} from {self.name!r} to {binding.dest_name!r}"
             )
         del self._bindings[binding]
+        self._uncompile(binding)
+        self._notify_change()
+
+    def _uncompile(self, binding: _BindingKey) -> None:
+        """Remove one binding from the compiled routing tables."""
+        if self.type is ExchangeType.FANOUT:
+            self._remove_destination(self._fanout, binding)
+            return
+        destinations = self._by_key.get(binding.key)
+        if destinations is not None:
+            self._remove_destination(destinations, binding)
+            if not destinations:
+                del self._by_key[binding.key]
         if self._topic is not None:
-            self._topic.remove(key)
+            self._topic.remove(binding.key)
+
+    @staticmethod
+    def _remove_destination(
+        destinations: List[Destination], binding: _BindingKey
+    ) -> None:
+        for i, destination in enumerate(destinations):
+            kind = "exchange" if isinstance(destination, Exchange) else "queue"
+            if kind == binding.dest_kind and destination.name == binding.dest_name:
+                del destinations[i]
+                return
+
+    def _drop_destination(self, dest_kind: str, dest_name: str) -> int:
+        """Remove every binding to the named destination; returns count.
+
+        The broker calls this when a queue or exchange is deleted so no
+        exchange keeps routing into a dead entity (stale-binding sweep).
+        """
+        doomed = [
+            b
+            for b in self._bindings
+            if b.dest_kind == dest_kind and b.dest_name == dest_name
+        ]
+        for binding in doomed:
+            del self._bindings[binding]
+            self._uncompile(binding)
+        if doomed:
+            self._notify_change()
+        return len(doomed)
+
+    def _notify_change(self) -> None:
+        if self._on_change is not None:
+            self._on_change()
 
     @property
     def binding_count(self) -> int:
@@ -120,12 +196,12 @@ class Exchange:
         queues: List[MessageQueue] = []
         seen_queues: Set[str] = set()
         visited_exchanges: Set[str] = set()
-        self._collect(message, queues, seen_queues, visited_exchanges)
+        self._collect(message.routing_key, queues, seen_queues, visited_exchanges)
         return queues
 
     def _collect(
         self,
-        message: Message,
+        routing_key: str,
         queues: List[MessageQueue],
         seen_queues: Set[str],
         visited: Set[str],
@@ -133,22 +209,28 @@ class Exchange:
         if self.name in visited:
             return
         visited.add(self.name)
-        for binding, destination in self._bindings.items():
-            if not self._key_matches(binding.key, message.routing_key):
-                continue
+        for destination in self._destinations_for(routing_key):
             if isinstance(destination, MessageQueue):
                 if destination.name not in seen_queues:
                     seen_queues.add(destination.name)
                     queues.append(destination)
             else:
-                destination._collect(message, queues, seen_queues, visited)
+                destination._collect(routing_key, queues, seen_queues, visited)
 
-    def _key_matches(self, binding_key: str, routing_key: str) -> bool:
+    def _destinations_for(self, routing_key: str) -> List[Destination]:
+        """Matching destinations straight from the compiled tables."""
         if self.type is ExchangeType.FANOUT:
-            return True
+            return self._fanout
         if self.type is ExchangeType.DIRECT:
-            return binding_key == routing_key
-        return topic_matches(binding_key, routing_key)
+            return self._by_key.get(routing_key, _EMPTY)  # type: ignore[return-value]
+        assert self._topic is not None
+        patterns = self._topic.matching(routing_key)
+        if not patterns:
+            return _EMPTY  # type: ignore[return-value]
+        by_key = self._by_key
+        if len(patterns) == 1:
+            return by_key[patterns[0]]
+        return [d for pattern in patterns for d in by_key[pattern]]
 
     def _reaches(self, other: "Exchange") -> bool:
         """Whether ``other`` is reachable from this exchange via bindings."""

@@ -101,6 +101,7 @@ class MessageQueue:
         self._dead_letter = dead_letter
         self._ready: Deque[Tuple[Message, float]] = deque()
         self._consumers: "OrderedDict[str, Consumer]" = OrderedDict()
+        self._push_cache: Optional[list] = None  # memoized push-consumer list
         self._rr: int = 0  # round-robin cursor over consumers
         self._redelivered_ids: set = set()
         self.stats = QueueStats()
@@ -199,6 +200,7 @@ class MessageQueue:
             raise QueueError(f"prefetch must be >= 0, got {prefetch}")
         consumer = Consumer(tag=tag, callback=callback, prefetch=prefetch, auto_ack=auto_ack)
         self._consumers[tag] = consumer
+        self._push_cache = None
         self._dispatch()
         return consumer
 
@@ -207,6 +209,7 @@ class MessageQueue:
         consumer = self._consumers.pop(tag, None)
         if consumer is None:
             raise QueueError(f"no consumer {tag!r} on queue {self.name!r}")
+        self._push_cache = None
         if requeue_unacked:
             now = self._now()
             for delivery in reversed(consumer.unacked.values()):
@@ -266,13 +269,37 @@ class MessageQueue:
         )
 
     def _push_consumers(self) -> list:
-        return [c for t, c in self._consumers.items() if t != self._pull_tag()]
+        cached = self._push_cache
+        if cached is None:
+            pull_tag = self._pull_tag()
+            cached = [c for t, c in self._consumers.items() if t != pull_tag]
+            self._push_cache = cached
+        return cached
 
     def _dispatch(self) -> None:
         """Deliver ready messages to consumers round-robin while credit lasts."""
         consumers = self._push_consumers()
         if not consumers:
             return
+        if len(consumers) == 1:
+            # fast path: no round-robin bookkeeping for the common
+            # single-consumer queue (every GoFlow/client queue).
+            consumer = consumers[0]
+            while True:
+                self._expire_head()
+                if not self._ready or not consumer.has_credit():
+                    return
+                message, _ = self._ready.popleft()
+                delivery = self._make_delivery(
+                    message,
+                    redelivered=message.message_id in self._redelivered_ids,
+                )
+                self.stats.delivered += 1
+                if consumer.auto_ack:
+                    self.stats.acked += 1
+                else:
+                    consumer.unacked[delivery.delivery_tag] = delivery
+                consumer.callback(delivery)
         progress = True
         while progress:
             self._expire_head()

@@ -9,16 +9,27 @@ pathological patterns cannot blow up.
 GoFlow's channel management (paper Figure 3) binds with patterns such as
 ``FR75013.Feedback.#`` (all feedback at a location) and
 ``*.Journey.public`` (public journey announcements anywhere).
+
+Hot-path discipline: patterns are validated **once** when registered
+(:meth:`TopicMatcher.add` or an exchange bind), never per publish. The
+per-publish entry points are :func:`topic_matches_raw` (pre-validated
+pattern) and :meth:`TopicMatcher.matching`, which memoizes per routing
+key behind a bounded LRU so per-user key cardinality cannot grow memory
+without limit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.broker.errors import BindingError
 
 _STAR = "*"
 _HASH = "#"
+
+#: Default bound on a matcher's per-routing-key memo.
+DEFAULT_CACHE_SIZE = 1024
 
 
 def validate_pattern(pattern: str) -> None:
@@ -31,12 +42,24 @@ def validate_pattern(pattern: str) -> None:
         raise BindingError(f"malformed topic pattern {pattern!r} (empty word)")
 
 
+def split_words(text: str) -> Tuple[str, ...]:
+    """A pattern or routing key as its tuple of words ('' -> no words)."""
+    return tuple(text.split(".")) if text else ()
+
+
 def topic_matches(pattern: str, routing_key: str) -> bool:
-    """True when ``routing_key`` matches the AMQP topic ``pattern``."""
+    """True when ``routing_key`` matches the AMQP topic ``pattern``.
+
+    Validates ``pattern`` on every call; hot paths that validated at
+    bind time should use :func:`topic_matches_raw` instead.
+    """
     validate_pattern(pattern)
-    pattern_words = pattern.split(".") if pattern else []
-    key_words = routing_key.split(".") if routing_key else []
-    return _match(tuple(pattern_words), tuple(key_words))
+    return _match(split_words(pattern), split_words(routing_key))
+
+
+def topic_matches_raw(pattern: str, routing_key: str) -> bool:
+    """Match without re-validating ``pattern`` (validated at bind time)."""
+    return _match(split_words(pattern), split_words(routing_key))
 
 
 def _match(pattern: Tuple[str, ...], key: Tuple[str, ...]) -> bool:
@@ -63,19 +86,43 @@ def _match(pattern: Tuple[str, ...], key: Tuple[str, ...]) -> bool:
 
 
 class TopicMatcher:
-    """A set of patterns with memoized per-key matching.
+    """A set of patterns with bounded, memoized per-key matching.
 
     Topic exchanges hold one matcher; binding churn invalidates the memo.
+
+    Args:
+        cache_size: LRU bound on the per-routing-key memo. Millions of
+            distinct per-user keys (``Z*-0.NoiseObservation``) therefore
+            cost at most ``cache_size`` cached entries.
+        stats: optional sink with ``topic_cache_hits``/``topic_cache_misses``
+            counters (the broker passes its :class:`BrokerStats`).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, cache_size: int = DEFAULT_CACHE_SIZE, stats: Optional[Any] = None
+    ) -> None:
+        if cache_size <= 0:
+            raise BindingError(f"cache_size must be positive, got {cache_size}")
         self._patterns: Dict[str, int] = {}
-        self._cache: Dict[str, List[str]] = {}
+        self._words: Dict[str, Tuple[str, ...]] = {}
+        self._cache: "OrderedDict[str, List[str]]" = OrderedDict()
+        self._cache_size = cache_size
+        self._stats = stats
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def add(self, pattern: str) -> None:
-        """Register ``pattern`` (reference-counted for duplicate bindings)."""
+        """Register ``pattern`` (reference-counted for duplicate bindings).
+
+        Validation happens here, once — not per publish.
+        """
         validate_pattern(pattern)
-        self._patterns[pattern] = self._patterns.get(pattern, 0) + 1
+        count = self._patterns.get(pattern)
+        if count is None:
+            self._patterns[pattern] = 1
+            self._words[pattern] = split_words(pattern)
+        else:
+            self._patterns[pattern] = count + 1
         self._cache.clear()
 
     def remove(self, pattern: str) -> None:
@@ -85,17 +132,39 @@ class TopicMatcher:
             raise BindingError(f"pattern {pattern!r} is not registered")
         if count == 1:
             del self._patterns[pattern]
+            del self._words[pattern]
         else:
             self._patterns[pattern] = count - 1
         self._cache.clear()
 
     def matching(self, routing_key: str) -> List[str]:
-        """All registered patterns matching ``routing_key``."""
-        hit = self._cache.get(routing_key)
-        if hit is None:
-            hit = [p for p in self._patterns if topic_matches(p, routing_key)]
-            self._cache[routing_key] = hit
+        """All registered patterns matching ``routing_key``.
+
+        Callers must treat the returned list as read-only: it is the
+        cached object itself, not a copy.
+        """
+        cache = self._cache
+        hit = cache.get(routing_key)
+        if hit is not None:
+            cache.move_to_end(routing_key)
+            self.cache_hits += 1
+            if self._stats is not None:
+                self._stats.topic_cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        if self._stats is not None:
+            self._stats.topic_cache_misses += 1
+        key_words = split_words(routing_key)
+        hit = [p for p, words in self._words.items() if _match(words, key_words)]
+        cache[routing_key] = hit
+        if len(cache) > self._cache_size:
+            cache.popitem(last=False)
         return hit
+
+    @property
+    def cache_len(self) -> int:
+        """Entries currently memoized (bounded by ``cache_size``)."""
+        return len(self._cache)
 
     def __len__(self) -> int:
         return len(self._patterns)

@@ -96,7 +96,9 @@ class DataManager:
             )
         stored = self._privacy.anonymize_ingest(document)
         stored["app_id"] = app_id
-        return self._observations.insert_one(stored)
+        # anonymize_ingest already produced a private copy; let the
+        # collection take ownership rather than cloning a second time.
+        return self._observations.insert_one(stored, copy=False)
 
     def delete_contributor_data(self, app_id: str, user_id: str) -> int:
         """CNIL right-to-erasure: drop a contributor's observations."""

@@ -20,12 +20,12 @@ Three mechanisms:
 
 from __future__ import annotations
 
-import copy
 import hashlib
 import hmac
 from typing import Any, Dict, Iterable, Set
 
 from repro.core.errors import ValidationError
+from repro.docstore.clone import json_clone
 
 
 class PrivacyPolicy:
@@ -51,6 +51,11 @@ class PrivacyPolicy:
         self.coarse_grid_m = coarse_grid_m
         self.coarse_time_s = coarse_time_s
         self._private_fields: Dict[str, Set[str]] = {}
+        # pseudonyms are deterministic, so the HMAC per observation is
+        # pure waste for repeat contributors; bound the memo so millions
+        # of users cannot grow it without limit.
+        self._pseudonym_cache: Dict[str, str] = {}
+        self._pseudonym_cache_size = 65536
 
     # -- app policies -------------------------------------------------------
 
@@ -66,10 +71,17 @@ class PrivacyPolicy:
 
     def pseudonym(self, user_id: str) -> str:
         """Stable, non-invertible pseudonym for ``user_id``."""
+        cached = self._pseudonym_cache.get(user_id)
+        if cached is not None:
+            return cached
         if not user_id:
             raise ValidationError("user_id must be non-empty")
         digest = hmac.new(self._salt, user_id.encode("utf-8"), hashlib.sha256)
-        return "p" + digest.hexdigest()[:16]
+        pseudonym = "p" + digest.hexdigest()[:16]
+        if len(self._pseudonym_cache) >= self._pseudonym_cache_size:
+            self._pseudonym_cache.clear()
+        self._pseudonym_cache[user_id] = pseudonym
+        return pseudonym
 
     def anonymize_ingest(self, document: Dict[str, Any]) -> Dict[str, Any]:
         """The storage form of an incoming observation.
@@ -77,7 +89,7 @@ class PrivacyPolicy:
         Replaces ``user_id`` by its pseudonym; the raw id never reaches
         the document store.
         """
-        doc = copy.deepcopy(document)
+        doc = json_clone(document)
         user_id = doc.pop("user_id", None)
         if user_id is not None:
             doc["contributor"] = self.pseudonym(str(user_id))
@@ -87,7 +99,7 @@ class PrivacyPolicy:
 
     def for_sharing(self, app_id: str, document: Dict[str, Any]) -> Dict[str, Any]:
         """A copy of ``document`` with ``app_id``'s private fields removed."""
-        doc = copy.deepcopy(document)
+        doc = json_clone(document)
         for field_path in self.private_fields(app_id):
             self._remove_path(doc, field_path)
         return doc

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.broker.broker import Broker
+from repro.broker.broker import Broker, DEFAULT_ROUTE_CACHE_SIZE
 from repro.broker.message import Delivery
 from repro.core.accounts import AccountManager, Role
 from repro.core.analytics import AnalyticsEngine
@@ -37,9 +37,12 @@ class GoFlowServer:
         store: Optional[DocumentStore] = None,
         privacy: Optional[PrivacyPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
+        route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
     ) -> None:
         self._clock = clock or (lambda: 0.0)
-        self.broker = broker or Broker(clock=self._clock)
+        self.broker = broker or Broker(
+            clock=self._clock, route_cache_size=route_cache_size
+        )
         self.store = store or DocumentStore(clock=self._clock)
         self.privacy = privacy or PrivacyPolicy()
         self.accounts = AccountManager(self.store)
@@ -79,6 +82,32 @@ class GoFlowServer:
         # client publishes route "<zone>.<datatype>"; the app id travels
         # in the exchange chain, so default to the datatype's owner.
         return "unknown-app"
+
+    # -- observability ----------------------------------------------------------
+
+    def middleware_stats(self) -> Dict[str, Any]:
+        """Broker and store hot-path counters, cache behaviour included."""
+        broker_stats = self.broker.stats
+        collection_stats = self.data.collection.stats
+        return {
+            "ingested": self.ingested,
+            "broker": {
+                "publishes": broker_stats.publishes,
+                "routed": broker_stats.routed,
+                "unroutable": broker_stats.unroutable,
+                "route_cache": self.broker.route_cache_info(),
+                "topic_cache_hits": broker_stats.topic_cache_hits,
+                "topic_cache_misses": broker_stats.topic_cache_misses,
+            },
+            "observations": {
+                "inserts": collection_stats.inserts,
+                "queries": collection_stats.queries,
+                "index_hits": collection_stats.index_hits,
+                "full_scans": collection_stats.full_scans,
+                "plan_cache_hits": collection_stats.plan_cache_hits,
+                "plan_cache_misses": collection_stats.plan_cache_misses,
+            },
+        }
 
     # -- app/user lifecycle (programmatic surface) ---------------------------------
 

@@ -1,0 +1,28 @@
+"""Fast structural cloning of JSON-like documents.
+
+``copy.deepcopy`` dominates the ingest and read hot paths: it walks a
+memo dict and dispatch table for every node. Stored documents are
+JSON-shaped (dicts, lists, scalars), so a direct recursive rebuild is
+several times cheaper. Exotic values (custom classes, dict/list
+subclasses) fall back to ``copy.deepcopy`` per subtree, preserving the
+old semantics for anything that isn't plain JSON.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+
+def json_clone(value: Any) -> Any:
+    """A deep copy of ``value`` optimized for JSON-shaped data."""
+    cls = value.__class__
+    if cls is dict:
+        return {k: json_clone(v) for k, v in value.items()}
+    if cls is list:
+        return [json_clone(v) for v in value]
+    if cls is str or cls is int or cls is float or cls is bool or value is None:
+        return value
+    if cls is tuple:
+        return tuple(json_clone(v) for v in value)
+    return copy.deepcopy(value)

@@ -5,24 +5,76 @@ The planner uses declared indexes for top-level equality and range
 predicates, intersects candidate sets across indexed fields, and verifies
 every candidate against the full filter (indexes only narrow, they never
 decide).
+
+Planning is cached per **filter shape**: the structure of a filter (which
+paths, which operators) determines which indexes apply, independent of
+the literal values, so repeated queries of the same shape skip predicate
+extraction and index selection entirely. The cache is invalidated when
+indexes are created or dropped.
 """
 
 from __future__ import annotations
 
-import copy
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from repro.docstore.clone import json_clone
 from repro.docstore.cursor import Cursor
 from repro.docstore.errors import DocStoreError, DuplicateKeyError, IndexError_
 from repro.docstore.index import HashIndex, SortedIndex
 from repro.docstore.query import (
+    _is_operator_doc,
     extract_equality_predicates,
     extract_range_predicates,
     matches,
 )
 from repro.docstore.update import apply_update
+
+#: Bound on distinct cached filter shapes per collection.
+PLAN_CACHE_SIZE = 256
+
+_UNCACHED = object()
+
+
+def _filter_shape(filter_doc: Dict[str, Any]) -> Optional[Tuple[Any, ...]]:
+    """Hashable shape of a filter, or None when it cannot be summarized.
+
+    Two filters with the same shape compile to the same plan: the same
+    index choices apply, only the looked-up values differ.
+    """
+    parts = []
+    for key, condition in filter_doc.items():
+        if not isinstance(key, str):
+            return None
+        if key.startswith("$"):
+            parts.append((key, "$logical"))
+        elif isinstance(condition, dict):
+            if _is_operator_doc(condition):
+                parts.append((key, tuple(condition.keys())))
+            else:
+                parts.append((key, "$dictlit"))
+        else:
+            parts.append((key, "$lit"))
+    return tuple(parts)
+
+
+def _range_bounds(condition: Dict[str, Any]) -> Tuple[Any, bool, Any, bool]:
+    """(low, low_inclusive, high, high_inclusive) of an operator doc."""
+    low: Any = None
+    low_inc = True
+    high: Any = None
+    high_inc = True
+    for op, operand in condition.items():
+        if op == "$gt":
+            low, low_inc = operand, False
+        elif op == "$gte":
+            low, low_inc = operand, True
+        elif op == "$lt":
+            high, high_inc = operand, False
+        elif op == "$lte":
+            high, high_inc = operand, True
+    return low, low_inc, high, high_inc
 
 
 @dataclass
@@ -35,6 +87,8 @@ class CollectionStats:
     queries: int = 0
     index_hits: int = 0
     full_scans: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
 
 @dataclass
@@ -58,6 +112,7 @@ class Collection:
         self._id_counter = itertools.count(1)
         self._hash_indexes: Dict[str, HashIndex] = {}
         self._sorted_indexes: Dict[str, SortedIndex] = {}
+        self._plan_cache: Dict[Tuple[Any, ...], Any] = {}
         self.stats = CollectionStats()
 
     # -- basic properties -----------------------------------------------------
@@ -89,6 +144,7 @@ class Collection:
             for doc_id, doc in self._docs.items():
                 index.insert(doc_id, doc)
             self._hash_indexes[path] = index
+            self._plan_cache.clear()
             return index
         if kind == "sorted":
             if unique:
@@ -99,6 +155,7 @@ class Collection:
             for doc_id, doc in self._docs.items():
                 index.insert(doc_id, doc)
             self._sorted_indexes[path] = index
+            self._plan_cache.clear()
             return index
         raise IndexError_(f"unknown index kind {kind!r}")
 
@@ -113,6 +170,7 @@ class Collection:
             found = True
         if not found:
             raise IndexError_(f"no index on {path!r}")
+        self._plan_cache.clear()
 
     def index_paths(self) -> List[str]:
         """Paths of all declared indexes."""
@@ -120,13 +178,18 @@ class Collection:
 
     # -- insert ---------------------------------------------------------------------
 
-    def insert_one(self, document: Dict[str, Any]) -> Any:
-        """Insert a document; returns its ``_id``."""
+    def insert_one(self, document: Dict[str, Any], copy: bool = True) -> Any:
+        """Insert a document; returns its ``_id``.
+
+        With ``copy=False`` the collection takes ownership of
+        ``document`` instead of cloning it — only for callers that built
+        the dict themselves and never touch it again (the ingest path).
+        """
         if not isinstance(document, dict):
             raise DocStoreError(
                 f"document must be a dict, got {type(document).__name__}"
             )
-        doc = copy.deepcopy(document)
+        doc = json_clone(document) if copy else document
         doc_id = doc.setdefault("_id", next(self._id_counter))
         if doc_id in self._docs:
             raise DuplicateKeyError(f"duplicate _id {doc_id!r} in {self.name!r}")
@@ -151,7 +214,7 @@ class Collection:
     ) -> Optional[Dict[str, Any]]:
         """The first matching document, or None."""
         for doc in self._iter_matching(filter_doc or {}):
-            return copy.deepcopy(doc)
+            return json_clone(doc)
         return None
 
     def distinct(self, path: str, filter_doc: Optional[Dict[str, Any]] = None) -> List[Any]:
@@ -303,34 +366,67 @@ class Collection:
         """Candidate ids from indexes, or None to force a full scan."""
         if not filter_doc:
             return None
+        steps = self._plan_steps(filter_doc)
+        if steps is None:
+            return None
+        candidates: Optional[Set[Any]] = None
+        for kind, path, index in steps:
+            if kind == "id":
+                value = filter_doc["_id"]
+                if isinstance(value, dict):
+                    value = value["$eq"]
+                return {value} if value in self._docs else set()
+            if kind == "eq":
+                value = filter_doc[path]
+                if isinstance(value, dict):
+                    value = value["$eq"]
+                hits = index.lookup(value)
+            else:  # "range"
+                low, low_inc, high, high_inc = _range_bounds(filter_doc[path])
+                hits = index.range(low, low_inc, high, high_inc)
+            candidates = hits if candidates is None else candidates & hits
+            if not candidates:
+                return set()
+        return candidates
+
+    def _plan_steps(self, filter_doc: Dict[str, Any]):
+        """The (cached) compiled plan for a filter: index steps or None.
+
+        The plan is looked up by filter shape; literal values are read
+        back out of the concrete filter at execution time.
+        """
+        shape = _filter_shape(filter_doc)
+        if shape is None:
+            return self._compile_plan(filter_doc)
+        steps = self._plan_cache.get(shape, _UNCACHED)
+        if steps is not _UNCACHED:
+            self.stats.plan_cache_hits += 1
+            return steps
+        self.stats.plan_cache_misses += 1
+        steps = self._compile_plan(filter_doc)
+        if len(self._plan_cache) >= PLAN_CACHE_SIZE:
+            self._plan_cache.pop(next(iter(self._plan_cache)))
+        self._plan_cache[shape] = steps
+        return steps
+
+    def _compile_plan(self, filter_doc: Dict[str, Any]):
+        """Which index steps apply to filters of this shape, or None."""
         equalities = extract_equality_predicates(filter_doc)
         ranges = extract_range_predicates(filter_doc)
-        candidates: Optional[Set[Any]] = None
-
         if "_id" in equalities:
-            return {equalities["_id"]} if equalities["_id"] in self._docs else set()
-
-        for path, value in equalities.items():
+            return (("id", "_id", None),)
+        steps = []
+        for path in equalities:
             index: Optional[Union[HashIndex, SortedIndex]] = self._hash_indexes.get(
                 path
             ) or self._sorted_indexes.get(path)
-            if index is None:
-                continue
-            hits = index.lookup(value)
-            candidates = hits if candidates is None else candidates & hits
-            if not candidates:
-                return set()
-
-        for path, (low, low_inc, high, high_inc) in ranges.items():
-            index2 = self._sorted_indexes.get(path)
-            if index2 is None:
-                continue
-            hits = index2.range(low, low_inc, high, high_inc)
-            candidates = hits if candidates is None else candidates & hits
-            if not candidates:
-                return set()
-
-        return candidates
+            if index is not None:
+                steps.append(("eq", path, index))
+        for path in ranges:
+            sorted_index = self._sorted_indexes.get(path)
+            if sorted_index is not None:
+                steps.append(("range", path, sorted_index))
+        return tuple(steps) if steps else None
 
     def _index_insert(self, doc_id: Any, doc: Dict[str, Any]) -> None:
         inserted: List[HashIndex] = []

@@ -1,16 +1,18 @@
 """Cursors: lazy, chainable result sets.
 
-A cursor snapshots matching documents at creation (deep-copied on yield,
-so callers can't corrupt the store) and supports ``sort``, ``skip``,
+A cursor snapshots matching documents at creation (cloned on yield, so
+callers can't corrupt the store) and supports ``sort``, ``skip``,
 ``limit`` chaining before iteration, mirroring the MongoDB driver API
-GoFlow's data-management layer is written against.
+GoFlow's data-management layer is written against. Yield-time copies use
+the cheap JSON-document clone rather than ``copy.deepcopy`` — reads are
+a hot path for analytics and the REST API.
 """
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.docstore.clone import json_clone
 from repro.docstore.errors import DocStoreError
 from repro.docstore.query import get_path, is_missing
 
@@ -123,7 +125,7 @@ class Cursor:
             docs = sort_documents(docs, self._sort)
         end = None if self._limit is None else self._skip + self._limit
         for doc in docs[self._skip : end]:
-            yield copy.deepcopy(doc)
+            yield json_clone(doc)
 
     def to_list(self) -> List[Dict[str, Any]]:
         """Materialize the cursor into a list."""

@@ -21,18 +21,33 @@ from repro.docstore.errors import DuplicateKeyError, IndexError_
 from repro.docstore.query import get_path, is_missing
 
 
-def _index_keys(document: Dict[str, Any], path: str) -> List[Any]:
+_ABSENT = object()
+
+
+def _index_keys(document: Dict[str, Any], path: str, simple: bool = False) -> List[Any]:
     """Keys under which a document is indexed for ``path``.
 
     Array fields produce one key per element (multikey index).
-    Unhashable values (sub-documents) are not indexed.
+    Unhashable values (sub-documents) are not indexed. ``simple`` marks a
+    dot-free path, resolved with a plain dict lookup instead of the full
+    path walker (the ingest hot path: every write touches every index).
     """
-    resolved = get_path(document, path)
-    if is_missing(resolved):
-        return []
-    values = resolved if isinstance(resolved, list) else [resolved]
+    if simple:
+        resolved = document.get(path, _ABSENT)
+        if resolved is _ABSENT:
+            return []
+    else:
+        resolved = get_path(document, path)
+        if is_missing(resolved):
+            return []
+    if not isinstance(resolved, list):
+        try:
+            hash(resolved)
+        except TypeError:
+            return []
+        return [resolved]
     keys = []
-    for value in values:
+    for value in resolved:
         try:
             hash(value)
         except TypeError:
@@ -49,11 +64,12 @@ class HashIndex:
             raise IndexError_("index path must be non-empty")
         self.path = path
         self.unique = unique
+        self._simple = "." not in path
         self._map: Dict[Any, Set[Any]] = {}
 
     def insert(self, doc_id: Any, document: Dict[str, Any]) -> None:
         """Index ``document`` under ``doc_id``; enforces uniqueness."""
-        keys = _index_keys(document, self.path)
+        keys = _index_keys(document, self.path, self._simple)
         if self.unique:
             for key in keys:
                 existing = self._map.get(key)
@@ -66,7 +82,7 @@ class HashIndex:
 
     def remove(self, doc_id: Any, document: Dict[str, Any]) -> None:
         """Drop ``document``'s entries."""
-        for key in _index_keys(document, self.path):
+        for key in _index_keys(document, self.path, self._simple):
             bucket = self._map.get(key)
             if bucket is not None:
                 bucket.discard(doc_id)
@@ -96,6 +112,7 @@ class SortedIndex:
         if not path:
             raise IndexError_("index path must be non-empty")
         self.path = path
+        self._simple = "." not in path
         # type name -> (sorted key list, parallel list of id-sets)
         self._partitions: Dict[str, Tuple[List[Any], List[Set[Any]]]] = {}
 
@@ -111,7 +128,7 @@ class SortedIndex:
 
     def insert(self, doc_id: Any, document: Dict[str, Any]) -> None:
         """Index ``document`` under ``doc_id``."""
-        for key in _index_keys(document, self.path):
+        for key in _index_keys(document, self.path, self._simple):
             partition_name = self._partition_name(key)
             if partition_name is None:
                 continue
@@ -125,7 +142,7 @@ class SortedIndex:
 
     def remove(self, doc_id: Any, document: Dict[str, Any]) -> None:
         """Drop ``document``'s entries."""
-        for key in _index_keys(document, self.path):
+        for key in _index_keys(document, self.path, self._simple):
             partition_name = self._partition_name(key)
             if partition_name is None:
                 continue

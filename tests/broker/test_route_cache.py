@@ -1,0 +1,244 @@
+"""Route-plan cache correctness under topology churn.
+
+The broker memoizes ``(exchange, routing_key) -> resolved queue list``
+across the transitive exchange graph. These tests pit the cached publish
+path against an **uncached oracle** — an independent linear re-scan of
+every binding, the pre-compiled-tables routing algorithm — while the
+topology is mutated mid-stream, and check the stale-binding sweep on
+queue/exchange deletion.
+"""
+
+import random
+
+import pytest
+
+from repro.broker import Broker, ExchangeType, Message, topic_matches
+
+
+def linear_route(broker, exchange_name, routing_key):
+    """Uncached oracle: first-reached queue names by linear binding scan."""
+    reached = []
+    seen = set()
+    visited = set()
+
+    def collect(exchange):
+        if exchange.name in visited:
+            return
+        visited.add(exchange.name)
+        for kind, name, key in exchange.bindings():
+            if exchange.type is ExchangeType.FANOUT:
+                matched = True
+            elif exchange.type is ExchangeType.DIRECT:
+                matched = key == routing_key
+            else:
+                matched = topic_matches(key, routing_key)
+            if not matched:
+                continue
+            if kind == "queue":
+                if name not in seen:
+                    seen.add(name)
+                    reached.append(name)
+            else:
+                collect(broker.get_exchange(name))
+
+    collect(broker.get_exchange(exchange_name))
+    return reached
+
+
+def delivered(broker, exchange_name, routing_key, body):
+    """Publish and report which queues hold the message afterwards."""
+    before = {name: broker.get_queue(name).ready_count for name in broker.queue_names()}
+    broker.publish(exchange_name, Message(routing_key=routing_key, body=body))
+    return sorted(
+        name
+        for name in broker.queue_names()
+        if broker.get_queue(name).ready_count > before[name]
+    )
+
+
+@pytest.fixture
+def figure3():
+    """Client exchange -> app exchange -> GF queue, plus a zone queue."""
+    broker = Broker()
+    broker.declare_exchange("E1", ExchangeType.TOPIC)
+    broker.declare_exchange("SC", ExchangeType.TOPIC)
+    broker.declare_exchange("GF", ExchangeType.TOPIC)
+    broker.declare_queue("gf-q")
+    broker.declare_queue("zone-q")
+    broker.bind_exchange("E1", "SC", "#")
+    broker.bind_exchange("SC", "GF", "#")
+    broker.bind_queue("GF", "gf-q", "#")
+    broker.bind_queue("SC", "zone-q", "Z1.#")
+    return broker
+
+
+class TestRoutePlanCache:
+    def test_cache_hit_reuses_plan(self, figure3):
+        figure3.publish("E1", Message(routing_key="Z1.Noise", body=1))
+        figure3.publish("E1", Message(routing_key="Z1.Noise", body=2))
+        assert figure3.stats.route_cache_hits == 1
+        assert figure3.get_queue("gf-q").ready_count == 2
+        assert figure3.get_queue("zone-q").ready_count == 2
+
+    def test_cached_path_matches_oracle(self, figure3):
+        for key in ["Z1.Noise", "Z2.Noise", "Z1.Noise", "Z2.Feedback"]:
+            assert delivered(figure3, "E1", key, "x") == sorted(
+                linear_route(figure3, "E1", key)
+            )
+
+    def test_bind_invalidates_plan(self, figure3):
+        assert delivered(figure3, "E1", "Z9.Noise", 1) == ["gf-q"]
+        figure3.declare_queue("late-q")
+        figure3.bind_queue("SC", "late-q", "Z9.#")
+        assert delivered(figure3, "E1", "Z9.Noise", 2) == ["gf-q", "late-q"]
+
+    def test_unbind_invalidates_plan(self, figure3):
+        assert "zone-q" in delivered(figure3, "E1", "Z1.Noise", 1)
+        figure3.unbind_queue("SC", "zone-q", "Z1.#")
+        assert delivered(figure3, "E1", "Z1.Noise", 2) == ["gf-q"]
+
+    def test_churn_matches_uncached_oracle(self, figure3):
+        """Publish, rebind, delete a queue, republish: delivery sets must
+        always equal the uncached oracle's answer."""
+        keys = ["Z1.Noise", "Z2.Noise", "Z1.Feedback"]
+        for key in keys:  # prime the cache
+            assert delivered(figure3, "E1", key, 0) == sorted(
+                linear_route(figure3, "E1", key)
+            )
+        # rebind: move the zone filter to Z2
+        figure3.unbind_queue("SC", "zone-q", "Z1.#")
+        figure3.bind_queue("SC", "zone-q", "Z2.#")
+        for key in keys:
+            assert delivered(figure3, "E1", key, 1) == sorted(
+                linear_route(figure3, "E1", key)
+            )
+        # delete a queue mid-stream
+        figure3.delete_queue("zone-q")
+        for key in keys:
+            assert delivered(figure3, "E1", key, 2) == sorted(
+                linear_route(figure3, "E1", key)
+            )
+        assert not figure3.has_queue("zone-q")
+
+    def test_queue_delete_and_redeclare_gets_fresh_plan(self, figure3):
+        assert delivered(figure3, "E1", "Z1.Noise", 1) == ["gf-q", "zone-q"]
+        figure3.delete_queue("zone-q")
+        assert delivered(figure3, "E1", "Z1.Noise", 2) == ["gf-q"]
+        figure3.declare_queue("zone-q")
+        figure3.bind_queue("SC", "zone-q", "Z1.#")
+        assert delivered(figure3, "E1", "Z1.Noise", 3) == ["gf-q", "zone-q"]
+
+    def test_exchange_delete_invalidates_plan(self, figure3):
+        assert delivered(figure3, "E1", "Z1.Noise", 1) == ["gf-q", "zone-q"]
+        figure3.delete_exchange("GF")
+        assert delivered(figure3, "E1", "Z1.Noise", 2) == ["zone-q"]
+
+    def test_lru_bound_respected(self):
+        broker = Broker(route_cache_size=4)
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q", "#")
+        for i in range(100):
+            broker.publish("x", Message(routing_key=f"user{i}.obs", body=i))
+        assert broker.route_cache_info()["size"] <= 4
+        assert broker.stats.route_cache_misses == 100
+
+    def test_lru_recency_keeps_hot_key(self):
+        broker = Broker(route_cache_size=2)
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q", "#")
+        broker.publish("x", Message(routing_key="hot", body=0))
+        for i in range(10):
+            broker.publish("x", Message(routing_key="hot", body=i))
+            broker.publish("x", Message(routing_key=f"cold{i}", body=i))
+        # every "hot" publish after the first was a hit
+        assert broker.stats.route_cache_hits == 10
+
+    def test_cache_disabled_still_routes(self):
+        broker = Broker(route_cache_size=0)
+        broker.declare_queue("q")
+        broker.publish("", Message(routing_key="q", body=1))
+        broker.publish("", Message(routing_key="q", body=2))
+        assert broker.get_queue("q").ready_count == 2
+        assert broker.stats.route_cache_hits == 0
+        assert broker.route_cache_info()["size"] == 0
+
+
+class TestStaleBindingSweep:
+    def test_deleted_queue_no_longer_receives(self):
+        """The pre-sweep bug: delete_queue left the binding in other
+        exchanges, so the dead queue object kept receiving messages."""
+        broker = Broker()
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q", "#")
+        doomed = broker.get_queue("q")
+        broker.delete_queue("q")
+        broker.publish("x", Message(routing_key="k", body=1))
+        assert doomed.ready_count == 0
+        assert broker.get_exchange("x").binding_count == 0
+        assert broker.stats.unroutable == 1
+
+    def test_deleted_queue_swept_from_every_exchange(self):
+        broker = Broker()
+        broker.declare_exchange("a", ExchangeType.TOPIC)
+        broker.declare_exchange("b", ExchangeType.DIRECT)
+        broker.declare_exchange("c", ExchangeType.FANOUT)
+        broker.declare_queue("q")
+        broker.bind_queue("a", "q", "#")
+        broker.bind_queue("a", "q", "extra.#")
+        broker.bind_queue("b", "q", "k")
+        broker.bind_queue("c", "q")
+        broker.delete_queue("q")
+        for name in ("a", "b", "c"):
+            assert broker.get_exchange(name).binding_count == 0
+
+    def test_deleted_exchange_swept_from_sources(self):
+        broker = Broker()
+        broker.declare_exchange("src", ExchangeType.TOPIC)
+        broker.declare_exchange("mid", ExchangeType.TOPIC)
+        broker.declare_queue("q")
+        broker.bind_exchange("src", "mid", "#")
+        broker.bind_queue("mid", "q", "#")
+        dead_end = broker.get_queue("q")
+        broker.delete_exchange("mid")
+        broker.publish("src", Message(routing_key="k", body=1))
+        assert dead_end.ready_count == 0
+        assert broker.get_exchange("src").binding_count == 0
+
+    def test_rebinding_after_sweep_works(self):
+        broker = Broker()
+        broker.declare_exchange("x", ExchangeType.TOPIC)
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q", "a.#")
+        broker.delete_queue("q")
+        broker.declare_queue("q")
+        broker.bind_queue("x", "q", "a.#")  # no duplicate-binding error
+        broker.publish("x", Message(routing_key="a.b", body=1))
+        assert broker.get_queue("q").ready_count == 1
+
+
+class TestDirectFastPathEquivalence:
+    def test_matches_linear_scan_on_random_topology(self):
+        rng = random.Random(7)
+        broker = Broker()
+        broker.declare_exchange("d", ExchangeType.DIRECT)
+        keys = [f"k{i}" for i in range(12)]
+        for i in range(30):
+            queue = f"q{i}"
+            broker.declare_queue(queue)
+            broker.bind_queue("d", queue, rng.choice(keys))
+        for trial in range(200):
+            key = rng.choice(keys + ["unbound1", "unbound2"])
+            assert delivered(broker, "d", key, trial) == sorted(
+                linear_route(broker, "d", key)
+            ), f"divergence on key {key!r}"
+
+    def test_direct_multiple_queues_same_key_all_reached(self):
+        broker = Broker()
+        broker.declare_exchange("d", ExchangeType.DIRECT)
+        for name in ("q1", "q2", "q3"):
+            broker.declare_queue(name)
+            broker.bind_queue("d", name, "shared")
+        assert delivered(broker, "d", "shared", 1) == ["q1", "q2", "q3"]

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.broker.errors import BindingError
-from repro.broker.topic import TopicMatcher, topic_matches, validate_pattern
+from repro.broker.exchange import Exchange, ExchangeType
+from repro.broker.message import Message
+from repro.broker.queue import MessageQueue
+from repro.broker.topic import (
+    TopicMatcher,
+    topic_matches,
+    topic_matches_raw,
+    validate_pattern,
+)
 
 
 class TestTopicMatches:
@@ -101,3 +109,91 @@ class TestTopicMatcher:
         matcher.add("a")
         matcher.add("b")
         assert len(matcher) == 2
+
+    def test_cache_is_lru_bounded(self):
+        matcher = TopicMatcher(cache_size=8)
+        matcher.add("#")
+        for i in range(1000):
+            matcher.matching(f"user{i}.obs")
+        assert matcher.cache_len <= 8
+        assert matcher.cache_misses == 1000
+
+    def test_hit_and_miss_counters(self):
+        matcher = TopicMatcher()
+        matcher.add("a.#")
+        matcher.matching("a.b")
+        matcher.matching("a.b")
+        matcher.matching("a.c")
+        assert matcher.cache_hits == 1
+        assert matcher.cache_misses == 2
+
+    def test_counters_feed_shared_stats_sink(self):
+        class Sink:
+            topic_cache_hits = 0
+            topic_cache_misses = 0
+
+        sink = Sink()
+        matcher = TopicMatcher(stats=sink)
+        matcher.add("#")
+        matcher.matching("k")
+        matcher.matching("k")
+        assert sink.topic_cache_hits == 1
+        assert sink.topic_cache_misses == 1
+
+    def test_nonpositive_cache_size_rejected(self):
+        with pytest.raises(BindingError):
+            TopicMatcher(cache_size=0)
+
+    def test_raw_match_skips_validation(self):
+        # raw entry point assumes the pattern was validated at bind time
+        assert topic_matches_raw("a.#", "a.b.c")
+        assert not topic_matches_raw("a.*", "b.c")
+
+    def test_add_rejects_malformed_pattern(self):
+        with pytest.raises(BindingError):
+            TopicMatcher().add("a..b")
+
+
+class TestTopicEdgePatterns:
+    """Edge patterns routed through a compiled topic exchange."""
+
+    def _route(self, exchange, key):
+        return [q.name for q in exchange.route(Message(routing_key=key, body=None))]
+
+    def test_hash_pattern_matches_everything(self):
+        exchange = Exchange("t", ExchangeType.TOPIC)
+        exchange.bind(MessageQueue("all"), "#")
+        assert self._route(exchange, "") == ["all"]
+        assert self._route(exchange, "a.b.c.d") == ["all"]
+
+    def test_double_hash_pattern(self):
+        exchange = Exchange("t", ExchangeType.TOPIC)
+        exchange.bind(MessageQueue("q"), "#.#")
+        assert self._route(exchange, "") == ["q"]
+        assert self._route(exchange, "a.b") == ["q"]
+
+    def test_empty_pattern_matches_only_empty_key(self):
+        exchange = Exchange("t", ExchangeType.TOPIC)
+        exchange.bind(MessageQueue("q"), "")
+        assert self._route(exchange, "") == ["q"]
+        assert self._route(exchange, "a") == []
+
+    def test_refcounted_duplicate_pattern_bindings(self):
+        """Two queues on the same pattern: unbinding one must keep the
+        other routable (matcher refcounts the shared pattern)."""
+        exchange = Exchange("t", ExchangeType.TOPIC)
+        q1, q2 = MessageQueue("q1"), MessageQueue("q2")
+        exchange.bind(q1, "a.#")
+        exchange.bind(q2, "a.#")
+        assert self._route(exchange, "a.x") == ["q1", "q2"]
+        exchange.unbind(q1, "a.#")
+        assert self._route(exchange, "a.x") == ["q2"]
+        exchange.unbind(q2, "a.#")
+        assert self._route(exchange, "a.x") == []
+
+    def test_overlapping_patterns_dedup_queue(self):
+        exchange = Exchange("t", ExchangeType.TOPIC)
+        queue = MessageQueue("q")
+        exchange.bind(queue, "a.#")
+        exchange.bind(queue, "#.b")
+        assert self._route(exchange, "a.b") == ["q"]

@@ -1,0 +1,61 @@
+"""json_clone: the cheap deep copy for JSON-shaped documents."""
+
+import copy
+
+from repro.docstore.clone import json_clone
+
+
+class TestJsonClone:
+    def test_scalars_pass_through(self):
+        for value in ("s", 3, 2.5, True, False, None):
+            assert json_clone(value) is value
+
+    def test_nested_document_is_independent(self):
+        original = {"a": {"b": [1, {"c": 2}]}, "d": "x"}
+        cloned = json_clone(original)
+        assert cloned == original
+        cloned["a"]["b"][1]["c"] = 99
+        cloned["a"]["b"].append(3)
+        assert original["a"]["b"] == [1, {"c": 2}]
+
+    def test_empty_containers(self):
+        assert json_clone({}) == {}
+        assert json_clone([]) == []
+
+    def test_tuple_cloned_recursively(self):
+        original = ({"a": 1},)
+        cloned = json_clone(original)
+        assert cloned == original
+        assert cloned[0] is not original[0]
+
+    def test_exotic_type_falls_back_to_deepcopy(self):
+        class Box:
+            def __init__(self, value):
+                self.value = value
+
+        original = {"box": Box([1, 2])}
+        cloned = json_clone(original)
+        assert cloned["box"] is not original["box"]
+        assert cloned["box"].value == [1, 2]
+        cloned["box"].value.append(3)
+        assert original["box"].value == [1, 2]
+
+    def test_dict_subclass_not_treated_as_plain_dict(self):
+        class MyDict(dict):
+            pass
+
+        original = MyDict(a=1)
+        cloned = json_clone(original)
+        assert type(cloned) is MyDict
+        assert cloned == original
+        assert cloned is not original
+
+    def test_matches_deepcopy_on_observation_document(self):
+        document = {
+            "_id": 7,
+            "contributor": "ab" * 16,
+            "location": {"lat": 48.8, "lon": 2.3, "accuracy_m": 12.0},
+            "samples": [{"db": 61.2}, {"db": 58.9}],
+            "tags": ["noise", "paris"],
+        }
+        assert json_clone(document) == copy.deepcopy(document)

@@ -1,0 +1,91 @@
+"""Query-plan caching by filter shape.
+
+The planner compiles a filter's *shape* (paths + operator structure,
+ignoring literals) to a tuple of index steps once, then reuses the plan
+for every same-shaped filter. These tests check that the cache is keyed
+on shape, invalidated when indexes change, and never alters results.
+"""
+
+from repro.docstore.collection import Collection, _filter_shape
+
+
+def seeded() -> Collection:
+    collection = Collection("obs")
+    collection.create_index("model", kind="hash")
+    collection.create_index("taken_at", kind="sorted")
+    for i in range(20):
+        collection.insert_one(
+            {"model": f"m{i % 4}", "taken_at": float(i), "mode": "opportunistic"}
+        )
+    return collection
+
+
+class TestFilterShape:
+    def test_literals_do_not_change_shape(self):
+        assert _filter_shape({"model": "a"}) == _filter_shape({"model": "b"})
+        assert _filter_shape({"taken_at": {"$gte": 1, "$lt": 2}}) == _filter_shape(
+            {"taken_at": {"$gte": 99, "$lt": 100}}
+        )
+
+    def test_operator_set_changes_shape(self):
+        assert _filter_shape({"taken_at": {"$gte": 1}}) != _filter_shape(
+            {"taken_at": {"$lt": 1}}
+        )
+        assert _filter_shape({"model": "a"}) != _filter_shape({"model": {"$eq": "a"}})
+
+    def test_dict_literal_vs_operator_doc(self):
+        # {"loc": {"x": 1}} is an equality against a sub-document, not ops
+        assert _filter_shape({"loc": {"x": 1}}) != _filter_shape({"loc": {"$eq": 1}})
+
+    def test_non_string_key_is_unsummarizable(self):
+        assert _filter_shape({1: "x"}) is None
+
+
+class TestPlanCache:
+    def test_same_shape_hits_cache(self):
+        collection = seeded()
+        collection.find({"model": "m0"}).to_list()
+        collection.find({"model": "m1"}).to_list()
+        collection.find({"model": "m2"}).to_list()
+        assert collection.stats.plan_cache_misses == 1
+        assert collection.stats.plan_cache_hits == 2
+
+    def test_cached_plan_returns_correct_documents(self):
+        collection = seeded()
+        for wanted in ("m0", "m1", "m2", "m3", "m0"):
+            docs = collection.find({"model": wanted}).to_list()
+            assert docs and all(d["model"] == wanted for d in docs)
+
+    def test_create_index_invalidates(self):
+        collection = seeded()
+        assert collection.explain({"mode": "opportunistic"})["strategy"] == "scan"
+        collection.create_index("mode", kind="hash")
+        assert collection.explain({"mode": "opportunistic"})["strategy"] == "index"
+
+    def test_drop_index_invalidates(self):
+        collection = seeded()
+        assert collection.explain({"model": "m0"})["strategy"] == "index"
+        collection.drop_index("model")
+        assert collection.explain({"model": "m0"})["strategy"] == "scan"
+
+    def test_range_plan_reads_fresh_bounds(self):
+        collection = seeded()
+        assert len(collection.find({"taken_at": {"$gte": 15.0}}).to_list()) == 5
+        # same shape, different literal: must not reuse the old bounds
+        assert len(collection.find({"taken_at": {"$gte": 18.0}}).to_list()) == 2
+        assert collection.stats.plan_cache_hits == 1
+
+    def test_id_fast_path_reads_fresh_literal(self):
+        collection = seeded()
+        first = collection.find_one({"model": "m0"})
+        second = collection.find_one({"model": "m1"})
+        assert collection.find_one({"_id": first["_id"]})["_id"] == first["_id"]
+        assert collection.find_one({"_id": second["_id"]})["_id"] == second["_id"]
+
+    def test_cache_is_bounded(self):
+        from repro.docstore import collection as collection_module
+
+        collection = seeded()
+        for i in range(collection_module.PLAN_CACHE_SIZE + 50):
+            collection.find({f"field{i}": 1}).to_list()
+        assert len(collection._plan_cache) <= collection_module.PLAN_CACHE_SIZE
