@@ -1,16 +1,24 @@
-"""Run the middleware throughput benches and record the results.
+"""Run the middleware benches and record the results.
 
-Wraps pytest-benchmark: runs ``benchmarks/test_middleware_throughput.py``
-with ``--benchmark-json``, then folds the run into ``BENCH_middleware.json``
-under a named stage. Keeping a *baseline* stage and an *after* stage in
-one committed file is the evidence trail for routing/docstore
-optimisations — the file also reports the per-bench speedup whenever
-both stages are present.
+Wraps pytest-benchmark: runs a bench suite with ``--benchmark-json``,
+then folds the run into ``BENCH_middleware.json`` under a named stage.
+Keeping a *baseline* stage and an *after* stage in one committed file is
+the evidence trail for routing/docstore optimisations — the file also
+reports the per-bench speedup whenever both stages are present.
+
+Two suites are available:
+
+- ``throughput`` (default): the routing/ingest hot-path benches;
+- ``faults``: the fault-injection scenario — the same ingest workload
+  under a plan that nacks publisher confirms and drops connections,
+  proving the retry + idempotent-ingest layer converges to exactly-once
+  and measuring what it costs.
 
 Usage::
 
     python benchmarks/run_bench.py --stage baseline   # before a change
     python benchmarks/run_bench.py --stage after      # after the change
+    python benchmarks/run_bench.py --suite faults --stage after
     python benchmarks/run_bench.py --stage after --from-json raw.json
 
 ``--from-json`` imports an existing pytest-benchmark JSON file instead
@@ -27,22 +35,25 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = "benchmarks/test_middleware_throughput.py"
+SUITES = {
+    "throughput": "benchmarks/test_middleware_throughput.py",
+    "faults": "benchmarks/test_fault_injection.py",
+}
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 
 #: stats kept per benchmark (full pytest-benchmark output is megabytes)
 KEPT_STATS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
 
 
-def run_suite(keyword: str | None) -> dict:
-    """Run the bench suite, returning the parsed pytest-benchmark JSON."""
+def run_suite(bench_file: str, keyword: str | None) -> dict:
+    """Run a bench suite, returning the parsed pytest-benchmark JSON."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         raw_path = Path(handle.name)
     command = [
         sys.executable,
         "-m",
         "pytest",
-        BENCH_FILE,
+        bench_file,
         "--benchmark-only",
         "--benchmark-json",
         str(raw_path),
@@ -93,6 +104,12 @@ def speedups(stages: dict) -> dict:
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--stage", default="after", help="stage label (baseline/after)")
+    parser.add_argument(
+        "--suite",
+        default="throughput",
+        choices=sorted(SUITES),
+        help="which bench suite to run",
+    )
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument("-k", dest="keyword", default=None, help="pytest -k filter")
     parser.add_argument(
@@ -108,18 +125,21 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(f"no such benchmark JSON: {args.from_json}")
         raw = json.loads(args.from_json.read_text())
     else:
-        raw = run_suite(args.keyword)
+        raw = run_suite(SUITES[args.suite], args.keyword)
 
+    # non-default suites get their own stage namespace so a faults run
+    # never clobbers the throughput baseline/after evidence
+    stage = args.stage if args.suite == "throughput" else f"{args.suite}:{args.stage}"
     document = (
         json.loads(args.output.read_text()) if args.output.exists() else {"stages": {}}
     )
-    document.setdefault("stages", {})[args.stage] = summarize(raw)
+    document.setdefault("stages", {})[stage] = summarize(raw)
     ratio = speedups(document["stages"])
     if ratio:
         document["speedup_baseline_over_after"] = ratio
     args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
 
-    print(f"wrote stage {args.stage!r} to {args.output}")
+    print(f"wrote stage {stage!r} to {args.output}")
     for name, factor in sorted(ratio.items()):
         print(f"  {name}: {factor}x")
 

@@ -1,0 +1,109 @@
+"""Reliability-layer bench: ingest throughput under an injected fault plan.
+
+Measures what the retry + idempotent-ingest machinery costs (and proves
+it still converges to exactly-once) by pushing the same batch workload
+through the client→broker→server path twice: once clean, once under a
+fault plan nacking confirms and dropping connections. Run via::
+
+    python benchmarks/run_bench.py --suite faults --stage after
+
+The delta between ``test_ingest_clean_path`` and
+``test_ingest_under_faults`` is the price of reliability under a lossy
+uplink; the assertions inside are the exactly-once guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import FaultInjector, FaultPlan
+from repro.client.client import GoFlowClient
+from repro.client.retry import RetryPolicy
+from repro.client.uplink import BrokerUplink
+from repro.client.versions import AppVersion
+from repro.core.server import GoFlowServer
+from repro.sensing.activity import ActivityReading
+from repro.sensing.microphone import NoiseReading
+from repro.sensing.modes import SensingMode
+from repro.sensing.scheduler import Observation
+
+OBSERVATIONS_PER_ROUND = 500
+
+FAULT_PLAN = FaultPlan(
+    seed=42,
+    connection_drop_rate=0.02,
+    confirm_nack_rate=0.12,
+    duplicate_rate=0.03,
+)
+
+
+def _observation(index: int) -> Observation:
+    return Observation(
+        observation_id=index,
+        user_id="bench",
+        model="A0001",
+        taken_at=float(index),
+        mode=SensingMode.OPPORTUNISTIC,
+        noise=NoiseReading(measured_dba=55.0, true_dba=55.0),
+        location=None,
+        activity=ActivityReading(label="still", confidence=0.9, true_activity="still"),
+    )
+
+
+def _stack(faults: FaultPlan | None):
+    clock = [0.0]
+    server = GoFlowServer(clock=lambda: clock[0])
+    server.register_app("SC")
+    if faults is not None:
+        server.broker.install_faults(FaultInjector(faults))
+    credentials = server.enroll_user("SC", "bench", "pw")
+    uplink = BrokerUplink(server.broker, credentials["exchange"], app_id="SC")
+    client = GoFlowClient(
+        "bench",
+        AppVersion.V1_3,
+        uplink,
+        clock=lambda: clock[0],
+        retry=RetryPolicy(base_delay_s=0.0, jitter=0.0, budget=None),
+    )
+    return server, client, clock
+
+
+def _drive(server, client, clock, count: int) -> None:
+    for index in range(count):
+        clock[0] += 1.0
+        client.on_observation(_observation(index))
+    for _ in range(100):
+        if not client.pending:
+            break
+        clock[0] += 60.0
+        client.flush(force=True)
+
+
+@pytest.mark.benchmark(group="fault-injection")
+def test_ingest_clean_path(benchmark):
+    def round():
+        server, client, clock = _stack(None)
+        _drive(server, client, clock, OBSERVATIONS_PER_ROUND)
+        return server
+
+    server = benchmark(round)
+    assert server.ingested == OBSERVATIONS_PER_ROUND
+
+
+@pytest.mark.benchmark(group="fault-injection")
+def test_ingest_under_faults(benchmark):
+    def round():
+        server, client, clock = _stack(FAULT_PLAN)
+        _drive(server, client, clock, OBSERVATIONS_PER_ROUND)
+        server.broker.release_delayed(force=True)
+        return server, client
+
+    server, client = benchmark(round)
+    # exactly-once despite the faults, and the faults really fired
+    assert client.pending == 0
+    assert server.ingested == OBSERVATIONS_PER_ROUND
+    assert server.deduped > 0
+    assert server.broker.faults.stats.confirms_nacked > 0
+    stored = server.data.collection.find({}).to_list()
+    obs_ids = [doc["obs_id"] for doc in stored]
+    assert len(obs_ids) == len(set(obs_ids))

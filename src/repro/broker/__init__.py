@@ -26,6 +26,7 @@ from repro.broker.errors import (
     PublishUnroutable,
     QueueError,
 )
+from repro.broker.faults import FaultInjector, FaultPlan, FaultStats
 from repro.broker.message import Delivery, Message
 from repro.broker.topic import TopicMatcher, topic_matches, topic_matches_raw
 from repro.broker.exchange import Exchange, ExchangeType
@@ -42,6 +43,9 @@ __all__ = [
     "Delivery",
     "Exchange",
     "ExchangeType",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "Message",
     "MessageQueue",
     "TopicMatcher",

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.broker.errors import BrokerError, ExchangeError, QueueError
 from repro.broker.exchange import Exchange, ExchangeType
+from repro.broker.faults import FaultInjector
 from repro.broker.message import Message
 from repro.broker.queue import MessageQueue
 from repro.broker.connection import Connection
@@ -54,18 +55,24 @@ class Broker:
             simulation.
         route_cache_size: LRU bound on the route-plan cache (``<= 0``
             disables route-plan caching entirely).
+        faults: optional :class:`~repro.broker.faults.FaultInjector`;
+            may also be installed after construction with
+            :meth:`install_faults`.
     """
 
     def __init__(
         self,
         clock: Optional[Callable[[], float]] = None,
         route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self._clock = clock or (lambda: 0.0)
         self._exchanges: Dict[str, Exchange] = {}
         self._queues: Dict[str, MessageQueue] = {}
         self._connections: Dict[str, Connection] = {}
         self._connection_ids = itertools.count(1)
+        self.faults = faults
+        self._delayed: List[Tuple[List[MessageQueue], Message, float]] = []
         self.stats = BrokerStats()
         self._route_cache_size = route_cache_size
         self._route_cache: "OrderedDict[Tuple[str, str], Tuple[int, List[MessageQueue]]]" = (
@@ -79,6 +86,45 @@ class Broker:
     def now(self) -> float:
         """Current simulated time according to the broker's clock."""
         return self._clock()
+
+    # -- fault injection -------------------------------------------------------
+
+    def install_faults(self, injector: Optional[FaultInjector]) -> None:
+        """Activate (or, with None, deactivate) fault injection.
+
+        Deactivating releases any still-held delayed deliveries so no
+        message is stranded.
+        """
+        if injector is None:
+            self.release_delayed(force=True)
+        self.faults = injector
+
+    def release_delayed(self, force: bool = False) -> int:
+        """Enqueue delayed deliveries whose hold expired; returns count.
+
+        Called automatically on every publish; call with ``force=True``
+        to drain everything regardless of release time (e.g. at the end
+        of a simulation).
+        """
+        if not self._delayed:
+            return 0
+        now = self._clock()
+        still_held = []
+        released = 0
+        for queues, message, release_at in self._delayed:
+            if force or release_at <= now:
+                for queue in queues:
+                    queue.enqueue(message)
+                released += 1
+            else:
+                still_held.append((queues, message, release_at))
+        self._delayed = still_held
+        return released
+
+    @property
+    def delayed_count(self) -> int:
+        """Deliveries currently held back by the fault injector."""
+        return len(self._delayed)
 
     # -- topology versioning -------------------------------------------------
 
@@ -265,7 +311,16 @@ class Broker:
         Route resolution is served from the route-plan cache when the
         topology has not changed since the plan was computed; otherwise
         the exchange graph is walked once and the plan is (re)cached.
+
+        With a fault injector installed, queue dispatch itself can
+        misbehave: a routed message may be enqueued twice (duplicate
+        delivery) or held back for a while (delayed delivery). Both
+        count as *routed* — the broker took responsibility — which is
+        exactly why the ingest side needs idempotence.
         """
+        faults = self.faults
+        if faults is not None:
+            self.release_delayed()
         target = self.get_exchange(exchange)
         cache = self._route_cache
         cache_key = (exchange, message.routing_key)
@@ -287,6 +342,17 @@ class Broker:
             self.stats.routed += 1
         else:
             self.stats.unroutable += 1
+        if faults is not None and queues:
+            delay = faults.delay_delivery()
+            if delay is not None:
+                self._delayed.append((list(queues), message, self._clock() + delay))
+                return len(queues)
+            duplicate = faults.duplicate_delivery()
+            for queue in queues:
+                queue.enqueue(message)
+                if duplicate:
+                    queue.enqueue(message.copy_with())
+            return len(queues)
         for queue in queues:
             queue.enqueue(message)
         return len(queues)
@@ -296,6 +362,8 @@ class Broker:
     def connect(self, client_id: Optional[str] = None) -> Connection:
         """Open a connection for ``client_id`` (auto-generated if omitted)."""
         connection_id = client_id or f"conn-{next(self._connection_ids)}"
+        if self.faults is not None and self.faults.refuse_connect():
+            raise BrokerError(f"injected connect refusal for {connection_id!r}")
         if connection_id in self._connections:
             raise BrokerError(f"connection {connection_id!r} already open")
         connection = Connection(self, connection_id)
@@ -306,6 +374,12 @@ class Broker:
     def connection_count(self) -> int:
         """Number of currently open connections."""
         return len(self._connections)
+
+    def drop_connection(self, connection_id: str) -> None:
+        """Forcibly close a connection (fault injection, admin kill)."""
+        connection = self._connections.get(connection_id)
+        if connection is not None:
+            connection.close()
 
     def _forget_connection(self, connection_id: str) -> None:
         self._connections.pop(connection_id, None)

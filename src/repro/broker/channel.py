@@ -81,8 +81,25 @@ class Channel:
         Returns the confirm sequence number when confirm mode is on,
         otherwise None. With ``mandatory=True`` an unroutable publish
         raises :class:`PublishUnroutable` (basic.return semantics).
+
+        With a fault injector installed on the broker, a publish may
+        raise (lost before routing), take the whole connection down, or
+        deliver normally yet report an unconfirmed sequence number — the
+        three link failures the client's retry layer must absorb.
         """
         self._require_open()
+        faults = self._broker.faults
+        if faults is not None:
+            action = faults.publish_action()
+            if action == "drop_connection":
+                self._broker.drop_connection(self.connection_id)
+                raise BrokerError(
+                    f"injected connection drop on {self.connection_id!r}"
+                )
+            if action == "error":
+                raise BrokerError(
+                    f"injected publish failure on {self.connection_id!r}"
+                )
         message = Message(
             routing_key=routing_key,
             body=body,
@@ -93,7 +110,10 @@ class Channel:
         seq: Optional[int] = None
         if self._confirm_mode:
             seq = next(self._publish_seq)
-            self._confirms[seq] = routed > 0
+            confirmed = routed > 0
+            if confirmed and faults is not None and faults.nack_confirm():
+                confirmed = False
+            self._confirms[seq] = confirmed
         if mandatory and routed == 0:
             raise PublishUnroutable(exchange, routing_key)
         return seq

@@ -1,0 +1,187 @@
+"""Deterministic fault injection for the broker.
+
+The paper's deployment ran for 10 months against real mobile links:
+connections died mid-batch, publisher confirms went missing, and the
+at-least-once recovery path redelivered data. This module reproduces
+those failure modes *deterministically* so the reliability layer can be
+tested (and benchmarked) without flaky tests: a :class:`FaultPlan` is a
+pure description of fault rates, a :class:`FaultInjector` draws from a
+seeded RNG — same seed, same call sequence, same faults.
+
+Injection points (wired by the broker when an injector is installed):
+
+- :meth:`Broker.connect <repro.broker.broker.Broker.connect>` — connection
+  attempts can be refused (``connect_refusal_rate``);
+- :meth:`Channel.basic_publish <repro.broker.channel.Channel.basic_publish>`
+  — a publish can fail outright (``publish_error_rate``), take the whole
+  connection down mid-batch (``connection_drop_rate``), or succeed but
+  have its publisher confirm nacked (``confirm_nack_rate``);
+- queue dispatch in :meth:`Broker.publish
+  <repro.broker.broker.Broker.publish>` — a routed message can be
+  enqueued twice (``duplicate_rate``, the at-least-once redelivery case)
+  or held back and enqueued ``delay_s`` simulated seconds later
+  (``delay_rate``, the congested-link case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+#: publish_action outcomes
+PUBLISH_OK = "ok"
+PUBLISH_ERROR = "error"
+PUBLISH_DROP_CONNECTION = "drop_connection"
+
+_RATE_FIELDS = (
+    "connect_refusal_rate",
+    "connection_drop_rate",
+    "publish_error_rate",
+    "confirm_nack_rate",
+    "duplicate_rate",
+    "delay_rate",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative description of what should go wrong, and how often.
+
+    All rates are probabilities in ``[0, 1]`` evaluated independently at
+    their injection point. The plan itself is inert data; hand it to a
+    :class:`FaultInjector` (or ``Broker.install_faults``) to activate it.
+
+    Attributes:
+        seed: RNG seed — the whole point: two runs with the same plan
+            and the same traffic see the same faults.
+        connect_refusal_rate: probability a ``Broker.connect`` raises.
+        connection_drop_rate: probability a publish kills its connection
+            mid-batch (the message is lost, later batch documents never
+            leave the client).
+        publish_error_rate: probability a single publish raises without
+            delivering (the channel survives).
+        confirm_nack_rate: probability a *delivered* publish reports
+            ``confirmed=False`` — the classic duplicate generator, since
+            a correct client must resend.
+        duplicate_rate: probability a routed message is enqueued twice.
+        delay_rate: probability a routed message is held for
+            ``delay_s`` simulated seconds before enqueueing.
+        delay_s: hold duration for delayed deliveries.
+    """
+
+    seed: int = 0
+    connect_refusal_rate: float = 0.0
+    connection_drop_rate: float = 0.0
+    publish_error_rate: float = 0.0
+    confirm_nack_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_s <= 0:
+            raise ConfigurationError(f"delay_s must be > 0, got {self.delay_s}")
+
+
+@dataclass
+class FaultStats:
+    """How many faults of each kind actually fired."""
+
+    connects_refused: int = 0
+    connections_dropped: int = 0
+    publish_errors: int = 0
+    confirms_nacked: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    def total(self) -> int:
+        """Total faults fired, any kind."""
+        return (
+            self.connects_refused
+            + self.connections_dropped
+            + self.publish_errors
+            + self.confirms_nacked
+            + self.duplicated
+            + self.delayed
+        )
+
+
+@dataclass
+class FaultInjector:
+    """Draws fault decisions from a plan's seeded RNG and counts them."""
+
+    plan: FaultPlan
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.plan.seed)
+
+    # -- decision points ------------------------------------------------------
+
+    def refuse_connect(self) -> bool:
+        """Whether this ``Broker.connect`` call should be refused."""
+        if self.plan.connect_refusal_rate and (
+            self._rng.random() < self.plan.connect_refusal_rate
+        ):
+            self.stats.connects_refused += 1
+            return True
+        return False
+
+    def publish_action(self) -> str:
+        """Fate of one ``basic_publish``: ok, error, or connection drop."""
+        if self.plan.connection_drop_rate and (
+            self._rng.random() < self.plan.connection_drop_rate
+        ):
+            self.stats.connections_dropped += 1
+            return PUBLISH_DROP_CONNECTION
+        if self.plan.publish_error_rate and (
+            self._rng.random() < self.plan.publish_error_rate
+        ):
+            self.stats.publish_errors += 1
+            return PUBLISH_ERROR
+        return PUBLISH_OK
+
+    def nack_confirm(self) -> bool:
+        """Whether a delivered publish should report an unconfirmed seq."""
+        if self.plan.confirm_nack_rate and (
+            self._rng.random() < self.plan.confirm_nack_rate
+        ):
+            self.stats.confirms_nacked += 1
+            return True
+        return False
+
+    def duplicate_delivery(self) -> bool:
+        """Whether a routed message should be enqueued twice."""
+        if self.plan.duplicate_rate and (
+            self._rng.random() < self.plan.duplicate_rate
+        ):
+            self.stats.duplicated += 1
+            return True
+        return False
+
+    def delay_delivery(self) -> Optional[float]:
+        """Hold duration for this delivery, or None to deliver now."""
+        if self.plan.delay_rate and (self._rng.random() < self.plan.delay_rate):
+            self.stats.delayed += 1
+            return self.plan.delay_s
+        return None
+
+    # -- observability --------------------------------------------------------
+
+    def info(self) -> Dict[str, int]:
+        """Counters of faults fired so far (for ``middleware_stats``)."""
+        return {
+            "connects_refused": self.stats.connects_refused,
+            "connections_dropped": self.stats.connections_dropped,
+            "publish_errors": self.stats.publish_errors,
+            "confirms_nacked": self.stats.confirms_nacked,
+            "duplicated": self.stats.duplicated,
+            "delayed": self.stats.delayed,
+        }

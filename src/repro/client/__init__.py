@@ -21,15 +21,19 @@ v1.3      10 observations energy-delay tradeoff release
 
 from repro.client.versions import AppVersion
 from repro.client.buffer import ObservationBuffer
-from repro.client.uplink import BrokerUplink, TransmitResult, Uplink
+from repro.client.retry import BackoffState, RetryPolicy
+from repro.client.uplink import BrokerUplink, TransmitResult, Uplink, UplinkError
 from repro.client.client import ClientStats, GoFlowClient
 
 __all__ = [
     "AppVersion",
+    "BackoffState",
     "BrokerUplink",
     "ClientStats",
     "GoFlowClient",
     "ObservationBuffer",
+    "RetryPolicy",
     "TransmitResult",
     "Uplink",
+    "UplinkError",
 ]

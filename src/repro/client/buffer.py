@@ -53,9 +53,22 @@ class ObservationBuffer:
         return list(self._items)
 
     def requeue_front(self, observations: List[Observation]) -> None:
-        """Put back observations after a failed transmission (order kept)."""
+        """Put back observations after a failed transmission (order kept).
+
+        The capacity cap holds here too: a failed transmit must not
+        balloon the outbox past its bound. When requeued + buffered
+        exceed ``capacity``, the oldest observations are evicted first
+        (same freshest-data-wins policy as :meth:`push`) and counted in
+        ``evicted``.
+        """
         for observation in reversed(observations):
             self._items.appendleft(observation)
+        if self.capacity is not None:
+            overflow = len(self._items) - self.capacity
+            if overflow > 0:
+                for _ in range(overflow):
+                    self._items.popleft()
+                self.evicted += overflow
 
     @property
     def oldest_taken_at(self) -> Optional[float]:

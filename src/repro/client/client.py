@@ -17,13 +17,14 @@ Behavioural contract (from §5.3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 import numpy as np
 
 from repro.broker.errors import BrokerError
 from repro.client.buffer import ObservationBuffer
-from repro.client.uplink import Uplink
+from repro.client.retry import BackoffState, RetryPolicy
+from repro.client.uplink import Uplink, UplinkError
 from repro.client.versions import AppVersion
 from repro.crowd.connectivity import ConnectivityModel
 from repro.devices.battery import Battery, NetworkKind
@@ -33,12 +34,29 @@ from repro.sensing.scheduler import Observation
 
 @dataclass
 class ClientStats:
-    """Lifetime counters of one client."""
+    """Lifetime counters of one client.
+
+    ``sent`` counts observations *confirmed delivered* — an attempt the
+    broker did not confirm is a failure, not a send. The reliability
+    counters record every per-attempt outcome: ``requeued``
+    (observations put back for retry), ``dropped`` (discarded after the
+    retry budget ran out), ``duplicated`` (observations redelivered
+    after an unconfirmed attempt — the server dedupes them), plus how
+    the retry machinery behaved (``retries``, ``confirm_failures``,
+    ``backoff_skips``, ``retries_exhausted``).
+    """
 
     produced: int = 0
     transmissions: int = 0
     sent: int = 0
     failed_attempts: int = 0
+    requeued: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    confirm_failures: int = 0
+    retries: int = 0
+    backoff_skips: int = 0
+    retries_exhausted: int = 0
     delays_s: List[float] = field(default_factory=list)
 
 
@@ -54,6 +72,12 @@ class GoFlowClient:
         clock: simulated-time source for delay computation.
         latency_s: fixed one-way network latency added to deliveries
             (the paper's "within 10 s" fast path).
+        retry: optional :class:`RetryPolicy` enabling exponential
+            backoff + jitter between failed attempts and a bounded
+            retry budget per batch. None keeps the legacy behaviour:
+            retry at every cycle, forever.
+        retry_seed: deterministic seed for the backoff jitter (combined
+            with ``user_id`` so every client jitters differently).
     """
 
     def __init__(
@@ -66,6 +90,8 @@ class GoFlowClient:
         battery: Optional[Battery] = None,
         latency_s: float = 3.0,
         outbox_capacity: Optional[int] = 5000,
+        retry: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
     ) -> None:
         if latency_s < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
@@ -77,6 +103,12 @@ class GoFlowClient:
         self._battery = battery
         self._latency = latency_s
         self.outbox = ObservationBuffer(capacity=outbox_capacity)
+        self._backoff = (
+            BackoffState(retry, user_id, seed=retry_seed) if retry is not None else None
+        )
+        # observations that were transmitted but not confirmed: a resend
+        # may duplicate them on the wire (the server's ledger dedupes).
+        self._maybe_delivered: Set[int] = set()
         self.stats = ClientStats()
 
     # -- ingestion ------------------------------------------------------------
@@ -99,44 +131,130 @@ class GoFlowClient:
         return self._connectivity.transport(now) or NetworkKind.CELL_3G
 
     def try_transmit(self) -> bool:
-        """Attempt to flush the outbox; returns True when it was sent.
+        """Attempt to flush the outbox; returns True when all was sent.
 
         Offline devices return False and keep the outbox intact — the
-        "sent at the next cycle" behaviour.
+        "sent at the next cycle" behaviour. With a retry policy, an
+        attempt inside the backoff window is skipped the same way.
+
+        Delivery is confirm-aware: only observations the broker
+        *confirmed* count as sent. Unconfirmed or failed observations
+        are requeued (and, once the retry budget is exhausted, dropped
+        and counted). Each document carries a stable ``obs_id`` so the
+        server can collapse retry duplicates to exactly-once storage.
         """
         if not self.outbox:
             return True
+        now = self._clock()
+        if self._backoff is not None and not self._backoff.allows(now):
+            self.stats.backoff_skips += 1
+            return False
         transport = self._online_transport()
         if transport is None:
             self.stats.failed_attempts += 1
             return False
         observations = self.outbox.drain()
         documents = []
-        now = self._clock()
         for observation in observations:
             document = observation.to_document()
+            document["obs_id"] = f"{self.user_id}:{observation.observation_id}"
             document["sent_at"] = now
             document["received_at"] = now + self._latency
             document["app_version"] = self.version.value
             documents.append(document)
+        if self._backoff is not None and self._backoff.failures:
+            self.stats.retries += 1
         try:
-            self._uplink.send(documents)
-        except BrokerError:
-            self.outbox.requeue_front(observations)
-            self.stats.failed_attempts += 1
+            result = self._uplink.send(documents)
+        except UplinkError as error:
+            delivered = set(error.delivered)
+            self._settle_delivered(observations, delivered, transport, now)
+            self._handle_failure(observations, delivered, now, maybe_delivered=False)
             return False
-        if self._battery is not None:
-            self._battery.transmit(
-                len(documents), transport, legacy_session=self.version.legacy_session
-            )
-        self.stats.transmissions += 1
-        self.stats.sent += len(documents)
-        for observation in observations:
-            self.stats.delays_s.append(now + self._latency - observation.taken_at)
+        except BrokerError:
+            self._handle_failure(observations, set(), now, maybe_delivered=False)
+            return False
+        undelivered = (
+            set(result.undelivered)
+            if result is not None and result.undelivered
+            else set()
+        )
+        delivered = set(range(len(observations))) - undelivered
+        self._settle_delivered(observations, delivered, transport, now)
+        if undelivered:
+            self.stats.confirm_failures += 1
+            self._handle_failure(observations, delivered, now, maybe_delivered=True)
+            return False
+        if self._backoff is not None:
+            self._backoff.reset()
         return True
 
-    def flush(self) -> bool:
-        """Force an uplink attempt regardless of buffer level."""
+    def _settle_delivered(
+        self,
+        observations: List[Observation],
+        delivered: Set[int],
+        transport: NetworkKind,
+        now: float,
+    ) -> None:
+        """Account for the confirmed part of an attempt (possibly all)."""
+        if not delivered:
+            return
+        if self._battery is not None:
+            self._battery.transmit(
+                len(delivered), transport, legacy_session=self.version.legacy_session
+            )
+        self.stats.transmissions += 1
+        self.stats.sent += len(delivered)
+        for index in delivered:
+            observation = observations[index]
+            self.stats.delays_s.append(now + self._latency - observation.taken_at)
+            if observation.observation_id in self._maybe_delivered:
+                self._maybe_delivered.discard(observation.observation_id)
+                self.stats.duplicated += 1
+
+    def _handle_failure(
+        self,
+        observations: List[Observation],
+        delivered: Set[int],
+        now: float,
+        maybe_delivered: bool,
+    ) -> None:
+        """Requeue (or drop, once the budget is gone) the unsent part.
+
+        ``maybe_delivered=True`` marks the requeued observations as
+        possibly already on the server (an unconfirmed publish may still
+        have been routed): their eventual redelivery is counted in
+        ``stats.duplicated``.
+        """
+        requeue = [
+            observation
+            for index, observation in enumerate(observations)
+            if index not in delivered
+        ]
+        self.stats.failed_attempts += 1
+        if maybe_delivered:
+            for observation in requeue:
+                self._maybe_delivered.add(observation.observation_id)
+        if self._backoff is not None:
+            self._backoff.record_failure(now)
+            if self._backoff.exhausted():
+                self.stats.dropped += len(requeue)
+                self.stats.retries_exhausted += 1
+                for observation in requeue:
+                    self._maybe_delivered.discard(observation.observation_id)
+                self._backoff.reset()
+                return
+        self.outbox.requeue_front(requeue)
+        self.stats.requeued += len(requeue)
+
+    def flush(self, force: bool = False) -> bool:
+        """Force an uplink attempt regardless of buffer level.
+
+        ``force=True`` additionally bypasses the retry backoff window
+        (end-of-run drains, user-initiated "send now").
+        """
+        if force and self._backoff is not None:
+            self._backoff.next_attempt_at = float("-inf")
         return self.try_transmit()
 
     # -- reporting -----------------------------------------------------------------

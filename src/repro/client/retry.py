@@ -1,0 +1,95 @@
+"""Retry policy for the client uplink: backoff, jitter, budget.
+
+The client has no timers of its own — uplink attempts are triggered by
+the next observation or an explicit flush (§5.3's "sent at the next
+cycle"). The retry layer therefore does not *schedule* anything; it
+answers one question against the simulated clock: "is this attempt
+allowed yet?". After each consecutive failure the allowed time moves
+out exponentially (with deterministic jitter so a fleet of clients does
+not retry in lock-step), and a retry *budget* bounds how many times the
+same head-of-outbox batch may fail before it is dropped and counted —
+unbounded retries against a dead link are exactly the battery drain the
+paper warns about.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a per-batch retry budget.
+
+    Attributes:
+        base_delay_s: backoff after the first failure.
+        multiplier: growth factor per consecutive failure.
+        max_delay_s: backoff ceiling.
+        jitter: fraction of the delay drawn uniformly at random and
+            added on top (0 disables jitter).
+        budget: consecutive failed attempts allowed for one batch
+            before it is dropped; None retries forever.
+    """
+
+    base_delay_s: float = 60.0
+    multiplier: float = 2.0
+    max_delay_s: float = 3600.0
+    jitter: float = 0.1
+    budget: Optional[int] = 8
+
+    def __post_init__(self) -> None:
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.budget is not None and self.budget <= 0:
+            raise ConfigurationError(f"budget must be positive, got {self.budget}")
+
+
+class BackoffState:
+    """Tracks consecutive failures for one client, deterministically.
+
+    Jitter draws come from a RNG seeded from the policy seed and the
+    client id (CRC32, stable across processes — ``hash()`` is salted),
+    so a re-run of the same simulation produces the same retry times.
+    """
+
+    def __init__(self, policy: RetryPolicy, client_id: str, seed: int = 0) -> None:
+        self.policy = policy
+        self._rng = random.Random((seed << 32) ^ zlib.crc32(client_id.encode("utf-8")))
+        self.failures = 0
+        self.next_attempt_at = float("-inf")
+
+    def allows(self, now: float) -> bool:
+        """Whether an attempt may be made at simulated time ``now``."""
+        return now >= self.next_attempt_at
+
+    def exhausted(self) -> bool:
+        """Whether the current batch has used up its retry budget."""
+        budget = self.policy.budget
+        return budget is not None and self.failures >= budget
+
+    def record_failure(self, now: float) -> None:
+        """Register a failed attempt; pushes the next allowed time out."""
+        self.failures += 1
+        delay = min(
+            self.policy.max_delay_s,
+            self.policy.base_delay_s * self.policy.multiplier ** (self.failures - 1),
+        )
+        if self.policy.jitter:
+            delay += delay * self.policy.jitter * self._rng.random()
+        self.next_attempt_at = now + delay
+
+    def reset(self) -> None:
+        """Register success (or a dropped batch): backoff clears."""
+        self.failures = 0
+        self.next_attempt_at = float("-inf")

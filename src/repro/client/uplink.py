@@ -8,7 +8,7 @@ Figure 3 prescribes (client exchange -> app exchange -> GoFlow queue).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol
 
 from repro.broker.broker import Broker
@@ -19,10 +19,42 @@ from repro.errors import ConfigurationError
 
 @dataclass
 class TransmitResult:
-    """Outcome of one uplink attempt."""
+    """Outcome of one uplink attempt.
+
+    Attributes:
+        accepted: documents confirmed delivered by the broker.
+        confirmed: True only when *every* document was confirmed.
+        undelivered: indices (into the sent batch) of documents the
+            broker did not confirm — the ones the client must resend.
+            None means everything was delivered.
+    """
 
     accepted: int
     confirmed: bool
+    undelivered: Optional[List[int]] = None
+
+
+class UplinkError(BrokerError):
+    """An uplink attempt died mid-batch.
+
+    The contract is **at-least-once**, not all-or-nothing: documents
+    confirmed before the failure stay delivered. ``delivered`` reports
+    their indices so the caller resends only the rest — and the server's
+    idempotent ingest absorbs any document that was delivered but not
+    confirmed.
+    """
+
+    def __init__(self, reason: str, delivered: Optional[List[int]] = None) -> None:
+        delivered = delivered or []
+        super().__init__(
+            f"{reason} ({len(delivered)} of the batch delivered before the failure)"
+        )
+        self.delivered = delivered
+
+    @property
+    def accepted(self) -> int:
+        """Number of documents confirmed delivered before the failure."""
+        return len(self.delivered)
 
 
 class Uplink(Protocol):
@@ -91,22 +123,49 @@ class BrokerUplink:
         return f"{zone}.{self._datatype}"
 
     def send(self, documents: List[Dict[str, Any]]) -> TransmitResult:
-        """Publish every document; all-or-nothing per call."""
+        """Publish every document; **at-least-once** per call.
+
+        Documents are published in order. A mid-batch failure raises
+        :class:`UplinkError` carrying the indices already confirmed —
+        those stay delivered and must not be resent. Without an
+        exception, the :class:`TransmitResult` reports which documents
+        the broker did not confirm (nacked publishes): resending them
+        may duplicate data on the wire, which the server's dedup ledger
+        collapses back to exactly-once storage.
+        """
         if not documents:
             raise ConfigurationError("send requires at least one document")
-        channel = self._ensure_channel()
-        confirmed = True
-        for document in documents:
+        try:
+            channel = self._ensure_channel()
+        except BrokerError as error:
+            raise UplinkError(f"uplink connect failed: {error}") from error
+        delivered: List[int] = []
+        undelivered: List[int] = []
+        for index, document in enumerate(documents):
             document.setdefault("app_id", self._app_id)
-            seq = channel.basic_publish(
-                self._exchange,
-                self.routing_key_for(document),
-                document,
-                mandatory=True,
-            )
-            if self._confirm and seq is not None:
-                confirmed = confirmed and channel.confirmed(seq)
-        return TransmitResult(accepted=len(documents), confirmed=confirmed)
+            try:
+                seq = channel.basic_publish(
+                    self._exchange,
+                    self.routing_key_for(document),
+                    document,
+                    mandatory=True,
+                )
+            except BrokerError as error:
+                # the channel (or whole connection) is gone: drop the
+                # session so the next attempt reconnects cleanly.
+                self.disconnect()
+                raise UplinkError(
+                    f"uplink publish failed: {error}", delivered=delivered
+                ) from error
+            if self._confirm and seq is not None and not channel.confirmed(seq):
+                undelivered.append(index)
+            else:
+                delivered.append(index)
+        return TransmitResult(
+            accepted=len(delivered),
+            confirmed=not undelivered,
+            undelivered=undelivered or None,
+        )
 
     def disconnect(self) -> None:
         """Drop the session (e.g. when the device goes offline)."""

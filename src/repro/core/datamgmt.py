@@ -9,6 +9,7 @@ observations collection after the privacy policy has pseudonymized them.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -17,6 +18,9 @@ from repro.core.privacy import PrivacyPolicy
 from repro.docstore.store import DocumentStore
 
 OBSERVATIONS = "observations"
+
+#: Default bound on the ingest dedup ledger (obs_ids remembered).
+DEFAULT_DEDUP_CAPACITY = 100_000
 
 
 @dataclass
@@ -68,15 +72,36 @@ class DataQuery:
 
 
 class DataManager:
-    """Stores and retrieves crowd-sensed observations."""
+    """Stores and retrieves crowd-sensed observations.
 
-    def __init__(self, store: DocumentStore, privacy: PrivacyPolicy) -> None:
+    Args:
+        store: the backing document store.
+        privacy: the CNIL policy applied at ingest and sharing.
+        dedup_capacity: bound on the idempotence ledger — how many
+            recently seen ``obs_id`` values are remembered to collapse
+            at-least-once broker deliveries into exactly-once storage.
+            0 disables deduplication.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        privacy: PrivacyPolicy,
+        dedup_capacity: int = DEFAULT_DEDUP_CAPACITY,
+    ) -> None:
+        if dedup_capacity < 0:
+            raise ValidationError(
+                f"dedup_capacity must be >= 0, got {dedup_capacity}"
+            )
         self._store = store
         self._privacy = privacy
         self._observations = store.collection(OBSERVATIONS)
         self._observations.create_index("model", kind="hash")
         self._observations.create_index("taken_at", kind="sorted")
         self._observations.create_index("contributor", kind="hash")
+        self._dedup_capacity = dedup_capacity
+        self._dedup_ledger: "OrderedDict[str, bool]" = OrderedDict()
+        self.dedup_hits = 0
 
     @property
     def collection(self):
@@ -89,16 +114,42 @@ class DataManager:
         """Persist one observation document; returns its stored id.
 
         Applies pseudonymization before the document touches disk.
+
+        Ingest is **idempotent** over ``obs_id``: the uplink is
+        at-least-once (retries after unconfirmed publishes, broker
+        redeliveries), so clients stamp each observation with a stable
+        ``obs_id`` and a redelivered document is recognized against the
+        bounded ledger and skipped — returning None instead of an id.
+        Documents without an ``obs_id`` (legacy producers, feedback
+        blobs) are stored unconditionally.
         """
         if not isinstance(document, dict):
             raise ValidationError(
                 f"observation must be a dict, got {type(document).__name__}"
             )
+        obs_id = document.get("obs_id")
+        if obs_id is not None and self._dedup_capacity:
+            obs_id = str(obs_id)
+            if obs_id in self._dedup_ledger:
+                self._dedup_ledger.move_to_end(obs_id)
+                self.dedup_hits += 1
+                return None
+            self._dedup_ledger[obs_id] = True
+            if len(self._dedup_ledger) > self._dedup_capacity:
+                self._dedup_ledger.popitem(last=False)
         stored = self._privacy.anonymize_ingest(document)
         stored["app_id"] = app_id
         # anonymize_ingest already produced a private copy; let the
         # collection take ownership rather than cloning a second time.
         return self._observations.insert_one(stored, copy=False)
+
+    def dedup_info(self) -> Dict[str, int]:
+        """Observability snapshot of the idempotence ledger."""
+        return {
+            "size": len(self._dedup_ledger),
+            "capacity": self._dedup_capacity,
+            "hits": self.dedup_hits,
+        }
 
     def delete_contributor_data(self, app_id: str, user_id: str) -> int:
         """CNIL right-to-erasure: drop a contributor's observations."""

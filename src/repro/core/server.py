@@ -55,6 +55,7 @@ class GoFlowServer:
         self._register_routes()
         self._start_ingest()
         self.ingested = 0
+        self.deduped = 0
 
     # -- ingest path ------------------------------------------------------------
 
@@ -74,8 +75,12 @@ class GoFlowServer:
         app_id = document.get("app_id") or self._app_from_key(
             delivery.message.routing_key
         )
-        self.data.ingest(app_id, document)
-        self.ingested += 1
+        if self.data.ingest(app_id, document) is None:
+            # at-least-once uplink redelivered a known obs_id: the
+            # ledger collapsed it to exactly-once storage.
+            self.deduped += 1
+        else:
+            self.ingested += 1
 
     @staticmethod
     def _app_from_key(routing_key: str) -> str:
@@ -86,11 +91,29 @@ class GoFlowServer:
     # -- observability ----------------------------------------------------------
 
     def middleware_stats(self) -> Dict[str, Any]:
-        """Broker and store hot-path counters, cache behaviour included."""
+        """Broker and store hot-path counters, cache behaviour included.
+
+        The ``reliability`` section is the delivery-semantics evidence:
+        broker redeliveries on the GoFlow queue, dedup-ledger hits, and
+        (when a fault injector is installed) how many faults of each
+        kind actually fired.
+        """
         broker_stats = self.broker.stats
         collection_stats = self.data.collection.stats
+        goflow_queue = self.broker.get_queue(GOFLOW_QUEUE)
         return {
             "ingested": self.ingested,
+            "reliability": {
+                "deduped": self.deduped,
+                "dedup_ledger": self.data.dedup_info(),
+                "redeliveries": goflow_queue.stats.requeued,
+                "delayed_in_flight": self.broker.delayed_count,
+                "faults": (
+                    self.broker.faults.info()
+                    if self.broker.faults is not None
+                    else None
+                ),
+            },
             "broker": {
                 "publishes": broker_stats.publishes,
                 "routed": broker_stats.routed,
@@ -220,7 +243,15 @@ class GoFlowServer:
     def _r_get_data(self, request: Request, path: Dict[str, str], principal) -> Any:
         query = self._query_from_params(path["app_id"], request.params)
         limit_raw = request.params.get("limit")
-        limit = int(limit_raw) if limit_raw else 100
+        if limit_raw:
+            try:
+                limit = int(limit_raw)
+            except ValueError:
+                raise ValidationError("parameter 'limit' must be an integer")
+            if limit < 0:
+                raise ValidationError("parameter 'limit' must be >= 0")
+        else:
+            limit = 100
         share_with = principal.app_id if principal else None
         documents = self.data.retrieve(query, limit=limit, share_with_app=share_with)
         for document in documents:

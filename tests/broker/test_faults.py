@@ -1,0 +1,163 @@
+"""Fault-injection layer tests: determinism and each injection point."""
+
+import pytest
+
+from repro.broker import (
+    Broker,
+    BrokerError,
+    ExchangeType,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.errors import ConfigurationError
+
+
+def _wired_broker(plan=None, clock=None):
+    broker = Broker(
+        clock=clock, faults=FaultInjector(plan) if plan is not None else None
+    )
+    broker.declare_exchange("X", ExchangeType.TOPIC)
+    broker.declare_queue("Q")
+    broker.bind_queue("X", "Q", "#")
+    return broker
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(confirm_nack_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(duplicate_rate=-0.1)
+
+    def test_delay_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(delay_s=0.0)
+
+    def test_inert_plan_fires_nothing(self):
+        injector = FaultInjector(FaultPlan())
+        for _ in range(100):
+            assert not injector.refuse_connect()
+            assert injector.publish_action() == "ok"
+            assert not injector.nack_confirm()
+        assert injector.stats.total() == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(
+            seed=7,
+            connect_refusal_rate=0.2,
+            publish_error_rate=0.2,
+            confirm_nack_rate=0.2,
+            duplicate_rate=0.2,
+        )
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        decisions_a = [
+            (first.refuse_connect(), first.publish_action(), first.nack_confirm())
+            for _ in range(200)
+        ]
+        decisions_b = [
+            (second.refuse_connect(), second.publish_action(), second.nack_confirm())
+            for _ in range(200)
+        ]
+        assert decisions_a == decisions_b
+        assert first.info() == second.info()
+
+    def test_different_seeds_diverge(self):
+        plan_a = FaultPlan(seed=1, publish_error_rate=0.5)
+        plan_b = FaultPlan(seed=2, publish_error_rate=0.5)
+        first = FaultInjector(plan_a)
+        second = FaultInjector(plan_b)
+        a = [first.publish_action() for _ in range(64)]
+        b = [second.publish_action() for _ in range(64)]
+        assert a != b
+
+
+class TestConnectRefusal:
+    def test_connect_can_be_refused(self):
+        broker = _wired_broker(FaultPlan(seed=3, connect_refusal_rate=1.0))
+        with pytest.raises(BrokerError):
+            broker.connect("c1")
+        assert broker.faults.stats.connects_refused == 1
+        assert broker.connection_count() == 0
+
+
+class TestPublishFaults:
+    def test_publish_error_loses_message(self):
+        broker = _wired_broker(FaultPlan(seed=3, publish_error_rate=1.0))
+        channel = broker.connect("c").channel()
+        with pytest.raises(BrokerError):
+            channel.basic_publish("X", "a.b", {"n": 1})
+        assert broker.get_queue("Q").ready_count == 0
+        assert channel.is_open  # the channel survives a publish error
+
+    def test_connection_drop_closes_everything(self):
+        broker = _wired_broker(FaultPlan(seed=3, connection_drop_rate=1.0))
+        connection = broker.connect("c")
+        channel = connection.channel()
+        with pytest.raises(BrokerError):
+            channel.basic_publish("X", "a.b", {"n": 1})
+        assert not channel.is_open
+        assert not connection.is_open
+        assert broker.faults.stats.connections_dropped == 1
+
+    def test_confirm_nack_still_delivers(self):
+        broker = _wired_broker(FaultPlan(seed=3, confirm_nack_rate=1.0))
+        channel = broker.connect("c").channel()
+        channel.confirm_select()
+        seq = channel.basic_publish("X", "a.b", {"n": 1})
+        assert not channel.confirmed(seq)
+        # the duplicate generator: delivered but reported unconfirmed
+        assert broker.get_queue("Q").ready_count == 1
+
+    def test_nack_counter_untouched_by_unroutable_publishes(self):
+        # an unroutable publish is unconfirmed because it routed nowhere,
+        # not because of the injector — the nack counter must not move.
+        broker = _wired_broker(FaultPlan(seed=3, confirm_nack_rate=1.0))
+        channel = broker.connect("c").channel()
+        channel.confirm_select()
+        seq = channel.basic_publish("", "no-such-queue", {"n": 1})
+        assert not channel.confirmed(seq)
+        assert broker.faults.stats.confirms_nacked == 0
+
+
+class TestDispatchFaults:
+    def test_duplicate_enqueues_twice(self):
+        broker = _wired_broker(FaultPlan(seed=3, duplicate_rate=1.0))
+        channel = broker.connect("c").channel()
+        channel.basic_publish("X", "a.b", {"n": 1})
+        assert broker.get_queue("Q").ready_count == 2
+        assert broker.faults.stats.duplicated == 1
+
+    def test_delay_holds_then_releases(self):
+        clock = [0.0]
+        broker = _wired_broker(
+            FaultPlan(seed=3, delay_rate=1.0, delay_s=30.0), clock=lambda: clock[0]
+        )
+        channel = broker.connect("c").channel()
+        channel.basic_publish("X", "a.b", {"n": 1})
+        assert broker.get_queue("Q").ready_count == 0
+        assert broker.delayed_count == 1
+        clock[0] = 31.0
+        assert broker.release_delayed() == 1
+        assert broker.get_queue("Q").ready_count == 1
+
+    def test_force_release_drains_everything(self):
+        clock = [0.0]
+        broker = _wired_broker(
+            FaultPlan(seed=3, delay_rate=1.0, delay_s=1e9), clock=lambda: clock[0]
+        )
+        channel = broker.connect("c").channel()
+        channel.basic_publish("X", "a.b", {"n": 1})
+        assert broker.release_delayed(force=True) == 1
+        assert broker.get_queue("Q").ready_count == 1
+
+    def test_uninstall_releases_held_deliveries(self):
+        broker = _wired_broker(FaultPlan(seed=3, delay_rate=1.0, delay_s=1e9))
+        channel = broker.connect("c").channel()
+        channel.basic_publish("X", "a.b", {"n": 1})
+        assert broker.get_queue("Q").ready_count == 0
+        broker.install_faults(None)
+        assert broker.faults is None
+        assert broker.get_queue("Q").ready_count == 1

@@ -47,6 +47,32 @@ class TestBuffer:
         assert len(buffer.peek_all()) == 1
         assert len(buffer) == 1
 
+    def test_requeue_front_honours_capacity(self):
+        buffer = ObservationBuffer(capacity=3)
+        kept = [_obs(3.0), _obs(4.0), _obs(5.0)]
+        for item in kept:
+            buffer.push(item)
+        drained = buffer.drain()
+        buffer.push(_obs(6.0))
+        buffer.push(_obs(7.0))
+        buffer.requeue_front(drained)
+        assert len(buffer) == 3
+        # freshest-data-wins: the oldest requeued observations evicted
+        taken = [o.taken_at for o in buffer.drain()]
+        assert taken == [5.0, 6.0, 7.0]
+        assert buffer.evicted == 2
+
+    def test_requeue_front_within_capacity_evicts_nothing(self):
+        buffer = ObservationBuffer(capacity=5)
+        a, b = _obs(1.0), _obs(2.0)
+        buffer.push(a)
+        buffer.push(b)
+        drained = buffer.drain()
+        buffer.push(_obs(3.0))
+        buffer.requeue_front(drained)
+        assert len(buffer) == 3
+        assert buffer.evicted == 0
+
     def test_requeue_front_restores_order(self):
         buffer = ObservationBuffer()
         a, b = _obs(1.0), _obs(2.0)

@@ -1,0 +1,221 @@
+"""Confirm-aware retry tests: backoff, budget, partial delivery, dedup ids."""
+
+import pytest
+
+from repro.broker.errors import BrokerError
+from repro.client.client import GoFlowClient
+from repro.client.retry import BackoffState, RetryPolicy
+from repro.client.uplink import TransmitResult, UplinkError
+from repro.client.versions import AppVersion
+from repro.errors import ConfigurationError
+from repro.sensing.activity import ActivityReading
+from repro.sensing.microphone import NoiseReading
+from repro.sensing.modes import SensingMode
+from repro.sensing.scheduler import Observation
+
+
+def _obs(taken_at, obs_id):
+    return Observation(
+        observation_id=obs_id,
+        user_id="u",
+        model="A0001",
+        taken_at=taken_at,
+        mode=SensingMode.OPPORTUNISTIC,
+        noise=NoiseReading(measured_dba=50.0, true_dba=48.0),
+        location=None,
+        activity=ActivityReading(label="still", confidence=0.9, true_activity="still"),
+    )
+
+
+class ScriptedUplink:
+    """Returns (or raises) a scripted outcome per send call."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.batches = []
+
+    def send(self, documents):
+        self.batches.append(list(documents))
+        outcome = self.outcomes.pop(0) if self.outcomes else "ok"
+        if isinstance(outcome, Exception):
+            raise outcome
+        if outcome == "ok":
+            return TransmitResult(accepted=len(documents), confirmed=True)
+        return outcome
+
+
+def _client(outcomes, retry=None, clock=None):
+    clock = clock if clock is not None else [0.0]
+    uplink = ScriptedUplink(outcomes)
+    client = GoFlowClient(
+        "u",
+        AppVersion.V1_2_9,
+        uplink,
+        clock=lambda: clock[0],
+        retry=retry,
+    )
+    return client, uplink, clock
+
+
+class TestPolicyValidation:
+    def test_bad_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(budget=0)
+
+
+class TestBackoffState:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = RetryPolicy(
+            base_delay_s=10.0, multiplier=2.0, max_delay_s=35.0, jitter=0.0
+        )
+        state = BackoffState(policy, "u")
+        state.record_failure(0.0)
+        assert state.next_attempt_at == 10.0
+        state.record_failure(0.0)
+        assert state.next_attempt_at == 20.0
+        state.record_failure(0.0)
+        assert state.next_attempt_at == 35.0  # capped
+
+    def test_jitter_is_deterministic_per_client(self):
+        policy = RetryPolicy(base_delay_s=10.0, jitter=0.5)
+        a = BackoffState(policy, "alice", seed=4)
+        b = BackoffState(policy, "alice", seed=4)
+        a.record_failure(0.0)
+        b.record_failure(0.0)
+        assert a.next_attempt_at == b.next_attempt_at
+        other = BackoffState(policy, "bob", seed=4)
+        other.record_failure(0.0)
+        assert other.next_attempt_at != a.next_attempt_at
+
+    def test_reset_clears_backoff(self):
+        state = BackoffState(RetryPolicy(), "u")
+        state.record_failure(0.0)
+        assert not state.allows(0.0)
+        state.reset()
+        assert state.allows(0.0)
+        assert state.failures == 0
+
+
+class TestConfirmAwareness:
+    def test_unconfirmed_batch_is_requeued_not_lost(self):
+        unconfirmed = TransmitResult(accepted=0, confirmed=False, undelivered=[0])
+        client, uplink, _ = _client([unconfirmed, "ok"])
+        client.on_observation(_obs(0.0, 1))
+        assert client.stats.sent == 0
+        assert client.stats.confirm_failures == 1
+        assert client.stats.requeued == 1
+        assert client.pending == 1
+        client.flush()
+        assert client.stats.sent == 1
+        assert client.pending == 0
+        # the resend is a potential duplicate and is counted as such
+        assert client.stats.duplicated == 1
+
+    def test_partially_confirmed_batch_requeues_only_nacked(self):
+        partial = TransmitResult(accepted=2, confirmed=False, undelivered=[1])
+        client, uplink, _ = _client([partial])
+        for i in range(3):
+            client.outbox.push(_obs(float(i), i))
+        client.flush()
+        assert client.stats.sent == 2
+        assert client.pending == 1
+        assert client.outbox.peek_all()[0].observation_id == 1
+
+    def test_legacy_uplinks_returning_none_still_work(self):
+        class NoneUplink:
+            def send(self, documents):
+                return None
+
+        client = GoFlowClient(
+            "u", AppVersion.V1_2_9, NoneUplink(), clock=lambda: 0.0
+        )
+        client.on_observation(_obs(0.0, 1))
+        assert client.stats.sent == 1
+
+
+class TestPartialDeliveryRollForward:
+    def test_uplink_error_keeps_delivered_prefix(self):
+        error = UplinkError("mid-batch drop", delivered=[0, 1])
+        client, uplink, _ = _client([error, "ok"])
+        for i in range(4):
+            client.outbox.push(_obs(float(i), i))
+        client.flush()
+        # two delivered and counted sent, two requeued
+        assert client.stats.sent == 2
+        assert client.pending == 2
+        assert client.stats.requeued == 2
+        client.flush()
+        assert client.stats.sent == 4
+        # delivered observations were never resent
+        resent_ids = [d["observation_id"] for d in uplink.batches[1]]
+        assert resent_ids == [2, 3]
+
+    def test_total_failure_requeues_all(self):
+        client, uplink, _ = _client([BrokerError("down")])
+        for i in range(3):
+            client.outbox.push(_obs(float(i), i))
+        client.flush()
+        assert client.stats.sent == 0
+        assert client.pending == 3
+        assert client.stats.failed_attempts == 1
+
+
+class TestBackoffGating:
+    def test_attempts_inside_backoff_window_are_skipped(self):
+        policy = RetryPolicy(base_delay_s=100.0, jitter=0.0, budget=None)
+        client, uplink, clock = _client([BrokerError("down"), "ok"], retry=policy)
+        client.on_observation(_obs(0.0, 1))
+        assert client.stats.failed_attempts == 1
+        # next cycle arrives before the backoff window closes: skipped
+        clock[0] = 50.0
+        client.on_observation(_obs(50.0, 2))
+        assert client.stats.backoff_skips == 1
+        assert len(uplink.batches) == 1
+        # after the window the retry goes through, as a counted retry
+        clock[0] = 150.0
+        client.flush()
+        assert client.stats.retries == 1
+        assert client.stats.sent == 2
+        assert client.pending == 0
+
+    def test_forced_flush_bypasses_backoff(self):
+        policy = RetryPolicy(base_delay_s=1e9, jitter=0.0, budget=None)
+        client, uplink, clock = _client([BrokerError("down"), "ok"], retry=policy)
+        client.on_observation(_obs(0.0, 1))
+        assert not client.flush()  # still inside the (huge) window
+        assert client.flush(force=True)
+        assert client.stats.sent == 1
+
+
+class TestRetryBudget:
+    def test_budget_exhaustion_drops_batch_and_counts(self):
+        policy = RetryPolicy(base_delay_s=0.0, jitter=0.0, budget=2)
+        failures = [BrokerError("down"), BrokerError("down"), "ok"]
+        client, uplink, clock = _client(failures, retry=policy)
+        client.on_observation(_obs(0.0, 1))
+        assert client.pending == 1  # first failure: requeued
+        client.flush()
+        # second failure exhausts the budget: batch dropped
+        assert client.pending == 0
+        assert client.stats.dropped == 1
+        assert client.stats.retries_exhausted == 1
+        # the client recovers for fresh observations
+        client.on_observation(_obs(1.0, 2))
+        assert client.stats.sent == 1
+
+
+class TestObsIdStamping:
+    def test_documents_carry_stable_obs_id(self):
+        client, uplink, _ = _client([BrokerError("down"), "ok"])
+        client.on_observation(_obs(0.0, 42))
+        client.flush()
+        first, second = uplink.batches
+        assert first[0]["obs_id"] == "u:42"
+        # the retry re-serializes but the obs_id is identical
+        assert second[0]["obs_id"] == "u:42"

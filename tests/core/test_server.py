@@ -52,6 +52,48 @@ class TestIngest:
         assert server.ingested == 0
 
 
+class TestIdempotentIngest:
+    def test_redelivered_obs_id_stored_once(self, server):
+        credentials = server.enroll_user("SC", "alice", "pw")
+        document = {
+            "user_id": "alice",
+            "obs_id": "alice:1",
+            "taken_at": 1.0,
+            "noise_dba": 50.0,
+        }
+        _publish_observation(server, credentials, document)
+        _publish_observation(server, credentials, dict(document))
+        assert server.ingested == 1
+        assert server.deduped == 1
+        assert server.data.collection.count({"obs_id": "alice:1"}) == 1
+
+    def test_documents_without_obs_id_are_not_deduped(self, server):
+        credentials = server.enroll_user("SC", "alice", "pw")
+        document = {"user_id": "alice", "taken_at": 1.0, "noise_dba": 50.0}
+        _publish_observation(server, credentials, document)
+        _publish_observation(server, credentials, dict(document))
+        assert server.ingested == 2
+        assert server.deduped == 0
+
+    def test_reliability_stats_surface_dedup_and_faults(self, server):
+        from repro.broker import FaultInjector, FaultPlan
+
+        stats = server.middleware_stats()["reliability"]
+        assert stats["deduped"] == 0
+        assert stats["faults"] is None
+        assert stats["dedup_ledger"]["capacity"] > 0
+        server.broker.install_faults(FaultInjector(FaultPlan(seed=1)))
+        stats = server.middleware_stats()["reliability"]
+        assert stats["faults"] == {
+            "connects_refused": 0,
+            "connections_dropped": 0,
+            "publish_errors": 0,
+            "confirms_nacked": 0,
+            "duplicated": 0,
+            "delayed": 0,
+        }
+
+
 class TestRestSurface:
     def test_login_route(self, server):
         server.accounts.create_account("SC", "alice", "pw")
@@ -122,6 +164,31 @@ class TestRestSurface:
             )
         )
         assert response.status == 400
+
+    def test_bad_limit_param_rejected(self, server):
+        credentials = server.enroll_user("SC", "alice", "pw")
+        for bad in ("ten", "-1", "1.5"):
+            response = server.handle(
+                Request(
+                    "GET",
+                    "/apps/SC/data",
+                    params={"limit": bad},
+                    token=credentials["token"],
+                )
+            )
+            assert response.status == 400
+
+    def test_valid_limit_param_accepted(self, server):
+        credentials = server.enroll_user("SC", "alice", "pw")
+        response = server.handle(
+            Request(
+                "GET",
+                "/apps/SC/data",
+                params={"limit": "5"},
+                token=credentials["token"],
+            )
+        )
+        assert response.status == 200
 
     def test_user_management_requires_manager(self, server):
         contributor = server.enroll_user("SC", "alice", "pw")

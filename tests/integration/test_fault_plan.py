@@ -1,0 +1,142 @@
+"""End-to-end delivery reliability under an injected fault plan.
+
+The acceptance scenario of the reliability layer: with ≥10 % publisher
+confirm nacks, mid-batch connection drops, occasional connect refusals,
+duplicated and delayed dispatches, a client→broker→server run must
+store every produced observation **exactly once** — at-least-once
+retries on the uplink, idempotent ingest on the server — and the
+middleware counters must prove the faults actually fired.
+
+The suite runs under two fixed seeds, and each scenario is executed
+twice and compared — flake-free determinism is itself asserted.
+"""
+
+import pytest
+
+from repro.broker import FaultInjector, FaultPlan
+from repro.client.client import GoFlowClient
+from repro.client.retry import RetryPolicy
+from repro.client.uplink import BrokerUplink
+from repro.client.versions import AppVersion
+from repro.core.server import GoFlowServer
+from repro.devices.registry import DeviceRegistry
+from repro.sensing.scheduler import PhoneContext, SensingScheduler
+from repro.simulation import Simulator
+
+SEEDS = [11, 23]
+
+PLAN_RATES = dict(
+    connect_refusal_rate=0.05,
+    connection_drop_rate=0.05,
+    confirm_nack_rate=0.15,  # ≥10 % nacked confirms
+    duplicate_rate=0.05,
+    delay_rate=0.05,
+    delay_s=120.0,
+)
+
+
+def _run_scenario(seed: int):
+    """One faulty campaign; returns every counter worth comparing."""
+    simulator = Simulator(seed=seed)
+    server = GoFlowServer(clock=lambda: simulator.now)
+    server.register_app("SC")
+    injector = FaultInjector(FaultPlan(seed=seed, **PLAN_RATES))
+    server.broker.install_faults(injector)
+
+    credentials = server.enroll_user("SC", "alice", "pw")
+    uplink = BrokerUplink(server.broker, credentials["exchange"], app_id="SC")
+    client = GoFlowClient(
+        "alice",
+        AppVersion.V1_2_9,
+        uplink,
+        clock=lambda: simulator.now,
+        retry=RetryPolicy(base_delay_s=60.0, jitter=0.2, budget=None),
+        retry_seed=seed,
+    )
+    scheduler = SensingScheduler(
+        simulator,
+        "alice",
+        DeviceRegistry().get("A0001"),
+        PhoneContext(100.0, 100.0),
+        client.on_observation,
+        simulator.rngs.stream("phone"),
+    )
+    scheduler.start_opportunistic(until=6 * 3600.0)
+    simulator.run()
+
+    # drain the tail: faults stay active, retries must converge anyway
+    for _ in range(200):
+        if not client.pending:
+            break
+        client.flush(force=True)
+    # the injected counters are part of middleware_stats while installed
+    fault_info = server.middleware_stats()["reliability"]["faults"]
+    assert fault_info == injector.info()
+    # link repaired: any still-held delayed deliveries land now
+    server.broker.install_faults(None)
+    client.flush(force=True)
+
+    stored = server.data.collection.find({}).to_list()
+    # observation ids come from a process-global counter, so two runs in
+    # one process see different raw values; normalize to run-relative
+    # ranks for cross-run comparison (single client -> contiguous ids).
+    raw_ids = sorted(int(doc["obs_id"].split(":")[1]) for doc in stored)
+    base = raw_ids[0] if raw_ids else 0
+    return {
+        "produced": scheduler.produced,
+        "ingested": server.ingested,
+        "deduped": server.deduped,
+        "pending": client.pending,
+        "stored_obs_ids": [i - base for i in raw_ids],
+        "faults": fault_info,
+        "client": (
+            client.stats.sent,
+            client.stats.requeued,
+            client.stats.retries,
+            client.stats.confirm_failures,
+            client.stats.duplicated,
+            client.stats.dropped,
+        ),
+    }
+
+
+# module-level cache so the determinism test reuses the first run
+_RESULTS = {}
+
+
+def _scenario(seed: int):
+    if seed not in _RESULTS:
+        _RESULTS[seed] = _run_scenario(seed)
+    return _RESULTS[seed]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestExactlyOnceUnderFaults:
+    def test_every_observation_stored_exactly_once(self, seed):
+        result = _scenario(seed)
+        assert result["produced"] > 20  # the scenario actually produced data
+        assert result["pending"] == 0  # no losses on the device
+        assert result["ingested"] == result["produced"]  # no losses in flight
+        obs_ids = result["stored_obs_ids"]
+        assert len(obs_ids) == result["produced"]
+        assert len(set(obs_ids)) == len(obs_ids)  # no duplicates in the store
+
+    def test_faults_actually_fired_and_counters_prove_it(self, seed):
+        result = _scenario(seed)
+        faults = result["faults"]
+        assert faults["confirms_nacked"] > 0
+        assert faults["connections_dropped"] > 0
+        sent, requeued, retries, confirm_failures, duplicated, dropped = result[
+            "client"
+        ]
+        assert confirm_failures > 0
+        assert retries > 0
+        assert requeued > 0
+        assert dropped == 0  # budget=None: reliability, not shedding
+        # nacked-but-delivered publishes were resent and collapsed by
+        # the ledger: the dedup counters are the exactly-once evidence
+        assert result["deduped"] > 0
+        assert duplicated > 0
+
+    def test_scenario_is_deterministic(self, seed):
+        assert _scenario(seed) == _run_scenario(seed)

@@ -58,6 +58,36 @@ class TestOutboxProperties:
         drained = [o.observation_id for o in buffer.drain()]
         assert drained == first + second
 
+    @given(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), st.integers(min_value=1, max_value=5)),
+                st.tuples(st.just("drain_requeue"), st.integers(0, 5)),
+            ),
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_capacity_never_exceeded_under_push_requeue_churn(self, ops, capacity):
+        """A failed-transmit requeue must never balloon past capacity."""
+        buffer = ObservationBuffer(capacity=capacity)
+        identifier = 0
+        logical = []  # the surviving-newest model of the buffer contents
+        for op, count in ops:
+            if op == "push":
+                for _ in range(count):
+                    identifier += 1
+                    buffer.push(_obs(identifier))
+                    logical.append(identifier)
+            else:
+                drained = buffer.drain()
+                # a mid-batch failure delivers a prefix; the rest requeues
+                buffer.requeue_front(drained[min(count, len(drained)) :])
+                logical = [o.observation_id for o in drained[min(count, len(drained)) :]]
+            assert len(buffer) <= capacity
+            logical = logical[-capacity:]
+            assert [o.observation_id for o in buffer.peek_all()] == logical
+
 
 class TestQueueProperties:
     @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=50))
