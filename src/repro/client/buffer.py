@@ -35,12 +35,18 @@ class ObservationBuffer:
     def __bool__(self) -> bool:
         return bool(self._items)
 
-    def push(self, observation: Observation) -> None:
-        """Append an observation, evicting the oldest when full."""
+    def push(self, observation: Observation) -> List[Observation]:
+        """Append an observation, evicting the oldest when full.
+
+        Returns the evicted observations (empty when the buffer had
+        room) so the caller can release any per-observation state.
+        """
+        evicted: List[Observation] = []
         if self.capacity is not None and len(self._items) >= self.capacity:
-            self._items.popleft()
+            evicted.append(self._items.popleft())
             self.evicted += 1
         self._items.append(observation)
+        return evicted
 
     def drain(self) -> List[Observation]:
         """Remove and return everything, oldest first."""
@@ -52,23 +58,25 @@ class ObservationBuffer:
         """Everything, oldest first, without removing."""
         return list(self._items)
 
-    def requeue_front(self, observations: List[Observation]) -> None:
+    def requeue_front(self, observations: List[Observation]) -> List[Observation]:
         """Put back observations after a failed transmission (order kept).
 
         The capacity cap holds here too: a failed transmit must not
         balloon the outbox past its bound. When requeued + buffered
         exceed ``capacity``, the oldest observations are evicted first
-        (same freshest-data-wins policy as :meth:`push`) and counted in
-        ``evicted``.
+        (same freshest-data-wins policy as :meth:`push`), counted in
+        ``evicted``, and returned to the caller.
         """
         for observation in reversed(observations):
             self._items.appendleft(observation)
+        evicted: List[Observation] = []
         if self.capacity is not None:
             overflow = len(self._items) - self.capacity
             if overflow > 0:
                 for _ in range(overflow):
-                    self._items.popleft()
+                    evicted.append(self._items.popleft())
                 self.evicted += overflow
+        return evicted
 
     @property
     def oldest_taken_at(self) -> Optional[float]:

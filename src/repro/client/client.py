@@ -16,6 +16,7 @@ Behavioural contract (from §5.3):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set
 
@@ -30,6 +31,18 @@ from repro.crowd.connectivity import ConnectivityModel
 from repro.devices.battery import Battery, NetworkKind
 from repro.errors import ConfigurationError
 from repro.sensing.scheduler import Observation
+
+
+def obs_token(user_id: str) -> str:
+    """Opaque per-client prefix for ``obs_id`` stamps.
+
+    Deduplication needs a stable per-client id, but the CNIL policy
+    forbids the raw ``user_id`` from ever reaching the document store —
+    and ``obs_id`` is persisted verbatim. A one-way digest keeps the
+    stamp stable across retries without embedding the identifier.
+    """
+    digest = hashlib.sha256(user_id.encode("utf-8")).hexdigest()
+    return "c" + digest[:16]
 
 
 @dataclass
@@ -96,6 +109,7 @@ class GoFlowClient:
         if latency_s < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
         self.user_id = user_id
+        self._obs_token = obs_token(user_id)
         self.version = version
         self._uplink = uplink
         self._clock = clock
@@ -116,7 +130,7 @@ class GoFlowClient:
     def on_observation(self, observation: Observation) -> None:
         """Sensing callback: enqueue and run the uplink policy."""
         self.stats.produced += 1
-        self.outbox.push(observation)
+        self._forget_evicted(self.outbox.push(observation))
         if len(self.outbox) >= self.version.buffer_size:
             self.try_transmit()
 
@@ -157,7 +171,7 @@ class GoFlowClient:
         documents = []
         for observation in observations:
             document = observation.to_document()
-            document["obs_id"] = f"{self.user_id}:{observation.observation_id}"
+            document["obs_id"] = f"{self._obs_token}:{observation.observation_id}"
             document["sent_at"] = now
             document["received_at"] = now + self._latency
             document["app_version"] = self.version.value
@@ -169,10 +183,14 @@ class GoFlowClient:
         except UplinkError as error:
             delivered = set(error.delivered)
             self._settle_delivered(observations, delivered, transport, now)
-            self._handle_failure(observations, delivered, now, maybe_delivered=False)
+            # documents nacked before the failure were still routed by
+            # the broker: their resend may duplicate on the wire.
+            self._handle_failure(
+                observations, delivered, now, maybe_delivered=set(error.nacked)
+            )
             return False
         except BrokerError:
-            self._handle_failure(observations, set(), now, maybe_delivered=False)
+            self._handle_failure(observations, set(), now, maybe_delivered=set())
             return False
         undelivered = (
             set(result.undelivered)
@@ -183,7 +201,9 @@ class GoFlowClient:
         self._settle_delivered(observations, delivered, transport, now)
         if undelivered:
             self.stats.confirm_failures += 1
-            self._handle_failure(observations, delivered, now, maybe_delivered=True)
+            self._handle_failure(
+                observations, delivered, now, maybe_delivered=undelivered
+            )
             return False
         if self._backoff is not None:
             self._backoff.reset()
@@ -217,13 +237,13 @@ class GoFlowClient:
         observations: List[Observation],
         delivered: Set[int],
         now: float,
-        maybe_delivered: bool,
+        maybe_delivered: Set[int],
     ) -> None:
         """Requeue (or drop, once the budget is gone) the unsent part.
 
-        ``maybe_delivered=True`` marks the requeued observations as
-        possibly already on the server (an unconfirmed publish may still
-        have been routed): their eventual redelivery is counted in
+        ``maybe_delivered`` holds the indices of observations possibly
+        already on the server (an unconfirmed publish may still have
+        been routed): their eventual redelivery is counted in
         ``stats.duplicated``.
         """
         requeue = [
@@ -232,9 +252,8 @@ class GoFlowClient:
             if index not in delivered
         ]
         self.stats.failed_attempts += 1
-        if maybe_delivered:
-            for observation in requeue:
-                self._maybe_delivered.add(observation.observation_id)
+        for index in maybe_delivered:
+            self._maybe_delivered.add(observations[index].observation_id)
         if self._backoff is not None:
             self._backoff.record_failure(now)
             if self._backoff.exhausted():
@@ -244,8 +263,14 @@ class GoFlowClient:
                     self._maybe_delivered.discard(observation.observation_id)
                 self._backoff.reset()
                 return
-        self.outbox.requeue_front(requeue)
+        self._forget_evicted(self.outbox.requeue_front(requeue))
         self.stats.requeued += len(requeue)
+
+    def _forget_evicted(self, evicted: List[Observation]) -> None:
+        """Evicted observations will never be resent: keep the
+        maybe-delivered set bounded by the outbox capacity."""
+        for observation in evicted:
+            self._maybe_delivered.discard(observation.observation_id)
 
     def flush(self, force: bool = False) -> bool:
         """Force an uplink attempt regardless of buffer level.

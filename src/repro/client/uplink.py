@@ -39,17 +39,24 @@ class UplinkError(BrokerError):
 
     The contract is **at-least-once**, not all-or-nothing: documents
     confirmed before the failure stay delivered. ``delivered`` reports
-    their indices so the caller resends only the rest — and the server's
-    idempotent ingest absorbs any document that was delivered but not
-    confirmed.
+    their indices so the caller resends only the rest — and ``nacked``
+    the indices published but *not* confirmed before the failure: those
+    may have been routed anyway, so their resend can duplicate on the
+    wire (the server's idempotent ingest absorbs both cases).
     """
 
-    def __init__(self, reason: str, delivered: Optional[List[int]] = None) -> None:
+    def __init__(
+        self,
+        reason: str,
+        delivered: Optional[List[int]] = None,
+        nacked: Optional[List[int]] = None,
+    ) -> None:
         delivered = delivered or []
         super().__init__(
             f"{reason} ({len(delivered)} of the batch delivered before the failure)"
         )
         self.delivered = delivered
+        self.nacked = nacked or []
 
     @property
     def accepted(self) -> int:
@@ -155,7 +162,9 @@ class BrokerUplink:
                 # session so the next attempt reconnects cleanly.
                 self.disconnect()
                 raise UplinkError(
-                    f"uplink publish failed: {error}", delivered=delivered
+                    f"uplink publish failed: {error}",
+                    delivered=delivered,
+                    nacked=undelivered,
                 ) from error
             if self._confirm and seq is not None and not channel.confirmed(seq):
                 undelivered.append(index)

@@ -127,21 +127,27 @@ class DataManager:
             raise ValidationError(
                 f"observation must be a dict, got {type(document).__name__}"
             )
+        ledger_key: Optional[str] = None
         obs_id = document.get("obs_id")
         if obs_id is not None and self._dedup_capacity:
-            obs_id = str(obs_id)
-            if obs_id in self._dedup_ledger:
-                self._dedup_ledger.move_to_end(obs_id)
+            ledger_key = str(obs_id)
+            if ledger_key in self._dedup_ledger:
+                self._dedup_ledger.move_to_end(ledger_key)
                 self.dedup_hits += 1
                 return None
-            self._dedup_ledger[obs_id] = True
-            if len(self._dedup_ledger) > self._dedup_capacity:
-                self._dedup_ledger.popitem(last=False)
         stored = self._privacy.anonymize_ingest(document)
         stored["app_id"] = app_id
         # anonymize_ingest already produced a private copy; let the
         # collection take ownership rather than cloning a second time.
-        return self._observations.insert_one(stored, copy=False)
+        result = self._observations.insert_one(stored, copy=False)
+        # the ledger learns the id only once the document is durably
+        # stored: a failed insert must stay retryable, not turn the
+        # client's redelivery into a dedup hit (silent data loss).
+        if ledger_key is not None:
+            self._dedup_ledger[ledger_key] = True
+            if len(self._dedup_ledger) > self._dedup_capacity:
+                self._dedup_ledger.popitem(last=False)
+        return result
 
     def dedup_info(self) -> Dict[str, int]:
         """Observability snapshot of the idempotence ledger."""

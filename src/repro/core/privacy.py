@@ -87,12 +87,24 @@ class PrivacyPolicy:
         """The storage form of an incoming observation.
 
         Replaces ``user_id`` by its pseudonym; the raw id never reaches
-        the document store.
+        the document store. That guarantee covers every persisted field:
+        a dedup ``obs_id`` that embeds the raw id (legacy clients stamp
+        ``<user_id>:<seq>``) is rewritten onto the pseudonym before
+        storage — deduplication happens upstream on the wire form, so
+        the rewrite cannot split retry duplicates.
         """
         doc = json_clone(document)
         user_id = doc.pop("user_id", None)
         if user_id is not None:
-            doc["contributor"] = self.pseudonym(str(user_id))
+            user_id = str(user_id)
+            pseudonym = self.pseudonym(user_id)
+            doc["contributor"] = pseudonym
+            obs_id = doc.get("obs_id")
+            if isinstance(obs_id, str):
+                if obs_id == user_id:
+                    doc["obs_id"] = pseudonym
+                elif obs_id.startswith(user_id + ":"):
+                    doc["obs_id"] = pseudonym + obs_id[len(user_id):]
         return doc
 
     # -- sharing ----------------------------------------------------------------------
@@ -107,11 +119,14 @@ class PrivacyPolicy:
     def for_open_data(self, app_id: str, document: Dict[str, Any]) -> Dict[str, Any]:
         """Open-data export form: shared fields only, coarsened.
 
-        The contributor pseudonym is dropped entirely, the position is
+        The contributor pseudonym is dropped entirely — and so is the
+        ``obs_id`` dedup stamp, whose per-client prefix would otherwise
+        re-link the contributor's observations — the position is
         snapped to the coarse grid and timestamps rounded down.
         """
         doc = self.for_sharing(app_id, document)
         doc.pop("contributor", None)
+        doc.pop("obs_id", None)
         doc.pop("_id", None)
         location = doc.get("location")
         if isinstance(location, dict):

@@ -36,8 +36,9 @@ class TestBuffer:
     def test_capacity_evicts_oldest(self):
         buffer = ObservationBuffer(capacity=2)
         a, b, c = _obs(1.0), _obs(2.0), _obs(3.0)
-        for item in (a, b, c):
-            buffer.push(item)
+        assert buffer.push(a) == []
+        assert buffer.push(b) == []
+        assert buffer.push(c) == [a]  # eviction reported to the caller
         assert buffer.drain() == [b, c]
         assert buffer.evicted == 1
 
@@ -55,12 +56,14 @@ class TestBuffer:
         drained = buffer.drain()
         buffer.push(_obs(6.0))
         buffer.push(_obs(7.0))
-        buffer.requeue_front(drained)
+        evicted = buffer.requeue_front(drained)
         assert len(buffer) == 3
         # freshest-data-wins: the oldest requeued observations evicted
+        # and reported back to the caller
         taken = [o.taken_at for o in buffer.drain()]
         assert taken == [5.0, 6.0, 7.0]
         assert buffer.evicted == 2
+        assert [o.taken_at for o in evicted] == [3.0, 4.0]
 
     def test_requeue_front_within_capacity_evicts_nothing(self):
         buffer = ObservationBuffer(capacity=5)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.broker.errors import BrokerError
-from repro.client.client import GoFlowClient
+from repro.client.client import GoFlowClient, obs_token
 from repro.client.retry import BackoffState, RetryPolicy
 from repro.client.uplink import TransmitResult, UplinkError
 from repro.client.versions import AppVersion
@@ -216,6 +216,44 @@ class TestObsIdStamping:
         client.on_observation(_obs(0.0, 42))
         client.flush()
         first, second = uplink.batches
-        assert first[0]["obs_id"] == "u:42"
+        assert first[0]["obs_id"] == f"{obs_token('u')}:42"
         # the retry re-serializes but the obs_id is identical
-        assert second[0]["obs_id"] == "u:42"
+        assert second[0]["obs_id"] == first[0]["obs_id"]
+
+    def test_obs_id_never_embeds_the_raw_user_id(self):
+        client, uplink, _ = _client(["ok"])
+        client.on_observation(_obs(0.0, 1))
+        stamp = uplink.batches[0][0]["obs_id"]
+        assert not stamp.startswith("u:")
+        assert stamp.endswith(":1")
+
+
+class TestMaybeDeliveredTracking:
+    def test_nacked_before_midbatch_drop_counts_as_wire_duplicate(self):
+        # index 0 confirmed, index 1 nacked (but routed), index 2 never
+        # published: only the nacked one is a duplicate when resent.
+        error = UplinkError("mid-batch drop", delivered=[0], nacked=[1])
+        client, uplink, _ = _client([error, "ok"])
+        for i in range(3):
+            client.outbox.push(_obs(float(i), i))
+        client.flush()
+        assert client.stats.sent == 1
+        assert client.pending == 2
+        client.flush()
+        assert client.stats.sent == 3
+        assert client.stats.duplicated == 1
+
+    def test_eviction_prunes_maybe_delivered(self):
+        unconfirmed = TransmitResult(accepted=0, confirmed=False, undelivered=[0])
+        uplink = ScriptedUplink([unconfirmed])
+        client = GoFlowClient(
+            "u", AppVersion.V1_2_9, uplink, clock=lambda: 0.0, outbox_capacity=1
+        )
+        client.on_observation(_obs(0.0, 1))  # nacked: marked maybe-delivered
+        assert client._maybe_delivered == {1}
+        # the next observation evicts the marked one from the full
+        # outbox — it will never be resent, so the mark must go too
+        client.on_observation(_obs(1.0, 2))
+        assert client._maybe_delivered == set()
+        assert client.outbox.evicted == 1
+        assert client.stats.duplicated == 0

@@ -84,6 +84,26 @@ class TestDedupLedger:
         with pytest.raises(ValidationError):
             self._manager(capacity=-1)
 
+    def test_failed_insert_does_not_poison_ledger(self, monkeypatch):
+        manager = self._manager(capacity=10)
+        original = manager.collection.insert_one
+        failures = ["store briefly down"]
+
+        def flaky_insert(document, copy=True):
+            if failures:
+                raise RuntimeError(failures.pop())
+            return original(document, copy=copy)
+
+        monkeypatch.setattr(manager.collection, "insert_one", flaky_insert)
+        doc = {"user_id": "u", "obs_id": "u:1", "taken_at": 1.0}
+        with pytest.raises(RuntimeError):
+            manager.ingest("SC", doc)
+        # the ledger must not remember an id that was never stored: the
+        # client's at-least-once retry is a fresh ingest, not a dup
+        assert manager.ingest("SC", dict(doc)) is not None
+        assert manager.dedup_hits == 0
+        assert manager.collection.count({}) == 1
+
 
 class TestIngest:
     def test_pseudonymized_at_rest(self, manager):

@@ -40,6 +40,16 @@ class TestPseudonymization:
     def test_ingest_without_user_id(self, policy):
         assert "contributor" not in policy.anonymize_ingest({"x": 1})
 
+    def test_ingest_rewrites_obs_id_embedding_user_id(self, policy):
+        doc = {"user_id": "alice", "obs_id": "alice:7", "noise_dba": 50.0}
+        stored = policy.anonymize_ingest(doc)
+        assert stored["obs_id"] == policy.pseudonym("alice") + ":7"
+        assert "alice" not in stored["obs_id"]
+
+    def test_ingest_keeps_opaque_obs_id(self, policy):
+        doc = {"user_id": "alice", "obs_id": "c0123abc:7"}
+        assert policy.anonymize_ingest(doc)["obs_id"] == "c0123abc:7"
+
 
 class TestPrivateFields:
     def test_sharing_strips_declared_fields(self, policy):
@@ -84,6 +94,11 @@ class TestOpenData:
 
     def test_internal_id_dropped(self, policy):
         assert "_id" not in policy.for_open_data("SC", {"_id": 9})
+
+    def test_obs_id_dropped(self, policy):
+        # the per-client obs_id prefix would re-link a contributor's
+        # observations after the pseudonym is removed
+        assert "obs_id" not in policy.for_open_data("SC", {"obs_id": "c1:2"})
 
     def test_bad_configuration_rejected(self):
         with pytest.raises(ValidationError):

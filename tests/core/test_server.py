@@ -65,7 +65,11 @@ class TestIdempotentIngest:
         _publish_observation(server, credentials, dict(document))
         assert server.ingested == 1
         assert server.deduped == 1
-        assert server.data.collection.count({"obs_id": "alice:1"}) == 1
+        stored = server.data.collection.find({"taken_at": 1.0}).to_list()
+        assert len(stored) == 1
+        # the legacy user-embedding stamp was pseudonymized at rest
+        assert stored[0]["obs_id"] == server.privacy.pseudonym("alice") + ":1"
+        assert server.data.collection.count({"obs_id": "alice:1"}) == 0
 
     def test_documents_without_obs_id_are_not_deduped(self, server):
         credentials = server.enroll_user("SC", "alice", "pw")

@@ -83,6 +83,9 @@ def _run_scenario(seed: int):
     raw_ids = sorted(int(doc["obs_id"].split(":")[1]) for doc in stored)
     base = raw_ids[0] if raw_ids else 0
     return {
+        "user_id_at_rest": any(
+            "alice" in str(doc.get("obs_id")) or "user_id" in doc for doc in stored
+        ),
         "produced": scheduler.produced,
         "ingested": server.ingested,
         "deduped": server.deduped,
@@ -120,6 +123,7 @@ class TestExactlyOnceUnderFaults:
         obs_ids = result["stored_obs_ids"]
         assert len(obs_ids) == result["produced"]
         assert len(set(obs_ids)) == len(obs_ids)  # no duplicates in the store
+        assert not result["user_id_at_rest"]  # CNIL: raw id never stored
 
     def test_faults_actually_fired_and_counters_prove_it(self, seed):
         result = _scenario(seed)
