@@ -38,6 +38,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 SUITES = {
     "throughput": "benchmarks/test_middleware_throughput.py",
     "faults": "benchmarks/test_fault_injection.py",
+    "analytics": "benchmarks/test_analytics_aggregation.py",
 }
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 
@@ -89,15 +90,27 @@ def summarize(raw: dict) -> dict:
 
 
 def speedups(stages: dict) -> dict:
-    """baseline_mean / after_mean per benchmark present in both stages."""
-    baseline = stages.get("baseline", {}).get("benchmarks", {})
-    after = stages.get("after", {}).get("benchmarks", {})
+    """baseline_mean / after_mean per benchmark present in both stages.
+
+    Non-default suites namespace their stages as ``<suite>:baseline`` /
+    ``<suite>:after``; their ratios are reported under the same
+    namespaced benchmark names.
+    """
+    pairs = [("baseline", "after", "")]
+    suites = {
+        stage.split(":", 1)[0] for stage in stages if ":" in stage
+    }
+    for suite in sorted(suites):
+        pairs.append((f"{suite}:baseline", f"{suite}:after", f"{suite}:"))
     result = {}
-    for name in baseline.keys() & after.keys():
-        before_mean = baseline[name].get("mean")
-        after_mean = after[name].get("mean")
-        if before_mean and after_mean:
-            result[name] = round(before_mean / after_mean, 2)
+    for baseline_stage, after_stage, prefix in pairs:
+        baseline = stages.get(baseline_stage, {}).get("benchmarks", {})
+        after = stages.get(after_stage, {}).get("benchmarks", {})
+        for name in baseline.keys() & after.keys():
+            before_mean = baseline[name].get("mean")
+            after_mean = after[name].get("mean")
+            if before_mean and after_mean:
+                result[prefix + name] = round(before_mean / after_mean, 2)
     return result
 
 

@@ -1,0 +1,135 @@
+"""Analytics read-path benches (the Figure 8/9/20 aggregation queries).
+
+Every evaluation figure in the paper is an aggregation over the
+observations collection; these benches time the exact queries behind
+Figure 9 (per-model table), Figure 8 (cumulative counts) and Figure 20
+(provider shares) over 50k synthetic observations ingested through the
+real ``DataManager.ingest`` path, plus two raw-pipeline benches that
+exercise the executor without any materialized help (leading-``$match``
+index pushdown and fused ``$sort``+``$limit`` top-k).
+
+Run via ``python benchmarks/run_bench.py --suite analytics --stage
+baseline|after`` to record the before/after evidence in
+``BENCH_middleware.json``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.analytics import AnalyticsEngine
+from repro.core.datamgmt import DataManager
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.store import DocumentStore
+
+N_OBSERVATIONS = 50_000
+MODELS = [
+    "GT-I9505", "SM-G901F", "HTCONE_M8", "NEXUS 5", "GT-I9300",
+    "SM-G920F", "D5803", "A0001", "SM-A300FU", "LG-D855",
+    "SM-G900F", "E6653", "MotoG3", "SM-N910F", "ONE A2003",
+    "GT-I9195", "SM-G925F", "F3111", "XT1039", "SM-J320FN",
+]
+PROVIDERS = ["gps", "network", "fused"]
+MODES = ["opportunistic", "dutycycled", "continuous"]
+
+
+@pytest.fixture(scope="module")
+def analytics_store():
+    rng = random.Random(20160912)
+    store = DocumentStore("bench-analytics")
+    data = DataManager(store, PrivacyPolicy())
+    for seq in range(N_OBSERVATIONS):
+        taken = rng.uniform(0.0, 30 * 86400.0)
+        doc = {
+            "user_id": f"user-{rng.randrange(500)}",
+            "obs_id": f"bench:{seq}",
+            "model": MODELS[rng.randrange(len(MODELS))],
+            "taken_at": taken,
+            "received_at": taken + rng.uniform(1.0, 600.0),
+            "noise_dba": rng.uniform(30.0, 90.0),
+            "mode": MODES[rng.randrange(len(MODES))],
+            "activity": {"label": rng.choice(["still", "foot", "vehicle"])},
+        }
+        if rng.random() < 0.41:
+            doc["location"] = {
+                "provider": PROVIDERS[rng.randrange(3)],
+                "accuracy_m": rng.uniform(2.0, 400.0),
+                "x_m": rng.uniform(0.0, 10_000.0),
+                "y_m": rng.uniform(0.0, 10_000.0),
+            }
+        data.ingest("bench-app", doc)
+    return store, data, AnalyticsEngine(store)
+
+
+def test_analytics_per_model_table(benchmark, analytics_store):
+    """Figure 9: per-model devices / measurements / localized."""
+    _, _, analytics = analytics_store
+    table = benchmark(analytics.per_model_table)
+    assert sum(row["measurements"] for row in table) == N_OBSERVATIONS
+    assert len(table) == len(MODELS)
+
+
+def test_analytics_cumulative_by_day(benchmark, analytics_store):
+    """Figure 8: per-day counts and the cumulative curve."""
+    _, _, analytics = analytics_store
+    series = benchmark(analytics.cumulative_by_day)
+    assert series[-1]["cumulative"] == N_OBSERVATIONS
+    assert [row["day"] for row in series] == sorted(row["day"] for row in series)
+
+
+def test_analytics_provider_shares(benchmark, analytics_store):
+    """Figure 20: provider share among localized observations."""
+    _, _, analytics = analytics_store
+    shares = benchmark(analytics.provider_shares)
+    assert set(shares) == set(PROVIDERS)
+    assert sum(shares.values()) == pytest.approx(1.0)
+
+
+def test_pipeline_match_pushdown(benchmark, analytics_store):
+    """Leading-$match pipeline over one model (index-eligible predicate)."""
+    store, _, _ = analytics_store
+    observations = store.collection("observations")
+
+    def query():
+        return observations.aggregate(
+            [
+                {"$match": {"model": "SM-G901F"}},
+                {
+                    "$group": {
+                        "_id": "$contributor",
+                        "n": {"$sum": 1},
+                        "mean_dba": {"$avg": "$noise_dba"},
+                    }
+                },
+            ]
+        )
+
+    rows = benchmark(query)
+    assert sum(row["n"] for row in rows) > 0
+
+
+def test_pipeline_topk_sort_limit(benchmark, analytics_store):
+    """Group + $sort + $limit (the fused top-k path after this PR)."""
+    store, _, _ = analytics_store
+    observations = store.collection("observations")
+
+    def query():
+        return observations.aggregate(
+            [
+                {"$group": {"_id": "$contributor", "n": {"$sum": 1}}},
+                {"$sort": {"n": -1}},
+                {"$limit": 20},
+            ]
+        )
+
+    rows = benchmark(query)
+    assert len(rows) == 20
+    counts = [row["n"] for row in rows]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_pipeline_accuracy_buckets(benchmark, analytics_store):
+    """Figures 10-13: $match + $bucket histogram over accuracies."""
+    _, _, analytics = analytics_store
+    rows = benchmark(analytics.accuracy_buckets)
+    assert sum(row["count"] for row in rows) > 0

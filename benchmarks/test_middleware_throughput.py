@@ -61,7 +61,9 @@ def test_end_to_end_ingest_throughput(benchmark):
             )
 
     benchmark.pedantic(ingest_batch, rounds=3, iterations=1)
-    assert server.ingested >= 3 * BATCH
+    # at least one round's worth: --benchmark-disable (the CI smoke
+    # mode) runs the body exactly once regardless of rounds=3
+    assert server.ingested >= BATCH
 
 
 def test_indexed_store_query_throughput(benchmark, campaign):

@@ -5,6 +5,15 @@ Every statistic here is computed with the document store's aggregation
 pipeline over the observations collection — the same queries the paper's
 own analysis must have run over MongoDB — and these are exactly the
 aggregates the Figure benches consume.
+
+The four highest-traffic statistics (totals, the Figure 9 per-model
+table, the Figure 8 cumulative curve, the Figure 20 provider shares)
+are additionally served from :class:`~repro.core.materialized.
+MaterializedAnalytics` counters when a view is attached and fresh; a
+view that is degraded (or a query variant the counters do not cover)
+falls back to the full pipeline, whose ``_*_pipeline`` forms are kept
+as both the fallback and the oracle the integration tests compare
+against.
 """
 
 from __future__ import annotations
@@ -12,25 +21,67 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional
 
 from repro.core.datamgmt import OBSERVATIONS
+from repro.core.materialized import MaterializedAnalytics
 from repro.docstore.store import DocumentStore
 
 
 class AnalyticsEngine:
-    """Aggregate statistics over stored observations."""
+    """Aggregate statistics over stored observations.
 
-    def __init__(self, store: DocumentStore) -> None:
+    Args:
+        store: the backing document store.
+        materialized: an externally maintained counter view to serve
+            the hot statistics from (the server shares the one its
+            ``DataManager`` feeds at ingest). When None, the engine
+            builds its own — kept exact by rebuild-on-write-detection
+            rather than by ingest notifications.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        materialized: Optional[MaterializedAnalytics] = None,
+    ) -> None:
         self._observations = store.collection(OBSERVATIONS)
+        self._materialized = (
+            materialized
+            if materialized is not None
+            else MaterializedAnalytics(self._observations)
+        )
 
     # -- volume -----------------------------------------------------------------
 
     def totals(self) -> Dict[str, int]:
         """Total and localized observation counts."""
+        counts = self._materialized.totals()
+        if counts is not None:
+            return counts
+        return self._totals_pipeline()
+
+    def _totals_pipeline(self) -> Dict[str, int]:
         total = self._observations.count()
         localized = self._observations.count({"location": {"$exists": True}})
         return {"total": total, "localized": localized}
 
     def per_model_table(self) -> List[Dict[str, Any]]:
         """The Figure 9 table: devices / measurements / localized per model."""
+        groups = self._materialized.per_model_groups()
+        if groups is None:
+            return self._per_model_table_pipeline()
+        # same order as the pipeline: groups in first-seen order, then a
+        # stable descending sort on the localized count
+        groups.sort(key=lambda row: row["localized"], reverse=True)
+        return [
+            {
+                "model": row["_id"],
+                "devices": row["devices"],
+                "measurements": row["measurements"],
+                "localized": row["localized"],
+            }
+            for row in groups
+        ]
+
+    def _per_model_table_pipeline(self) -> List[Dict[str, Any]]:
         rows = self._observations.aggregate(
             [
                 {
@@ -64,7 +115,20 @@ class AnalyticsEngine:
 
     def cumulative_by_day(self) -> List[Dict[str, Any]]:
         """Per-day and cumulative observation counts (Figure 8)."""
-        rows = self._observations.aggregate(
+        rows = self._materialized.day_counts()
+        if rows is None:
+            rows = self._cumulative_rows_pipeline()
+        cumulative = 0
+        out = []
+        for row in rows:
+            cumulative += row["count"]
+            out.append(
+                {"day": row["_id"], "count": row["count"], "cumulative": cumulative}
+            )
+        return out
+
+    def _cumulative_rows_pipeline(self) -> List[Dict[str, Any]]:
+        return self._observations.aggregate(
             [
                 {
                     "$addFields": {
@@ -75,9 +139,11 @@ class AnalyticsEngine:
                 {"$sort": {"_id": 1}},
             ]
         )
+
+    def _cumulative_by_day_pipeline(self) -> List[Dict[str, Any]]:
         cumulative = 0
         out = []
-        for row in rows:
+        for row in self._cumulative_rows_pipeline():
             cumulative += row["count"]
             out.append(
                 {"day": row["_id"], "count": row["count"], "cumulative": cumulative}
@@ -91,6 +157,18 @@ class AnalyticsEngine:
 
         ``mode`` restricts to one sensing mode (Figure 20's three bars).
         """
+        if mode is None:
+            rows = self._materialized.provider_counts()
+            if rows is not None:
+                total = sum(row["count"] for row in rows)
+                if total == 0:
+                    return {}
+                return {row["_id"]: row["count"] / total for row in rows}
+        return self._provider_shares_pipeline(mode)
+
+    def _provider_shares_pipeline(
+        self, mode: Optional[str] = None
+    ) -> Dict[str, float]:
         match: Dict[str, Any] = {"location": {"$exists": True}}
         if mode is not None:
             match["mode"] = mode

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.errors import ValidationError
+from repro.core.materialized import MaterializedAnalytics
 from repro.core.privacy import PrivacyPolicy
 from repro.docstore.store import DocumentStore
 
@@ -99,6 +100,10 @@ class DataManager:
         self._observations.create_index("model", kind="hash")
         self._observations.create_index("taken_at", kind="sorted")
         self._observations.create_index("contributor", kind="hash")
+        self._observations.create_index("location.provider", kind="hash")
+        #: online per-model/per-day/per-provider counters, fed by ingest
+        #: and shared with the analytics engine by the server.
+        self.materialized = MaterializedAnalytics(self._observations)
         self._dedup_capacity = dedup_capacity
         self._dedup_ledger: "OrderedDict[str, bool]" = OrderedDict()
         self.dedup_hits = 0
@@ -140,6 +145,7 @@ class DataManager:
         # anonymize_ingest already produced a private copy; let the
         # collection take ownership rather than cloning a second time.
         result = self._observations.insert_one(stored, copy=False)
+        self.materialized.observe(stored)
         # the ledger learns the id only once the document is durably
         # stored: a failed insert must stay retryable, not turn the
         # client's redelivery into a dedup hit (silent data loss).

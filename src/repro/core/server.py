@@ -50,7 +50,11 @@ class GoFlowServer:
         self.channels = ChannelManager(self.broker)
         self.data = DataManager(self.store, self.privacy)
         self.jobs = JobManager(self.store, self._clock)
-        self.analytics = AnalyticsEngine(self.store)
+        # the analytics engine serves its hot statistics from the same
+        # materialized counters the ingest path keeps fresh
+        self.analytics = AnalyticsEngine(
+            self.store, materialized=self.data.materialized
+        )
         self.api = GoFlowAPI(self.tokens)
         self._register_routes()
         self._start_ingest()
@@ -130,6 +134,7 @@ class GoFlowServer:
                 "plan_cache_hits": collection_stats.plan_cache_hits,
                 "plan_cache_misses": collection_stats.plan_cache_misses,
             },
+            "materialized": self.data.materialized.info(),
         }
 
     # -- app/user lifecycle (programmatic surface) ---------------------------------

@@ -100,6 +100,23 @@ class UpdateResult:
     upserted_id: Optional[Any] = None
 
 
+class AggregationResult(list):
+    """Pipeline output plus how the leading ``$match`` was executed.
+
+    Behaves exactly like the plain list ``aggregate`` used to return;
+    ``.explain`` carries ``{"strategy": "index"|"scan", "pushdown":
+    bool, "candidates": int|None, "examined_share": float|None}`` so
+    tests (and operators) can assert that a figure query actually hit
+    an index instead of scanning the store.
+    """
+
+    __slots__ = ("explain",)
+
+    def __init__(self, rows: Iterable[Dict[str, Any]], explain: Dict[str, Any]) -> None:
+        super().__init__(rows)
+        self.explain = explain
+
+
 class Collection:
     """A named set of documents with CRUD, indexes and a planner."""
 
@@ -125,6 +142,15 @@ class Collection:
         if not filter_doc:
             return len(self._docs)
         return sum(1 for _ in self._iter_matching(filter_doc))
+
+    def iter_documents(self) -> Iterable[Dict[str, Any]]:
+        """The live documents in insertion order, without copying.
+
+        Read-only contract: callers must not mutate the yielded dicts.
+        Used by folds that need one cheap pass (materialized analytics
+        rebuilds) — does not count as a query.
+        """
+        return iter(self._docs.values())
 
     # -- index management --------------------------------------------------------
 
@@ -322,11 +348,51 @@ class Collection:
 
     # -- aggregation convenience -------------------------------------------------------
 
-    def aggregate(self, pipeline: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        """Run an aggregation pipeline over this collection."""
-        from repro.docstore.aggregate import aggregate as run_pipeline
+    def aggregate(self, pipeline: List[Dict[str, Any]]) -> "AggregationResult":
+        """Run an aggregation pipeline over this collection.
 
-        return run_pipeline(self._docs.values(), pipeline)
+        A leading ``$match`` stage is pushed down into the planner: when
+        its predicates hit declared indexes, only the candidate
+        documents are fed to the compiled pipeline (and the stage is
+        skipped inside it), so figure queries like ``model == X`` touch
+        a fraction of the store. The result is a plain list subclass
+        whose ``.explain`` records the chosen strategy.
+        """
+        from repro.docstore.aggregate import compile_pipeline
+
+        compiled = compile_pipeline(pipeline)
+        match_spec = compiled.leading_match
+        explain: Dict[str, Any] = {
+            "strategy": "scan",
+            "pushdown": False,
+            "candidates": None,
+            "examined_share": None,
+        }
+        if match_spec is not None:
+            candidate_ids = self._plan(match_spec)
+            if candidate_ids is not None:
+                self.stats.index_hits += 1
+                explain = {
+                    "strategy": "index",
+                    "pushdown": True,
+                    "candidates": len(candidate_ids),
+                    "examined_share": (
+                        len(candidate_ids) / len(self._docs) if self._docs else 0.0
+                    ),
+                }
+                ordered = sorted(
+                    candidate_ids, key=lambda i: (str(type(i)), str(i))
+                )
+                documents = (
+                    doc
+                    for doc in (self._docs.get(doc_id) for doc_id in ordered)
+                    if doc is not None and matches(doc, match_spec)
+                )
+                return AggregationResult(
+                    compiled.run(documents, skip_leading_match=True), explain
+                )
+            self.stats.full_scans += 1
+        return AggregationResult(compiled.run(self._docs.values()), explain)
 
     def explain(self, filter_doc: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """How the planner would execute ``filter_doc``.

@@ -1,0 +1,126 @@
+"""MaterializedAnalytics: incremental folds, invalidation, degrade."""
+
+import pytest
+
+from repro.core.materialized import MaterializedAnalytics
+from repro.docstore.collection import Collection
+
+
+def _obs(model, contributor, taken_at, provider=None, location=None):
+    doc = {"model": model, "contributor": contributor, "taken_at": taken_at}
+    if provider is not None:
+        doc["location"] = {"provider": provider, "accuracy_m": 5.0}
+    elif location is not None:
+        doc["location"] = location
+    return doc
+
+
+@pytest.fixture
+def collection():
+    return Collection("observations")
+
+
+class TestIncrementalFold:
+    def test_counts_follow_observed_inserts(self, collection):
+        view = MaterializedAnalytics(collection)
+        for doc in [
+            _obs("A", "p1", 100.0, provider="gps"),
+            _obs("A", "p2", 86400.0 + 5.0),
+            _obs("B", "p1", 200.0, provider="network"),
+        ]:
+            collection.insert_one(doc, copy=False)
+            view.observe(doc)
+        assert view.totals() == {"total": 3, "localized": 2}
+        assert view.day_counts() == [
+            {"_id": 0, "count": 2},
+            {"_id": 1, "count": 1},
+        ]
+        assert view.provider_counts() == [
+            {"_id": "gps", "count": 1},
+            {"_id": "network", "count": 1},
+        ]
+        rows = {row["_id"]: row for row in view.per_model_groups()}
+        assert rows["A"] == {
+            "_id": "A", "measurements": 2, "devices": 2, "localized": 1
+        }
+        assert view.info()["incremental_updates"] == 3
+        assert view.info()["fresh"] is True
+
+    def test_observe_stays_incremental_without_rebuilds(self, collection):
+        view = MaterializedAnalytics(collection)
+        baseline = view.rebuilds
+        for i in range(20):
+            doc = _obs("A", f"p{i % 3}", float(i))
+            collection.insert_one(doc, copy=False)
+            view.observe(doc)
+        assert view.totals()["total"] == 20
+        assert view.rebuilds == baseline
+
+    def test_empty_location_counts_present_but_not_localized_per_model(
+        self, collection
+    ):
+        # {"$exists": True} vs $ifNull-truthiness: an empty location dict
+        # is "localized" for totals but not for the per-model column.
+        view = MaterializedAnalytics(collection)
+        doc = _obs("A", "p1", 0.0, location={})
+        collection.insert_one(doc, copy=False)
+        view.observe(doc)
+        assert view.totals() == {"total": 1, "localized": 1}
+        assert view.per_model_groups()[0]["localized"] == 0
+        assert view.provider_counts() == [{"_id": None, "count": 1}]
+
+
+class TestInvalidation:
+    def test_unobserved_insert_marks_dirty_then_rebuilds(self, collection):
+        view = MaterializedAnalytics(collection)
+        collection.insert_one(_obs("A", "p1", 0.0))
+        assert view.info()["fresh"] is False
+        assert view.totals() == {"total": 1, "localized": 0}  # rebuilt
+        assert view.info()["fresh"] is True
+
+    def test_delete_invalidates_and_rebuild_reflects_it(self, collection):
+        view = MaterializedAnalytics(collection)
+        for i in range(4):
+            doc = _obs("A", "p1", float(i), provider="gps")
+            collection.insert_one(doc, copy=False)
+            view.observe(doc)
+        collection.delete_many({"contributor": "p1"})
+        assert view.totals() == {"total": 0, "localized": 0}
+        assert view.provider_counts() == []
+
+    def test_observe_after_missed_write_does_not_corrupt(self, collection):
+        view = MaterializedAnalytics(collection)
+        collection.insert_one(_obs("A", "p1", 0.0))  # not observed
+        doc = _obs("B", "p2", 86400.0)
+        collection.insert_one(doc, copy=False)
+        view.observe(doc)  # marker is 2 inserts ahead: must not fold
+        assert view.totals()["total"] == 2  # from rebuild, not double-count
+        models = {row["_id"] for row in view.per_model_groups()}
+        assert models == {"A", "B"}
+
+    def test_update_invalidates(self, collection):
+        view = MaterializedAnalytics(collection)
+        doc = _obs("A", "p1", 0.0)
+        collection.insert_one(doc, copy=False)
+        view.observe(doc)
+        collection.update_one({"model": "A"}, {"$set": {"model": "B"}})
+        assert [row["_id"] for row in view.per_model_groups()] == ["B"]
+
+
+class TestDegrade:
+    def test_boolean_taken_at_degrades_day_counts_only(self, collection):
+        view = MaterializedAnalytics(collection)
+        doc = _obs("A", "p1", True)
+        collection.insert_one(doc, copy=False)
+        view.observe(doc)
+        assert view.day_counts() is None
+        assert view.totals() == {"total": 1, "localized": 0}
+        assert view.per_model_groups() is not None
+        assert view.info()["degraded"] is True
+
+    def test_missing_taken_at_counts_as_day_zero(self, collection):
+        view = MaterializedAnalytics(collection)
+        doc = {"model": "A", "contributor": "p1"}
+        collection.insert_one(doc, copy=False)
+        view.observe(doc)
+        assert view.day_counts() == [{"_id": 0, "count": 1}]

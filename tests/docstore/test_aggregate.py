@@ -223,3 +223,58 @@ class TestExpressions:
     def test_unknown_stage_rejected(self):
         with pytest.raises(QuerySyntaxError):
             aggregate(DOCS, [{"$teleport": {}}])
+
+
+class TestCompiledExecutorRegressions:
+    """Regressions fixed alongside the compiled streaming executor."""
+
+    def test_equal_dicts_group_together_regardless_of_key_order(self):
+        # repr({"a":1,"b":2}) != repr({"b":2,"a":1}) — the old repr-based
+        # group key split equal composite ids into separate groups.
+        docs = [
+            {"k": {"a": 1, "b": 2}},
+            {"k": {"b": 2, "a": 1}},
+        ]
+        out = aggregate(docs, [{"$group": {"_id": "$k", "n": {"$sum": 1}}}])
+        assert len(out) == 1
+        assert out[0]["n"] == 2
+
+    def test_bool_and_int_group_ids_stay_distinct(self):
+        docs = [{"k": True}, {"k": 1}, {"k": False}, {"k": 0}]
+        out = aggregate(docs, [{"$group": {"_id": "$k", "n": {"$sum": 1}}}])
+        assert len(out) == 4
+
+    def test_add_to_set_unhashable_values_first_seen_order(self):
+        docs = [
+            {"v": {"p": 1}},
+            {"v": "s"},
+            {"v": {"p": 2}},
+            {"v": {"p": 1}},
+            {"v": "s"},
+        ]
+        out = aggregate(
+            docs, [{"$group": {"_id": None, "vals": {"$addToSet": "$v"}}}]
+        )
+        assert out[0]["vals"] == [{"p": 1}, "s", {"p": 2}]
+
+    def test_fused_sort_limit_matches_sort_then_limit(self):
+        docs = [
+            {"a": i % 7, "b": -(i % 3), "i": i} for i in range(50)
+        ]
+        fused = aggregate(docs, [{"$sort": {"a": 1, "b": -1}}, {"$limit": 9}])
+        unfused = aggregate(docs, [{"$sort": {"a": 1, "b": -1}}])[:9]
+        assert fused == unfused
+
+    def test_fused_sort_limit_is_stable_on_ties(self):
+        docs = [{"a": 1, "i": i} for i in range(10)]
+        out = aggregate(docs, [{"$sort": {"a": 1}}, {"$limit": 4}])
+        assert [d["i"] for d in out] == [0, 1, 2, 3]
+
+    def test_sort_limit_zero(self):
+        assert aggregate(DOCS, [{"$sort": {"dba": 1}}, {"$limit": 0}]) == []
+
+    def test_results_are_decoupled_from_inputs(self):
+        docs = [{"_id": 1, "nested": {"x": [1, 2]}}]
+        out = aggregate(docs, [{"$match": {}}])
+        out[0]["nested"]["x"].append(3)
+        assert docs[0]["nested"]["x"] == [1, 2]
