@@ -12,7 +12,10 @@ Two suites are available:
 - ``faults``: the fault-injection scenario — the same ingest workload
   under a plan that nacks publisher confirms and drops connections,
   proving the retry + idempotent-ingest layer converges to exactly-once
-  and measuring what it costs.
+  and measuring what it costs;
+- ``concurrency``: multi-threaded ingest throughput — 8 client threads
+  through the locked broker → docstore stack, with and without
+  dedup-ledger contention.
 
 Usage::
 
@@ -39,6 +42,7 @@ SUITES = {
     "throughput": "benchmarks/test_middleware_throughput.py",
     "faults": "benchmarks/test_fault_injection.py",
     "analytics": "benchmarks/test_analytics_aggregation.py",
+    "concurrency": "benchmarks/test_concurrent_ingest.py",
 }
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import concurrency
 from repro.broker.errors import BrokerError, ExchangeError, QueueError
 from repro.broker.exchange import Exchange, ExchangeType
 from repro.broker.faults import FaultInjector
@@ -67,6 +68,12 @@ class Broker:
         faults: Optional[FaultInjector] = None,
     ) -> None:
         self._clock = clock or (lambda: 0.0)
+        # one topology lock covers exchanges, bindings, the route-plan
+        # cache, connections and the delayed-delivery list. It is NEVER
+        # held while a queue is enqueued into (lock hierarchy: broker
+        # before queue never happens; queue -> broker does, via DLX
+        # republish from a dispatch callback).
+        self._lock = concurrency.make_rlock()
         self._exchanges: Dict[str, Exchange] = {}
         self._queues: Dict[str, MessageQueue] = {}
         self._connections: Dict[str, Connection] = {}
@@ -106,53 +113,68 @@ class Broker:
         to drain everything regardless of release time (e.g. at the end
         of a simulation).
         """
-        if not self._delayed:
-            return 0
-        now = self._clock()
-        still_held = []
-        released = 0
-        for queues, message, release_at in self._delayed:
-            if force or release_at <= now:
-                for queue in queues:
-                    queue.enqueue(message)
-                released += 1
-            else:
-                still_held.append((queues, message, release_at))
-        self._delayed = still_held
-        return released
+        with self._lock:
+            if not self._delayed:
+                return 0
+            now = self._clock()
+            still_held = []
+            releasable = []
+            for entry in self._delayed:
+                if force or entry[2] <= now:
+                    releasable.append(entry)
+                else:
+                    still_held.append(entry)
+            self._delayed = still_held
+        # enqueue outside the broker lock: dispatch callbacks run under
+        # the queue lock and may publish back into the broker.
+        for queues, message, _ in releasable:
+            for queue in queues:
+                queue.enqueue(message)
+        return len(releasable)
 
     @property
     def delayed_count(self) -> int:
         """Deliveries currently held back by the fault injector."""
-        return len(self._delayed)
+        with self._lock:
+            return len(self._delayed)
 
     # -- topology versioning -------------------------------------------------
 
     def _new_exchange(
         self, name: str, type: ExchangeType, durable: bool = True
     ) -> Exchange:
-        exchange = Exchange(name, type, durable=durable, stats=self.stats)
+        exchange = Exchange(
+            name, type, durable=durable, stats=self.stats, lock=self._lock
+        )
         exchange._on_change = self._bump_topology
         return exchange
 
     def _bump_topology(self) -> None:
         """Invalidate every cached route plan (lazily, via the version)."""
-        self._topology_version += 1
+        with self._lock:
+            self._topology_version += 1
 
     @property
     def topology_version(self) -> int:
         """Monotone counter bumped on any bind/unbind/declare/delete."""
-        return self._topology_version
+        with self._lock:
+            return self._topology_version
 
     def route_cache_info(self) -> Dict[str, int]:
         """Observability snapshot of the route-plan cache."""
-        return {
-            "size": len(self._route_cache),
-            "capacity": self._route_cache_size,
-            "hits": self.stats.route_cache_hits,
-            "misses": self.stats.route_cache_misses,
-            "topology_version": self._topology_version,
-        }
+        with self._lock:
+            return {
+                "size": len(self._route_cache),
+                "capacity": self._route_cache_size,
+                "hits": self.stats.route_cache_hits,
+                "misses": self.stats.route_cache_misses,
+                "topology_version": self._topology_version,
+            }
+
+    def stats_snapshot(self) -> BrokerStats:
+        """A coherent copy of the lifetime counters."""
+        with self._lock:
+            return replace(self.stats)
 
     # -- declaration ---------------------------------------------------------
 
@@ -160,18 +182,19 @@ class Broker:
         self, name: str, type: ExchangeType, durable: bool = True
     ) -> Exchange:
         """Declare an exchange; idempotent when arguments match."""
-        existing = self._exchanges.get(name)
-        if existing is not None:
-            if existing.type is not type:
-                raise ExchangeError(
-                    f"exchange {name!r} already declared as {existing.type.value}, "
-                    f"cannot redeclare as {type.value}"
-                )
-            return existing
-        exchange = self._new_exchange(name, type, durable=durable)
-        self._exchanges[name] = exchange
-        self._bump_topology()
-        return exchange
+        with self._lock:
+            existing = self._exchanges.get(name)
+            if existing is not None:
+                if existing.type is not type:
+                    raise ExchangeError(
+                        f"exchange {name!r} already declared as {existing.type.value}, "
+                        f"cannot redeclare as {type.value}"
+                    )
+                return existing
+            exchange = self._new_exchange(name, type, durable=durable)
+            self._exchanges[name] = exchange
+            self._bump_topology()
+            return exchange
 
     def declare_queue(
         self,
@@ -186,41 +209,42 @@ class Broker:
         message this queue drops (TTL expiry, overflow, requeue-less
         rejection); the drop reason travels in the ``x-death`` header.
         """
-        existing = self._queues.get(name)
-        if existing is not None:
-            if (
-                existing.max_length != max_length
-                or existing.message_ttl_s != message_ttl_s
-            ):
-                raise QueueError(
-                    f"queue {name!r} already declared with different "
-                    "arguments; cannot redeclare"
-                )
-            return existing
-        dead_letter = None
-        if dead_letter_exchange is not None:
-            if dead_letter_exchange == name:
-                raise QueueError("a queue cannot dead-letter to itself")
+        with self._lock:
+            existing = self._queues.get(name)
+            if existing is not None:
+                if (
+                    existing.max_length != max_length
+                    or existing.message_ttl_s != message_ttl_s
+                ):
+                    raise QueueError(
+                        f"queue {name!r} already declared with different "
+                        "arguments; cannot redeclare"
+                    )
+                return existing
+            dead_letter = None
+            if dead_letter_exchange is not None:
+                if dead_letter_exchange == name:
+                    raise QueueError("a queue cannot dead-letter to itself")
 
-            def dead_letter(message: Message, reason: str) -> None:
-                if not self.has_exchange(dead_letter_exchange):
-                    return  # DLX deleted; drops become silent, like AMQP
-                forwarded = message.copy_with(
-                    headers={**message.headers, "x-death": reason}
-                )
-                self.publish(dead_letter_exchange, forwarded)
+                def dead_letter(message: Message, reason: str) -> None:
+                    if not self.has_exchange(dead_letter_exchange):
+                        return  # DLX deleted; drops become silent, like AMQP
+                    forwarded = message.copy_with(
+                        headers={**message.headers, "x-death": reason}
+                    )
+                    self.publish(dead_letter_exchange, forwarded)
 
-        queue = MessageQueue(
-            name,
-            max_length=max_length,
-            clock=self._clock,
-            message_ttl_s=message_ttl_s,
-            dead_letter=dead_letter,
-        )
-        self._queues[name] = queue
-        # implicit binding on the default exchange by queue name
-        self._default_exchange.bind(queue, key=name)
-        return queue
+            queue = MessageQueue(
+                name,
+                max_length=max_length,
+                clock=self._clock,
+                message_ttl_s=message_ttl_s,
+                dead_letter=dead_letter,
+            )
+            self._queues[name] = queue
+            # implicit binding on the default exchange by queue name
+            self._default_exchange.bind(queue, key=name)
+            return queue
 
     def delete_exchange(self, name: str) -> None:
         """Delete an exchange and every binding referencing it.
@@ -228,12 +252,13 @@ class Broker:
         Other exchanges' bindings into the deleted exchange are swept so
         no publish keeps flowing through a dead hop.
         """
-        if name not in self._exchanges:
-            raise ExchangeError(f"unknown exchange {name!r}")
-        del self._exchanges[name]
-        for other in self._exchanges.values():
-            other._drop_destination("exchange", name)
-        self._bump_topology()
+        with self._lock:
+            if name not in self._exchanges:
+                raise ExchangeError(f"unknown exchange {name!r}")
+            del self._exchanges[name]
+            for other in self._exchanges.values():
+                other._drop_destination("exchange", name)
+            self._bump_topology()
 
     def delete_queue(self, name: str) -> int:
         """Delete a queue; returns the number of ready messages dropped.
@@ -241,14 +266,19 @@ class Broker:
         Every binding referencing the queue — the implicit default-
         exchange binding and any explicit ones in other exchanges — is
         removed, so a deleted queue can never receive routed messages.
+        A publish racing the delete may still reach the queue's ready
+        list before the purge; those messages are dropped with it.
         """
-        queue = self._queues.pop(name, None)
-        if queue is None:
-            raise QueueError(f"unknown queue {name!r}")
-        self._default_exchange._drop_destination("queue", name)
-        for exchange in self._exchanges.values():
-            exchange._drop_destination("queue", name)
-        self._bump_topology()
+        with self._lock:
+            queue = self._queues.pop(name, None)
+            if queue is None:
+                raise QueueError(f"unknown queue {name!r}")
+            self._default_exchange._drop_destination("queue", name)
+            for exchange in self._exchanges.values():
+                exchange._drop_destination("queue", name)
+            self._bump_topology()
+        # purge outside the broker lock: it takes the queue lock, and a
+        # dispatch callback holding that lock may be publishing here.
         return queue.purge()
 
     # -- lookup ------------------------------------------------------------------
@@ -257,33 +287,39 @@ class Broker:
         """The exchange named ``name`` ('' for the default exchange)."""
         if name == "":
             return self._default_exchange
-        exchange = self._exchanges.get(name)
+        with self._lock:
+            exchange = self._exchanges.get(name)
         if exchange is None:
             raise ExchangeError(f"unknown exchange {name!r}")
         return exchange
 
     def get_queue(self, name: str) -> MessageQueue:
         """The queue named ``name``."""
-        queue = self._queues.get(name)
+        with self._lock:
+            queue = self._queues.get(name)
         if queue is None:
             raise QueueError(f"unknown queue {name!r}")
         return queue
 
     def has_exchange(self, name: str) -> bool:
         """Whether an exchange named ``name`` exists."""
-        return name in self._exchanges
+        with self._lock:
+            return name in self._exchanges
 
     def has_queue(self, name: str) -> bool:
         """Whether a queue named ``name`` exists."""
-        return name in self._queues
+        with self._lock:
+            return name in self._queues
 
     def exchange_names(self) -> List[str]:
         """Names of all declared exchanges."""
-        return list(self._exchanges)
+        with self._lock:
+            return list(self._exchanges)
 
     def queue_names(self) -> List[str]:
         """Names of all declared queues."""
-        return list(self._queues)
+        with self._lock:
+            return list(self._queues)
 
     # -- binding ----------------------------------------------------------------
 
@@ -321,40 +357,43 @@ class Broker:
         faults = self.faults
         if faults is not None:
             self.release_delayed()
-        target = self.get_exchange(exchange)
-        cache = self._route_cache
-        cache_key = (exchange, message.routing_key)
-        entry = cache.get(cache_key)
-        if entry is not None and entry[0] == self._topology_version:
-            cache.move_to_end(cache_key)
-            queues = entry[1]
-            target.published += 1
-            self.stats.route_cache_hits += 1
-        else:
-            queues = target.route(message)
-            self.stats.route_cache_misses += 1
-            if self._route_cache_size > 0:
-                cache[cache_key] = (self._topology_version, queues)
-                if len(cache) > self._route_cache_size:
-                    cache.popitem(last=False)
-        self.stats.publishes += 1
-        if queues:
-            self.stats.routed += 1
-        else:
-            self.stats.unroutable += 1
-        if faults is not None and queues:
-            delay = faults.delay_delivery()
-            if delay is not None:
-                self._delayed.append((list(queues), message, self._clock() + delay))
-                return len(queues)
-            duplicate = faults.duplicate_delivery()
-            for queue in queues:
-                queue.enqueue(message)
-                if duplicate:
-                    queue.enqueue(message.copy_with())
-            return len(queues)
+        duplicate = False
+        with self._lock:
+            target = self.get_exchange(exchange)
+            cache = self._route_cache
+            cache_key = (exchange, message.routing_key)
+            entry = cache.get(cache_key)
+            if entry is not None and entry[0] == self._topology_version:
+                cache.move_to_end(cache_key)
+                queues = entry[1]
+                target.published += 1
+                self.stats.route_cache_hits += 1
+            else:
+                queues = target.route(message)
+                self.stats.route_cache_misses += 1
+                if self._route_cache_size > 0:
+                    cache[cache_key] = (self._topology_version, queues)
+                    if len(cache) > self._route_cache_size:
+                        cache.popitem(last=False)
+            self.stats.publishes += 1
+            if queues:
+                self.stats.routed += 1
+            else:
+                self.stats.unroutable += 1
+            if faults is not None and queues:
+                delay = faults.delay_delivery()
+                if delay is not None:
+                    self._delayed.append(
+                        (list(queues), message, self._clock() + delay)
+                    )
+                    return len(queues)
+                duplicate = faults.duplicate_delivery()
+        # dispatch outside the broker lock: consumer callbacks run under
+        # the queue lock and may publish back into this broker.
         for queue in queues:
             queue.enqueue(message)
+            if duplicate:
+                queue.enqueue(message.copy_with())
         return len(queues)
 
     # -- connections ------------------------------------------------------------------
@@ -362,24 +401,28 @@ class Broker:
     def connect(self, client_id: Optional[str] = None) -> Connection:
         """Open a connection for ``client_id`` (auto-generated if omitted)."""
         connection_id = client_id or f"conn-{next(self._connection_ids)}"
-        if self.faults is not None and self.faults.refuse_connect():
-            raise BrokerError(f"injected connect refusal for {connection_id!r}")
-        if connection_id in self._connections:
-            raise BrokerError(f"connection {connection_id!r} already open")
-        connection = Connection(self, connection_id)
-        self._connections[connection_id] = connection
-        self.stats.connections_opened += 1
-        return connection
+        with self._lock:
+            if self.faults is not None and self.faults.refuse_connect():
+                raise BrokerError(f"injected connect refusal for {connection_id!r}")
+            if connection_id in self._connections:
+                raise BrokerError(f"connection {connection_id!r} already open")
+            connection = Connection(self, connection_id)
+            self._connections[connection_id] = connection
+            self.stats.connections_opened += 1
+            return connection
 
     def connection_count(self) -> int:
         """Number of currently open connections."""
-        return len(self._connections)
+        with self._lock:
+            return len(self._connections)
 
     def drop_connection(self, connection_id: str) -> None:
         """Forcibly close a connection (fault injection, admin kill)."""
-        connection = self._connections.get(connection_id)
+        with self._lock:
+            connection = self._connections.get(connection_id)
         if connection is not None:
             connection.close()
 
     def _forget_connection(self, connection_id: str) -> None:
-        self._connections.pop(connection_id, None)
+        with self._lock:
+            self._connections.pop(connection_id, None)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Optional, TYPE_CHECKING
 
+from repro import concurrency
 from repro.broker.errors import BrokerError, PublishUnroutable
 from repro.broker.message import Delivery, Message
 
@@ -33,6 +34,10 @@ class Channel:
         self._publish_seq = itertools.count(1)
         self._confirms: Dict[int, bool] = {}
         self._consumer_queues: Dict[str, str] = {}  # consumer tag -> queue name
+        # guards confirm state and the consumer registry; sharing one
+        # channel across client threads is legal (confirm seqs stay
+        # unique, records never tear), though AMQP clients usually don't.
+        self._lock = concurrency.make_rlock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -43,16 +48,19 @@ class Channel:
 
     def close(self) -> None:
         """Close the channel; cancels its consumers (unacked requeue)."""
-        if not self._open:
-            return
-        for tag, queue_name in list(self._consumer_queues.items()):
-            queue = self._broker.get_queue(queue_name)
+        with self._lock:
+            if not self._open:
+                return
+            self._open = False
+            doomed = list(self._consumer_queues.items())
+            self._consumer_queues.clear()
+        for tag, queue_name in doomed:
             try:
-                queue.remove_consumer(tag, requeue_unacked=True)
+                self._broker.get_queue(queue_name).remove_consumer(
+                    tag, requeue_unacked=True
+                )
             except BrokerError:
                 pass  # queue deleted underneath us
-        self._consumer_queues.clear()
-        self._open = False
 
     def _require_open(self) -> None:
         if not self._open:
@@ -109,11 +117,12 @@ class Channel:
         routed = self._broker.publish(exchange, message)
         seq: Optional[int] = None
         if self._confirm_mode:
-            seq = next(self._publish_seq)
-            confirmed = routed > 0
-            if confirmed and faults is not None and faults.nack_confirm():
-                confirmed = False
-            self._confirms[seq] = confirmed
+            with self._lock:
+                seq = next(self._publish_seq)
+                confirmed = routed > 0
+                if confirmed and faults is not None and faults.nack_confirm():
+                    confirmed = False
+                self._confirms[seq] = confirmed
         if mandatory and routed == 0:
             raise PublishUnroutable(exchange, routing_key)
         return seq
@@ -123,9 +132,10 @@ class Channel:
 
         Only meaningful in confirm mode; unknown sequence numbers raise.
         """
-        if seq not in self._confirms:
-            raise BrokerError(f"unknown publish sequence {seq}")
-        return self._confirms[seq]
+        with self._lock:
+            if seq not in self._confirms:
+                raise BrokerError(f"unknown publish sequence {seq}")
+            return self._confirms[seq]
 
     # -- consuming ------------------------------------------------------------
 
@@ -143,13 +153,15 @@ class Channel:
         self._broker.get_queue(queue).add_consumer(
             tag, callback, prefetch=prefetch, auto_ack=auto_ack
         )
-        self._consumer_queues[tag] = queue
+        with self._lock:
+            self._consumer_queues[tag] = queue
         return tag
 
     def basic_cancel(self, consumer_tag: str) -> None:
         """Deregister a consumer previously created on this channel."""
         self._require_open()
-        queue_name = self._consumer_queues.pop(consumer_tag, None)
+        with self._lock:
+            queue_name = self._consumer_queues.pop(consumer_tag, None)
         if queue_name is None:
             raise BrokerError(f"consumer {consumer_tag!r} is not on this channel")
         self._broker.get_queue(queue_name).remove_consumer(consumer_tag)

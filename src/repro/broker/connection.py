@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, TYPE_CHECKING
 
+from repro import concurrency
 from repro.broker.errors import BrokerError
 from repro.broker.channel import Channel
 
@@ -28,6 +29,7 @@ class Connection:
         self._channels: Dict[int, Channel] = {}
         self._channel_ids = itertools.count(1)
         self._open = True
+        self._lock = concurrency.make_rlock()
 
     @property
     def is_open(self) -> bool:
@@ -41,12 +43,13 @@ class Connection:
 
     def channel(self) -> Channel:
         """Open a new channel."""
-        if not self._open:
-            raise BrokerError(f"connection {self.connection_id!r} is closed")
-        channel_id = next(self._channel_ids)
-        chan = Channel(self._broker, self.connection_id, channel_id)
-        self._channels[channel_id] = chan
-        return chan
+        with self._lock:
+            if not self._open:
+                raise BrokerError(f"connection {self.connection_id!r} is closed")
+            channel_id = next(self._channel_ids)
+            chan = Channel(self._broker, self.connection_id, channel_id)
+            self._channels[channel_id] = chan
+            return chan
 
     def close(self) -> None:
         """Close the connection and every channel on it.
@@ -54,9 +57,11 @@ class Connection:
         Queues and their buffered messages survive — that is the broker's
         mobile-session buffering guarantee.
         """
-        if not self._open:
-            return
-        for chan in self._channels.values():
+        with self._lock:
+            if not self._open:
+                return
+            self._open = False
+            channels = list(self._channels.values())
+        for chan in channels:
             chan.close()
-        self._open = False
         self._broker._forget_connection(self.connection_id)

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
+from repro import concurrency
 from repro.broker.errors import BindingError, ExchangeError
 from repro.broker.message import Message, validate_routing_key
 from repro.broker.queue import MessageQueue
@@ -59,6 +60,10 @@ class Exchange:
             in-memory in this reproduction).
         stats: optional counter sink shared with the owning broker
             (feeds the topic matcher's cache hit/miss counters).
+        lock: optional re-entrant lock shared with the owning broker.
+            Exchange graphs are routed and rebound as one unit, so every
+            exchange of a broker shares the broker's topology lock;
+            a standalone exchange gets a private one.
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class Exchange:
         type: ExchangeType,
         durable: bool = True,
         stats: Optional[Any] = None,
+        lock: Optional[Any] = None,
     ) -> None:
         if not name:
             raise ExchangeError("exchange name must be non-empty")
@@ -86,6 +92,7 @@ class Exchange:
         # the owning broker hooks this to invalidate its route-plan cache
         # on any topology change.
         self._on_change: Optional[Callable[[], None]] = None
+        self._lock = lock if lock is not None else concurrency.make_rlock()
         self.published = 0
 
     # -- binding management -------------------------------------------------
@@ -99,34 +106,36 @@ class Exchange:
         """
         if self.type is ExchangeType.TOPIC:
             validate_pattern(key)
-        binding = self._binding_key(destination, key)
-        if binding in self._bindings:
-            raise BindingError(
-                f"duplicate binding {key!r} from {self.name!r} to {binding.dest_name!r}"
-            )
-        if isinstance(destination, Exchange) and destination._reaches(self):
-            raise BindingError(
-                f"binding {self.name!r} -> {destination.name!r} would create a cycle"
-            )
-        self._bindings[binding] = destination
-        if self.type is ExchangeType.FANOUT:
-            self._fanout.append(destination)
-        else:
-            self._by_key.setdefault(key, []).append(destination)
-            if self._topic is not None:
-                self._topic.add(key)
-        self._notify_change()
+        with self._lock:
+            binding = self._binding_key(destination, key)
+            if binding in self._bindings:
+                raise BindingError(
+                    f"duplicate binding {key!r} from {self.name!r} to {binding.dest_name!r}"
+                )
+            if isinstance(destination, Exchange) and destination._reaches(self):
+                raise BindingError(
+                    f"binding {self.name!r} -> {destination.name!r} would create a cycle"
+                )
+            self._bindings[binding] = destination
+            if self.type is ExchangeType.FANOUT:
+                self._fanout.append(destination)
+            else:
+                self._by_key.setdefault(key, []).append(destination)
+                if self._topic is not None:
+                    self._topic.add(key)
+            self._notify_change()
 
     def unbind(self, destination: Destination, key: str = "") -> None:
         """Remove a binding previously created with :meth:`bind`."""
-        binding = self._binding_key(destination, key)
-        if binding not in self._bindings:
-            raise BindingError(
-                f"no binding {key!r} from {self.name!r} to {binding.dest_name!r}"
-            )
-        del self._bindings[binding]
-        self._uncompile(binding)
-        self._notify_change()
+        with self._lock:
+            binding = self._binding_key(destination, key)
+            if binding not in self._bindings:
+                raise BindingError(
+                    f"no binding {key!r} from {self.name!r} to {binding.dest_name!r}"
+                )
+            del self._bindings[binding]
+            self._uncompile(binding)
+            self._notify_change()
 
     def _uncompile(self, binding: _BindingKey) -> None:
         """Remove one binding from the compiled routing tables."""
@@ -157,17 +166,18 @@ class Exchange:
         The broker calls this when a queue or exchange is deleted so no
         exchange keeps routing into a dead entity (stale-binding sweep).
         """
-        doomed = [
-            b
-            for b in self._bindings
-            if b.dest_kind == dest_kind and b.dest_name == dest_name
-        ]
-        for binding in doomed:
-            del self._bindings[binding]
-            self._uncompile(binding)
-        if doomed:
-            self._notify_change()
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                b
+                for b in self._bindings
+                if b.dest_kind == dest_kind and b.dest_name == dest_name
+            ]
+            for binding in doomed:
+                del self._bindings[binding]
+                self._uncompile(binding)
+            if doomed:
+                self._notify_change()
+            return len(doomed)
 
     def _notify_change(self) -> None:
         if self._on_change is not None:
@@ -176,11 +186,13 @@ class Exchange:
     @property
     def binding_count(self) -> int:
         """Number of live bindings out of this exchange."""
-        return len(self._bindings)
+        with self._lock:
+            return len(self._bindings)
 
     def bindings(self) -> List[Tuple[str, str, str]]:
         """List of (destination kind, destination name, key) tuples."""
-        return [(b.dest_kind, b.dest_name, b.key) for b in self._bindings]
+        with self._lock:
+            return [(b.dest_kind, b.dest_name, b.key) for b in self._bindings]
 
     # -- routing ----------------------------------------------------------------
 
@@ -192,12 +204,16 @@ class Exchange:
         order.
         """
         validate_routing_key(message.routing_key)
-        self.published += 1
-        queues: List[MessageQueue] = []
-        seen_queues: Set[str] = set()
-        visited_exchanges: Set[str] = set()
-        self._collect(message.routing_key, queues, seen_queues, visited_exchanges)
-        return queues
+        # one lock acquisition per publish: with a broker-shared lock the
+        # whole transitive traversal (and the topic memo it may touch)
+        # is consistent against concurrent bind/unbind/delete.
+        with self._lock:
+            self.published += 1
+            queues: List[MessageQueue] = []
+            seen_queues: Set[str] = set()
+            visited_exchanges: Set[str] = set()
+            self._collect(message.routing_key, queues, seen_queues, visited_exchanges)
+            return queues
 
     def _collect(
         self,

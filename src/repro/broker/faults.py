@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import concurrency
 from repro.errors import ConfigurationError
 
 #: publish_action outcomes
@@ -115,73 +116,88 @@ class FaultStats:
 
 @dataclass
 class FaultInjector:
-    """Draws fault decisions from a plan's seeded RNG and counts them."""
+    """Draws fault decisions from a plan's seeded RNG and counts them.
+
+    Decision points are serialized by an internal lock so a draw and
+    its counter increment are one atomic step. Under single-threaded
+    traffic the draw sequence is exactly the plan's seeded sequence;
+    under concurrent traffic the *interleaving* of draws follows thread
+    scheduling (the per-run fault counts remain internally consistent,
+    which is what the concurrency invariants check).
+    """
 
     plan: FaultPlan
     stats: FaultStats = field(default_factory=FaultStats)
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.plan.seed)
+        self._lock = concurrency.make_rlock()
 
     # -- decision points ------------------------------------------------------
 
     def refuse_connect(self) -> bool:
         """Whether this ``Broker.connect`` call should be refused."""
-        if self.plan.connect_refusal_rate and (
-            self._rng.random() < self.plan.connect_refusal_rate
-        ):
-            self.stats.connects_refused += 1
-            return True
-        return False
+        with self._lock:
+            if self.plan.connect_refusal_rate and (
+                self._rng.random() < self.plan.connect_refusal_rate
+            ):
+                self.stats.connects_refused += 1
+                return True
+            return False
 
     def publish_action(self) -> str:
         """Fate of one ``basic_publish``: ok, error, or connection drop."""
-        if self.plan.connection_drop_rate and (
-            self._rng.random() < self.plan.connection_drop_rate
-        ):
-            self.stats.connections_dropped += 1
-            return PUBLISH_DROP_CONNECTION
-        if self.plan.publish_error_rate and (
-            self._rng.random() < self.plan.publish_error_rate
-        ):
-            self.stats.publish_errors += 1
-            return PUBLISH_ERROR
-        return PUBLISH_OK
+        with self._lock:
+            if self.plan.connection_drop_rate and (
+                self._rng.random() < self.plan.connection_drop_rate
+            ):
+                self.stats.connections_dropped += 1
+                return PUBLISH_DROP_CONNECTION
+            if self.plan.publish_error_rate and (
+                self._rng.random() < self.plan.publish_error_rate
+            ):
+                self.stats.publish_errors += 1
+                return PUBLISH_ERROR
+            return PUBLISH_OK
 
     def nack_confirm(self) -> bool:
         """Whether a delivered publish should report an unconfirmed seq."""
-        if self.plan.confirm_nack_rate and (
-            self._rng.random() < self.plan.confirm_nack_rate
-        ):
-            self.stats.confirms_nacked += 1
-            return True
-        return False
+        with self._lock:
+            if self.plan.confirm_nack_rate and (
+                self._rng.random() < self.plan.confirm_nack_rate
+            ):
+                self.stats.confirms_nacked += 1
+                return True
+            return False
 
     def duplicate_delivery(self) -> bool:
         """Whether a routed message should be enqueued twice."""
-        if self.plan.duplicate_rate and (
-            self._rng.random() < self.plan.duplicate_rate
-        ):
-            self.stats.duplicated += 1
-            return True
-        return False
+        with self._lock:
+            if self.plan.duplicate_rate and (
+                self._rng.random() < self.plan.duplicate_rate
+            ):
+                self.stats.duplicated += 1
+                return True
+            return False
 
     def delay_delivery(self) -> Optional[float]:
         """Hold duration for this delivery, or None to deliver now."""
-        if self.plan.delay_rate and (self._rng.random() < self.plan.delay_rate):
-            self.stats.delayed += 1
-            return self.plan.delay_s
-        return None
+        with self._lock:
+            if self.plan.delay_rate and (self._rng.random() < self.plan.delay_rate):
+                self.stats.delayed += 1
+                return self.plan.delay_s
+            return None
 
     # -- observability --------------------------------------------------------
 
     def info(self) -> Dict[str, int]:
         """Counters of faults fired so far (for ``middleware_stats``)."""
-        return {
-            "connects_refused": self.stats.connects_refused,
-            "connections_dropped": self.stats.connections_dropped,
-            "publish_errors": self.stats.publish_errors,
-            "confirms_nacked": self.stats.confirms_nacked,
-            "duplicated": self.stats.duplicated,
-            "delayed": self.stats.delayed,
-        }
+        with self._lock:
+            return {
+                "connects_refused": self.stats.connects_refused,
+                "connections_dropped": self.stats.connections_dropped,
+                "publish_errors": self.stats.publish_errors,
+                "confirms_nacked": self.stats.confirms_nacked,
+                "duplicated": self.stats.duplicated,
+                "delayed": self.stats.delayed,
+            }

@@ -15,15 +15,26 @@ Two RabbitMQ policies that matter for mobile workloads are modelled:
 - **dead-lettering**: messages dropped by TTL expiry, overflow, or
   requeue-less rejection can be routed to a dead-letter handler (the
   broker wires this to a dead-letter exchange).
+
+Thread safety: every queue guards its ready list, consumer registry and
+counters with one re-entrant lock, so concurrent publishers interleave
+at message granularity and FIFO dispatch stays serial per queue (the
+ordering guarantee RabbitMQ gives per queue). Consumer callbacks run
+*under* the queue lock — re-entrant enqueues from a callback (e.g. a
+dead-letter republish that routes back here) are legal for the same
+thread, and a callback that publishes into *another* queue follows the
+broker's lock hierarchy (the broker lock is never held while a queue
+lock is taken, see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, Optional, Tuple
 
+from repro import concurrency
 from repro.broker.errors import QueueError
 from repro.broker.message import Delivery, Message
 
@@ -104,24 +115,33 @@ class MessageQueue:
         self._push_cache: Optional[list] = None  # memoized push-consumer list
         self._rr: int = 0  # round-robin cursor over consumers
         self._redelivered_ids: set = set()
+        self._lock = concurrency.make_rlock()
         self.stats = QueueStats()
 
     # -- state inspection ---------------------------------------------------
 
     def __len__(self) -> int:
-        self._expire_head()
-        return len(self._ready)
+        with self._lock:
+            self._expire_head()
+            return len(self._ready)
 
     @property
     def ready_count(self) -> int:
         """Messages waiting in the queue (not yet delivered)."""
-        self._expire_head()
-        return len(self._ready)
+        with self._lock:
+            self._expire_head()
+            return len(self._ready)
 
     @property
     def unacked_count(self) -> int:
         """Deliveries awaiting acknowledgement across all consumers."""
-        return sum(len(c.unacked) for c in self._consumers.values())
+        with self._lock:
+            return sum(len(c.unacked) for c in self._consumers.values())
+
+    def stats_snapshot(self) -> QueueStats:
+        """A coherent copy of the counters (no torn mid-dispatch reads)."""
+        with self._lock:
+            return replace(self.stats)
 
     @property
     def consumer_count(self) -> int:
@@ -152,14 +172,15 @@ class MessageQueue:
 
     def enqueue(self, message: Message) -> None:
         """Append a message and dispatch to consumers if possible."""
-        self._expire_head()
-        if self.max_length is not None and len(self._ready) >= self.max_length:
-            dropped, _ = self._ready.popleft()
-            self.stats.dropped_overflow += 1
-            self._drop(dropped, "maxlen")
-        self._ready.append((message, self._now()))
-        self.stats.enqueued += 1
-        self._dispatch()
+        with self._lock:
+            self._expire_head()
+            if self.max_length is not None and len(self._ready) >= self.max_length:
+                dropped, _ = self._ready.popleft()
+                self.stats.dropped_overflow += 1
+                self._drop(dropped, "maxlen")
+            self._ready.append((message, self._now()))
+            self.stats.enqueued += 1
+            self._dispatch()
 
     def get(self, auto_ack: bool = True) -> Optional[Delivery]:
         """Synchronously pull one message (AMQP basic.get semantics).
@@ -168,23 +189,24 @@ class MessageQueue:
         caller must later :meth:`ack` or :meth:`nack` through the pull
         consumer registered under the tag ``"<queue>.get"``.
         """
-        self._expire_head()
-        if not self._ready:
-            return None
-        message, _ = self._ready.popleft()
-        delivery = self._make_delivery(
-            message, redelivered=message.message_id in self._redelivered_ids
-        )
-        self.stats.delivered += 1
-        if auto_ack:
-            self.stats.acked += 1
-        else:
-            puller = self._consumers.get(self._pull_tag())
-            if puller is None:
-                puller = Consumer(tag=self._pull_tag(), callback=lambda d: None)
-                self._consumers[self._pull_tag()] = puller
-            puller.unacked[delivery.delivery_tag] = delivery
-        return delivery
+        with self._lock:
+            self._expire_head()
+            if not self._ready:
+                return None
+            message, _ = self._ready.popleft()
+            delivery = self._make_delivery(
+                message, redelivered=message.message_id in self._redelivered_ids
+            )
+            self.stats.delivered += 1
+            if auto_ack:
+                self.stats.acked += 1
+            else:
+                puller = self._consumers.get(self._pull_tag())
+                if puller is None:
+                    puller = Consumer(tag=self._pull_tag(), callback=lambda d: None)
+                    self._consumers[self._pull_tag()] = puller
+                puller.unacked[delivery.delivery_tag] = delivery
+            return delivery
 
     def add_consumer(
         self,
@@ -194,56 +216,61 @@ class MessageQueue:
         auto_ack: bool = False,
     ) -> Consumer:
         """Register a push consumer and start dispatching to it."""
-        if tag in self._consumers:
-            raise QueueError(f"consumer tag {tag!r} already registered on {self.name!r}")
-        if prefetch < 0:
-            raise QueueError(f"prefetch must be >= 0, got {prefetch}")
-        consumer = Consumer(tag=tag, callback=callback, prefetch=prefetch, auto_ack=auto_ack)
-        self._consumers[tag] = consumer
-        self._push_cache = None
-        self._dispatch()
-        return consumer
+        with self._lock:
+            if tag in self._consumers:
+                raise QueueError(f"consumer tag {tag!r} already registered on {self.name!r}")
+            if prefetch < 0:
+                raise QueueError(f"prefetch must be >= 0, got {prefetch}")
+            consumer = Consumer(tag=tag, callback=callback, prefetch=prefetch, auto_ack=auto_ack)
+            self._consumers[tag] = consumer
+            self._push_cache = None
+            self._dispatch()
+            return consumer
 
     def remove_consumer(self, tag: str, requeue_unacked: bool = True) -> None:
         """Deregister a consumer, optionally requeueing its unacked messages."""
-        consumer = self._consumers.pop(tag, None)
-        if consumer is None:
-            raise QueueError(f"no consumer {tag!r} on queue {self.name!r}")
-        self._push_cache = None
-        if requeue_unacked:
-            now = self._now()
-            for delivery in reversed(consumer.unacked.values()):
-                self._redelivered_ids.add(delivery.message.message_id)
-                self._ready.appendleft((delivery.message, now))
-                self.stats.requeued += 1
-            self._dispatch()
+        with self._lock:
+            consumer = self._consumers.pop(tag, None)
+            if consumer is None:
+                raise QueueError(f"no consumer {tag!r} on queue {self.name!r}")
+            self._push_cache = None
+            if requeue_unacked:
+                now = self._now()
+                for delivery in reversed(consumer.unacked.values()):
+                    self._redelivered_ids.add(delivery.message.message_id)
+                    self._ready.appendleft((delivery.message, now))
+                    self.stats.requeued += 1
+                self._dispatch()
 
     # -- acknowledgement -------------------------------------------------------
 
     def ack(self, delivery_tag: int) -> None:
         """Acknowledge a delivery; frees prefetch credit."""
-        consumer = self._find_owner(delivery_tag)
-        del consumer.unacked[delivery_tag]
-        self.stats.acked += 1
-        self._dispatch()
+        with self._lock:
+            consumer = self._find_owner(delivery_tag)
+            del consumer.unacked[delivery_tag]
+            self.stats.acked += 1
+            self._dispatch()
 
     def nack(self, delivery_tag: int, requeue: bool = True) -> None:
         """Reject a delivery; requeue it or dead-letter it."""
-        consumer = self._find_owner(delivery_tag)
-        delivery = consumer.unacked.pop(delivery_tag)
-        if requeue:
-            self._redelivered_ids.add(delivery.message.message_id)
-            self._ready.appendleft((delivery.message.copy_with(), self._now()))
-            self.stats.requeued += 1
-        else:
-            self._drop(delivery.message, "rejected")
-        self._dispatch()
+        with self._lock:
+            consumer = self._find_owner(delivery_tag)
+            delivery = consumer.unacked.pop(delivery_tag)
+            if requeue:
+                self._redelivered_ids.add(delivery.message.message_id)
+                self._ready.appendleft((delivery.message.copy_with(), self._now()))
+                self.stats.requeued += 1
+            else:
+                self._drop(delivery.message, "rejected")
+            self._dispatch()
 
     def purge(self) -> int:
         """Drop all ready messages; returns how many were dropped."""
-        count = len(self._ready)
-        self._ready.clear()
-        return count
+        with self._lock:
+            count = len(self._ready)
+            self._ready.clear()
+            return count
 
     # -- internals ---------------------------------------------------------------
 
@@ -277,7 +304,11 @@ class MessageQueue:
         return cached
 
     def _dispatch(self) -> None:
-        """Deliver ready messages to consumers round-robin while credit lasts."""
+        """Deliver ready messages to consumers round-robin while credit lasts.
+
+        Always called with the queue lock held; callbacks therefore run
+        under it, which is what keeps per-queue delivery order serial.
+        """
         consumers = self._push_consumers()
         if not consumers:
             return

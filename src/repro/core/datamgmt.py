@@ -13,6 +13,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro import concurrency
 from repro.core.errors import ValidationError
 from repro.core.materialized import MaterializedAnalytics
 from repro.core.privacy import PrivacyPolicy
@@ -107,6 +108,11 @@ class DataManager:
         self._dedup_capacity = dedup_capacity
         self._dedup_ledger: "OrderedDict[str, bool]" = OrderedDict()
         self.dedup_hits = 0
+        #: public, re-entrant: serializes the whole dedup-check → insert
+        #: → observe → ledger-commit sequence. The server wraps its own
+        #: delivery counters in the same lock so reliability accounting
+        #: can never drift from the ledger mid-ingest.
+        self.ingest_lock = concurrency.make_rlock()
 
     @property
     def collection(self):
@@ -132,36 +138,42 @@ class DataManager:
             raise ValidationError(
                 f"observation must be a dict, got {type(document).__name__}"
             )
-        ledger_key: Optional[str] = None
-        obs_id = document.get("obs_id")
-        if obs_id is not None and self._dedup_capacity:
-            ledger_key = str(obs_id)
-            if ledger_key in self._dedup_ledger:
-                self._dedup_ledger.move_to_end(ledger_key)
-                self.dedup_hits += 1
-                return None
-        stored = self._privacy.anonymize_ingest(document)
-        stored["app_id"] = app_id
-        # anonymize_ingest already produced a private copy; let the
-        # collection take ownership rather than cloning a second time.
-        result = self._observations.insert_one(stored, copy=False)
-        self.materialized.observe(stored)
-        # the ledger learns the id only once the document is durably
-        # stored: a failed insert must stay retryable, not turn the
-        # client's redelivery into a dedup hit (silent data loss).
-        if ledger_key is not None:
-            self._dedup_ledger[ledger_key] = True
-            if len(self._dedup_ledger) > self._dedup_capacity:
-                self._dedup_ledger.popitem(last=False)
-        return result
+        # the whole check → insert → observe → commit sequence runs
+        # under one lock: two threads redelivering the same obs_id must
+        # resolve to exactly one stored document, never a double insert
+        # from both missing the ledger at once.
+        with self.ingest_lock:
+            ledger_key: Optional[str] = None
+            obs_id = document.get("obs_id")
+            if obs_id is not None and self._dedup_capacity:
+                ledger_key = str(obs_id)
+                if ledger_key in self._dedup_ledger:
+                    self._dedup_ledger.move_to_end(ledger_key)
+                    self.dedup_hits += 1
+                    return None
+            stored = self._privacy.anonymize_ingest(document)
+            stored["app_id"] = app_id
+            # anonymize_ingest already produced a private copy; let the
+            # collection take ownership rather than cloning a second time.
+            result = self._observations.insert_one(stored, copy=False)
+            self.materialized.observe(stored)
+            # the ledger learns the id only once the document is durably
+            # stored: a failed insert must stay retryable, not turn the
+            # client's redelivery into a dedup hit (silent data loss).
+            if ledger_key is not None:
+                self._dedup_ledger[ledger_key] = True
+                if len(self._dedup_ledger) > self._dedup_capacity:
+                    self._dedup_ledger.popitem(last=False)
+            return result
 
     def dedup_info(self) -> Dict[str, int]:
         """Observability snapshot of the idempotence ledger."""
-        return {
-            "size": len(self._dedup_ledger),
-            "capacity": self._dedup_capacity,
-            "hits": self.dedup_hits,
-        }
+        with self.ingest_lock:
+            return {
+                "size": len(self._dedup_ledger),
+                "capacity": self._dedup_capacity,
+                "hits": self.dedup_hits,
+            }
 
     def delete_contributor_data(self, app_id: str, user_id: str) -> int:
         """CNIL right-to-erasure: drop a contributor's observations."""

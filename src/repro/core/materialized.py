@@ -47,6 +47,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import concurrency
 from repro.docstore.aggregate import _safe_group_key
 from repro.docstore.query import get_path, is_missing
 
@@ -68,6 +69,9 @@ class MaterializedAnalytics:
 
     def __init__(self, collection) -> None:
         self._collection = collection
+        #: serializes observe/rebuild/query; acquired *before* the
+        #: collection's RW lock, never after (lock hierarchy).
+        self._lock = concurrency.make_rlock()
         self._marker: Optional[Tuple[int, int, int]] = None
         self._total = 0
         self._localized = 0
@@ -80,7 +84,8 @@ class MaterializedAnalytics:
         self.rebuilds = 0
         self.incremental_updates = 0
         self.invalidations = 0
-        self._rebuild()
+        with self._lock:
+            self._rebuild()
 
     # -- write side -----------------------------------------------------------
 
@@ -92,23 +97,25 @@ class MaterializedAnalytics:
         exactly that one insert since the view was last consistent;
         otherwise the view goes dirty and rebuilds on the next query.
         """
-        marker = self._live_marker()
-        prev = self._marker
-        if prev is None or marker != (prev[0] + 1, prev[1], prev[2]):
-            if prev is not None:
-                self.invalidations += 1
-            self._marker = None
-            return
-        self._apply(document)
-        self._marker = marker
-        self.incremental_updates += 1
+        with self._lock:
+            marker = self._live_marker()
+            prev = self._marker
+            if prev is None or marker != (prev[0] + 1, prev[1], prev[2]):
+                if prev is not None:
+                    self.invalidations += 1
+                self._marker = None
+                return
+            self._apply(document)
+            self._marker = marker
+            self.incremental_updates += 1
 
     # -- read side ------------------------------------------------------------
 
     def totals(self) -> Optional[Dict[str, int]]:
         """``{"total", "localized"}`` counts, or None when unavailable."""
-        self._ensure_fresh()
-        return {"total": self._total, "localized": self._localized}
+        with self._lock:
+            self._ensure_fresh()
+            return {"total": self._total, "localized": self._localized}
 
     def per_model_groups(self) -> Optional[List[Dict[str, Any]]]:
         """Per-model groups in first-seen order, or None when degraded.
@@ -117,58 +124,69 @@ class MaterializedAnalytics:
         "localized"}`` — the ``$group`` output with the contributor set
         already collapsed to its size.
         """
-        self._ensure_fresh()
-        if self._degraded_models:
-            return None
-        return [
-            {
-                "_id": entry.value,
-                "measurements": entry.measurements,
-                "devices": len(entry.contributors),
-                "localized": entry.localized,
-            }
-            for entry in self._models.values()
-        ]
+        with self._lock:
+            self._ensure_fresh()
+            if self._degraded_models:
+                return None
+            return [
+                {
+                    "_id": entry.value,
+                    "measurements": entry.measurements,
+                    "devices": len(entry.contributors),
+                    "localized": entry.localized,
+                }
+                for entry in self._models.values()
+            ]
 
     def day_counts(self) -> Optional[List[Dict[str, Any]]]:
         """``{"_id": day, "count"}`` rows sorted by day, or None."""
-        self._ensure_fresh()
-        if self._degraded_days:
-            return None
-        return [
-            {"_id": day, "count": count} for day, count in sorted(self._days.items())
-        ]
+        with self._lock:
+            self._ensure_fresh()
+            if self._degraded_days:
+                return None
+            return [
+                {"_id": day, "count": count}
+                for day, count in sorted(self._days.items())
+            ]
 
     def provider_counts(self) -> Optional[List[Dict[str, Any]]]:
         """``{"_id": provider, "count"}`` rows in first-seen order."""
-        self._ensure_fresh()
-        return [
-            {"_id": value, "count": count}
-            for value, count in self._providers.values()
-        ]
+        with self._lock:
+            self._ensure_fresh()
+            return [
+                {"_id": value, "count": count}
+                for value, count in self._providers.values()
+            ]
 
     def info(self) -> Dict[str, Any]:
         """Observability snapshot for the middleware stats endpoint."""
-        return {
-            "fresh": self._marker == self._live_marker(),
-            "rebuilds": self.rebuilds,
-            "incremental_updates": self.incremental_updates,
-            "invalidations": self.invalidations,
-            "degraded": self._degraded_models or self._degraded_days,
-        }
+        with self._lock:
+            return {
+                "fresh": self._marker == self._live_marker(),
+                "rebuilds": self.rebuilds,
+                "incremental_updates": self.incremental_updates,
+                "invalidations": self.invalidations,
+                "degraded": self._degraded_models or self._degraded_days,
+            }
 
     # -- internals ------------------------------------------------------------
 
     def _live_marker(self) -> Tuple[int, int, int]:
-        stats = self._collection.stats
-        return (stats.inserts, stats.updates, stats.deletes)
+        return self._collection.write_marker()
 
     def _ensure_fresh(self) -> None:
         if self._marker != self._live_marker():
             self._rebuild()
 
     def _rebuild(self) -> None:
-        marker = self._live_marker()
+        # marker and document snapshot must come from *one* atomic look
+        # at the collection: a write landing between reading the
+        # counters and listing the documents would let the view claim
+        # freshness for a document it never folded (or fold one twice
+        # when observe() later replays it).
+        with self._collection.read_locked():
+            marker = self._live_marker()
+            documents = self._collection.iter_documents()
         self._total = 0
         self._localized = 0
         self._models = {}
@@ -176,7 +194,7 @@ class MaterializedAnalytics:
         self._providers = {}
         self._degraded_models = False
         self._degraded_days = False
-        for document in self._collection.iter_documents():
+        for document in documents:
             self._apply(document)
         self._marker = marker
         self.rebuilds += 1

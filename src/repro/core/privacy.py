@@ -24,6 +24,7 @@ import hashlib
 import hmac
 from typing import Any, Dict, Iterable, Set
 
+from repro import concurrency
 from repro.core.errors import ValidationError
 from repro.docstore.clone import json_clone
 
@@ -56,6 +57,9 @@ class PrivacyPolicy:
         # of users cannot grow it without limit.
         self._pseudonym_cache: Dict[str, str] = {}
         self._pseudonym_cache_size = 65536
+        # guards the memo (the size check + clear + put must not
+        # interleave); the HMAC itself runs outside the lock.
+        self._cache_lock = concurrency.make_rlock()
 
     # -- app policies -------------------------------------------------------
 
@@ -71,16 +75,18 @@ class PrivacyPolicy:
 
     def pseudonym(self, user_id: str) -> str:
         """Stable, non-invertible pseudonym for ``user_id``."""
-        cached = self._pseudonym_cache.get(user_id)
+        with self._cache_lock:
+            cached = self._pseudonym_cache.get(user_id)
         if cached is not None:
             return cached
         if not user_id:
             raise ValidationError("user_id must be non-empty")
         digest = hmac.new(self._salt, user_id.encode("utf-8"), hashlib.sha256)
         pseudonym = "p" + digest.hexdigest()[:16]
-        if len(self._pseudonym_cache) >= self._pseudonym_cache_size:
-            self._pseudonym_cache.clear()
-        self._pseudonym_cache[user_id] = pseudonym
+        with self._cache_lock:
+            if len(self._pseudonym_cache) >= self._pseudonym_cache_size:
+                self._pseudonym_cache.clear()
+            self._pseudonym_cache[user_id] = pseudonym
         return pseudonym
 
     def anonymize_ingest(self, document: Dict[str, Any]) -> Dict[str, Any]:

@@ -56,10 +56,12 @@ class GoFlowServer:
             self.store, materialized=self.data.materialized
         )
         self.api = GoFlowAPI(self.tokens)
-        self._register_routes()
-        self._start_ingest()
+        # counters exist before the consumer is registered: a delivery
+        # racing construction must find them, not an AttributeError.
         self.ingested = 0
         self.deduped = 0
+        self._register_routes()
+        self._start_ingest()
 
     # -- ingest path ------------------------------------------------------------
 
@@ -79,12 +81,16 @@ class GoFlowServer:
         app_id = document.get("app_id") or self._app_from_key(
             delivery.message.routing_key
         )
-        if self.data.ingest(app_id, document) is None:
-            # at-least-once uplink redelivered a known obs_id: the
-            # ledger collapsed it to exactly-once storage.
-            self.deduped += 1
-        else:
-            self.ingested += 1
+        # the delivery counters move under the same lock as the dedup
+        # ledger, so at any instant ``deduped == dedup_ledger["hits"]``
+        # for traffic that flows through this server.
+        with self.data.ingest_lock:
+            if self.data.ingest(app_id, document) is None:
+                # at-least-once uplink redelivered a known obs_id: the
+                # ledger collapsed it to exactly-once storage.
+                self.deduped += 1
+            else:
+                self.ingested += 1
 
     @staticmethod
     def _app_from_key(routing_key: str) -> str:
@@ -101,23 +107,33 @@ class GoFlowServer:
         broker redeliveries on the GoFlow queue, dedup-ledger hits, and
         (when a fault injector is installed) how many faults of each
         kind actually fired.
+
+        Every section is a *coherent snapshot*: each layer's counters
+        are copied under that layer's lock, and the reliability section
+        is read under the ingest lock, so a stats call racing live
+        ingest can never observe ``ingested``/``deduped`` torn apart
+        from the dedup ledger they must sum with.
         """
-        broker_stats = self.broker.stats
-        collection_stats = self.data.collection.stats
+        broker_stats = self.broker.stats_snapshot()
+        collection_stats = self.data.collection.stats_snapshot()
         goflow_queue = self.broker.get_queue(GOFLOW_QUEUE)
-        return {
-            "ingested": self.ingested,
-            "reliability": {
+        queue_stats = goflow_queue.stats_snapshot()
+        with self.data.ingest_lock:
+            reliability = {
                 "deduped": self.deduped,
+                "ingested": self.ingested,
                 "dedup_ledger": self.data.dedup_info(),
-                "redeliveries": goflow_queue.stats.requeued,
+                "redeliveries": queue_stats.requeued,
                 "delayed_in_flight": self.broker.delayed_count,
                 "faults": (
                     self.broker.faults.info()
                     if self.broker.faults is not None
                     else None
                 ),
-            },
+            }
+        return {
+            "ingested": reliability.pop("ingested"),
+            "reliability": reliability,
             "broker": {
                 "publishes": broker_stats.publishes,
                 "routed": broker_stats.routed,

@@ -11,14 +11,22 @@ paths, which operators) determines which indexes apply, independent of
 the literal values, so repeated queries of the same shape skip predicate
 extraction and index selection entirely. The cache is invalidated when
 indexes are created or dropped.
+
+Thread safety mirrors MongoDB's document-level guarantees at collection
+granularity: a reader-friendly readers/writer lock lets any number of
+dashboard queries run concurrently while CRUD and index maintenance are
+exclusive; the plan cache and the read-path counters have their own
+small mutex (acquired *after* the RW lock, never before) so concurrent
+readers do not tear the shared LRU.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from repro import concurrency
 from repro.docstore.clone import json_clone
 from repro.docstore.cursor import Cursor
 from repro.docstore.errors import DocStoreError, DuplicateKeyError, IndexError_
@@ -130,27 +138,62 @@ class Collection:
         self._hash_indexes: Dict[str, HashIndex] = {}
         self._sorted_indexes: Dict[str, SortedIndex] = {}
         self._plan_cache: Dict[Tuple[Any, ...], Any] = {}
+        #: readers/writer lock: queries share, CRUD + index DDL exclude.
+        self._rw = concurrency.make_rwlock()
+        #: guards the plan cache and read-path stat counters; always
+        #: acquired after (never before) the RW lock.
+        self._mutex = concurrency.make_rlock()
         self.stats = CollectionStats()
 
     # -- basic properties -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._docs)
+        with self._rw.read():
+            return len(self._docs)
 
     def count(self, filter_doc: Optional[Dict[str, Any]] = None) -> int:
         """Number of documents matching ``filter_doc`` (all when None)."""
-        if not filter_doc:
-            return len(self._docs)
-        return sum(1 for _ in self._iter_matching(filter_doc))
+        with self._rw.read():
+            if not filter_doc:
+                return len(self._docs)
+            return sum(1 for _ in self._iter_matching(filter_doc))
 
     def iter_documents(self) -> Iterable[Dict[str, Any]]:
-        """The live documents in insertion order, without copying.
+        """A stable snapshot of the live documents in insertion order.
 
-        Read-only contract: callers must not mutate the yielded dicts.
-        Used by folds that need one cheap pass (materialized analytics
-        rebuilds) — does not count as a query.
+        Read-only contract: callers must not mutate the listed dicts
+        (updates swap whole document objects, so the snapshot stays
+        internally consistent even while writers proceed). Used by folds
+        that need one cheap pass (materialized analytics rebuilds) —
+        does not count as a query.
         """
-        return iter(self._docs.values())
+        with self._rw.read():
+            return list(self._docs.values())
+
+    def read_locked(self):
+        """The collection's shared read view, as a context manager.
+
+        Lets multi-step readers (the materialized analytics rebuild)
+        take one atomic look at the write counters *and* the documents,
+        with no write able to land in between.
+        """
+        return self._rw.read()
+
+    def write_marker(self) -> Tuple[int, int, int]:
+        """The lifetime ``(inserts, updates, deletes)`` counters.
+
+        Taken under the read lock, so the triple can never expose a
+        half-applied write.
+        """
+        with self._rw.read():
+            stats = self.stats
+            return (stats.inserts, stats.updates, stats.deletes)
+
+    def stats_snapshot(self) -> CollectionStats:
+        """A coherent copy of the counters (no mid-write torn reads)."""
+        with self._rw.read():
+            with self._mutex:
+                return replace(self.stats)
 
     # -- index management --------------------------------------------------------
 
@@ -163,44 +206,51 @@ class Collection:
                 ``"sorted"`` (equality + range).
             unique: enforce unique values (hash indexes only).
         """
-        if kind == "hash":
-            if path in self._hash_indexes:
-                raise IndexError_(f"hash index on {path!r} already exists")
-            index = HashIndex(path, unique=unique)
-            for doc_id, doc in self._docs.items():
-                index.insert(doc_id, doc)
-            self._hash_indexes[path] = index
-            self._plan_cache.clear()
-            return index
-        if kind == "sorted":
-            if unique:
-                raise IndexError_("unique is only supported on hash indexes")
-            if path in self._sorted_indexes:
-                raise IndexError_(f"sorted index on {path!r} already exists")
-            index = SortedIndex(path)
-            for doc_id, doc in self._docs.items():
-                index.insert(doc_id, doc)
-            self._sorted_indexes[path] = index
-            self._plan_cache.clear()
-            return index
-        raise IndexError_(f"unknown index kind {kind!r}")
+        with self._rw.write():
+            if kind == "hash":
+                if path in self._hash_indexes:
+                    raise IndexError_(f"hash index on {path!r} already exists")
+                index = HashIndex(path, unique=unique)
+                for doc_id, doc in self._docs.items():
+                    index.insert(doc_id, doc)
+                self._hash_indexes[path] = index
+                self._clear_plan_cache()
+                return index
+            if kind == "sorted":
+                if unique:
+                    raise IndexError_("unique is only supported on hash indexes")
+                if path in self._sorted_indexes:
+                    raise IndexError_(f"sorted index on {path!r} already exists")
+                index = SortedIndex(path)
+                for doc_id, doc in self._docs.items():
+                    index.insert(doc_id, doc)
+                self._sorted_indexes[path] = index
+                self._clear_plan_cache()
+                return index
+            raise IndexError_(f"unknown index kind {kind!r}")
 
     def drop_index(self, path: str) -> None:
         """Remove the index(es) declared on ``path``."""
-        found = False
-        if path in self._hash_indexes:
-            del self._hash_indexes[path]
-            found = True
-        if path in self._sorted_indexes:
-            del self._sorted_indexes[path]
-            found = True
-        if not found:
-            raise IndexError_(f"no index on {path!r}")
-        self._plan_cache.clear()
+        with self._rw.write():
+            found = False
+            if path in self._hash_indexes:
+                del self._hash_indexes[path]
+                found = True
+            if path in self._sorted_indexes:
+                del self._sorted_indexes[path]
+                found = True
+            if not found:
+                raise IndexError_(f"no index on {path!r}")
+            self._clear_plan_cache()
+
+    def _clear_plan_cache(self) -> None:
+        with self._mutex:
+            self._plan_cache.clear()
 
     def index_paths(self) -> List[str]:
         """Paths of all declared indexes."""
-        return sorted(set(self._hash_indexes) | set(self._sorted_indexes))
+        with self._rw.read():
+            return sorted(set(self._hash_indexes) | set(self._sorted_indexes))
 
     # -- insert ---------------------------------------------------------------------
 
@@ -216,13 +266,14 @@ class Collection:
                 f"document must be a dict, got {type(document).__name__}"
             )
         doc = json_clone(document) if copy else document
-        doc_id = doc.setdefault("_id", next(self._id_counter))
-        if doc_id in self._docs:
-            raise DuplicateKeyError(f"duplicate _id {doc_id!r} in {self.name!r}")
-        self._index_insert(doc_id, doc)
-        self._docs[doc_id] = doc
-        self.stats.inserts += 1
-        return doc_id
+        with self._rw.write():
+            doc_id = doc.setdefault("_id", next(self._id_counter))
+            if doc_id in self._docs:
+                raise DuplicateKeyError(f"duplicate _id {doc_id!r} in {self.name!r}")
+            self._index_insert(doc_id, doc)
+            self._docs[doc_id] = doc
+            self.stats.inserts += 1
+            return doc_id
 
     def insert_many(self, documents: Iterable[Dict[str, Any]]) -> List[Any]:
         """Insert many documents; returns their ids (fails atomically per doc)."""
@@ -232,23 +283,28 @@ class Collection:
 
     def find(self, filter_doc: Optional[Dict[str, Any]] = None) -> Cursor:
         """Documents matching ``filter_doc`` as a chainable cursor."""
-        self.stats.queries += 1
-        return Cursor(list(self._iter_matching(filter_doc or {})))
+        with self._rw.read():
+            with self._mutex:
+                self.stats.queries += 1
+            return Cursor(list(self._iter_matching(filter_doc or {})))
 
     def find_one(
         self, filter_doc: Optional[Dict[str, Any]] = None
     ) -> Optional[Dict[str, Any]]:
         """The first matching document, or None."""
-        for doc in self._iter_matching(filter_doc or {}):
-            return json_clone(doc)
-        return None
+        with self._rw.read():
+            for doc in self._iter_matching(filter_doc or {}):
+                return json_clone(doc)
+            return None
 
     def distinct(self, path: str, filter_doc: Optional[Dict[str, Any]] = None) -> List[Any]:
         """Sorted distinct (hashable) values of ``path`` across matches."""
         from repro.docstore.query import get_path, is_missing
 
         values: Set[Any] = set()
-        for doc in self._iter_matching(filter_doc or {}):
+        with self._rw.read():
+            matched = list(self._iter_matching(filter_doc or {}))
+        for doc in matched:
             resolved = get_path(doc, path)
             if is_missing(resolved):
                 continue
@@ -297,54 +353,58 @@ class Collection:
     ) -> UpdateResult:
         result = UpdateResult()
         now = self._clock() if self._clock else None
-        matched_ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
-        for doc_id in matched_ids:
-            old = self._docs[doc_id]
-            new = apply_update(old, update, now=now)
-            result.matched += 1
-            if new != old:
-                self._index_remove(doc_id, old)
-                try:
-                    self._index_insert(doc_id, new)
-                except DuplicateKeyError:
-                    self._index_insert(doc_id, old)  # roll back
-                    raise
-                self._docs[doc_id] = new
-                result.modified += 1
-            if not multi:
-                break
-        if result.matched == 0 and upsert:
-            seed = extract_equality_predicates(filter_doc)
-            base = {k: v for k, v in seed.items() if "." not in k}
-            new_doc = apply_update(base, update, now=now)
-            result.upserted_id = self.insert_one(new_doc)
-        else:
-            self.stats.updates += result.modified
-        return result
+        with self._rw.write():
+            matched_ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
+            for doc_id in matched_ids:
+                old = self._docs[doc_id]
+                new = apply_update(old, update, now=now)
+                result.matched += 1
+                if new != old:
+                    self._index_remove(doc_id, old)
+                    try:
+                        self._index_insert(doc_id, new)
+                    except DuplicateKeyError:
+                        self._index_insert(doc_id, old)  # roll back
+                        raise
+                    self._docs[doc_id] = new
+                    result.modified += 1
+                if not multi:
+                    break
+            if result.matched == 0 and upsert:
+                seed = extract_equality_predicates(filter_doc)
+                base = {k: v for k, v in seed.items() if "." not in k}
+                new_doc = apply_update(base, update, now=now)
+                result.upserted_id = self.insert_one(new_doc)
+            else:
+                self.stats.updates += result.modified
+            return result
 
     # -- delete ---------------------------------------------------------------------
 
     def delete_one(self, filter_doc: Dict[str, Any]) -> int:
         """Delete the first match; returns 0 or 1."""
-        for doc in self._iter_matching(filter_doc):
-            self._remove(doc["_id"])
-            return 1
-        return 0
+        with self._rw.write():
+            for doc in self._iter_matching(filter_doc):
+                self._remove(doc["_id"])
+                return 1
+            return 0
 
     def delete_many(self, filter_doc: Dict[str, Any]) -> int:
         """Delete every match; returns the count."""
-        ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
-        for doc_id in ids:
-            self._remove(doc_id)
-        return len(ids)
+        with self._rw.write():
+            ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
+            for doc_id in ids:
+                self._remove(doc_id)
+            return len(ids)
 
     def drop(self) -> None:
         """Remove every document (indexes stay declared)."""
-        self._docs.clear()
-        for index in self._hash_indexes.values():
-            index._map.clear()
-        for index in self._sorted_indexes.values():
-            index._partitions.clear()
+        with self._rw.write():
+            self._docs.clear()
+            for index in self._hash_indexes.values():
+                index._map.clear()
+            for index in self._sorted_indexes.values():
+                index._partitions.clear()
 
     # -- aggregation convenience -------------------------------------------------------
 
@@ -368,31 +428,36 @@ class Collection:
             "candidates": None,
             "examined_share": None,
         }
-        if match_spec is not None:
-            candidate_ids = self._plan(match_spec)
-            if candidate_ids is not None:
-                self.stats.index_hits += 1
-                explain = {
-                    "strategy": "index",
-                    "pushdown": True,
-                    "candidates": len(candidate_ids),
-                    "examined_share": (
-                        len(candidate_ids) / len(self._docs) if self._docs else 0.0
-                    ),
-                }
-                ordered = sorted(
-                    candidate_ids, key=lambda i: (str(type(i)), str(i))
-                )
-                documents = (
-                    doc
-                    for doc in (self._docs.get(doc_id) for doc_id in ordered)
-                    if doc is not None and matches(doc, match_spec)
-                )
-                return AggregationResult(
-                    compiled.run(documents, skip_leading_match=True), explain
-                )
-            self.stats.full_scans += 1
-        return AggregationResult(compiled.run(self._docs.values()), explain)
+        with self._rw.read():
+            if match_spec is not None:
+                candidate_ids = self._plan(match_spec)
+                if candidate_ids is not None:
+                    with self._mutex:
+                        self.stats.index_hits += 1
+                    explain = {
+                        "strategy": "index",
+                        "pushdown": True,
+                        "candidates": len(candidate_ids),
+                        "examined_share": (
+                            len(candidate_ids) / len(self._docs) if self._docs else 0.0
+                        ),
+                    }
+                    ordered = sorted(
+                        candidate_ids, key=lambda i: (str(type(i)), str(i))
+                    )
+                    documents = (
+                        doc
+                        for doc in (self._docs.get(doc_id) for doc_id in ordered)
+                        if doc is not None and matches(doc, match_spec)
+                    )
+                    return AggregationResult(
+                        compiled.run(documents, skip_leading_match=True), explain
+                    )
+                with self._mutex:
+                    self.stats.full_scans += 1
+            return AggregationResult(
+                compiled.run(list(self._docs.values())), explain
+            )
 
     def explain(self, filter_doc: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         """How the planner would execute ``filter_doc``.
@@ -402,27 +467,32 @@ class Collection:
         counters — the debugging affordance every real store ships.
         """
         filter_doc = filter_doc or {}
-        candidates = self._plan(filter_doc)
-        if candidates is None:
-            return {"strategy": "scan", "candidates": None, "examined_share": None}
-        share = len(candidates) / len(self._docs) if self._docs else 0.0
-        return {
-            "strategy": "index",
-            "candidates": len(candidates),
-            "examined_share": share,
-        }
+        with self._rw.read():
+            candidates = self._plan(filter_doc)
+            if candidates is None:
+                return {"strategy": "scan", "candidates": None, "examined_share": None}
+            share = len(candidates) / len(self._docs) if self._docs else 0.0
+            return {
+                "strategy": "index",
+                "candidates": len(candidates),
+                "examined_share": share,
+            }
 
     # -- planner & internals ---------------------------------------------------------
 
     def _iter_matching(self, filter_doc: Dict[str, Any]):
+        # callers hold the RW lock (read or write); counter bumps take
+        # the small mutex so concurrent readers do not lose increments.
         candidate_ids = self._plan(filter_doc)
         if candidate_ids is None:
-            self.stats.full_scans += 1
-            for doc in self._docs.values():
+            with self._mutex:
+                self.stats.full_scans += 1
+            for doc in list(self._docs.values()):
                 if matches(doc, filter_doc):
                     yield doc
         else:
-            self.stats.index_hits += 1
+            with self._mutex:
+                self.stats.index_hits += 1
             for doc_id in sorted(candidate_ids, key=lambda i: (str(type(i)), str(i))):
                 doc = self._docs.get(doc_id)
                 if doc is not None and matches(doc, filter_doc):
@@ -464,15 +534,18 @@ class Collection:
         shape = _filter_shape(filter_doc)
         if shape is None:
             return self._compile_plan(filter_doc)
-        steps = self._plan_cache.get(shape, _UNCACHED)
-        if steps is not _UNCACHED:
-            self.stats.plan_cache_hits += 1
-            return steps
-        self.stats.plan_cache_misses += 1
+        with self._mutex:
+            steps = self._plan_cache.get(shape, _UNCACHED)
+            if steps is not _UNCACHED:
+                self.stats.plan_cache_hits += 1
+                return steps
+            self.stats.plan_cache_misses += 1
         steps = self._compile_plan(filter_doc)
-        if len(self._plan_cache) >= PLAN_CACHE_SIZE:
-            self._plan_cache.pop(next(iter(self._plan_cache)))
-        self._plan_cache[shape] = steps
+        with self._mutex:
+            if shape not in self._plan_cache:
+                if len(self._plan_cache) >= PLAN_CACHE_SIZE:
+                    self._plan_cache.pop(next(iter(self._plan_cache)))
+                self._plan_cache[shape] = steps
         return steps
 
     def _compile_plan(self, filter_doc: Dict[str, Any]):

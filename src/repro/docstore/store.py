@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro import concurrency
 from repro.docstore.collection import Collection
 from repro.docstore.errors import DocStoreError
 
@@ -26,35 +27,46 @@ class DocumentStore:
         self.name = name
         self._clock = clock
         self._collections: Dict[str, Collection] = {}
+        self._lock = concurrency.make_rlock()
 
     def collection(self, name: str) -> Collection:
-        """The collection named ``name``, creating it if needed."""
-        coll = self._collections.get(name)
-        if coll is None:
-            coll = Collection(name, clock=self._clock)
-            self._collections[name] = coll
-        return coll
+        """The collection named ``name``, creating it if needed.
+
+        Creation is serialized so two threads racing on a new name get
+        the same Collection object, never two half-populated twins.
+        """
+        with self._lock:
+            coll = self._collections.get(name)
+            if coll is None:
+                coll = Collection(name, clock=self._clock)
+                self._collections[name] = coll
+            return coll
 
     def __getitem__(self, name: str) -> Collection:
         return self.collection(name)
 
     def has_collection(self, name: str) -> bool:
         """Whether ``name`` has been created."""
-        return name in self._collections
+        with self._lock:
+            return name in self._collections
 
     def collection_names(self) -> List[str]:
         """Names of existing collections."""
-        return sorted(self._collections)
+        with self._lock:
+            return sorted(self._collections)
 
     def drop_collection(self, name: str) -> None:
         """Delete a collection and its documents."""
-        if name not in self._collections:
-            raise DocStoreError(f"unknown collection {name!r}")
-        del self._collections[name]
+        with self._lock:
+            if name not in self._collections:
+                raise DocStoreError(f"unknown collection {name!r}")
+            del self._collections[name]
 
     def total_documents(self) -> int:
         """Documents across all collections."""
-        return sum(len(c) for c in self._collections.values())
+        with self._lock:
+            collections = list(self._collections.values())
+        return sum(len(c) for c in collections)
 
     def __repr__(self) -> str:
         return f"DocumentStore({self.name!r}, collections={len(self._collections)})"

@@ -1,0 +1,304 @@
+"""Deterministic multi-threaded soak driver for the middleware core.
+
+The paper's deployment served 2,091 concurrent phones; this harness
+reproduces that pressure in-process: N client threads each run M
+operations drawn from a per-thread seeded RNG against one
+:class:`GoFlowServer` — publishing observations through the broker (so
+ingest runs on the publishing thread, exactly like the inline consumer
+dispatch does in production) and interleaving dashboard reads that
+assert coherence *mid-flight*.
+
+Determinism contract: the *workload* is a pure function of the seed
+(which obs_ids, which zones, which payloads, in which per-thread
+order). Thread interleaving is of course scheduler-chosen — the point
+is that every invariant below must hold under **any** interleaving, so
+the harness asserts them both during the run and after it:
+
+- **exactly-once ingest** — every published ``obs_id`` is stored
+  exactly once no matter how many threads redelivered it;
+- **queue depth conservation** — the GoFlow queue's
+  enqueued/delivered/acked counters balance and nothing is stranded;
+- **materialized ≡ recompute** — the online analytics counters agree
+  with a from-scratch fold over the stored documents;
+- **coherent stats** — ``middleware_stats()`` snapshots sum: the
+  ingested counter equals the dedup ledger size and the deduped
+  counter equals the ledger's hit count, at any instant.
+
+The same seeds driven against a server built under
+``concurrency.lock_mode("off")`` (every lock replaced by a yielding
+no-op) must violate at least one of these — that is the proof the
+locks are load-bearing, not decorative.
+
+The harness's own bookkeeping uses raw ``threading.Lock`` objects on
+purpose: the instruments must stay race-free even when the system
+under test runs lock-disabled.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.core.channels import GOFLOW_QUEUE
+from repro.core.materialized import MaterializedAnalytics
+from repro.core.server import GoFlowServer
+
+APP_ID = "SC"
+ROUTING_KEYS = ("FR75013.Feedback", "FR75019.Feedback", "FR92120.Feedback")
+MODELS = ("nexus4", "galaxy-s3", "xperia-z", "lumia-925")
+PROVIDERS = ("gps", "network", "fused")
+
+
+@dataclass
+class SoakResult:
+    """What happened during one soak run."""
+
+    published: int = 0
+    #: wire-form obs_id -> how many times it was published (>= 1)
+    sent: Counter = field(default_factory=Counter)
+    #: exceptions raised inside worker operations: (thread, repr)
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+    #: mid-flight invariant breaches observed by reader ops
+    violations: List[str] = field(default_factory=list)
+    #: worker threads still alive after the join timeout (deadlock)
+    stalled_threads: List[int] = field(default_factory=list)
+
+    @property
+    def distinct_sent(self) -> int:
+        return len(self.sent)
+
+    @property
+    def duplicates_sent(self) -> int:
+        return self.published - self.distinct_sent
+
+
+class ThreadedSoak:
+    """N seeded client threads hammering one GoFlow server.
+
+    Args:
+        seed: master seed; thread ``i`` derives its own RNG from it.
+        threads: number of concurrent client threads.
+        ops_per_thread: operations each thread performs.
+        read_every: a thread runs a coherence-checking read op every
+            this many publishes (0 disables reader ops).
+        join_timeout_s: per-thread join budget; a thread alive past it
+            is reported as stalled (the deadlock detector).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        threads: int = 8,
+        ops_per_thread: int = 40,
+        read_every: int = 5,
+        join_timeout_s: float = 30.0,
+    ) -> None:
+        self.seed = seed
+        self.threads = threads
+        self.ops_per_thread = ops_per_thread
+        self.read_every = read_every
+        self.join_timeout_s = join_timeout_s
+        self.server = GoFlowServer()
+        self.server.register_app(APP_ID)
+        self._sessions = [
+            self.server.enroll_user(APP_ID, f"mob{i}", "pw") for i in range(threads)
+        ]
+        # a shared, deliberately small obs_id pool: distinct threads
+        # drawing the same id model the at-least-once uplink
+        # redelivering one observation from several retry paths at once.
+        pool_size = max(1, (threads * ops_per_thread) // 2)
+        self._obs_pool = [f"obs-{i}" for i in range(pool_size)]
+        self._book = threading.Lock()  # harness bookkeeping, always real
+
+    # -- driving ----------------------------------------------------------------
+
+    def run(self) -> SoakResult:
+        """Run the soak; returns what happened (assert nothing here)."""
+        result = SoakResult()
+        start = threading.Barrier(self.threads)
+        workers = [
+            threading.Thread(
+                target=self._worker,
+                args=(i, result, start),
+                name=f"soak-{self.seed}-{i}",
+                daemon=True,
+            )
+            for i in range(self.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for index, worker in enumerate(workers):
+            worker.join(timeout=self.join_timeout_s)
+            if worker.is_alive():
+                result.stalled_threads.append(index)
+        return result
+
+    def _worker(self, index: int, result: SoakResult, start: threading.Barrier) -> None:
+        rng = random.Random(self.seed * 7919 + index)
+        channel = self.server.broker.connect(f"soak-session-{index}").channel()
+        exchange = self._sessions[index]["exchange"]
+        try:
+            start.wait(timeout=10.0)
+        except threading.BrokenBarrierError:
+            pass  # start anyway; contention just ramps up less sharply
+        for op in range(self.ops_per_thread):
+            try:
+                if self.read_every and op % self.read_every == self.read_every - 1:
+                    self._read_op(result)
+                else:
+                    self._publish_op(index, rng, channel, exchange, result)
+            except Exception as exc:  # noqa: BLE001 - the soak must record, not die
+                with self._book:
+                    result.errors.append((index, repr(exc)))
+
+    def _publish_op(
+        self,
+        index: int,
+        rng: random.Random,
+        channel,
+        exchange: str,
+        result: SoakResult,
+    ) -> None:
+        obs_id = rng.choice(self._obs_pool)
+        document: Dict[str, Any] = {
+            "app_id": APP_ID,
+            "user_id": f"mob{index}",
+            "obs_id": obs_id,
+            "model": rng.choice(MODELS),
+            "noise_dba": round(rng.uniform(35.0, 95.0), 1),
+            "taken_at": float(rng.randrange(0, 5 * 86400)),
+        }
+        if rng.random() < 0.7:
+            document["location"] = {
+                "x_m": rng.uniform(0.0, 2000.0),
+                "y_m": rng.uniform(0.0, 2000.0),
+                "provider": rng.choice(PROVIDERS),
+            }
+        channel.basic_publish(exchange, rng.choice(ROUTING_KEYS), document)
+        with self._book:
+            result.published += 1
+            result.sent[obs_id] += 1
+
+    def _read_op(self, result: SoakResult) -> None:
+        """One dashboard read asserting snapshot coherence mid-flight."""
+        stats = self.server.middleware_stats()
+        reliability = stats["reliability"]
+        ledger = reliability["dedup_ledger"]
+        breaches = []
+        # every stored observation carries an obs_id, so the ingested
+        # counter and the ledger must move in lockstep — both are read
+        # under the ingest lock, a torn read here is a locking bug.
+        if stats["ingested"] != ledger["size"]:
+            breaches.append(
+                f"torn stats: ingested={stats['ingested']} "
+                f"!= dedup ledger size={ledger['size']}"
+            )
+        if reliability["deduped"] != ledger["hits"]:
+            breaches.append(
+                f"torn stats: deduped={reliability['deduped']} "
+                f"!= dedup ledger hits={ledger['hits']}"
+            )
+        # the GoFlow consumer auto-acks inline under the queue lock, so
+        # a coherent queue snapshot can never catch a message between
+        # the enqueue count and its delivery/ack.
+        queue_stats = self.server.broker.get_queue(GOFLOW_QUEUE).stats_snapshot()
+        if not (queue_stats.enqueued == queue_stats.delivered == queue_stats.acked):
+            breaches.append(
+                f"queue counters torn: enqueued={queue_stats.enqueued} "
+                f"delivered={queue_stats.delivered} acked={queue_stats.acked}"
+            )
+        totals = self.server.analytics.totals()
+        if totals["localized"] > totals["total"]:
+            breaches.append(f"analytics torn: {totals!r}")
+        if breaches:
+            with self._book:
+                result.violations.extend(breaches)
+
+    # -- final invariants --------------------------------------------------------
+
+    def verify(self, result: SoakResult) -> List[str]:
+        """Check the post-run global invariants; returns violations."""
+        problems: List[str] = []
+        if result.stalled_threads:
+            problems.append(f"stalled (deadlocked?) threads: {result.stalled_threads}")
+            return problems  # the rest would be checked against a moving target
+
+        server = self.server
+        collection = server.data.collection
+
+        # exactly-once ingest per obs_id, regardless of redeliveries
+        stored = Counter(
+            doc["obs_id"] for doc in collection.iter_documents() if "obs_id" in doc
+        )
+        multi = {k: v for k, v in stored.items() if v != 1}
+        if multi:
+            problems.append(f"obs_ids stored != exactly once: {multi}")
+        missing = set(result.sent) - set(stored)
+        if missing:
+            problems.append(f"published obs_ids never stored: {sorted(missing)}")
+        phantom = set(stored) - set(result.sent)
+        if phantom:
+            problems.append(f"stored obs_ids never published: {sorted(phantom)}")
+
+        # delivery accounting: every publish became one ingest or one dedup
+        if server.ingested != result.distinct_sent:
+            problems.append(
+                f"ingested={server.ingested} != distinct published={result.distinct_sent}"
+            )
+        if server.deduped != result.duplicates_sent:
+            problems.append(
+                f"deduped={server.deduped} != duplicate publishes={result.duplicates_sent}"
+            )
+
+        # queue depth conservation on the ingest queue
+        queue = server.broker.get_queue(GOFLOW_QUEUE)
+        queue_stats = queue.stats_snapshot()
+        if queue_stats.enqueued != result.published:
+            problems.append(
+                f"GF enqueued={queue_stats.enqueued} != published={result.published}"
+            )
+        if not (queue_stats.enqueued == queue_stats.delivered == queue_stats.acked):
+            problems.append(
+                f"GF counters unbalanced: enqueued={queue_stats.enqueued} "
+                f"delivered={queue_stats.delivered} acked={queue_stats.acked}"
+            )
+        if queue.ready_count or queue.unacked_count:
+            problems.append(
+                f"GF queue not drained: ready={queue.ready_count} "
+                f"unacked={queue.unacked_count}"
+            )
+
+        # materialized view ≡ full recompute over the stored documents
+        live = server.data.materialized
+        fresh = MaterializedAnalytics(collection)
+        for probe in ("totals", "per_model_groups", "day_counts", "provider_counts"):
+            live_value = getattr(live, probe)()
+            fresh_value = getattr(fresh, probe)()
+            if live_value != fresh_value:
+                problems.append(
+                    f"materialized {probe} diverged: live={live_value!r} "
+                    f"recompute={fresh_value!r}"
+                )
+        totals = live.totals()
+        if totals is not None and totals["total"] != len(collection):
+            problems.append(
+                f"materialized total={totals['total']} != stored={len(collection)}"
+            )
+
+        # middleware_stats sums consistently at rest
+        stats = server.middleware_stats()
+        if stats["ingested"] + stats["reliability"]["deduped"] != result.published:
+            problems.append(
+                "ingested + deduped != published: "
+                f"{stats['ingested']} + {stats['reliability']['deduped']} "
+                f"!= {result.published}"
+            )
+        if stats["observations"]["inserts"] != stats["ingested"]:
+            problems.append(
+                f"collection inserts={stats['observations']['inserts']} "
+                f"!= ingested={stats['ingested']}"
+            )
+        return problems

@@ -1,0 +1,273 @@
+"""Barrier-forced interleavings: each race pinned at its exact window.
+
+The soak finds races statistically; these tests force the scheduler
+into the one interleaving each lock exists to forbid, so every
+protection is exercised deterministically:
+
+- dedup check-then-insert (two threads redeliver one obs_id);
+- the torn ``middleware_stats`` read (ledger moves between counter
+  reads);
+- the stale materialized view (a write lands between the rebuild's
+  marker read and its document snapshot).
+
+Each scenario runs twice: with real locks the victim thread is held
+out of the window (rendezvous times out, behaviour stays correct), and
+under ``lock_mode("off")`` both threads meet inside the window and the
+bug fires on cue — proving the test would catch a regression.
+"""
+
+import threading
+
+import pytest
+
+from repro import concurrency
+from repro.core.materialized import MaterializedAnalytics
+from repro.core.privacy import PrivacyPolicy
+from repro.core.server import GoFlowServer
+from repro.docstore.collection import Collection
+
+APP = "SC"
+
+
+def _observation(obs_id: str) -> dict:
+    return {
+        "app_id": APP,
+        "user_id": "mob1",
+        "obs_id": obs_id,
+        "noise_dba": 61.0,
+        "taken_at": 10.0,
+    }
+
+
+def _run_threads(*targets, timeout=5.0):
+    threads = [threading.Thread(target=t, daemon=True) for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout)
+        assert not thread.is_alive(), "interleaving test deadlocked"
+
+
+class TestDedupCheckThenInsertRace:
+    """Two concurrent redeliveries of one obs_id must store one doc.
+
+    The race window sits between the ledger miss and the insert; the
+    rendezvous is planted in ``anonymize_ingest``, which runs exactly
+    there. Locked, the second thread is still waiting on the ingest
+    lock, so only one thread reaches the barrier and it times out.
+    """
+
+    def _race_once(self, server) -> int:
+        barrier = threading.Barrier(2)
+
+        original = server.privacy.anonymize_ingest
+
+        def rendezvous(document):
+            try:
+                barrier.wait(timeout=0.5)
+            except threading.BrokenBarrierError:
+                pass  # the lock held the other thread out — correct
+            return original(document)
+
+        server.privacy.anonymize_ingest = rendezvous
+        _run_threads(
+            lambda: server.data.ingest(APP, _observation("dup-1")),
+            lambda: server.data.ingest(APP, _observation("dup-1")),
+        )
+        return server.data.collection.count({"obs_id": "dup-1"})
+
+    def test_locked_stores_exactly_once(self):
+        server = GoFlowServer()
+        server.register_app(APP)
+        assert self._race_once(server) == 1
+
+    def test_lock_disabled_double_inserts(self):
+        with concurrency.lock_mode("off"):
+            server = GoFlowServer()
+            server.register_app(APP)
+            assert self._race_once(server) == 2
+
+
+class TestTornMiddlewareStatsRead:
+    """``middleware_stats`` must not see the ledger move mid-snapshot.
+
+    The stats reader is paused after it copied the ingested counter but
+    before it sizes the dedup ledger; an ingest is pushed through the
+    gap. Locked, the ingest blocks on the ingest lock the reader holds,
+    so the gap cannot be used and the snapshot stays coherent.
+    """
+
+    def _torn_read(self, server) -> dict:
+        barrier = threading.Barrier(2)
+        ingest_done = threading.Event()
+        original = server.data.dedup_info
+
+        def rendezvous():
+            try:
+                barrier.wait(timeout=0.5)
+            except threading.BrokenBarrierError:
+                pass
+            else:
+                # hold the gap open until the rival ingest finishes (or,
+                # locked, until the wait times out because it cannot).
+                ingest_done.wait(timeout=0.5)
+            return original()
+
+        server.data.dedup_info = rendezvous
+        captured = {}
+
+        def reader():
+            captured.update(server.middleware_stats())
+
+        def writer():
+            try:
+                barrier.wait(timeout=0.5)
+            except threading.BrokenBarrierError:
+                return
+            server.data.ingest(APP, _observation("torn-1"))
+            ingest_done.set()
+
+        _run_threads(reader, writer)
+        # let the blocked ingest land before the test inspects anything
+        ingest_done.wait(timeout=2.0)
+        return captured
+
+    def test_locked_snapshot_is_coherent(self):
+        server = GoFlowServer()
+        server.register_app(APP)
+        stats = self._torn_read(server)
+        assert stats["ingested"] == stats["reliability"]["dedup_ledger"]["size"]
+
+    def test_lock_disabled_snapshot_tears(self):
+        with concurrency.lock_mode("off"):
+            server = GoFlowServer()
+            server.register_app(APP)
+            stats = self._torn_read(server)
+        assert stats["ingested"] != stats["reliability"]["dedup_ledger"]["size"]
+
+
+class TestStaleMaterializedViewRace:
+    """A write between marker read and rebuild snapshot must not fool
+    the view into double-counting (the satellite-2 regression).
+
+    Sequence forced here: the rebuild reads the write marker, then —
+    before it lists the documents — an insert lands and is *also*
+    replayed through ``observe``. Unlocked, the rebuild folds the new
+    document under the old marker, ``observe`` matches marker+1 and
+    applies it again: total = stored + 1, and the view believes it is
+    fresh (a permanently wrong dashboard). Locked, the collection's
+    read lock holds the insert out until the snapshot is atomic.
+    """
+
+    def _race_once(self) -> tuple:
+        collection = Collection("observations")
+        view = MaterializedAnalytics(collection)
+        collection.insert_one({"model": "nexus4", "taken_at": 100.0})  # view dirty
+
+        rebuild_at_marker = threading.Event()
+        insert_done = threading.Event()
+        calls = []
+        original = collection.write_marker
+
+        def hooked_marker():
+            marker = original()
+            calls.append(marker)
+            # the freshness probe in _ensure_fresh reads the marker
+            # first; the *second* read is the one inside _rebuild —
+            # that is the race window this test pries open.
+            if len(calls) == 2:
+                rebuild_at_marker.set()
+                insert_done.wait(timeout=0.5)
+            return marker
+
+        collection.write_marker = hooked_marker
+
+        def rebuilder():
+            view.totals()  # dirty view -> rebuild -> hooked marker read
+
+        def writer():
+            assert rebuild_at_marker.wait(timeout=2.0)
+            collection.insert_one({"model": "nexus4", "taken_at": 200.0})
+            insert_done.set()
+
+        _run_threads(rebuilder, writer)
+        insert_done.wait(timeout=2.0)
+        # the ingest protocol replays the insert through observe()
+        view.observe({"model": "nexus4", "taken_at": 200.0})
+        totals = view.totals()
+        return totals["total"], len(collection), view.info()["fresh"]
+
+    def test_locked_rebuild_snapshot_is_atomic(self):
+        total, stored, fresh = self._race_once()
+        assert total == stored == 2
+        assert fresh
+
+    def test_lock_disabled_double_counts_and_claims_fresh(self):
+        with concurrency.lock_mode("off"):
+            total, stored, fresh = self._race_once()
+        assert stored == 2
+        assert total == 3  # the racing insert was folded twice
+        assert fresh  # and the view cannot even tell it is wrong
+
+
+class TestRWLockSemantics:
+    """The docstore's readers/writer lock keeps its promises."""
+
+    def test_upgrade_attempt_raises_instead_of_deadlocking(self):
+        lock = concurrency.RWLock()
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                with lock.write():
+                    pass
+
+    def test_writer_holder_may_read_reentrantly(self):
+        lock = concurrency.RWLock()
+        with lock.write():
+            with lock.read():
+                pass
+            with lock.write():
+                pass
+
+    def test_waiting_writer_blocks_new_readers_but_not_held_ones(self):
+        lock = concurrency.RWLock()
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+        writer_done = threading.Event()
+        order = []
+
+        def reader():
+            with lock.read():
+                reader_in.set()
+                release_reader.wait(timeout=5.0)
+                # re-entrant read must not queue behind the waiting writer
+                with lock.read():
+                    order.append("reader-reentry")
+
+        def writer():
+            reader_in.wait(timeout=5.0)
+            with lock.write():
+                order.append("writer")
+            writer_done.set()
+
+        threads = [threading.Thread(target=t, daemon=True) for t in (reader, writer)]
+        for thread in threads:
+            thread.start()
+        reader_in.wait(timeout=5.0)
+        # give the writer a moment to start waiting, then let go
+        threads[1].join(timeout=0.2)
+        release_reader.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        assert order == ["reader-reentry", "writer"]
+        assert writer_done.is_set()
+
+    def test_pseudonym_cache_is_consistent_across_threads(self):
+        policy = PrivacyPolicy()
+        results = [None] * 8
+
+        def worker(index):
+            results[index] = [policy.pseudonym(f"user-{i}") for i in range(50)]
+
+        _run_threads(*(lambda i=i: worker(i) for i in range(8)))
+        assert all(r == results[0] for r in results)

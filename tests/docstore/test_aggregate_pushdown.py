@@ -76,6 +76,42 @@ class TestPushdown:
         collection.aggregate([{"$match": {"model": "A"}}, {"$count": "n"}])
         assert collection.stats.index_hits == before + 1
 
+    def test_explain_contract_on_index_path(self, collection):
+        """All four explain fields, fully populated on the index path."""
+        rows = collection.aggregate([{"$match": {"model": "B"}}, {"$count": "n"}])
+        assert set(rows.explain) == {
+            "strategy",
+            "pushdown",
+            "candidates",
+            "examined_share",
+        }
+        assert rows.explain["strategy"] == "index"
+        assert rows.explain["pushdown"] is True
+        assert rows.explain["candidates"] == 30
+        assert rows.explain["examined_share"] == pytest.approx(0.75)
+
+    def test_explain_contract_on_scan_path(self, collection):
+        """Same four fields on the scan path, with the null sentinels."""
+        rows = collection.aggregate([{"$match": {"dba": 41.0}}, {"$count": "n"}])
+        assert set(rows.explain) == {
+            "strategy",
+            "pushdown",
+            "candidates",
+            "examined_share",
+        }
+        assert rows.explain["strategy"] == "scan"
+        assert rows.explain["pushdown"] is False
+        assert rows.explain["candidates"] is None
+        assert rows.explain["examined_share"] is None
+
+    def test_explain_with_zero_candidates_still_reports_index(self, collection):
+        rows = collection.aggregate([{"$match": {"model": "Z"}}, {"$count": "n"}])
+        assert rows.explain["strategy"] == "index"
+        assert rows.explain["pushdown"] is True
+        assert rows.explain["candidates"] == 0
+        assert rows.explain["examined_share"] == 0.0
+        assert rows == [{"n": 0}]
+
     def test_verification_still_applies_residual_predicates(self, collection):
         # planner narrows on the indexed field; the non-indexed part of
         # the same $match must still filter the candidates.

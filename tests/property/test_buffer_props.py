@@ -1,7 +1,13 @@
 """Property-based tests of the client outbox and queue FIFO."""
 
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
 
 from repro.broker.message import Message
 from repro.broker.queue import MessageQueue
@@ -87,6 +93,88 @@ class TestOutboxProperties:
             assert len(buffer) <= capacity
             logical = logical[-capacity:]
             assert [o.observation_id for o in buffer.peek_all()] == logical
+
+
+class OutboxStateMachine(RuleBasedStateMachine):
+    """Model-based outbox check: any mix of push / failed-transmit
+    requeue / drain, validated step-by-step against a plain-list model.
+
+    The machine-enforced properties: the buffer never exceeds its
+    capacity, every eviction removes exactly the *oldest* pending
+    observations (freshest-data-wins), the eviction counter matches the
+    evictions actually returned, and drain order is always the model
+    order.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.next_id = 0
+        self.capacity = None
+        self.buffer = ObservationBuffer()
+        self.model = []
+        self.total_evicted = 0
+
+    @initialize(capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=6)))
+    def setup(self, capacity):
+        self.capacity = capacity
+        self.buffer = ObservationBuffer(capacity=capacity)
+
+    def _shrink_model(self):
+        """Evict the oldest model entries past capacity; returns them."""
+        if self.capacity is None or len(self.model) <= self.capacity:
+            return []
+        overflow = len(self.model) - self.capacity
+        evicted, self.model = self.model[:overflow], self.model[overflow:]
+        return evicted
+
+    @rule(count=st.integers(min_value=1, max_value=5))
+    def push(self, count):
+        for _ in range(count):
+            self.next_id += 1
+            evicted = self.buffer.push(_obs(self.next_id))
+            self.model.append(self.next_id)
+            expected = self._shrink_model()
+            assert [o.observation_id for o in evicted] == expected
+            self.total_evicted += len(expected)
+
+    @rule(delivered=st.integers(min_value=0, max_value=5))
+    def failed_transmit_requeues_tail(self, delivered):
+        drained = self.buffer.drain()
+        assert [o.observation_id for o in drained] == self.model
+        tail = drained[min(delivered, len(drained)) :]
+        evicted = self.buffer.requeue_front(tail)
+        self.model = [o.observation_id for o in tail]
+        expected = self._shrink_model()
+        assert [o.observation_id for o in evicted] == expected
+        self.total_evicted += len(expected)
+
+    @rule()
+    def drain_all(self):
+        drained = self.buffer.drain()
+        assert [o.observation_id for o in drained] == self.model
+        self.model = []
+
+    @invariant()
+    def never_exceeds_capacity(self):
+        if self.capacity is not None:
+            assert len(self.buffer) <= self.capacity
+
+    @invariant()
+    def contents_match_model(self):
+        assert [o.observation_id for o in self.buffer.peek_all()] == self.model
+
+    @invariant()
+    def eviction_counter_matches_returned_evictions(self):
+        assert self.buffer.evicted == self.total_evicted
+
+    @invariant()
+    def oldest_is_model_front(self):
+        expected = float(self.model[0]) if self.model else None
+        assert self.buffer.oldest_taken_at == expected
+
+
+TestOutboxStateMachine = OutboxStateMachine.TestCase
+TestOutboxStateMachine.settings = settings(max_examples=30)
 
 
 class TestQueueProperties:
