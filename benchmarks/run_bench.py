@@ -15,7 +15,11 @@ Two suites are available:
   and measuring what it costs;
 - ``concurrency``: multi-threaded ingest throughput — 8 client threads
   through the locked broker → docstore stack, with and without
-  dedup-ledger contention.
+  dedup-ledger contention;
+- ``batch``: per-op vs batch ingest through the REST endpoint plus the
+  columnar/compiled/naive cold-scan comparison. The stage selects the
+  ingest mode (``baseline`` → one POST per observation, ``after`` →
+  batch-sized POSTs), so the recorded speedup is the batch-path win.
 
 Usage::
 
@@ -43,6 +47,7 @@ SUITES = {
     "faults": "benchmarks/test_fault_injection.py",
     "analytics": "benchmarks/test_analytics_aggregation.py",
     "concurrency": "benchmarks/test_concurrent_ingest.py",
+    "batch": "benchmarks/test_batch_ingest.py",
 }
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 
@@ -50,7 +55,9 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 KEPT_STATS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
 
 
-def run_suite(bench_file: str, keyword: str | None) -> dict:
+def run_suite(
+    bench_file: str, keyword: str | None, extra_env: dict | None = None
+) -> dict:
     """Run a bench suite, returning the parsed pytest-benchmark JSON."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         raw_path = Path(handle.name)
@@ -71,6 +78,8 @@ def run_suite(bench_file: str, keyword: str | None) -> dict:
 
     env = dict(os.environ)
     env["PYTHONPATH"] = env_path + os.pathsep + env.get("PYTHONPATH", "")
+    if extra_env:
+        env.update(extra_env)
     result = subprocess.run(command, cwd=REPO_ROOT, env=env)
     if result.returncode != 0:
         raise SystemExit(f"benchmark run failed (exit {result.returncode})")
@@ -142,7 +151,17 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(f"no such benchmark JSON: {args.from_json}")
         raw = json.loads(args.from_json.read_text())
     else:
-        raw = run_suite(SUITES[args.suite], args.keyword)
+        extra_env = None
+        if args.suite == "batch":
+            # the stage selects the ingest mode: the baseline stage
+            # measures one POST per observation, the after stage the
+            # batch fast path — same bench names, honest ratio.
+            extra_env = {
+                "REPRO_BATCH_MODE": (
+                    "per_op" if args.stage == "baseline" else "batch"
+                )
+            }
+        raw = run_suite(SUITES[args.suite], args.keyword, extra_env)
 
     # non-default suites get their own stage namespace so a faults run
     # never clobbers the throughput baseline/after evidence

@@ -1,0 +1,185 @@
+"""Batch-ingest and columnar-scan benches.
+
+The batch suite compares the per-operation ingest path against the
+batch fast path on the *same* REST transport, so the only variable is
+the batch size. ``run_bench.py --suite batch`` runs the suite twice:
+
+- ``--stage baseline`` sets ``REPRO_BATCH_MODE=per_op`` — every
+  observation travels in its own POST (what a naive client does);
+- ``--stage after`` sets ``REPRO_BATCH_MODE=batch`` — observations
+  travel in batch-sized POSTs through ``DataManager.ingest_many``.
+
+The bench names are identical across stages, so the committed
+``BENCH_middleware.json`` reports the per-batch-size speedup directly.
+
+The cold-scan benches are mode-independent: they record the absolute
+cost of one analytics pass over 50k rows per engine — the columnar
+kernels (mirror rebuilt from scratch each round, i.e. worst case),
+the compiled interpreter, and the naive reference engine.
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro.client.uplink import RestBatchUplink
+from repro.core.server import GoFlowServer
+from repro.docstore.aggregate import aggregate
+from repro.docstore.collection import Collection
+from repro.docstore.naive import naive_aggregate
+
+INGEST_TOTAL = 1000
+SCAN_ROWS = 50_000
+
+MODELS = [
+    "GT-I9300", "GT-I9505", "Nexus 5", "Nexus 4", "GT-I9100",
+    "Xperia Z", "One S", "Desire HD", "GT-N7100", "Moto G",
+]
+PROVIDERS = ["gps", "network", "fused"]
+
+_seq = itertools.count()
+
+
+def _mode() -> str:
+    return os.environ.get("REPRO_BATCH_MODE", "batch")
+
+
+def _wired_server():
+    server = GoFlowServer()
+    server.register_app("SC")
+    credentials = server.enroll_user("SC", "bench", "pw")
+    return server, credentials
+
+
+def _payloads(count):
+    base = next(_seq) * 1_000_000
+    return [
+        {
+            "obs_id": f"bench:{base + i}",
+            "user_id": "bench",
+            "model": MODELS[i % len(MODELS)],
+            "mode": "opportunistic",
+            "taken_at": 1000.0 + i,
+            "noise_dba": 40.0 + (i % 35),
+            "app_version": "1.3",
+            "location": {
+                "x_m": float(i % 5000),
+                "y_m": float(i % 3000),
+                "provider": PROVIDERS[i % len(PROVIDERS)],
+                "accuracy_m": 5.0 + (i % 40),
+            },
+        }
+        for i in range(count)
+    ]
+
+
+@pytest.mark.parametrize("batch_size", [1, 10, 100, 1000])
+def test_e2e_ingest(benchmark, batch_size):
+    """INGEST_TOTAL observations through REST, per round.
+
+    Each round gets a fresh server and fresh obs_ids so the dedup
+    ledger never collapses repeat rounds into no-ops.
+    """
+    chunk = 1 if _mode() == "per_op" else batch_size
+    state = {}
+
+    def fresh_round():
+        server, credentials = _wired_server()
+        state["server"] = server
+        state["uplink"] = RestBatchUplink(server, token=credentials["token"])
+        state["documents"] = _payloads(INGEST_TOTAL)
+        return (), {}
+
+    def ingest_round():
+        uplink = state["uplink"]
+        documents = state["documents"]
+        for start in range(0, INGEST_TOTAL, chunk):
+            uplink.send(documents[start : start + chunk])
+
+    benchmark.pedantic(ingest_round, rounds=3, iterations=1, setup=fresh_round)
+    server = state["server"]
+    assert server.ingested == INGEST_TOTAL
+    totals = server.data.materialized.totals()
+    assert totals == {"total": INGEST_TOTAL, "localized": INGEST_TOTAL}
+
+
+# -- cold analytics scans ------------------------------------------------------
+
+SCAN_PIPELINE = [
+    {
+        "$group": {
+            "_id": "$model",
+            "measurements": {"$count": {}},
+            "avg_noise": {"$avg": "$noise_dba"},
+            "localized": {
+                "$sum": {"$cond": [{"$ifNull": ["$location", False]}, 1, 0]}
+            },
+        }
+    }
+]
+
+
+def _scan_docs():
+    return [
+        {
+            "model": MODELS[i % len(MODELS)],
+            "taken_at": float(i),
+            "noise_dba": 40.0 + (i % 35),
+            "location": (
+                {"provider": PROVIDERS[i % len(PROVIDERS)], "x_m": 1.0, "y_m": 2.0}
+                if i % 5
+                else None
+            ),
+        }
+        for i in range(SCAN_ROWS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def mirrored_collection():
+    collection = Collection("scan_mirrored")
+    collection.enable_columnar(["model", "noise_dba", "location"])
+    collection.insert_many(_scan_docs(), copy=False)
+    return collection
+
+
+@pytest.fixture(scope="module")
+def plain_collection():
+    collection = Collection("scan_plain")
+    collection.insert_many(_scan_docs(), copy=False)
+    return collection
+
+
+def test_cold_scan_columnar(benchmark, mirrored_collection):
+    mirror = mirrored_collection._columnar
+    if mirror is None or not mirror.enabled:
+        pytest.skip("columnar mirror unavailable (numpy missing)")
+
+    def cold_scan():
+        mirror.invalidate()  # force a full rebuild: worst-case cold cost
+        return mirrored_collection.aggregate(SCAN_PIPELINE)
+
+    result = benchmark.pedantic(cold_scan, rounds=3, iterations=1)
+    assert result.explain["strategy"] == "columnar"
+    assert len(list(result)) == len(MODELS)
+
+
+def test_cold_scan_compiled(benchmark, plain_collection):
+    def cold_scan():
+        return plain_collection.aggregate(SCAN_PIPELINE)
+
+    result = benchmark.pedantic(cold_scan, rounds=3, iterations=1)
+    assert result.explain["strategy"] != "columnar"
+    assert len(list(result)) == len(MODELS)
+
+
+def test_cold_scan_naive(benchmark, plain_collection):
+    snapshot = list(plain_collection.iter_documents())
+
+    def cold_scan():
+        return naive_aggregate(snapshot, SCAN_PIPELINE)
+
+    rows = benchmark.pedantic(cold_scan, rounds=3, iterations=1)
+    assert len(rows) == len(MODELS)
+    assert rows == aggregate(snapshot, SCAN_PIPELINE)

@@ -91,6 +91,10 @@ class GoFlowClient:
             retry at every cycle, forever.
         retry_seed: deterministic seed for the backoff jitter (combined
             with ``user_id`` so every client jitters differently).
+        uplink_batch: maximum documents handed to ``uplink.send`` per
+            call; a flush larger than this is split into consecutive
+            chunks (a batch uplink's natural unit). None sends the
+            whole outbox in one call (the legacy behaviour).
     """
 
     def __init__(
@@ -105,9 +109,14 @@ class GoFlowClient:
         outbox_capacity: Optional[int] = 5000,
         retry: Optional[RetryPolicy] = None,
         retry_seed: int = 0,
+        uplink_batch: Optional[int] = None,
     ) -> None:
         if latency_s < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
+        if uplink_batch is not None and uplink_batch < 1:
+            raise ConfigurationError(
+                f"uplink_batch must be >= 1, got {uplink_batch}"
+            )
         self.user_id = user_id
         self._obs_token = obs_token(user_id)
         self.version = version
@@ -116,6 +125,7 @@ class GoFlowClient:
         self._connectivity = connectivity
         self._battery = battery
         self._latency = latency_s
+        self._uplink_batch = uplink_batch
         self.outbox = ObservationBuffer(capacity=outbox_capacity)
         self._backoff = (
             BackoffState(retry, user_id, seed=retry_seed) if retry is not None else None
@@ -128,10 +138,19 @@ class GoFlowClient:
     # -- ingestion ------------------------------------------------------------
 
     def on_observation(self, observation: Observation) -> None:
-        """Sensing callback: enqueue and run the uplink policy."""
+        """Sensing callback: enqueue and run the uplink policy.
+
+        A configured ``uplink_batch`` larger than the version's buffer
+        size raises the transmit threshold to a full batch: sending a
+        partial batch would spend a radio session on less than the
+        batch unit the uplink amortizes over.
+        """
         self.stats.produced += 1
         self._forget_evicted(self.outbox.push(observation))
-        if len(self.outbox) >= self.version.buffer_size:
+        threshold = self.version.buffer_size
+        if self._uplink_batch is not None and self._uplink_batch > threshold:
+            threshold = self._uplink_batch
+        if len(self.outbox) >= threshold:
             self.try_transmit()
 
     # -- transmission ------------------------------------------------------------
@@ -178,31 +197,44 @@ class GoFlowClient:
             documents.append(document)
         if self._backoff is not None and self._backoff.failures:
             self.stats.retries += 1
-        try:
-            result = self._uplink.send(documents)
-        except UplinkError as error:
-            delivered = set(error.delivered)
-            self._settle_delivered(observations, delivered, transport, now)
-            # documents nacked before the failure were still routed by
-            # the broker: their resend may duplicate on the wire.
-            self._handle_failure(
-                observations, delivered, now, maybe_delivered=set(error.nacked)
+        # the outbox drains in chunks of uplink_batch (everything at
+        # once when None — the legacy single-send path). Failure stops
+        # the chunk loop: later chunks were never attempted, so they
+        # requeue cleanly with no maybe-delivered ambiguity, and the
+        # per-observation obs_id rolls the retransmission forward.
+        chunk = self._uplink_batch or len(observations)
+        delivered: Set[int] = set()
+        maybe_delivered: Set[int] = set()
+        failed = False
+        for start in range(0, len(observations), chunk):
+            part = documents[start : start + chunk]
+            try:
+                result = self._uplink.send(part)
+            except UplinkError as error:
+                delivered |= {start + index for index in error.delivered}
+                # documents nacked before the failure were still routed
+                # by the broker: their resend may duplicate on the wire.
+                maybe_delivered |= {start + index for index in error.nacked}
+                failed = True
+                break
+            except BrokerError:
+                failed = True
+                break
+            undelivered = (
+                set(result.undelivered)
+                if result is not None and result.undelivered
+                else set()
             )
-            return False
-        except BrokerError:
-            self._handle_failure(observations, set(), now, maybe_delivered=set())
-            return False
-        undelivered = (
-            set(result.undelivered)
-            if result is not None and result.undelivered
-            else set()
-        )
-        delivered = set(range(len(observations))) - undelivered
+            delivered |= {
+                start + index for index in range(len(part)) if index not in undelivered
+            }
+            maybe_delivered |= {start + index for index in undelivered}
         self._settle_delivered(observations, delivered, transport, now)
-        if undelivered:
-            self.stats.confirm_failures += 1
+        if failed or maybe_delivered:
+            if maybe_delivered and not failed:
+                self.stats.confirm_failures += 1
             self._handle_failure(
-                observations, delivered, now, maybe_delivered=undelivered
+                observations, delivered, now, maybe_delivered=maybe_delivered
             )
             return False
         if self._backoff is not None:

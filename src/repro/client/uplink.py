@@ -8,6 +8,7 @@ Figure 3 prescribes (client exchange -> app exchange -> GoFlow queue).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol
 
@@ -182,3 +183,65 @@ class BrokerUplink:
             self._connection.close()
         self._connection = None
         self._channel = None
+
+
+class RestBatchUplink:
+    """Carries whole batches over the REST batch-ingest endpoint.
+
+    One POST per :meth:`send` call — one radio session per batch, with
+    the server amortizing dedup, anonymization, index maintenance and
+    analytics updates across it. Delivery stays exactly-once end to
+    end: the endpoint is idempotent per observation (server dedup
+    ledger), the batch insert is atomic, and the ledger only learns
+    ``obs_id`` values after a successful insert. A 2xx therefore means
+    every document is durably stored (or already was), and any failure
+    means *nothing* from the batch was committed — the client simply
+    retransmits the whole batch and the ledger rolls it forward.
+
+    Args:
+        server: the :class:`~repro.core.server.GoFlowServer` (the
+            in-process stand-in for an HTTP connection to it).
+        app_id: owning application.
+        token: bearer token from login, required by the route's
+            CONTRIBUTOR role check.
+    """
+
+    def __init__(self, server: Any, app_id: str = "SC", token: Optional[str] = None) -> None:
+        self._server = server
+        self._app_id = app_id
+        self.token = token
+
+    def send(self, documents: List[Dict[str, Any]]) -> TransmitResult:
+        """POST the batch; raises :class:`UplinkError` on any failure."""
+        if not documents:
+            raise ConfigurationError("send requires at least one document")
+        from repro.core.api import Request  # deferred: client stays core-free
+
+        for document in documents:
+            document.setdefault("app_id", self._app_id)
+        try:
+            # serialized exactly as an HTTP client would put it on the
+            # wire; the server parses (and thereby owns) the documents.
+            body = json.dumps({"observations": documents})
+        except (TypeError, ValueError) as error:
+            raise UplinkError(f"batch not JSON-serializable: {error}") from error
+        try:
+            response = self._server.handle(
+                Request(
+                    method="POST",
+                    path=f"/apps/{self._app_id}/observations/batch",
+                    body=body,
+                    token=self.token,
+                )
+            )
+        except Exception as error:
+            raise UplinkError(f"batch uplink failed: {error}") from error
+        if not response.ok:
+            # batch-atomic insert + ledger-commit-after-insert: a non-2xx
+            # means nothing landed, so the whole batch is cleanly
+            # retryable with no maybe-delivered ambiguity.
+            raise UplinkError(
+                f"batch uplink rejected: status={response.status} "
+                f"body={response.body!r}"
+            )
+        return TransmitResult(accepted=len(documents), confirmed=True)

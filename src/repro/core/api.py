@@ -27,6 +27,7 @@ from repro.core.errors import (
     NotFoundError,
     ValidationError,
 )
+from repro.errors import ReproError
 
 
 @dataclass
@@ -140,6 +141,11 @@ class GoFlowAPI:
             except ValidationError as exc:
                 return Response(status=400, body={"error": str(exc)})
             except GoFlowError as exc:
+                return Response(status=500, body={"error": str(exc)})
+            except ReproError as exc:
+                # lower-layer failures (docstore, broker) must surface as
+                # a server error, not escape the transport: batch-uplink
+                # clients rely on a non-2xx response to retransmit.
                 return Response(status=500, body={"error": str(exc)})
             if isinstance(result, Response):
                 return result

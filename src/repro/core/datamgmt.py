@@ -102,6 +102,22 @@ class DataManager:
         self._observations.create_index("taken_at", kind="sorted")
         self._observations.create_index("contributor", kind="hash")
         self._observations.create_index("location.provider", kind="hash")
+        # columnar mirror over the figure-query hot fields: vectorized
+        # $match/$group/$sort kernels serve covered analytics pipelines
+        # straight from numpy arrays (no-op when numpy is unavailable).
+        self._observations.enable_columnar(
+            [
+                "model",
+                "mode",
+                "contributor",
+                "taken_at",
+                "noise_dba",
+                "app_version",
+                "location",
+                "location.provider",
+                "location.accuracy_m",
+            ]
+        )
         #: online per-model/per-day/per-provider counters, fed by ingest
         #: and shared with the analytics engine by the server.
         self.materialized = MaterializedAnalytics(self._observations)
@@ -165,6 +181,73 @@ class DataManager:
                 if len(self._dedup_ledger) > self._dedup_capacity:
                     self._dedup_ledger.popitem(last=False)
             return result
+
+    def ingest_many(
+        self, app_id: str, documents: List[Dict[str, Any]], owned: bool = False
+    ) -> List[Optional[Any]]:
+        """Persist a batch of observations; ids in input order.
+
+        The batch fast path: one ``ingest_lock`` acquisition covers the
+        whole batch, and the dedup-ledger checks, pseudonymization, the
+        (batch-atomic) collection insert, the materialized fold, and
+        the ledger commit are all amortized across it. The returned
+        list is parallel to ``documents`` — a stored id per new
+        observation, None per deduplicated one (an ``obs_id`` already
+        in the ledger, or repeated earlier in the same batch).
+
+        ``owned=True`` declares the documents server-owned already —
+        e.g. freshly parsed from a wire body — so pseudonymization may
+        scrub them in place instead of cloning first. Never pass
+        caller-retained documents as owned.
+
+        Failure keeps the exactly-once contract: ``insert_many`` rolls
+        the whole batch back and nothing reaches the ledger, so a
+        client retransmitting the batch rolls forward via dedup.
+        """
+        for document in documents:
+            if not isinstance(document, dict):
+                raise ValidationError(
+                    f"observation must be a dict, got {type(document).__name__}"
+                )
+        with self.ingest_lock:
+            results: List[Optional[Any]] = []
+            fresh: List[Dict[str, Any]] = []
+            store_slots: List[int] = []
+            ledger_keys: List[Optional[str]] = []
+            seen_in_batch: set = set()
+            for document in documents:
+                ledger_key: Optional[str] = None
+                obs_id = document.get("obs_id")
+                if obs_id is not None and self._dedup_capacity:
+                    ledger_key = str(obs_id)
+                    if ledger_key in self._dedup_ledger:
+                        self._dedup_ledger.move_to_end(ledger_key)
+                        self.dedup_hits += 1
+                        results.append(None)
+                        continue
+                    if ledger_key in seen_in_batch:
+                        self.dedup_hits += 1
+                        results.append(None)
+                        continue
+                    seen_in_batch.add(ledger_key)
+                store_slots.append(len(results))
+                results.append(None)
+                fresh.append(document)
+                ledger_keys.append(ledger_key)
+            if fresh:
+                to_store = self._privacy.anonymize_ingest_many(fresh, owned=owned)
+                for stored in to_store:
+                    stored["app_id"] = app_id
+                ids = self._observations.insert_many(to_store, copy=False)
+                self.materialized.observe_batch(to_store)
+                for slot, doc_id in zip(store_slots, ids):
+                    results[slot] = doc_id
+                for ledger_key in ledger_keys:
+                    if ledger_key is not None:
+                        self._dedup_ledger[ledger_key] = True
+                while len(self._dedup_ledger) > self._dedup_capacity:
+                    self._dedup_ledger.popitem(last=False)
+            return results
 
     def dedup_info(self) -> Dict[str, int]:
         """Observability snapshot of the idempotence ledger."""

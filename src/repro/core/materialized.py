@@ -80,6 +80,10 @@ class MaterializedAnalytics:
         self._providers: Dict[Any, List[Any]] = {}  # key -> [value, count]
         self._degraded_models = False
         self._degraded_days = False
+        #: batch-ingested documents accepted (marker verified) but not
+        #: yet folded — the batch write path stays O(1) per document
+        #: and the next analytics read drains the tail.
+        self._pending: List[Dict[str, Any]] = []
         # observability
         self.rebuilds = 0
         self.incremental_updates = 0
@@ -104,10 +108,41 @@ class MaterializedAnalytics:
                 if prev is not None:
                     self.invalidations += 1
                 self._marker = None
+                self._pending = []
                 return
-            self._apply(document)
+            # buffered, not folded: documents must reach _apply in
+            # insertion order (group first-seen order depends on it),
+            # so the single-insert path shares the batch path's queue.
+            self._pending.append(document)
             self._marker = marker
             self.incremental_updates += 1
+
+    def observe_batch(self, documents: List[Dict[str, Any]]) -> None:
+        """Fold a just-inserted batch into the counters.
+
+        The batch-insert path bumps the collection's write marker once,
+        by the batch size — so the incremental fold applies only when
+        the live counters are exactly ``len(documents)`` inserts ahead
+        of the marker; any other movement dirties the view as usual.
+        The fold itself is deferred: the accepted documents go to a
+        pending buffer (keeping the batch ingest path O(1) per
+        document) and the next analytics read drains them.
+        """
+        if not documents:
+            return
+        with self._lock:
+            marker = self._live_marker()
+            prev = self._marker
+            expected = (prev[0] + len(documents), prev[1], prev[2]) if prev else None
+            if expected is None or marker != expected:
+                if prev is not None:
+                    self.invalidations += 1
+                self._marker = None
+                self._pending = []
+                return
+            self._pending.extend(documents)
+            self._marker = marker
+            self.incremental_updates += len(documents)
 
     # -- read side ------------------------------------------------------------
 
@@ -177,6 +212,10 @@ class MaterializedAnalytics:
     def _ensure_fresh(self) -> None:
         if self._marker != self._live_marker():
             self._rebuild()
+        elif self._pending:
+            for document in self._pending:
+                self._apply(document)
+            self._pending = []
 
     def _rebuild(self) -> None:
         # marker and document snapshot must come from *one* atomic look
@@ -194,6 +233,7 @@ class MaterializedAnalytics:
         self._providers = {}
         self._degraded_models = False
         self._degraded_days = False
+        self._pending = []
         for document in documents:
             self._apply(document)
         self._marker = marker

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Any, Dict, Iterable, Set
+import json
+from typing import Any, Dict, Iterable, List, Set
 
 from repro import concurrency
 from repro.core.errors import ValidationError
@@ -99,7 +100,31 @@ class PrivacyPolicy:
         storage — deduplication happens upstream on the wire form, so
         the rewrite cannot split retry duplicates.
         """
-        doc = json_clone(document)
+        return self._scrub(json_clone(document))
+
+    def anonymize_ingest_many(
+        self, documents: List[Dict[str, Any]], owned: bool = False
+    ) -> List[Dict[str, Any]]:
+        """Batch form of :meth:`anonymize_ingest`.
+
+        Observation documents arrive in wire (JSON) form, so the whole
+        batch is cloned with one C-level ``json.dumps``/``loads`` round
+        trip instead of one Python-recursive walk per document. Batches
+        that are not JSON-representable (exotic value types) fall back
+        to the per-document path. ``owned=True`` skips the clone
+        entirely and scrubs in place — only for documents the caller
+        exclusively owns (e.g. just parsed from a wire body).
+        """
+        if owned:
+            return [self._scrub(doc) for doc in documents]
+        try:
+            clones = json.loads(json.dumps(documents))
+        except (TypeError, ValueError):
+            return [self._scrub(json_clone(doc)) for doc in documents]
+        return [self._scrub(doc) for doc in clones]
+
+    def _scrub(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """In-place user_id -> pseudonym rewrite of an owned clone."""
         user_id = doc.pop("user_id", None)
         if user_id is not None:
             user_id = str(user_id)

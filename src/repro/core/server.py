@@ -12,6 +12,7 @@ document store:
 
 from __future__ import annotations
 
+import json
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.broker.broker import Broker, DEFAULT_ROUTE_CACHE_SIZE
@@ -151,6 +152,7 @@ class GoFlowServer:
                 "plan_cache_misses": collection_stats.plan_cache_misses,
             },
             "materialized": self.data.materialized.info(),
+            "columnar": self.data.collection.columnar_info(),
         }
 
     # -- app/user lifecycle (programmatic surface) ---------------------------------
@@ -196,6 +198,7 @@ class GoFlowServer:
         api.route("POST", "/apps/{app_id}/users", self._r_create_user, Role.MANAGER)
         api.route("DELETE", "/apps/{app_id}/users/{user_id}", self._r_delete_user, Role.MANAGER)
         api.route("GET", "/apps/{app_id}/users", self._r_list_users, Role.MANAGER)
+        api.route("POST", "/apps/{app_id}/observations/batch", self._r_ingest_batch, Role.CONTRIBUTOR)
         api.route("GET", "/apps/{app_id}/data", self._r_get_data, Role.CONTRIBUTOR)
         api.route("GET", "/apps/{app_id}/data/count", self._r_count_data, Role.CONTRIBUTOR)
         api.route("POST", "/apps/{app_id}/subscriptions", self._r_subscribe, Role.CONTRIBUTOR)
@@ -238,6 +241,48 @@ class GoFlowServer:
             {"user_id": a.user_id, "role": a.role.value, "active": a.active}
             for a in self.accounts.accounts_for_app(path["app_id"])
         ]
+
+    def _r_ingest_batch(self, request: Request, path: Dict[str, str], principal) -> Any:
+        """Batch ingest: one locked pass for a whole uplink chunk.
+
+        Server-side dedup makes the endpoint idempotent per
+        observation: a client that is unsure whether a batch landed
+        simply retransmits it, and already-stored ``obs_id`` values
+        report ``accepted: false`` without double-storing.
+        """
+        body = request.body or {}
+        owned = False
+        if isinstance(body, str):
+            # wire form: the body arrives as the serialized JSON an HTTP
+            # transport would deliver. The parse both validates and
+            # produces server-owned documents, so ingest can skip its
+            # own defensive clone.
+            try:
+                body = json.loads(body)
+            except ValueError as exc:
+                raise ValidationError(f"malformed JSON body: {exc}") from exc
+            if not isinstance(body, dict):
+                raise ValidationError("JSON body must be an object")
+            owned = True
+        observations = body.get("observations")
+        if not isinstance(observations, list):
+            raise ValidationError("missing or malformed 'observations' list")
+        for observation in observations:
+            if not isinstance(observation, dict):
+                raise ValidationError("each observation must be a dict")
+        # same lock discipline as _on_delivery: the server's delivery
+        # counters move with the ledger, never apart from it.
+        with self.data.ingest_lock:
+            ids = self.data.ingest_many(path["app_id"], observations, owned=owned)
+            stored = sum(1 for doc_id in ids if doc_id is not None)
+            deduped = len(ids) - stored
+            self.ingested += stored
+            self.deduped += deduped
+        return {
+            "accepted": [doc_id is not None for doc_id in ids],
+            "ingested": stored,
+            "deduped": deduped,
+        }
 
     def _query_from_params(self, app_id: str, params: Dict[str, str]) -> DataQuery:
         def _float(name: str) -> Optional[float]:

@@ -143,6 +143,9 @@ class Collection:
         #: guards the plan cache and read-path stat counters; always
         #: acquired after (never before) the RW lock.
         self._mutex = concurrency.make_rlock()
+        #: optional columnar mirror (see enable_columnar); its own lock
+        #: is always acquired after the RW lock, never before.
+        self._columnar: Optional[Any] = None
         self.stats = CollectionStats()
 
     # -- basic properties -----------------------------------------------------
@@ -194,6 +197,31 @@ class Collection:
         with self._rw.read():
             with self._mutex:
                 return replace(self.stats)
+
+    # -- columnar mirror ---------------------------------------------------------
+
+    def enable_columnar(self, fields: Iterable[str]):
+        """Attach a columnar mirror over ``fields`` (replacing any prior).
+
+        The mirror keeps per-field numpy arrays in step with inserts and
+        rebuilds lazily after updates/deletes; ``aggregate`` dispatches
+        covered pipelines to its vectorized kernels. Requires numpy —
+        without it the mirror stays attached but disabled, and every
+        pipeline takes the row engines.
+        """
+        from repro.docstore.columnar import ColumnarMirror
+
+        with self._rw.write():
+            mirror = ColumnarMirror(self, fields)
+            self._columnar = mirror
+            return mirror
+
+    def columnar_info(self) -> Dict[str, Any]:
+        """Mirror health for ``middleware_stats()``; safe with no mirror."""
+        mirror = self._columnar
+        if mirror is None:
+            return {"enabled": False, "reason": "no mirror attached", "fields": []}
+        return mirror.info()
 
     # -- index management --------------------------------------------------------
 
@@ -273,11 +301,76 @@ class Collection:
             self._index_insert(doc_id, doc)
             self._docs[doc_id] = doc
             self.stats.inserts += 1
+            if self._columnar is not None:
+                self._columnar.on_insert(doc)
             return doc_id
 
-    def insert_many(self, documents: Iterable[Dict[str, Any]]) -> List[Any]:
-        """Insert many documents; returns their ids (fails atomically per doc)."""
-        return [self.insert_one(doc) for doc in documents]
+    def insert_many(
+        self, documents: Iterable[Dict[str, Any]], copy: bool = True
+    ) -> List[Any]:
+        """Insert a batch atomically; returns ids in input order.
+
+        The write lock is taken once and the write marker advances once
+        (by the batch size), so downstream marker watchers — the
+        materialized analytics and the columnar mirror — see one batch
+        append instead of N invalidating single steps. Sorted-index
+        maintenance is bulk-loaded per batch. On any failure (duplicate
+        ``_id``, unique-index violation) the already-placed prefix is
+        rolled back and nothing is inserted.
+        """
+        docs: List[Dict[str, Any]] = []
+        for document in documents:
+            if not isinstance(document, dict):
+                raise DocStoreError(
+                    f"document must be a dict, got {type(document).__name__}"
+                )
+            docs.append(json_clone(document) if copy else document)
+        if not docs:
+            return []
+        with self._rw.write():
+            ids: List[Any] = []
+            placed: List[Tuple[Any, Dict[str, Any]]] = []
+            # non-unique hash indexes are bulk-loaded after placement
+            # (rollback tolerates missing entries); unique ones go
+            # per-document so a violation is caught — and unwound —
+            # exactly where it happens.
+            unique_hash = [ix for ix in self._hash_indexes.values() if ix.unique]
+            bulk_hash = [ix for ix in self._hash_indexes.values() if not ix.unique]
+            try:
+                for doc in docs:
+                    doc_id = doc.setdefault("_id", next(self._id_counter))
+                    if doc_id in self._docs:
+                        raise DuplicateKeyError(
+                            f"duplicate _id {doc_id!r} in {self.name!r}"
+                        )
+                    inserted_hash: List[HashIndex] = []
+                    try:
+                        for index in unique_hash:
+                            index.insert(doc_id, doc)
+                            inserted_hash.append(index)
+                    except DuplicateKeyError:
+                        for index in inserted_hash:
+                            index.remove(doc_id, doc)
+                        raise
+                    self._docs[doc_id] = doc
+                    placed.append((doc_id, doc))
+                    ids.append(doc_id)
+                for index in bulk_hash:
+                    index.insert_many(placed)
+            except Exception:
+                # remove() tolerates absent entries, so the sweep covers
+                # both a placement failure and a partial bulk load.
+                for doc_id, doc in reversed(placed):
+                    del self._docs[doc_id]
+                    for index in self._hash_indexes.values():
+                        index.remove(doc_id, doc)
+                raise
+            for sindex in self._sorted_indexes.values():
+                sindex.insert_many(placed)
+            self.stats.inserts += len(ids)
+            if self._columnar is not None:
+                self._columnar.on_insert_batch(docs)
+            return ids
 
     # -- find -----------------------------------------------------------------------
 
@@ -377,6 +470,8 @@ class Collection:
                 result.upserted_id = self.insert_one(new_doc)
             else:
                 self.stats.updates += result.modified
+                if result.modified and self._columnar is not None:
+                    self._columnar.invalidate()
             return result
 
     # -- delete ---------------------------------------------------------------------
@@ -405,18 +500,25 @@ class Collection:
                 index._map.clear()
             for index in self._sorted_indexes.values():
                 index._partitions.clear()
+            # drop does not move the write marker, so the mirror cannot
+            # detect it via the staleness protocol — invalidate explicitly
+            if self._columnar is not None:
+                self._columnar.invalidate()
 
     # -- aggregation convenience -------------------------------------------------------
 
     def aggregate(self, pipeline: List[Dict[str, Any]]) -> "AggregationResult":
         """Run an aggregation pipeline over this collection.
 
-        A leading ``$match`` stage is pushed down into the planner: when
-        its predicates hit declared indexes, only the candidate
-        documents are fed to the compiled pipeline (and the stage is
-        skipped inside it), so figure queries like ``model == X`` touch
-        a fraction of the store. The result is a plain list subclass
-        whose ``.explain`` records the chosen strategy.
+        Dispatch order: a columnar mirror covering the whole pipeline
+        wins (``strategy: "columnar"``, with coverage details under the
+        ``columnar`` explain key); otherwise a leading ``$match`` stage
+        is pushed down into the planner: when its predicates hit
+        declared indexes, only the candidate documents are fed to the
+        compiled pipeline (and the stage is skipped inside it), so
+        figure queries like ``model == X`` touch a fraction of the
+        store. The result is a plain list subclass whose ``.explain``
+        records the chosen strategy.
         """
         from repro.docstore.aggregate import compile_pipeline
 
@@ -428,20 +530,32 @@ class Collection:
             "candidates": None,
             "examined_share": None,
         }
+        mirror = self._columnar
         with self._rw.read():
+            if mirror is not None:
+                rows, detail, matched = mirror.execute(pipeline)
+                explain["columnar"] = detail
+                if rows is not None:
+                    total = len(self._docs)
+                    explain.update(
+                        strategy="columnar",
+                        candidates=matched,
+                        examined_share=(matched / total) if total else 0.0,
+                    )
+                    return AggregationResult(rows, explain)
             if match_spec is not None:
                 candidate_ids = self._plan(match_spec)
                 if candidate_ids is not None:
                     with self._mutex:
                         self.stats.index_hits += 1
-                    explain = {
-                        "strategy": "index",
-                        "pushdown": True,
-                        "candidates": len(candidate_ids),
-                        "examined_share": (
+                    explain.update(
+                        strategy="index",
+                        pushdown=True,
+                        candidates=len(candidate_ids),
+                        examined_share=(
                             len(candidate_ids) / len(self._docs) if self._docs else 0.0
                         ),
-                    }
+                    )
                     ordered = sorted(
                         candidate_ids, key=lambda i: (str(type(i)), str(i))
                     )
@@ -590,3 +704,5 @@ class Collection:
         doc = self._docs.pop(doc_id)
         self._index_remove(doc_id, doc)
         self.stats.deletes += 1
+        if self._columnar is not None:
+            self._columnar.invalidate()

@@ -80,6 +80,52 @@ class HashIndex:
         for key in keys:
             self._map.setdefault(key, set()).add(doc_id)
 
+    def insert_many(self, entries: List[Tuple[Any, Dict[str, Any]]]) -> None:
+        """Bulk-load ``(doc_id, document)`` pairs; non-unique only.
+
+        Equivalent to :meth:`insert` per entry, with the common case —
+        a dot-free path holding a hashable scalar — inlined to a dict
+        probe per document. Callers must not use this on unique
+        indexes: per-document uniqueness enforcement (and its exact
+        rollback position) is :meth:`insert`'s job.
+        """
+        if self.unique:
+            raise IndexError_(
+                f"insert_many is not valid on unique index {self.path!r}"
+            )
+        mapping = self._map
+        path = self.path
+        simple = self._simple
+        parts = path.split(".")
+        two_level = len(parts) == 2
+        for doc_id, document in entries:
+            value = _ABSENT
+            if simple:
+                value = document.get(path, _ABSENT)
+                if value is _ABSENT:
+                    continue
+            elif two_level:
+                outer = document.get(parts[0], _ABSENT)
+                if outer is _ABSENT:
+                    continue
+                if outer.__class__ is dict:
+                    value = outer.get(parts[1], _ABSENT)
+                    if value is _ABSENT:
+                        continue
+            if value is not _ABSENT:
+                cls = value.__class__
+                if cls is str or cls is int or cls is float or cls is bool or (
+                    value is None
+                ):
+                    bucket = mapping.get(value)
+                    if bucket is None:
+                        mapping[value] = {doc_id}
+                    else:
+                        bucket.add(doc_id)
+                    continue
+            for key in _index_keys(document, path, simple):
+                mapping.setdefault(key, set()).add(doc_id)
+
     def remove(self, doc_id: Any, document: Dict[str, Any]) -> None:
         """Drop ``document``'s entries."""
         for key in _index_keys(document, self.path, self._simple):
@@ -139,6 +185,80 @@ class SortedIndex:
             else:
                 keys.insert(pos, key)
                 buckets.insert(pos, {doc_id})
+
+    def insert_many(self, entries: List[Tuple[Any, Dict[str, Any]]]) -> None:
+        """Bulk-load ``(doc_id, document)`` pairs.
+
+        Stages the batch's keys per partition, sorts them once, and
+        merges with the existing key list in a single pass — O((n+m)
+        log m) per batch instead of m one-at-a-time list inserts of
+        O(n) each. Equivalent to calling :meth:`insert` per entry.
+        """
+        staged: Dict[str, Dict[Any, Set[Any]]] = {}
+        path = self.path
+        simple = self._simple
+        for doc_id, document in entries:
+            if simple:
+                value = document.get(path, _ABSENT)
+                if value is _ABSENT:
+                    continue
+                cls = value.__class__
+                if cls is float or cls is int:
+                    staged.setdefault("number", {}).setdefault(value, set()).add(
+                        doc_id
+                    )
+                    continue
+                if cls is str:
+                    staged.setdefault("str", {}).setdefault(value, set()).add(
+                        doc_id
+                    )
+                    continue
+            for key in _index_keys(document, path, simple):
+                partition_name = self._partition_name(key)
+                if partition_name is None:
+                    continue
+                staged.setdefault(partition_name, {}).setdefault(key, set()).add(
+                    doc_id
+                )
+        for partition_name, additions in staged.items():
+            keys, buckets = self._partitions.setdefault(partition_name, ([], []))
+            new_keys = sorted(additions)
+            if not keys:
+                keys.extend(new_keys)
+                buckets.extend(additions[key] for key in new_keys)
+                continue
+            if len(new_keys) * 8 < len(keys):
+                # small batch against a large partition: the one-pass
+                # merge would copy the whole key list; per-key bisect
+                # inserts (C-level list memmove) are cheaper.
+                for key in new_keys:
+                    pos = bisect.bisect_left(keys, key)
+                    if pos < len(keys) and keys[pos] == key:
+                        buckets[pos] |= additions[key]
+                    else:
+                        keys.insert(pos, key)
+                        buckets.insert(pos, set(additions[key]))
+                continue
+            merged_keys: List[Any] = []
+            merged_buckets: List[Set[Any]] = []
+            pos = 0
+            for key in new_keys:
+                loc = bisect.bisect_left(keys, key, pos)
+                merged_keys.extend(keys[pos:loc])
+                merged_buckets.extend(buckets[pos:loc])
+                if loc < len(keys) and keys[loc] == key:
+                    buckets[loc] |= additions[key]
+                    merged_keys.append(keys[loc])
+                    merged_buckets.append(buckets[loc])
+                    pos = loc + 1
+                else:
+                    merged_keys.append(key)
+                    merged_buckets.append(additions[key])
+                    pos = loc
+            merged_keys.extend(keys[pos:])
+            merged_buckets.extend(buckets[pos:])
+            keys[:] = merged_keys
+            buckets[:] = merged_buckets
 
     def remove(self, doc_id: Any, document: Dict[str, Any]) -> None:
         """Drop ``document``'s entries."""

@@ -45,6 +45,8 @@ from typing import Any, Dict, List, Tuple
 from repro.core.channels import GOFLOW_QUEUE
 from repro.core.materialized import MaterializedAnalytics
 from repro.core.server import GoFlowServer
+from repro.docstore.aggregate import aggregate
+from repro.docstore.naive import naive_aggregate
 
 APP_ID = "SC"
 ROUTING_KEYS = ("FR75013.Feedback", "FR75019.Feedback", "FR92120.Feedback")
@@ -286,6 +288,44 @@ class ThreadedSoak:
         if totals is not None and totals["total"] != len(collection):
             problems.append(
                 f"materialized total={totals['total']} != stored={len(collection)}"
+            )
+
+        # columnar mirror ≡ both row engines after the dust settles: a
+        # covered figure query through the collection must agree with a
+        # from-scratch pass of the compiled and naive engines over the
+        # same snapshot, and a fresh mirror must hold every stored row.
+        pipeline = [
+            {
+                "$group": {
+                    "_id": "$model",
+                    "n": {"$count": {}},
+                    "avg_noise": {"$avg": "$noise_dba"},
+                    "localized": {
+                        "$sum": {"$cond": [{"$ifNull": ["$location", False]}, 1, 0]}
+                    },
+                }
+            }
+        ]
+        live_rows = list(collection.aggregate(pipeline))
+        snapshot = collection.iter_documents()
+        for engine, rows in (
+            ("compiled", aggregate(snapshot, pipeline)),
+            ("naive", naive_aggregate(snapshot, pipeline)),
+        ):
+            if live_rows != rows:
+                problems.append(
+                    f"collection aggregate diverged from {engine}: "
+                    f"{live_rows!r} != {rows!r}"
+                )
+        mirror_info = collection.columnar_info()
+        if (
+            mirror_info["enabled"]
+            and mirror_info["fresh"]
+            and mirror_info["rows"] != len(collection)
+        ):
+            problems.append(
+                f"columnar mirror rows={mirror_info['rows']} "
+                f"!= stored={len(collection)}"
             )
 
         # middleware_stats sums consistently at rest
