@@ -20,6 +20,11 @@ Two suites are available:
   columnar/compiled/naive cold-scan comparison. The stage selects the
   ingest mode (``baseline`` → one POST per observation, ``after`` →
   batch-sized POSTs), so the recorded speedup is the batch-path win.
+- ``wal``: durability overhead — the same REST ingest against an
+  in-memory server (``baseline`` → ``REPRO_WAL_MODE=memory``) and a
+  durable one journaling through the write-ahead log with group commit
+  (``after`` → ``REPRO_WAL_MODE=durable``), plus durable-only
+  sync-policy and recovery-replay benches.
 
 Usage::
 
@@ -48,6 +53,7 @@ SUITES = {
     "analytics": "benchmarks/test_analytics_aggregation.py",
     "concurrency": "benchmarks/test_concurrent_ingest.py",
     "batch": "benchmarks/test_batch_ingest.py",
+    "wal": "benchmarks/test_wal_ingest.py",
 }
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 
@@ -159,6 +165,15 @@ def main(argv: list[str] | None = None) -> None:
             extra_env = {
                 "REPRO_BATCH_MODE": (
                     "per_op" if args.stage == "baseline" else "batch"
+                )
+            }
+        elif args.suite == "wal":
+            # the stage selects durability: baseline measures the
+            # in-memory server, after the journaled one — the ratio is
+            # the cost of crash safety.
+            extra_env = {
+                "REPRO_WAL_MODE": (
+                    "memory" if args.stage == "baseline" else "durable"
                 )
             }
         raw = run_suite(SUITES[args.suite], args.keyword, extra_env)

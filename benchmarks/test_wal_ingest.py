@@ -1,0 +1,180 @@
+"""Durability-overhead benches: what the write-ahead log costs ingest.
+
+``run_bench.py --suite wal`` runs the end-to-end bench twice:
+
+- ``--stage baseline`` sets ``REPRO_WAL_MODE=memory`` — the in-memory
+  server, no journal (the pre-durability number);
+- ``--stage after`` sets ``REPRO_WAL_MODE=durable`` — the same REST
+  ingest against a durable server journaling every write with group
+  commit.
+
+The bench names are identical across stages, so the committed
+``BENCH_middleware.json`` reports the durability overhead directly
+(a ratio just under 1.0: the acceptance bound is durable batch-1000
+within 2x of the in-memory number).
+
+The sync-policy and recovery benches only make sense durable, so they
+run in the ``after`` stage only: the per-record cost of
+``always``/``group``/``never`` fsync policies, and how fast recovery
+replays a journal.
+"""
+
+import itertools
+import os
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.client.uplink import RestBatchUplink
+from repro.core.server import GoFlowServer
+from repro.docstore.store import DocumentStore
+from repro.docstore.wal import WalConfig
+
+INGEST_TOTAL = 1000
+APPEND_TOTAL = 1000
+
+MODELS = [
+    "GT-I9300", "GT-I9505", "Nexus 5", "Nexus 4", "GT-I9100",
+    "Xperia Z", "One S", "Desire HD", "GT-N7100", "Moto G",
+]
+PROVIDERS = ["gps", "network", "fused"]
+
+_seq = itertools.count()
+
+
+def _durable() -> bool:
+    return os.environ.get("REPRO_WAL_MODE", "durable") == "durable"
+
+
+def _payloads(count):
+    base = next(_seq) * 1_000_000
+    return [
+        {
+            "obs_id": f"bench:{base + i}",
+            "user_id": "bench",
+            "model": MODELS[i % len(MODELS)],
+            "mode": "opportunistic",
+            "taken_at": 1000.0 + i,
+            "noise_dba": 40.0 + (i % 35),
+            "app_version": "1.3",
+            "location": {
+                "x_m": float(i % 5000),
+                "y_m": float(i % 3000),
+                "provider": PROVIDERS[i % len(PROVIDERS)],
+                "accuracy_m": 5.0 + (i % 40),
+            },
+        }
+        for i in range(count)
+    ]
+
+
+def _teardown(state):
+    server = state.pop("server", None)
+    if server is not None and server.store.journal is not None:
+        server.store.journal.close()
+    data_dir = state.pop("data_dir", None)
+    if data_dir is not None:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+@pytest.mark.parametrize("batch_size", [1, 1000])
+def test_e2e_ingest_wal(benchmark, batch_size):
+    """INGEST_TOTAL observations through REST, per round.
+
+    Identical to the batch suite's end-to-end bench, except the server
+    is durable when ``REPRO_WAL_MODE=durable``: every POST journals
+    (one record per batch) under the default group-commit knobs before
+    the documents land in memory.
+    """
+    state = {}
+
+    def fresh_round():
+        _teardown(state)
+        if _durable():
+            state["data_dir"] = tempfile.mkdtemp(prefix="walbench-")
+            server = GoFlowServer(
+                durable=True,
+                data_dir=state["data_dir"],
+                wal_config=WalConfig(sync_policy="group"),
+            )
+        else:
+            server = GoFlowServer()
+        server.register_app("SC")
+        credentials = server.enroll_user("SC", "bench", "pw")
+        state["server"] = server
+        state["uplink"] = RestBatchUplink(server, token=credentials["token"])
+        state["documents"] = _payloads(INGEST_TOTAL)
+        return (), {}
+
+    def ingest_round():
+        uplink = state["uplink"]
+        documents = state["documents"]
+        for start in range(0, INGEST_TOTAL, batch_size):
+            uplink.send(documents[start : start + batch_size])
+
+    benchmark.pedantic(ingest_round, rounds=3, iterations=1, setup=fresh_round)
+    server = state["server"]
+    assert server.ingested == INGEST_TOTAL
+    if _durable():
+        info = server.store.durability_info()
+        assert info["appends"] >= INGEST_TOTAL // batch_size
+    _teardown(state)
+
+
+@pytest.mark.parametrize("policy", ["always", "group", "never"])
+def test_wal_append_policy(benchmark, policy):
+    """Per-record journaled insert cost under each sync policy.
+
+    The group-commit evidence: ``group`` amortizes the fsync over
+    batches of appends and should land near ``never`` while keeping a
+    bounded unsynced window; ``always`` pays one fsync per record.
+    """
+    if not _durable():
+        pytest.skip("sync-policy benches are durable-mode only")
+    state = {}
+
+    def fresh_round():
+        data_dir = state.get("data_dir")
+        if data_dir is not None:
+            state["store"].journal.close()
+            shutil.rmtree(data_dir, ignore_errors=True)
+        state["data_dir"] = tempfile.mkdtemp(prefix="walpolicy-")
+        state["store"] = DocumentStore.recover(
+            state["data_dir"], config=WalConfig(sync_policy=policy)
+        )
+        state["documents"] = _payloads(APPEND_TOTAL)
+        return (), {}
+
+    def append_round():
+        collection = state["store"].collection("observations")
+        for document in state["documents"]:
+            collection.insert_one(document, copy=False)
+
+    benchmark.pedantic(append_round, rounds=3, iterations=1, setup=fresh_round)
+    info = state["store"].durability_info()
+    assert info["appends"] >= APPEND_TOTAL
+    state["store"].journal.close()
+    shutil.rmtree(state["data_dir"], ignore_errors=True)
+
+
+def test_wal_recovery_replay(benchmark):
+    """Replaying a 5k-record journal back into a live store."""
+    if not _durable():
+        pytest.skip("recovery bench is durable-mode only")
+    data_dir = Path(tempfile.mkdtemp(prefix="walrecover-"))
+    store = DocumentStore.recover(data_dir, config=WalConfig(sync_policy="never"))
+    collection = store.collection("observations")
+    for document in _payloads(5000):
+        collection.insert_one(document, copy=False)
+    store.journal.close()
+
+    def recover_round():
+        recovered = DocumentStore.recover(data_dir)
+        recovered.journal.close()
+        return recovered
+
+    recovered = benchmark.pedantic(recover_round, rounds=3, iterations=1)
+    assert recovered["observations"].count() == 5000
+    shutil.rmtree(data_dir, ignore_errors=True)

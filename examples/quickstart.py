@@ -112,6 +112,20 @@ def main() -> None:
           f"{bob_client.stats.transmissions} batched transmissions; "
           f"server now holds {server.ingested} observations")
 
+    # -- durable mode (opt-in crash safety) ---------------------------------------
+    # The server above is in-memory: a crash loses everything. Pass
+    # durable=True and a data directory to journal every write through
+    # a write-ahead log and recover snapshot + log on startup — the
+    # dedup ledger is restored too, so exactly-once ingest survives a
+    # kill -9 between two server lives:
+    #
+    #     server = GoFlowServer(durable=True, data_dir="/var/lib/goflow")
+    #     server.store.checkpoint()   # compact the log into a snapshot
+    #
+    # Group commit (WalConfig(sync_policy="group")) amortizes fsyncs
+    # across appends; see docs/ARCHITECTURE.md "Durability & crash
+    # recovery" for the record format and the recovery guarantees.
+
 
 if __name__ == "__main__":
     main()

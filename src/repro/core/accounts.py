@@ -57,8 +57,10 @@ class AccountManager:
     def __init__(self, store: DocumentStore) -> None:
         self._apps = store.collection("apps")
         self._accounts = store.collection("accounts")
-        self._accounts.create_index("app_id", kind="hash")
-        self._accounts.create_index("key", kind="hash", unique=True)
+        # exist_ok: a durably recovered store replays these declarations
+        # out of the WAL before the manager re-runs them here.
+        self._accounts.create_index("app_id", kind="hash", exist_ok=True)
+        self._accounts.create_index("key", kind="hash", unique=True, exist_ok=True)
 
     # -- apps ---------------------------------------------------------------
 

@@ -98,10 +98,14 @@ class DataManager:
         self._store = store
         self._privacy = privacy
         self._observations = store.collection(OBSERVATIONS)
-        self._observations.create_index("model", kind="hash")
-        self._observations.create_index("taken_at", kind="sorted")
-        self._observations.create_index("contributor", kind="hash")
-        self._observations.create_index("location.provider", kind="hash")
+        # exist_ok: a store recovered from snapshot + WAL already
+        # declares these; re-running the declarations must be a no-op.
+        self._observations.create_index("model", kind="hash", exist_ok=True)
+        self._observations.create_index("taken_at", kind="sorted", exist_ok=True)
+        self._observations.create_index("contributor", kind="hash", exist_ok=True)
+        self._observations.create_index(
+            "location.provider", kind="hash", exist_ok=True
+        )
         # columnar mirror over the figure-query hot fields: vectorized
         # $match/$group/$sort kernels serve covered analytics pipelines
         # straight from numpy arrays (no-op when numpy is unavailable).
@@ -171,7 +175,14 @@ class DataManager:
             stored["app_id"] = app_id
             # anonymize_ingest already produced a private copy; let the
             # collection take ownership rather than cloning a second time.
-            result = self._observations.insert_one(stored, copy=False)
+            # The wire-form ledger key travels inside the insert's WAL
+            # record: recovery re-learns it if and only if the insert
+            # itself survived, keeping exactly-once across a kill -9.
+            result = self._observations.insert_one(
+                stored,
+                copy=False,
+                wal_meta={"ledger": [ledger_key]} if ledger_key is not None else None,
+            )
             self.materialized.observe(stored)
             # the ledger learns the id only once the document is durably
             # stored: a failed insert must stay retryable, not turn the
@@ -238,7 +249,12 @@ class DataManager:
                 to_store = self._privacy.anonymize_ingest_many(fresh, owned=owned)
                 for stored in to_store:
                     stored["app_id"] = app_id
-                ids = self._observations.insert_many(to_store, copy=False)
+                live_keys = [key for key in ledger_keys if key is not None]
+                ids = self._observations.insert_many(
+                    to_store,
+                    copy=False,
+                    wal_meta={"ledger": live_keys} if live_keys else None,
+                )
                 self.materialized.observe_batch(to_store)
                 for slot, doc_id in zip(store_slots, ids):
                     results[slot] = doc_id
@@ -248,6 +264,27 @@ class DataManager:
                 while len(self._dedup_ledger) > self._dedup_capacity:
                     self._dedup_ledger.popitem(last=False)
             return results
+
+    def restore_ledger(self, keys: List[str]) -> int:
+        """Reload the idempotence ledger after crash recovery.
+
+        ``keys`` come from ``DocumentStore.recover`` (snapshot state +
+        the ledger metadata of every replayed insert record), oldest
+        first; only the most recent ``dedup_capacity`` survive, exactly
+        like the live LRU. Returns the resulting ledger size.
+        """
+        with self.ingest_lock:
+            if not self._dedup_capacity:
+                return 0
+            for key in keys:
+                key = str(key)
+                if key in self._dedup_ledger:
+                    self._dedup_ledger.move_to_end(key)
+                else:
+                    self._dedup_ledger[key] = True
+            while len(self._dedup_ledger) > self._dedup_capacity:
+                self._dedup_ledger.popitem(last=False)
+            return len(self._dedup_ledger)
 
     def dedup_info(self) -> Dict[str, int]:
         """Observability snapshot of the idempotence ledger."""

@@ -39,17 +39,52 @@ class GoFlowServer:
         privacy: Optional[PrivacyPolicy] = None,
         clock: Optional[Callable[[], float]] = None,
         route_cache_size: int = DEFAULT_ROUTE_CACHE_SIZE,
+        durable: bool = False,
+        data_dir: Optional[str] = None,
+        wal_config: Optional[Any] = None,
     ) -> None:
+        """Args beyond the obvious:
+
+        durable: opt-in crash safety — recover the document store from
+            ``data_dir`` (snapshot + write-ahead log) on startup and
+            journal every write from here on. The ingest dedup ledger
+            is restored from the log, so the exactly-once guarantee
+            survives a kill -9 between two server lives.
+        data_dir: durable-mode data directory (required with durable).
+        wal_config: a :class:`repro.docstore.wal.WalConfig` overriding
+            the sync/rotation defaults (group commit, segment size).
+        """
         self._clock = clock or (lambda: 0.0)
         self.broker = broker or Broker(
             clock=self._clock, route_cache_size=route_cache_size
         )
-        self.store = store or DocumentStore(clock=self._clock)
+        if durable:
+            if data_dir is None:
+                raise ValidationError("durable=True requires data_dir")
+            if store is not None:
+                raise ValidationError("durable=True builds its own store")
+            self.store = DocumentStore.recover(
+                data_dir, clock=self._clock, config=wal_config
+            )
+        else:
+            self.store = store or DocumentStore(clock=self._clock)
         self.privacy = privacy or PrivacyPolicy()
         self.accounts = AccountManager(self.store)
         self.tokens = TokenService(self._clock)
         self.channels = ChannelManager(self.broker)
         self.data = DataManager(self.store, self.privacy)
+        if durable:
+            # the ledger keys replayed out of the WAL make a restarted
+            # server dedupe retransmissions exactly like the one that
+            # crashed would have.
+            self.data.restore_ledger(
+                self.store.recovered_state.get("dedup_ledger", [])
+            )
+            # broker topology is transient (the broker is not journaled):
+            # redeclare each recovered app's exchange so clients can log
+            # back in — their E/Q pairs are recreated lazily at login.
+            for app_id in self.accounts.app_ids():
+                self.channels.register_app(app_id)
         self.jobs = JobManager(self.store, self._clock)
         # the analytics engine serves its hot statistics from the same
         # materialized counters the ingest path keeps fresh
@@ -153,7 +188,12 @@ class GoFlowServer:
             },
             "materialized": self.data.materialized.info(),
             "columnar": self.data.collection.columnar_info(),
+            "durability": self.store.durability_info(),
         }
+
+    def checkpoint(self) -> int:
+        """Compact the WAL into a snapshot; returns the document count."""
+        return self.store.checkpoint()
 
     # -- app/user lifecycle (programmatic surface) ---------------------------------
 
@@ -207,6 +247,8 @@ class GoFlowServer:
         api.route("GET", "/apps/{app_id}/jobs/{job_id}", self._r_get_job, Role.CONTRIBUTOR)
         api.route("GET", "/apps/{app_id}/analytics/totals", self._r_totals, Role.CONTRIBUTOR)
         api.route("GET", "/apps/{app_id}/analytics/models", self._r_models, Role.CONTRIBUTOR)
+        api.route("POST", "/apps/{app_id}/admin/checkpoint", self._r_checkpoint, Role.MANAGER)
+        api.route("GET", "/apps/{app_id}/admin/durability", self._r_durability, Role.MANAGER)
 
     def handle(self, request: Request) -> Response:
         """Entry point for REST traffic."""
@@ -361,6 +403,14 @@ class GoFlowServer:
             "result": job.result,
             "error": job.error,
         }
+
+    def _r_checkpoint(self, request: Request, path: Dict[str, str], principal) -> Any:
+        if self.store.journal is None:
+            raise ValidationError("server is not running in durable mode")
+        return {"snapshot_docs": self.checkpoint()}
+
+    def _r_durability(self, request: Request, path: Dict[str, str], principal) -> Any:
+        return self.store.durability_info()
 
     def _r_totals(self, request: Request, path: Dict[str, str], principal) -> Any:
         return self.analytics.totals()

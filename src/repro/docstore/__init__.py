@@ -34,12 +34,17 @@ from repro.docstore.cursor import Cursor
 from repro.docstore.collection import Collection
 from repro.docstore.aggregate import aggregate
 from repro.docstore.store import DocumentStore
-from repro.docstore.persistence import dump_store, load_store
+from repro.docstore.persistence import dump_store, load_snapshot, load_store
+from repro.docstore.wal import WalConfig, WriteAheadLog, recover_store
 
 __all__ = [
     "DocumentStore",
     "dump_store",
+    "load_snapshot",
     "load_store",
+    "WalConfig",
+    "WriteAheadLog",
+    "recover_store",
     "Collection",
     "Cursor",
     "HashIndex",

@@ -22,7 +22,6 @@ readers do not tear the shared LRU.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple, Union
 
@@ -128,13 +127,21 @@ class AggregationResult(list):
 class Collection:
     """A named set of documents with CRUD, indexes and a planner."""
 
-    def __init__(self, name: str, clock: Optional[Callable[[], float]] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[Callable[[], float]] = None,
+        journal: Optional[Any] = None,
+    ) -> None:
         if not name:
             raise DocStoreError("collection name must be non-empty")
         self.name = name
         self._clock = clock
         self._docs: Dict[Any, Dict[str, Any]] = {}
-        self._id_counter = itertools.count(1)
+        self._next_id = 1
+        #: optional write-ahead log (see repro.docstore.wal): every
+        #: mutation journals a record *before* touching in-memory state.
+        self._journal = journal
         self._hash_indexes: Dict[str, HashIndex] = {}
         self._sorted_indexes: Dict[str, SortedIndex] = {}
         self._plan_cache: Dict[Tuple[Any, ...], Any] = {}
@@ -198,6 +205,39 @@ class Collection:
             with self._mutex:
                 return replace(self.stats)
 
+    # -- durability -----------------------------------------------------------
+
+    def attach_journal(self, journal: Optional[Any]) -> None:
+        """Attach (or detach) the write-ahead log this collection logs to."""
+        with self._rw.write():
+            self._journal = journal
+
+    def _log(self, record: Dict[str, Any]) -> None:
+        """Journal ``record`` ahead of the mutation it describes.
+
+        Called under the write lock, before in-memory state moves: if
+        the append fails (unserializable document, dead disk) the
+        operation is aborted with memory untouched. The journal's own
+        lock is always acquired after the collection lock, never
+        before.
+        """
+        if self._journal is not None:
+            record["c"] = self.name
+            self._journal.log(record)
+
+    def _take_id(self) -> int:
+        doc_id = self._next_id
+        self._next_id += 1
+        return doc_id
+
+    def _note_id(self, doc_id: Any) -> None:
+        # explicit integer _ids (snapshot/WAL replay, callers that
+        # stamp their own) advance the counter past them, so later
+        # auto-assigned ids can never collide with a restored document.
+        if isinstance(doc_id, int) and not isinstance(doc_id, bool):
+            if doc_id >= self._next_id:
+                self._next_id = doc_id + 1
+
     # -- columnar mirror ---------------------------------------------------------
 
     def enable_columnar(self, fields: Iterable[str]):
@@ -225,7 +265,13 @@ class Collection:
 
     # -- index management --------------------------------------------------------
 
-    def create_index(self, path: str, kind: str = "sorted", unique: bool = False):
+    def create_index(
+        self,
+        path: str,
+        kind: str = "sorted",
+        unique: bool = False,
+        exist_ok: bool = False,
+    ):
         """Declare an index on ``path``.
 
         Args:
@@ -233,42 +279,50 @@ class Collection:
             kind: ``"hash"`` (equality only, supports unique) or
                 ``"sorted"`` (equality + range).
             unique: enforce unique values (hash indexes only).
+            exist_ok: return the existing index instead of raising when
+                an index of this kind is already declared on ``path``
+                (recovery and re-initialization paths).
         """
         with self._rw.write():
             if kind == "hash":
-                if path in self._hash_indexes:
+                existing = self._hash_indexes.get(path)
+                if existing is not None:
+                    if exist_ok and existing.unique == unique:
+                        return existing
                     raise IndexError_(f"hash index on {path!r} already exists")
-                index = HashIndex(path, unique=unique)
-                for doc_id, doc in self._docs.items():
-                    index.insert(doc_id, doc)
-                self._hash_indexes[path] = index
-                self._clear_plan_cache()
-                return index
-            if kind == "sorted":
+            elif kind == "sorted":
                 if unique:
                     raise IndexError_("unique is only supported on hash indexes")
                 if path in self._sorted_indexes:
+                    if exist_ok:
+                        return self._sorted_indexes[path]
                     raise IndexError_(f"sorted index on {path!r} already exists")
+            else:
+                raise IndexError_(f"unknown index kind {kind!r}")
+            self._log(
+                {"op": "create_index", "path": path, "kind": kind, "unique": unique}
+            )
+            if kind == "hash":
+                index: Union[HashIndex, SortedIndex] = HashIndex(path, unique=unique)
+            else:
                 index = SortedIndex(path)
-                for doc_id, doc in self._docs.items():
-                    index.insert(doc_id, doc)
+            for doc_id, doc in self._docs.items():
+                index.insert(doc_id, doc)
+            if kind == "hash":
+                self._hash_indexes[path] = index
+            else:
                 self._sorted_indexes[path] = index
-                self._clear_plan_cache()
-                return index
-            raise IndexError_(f"unknown index kind {kind!r}")
+            self._clear_plan_cache()
+            return index
 
     def drop_index(self, path: str) -> None:
         """Remove the index(es) declared on ``path``."""
         with self._rw.write():
-            found = False
-            if path in self._hash_indexes:
-                del self._hash_indexes[path]
-                found = True
-            if path in self._sorted_indexes:
-                del self._sorted_indexes[path]
-                found = True
-            if not found:
+            if path not in self._hash_indexes and path not in self._sorted_indexes:
                 raise IndexError_(f"no index on {path!r}")
+            self._log({"op": "drop_index", "path": path})
+            self._hash_indexes.pop(path, None)
+            self._sorted_indexes.pop(path, None)
             self._clear_plan_cache()
 
     def _clear_plan_cache(self) -> None:
@@ -280,14 +334,49 @@ class Collection:
         with self._rw.read():
             return sorted(set(self._hash_indexes) | set(self._sorted_indexes))
 
+    def index_specs(self) -> List[Dict[str, Any]]:
+        """Declared indexes as ``{"path", "kind", "unique"}`` specs.
+
+        The public form of the index definitions — snapshotting and
+        observability read this instead of reaching into the private
+        index maps. Sorted by path, hash before sorted on a shared
+        path; round-trips through ``create_index``.
+        """
+        with self._rw.read():
+            specs: List[Dict[str, Any]] = []
+            for path in sorted(set(self._hash_indexes) | set(self._sorted_indexes)):
+                if path in self._hash_indexes:
+                    specs.append(
+                        {
+                            "path": path,
+                            "kind": "hash",
+                            "unique": self._hash_indexes[path].unique,
+                        }
+                    )
+                if path in self._sorted_indexes:
+                    specs.append({"path": path, "kind": "sorted", "unique": False})
+            return specs
+
     # -- insert ---------------------------------------------------------------------
 
-    def insert_one(self, document: Dict[str, Any], copy: bool = True) -> Any:
+    def insert_one(
+        self,
+        document: Dict[str, Any],
+        copy: bool = True,
+        wal_meta: Optional[Dict[str, Any]] = None,
+        _journal: bool = True,
+    ) -> Any:
         """Insert a document; returns its ``_id``.
 
         With ``copy=False`` the collection takes ownership of
         ``document`` instead of cloning it — only for callers that built
         the dict themselves and never touch it again (the ingest path).
+
+        ``wal_meta`` rides along in the durability journal record (the
+        ingest path stores the dedup-ledger keys there so recovery can
+        rebuild exactly-once state atomically with the insert).
+        ``_journal=False`` is internal: sub-operations of an already
+        journaled op (the upsert insert) must not journal twice.
         """
         if not isinstance(document, dict):
             raise DocStoreError(
@@ -295,9 +384,15 @@ class Collection:
             )
         doc = json_clone(document) if copy else document
         with self._rw.write():
-            doc_id = doc.setdefault("_id", next(self._id_counter))
+            doc_id = doc.setdefault("_id", self._take_id())
+            self._note_id(doc_id)
             if doc_id in self._docs:
                 raise DuplicateKeyError(f"duplicate _id {doc_id!r} in {self.name!r}")
+            if _journal:
+                record: Dict[str, Any] = {"op": "insert", "docs": [doc]}
+                if wal_meta:
+                    record["meta"] = wal_meta
+                self._log(record)
             self._index_insert(doc_id, doc)
             self._docs[doc_id] = doc
             self.stats.inserts += 1
@@ -306,7 +401,10 @@ class Collection:
             return doc_id
 
     def insert_many(
-        self, documents: Iterable[Dict[str, Any]], copy: bool = True
+        self,
+        documents: Iterable[Dict[str, Any]],
+        copy: bool = True,
+        wal_meta: Optional[Dict[str, Any]] = None,
     ) -> List[Any]:
         """Insert a batch atomically; returns ids in input order.
 
@@ -316,7 +414,9 @@ class Collection:
         append instead of N invalidating single steps. Sorted-index
         maintenance is bulk-loaded per batch. On any failure (duplicate
         ``_id``, unique-index violation) the already-placed prefix is
-        rolled back and nothing is inserted.
+        rolled back and nothing is inserted. The durability journal
+        sees the whole batch as one record, appended (with ``wal_meta``)
+        before any in-memory state moves.
         """
         docs: List[Dict[str, Any]] = []
         for document in documents:
@@ -328,6 +428,25 @@ class Collection:
         if not docs:
             return []
         with self._rw.write():
+            # assign ids and pre-check _id collisions before journaling:
+            # the journal must describe the batch exactly as it will be
+            # applied, and a doomed batch should not reach the log.
+            seen: Set[Any] = set()
+            for doc in docs:
+                doc_id = doc.setdefault("_id", self._take_id())
+                self._note_id(doc_id)
+                if doc_id in self._docs or doc_id in seen:
+                    raise DuplicateKeyError(
+                        f"duplicate _id {doc_id!r} in {self.name!r}"
+                    )
+                try:
+                    seen.add(doc_id)
+                except TypeError:
+                    raise DocStoreError(f"_id must be hashable, got {doc_id!r}")
+            record: Dict[str, Any] = {"op": "insert_many", "docs": docs}
+            if wal_meta:
+                record["meta"] = wal_meta
+            self._log(record)
             ids: List[Any] = []
             placed: List[Tuple[Any, Dict[str, Any]]] = []
             # non-unique hash indexes are bulk-loaded after placement
@@ -338,11 +457,7 @@ class Collection:
             bulk_hash = [ix for ix in self._hash_indexes.values() if not ix.unique]
             try:
                 for doc in docs:
-                    doc_id = doc.setdefault("_id", next(self._id_counter))
-                    if doc_id in self._docs:
-                        raise DuplicateKeyError(
-                            f"duplicate _id {doc_id!r} in {self.name!r}"
-                        )
+                    doc_id = doc["_id"]
                     inserted_hash: List[HashIndex] = []
                     try:
                         for index in unique_hash:
@@ -443,10 +558,25 @@ class Collection:
         update: Dict[str, Any],
         multi: bool,
         upsert: bool,
+        now: Any = _UNCACHED,
     ) -> UpdateResult:
-        result = UpdateResult()
-        now = self._clock() if self._clock else None
+        if now is _UNCACHED:
+            now = self._clock() if self._clock else None
         with self._rw.write():
+            result = UpdateResult()
+            # updates journal *logically* (filter + operators + clock
+            # value): replay onto the same pre-state re-derives the same
+            # post-state, and pinning ``now`` keeps $currentDate stable.
+            self._log(
+                {
+                    "op": "update",
+                    "filter": filter_doc,
+                    "update": update,
+                    "multi": multi,
+                    "upsert": upsert,
+                    "now": now,
+                }
+            )
             matched_ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
             for doc_id in matched_ids:
                 old = self._docs[doc_id]
@@ -467,7 +597,10 @@ class Collection:
                 seed = extract_equality_predicates(filter_doc)
                 base = {k: v for k, v in seed.items() if "." not in k}
                 new_doc = apply_update(base, update, now=now)
-                result.upserted_id = self.insert_one(new_doc)
+                # the update record already covers the upsert: replaying
+                # it re-runs this same branch, so the nested insert must
+                # not journal a second copy.
+                result.upserted_id = self.insert_one(new_doc, _journal=False)
             else:
                 self.stats.updates += result.modified
                 if result.modified and self._columnar is not None:
@@ -479,6 +612,7 @@ class Collection:
     def delete_one(self, filter_doc: Dict[str, Any]) -> int:
         """Delete the first match; returns 0 or 1."""
         with self._rw.write():
+            self._log({"op": "delete", "filter": filter_doc, "multi": False})
             for doc in self._iter_matching(filter_doc):
                 self._remove(doc["_id"])
                 return 1
@@ -487,6 +621,7 @@ class Collection:
     def delete_many(self, filter_doc: Dict[str, Any]) -> int:
         """Delete every match; returns the count."""
         with self._rw.write():
+            self._log({"op": "delete", "filter": filter_doc, "multi": True})
             ids = [doc["_id"] for doc in self._iter_matching(filter_doc)]
             for doc_id in ids:
                 self._remove(doc_id)
@@ -495,6 +630,7 @@ class Collection:
     def drop(self) -> None:
         """Remove every document (indexes stay declared)."""
         with self._rw.write():
+            self._log({"op": "drop_docs"})
             self._docs.clear()
             for index in self._hash_indexes.values():
                 index._map.clear()

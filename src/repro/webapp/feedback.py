@@ -62,7 +62,7 @@ class FeedbackService:
         app_id: str = "SC",
     ) -> None:
         self._feedback = store.collection("feedback")
-        self._feedback.create_index("contributor", kind="hash")
+        self._feedback.create_index("contributor", kind="hash", exist_ok=True)
         self._privacy = privacy
         self._broker = broker
         self._app_id = app_id

@@ -61,7 +61,7 @@ class JourneyService:
         app_id: str = "SC",
     ) -> None:
         self._journeys = store.collection("journeys")
-        self._journeys.create_index("owner", kind="hash")
+        self._journeys.create_index("owner", kind="hash", exist_ok=True)
         self._observations = store.collection(OBSERVATIONS)
         self._privacy = privacy
         self._broker = broker

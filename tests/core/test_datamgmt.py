@@ -89,7 +89,7 @@ class TestDedupLedger:
         original = manager.collection.insert_one
         failures = ["store briefly down"]
 
-        def flaky_insert(document, copy=True):
+        def flaky_insert(document, copy=True, **kwargs):
             if failures:
                 raise RuntimeError(failures.pop())
             return original(document, copy=copy)

@@ -120,3 +120,160 @@ class TestEndToEnd:
         loaded = load_store(path)
         original = small_campaign.server.data.collection.count()
         assert loaded["observations"].count() == original
+
+
+class TestAtomicReplace:
+    """A crash mid-dump must never destroy the previous snapshot."""
+
+    def test_failed_dump_leaves_old_snapshot_intact(self, store, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        written = dump_store(store, path)
+        before = path.read_text()
+        # second dump crashes midway: an unserializable doc raises
+        # after several lines were already written to the temp file
+        store["observations"].insert_one({"bad": object()})
+        with pytest.raises(DocStoreError):
+            dump_store(store, path)
+        assert path.read_text() == before
+        assert load_store(path)["observations"].count() == written - 1
+        # and the aborted temp file did not leak
+        assert [p.name for p in tmp_path.iterdir()] == ["snapshot.jsonl"]
+
+    def test_fresh_dump_failure_leaves_no_target(self, tmp_path):
+        store = DocumentStore()
+        store["c"].insert_one({"f": object()})
+        path = tmp_path / "snapshot.jsonl"
+        with pytest.raises(DocStoreError):
+            dump_store(store, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_dump_replaces_previous_snapshot(self, store, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        store["observations"].insert_one({"model": "EXTRA", "taken_at": 9.0})
+        dump_store(store, path)
+        assert load_store(path)["observations"].count() == 3
+
+
+class TestCorruption:
+    def test_truncated_tail_line_rejected(self, store, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        data = path.read_text()
+        path.write_text(data[: len(data) - 17])  # chop into the last record
+        with pytest.raises(DocStoreError):
+            load_store(path)
+
+    def test_corrupt_middle_line_rejected(self, store, tmp_path):
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:-4] + '!!!'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DocStoreError):
+            load_store(path)
+
+
+class TestLoadFastPath:
+    def test_loaded_store_accepts_new_auto_ids(self, store, tmp_path):
+        """Replayed integer _ids must advance the id counter.
+
+        Before the durability work, a loaded store restarted its id
+        counter at 1 and the next auto-id insert collided with a
+        restored document.
+        """
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        loaded = load_store(path)
+        new_id = loaded["observations"].insert_one({"model": "FRESH"})
+        ids = [d["_id"] for d in loaded["observations"].find({})]
+        assert len(ids) == len(set(ids))
+        assert new_id == max(i for i in ids if isinstance(i, int))
+
+    def test_large_restore_batches_inserts(self, tmp_path):
+        store = DocumentStore()
+        coll = store.collection("obs")
+        coll.insert_many([{"n": i} for i in range(500)])
+        path = tmp_path / "big.jsonl"
+        dump_store(store, path)
+        loaded = load_store(path)
+        restored = loaded["obs"]
+        assert restored.count() == 500
+        assert restored.stats_snapshot().inserts == 500
+        assert {d["n"] for d in restored.find({})} == set(range(500))
+
+
+class TestStateRecords:
+    def test_state_round_trips(self, store, tmp_path):
+        from repro.docstore.persistence import load_snapshot
+
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path, state={"dedup_ledger": ["a", "b"]}, wal_start=7)
+        loaded, state, wal_start = load_snapshot(path)
+        assert state == {"dedup_ledger": ["a", "b"]}
+        assert wal_start == 7
+        assert loaded["observations"].count() == 2
+
+    def test_plain_snapshot_defaults(self, store, tmp_path):
+        from repro.docstore.persistence import load_snapshot
+
+        path = tmp_path / "snapshot.jsonl"
+        dump_store(store, path)
+        _, state, wal_start = load_snapshot(path)
+        assert state == {}
+        assert wal_start == 1
+
+
+# -- property-based round trip ------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+FIELD_NAMES = st.sampled_from(
+    ["model", "noise_dba", "taken_at", "label", "текст", "場所", "naïve"]
+)
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),  # exercises unicode payloads
+)
+VALUES = st.recursive(
+    SCALARS,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(FIELD_NAMES, children, max_size=3),
+    ),
+    max_leaves=8,
+)
+DOCUMENTS = st.dictionaries(FIELD_NAMES, VALUES, max_size=4)
+INDEX_KINDS = st.sampled_from([("hash", False), ("hash", True), ("sorted", False)])
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(docs=st.lists(DOCUMENTS, max_size=12), index=INDEX_KINDS)
+    def test_dump_load_preserves_everything(self, docs, index, tmp_path_factory):
+        kind, unique = index
+        store = DocumentStore(name="prop")
+        coll = store.collection("observations")
+        # a unique index over always-distinct values so inserts never clash
+        coll.create_index("uniq" if unique else "model", kind=kind, unique=unique)
+        for position, doc in enumerate(docs):
+            coll.insert_one(dict(doc, uniq=position))
+
+        path = tmp_path_factory.mktemp("prop") / "snapshot.jsonl"
+        dump_store(store, path)
+        loaded = load_store(path)
+        restored = loaded["observations"]
+
+        original = {d["_id"]: d for d in coll.find({})}
+        replayed = {d["_id"]: d for d in restored.find({})}
+        assert replayed == original  # documents and _ids survive exactly
+
+        assert restored.index_specs() == coll.index_specs()
+        if unique and docs:
+            with pytest.raises(DuplicateKeyError):
+                restored.insert_one({"uniq": 0})
