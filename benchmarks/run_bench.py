@@ -25,6 +25,10 @@ Two suites are available:
   durable one journaling through the write-ahead log with group commit
   (``after`` → ``REPRO_WAL_MODE=durable``), plus durable-only
   sync-policy and recovery-replay benches.
+- ``sharding``: horizontal scaling — the same live ingest window over
+  a 200k standing corpus routed through 1, 2, 4 and 8 shards. The
+  post-run summary also records ``sharding_scaling``: the live-window
+  speedup of every shard count over the single-shard run.
 
 Usage::
 
@@ -54,6 +58,7 @@ SUITES = {
     "concurrency": "benchmarks/test_concurrent_ingest.py",
     "batch": "benchmarks/test_batch_ingest.py",
     "wal": "benchmarks/test_wal_ingest.py",
+    "sharding": "benchmarks/test_sharded_ingest.py",
 }
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 
@@ -133,6 +138,35 @@ def speedups(stages: dict) -> dict:
     return result
 
 
+def sharding_scaling(stages: dict) -> dict:
+    """Live-window speedup of each shard count over the 1-shard run.
+
+    Reads the ``sharding:*`` stages; the interesting number is the
+    ``shards=8`` entry — the acceptance bar for horizontal scaling.
+    """
+    result = {}
+    for stage, summary in stages.items():
+        if not stage.startswith("sharding:"):
+            continue
+        benches = summary.get("benchmarks", {})
+
+        def best(name):
+            stats = benches.get(name, {})
+            return stats.get("min") or stats.get("mean")
+
+        single = best("test_sharded_ingest_scaling[1]")
+        if not single:
+            continue
+        ratios = {}
+        for shards in (2, 4, 8):
+            fastest = best(f"test_sharded_ingest_scaling[{shards}]")
+            if fastest:
+                ratios[f"shards={shards}"] = round(single / fastest, 2)
+        if ratios:
+            result[stage] = ratios
+    return result
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--stage", default="after", help="stage label (baseline/after)")
@@ -188,11 +222,17 @@ def main(argv: list[str] | None = None) -> None:
     ratio = speedups(document["stages"])
     if ratio:
         document["speedup_baseline_over_after"] = ratio
+    scaling = sharding_scaling(document["stages"])
+    if scaling:
+        document["sharding_scaling"] = scaling
     args.output.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
 
     print(f"wrote stage {stage!r} to {args.output}")
     for name, factor in sorted(ratio.items()):
         print(f"  {name}: {factor}x")
+    for stage_name, ratios in sorted(scaling.items()):
+        for shards, factor in sorted(ratios.items()):
+            print(f"  {stage_name} {shards}: {factor}x vs 1 shard")
 
 
 if __name__ == "__main__":

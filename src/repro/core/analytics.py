@@ -35,14 +35,21 @@ class AnalyticsEngine:
             ``DataManager`` feeds at ingest). When None, the engine
             builds its own — kept exact by rebuild-on-write-detection
             rather than by ingest notifications.
+        observations: an override for the observations collection —
+            any object with ``count``/``aggregate``. A sharded server
+            passes its scatter-gather collection facade here so every
+            statistic spans the whole fleet.
     """
 
     def __init__(
         self,
         store: DocumentStore,
         materialized: Optional[MaterializedAnalytics] = None,
+        observations: Optional[Any] = None,
     ) -> None:
-        self._observations = store.collection(OBSERVATIONS)
+        self._observations = (
+            observations if observations is not None else store.collection(OBSERVATIONS)
+        )
         self._materialized = (
             materialized
             if materialized is not None

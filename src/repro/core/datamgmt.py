@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro import concurrency
 from repro.core.errors import ValidationError
@@ -83,6 +83,12 @@ class DataManager:
             recently seen ``obs_id`` values are remembered to collapse
             at-least-once broker deliveries into exactly-once storage.
             0 disables deduplication.
+        region_fn: when this manager is one shard of a sharded
+            deployment, the router's region routing key function. Each
+            ledger entry then remembers the region its observation
+            routed by (journaled alongside the key in the insert's WAL
+            record), so a topology change can hand a region's dedup
+            state to the shard that now owns it.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class DataManager:
         store: DocumentStore,
         privacy: PrivacyPolicy,
         dedup_capacity: int = DEFAULT_DEDUP_CAPACITY,
+        region_fn: Optional[Callable[[Dict[str, Any]], str]] = None,
     ) -> None:
         if dedup_capacity < 0:
             raise ValidationError(
@@ -126,7 +133,11 @@ class DataManager:
         #: and shared with the analytics engine by the server.
         self.materialized = MaterializedAnalytics(self._observations)
         self._dedup_capacity = dedup_capacity
-        self._dedup_ledger: "OrderedDict[str, bool]" = OrderedDict()
+        # key -> True (unsharded) or the region string the observation
+        # routed by (sharded): the value is what lets rebalancing find
+        # and move a region's ledger entries.
+        self._dedup_ledger: "OrderedDict[str, Any]" = OrderedDict()
+        self._region_fn = region_fn
         self.dedup_hits = 0
         #: public, re-entrant: serializes the whole dedup-check → insert
         #: → observe → ledger-commit sequence. The server wraps its own
@@ -164,6 +175,7 @@ class DataManager:
         # from both missing the ledger at once.
         with self.ingest_lock:
             ledger_key: Optional[str] = None
+            ledger_value: Any = True
             obs_id = document.get("obs_id")
             if obs_id is not None and self._dedup_capacity:
                 ledger_key = str(obs_id)
@@ -171,6 +183,8 @@ class DataManager:
                     self._dedup_ledger.move_to_end(ledger_key)
                     self.dedup_hits += 1
                     return None
+                if self._region_fn is not None:
+                    ledger_value = self._region_fn(document)
             stored = self._privacy.anonymize_ingest(document)
             stored["app_id"] = app_id
             # anonymize_ingest already produced a private copy; let the
@@ -178,17 +192,20 @@ class DataManager:
             # The wire-form ledger key travels inside the insert's WAL
             # record: recovery re-learns it if and only if the insert
             # itself survived, keeping exactly-once across a kill -9.
+            wal_meta = None
+            if ledger_key is not None:
+                wal_meta = {"ledger": [ledger_key]}
+                if self._region_fn is not None:
+                    wal_meta["regions"] = [ledger_value]
             result = self._observations.insert_one(
-                stored,
-                copy=False,
-                wal_meta={"ledger": [ledger_key]} if ledger_key is not None else None,
+                stored, copy=False, wal_meta=wal_meta
             )
             self.materialized.observe(stored)
             # the ledger learns the id only once the document is durably
             # stored: a failed insert must stay retryable, not turn the
             # client's redelivery into a dedup hit (silent data loss).
             if ledger_key is not None:
-                self._dedup_ledger[ledger_key] = True
+                self._dedup_ledger[ledger_key] = ledger_value
                 if len(self._dedup_ledger) > self._dedup_capacity:
                     self._dedup_ledger.popitem(last=False)
             return result
@@ -225,9 +242,11 @@ class DataManager:
             fresh: List[Dict[str, Any]] = []
             store_slots: List[int] = []
             ledger_keys: List[Optional[str]] = []
+            ledger_values: List[Any] = []
             seen_in_batch: set = set()
             for document in documents:
                 ledger_key: Optional[str] = None
+                ledger_value: Any = True
                 obs_id = document.get("obs_id")
                 if obs_id is not None and self._dedup_capacity:
                     ledger_key = str(obs_id)
@@ -241,50 +260,151 @@ class DataManager:
                         results.append(None)
                         continue
                     seen_in_batch.add(ledger_key)
+                    if self._region_fn is not None:
+                        ledger_value = self._region_fn(document)
                 store_slots.append(len(results))
                 results.append(None)
                 fresh.append(document)
                 ledger_keys.append(ledger_key)
+                ledger_values.append(ledger_value)
             if fresh:
                 to_store = self._privacy.anonymize_ingest_many(fresh, owned=owned)
                 for stored in to_store:
                     stored["app_id"] = app_id
                 live_keys = [key for key in ledger_keys if key is not None]
+                wal_meta = None
+                if live_keys:
+                    wal_meta = {"ledger": live_keys}
+                    if self._region_fn is not None:
+                        wal_meta["regions"] = [
+                            value
+                            for key, value in zip(ledger_keys, ledger_values)
+                            if key is not None
+                        ]
                 ids = self._observations.insert_many(
-                    to_store,
-                    copy=False,
-                    wal_meta={"ledger": live_keys} if live_keys else None,
+                    to_store, copy=False, wal_meta=wal_meta
                 )
                 self.materialized.observe_batch(to_store)
                 for slot, doc_id in zip(store_slots, ids):
                     results[slot] = doc_id
-                for ledger_key in ledger_keys:
+                for ledger_key, ledger_value in zip(ledger_keys, ledger_values):
                     if ledger_key is not None:
-                        self._dedup_ledger[ledger_key] = True
+                        self._dedup_ledger[ledger_key] = ledger_value
                 while len(self._dedup_ledger) > self._dedup_capacity:
                     self._dedup_ledger.popitem(last=False)
             return results
 
-    def restore_ledger(self, keys: List[str]) -> int:
+    def restore_ledger(
+        self, keys: List[str], regions: Optional[List[Any]] = None
+    ) -> int:
         """Reload the idempotence ledger after crash recovery.
 
         ``keys`` come from ``DocumentStore.recover`` (snapshot state +
         the ledger metadata of every replayed insert record), oldest
         first; only the most recent ``dedup_capacity`` survive, exactly
-        like the live LRU. Returns the resulting ledger size.
+        like the live LRU. ``regions`` is the parallel per-key region
+        list recovered alongside (sharded deployments). Returns the
+        resulting ledger size.
         """
         with self.ingest_lock:
             if not self._dedup_capacity:
                 return 0
-            for key in keys:
+            for index, key in enumerate(keys):
                 key = str(key)
+                value: Any = True
+                if regions is not None and index < len(regions):
+                    value = regions[index]
                 if key in self._dedup_ledger:
                     self._dedup_ledger.move_to_end(key)
-                else:
-                    self._dedup_ledger[key] = True
+                self._dedup_ledger[key] = value
             while len(self._dedup_ledger) > self._dedup_capacity:
                 self._dedup_ledger.popitem(last=False)
             return len(self._dedup_ledger)
+
+    # -- shard rebalancing ----------------------------------------------------
+
+    def ledger_entries_for(
+        self, regions: Optional[Iterable[str]]
+    ) -> List[Tuple[str, Any]]:
+        """The ledger entries whose observations routed by ``regions``
+        (None: every region-tagged entry — a draining shard hands them
+        all off)."""
+        wanted = None if regions is None else set(regions)
+        with self.ingest_lock:
+            return [
+                (key, value)
+                for key, value in self._dedup_ledger.items()
+                if (isinstance(value, str) if wanted is None else value in wanted)
+            ]
+
+    def adopt(
+        self,
+        documents: List[Dict[str, Any]],
+        ledger_entries: List[Tuple[str, Any]],
+    ) -> List[Any]:
+        """Rebalance receive path: take ownership of already-stored
+        observations handed off by another shard.
+
+        ``documents`` are storage-form clones that keep their global
+        ``_id``s; they replay through the journaled ``insert_many``
+        path with the handed-off ledger keys/regions riding the WAL
+        record, so both the documents and the dedup state survive a
+        crash mid-rebalance exactly like a first ingest would.
+        """
+        with self.ingest_lock:
+            ids: List[Any] = []
+            keys = [key for key, _ in ledger_entries]
+            values = [value for _, value in ledger_entries]
+            if documents:
+                wal_meta = None
+                if keys:
+                    wal_meta = {"ledger": keys, "regions": values}
+                ids = self._observations.insert_many(
+                    documents, copy=False, wal_meta=wal_meta
+                )
+                self.materialized.observe_batch(documents)
+            elif keys:
+                # ledger entries with no surviving documents (retention
+                # expiry, erasure) still need a journaled carrier.
+                journal = self._store.journal
+                if journal is not None:
+                    journal.log(
+                        {
+                            "op": "ledger",
+                            "c": OBSERVATIONS,
+                            "keys": keys,
+                            "regions": values,
+                        }
+                    )
+            if self._dedup_capacity:
+                for key, value in ledger_entries:
+                    if key in self._dedup_ledger:
+                        self._dedup_ledger.move_to_end(key)
+                    self._dedup_ledger[key] = value
+                while len(self._dedup_ledger) > self._dedup_capacity:
+                    self._dedup_ledger.popitem(last=False)
+            return ids
+
+    def release_keys(self, keys: Iterable[str]) -> int:
+        """Rebalance send path: forget handed-off ledger entries.
+
+        Live-state hygiene only (not journaled): stale keys in this
+        shard's WAL are harmless because the region no longer routes
+        here, while the adopting shard's journal now owns the entries.
+        """
+        with self.ingest_lock:
+            removed = 0
+            for key in keys:
+                if self._dedup_ledger.pop(key, None) is not None:
+                    removed += 1
+            return removed
+
+    def remove_documents(self, ids: Iterable[Any]) -> int:
+        """Rebalance send path: journaled delete of handed-off docs."""
+        removed = 0
+        for doc_id in ids:
+            removed += self._observations.delete_one({"_id": doc_id})
+        return removed
 
     def dedup_info(self) -> Dict[str, int]:
         """Observability snapshot of the idempotence ledger."""

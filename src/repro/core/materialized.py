@@ -173,6 +173,30 @@ class MaterializedAnalytics:
                 for entry in self._models.values()
             ]
 
+    def model_entries(
+        self,
+    ) -> Optional[List[Tuple[Any, int, set, int]]]:
+        """Raw per-model state for cross-shard merging, or None.
+
+        Rows are ``(model, measurements, contributors, localized)``
+        with the contributor *set* intact — distinct-device counts are
+        not additive across partitions, so a shard coordinator needs
+        the sets to union before collapsing them to sizes.
+        """
+        with self._lock:
+            self._ensure_fresh()
+            if self._degraded_models:
+                return None
+            return [
+                (
+                    entry.value,
+                    entry.measurements,
+                    set(entry.contributors),
+                    entry.localized,
+                )
+                for entry in self._models.values()
+            ]
+
     def day_counts(self) -> Optional[List[Dict[str, Any]]]:
         """``{"_id": day, "count"}`` rows sorted by day, or None."""
         with self._lock:

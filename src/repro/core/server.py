@@ -13,7 +13,8 @@ document store:
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.broker.broker import Broker, DEFAULT_ROUTE_CACHE_SIZE
 from repro.broker.message import Delivery
@@ -27,6 +28,7 @@ from repro.core.errors import ValidationError
 from repro.core.jobs import JobManager
 from repro.core.privacy import PrivacyPolicy
 from repro.docstore.store import DocumentStore
+from repro.sharding.router import ShardRouter, ShardingConfig
 
 
 class GoFlowServer:
@@ -42,6 +44,7 @@ class GoFlowServer:
         durable: bool = False,
         data_dir: Optional[str] = None,
         wal_config: Optional[Any] = None,
+        sharding: Optional[Union[int, ShardingConfig]] = None,
     ) -> None:
         """Args beyond the obvious:
 
@@ -53,6 +56,14 @@ class GoFlowServer:
         data_dir: durable-mode data directory (required with durable).
         wal_config: a :class:`repro.docstore.wal.WalConfig` overriding
             the sync/rotation defaults (group commit, segment size).
+        sharding: opt-in horizontal partitioning — a shard count (or a
+            :class:`~repro.sharding.router.ShardingConfig`) splits the
+            observation plane across that many store+broker shards
+            behind a :class:`~repro.sharding.router.ShardRouter`
+            keyed by each observation's region. ``self.data`` becomes
+            the router; accounts, jobs and tokens stay on the server's
+            own store. With ``durable`` the shards journal under
+            ``data_dir/shards/<name>``.
         """
         self._clock = clock or (lambda: 0.0)
         self.broker = broker or Broker(
@@ -72,14 +83,36 @@ class GoFlowServer:
         self.accounts = AccountManager(self.store)
         self.tokens = TokenService(self._clock)
         self.channels = ChannelManager(self.broker)
-        self.data = DataManager(self.store, self.privacy)
-        if durable:
-            # the ledger keys replayed out of the WAL make a restarted
-            # server dedupe retransmissions exactly like the one that
-            # crashed would have.
-            self.data.restore_ledger(
-                self.store.recovered_state.get("dedup_ledger", [])
+        if sharding is not None:
+            config = (
+                sharding
+                if isinstance(sharding, ShardingConfig)
+                else ShardingConfig(shards=sharding)
             )
+            self.router: Optional[ShardRouter] = ShardRouter(
+                self.privacy,
+                clock=self._clock,
+                config=config,
+                durable=durable,
+                data_dir=(str(Path(data_dir) / "shards") if durable else None),
+                wal_config=wal_config,
+            )
+            # the router speaks the DataManager surface; everything
+            # downstream (REST handlers, analytics, packaging) is
+            # oblivious to the partitioning.
+            self.data: Any = self.router
+        else:
+            self.router = None
+            self.data = DataManager(self.store, self.privacy)
+            if durable:
+                # the ledger keys replayed out of the WAL make a
+                # restarted server dedupe retransmissions exactly like
+                # the one that crashed would have. (A sharded router
+                # restores each shard's ledger itself.)
+                self.data.restore_ledger(
+                    self.store.recovered_state.get("dedup_ledger", [])
+                )
+        if durable:
             # broker topology is transient (the broker is not journaled):
             # redeclare each recovered app's exchange so clients can log
             # back in — their E/Q pairs are recreated lazily at login.
@@ -87,17 +120,35 @@ class GoFlowServer:
                 self.channels.register_app(app_id)
         self.jobs = JobManager(self.store, self._clock)
         # the analytics engine serves its hot statistics from the same
-        # materialized counters the ingest path keeps fresh
+        # materialized counters the ingest path keeps fresh; a sharded
+        # server also swaps in the scatter-gather collection facade so
+        # pipeline fallbacks span every shard.
         self.analytics = AnalyticsEngine(
-            self.store, materialized=self.data.materialized
+            self.store,
+            materialized=self.data.materialized,
+            observations=(self.data.collection if self.router is not None else None),
         )
         self.api = GoFlowAPI(self.tokens)
         # counters exist before the consumer is registered: a delivery
         # racing construction must find them, not an AttributeError.
-        self.ingested = 0
-        self.deduped = 0
+        self._ingested = 0
+        self._deduped = 0
         self._register_routes()
         self._start_ingest()
+
+    @property
+    def ingested(self) -> int:
+        """Observations stored (summed across shards when sharded)."""
+        if self.router is not None:
+            return self.router.total_ingested
+        return self._ingested
+
+    @property
+    def deduped(self) -> int:
+        """Redeliveries collapsed by the dedup ledger (all shards)."""
+        if self.router is not None:
+            return self.router.total_deduped
+        return self._deduped
 
     # -- ingest path ------------------------------------------------------------
 
@@ -117,6 +168,11 @@ class GoFlowServer:
         app_id = document.get("app_id") or self._app_from_key(
             delivery.message.routing_key
         )
+        if self.router is not None:
+            # the router locks the owning shard and moves that shard's
+            # counters itself; server totals are summed on demand.
+            self.router.ingest(app_id, document)
+            return
         # the delivery counters move under the same lock as the dedup
         # ledger, so at any instant ``deduped == dedup_ledger["hits"]``
         # for traffic that flows through this server.
@@ -124,9 +180,9 @@ class GoFlowServer:
             if self.data.ingest(app_id, document) is None:
                 # at-least-once uplink redelivered a known obs_id: the
                 # ledger collapsed it to exactly-once storage.
-                self.deduped += 1
+                self._deduped += 1
             else:
-                self.ingested += 1
+                self._ingested += 1
 
     @staticmethod
     def _app_from_key(routing_key: str) -> str:
@@ -154,19 +210,26 @@ class GoFlowServer:
         collection_stats = self.data.collection.stats_snapshot()
         goflow_queue = self.broker.get_queue(GOFLOW_QUEUE)
         queue_stats = goflow_queue.stats_snapshot()
-        with self.data.ingest_lock:
-            reliability = {
-                "deduped": self.deduped,
-                "ingested": self.ingested,
-                "dedup_ledger": self.data.dedup_info(),
-                "redeliveries": queue_stats.requeued,
-                "delayed_in_flight": self.broker.delayed_count,
-                "faults": (
-                    self.broker.faults.info()
-                    if self.broker.faults is not None
-                    else None
-                ),
-            }
+        broker_extras = {
+            "redeliveries": queue_stats.requeued,
+            "delayed_in_flight": self.broker.delayed_count,
+            "faults": (
+                self.broker.faults.info() if self.broker.faults is not None else None
+            ),
+        }
+        if self.router is not None:
+            # one pass with every shard's ingest lock held: the merged
+            # counters are as coherent as a single shard's would be.
+            reliability = self.router.reliability_snapshot()
+            reliability.update(broker_extras)
+        else:
+            with self.data.ingest_lock:
+                reliability = {
+                    "deduped": self._deduped,
+                    "ingested": self._ingested,
+                    "dedup_ledger": self.data.dedup_info(),
+                    **broker_extras,
+                }
         return {
             "ingested": reliability.pop("ingested"),
             "reliability": reliability,
@@ -188,11 +251,29 @@ class GoFlowServer:
             },
             "materialized": self.data.materialized.info(),
             "columnar": self.data.collection.columnar_info(),
-            "durability": self.store.durability_info(),
+            "durability": (
+                self.router.durability_info()
+                if self.router is not None
+                else self.store.durability_info()
+            ),
+            "sharding": (
+                self.router.sharding_stats()
+                if self.router is not None
+                else {"enabled": False}
+            ),
         }
 
     def checkpoint(self) -> int:
-        """Compact the WAL into a snapshot; returns the document count."""
+        """Compact the WAL into a snapshot; returns the document count.
+
+        A sharded server checkpoints every shard plus its own
+        (accounts/jobs) store and returns the summed document count.
+        """
+        if self.router is not None:
+            total = sum(self.router.checkpoint().values())
+            if self.store.journal is not None:
+                total += self.store.checkpoint()
+            return total
         return self.store.checkpoint()
 
     # -- app/user lifecycle (programmatic surface) ---------------------------------
@@ -249,6 +330,9 @@ class GoFlowServer:
         api.route("GET", "/apps/{app_id}/analytics/models", self._r_models, Role.CONTRIBUTOR)
         api.route("POST", "/apps/{app_id}/admin/checkpoint", self._r_checkpoint, Role.MANAGER)
         api.route("GET", "/apps/{app_id}/admin/durability", self._r_durability, Role.MANAGER)
+        api.route("GET", "/apps/{app_id}/admin/sharding", self._r_sharding, Role.MANAGER)
+        api.route("POST", "/apps/{app_id}/admin/shards", self._r_add_shard, Role.MANAGER)
+        api.route("DELETE", "/apps/{app_id}/admin/shards/{shard}", self._r_remove_shard, Role.MANAGER)
 
     def handle(self, request: Request) -> Response:
         """Entry point for REST traffic."""
@@ -312,14 +396,23 @@ class GoFlowServer:
         for observation in observations:
             if not isinstance(observation, dict):
                 raise ValidationError("each observation must be a dict")
-        # same lock discipline as _on_delivery: the server's delivery
-        # counters move with the ledger, never apart from it.
-        with self.data.ingest_lock:
-            ids = self.data.ingest_many(path["app_id"], observations, owned=owned)
+        if self.router is not None:
+            # the router splits the batch by owning shard and counts
+            # per shard under each shard's own ingest lock.
+            ids = self.router.ingest_many(path["app_id"], observations, owned=owned)
             stored = sum(1 for doc_id in ids if doc_id is not None)
             deduped = len(ids) - stored
-            self.ingested += stored
-            self.deduped += deduped
+        else:
+            # same lock discipline as _on_delivery: the server's delivery
+            # counters move with the ledger, never apart from it.
+            with self.data.ingest_lock:
+                ids = self.data.ingest_many(
+                    path["app_id"], observations, owned=owned
+                )
+                stored = sum(1 for doc_id in ids if doc_id is not None)
+                deduped = len(ids) - stored
+                self._ingested += stored
+                self._deduped += deduped
         return {
             "accepted": [doc_id is not None for doc_id in ids],
             "ingested": stored,
@@ -410,7 +503,25 @@ class GoFlowServer:
         return {"snapshot_docs": self.checkpoint()}
 
     def _r_durability(self, request: Request, path: Dict[str, str], principal) -> Any:
+        if self.router is not None:
+            return self.router.durability_info()
         return self.store.durability_info()
+
+    def _r_sharding(self, request: Request, path: Dict[str, str], principal) -> Any:
+        if self.router is None:
+            return {"enabled": False}
+        return self.router.sharding_stats()
+
+    def _r_add_shard(self, request: Request, path: Dict[str, str], principal) -> Any:
+        if self.router is None:
+            raise ValidationError("server is not running in sharded mode")
+        body = request.body or {}
+        return self.router.add_shard(body.get("name"))
+
+    def _r_remove_shard(self, request: Request, path: Dict[str, str], principal) -> Any:
+        if self.router is None:
+            raise ValidationError("server is not running in sharded mode")
+        return self.router.remove_shard(path["shard"])
 
     def _r_totals(self, request: Request, path: Dict[str, str], principal) -> Any:
         return self.analytics.totals()

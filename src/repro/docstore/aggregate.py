@@ -244,30 +244,51 @@ def _safe_group_key(value: Any) -> Any:
 
 
 class _SumState:
-    __slots__ = ("total",)
+    # ``exact`` goes False once a float feeds the state: float addition
+    # is order-dependent, so a partitioned fold of this state is no
+    # longer guaranteed bit-identical to the sequential sum (same
+    # fallback philosophy as the columnar mirror's big-float flags).
+    __slots__ = ("total", "exact")
 
     def __init__(self) -> None:
         self.total: Any = 0
+        self.exact = True
 
     def feed(self, value: Any) -> None:
         if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if isinstance(value, float):
+                self.exact = False
             self.total += value
+
+    def merge(self, other: "_SumState") -> None:
+        self.total += other.total
+        self.exact = self.exact and other.exact
 
     def result(self) -> Any:
         return self.total
 
 
 class _AvgState:
-    __slots__ = ("total", "count")
+    __slots__ = ("total", "count", "exact")
 
     def __init__(self) -> None:
         self.total: Any = 0
         self.count = 0
+        self.exact = True
 
     def feed(self, value: Any) -> None:
         if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if isinstance(value, float):
+                self.exact = False
             self.total += value
             self.count += 1
+
+    def merge(self, other: "_AvgState") -> None:
+        # $avg merges as a (sum, count) pair — averaging the per-shard
+        # averages would weight small shards equally with large ones.
+        self.total += other.total
+        self.count += other.count
+        self.exact = self.exact and other.exact
 
     def result(self) -> Any:
         return self.total / self.count if self.count else None
@@ -284,6 +305,10 @@ class _MinState:
             if self.best is None or value < self.best:
                 self.best = value
 
+    def merge(self, other: "_MinState") -> None:
+        if other.best is not None and (self.best is None or other.best < self.best):
+            self.best = other.best
+
     def result(self) -> Any:
         return self.best
 
@@ -298,6 +323,10 @@ class _MaxState:
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             if self.best is None or value > self.best:
                 self.best = value
+
+    def merge(self, other: "_MaxState") -> None:
+        if other.best is not None and (self.best is None or other.best > self.best):
+            self.best = other.best
 
     def result(self) -> Any:
         return self.best
@@ -382,6 +411,9 @@ class _CountState:
     def feed(self, value: Any) -> None:
         self.count += 1
 
+    def merge(self, other: "_CountState") -> None:
+        self.count += other.count
+
     def result(self) -> Any:
         return self.count
 
@@ -399,6 +431,14 @@ _ACCUMULATOR_STATES = {
 }
 
 _ACCUMULATOR_OPS = frozenset(_ACCUMULATOR_STATES)
+
+#: Accumulators whose per-partition states combine losslessly via
+#: ``merge()`` — the scatter-gather coordinator may fold these per shard
+#: and re-group centrally. Order-dependent ($first/$last) and
+#: list-building ($push/$addToSet) accumulators are excluded: their
+#: merge would need the global document order, so pipelines using them
+#: gather documents centrally instead.
+MERGEABLE_ACCUMULATORS = frozenset({"$sum", "$avg", "$min", "$max", "$count"})
 
 #: (output field, value closure, state factory)
 AccSpec = Tuple[str, ExprFn, Callable[[], Any]]
@@ -763,6 +803,25 @@ class CompiledPipeline:
                 raise QuerySyntaxError(f"unknown pipeline stage {op!r}")
             index += 2 if fused else 1
 
+    def stream(
+        self,
+        documents: Iterable[Dict[str, Any]],
+        skip_leading_match: bool = False,
+    ) -> Iterable[Dict[str, Any]]:
+        """The raw stage chain over ``documents`` — no exit clone.
+
+        Yielded documents may alias stored ones; callers must treat them
+        as read-only (the scatter-gather fold consumes them without ever
+        handing them out, which is why it can skip the per-row clone).
+        """
+        stages = self._stages
+        if skip_leading_match and self.leading_match is not None:
+            stages = stages[self._post_match_index:]
+        stream: Iterable[Dict[str, Any]] = documents
+        for stage in stages:
+            stream = stage(stream)
+        return stream
+
     def run(
         self,
         documents: Iterable[Dict[str, Any]],
@@ -774,13 +833,10 @@ class CompiledPipeline:
         documents (one ``json_clone`` per result instead of a deepcopy
         per stage per document).
         """
-        stages = self._stages
-        if skip_leading_match and self.leading_match is not None:
-            stages = stages[self._post_match_index:]
-        stream: Iterable[Dict[str, Any]] = documents
-        for stage in stages:
-            stream = stage(stream)
-        return [json_clone(doc) for doc in stream]
+        return [
+            json_clone(doc)
+            for doc in self.stream(documents, skip_leading_match=skip_leading_match)
+        ]
 
 
 def compile_pipeline(pipeline: List[Dict[str, Any]]) -> CompiledPipeline:

@@ -408,10 +408,28 @@ def _fsync_dir(directory: Path) -> None:
         os.close(fd)
 
 
+def _learn_ledger(ledger: "OrderedDict[str, Any]", meta: Dict[str, Any]) -> None:
+    """Learn dedup keys (and, sharded, their regions) from a record.
+
+    ``regions`` is a parallel list added by sharded deployments; plain
+    deployments journal keys only and every entry learns as ``True``.
+    """
+    keys = meta.get("ledger")
+    if keys is None:
+        keys = meta.get("keys", ())
+    regions = meta.get("regions", ())
+    for index, key in enumerate(keys):
+        key = str(key)
+        value = regions[index] if index < len(regions) else True
+        if key in ledger:
+            ledger.move_to_end(key)
+        ledger[key] = value
+
+
 def _apply_record(
     store: DocumentStore,
     record: Dict[str, Any],
-    ledger: "OrderedDict[str, bool]",
+    ledger: "OrderedDict[str, Any]",
     stats: Dict[str, int],
 ) -> None:
     """Replay one journal record onto ``store``.
@@ -435,12 +453,11 @@ def _apply_record(
                 collection.insert_one(docs[0], copy=False)
             else:
                 collection.insert_many(docs, copy=False)
-            for key in record.get("meta", {}).get("ledger", ()):
-                key = str(key)
-                if key in ledger:
-                    ledger.move_to_end(key)
-                else:
-                    ledger[key] = True
+            _learn_ledger(ledger, record.get("meta", {}))
+        elif op == "ledger":
+            # standalone dedup-state carrier: shard rebalancing hands
+            # off ledger entries whose documents no longer exist
+            _learn_ledger(ledger, record)
         elif op == "update":
             store.collection(record["c"])._update(
                 record["filter"],
@@ -511,8 +528,13 @@ def _replay_directory(
         store = DocumentStore(name=name, clock=clock)
         state = {}
         wal_start = 1
-    ledger: "OrderedDict[str, bool]" = OrderedDict(
-        (str(key), True) for key in state.get("dedup_ledger", ())
+    snapshot_regions = state.get("dedup_regions", ())
+    ledger: "OrderedDict[str, Any]" = OrderedDict(
+        (
+            str(key),
+            snapshot_regions[i] if i < len(snapshot_regions) else True,
+        )
+        for i, key in enumerate(state.get("dedup_ledger", ()))
     )
     last_lsn = int(state.pop("_wal", {}).get("lsn", 0))
     last_seq = wal_start - 1
@@ -554,6 +576,7 @@ def _replay_directory(
                     handle.flush()
                     os.fsync(handle.fileno())
     state["dedup_ledger"] = list(ledger)
+    state["dedup_regions"] = list(ledger.values())
     stats["last_lsn"] = last_lsn
     stats["last_seq"] = last_seq
     return store, state, stats

@@ -1,0 +1,16 @@
+"""Horizontal sharding: consistent-hash ring + scatter-gather router.
+
+The paper's deployment (Fig. 3) gives every client its own broker
+queue, which makes the whole plane naturally partitionable by the
+observation's *region* routing key. This package partitions the
+middleware along that key: each shard owns a full vertical slice
+(``DocumentStore`` + broker + :class:`~repro.core.datamgmt.DataManager`)
+and a thin :class:`ShardRouter` front routes ingest by region and
+scatter-gathers reads.
+"""
+
+from repro.sharding.region import region_of
+from repro.sharding.ring import HashRing
+from repro.sharding.router import Shard, ShardRouter, ShardingConfig
+
+__all__ = ["HashRing", "Shard", "ShardRouter", "ShardingConfig", "region_of"]

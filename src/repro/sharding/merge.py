@@ -1,0 +1,182 @@
+"""Scatter-gather pipeline planning and partial-fold merging.
+
+A pipeline is *fold-mergeable* when it reaches a ``$group`` whose
+accumulators all combine losslessly across partitions
+(:data:`~repro.docstore.aggregate.MERGEABLE_ACCUMULATORS`) through a
+prefix that only filters or reshapes rows without touching ``_id``
+(``$match``/``$unwind``/``$addFields``). For those, each shard folds
+its own documents into per-group accumulator states and the coordinator
+merges the states — ``$sum``/``$count`` totals add, ``$min``/``$max``
+take the best, ``$avg`` merges as (sum, count) pairs — then runs any
+remaining suffix stages centrally.
+
+Everything else (no ``$group``, order-dependent accumulators, ``_id``
+rewrites before the group) gathers matching documents from every shard,
+re-establishes the global insertion order, and runs the full compiled
+pipeline on the coordinator.
+
+Group output order matches the unsharded engine exactly: the compiled
+engine emits groups in first-seen stream order, so each partial fold
+records the global position ``(_id sort key, occurrence-within-doc)``
+of every group's earliest contributing row and the coordinator sorts
+merged groups by that key.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.docstore.aggregate import (
+    MERGEABLE_ACCUMULATORS,
+    QuerySyntaxError,
+    _compile_accumulator,
+    _safe_group_key,
+    compile_expression,
+    compile_pipeline,
+)
+from repro.docstore.clone import json_clone
+
+#: Prefix stages that preserve ``_id`` on every emitted row.
+_PREFIX_OPS = frozenset({"$match", "$unwind", "$addFields"})
+
+
+def global_order_key(document: Dict[str, Any]) -> Tuple[int, Any]:
+    """Total order over documents by ``_id`` — the global insertion
+    order, since the router allocates monotonically increasing ids."""
+    doc_id = document.get("_id")
+    if isinstance(doc_id, (int, float)) and not isinstance(doc_id, bool):
+        return (0, doc_id)
+    return (1, str(doc_id))
+
+
+class GroupScatterPlan:
+    """A fold-mergeable split: prefix → ``$group`` → suffix."""
+
+    def __init__(
+        self,
+        prefix: List[Dict[str, Any]],
+        group_spec: Dict[str, Any],
+        suffix: List[Dict[str, Any]],
+    ) -> None:
+        self.prefix = prefix
+        self.suffix = suffix
+        self.group_spec = group_spec
+        self._prefix_compiled = compile_pipeline(prefix) if prefix else None
+        id_expr = group_spec["_id"]
+        self._id_fn = (
+            (lambda doc: None) if id_expr is None else compile_expression(id_expr)
+        )
+        self._accs = [
+            _compile_accumulator(name, acc)
+            for name, acc in group_spec.items()
+            if name != "_id"
+        ]
+
+    def partial_fold(self, documents: Iterable[Dict[str, Any]]) -> Dict[Any, list]:
+        """Fold one shard's documents into per-group accumulator states.
+
+        Returns ``{group key: [group_id, states, min_seq]}`` where
+        ``min_seq`` is the global position of the group's earliest
+        contributing row. All mergeable accumulators are
+        order-insensitive, so fold order within the shard is free.
+        """
+        stream: Iterable[Dict[str, Any]] = documents
+        if self._prefix_compiled is not None:
+            stream = self._prefix_compiled.stream(stream)
+        groups: Dict[Any, list] = {}
+        occurrences: Dict[Any, int] = {}
+        for row in stream:
+            order = global_order_key(row)
+            occ = occurrences.get(order, 0)
+            occurrences[order] = occ + 1
+            seq = (order, occ)
+            group_id = self._id_fn(row)
+            key = _safe_group_key(group_id)
+            entry = groups.get(key)
+            if entry is None:
+                entry = [group_id, [cls() for _, _, cls in self._accs], seq]
+                groups[key] = entry
+            elif seq < entry[2]:
+                entry[2] = seq
+            for (_, value_fn, _), state in zip(self._accs, entry[1]):
+                state.feed(value_fn(row))
+        return groups
+
+    def merge(self, partials: Iterable[Dict[Any, list]]) -> List[Dict[str, Any]]:
+        """Combine per-shard folds and run the suffix centrally."""
+        merged: Dict[Any, list] = {}
+        for partial in partials:
+            for key, (group_id, states, seq) in partial.items():
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [group_id, states, seq]
+                    continue
+                if seq < entry[2]:
+                    entry[2] = seq
+                for mine, theirs in zip(entry[1], states):
+                    mine.merge(theirs)
+        rows: List[Dict[str, Any]] = []
+        for group_id, states, _ in sorted(merged.values(), key=lambda e: e[2]):
+            row: Dict[str, Any] = {"_id": group_id}
+            for (name, _, _), state in zip(self._accs, states):
+                row[name] = state.result()
+            rows.append(row)
+        if self.suffix:
+            return compile_pipeline(self.suffix).run(rows)
+        return [json_clone(row) for row in rows]
+
+
+def fold_is_exact(partials: Iterable[Dict[Any, list]]) -> bool:
+    """Whether the partial folds are partition-independent.
+
+    Integer ``$sum``/``$avg`` totals (and every ``$min``/``$max``/
+    ``$count``) are associative, so the merged result is bit-identical
+    to the sequential one. A float fed to a sum makes accumulation
+    order-dependent — the coordinator must re-run centrally over the
+    globally ordered documents instead, the same sequential-semantics
+    discipline the columnar kernels follow.
+    """
+    for partial in partials:
+        for _, states, _ in partial.values():
+            for state in states:
+                if not getattr(state, "exact", True):
+                    return False
+    return True
+
+
+def plan_scatter(pipeline: List[Dict[str, Any]]) -> Optional[GroupScatterPlan]:
+    """Split ``pipeline`` at its first ``$group`` if fold-mergeable.
+
+    Returns ``None`` when the pipeline must gather documents centrally
+    instead; syntactically invalid pipelines also return ``None`` so
+    the central path raises the engine's own error.
+    """
+    specs: List[Tuple[str, Any]] = []
+    for stage in pipeline:
+        if not isinstance(stage, dict) or len(stage) != 1:
+            return None
+        specs.append(next(iter(stage.items())))
+    for index, (op, spec) in enumerate(specs):
+        if op == "$group":
+            if not isinstance(spec, dict) or "_id" not in spec:
+                return None
+            for name, acc in spec.items():
+                if name == "_id":
+                    continue
+                if not isinstance(acc, dict) or len(acc) != 1:
+                    return None
+                if next(iter(acc)) not in MERGEABLE_ACCUMULATORS:
+                    return None
+            try:
+                return GroupScatterPlan(
+                    [dict([s]) for s in specs[:index]],
+                    spec,
+                    [dict([s]) for s in specs[index + 1:]],
+                )
+            except QuerySyntaxError:
+                return None
+        if op not in _PREFIX_OPS:
+            return None
+        if op == "$addFields" and isinstance(spec, dict) and "_id" in spec:
+            return None
+    return None

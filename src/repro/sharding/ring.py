@@ -1,0 +1,91 @@
+"""Consistent-hash ring with virtual nodes.
+
+Placement must be *deterministic* (same nodes → same owner for every
+key, regardless of the order nodes were added) and *minimal-movement*
+(removing a node relocates only the keys that node owned; adding a node
+steals keys only for the new node). Both follow from the classic
+construction: every node projects ``vnodes`` points onto a 128-bit
+circle via md5, a key is owned by the first node point at or after the
+key's own hash, and node points never move once placed.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.errors import ValidationError
+
+DEFAULT_VNODES = 128
+
+
+def _point(data: str) -> int:
+    return int.from_bytes(hashlib.md5(data.encode("utf-8")).digest(), "big")
+
+
+class HashRing:
+    """Maps routing keys to node names via consistent hashing."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValidationError("vnodes must be >= 1")
+        self._vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._keys: List[int] = []
+        self._nodes: Dict[str, List[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    @property
+    def nodes(self) -> List[str]:
+        """Node names in sorted order (placement does not depend on it)."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add_node(self, node: str) -> None:
+        if not node:
+            raise ValidationError("node name must be non-empty")
+        if node in self._nodes:
+            raise ValidationError(f"node already on ring: {node!r}")
+        points = [_point(f"{node}#{i}") for i in range(self._vnodes)]
+        self._nodes[node] = points
+        for point in points:
+            at = bisect.bisect_left(self._points, (point, node))
+            self._points.insert(at, (point, node))
+        self._keys = [p for p, _ in self._points]
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValidationError(f"node not on ring: {node!r}")
+        del self._nodes[node]
+        self._points = [(p, n) for p, n in self._points if n != node]
+        self._keys = [p for p, _ in self._points]
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise ValidationError("ring has no nodes")
+        at = bisect.bisect_right(self._keys, _point(str(key)))
+        if at == len(self._points):
+            at = 0
+        return self._points[at][1]
+
+    def copy(self) -> "HashRing":
+        clone = HashRing(vnodes=self._vnodes)
+        for node in self._nodes:
+            clone.add_node(node)
+        return clone
+
+    def placement(self, keys: Iterable[str]) -> Dict[str, str]:
+        """Owner for each key — convenience for tests and rebalancing."""
+        return {key: self.node_for(key) for key in keys}

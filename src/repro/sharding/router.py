@@ -1,0 +1,950 @@
+"""The shard router: consistent-hash ingest fan-out + scatter-gather.
+
+Each :class:`Shard` is a full vertical slice of the middleware data
+plane — its own :class:`~repro.docstore.store.DocumentStore` (with its
+own WAL when durable), its own broker (a per-shard topic exchange for
+the region's subscription plane), and its own
+:class:`~repro.core.datamgmt.DataManager` (privacy scrub, dedup
+ledger, materialized analytics, columnar mirror).
+
+:class:`ShardRouter` keeps the shards behind the ``DataManager``
+surface the server already speaks:
+
+- **Ingest** routes by the observation's region key on a consistent
+  hash ring. The router allocates globally monotonic ``_id``s (its own
+  locked state), so the union of all shards has a total insertion
+  order and scatter-gather reads can be row-exact against an unsharded
+  store. ``ingest_many`` splits a batch by owning shard with a
+  single-shard fast path.
+- **Reads** scatter to every shard and merge on the coordinator:
+  ``find``/``retrieve`` re-establish the global ``_id`` order before
+  re-applying sort/limit; ``aggregate`` folds mergeable ``$group``
+  pipelines per shard and merges accumulator states (see
+  :mod:`repro.sharding.merge`), gathering documents centrally
+  otherwise. Results carry ``explain["strategy"] == "scattered"`` with
+  per-shard detail.
+- **Rebalancing** (``add_shard``/``remove_shard``) re-rings the
+  topology and hands each relocated region's documents *and dedup
+  ledger entries* to the new owner through the journaled write path,
+  so exactly-once survives both the move and a crash in the middle of
+  it; a durable router repairs half-finished handoffs at startup.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from contextlib import ExitStack
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro import concurrency
+from repro.broker.broker import Broker
+from repro.broker.exchange import ExchangeType
+from repro.core.datamgmt import (
+    DEFAULT_DEDUP_CAPACITY,
+    DataManager,
+    DataQuery,
+    OBSERVATIONS,
+)
+from repro.core.errors import ValidationError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.aggregate import _safe_group_key, compile_pipeline
+from repro.docstore.clone import json_clone
+from repro.docstore.collection import AggregationResult, CollectionStats
+from repro.docstore.cursor import Cursor, sort_documents
+from repro.docstore.store import DocumentStore
+from repro.sharding.merge import fold_is_exact, global_order_key, plan_scatter
+from repro.sharding.region import DEFAULT_CELL_M, region_of
+from repro.sharding.ring import DEFAULT_VNODES, HashRing
+
+#: a shard directory renamed to this suffix is dead: ``remove_shard``
+#: retires it atomically before best-effort deletion, so a crash during
+#: cleanup can never resurrect a half-deleted shard.
+RETIRED_SUFFIX = ".retired"
+
+
+class ShardingConfig:
+    """Topology parameters for a :class:`ShardRouter`.
+
+    Args:
+        shards: shard count (named ``shard-00`` …) or explicit names.
+        vnodes: virtual nodes per shard on the hash ring.
+        cell_m: grid cell size of the region routing key.
+        dedup_capacity: per-shard dedup ledger bound.
+    """
+
+    def __init__(
+        self,
+        shards: Union[int, Sequence[str]] = 4,
+        vnodes: int = DEFAULT_VNODES,
+        cell_m: float = DEFAULT_CELL_M,
+        dedup_capacity: int = DEFAULT_DEDUP_CAPACITY,
+    ) -> None:
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValidationError("shard count must be >= 1")
+            self.names = [f"shard-{i:02d}" for i in range(shards)]
+        else:
+            self.names = list(shards)
+            if not self.names:
+                raise ValidationError("at least one shard name required")
+            if len(set(self.names)) != len(self.names):
+                raise ValidationError("shard names must be unique")
+        self.vnodes = vnodes
+        self.cell_m = cell_m
+        self.dedup_capacity = dedup_capacity
+
+
+class Shard:
+    """One vertical slice: store + broker + data manager + counters."""
+
+    def __init__(
+        self, name: str, store: DocumentStore, broker: Broker, data: DataManager
+    ) -> None:
+        self.name = name
+        self.store = store
+        self.broker = broker
+        self.data = data
+        #: topic exchange for this shard's subscription plane
+        self.exchange = f"SHARD.{name}"
+        #: guarded by ``data.ingest_lock`` (coherent with the ledger)
+        self.ingested = 0
+        self.deduped = 0
+        #: bound-queue count; publish is skipped while zero
+        self.subscriptions = 0
+        self._channel = None
+
+    @property
+    def collection(self):
+        return self.data.collection
+
+    def publish(self, routing_key: str, body: Dict[str, Any]) -> None:
+        if self._channel is None:
+            self._channel = self.broker.connect(f"router:{self.name}").channel()
+        self._channel.basic_publish(self.exchange, routing_key, body)
+
+
+class ShardedObservations:
+    """The observations collection surface over every shard.
+
+    Implements the read-side subset of
+    :class:`~repro.docstore.collection.Collection` that the analytics
+    engine, materialized views and packaging layers consume —
+    scatter-gathered, with the global ``_id`` order re-established.
+    """
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+        self.name = OBSERVATIONS
+
+    def _shards(self) -> List[Shard]:
+        return self._router._shards_snapshot()
+
+    def __len__(self) -> int:
+        return sum(len(shard.collection) for shard in self._shards())
+
+    def count(self, filter_doc: Optional[Dict[str, Any]] = None) -> int:
+        return sum(shard.collection.count(filter_doc) for shard in self._shards())
+
+    def iter_documents(self) -> List[Dict[str, Any]]:
+        """Every shard's snapshot merged into global insertion order."""
+        merged: List[Dict[str, Any]] = []
+        for shard in self._shards():
+            merged.extend(shard.collection.iter_documents())
+        merged.sort(key=global_order_key)
+        return merged
+
+    def read_locked(self):
+        """One atomic look across every shard (locks in name order)."""
+        stack = ExitStack()
+        for shard in self._shards():
+            stack.enter_context(shard.collection.read_locked())
+        return stack
+
+    def write_marker(self) -> Tuple[int, int, int]:
+        inserts = updates = deletes = 0
+        for shard in self._shards():
+            i, u, d = shard.collection.write_marker()
+            inserts += i
+            updates += u
+            deletes += d
+        return (inserts, updates, deletes)
+
+    def stats_snapshot(self) -> CollectionStats:
+        total = CollectionStats()
+        for shard in self._shards():
+            snap = shard.collection.stats_snapshot()
+            total.inserts += snap.inserts
+            total.updates += snap.updates
+            total.deletes += snap.deletes
+            total.queries += snap.queries
+            total.index_hits += snap.index_hits
+            total.full_scans += snap.full_scans
+            total.plan_cache_hits += snap.plan_cache_hits
+            total.plan_cache_misses += snap.plan_cache_misses
+        return total
+
+    def find(self, filter_doc: Optional[Dict[str, Any]] = None) -> Cursor:
+        """Scatter the filter, merge matches in global ``_id`` order.
+
+        The returned cursor's ``sort``/``skip``/``limit`` therefore
+        re-apply *globally*, exactly as on an unsharded collection.
+        """
+        merged: List[Dict[str, Any]] = []
+        for shard in self._shards():
+            merged.extend(shard.collection.find(filter_doc).to_list())
+        merged.sort(key=global_order_key)
+        return Cursor(merged)
+
+    def distinct(
+        self, path: str, filter_doc: Optional[Dict[str, Any]] = None
+    ) -> List[Any]:
+        values: List[Any] = []
+        seen: set = set()
+        for shard in self._shards():
+            for value in shard.collection.distinct(path, filter_doc):
+                if value not in seen:
+                    seen.add(value)
+                    values.append(value)
+        try:
+            return sorted(values, key=lambda v: (str(type(v)), str(v)))
+        except TypeError:  # pragma: no cover - defensive
+            return values
+
+    def aggregate(self, pipeline: List[Dict[str, Any]]) -> AggregationResult:
+        return self._router.scatter_aggregate(pipeline)
+
+    def explain(self, filter_doc: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return {
+            "strategy": "scattered",
+            "shards": {
+                shard.name: shard.collection.explain(filter_doc)
+                for shard in self._shards()
+            },
+        }
+
+    def columnar_info(self) -> Dict[str, Any]:
+        per_shard = {
+            shard.name: shard.collection.columnar_info() for shard in self._shards()
+        }
+        return {
+            "enabled": any(info.get("enabled") for info in per_shard.values()),
+            "fresh": all(
+                info.get("fresh", True)
+                for info in per_shard.values()
+                if info.get("enabled")
+            ),
+            "sharded": True,
+            "rows": sum(info.get("rows", 0) or 0 for info in per_shard.values()),
+            "shards": per_shard,
+        }
+
+
+def _canonical_group_order(value: Any) -> str:
+    return repr(_safe_group_key(value))
+
+
+class MergedMaterialized:
+    """Coordinator view over every shard's materialized analytics.
+
+    Additive counters (totals, measurements, localized, day and
+    provider counts) merge by summing; distinct-device counts merge by
+    *set union* of the per-shard contributor sets, since one
+    contributor observed from two regions must still count once.
+    Group rows come back in a canonical (stable, shard-count-
+    independent) order: the global first-seen order is not
+    reconstructible from per-shard folds alone.
+    """
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+
+    def _views(self) -> List[Any]:
+        return [shard.data.materialized for shard in self._router._shards_snapshot()]
+
+    def totals(self) -> Optional[Dict[str, int]]:
+        total = localized = 0
+        for view in self._views():
+            part = view.totals()
+            if part is None:
+                return None
+            total += part["total"]
+            localized += part["localized"]
+        return {"total": total, "localized": localized}
+
+    def per_model_groups(self) -> Optional[List[Dict[str, Any]]]:
+        merged: Dict[Any, List[Any]] = {}  # key -> [value, meas, devices, localized]
+        for view in self._views():
+            entries = view.model_entries()
+            if entries is None:
+                return None
+            for value, measurements, contributors, localized in entries:
+                key = _safe_group_key(value)
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [value, measurements, set(contributors), localized]
+                else:
+                    entry[1] += measurements
+                    entry[2] |= contributors
+                    entry[3] += localized
+        return [
+            {
+                "_id": value,
+                "measurements": measurements,
+                "devices": len(contributors),
+                "localized": localized,
+            }
+            for value, measurements, contributors, localized in sorted(
+                merged.values(), key=lambda e: _canonical_group_order(e[0])
+            )
+        ]
+
+    def day_counts(self) -> Optional[List[Dict[str, Any]]]:
+        days: Dict[Any, int] = {}
+        for view in self._views():
+            rows = view.day_counts()
+            if rows is None:
+                return None
+            for row in rows:
+                days[row["_id"]] = days.get(row["_id"], 0) + row["count"]
+        return [{"_id": day, "count": count} for day, count in sorted(days.items())]
+
+    def provider_counts(self) -> Optional[List[Dict[str, Any]]]:
+        merged: Dict[Any, List[Any]] = {}
+        for view in self._views():
+            rows = view.provider_counts()
+            if rows is None:
+                return None
+            for row in rows:
+                key = _safe_group_key(row["_id"])
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [row["_id"], row["count"]]
+                else:
+                    entry[1] += row["count"]
+        return [
+            {"_id": value, "count": count}
+            for value, count in sorted(
+                merged.values(), key=lambda e: _canonical_group_order(e[0])
+            )
+        ]
+
+    def info(self) -> Dict[str, Any]:
+        views = self._views()
+        infos = [view.info() for view in views]
+        return {
+            "fresh": all(info["fresh"] for info in infos),
+            "rebuilds": sum(info["rebuilds"] for info in infos),
+            "incremental_updates": sum(info["incremental_updates"] for info in infos),
+            "invalidations": sum(info["invalidations"] for info in infos),
+            "degraded": any(info["degraded"] for info in infos),
+            "merged_shards": len(views),
+        }
+
+
+class ShardRouter:
+    """Region-keyed front over N shards; speaks the DataManager surface."""
+
+    def __init__(
+        self,
+        privacy: PrivacyPolicy,
+        clock: Optional[Callable[[], float]] = None,
+        config: Optional[ShardingConfig] = None,
+        durable: bool = False,
+        data_dir: Optional[Union[str, Path]] = None,
+        wal_config: Optional[Any] = None,
+    ) -> None:
+        self._privacy = privacy
+        self._clock = clock
+        self._config = config or ShardingConfig()
+        self._cell_m = self._config.cell_m
+        self._dedup_capacity = self._config.dedup_capacity
+        self._durable = durable
+        self._wal_config = wal_config
+        if durable:
+            if data_dir is None:
+                raise ValidationError("durable sharding requires a data_dir")
+            self._data_dir: Optional[Path] = Path(data_dir)
+            self._data_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            self._data_dir = None
+        #: topology lock: ingest/queries take read, rebalancing takes
+        #: write — a shard can never disappear mid-request.
+        self._topology = concurrency.make_rwlock()
+        #: the router's *own* mutable state — the global ``_id``
+        #: allocator and routing counters. Distinct from any shard lock:
+        #: two threads ingesting into different shards still contend
+        #: only here, for a few increments.
+        self._state_lock = concurrency.make_rlock()
+        self._next_id = 1
+        self._routes: Dict[str, int] = {}
+        self._fanout_queries = 0
+        self._single_shard_batches = 0
+        self._split_batches = 0
+        self._rebalance_moves = 0
+        self._handoffs = 0
+        self._repaired = 0
+        self._shards: Dict[str, Shard] = {}
+        names = self._discover_names()
+        self._ring = HashRing(vnodes=self._config.vnodes)
+        for name in names:
+            self._shards[name] = self._build_shard(name)
+            self._ring.add_node(name)
+        self._advance_id_past_existing()
+        #: the observations-collection and materialized-analytics
+        #: surfaces the server wires into its analytics engine
+        self.collection = ShardedObservations(self)
+        self.materialized = MergedMaterialized(self)
+        if durable:
+            self._repair()
+
+    # -- topology -------------------------------------------------------------
+
+    def _discover_names(self) -> List[str]:
+        """Durable topology is owned by the directory layout: a shard
+        exists iff its directory does (created before any handoff write,
+        so a crash mid-``add_shard`` recovers the *new* topology)."""
+        if self._data_dir is not None:
+            found = sorted(
+                child.name
+                for child in self._data_dir.iterdir()
+                if child.is_dir() and not child.name.endswith(RETIRED_SUFFIX)
+            )
+            if found:
+                return found
+        return list(self._config.names)
+
+    def _build_shard(self, name: str) -> Shard:
+        broker = Broker(clock=self._clock)
+        if self._data_dir is not None:
+            shard_dir = self._data_dir / name
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            store = DocumentStore.recover(
+                shard_dir,
+                name=f"shard:{name}",
+                clock=self._clock,
+                config=self._wal_config,
+            )
+        else:
+            store = DocumentStore(name=f"shard:{name}", clock=self._clock)
+        data = DataManager(
+            store,
+            self._privacy,
+            dedup_capacity=self._dedup_capacity,
+            region_fn=lambda doc: region_of(doc, self._cell_m),
+        )
+        if self._data_dir is not None:
+            state = store.recovered_state
+            data.restore_ledger(
+                state.get("dedup_ledger", []), state.get("dedup_regions")
+            )
+        shard = Shard(name, store, broker, data)
+        broker.declare_exchange(shard.exchange, ExchangeType.TOPIC)
+        return shard
+
+    def _advance_id_past_existing(self) -> None:
+        top = 0
+        for shard in self._shards.values():
+            for doc in shard.collection.iter_documents():
+                doc_id = doc.get("_id")
+                if isinstance(doc_id, int) and not isinstance(doc_id, bool):
+                    if doc_id > top:
+                        top = doc_id
+        with self._state_lock:
+            if self._next_id <= top:
+                self._next_id = top + 1
+
+    def _shards_snapshot(self) -> List[Shard]:
+        with self._topology.read():
+            return [self._shards[name] for name in sorted(self._shards)]
+
+    @property
+    def shards(self) -> Dict[str, Shard]:
+        """Read-only view of the live shards (tests, stats)."""
+        with self._topology.read():
+            return dict(self._shards)
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    def region_for(self, document: Dict[str, Any]) -> str:
+        return region_of(document, self._cell_m)
+
+    def shard_for(self, document: Dict[str, Any]) -> str:
+        """Which shard owns ``document`` — deterministic placement."""
+        with self._topology.read():
+            return self._ring.node_for(self.region_for(document))
+
+    # -- subscription plane ---------------------------------------------------
+
+    def subscribe(
+        self, shard_name: str, queue_name: str, pattern: str = "#"
+    ) -> Broker:
+        """Bind ``queue_name`` on a shard's broker to its region feed.
+
+        Stored observations on that shard then publish a notification
+        (``{"_id", "region", "app_id", "datatype", "taken_at"}``) with
+        routing key ``<region>.<datatype>`` — id-and-coordinates only,
+        never the document body, so the subscription plane cannot leak
+        what the privacy scrub removed.
+        """
+        with self._topology.read():
+            shard = self._shard(shard_name)
+            shard.broker.declare_queue(queue_name)
+            shard.broker.bind_queue(shard.exchange, queue_name, pattern)
+            with self._state_lock:
+                shard.subscriptions += 1
+            return shard.broker
+
+    def _notify(
+        self, shard: Shard, region: str, app_id: str, document: Dict[str, Any],
+        doc_id: Any,
+    ) -> None:
+        datatype = document.get("datatype") or "Observation"
+        shard.publish(
+            f"{region}.{datatype}",
+            {
+                "_id": doc_id,
+                "region": region,
+                "app_id": app_id,
+                "datatype": datatype,
+                "taken_at": document.get("taken_at"),
+            },
+        )
+
+    def _shard(self, name: str) -> Shard:
+        shard = self._shards.get(name)
+        if shard is None:
+            raise ValidationError(f"unknown shard {name!r}")
+        return shard
+
+    # -- ingest ---------------------------------------------------------------
+
+    def ingest(self, app_id: str, document: Dict[str, Any]) -> Any:
+        """Route one observation to its region's shard (fast path).
+
+        The router stamps a globally monotonic ``_id`` on a shallow
+        copy of the wire document before the shard's DataManager runs,
+        so ids are unique and ordered across the whole fleet. A
+        deduplicated delivery burns its id — gaps are harmless, only
+        the relative order matters.
+        """
+        if not isinstance(document, dict):
+            raise ValidationError(
+                f"observation must be a dict, got {type(document).__name__}"
+            )
+        region = self.region_for(document)
+        with self._topology.read():
+            name = self._ring.node_for(region)
+            shard = self._shard(name)
+            doc = dict(document)
+            with self._state_lock:
+                doc["_id"] = self._next_id
+                self._next_id += 1
+                self._routes[name] = self._routes.get(name, 0) + 1
+            with shard.data.ingest_lock:
+                result = shard.data.ingest(app_id, doc)
+                if result is None:
+                    shard.deduped += 1
+                else:
+                    shard.ingested += 1
+                    if shard.subscriptions:
+                        self._notify(shard, region, app_id, document, result)
+            return result
+
+    def ingest_many(
+        self, app_id: str, documents: List[Dict[str, Any]], owned: bool = False
+    ) -> List[Optional[Any]]:
+        """Split a batch by owning shard; results in input order.
+
+        A batch whose documents all route to one shard takes the
+        single-shard fast path: one sub-batch, one ingest-lock
+        acquisition, exactly like the unsharded batch path.
+        """
+        for document in documents:
+            if not isinstance(document, dict):
+                raise ValidationError(
+                    f"observation must be a dict, got {type(document).__name__}"
+                )
+        with self._topology.read():
+            docs = documents if owned else [dict(doc) for doc in documents]
+            with self._state_lock:
+                start = self._next_id
+                self._next_id += len(docs)
+            buckets: Dict[str, Tuple[List[Dict[str, Any]], List[int]]] = {}
+            for index, doc in enumerate(docs):
+                doc["_id"] = start + index
+                name = self._ring.node_for(self.region_for(doc))
+                bucket = buckets.get(name)
+                if bucket is None:
+                    bucket = buckets[name] = ([], [])
+                bucket[0].append(doc)
+                bucket[1].append(index)
+            with self._state_lock:
+                for name, (sub, _) in buckets.items():
+                    self._routes[name] = self._routes.get(name, 0) + len(sub)
+                if len(buckets) == 1:
+                    self._single_shard_batches += 1
+                elif buckets:
+                    self._split_batches += 1
+            results: List[Optional[Any]] = [None] * len(docs)
+            for name in sorted(buckets):
+                shard = self._shard(name)
+                sub, slots = buckets[name]
+                with shard.data.ingest_lock:
+                    ids = shard.data.ingest_many(app_id, sub, owned=owned)
+                    stored = sum(1 for doc_id in ids if doc_id is not None)
+                    shard.ingested += stored
+                    shard.deduped += len(ids) - stored
+                    if shard.subscriptions:
+                        for doc, doc_id in zip(sub, ids):
+                            if doc_id is not None:
+                                self._notify(
+                                    shard, self.region_for(doc), app_id, doc, doc_id
+                                )
+                for slot, doc_id in zip(slots, ids):
+                    results[slot] = doc_id
+            return results
+
+    # -- reads ----------------------------------------------------------------
+
+    def scatter_aggregate(self, pipeline: List[Dict[str, Any]]) -> AggregationResult:
+        """Scatter ``pipeline`` across shards and merge on the
+        coordinator — partial accumulator folds when the pipeline is
+        fold-mergeable, central gather (in global ``_id`` order)
+        otherwise."""
+        with self._topology.read():
+            shards = [self._shards[name] for name in sorted(self._shards)]
+            plan = plan_scatter(pipeline)
+            detail: Dict[str, Dict[str, Any]] = {}
+            rows: Optional[List[Dict[str, Any]]] = None
+            merge_kind = "central"
+            per_shard_docs: List[List[Dict[str, Any]]] = []
+            if plan is not None:
+                partials = []
+                for shard in shards:
+                    documents = shard.collection.iter_documents()
+                    per_shard_docs.append(documents)
+                    partial = plan.partial_fold(documents)
+                    partials.append(partial)
+                    detail[shard.name] = {
+                        "documents": len(documents),
+                        "groups": len(partial),
+                    }
+                if fold_is_exact(partials):
+                    rows = plan.merge(partials)
+                    merge_kind = "partial_folds"
+                # a float fed a $sum/$avg: the merged total would not be
+                # bit-identical to the sequential one — gather instead
+            if rows is None:
+                gathered: List[Dict[str, Any]] = []
+                if per_shard_docs:
+                    for documents in per_shard_docs:
+                        gathered.extend(documents)
+                else:
+                    for shard in shards:
+                        documents = shard.collection.iter_documents()
+                        gathered.extend(documents)
+                        detail[shard.name] = {"documents": len(documents)}
+                gathered.sort(key=global_order_key)
+                rows = compile_pipeline(pipeline).run(gathered)
+        with self._state_lock:
+            self._fanout_queries += 1
+        return AggregationResult(
+            rows,
+            {
+                "strategy": "scattered",
+                "pushdown": False,
+                "candidates": None,
+                "examined_share": None,
+                "merge": merge_kind,
+                "shards": detail,
+            },
+        )
+
+    def retrieve(
+        self,
+        query: DataQuery,
+        limit: Optional[int] = None,
+        share_with_app: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Scatter the query, merge newest-first globally.
+
+        Per-shard retrieval applies the same per-shard limit (the
+        global top-L is a subset of the union of per-shard top-Ls),
+        then the coordinator re-sorts over the global insertion order
+        and re-applies the limit.
+        """
+        gathered: List[Dict[str, Any]] = []
+        for shard in self._shards_snapshot():
+            gathered.extend(
+                shard.data.retrieve(query, limit=limit, share_with_app=share_with_app)
+            )
+        gathered.sort(key=global_order_key)
+        gathered = sort_documents(gathered, [("taken_at", -1)])
+        if limit is not None:
+            gathered = gathered[:limit]
+        return gathered
+
+    def count(self, query: DataQuery) -> int:
+        return sum(shard.data.count(query) for shard in self._shards_snapshot())
+
+    def delete_contributor_data(self, app_id: str, user_id: str) -> int:
+        return sum(
+            shard.data.delete_contributor_data(app_id, user_id)
+            for shard in self._shards_snapshot()
+        )
+
+    def dedup_info(self) -> Dict[str, int]:
+        size = hits = 0
+        for shard in self._shards_snapshot():
+            info = shard.data.dedup_info()
+            size += info["size"]
+            hits += info["hits"]
+        return {"size": size, "capacity": self._dedup_capacity, "hits": hits}
+
+    # -- packaging (DataManager surface) --------------------------------------
+
+    def as_json_stream(self, query: DataQuery):
+        for document in self.retrieve(query):
+            document.pop("_id", None)
+            yield json.dumps(document, sort_keys=True)
+
+    def as_file(self, query: DataQuery) -> str:
+        return "\n".join(self.as_json_stream(query))
+
+    def as_open_data(self, app_id: str, query: DataQuery) -> List[Dict[str, Any]]:
+        return [
+            self._privacy.for_open_data(app_id, doc) for doc in self.retrieve(query)
+        ]
+
+    # -- coherent stats -------------------------------------------------------
+
+    def reliability_snapshot(self) -> Dict[str, Any]:
+        """Ingest/dedup totals with every shard's ingest lock held, so
+        the merged counters are as coherent as one shard's would be."""
+        with self._topology.read():
+            shards = [self._shards[name] for name in sorted(self._shards)]
+            with ExitStack() as stack:
+                for shard in shards:
+                    stack.enter_context(shard.data.ingest_lock)
+                ingested = sum(shard.ingested for shard in shards)
+                deduped = sum(shard.deduped for shard in shards)
+                size = hits = 0
+                for shard in shards:
+                    info = shard.data.dedup_info()
+                    size += info["size"]
+                    hits += info["hits"]
+                return {
+                    "ingested": ingested,
+                    "deduped": deduped,
+                    "dedup_ledger": {
+                        "size": size,
+                        "capacity": self._dedup_capacity,
+                        "hits": hits,
+                    },
+                }
+
+    @property
+    def total_ingested(self) -> int:
+        return sum(shard.ingested for shard in self._shards_snapshot())
+
+    @property
+    def total_deduped(self) -> int:
+        return sum(shard.deduped for shard in self._shards_snapshot())
+
+    def sharding_stats(self) -> Dict[str, Any]:
+        with self._topology.read():
+            names = sorted(self._shards)
+            per_shard: Dict[str, Any] = {}
+            for name in names:
+                shard = self._shards[name]
+                with shard.data.ingest_lock:
+                    per_shard[name] = {
+                        "documents": len(shard.collection),
+                        "ingested": shard.ingested,
+                        "deduped": shard.deduped,
+                        "ledger": shard.data.dedup_info()["size"],
+                        "subscriptions": shard.subscriptions,
+                    }
+            ring = {"nodes": self._ring.nodes, "vnodes": self._ring.vnodes}
+        with self._state_lock:
+            return {
+                "enabled": True,
+                "shards": per_shard,
+                "ring": ring,
+                "router": {
+                    "routes": dict(self._routes),
+                    "fanout_queries": self._fanout_queries,
+                    "single_shard_batches": self._single_shard_batches,
+                    "split_batches": self._split_batches,
+                },
+                "rebalance": {
+                    "moves": self._rebalance_moves,
+                    "handoffs": self._handoffs,
+                    "repaired": self._repaired,
+                },
+            }
+
+    # -- rebalancing ----------------------------------------------------------
+
+    def add_shard(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Grow the ring by one shard and hand it its key ranges.
+
+        The new shard's directory (durable mode) is created *before*
+        any handoff write, so a crash mid-handoff recovers into the new
+        topology and the startup repair finishes the move.
+        """
+        with self._topology.write():
+            if name is None:
+                index = len(self._shards)
+                while f"shard-{index:02d}" in self._shards:
+                    index += 1
+                name = f"shard-{index:02d}"
+            if name in self._shards or name.endswith(RETIRED_SUFFIX):
+                raise ValidationError(f"shard name unavailable: {name!r}")
+            shard = self._build_shard(name)
+            self._shards[name] = shard
+            self._ring.add_node(name)
+            moved = 0
+            for src_name in sorted(self._shards):
+                if src_name != name:
+                    moved += self._handoff_misplaced(self._shards[src_name])
+            with self._state_lock:
+                self._rebalance_moves += moved
+                self._handoffs += 1
+            return {"shard": name, "moved": moved, "shards": sorted(self._shards)}
+
+    def remove_shard(self, name: str) -> Dict[str, Any]:
+        """Drain and retire one shard, handing every region it owned to
+        the ring's remaining owners (documents and ledger entries both
+        through the journaled path)."""
+        with self._topology.write():
+            victim = self._shard(name)
+            if len(self._shards) < 2:
+                raise ValidationError("cannot remove the last shard")
+            self._ring.remove_node(name)
+            del self._shards[name]
+            moved = self._handoff_misplaced(victim)
+            self._handoff_ledger_orphans(victim)
+            if victim.store.journal is not None:
+                victim.store.journal.close()
+            if self._data_dir is not None:
+                live = self._data_dir / name
+                retired = self._data_dir / f"{name}{RETIRED_SUFFIX}"
+                if live.exists():
+                    live.rename(retired)
+                    shutil.rmtree(retired, ignore_errors=True)
+            with self._state_lock:
+                self._rebalance_moves += moved
+                self._handoffs += 1
+            return {"shard": name, "moved": moved, "shards": sorted(self._shards)}
+
+    def _handoff_misplaced(self, src: Shard) -> int:
+        """Move every document on ``src`` whose region the ring now
+        assigns elsewhere. Protocol, in never-lose order: journaled
+        adopt on the destination (documents + ledger entries riding the
+        WAL record), then ledger release and journaled delete on the
+        source. A crash between the two leaves a duplicate, which the
+        startup repair resolves in the destination's favor."""
+        by_dst: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+        for doc in src.collection.iter_documents():
+            region = self.region_for(doc)
+            owner = self._ring.node_for(region)
+            if owner != src.name:
+                by_dst.setdefault(owner, {}).setdefault(region, []).append(doc)
+        moved = 0
+        for dst_name in sorted(by_dst):
+            dst = self._shard(dst_name)
+            regions = by_dst[dst_name]
+            documents = [
+                json_clone(doc)
+                for region in sorted(regions)
+                for doc in regions[region]
+            ]
+            entries = src.data.ledger_entries_for(regions)
+            dst.data.adopt(documents, entries)
+            src.data.release_keys([key for key, _ in entries])
+            src.data.remove_documents([doc["_id"] for doc in documents])
+            moved += len(documents)
+        return moved
+
+    def _handoff_ledger_orphans(self, src: Shard) -> None:
+        """Hand off ledger entries whose documents no longer exist
+        (retention expiry, erasure) — dedup must survive the drain."""
+        orphans: Dict[str, List[Tuple[str, Any]]] = {}
+        for key, value in src.data.ledger_entries_for(None):
+            owner = self._ring.node_for(value)
+            if owner != src.name:
+                orphans.setdefault(owner, []).append((key, value))
+        for dst_name in sorted(orphans):
+            entries = orphans[dst_name]
+            self._shard(dst_name).data.adopt([], entries)
+            src.data.release_keys([key for key, _ in entries])
+
+    def _repair(self) -> None:
+        """Idempotent startup repair after a crash mid-rebalance: every
+        document whose region routes elsewhere is finished moving (or,
+        when the destination already adopted it, deleted here), and
+        stale ledger entries follow their regions."""
+        with self._topology.write():
+            moved = 0
+            dst_ids: Dict[str, set] = {}
+
+            def ids_of(shard: Shard) -> set:
+                cached = dst_ids.get(shard.name)
+                if cached is None:
+                    cached = dst_ids[shard.name] = {
+                        doc.get("_id") for doc in shard.collection.iter_documents()
+                    }
+                return cached
+
+            for src_name in sorted(self._shards):
+                src = self._shards[src_name]
+                for doc in list(src.collection.iter_documents()):
+                    region = self.region_for(doc)
+                    owner = self._ring.node_for(region)
+                    if owner == src_name:
+                        continue
+                    dst = self._shard(owner)
+                    entries = src.data.ledger_entries_for([region])
+                    if doc.get("_id") in ids_of(dst):
+                        # destination already adopted it: the crash hit
+                        # between adopt and source delete
+                        if entries:
+                            dst.data.adopt([], entries)
+                    else:
+                        dst.data.adopt([json_clone(doc)], entries)
+                        ids_of(dst).add(doc.get("_id"))
+                    src.data.release_keys([key for key, _ in entries])
+                    src.data.remove_documents([doc.get("_id")])
+                    moved += 1
+                self._handoff_ledger_orphans(src)
+            with self._state_lock:
+                self._repaired += moved
+
+    # -- durability -----------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return {
+            shard.name: shard.store.checkpoint()
+            for shard in self._shards_snapshot()
+        }
+
+    def durability_info(self) -> Dict[str, Any]:
+        return {
+            "enabled": self._durable,
+            "sharded": True,
+            "shards": {
+                shard.name: shard.store.durability_info()
+                for shard in self._shards_snapshot()
+            },
+        }
+
+    def close(self) -> None:
+        for shard in self._shards_snapshot():
+            journal = shard.store.journal
+            if journal is not None:
+                journal.close()

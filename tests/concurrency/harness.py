@@ -40,7 +40,7 @@ import random
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.channels import GOFLOW_QUEUE
 from repro.core.materialized import MaterializedAnalytics
@@ -88,6 +88,10 @@ class ThreadedSoak:
             this many publishes (0 disables reader ops).
         join_timeout_s: per-thread join budget; a thread alive past it
             is reported as stalled (the deadlock detector).
+        server_factory: builds the server under test (default: a plain
+            unsharded ``GoFlowServer()``). The sharded soak passes a
+            factory so the same workload and invariants drive a
+            :class:`~repro.sharding.router.ShardRouter` fleet.
     """
 
     def __init__(
@@ -97,13 +101,14 @@ class ThreadedSoak:
         ops_per_thread: int = 40,
         read_every: int = 5,
         join_timeout_s: float = 30.0,
+        server_factory: Optional[Callable[[], GoFlowServer]] = None,
     ) -> None:
         self.seed = seed
         self.threads = threads
         self.ops_per_thread = ops_per_thread
         self.read_every = read_every
         self.join_timeout_s = join_timeout_s
-        self.server = GoFlowServer()
+        self.server = server_factory() if server_factory is not None else GoFlowServer()
         self.server.register_app(APP_ID)
         self._sessions = [
             self.server.enroll_user(APP_ID, f"mob{i}", "pw") for i in range(threads)
@@ -165,6 +170,23 @@ class ThreadedSoak:
         result: SoakResult,
     ) -> None:
         obs_id = rng.choice(self._obs_pool)
+        document = self._make_document(index, rng, obs_id)
+        channel.basic_publish(exchange, rng.choice(ROUTING_KEYS), document)
+        with self._book:
+            result.published += 1
+            result.sent[obs_id] += 1
+
+    def _make_document(
+        self, index: int, rng: random.Random, obs_id: str
+    ) -> Dict[str, Any]:
+        """The wire document for one publish of ``obs_id``.
+
+        The base soak draws fresh random content per publish — the
+        unsharded dedup keys on obs_id alone, so content is free. A
+        routing-sensitive subclass overrides this to make content a
+        pure function of the obs_id (a redelivery is then byte-identical
+        and routes to the same place the original did).
+        """
         document: Dict[str, Any] = {
             "app_id": APP_ID,
             "user_id": f"mob{index}",
@@ -179,10 +201,7 @@ class ThreadedSoak:
                 "y_m": rng.uniform(0.0, 2000.0),
                 "provider": rng.choice(PROVIDERS),
             }
-        channel.basic_publish(exchange, rng.choice(ROUTING_KEYS), document)
-        with self._book:
-            result.published += 1
-            result.sent[obs_id] += 1
+        return document
 
     def _read_op(self, result: SoakResult) -> None:
         """One dashboard read asserting snapshot coherence mid-flight."""
@@ -220,6 +239,12 @@ class ThreadedSoak:
                 result.violations.extend(breaches)
 
     # -- final invariants --------------------------------------------------------
+
+    def _normalize_view(self, probe: str, value: Any) -> Any:
+        """Hook for comparing materialized views whose row order is not
+        canonical across implementations (a shard-merged view emits
+        groups in a canonical order, not global first-seen order)."""
+        return value
 
     def verify(self, result: SoakResult) -> List[str]:
         """Check the post-run global invariants; returns violations."""
@@ -277,8 +302,8 @@ class ThreadedSoak:
         live = server.data.materialized
         fresh = MaterializedAnalytics(collection)
         for probe in ("totals", "per_model_groups", "day_counts", "provider_counts"):
-            live_value = getattr(live, probe)()
-            fresh_value = getattr(fresh, probe)()
+            live_value = self._normalize_view(probe, getattr(live, probe)())
+            fresh_value = self._normalize_view(probe, getattr(fresh, probe)())
             if live_value != fresh_value:
                 problems.append(
                     f"materialized {probe} diverged: live={live_value!r} "

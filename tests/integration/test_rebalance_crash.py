@@ -1,0 +1,231 @@
+"""Kill-point crash safety for shard rebalancing.
+
+Same discipline as ``test_crash_recovery``: a durable 2-shard
+:class:`ShardRouter` ingests a workload, a seeded ``on_event`` hook on
+one shard's WAL raises mid-handoff (the deterministic kill -9), and a
+second router recovers from the same directory tree. The rebalance
+protocol journals destination adopts before source deletes, so:
+
+- **No acked observation is lost, and none is duplicated.** After
+  recovery (which runs the idempotent startup repair), every
+  observation the dead router acknowledged lives on exactly one shard
+  — the shard the *new* ring assigns it to.
+- **The dedup ledger survives the move.** Retransmitting the full
+  workload stores nothing: each obs_id's ledger entry followed its
+  region to the owning shard (or was repaired onto it).
+- **Derived state is consistent.** Each recovered shard's materialized
+  counters equal a from-scratch recompute over its documents.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.materialized import MaterializedAnalytics
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.wal import WalConfig
+from repro.sharding.router import ShardRouter, ShardingConfig
+
+APP = "SC"
+TOTAL = 60
+
+
+class SimulatedCrash(Exception):
+    """Raised by the kill-point hook: the process dies here."""
+
+
+def make_observations(total=TOTAL):
+    docs = []
+    for i in range(total):
+        # the obs_id must not embed the user id: the privacy scrub
+        # pseudonymizes user references everywhere, and these tests
+        # match stored obs_ids against the wire form
+        doc = {
+            "user_id": f"user{i % 7}",
+            "obs_id": f"obs:{i}",
+            "model": ["A0001", "NEXUS 5", "GT-I9505"][i % 3],
+            "taken_at": 1000.0 + 40_000.0 * i,
+            "noise_dba": 40.0 + (i % 30),
+        }
+        if i % 3:
+            # a wide coordinate spread: many distinct grid regions, so
+            # topology changes genuinely relocate key ranges
+            doc["location"] = {"x_m": float(i * 601), "y_m": float(2 * i * 601)}
+        docs.append(doc)
+    return docs
+
+
+def make_router(data_dir):
+    return ShardRouter(
+        PrivacyPolicy(),
+        config=ShardingConfig(shards=2),
+        durable=True,
+        data_dir=data_dir,
+        wal_config=WalConfig(sync_policy="always"),
+    )
+
+
+def arm(router, shard_name, event, occurrence):
+    """Kill the process at the n-th ``event`` on one shard's WAL."""
+    counts = Counter()
+
+    def hook(name):
+        counts[name] += 1
+        if name == event and counts[name] == occurrence:
+            raise SimulatedCrash(f"{shard_name}:{name}#{occurrence}")
+
+    router.shards[shard_name].store.journal.on_event = hook
+
+
+def kill(router):
+    """Flush and abandon every shard journal, as a dead process would."""
+    for shard in router.shards.values():
+        journal = shard.store.journal
+        if journal is None:
+            continue
+        journal.on_event = None
+        handle = journal._handle
+        if not handle.closed:
+            handle.flush()
+            handle.close()
+
+
+def _assert_exactly_once(router, acked_obs):
+    placement = {}
+    for name, shard in router.shards.items():
+        for doc in shard.collection.iter_documents():
+            placement.setdefault(doc["obs_id"], []).append(name)
+    multi = {k: v for k, v in placement.items() if len(v) != 1}
+    assert multi == {}, f"observations on != 1 shard after recovery: {multi}"
+    missing = set(acked_obs) - set(placement)
+    assert missing == set(), f"acked observations lost in the crash: {missing}"
+    # and each lives where the recovered ring says it belongs
+    for name, shard in router.shards.items():
+        for doc in shard.collection.iter_documents():
+            assert router.shard_for(doc) == name, (
+                f"{doc['obs_id']} on {name}, ring says {router.shard_for(doc)}"
+            )
+
+
+def _assert_materialized_consistent(router):
+    for shard in router.shards.values():
+        live = shard.data.materialized
+        fresh = MaterializedAnalytics(shard.collection)
+        for probe in ("totals", "per_model_groups", "day_counts"):
+            assert getattr(live, probe)() == getattr(fresh, probe)(), (
+                f"{shard.name} materialized {probe} diverged after recovery"
+            )
+
+
+def _run_crash_rebalance(tmp_path, crash_shard, occurrence, operation):
+    router = make_router(tmp_path)
+    docs = make_observations()
+    acked_ids = router.ingest_many(APP, [dict(d) for d in docs])
+    assert all(doc_id is not None for doc_id in acked_ids)
+    acked_obs = [doc["obs_id"] for doc in docs]
+
+    # arm after the ingest so the occurrence counts index into the
+    # handoff's own journal writes (adopts on the destination, per-id
+    # deletes on the source)
+    target = crash_shard(router)
+    arm(router, target, "append:written", occurrence)
+    with pytest.raises(SimulatedCrash):
+        operation(router)
+    kill(router)
+
+    recovered = make_router(tmp_path)
+    try:
+        _assert_exactly_once(recovered, acked_obs)
+        _assert_materialized_consistent(recovered)
+        # the at-least-once uplink retransmits everything; the ledger
+        # entries moved (or were repaired) with their regions, so every
+        # single document dedups
+        retransmit = recovered.ingest_many(APP, [dict(d) for d in docs])
+        assert retransmit == [None] * len(docs)
+        assert sum(len(s.collection) for s in recovered.shards.values()) == TOTAL
+    finally:
+        recovered.close()
+    return recovered
+
+
+class TestAddShardCrash:
+    """Kill while a new shard is being handed its key ranges."""
+
+    @pytest.mark.parametrize("occurrence", [1, 2])
+    def test_crash_during_destination_adopt(self, tmp_path, occurrence):
+        # the destination shard does not exist until add_shard builds
+        # it, so the kill hook is armed from inside a creation wrapper
+        router = make_router(tmp_path)
+        docs = make_observations()
+        acked_ids = router.ingest_many(APP, [dict(d) for d in docs])
+        assert all(doc_id is not None for doc_id in acked_ids)
+        acked_obs = [doc["obs_id"] for doc in docs]
+
+        original_build = router._build_shard
+        counts = Counter()
+
+        def building(name):
+            shard = original_build(name)
+            if name == "shard-02":
+                def hook(event):
+                    counts[event] += 1
+                    if event == "append:written" and counts[event] == occurrence:
+                        raise SimulatedCrash(f"shard-02:{event}#{occurrence}")
+
+                shard.store.journal.on_event = hook
+            return shard
+
+        router._build_shard = building
+        with pytest.raises(SimulatedCrash):
+            router.add_shard("shard-02")
+        kill(router)
+
+        recovered = make_router(tmp_path)
+        try:
+            # the new shard's directory existed before any handoff
+            # write, so recovery sees the *new* topology and repairs
+            # the half-finished move into it
+            assert sorted(recovered.shards) == ["shard-00", "shard-01", "shard-02"]
+            _assert_exactly_once(recovered, acked_obs)
+            _assert_materialized_consistent(recovered)
+            retransmit = recovered.ingest_many(APP, [dict(d) for d in docs])
+            assert retransmit == [None] * len(docs)
+            assert recovered.sharding_stats()["rebalance"]["repaired"] > 0
+        finally:
+            recovered.close()
+
+    @pytest.mark.parametrize("occurrence", [1, 4])
+    def test_crash_during_source_delete(self, tmp_path, occurrence):
+        """Adopts landed, the source crashes mid-delete: recovery must
+        resolve the duplicates in the destination's favor."""
+        recovered = _run_crash_rebalance(
+            tmp_path,
+            crash_shard=lambda router: "shard-00",
+            occurrence=occurrence,
+            operation=lambda router: router.add_shard("shard-02"),
+        )
+        assert sorted(recovered.shards) == ["shard-00", "shard-01", "shard-02"]
+
+
+class TestRemoveShardCrash:
+    """Kill while a retiring shard is draining into the survivors."""
+
+    # the survivor journals one batched adopt (occurrence 1); the
+    # victim journals one delete per drained document, so deeper
+    # occurrences kill it mid-delete with duplicates already adopted
+    @pytest.mark.parametrize(
+        "target,occurrence",
+        [("shard-01", 1), ("shard-00", 1), ("shard-00", 3)],
+    )
+    def test_crash_during_drain(self, tmp_path, target, occurrence):
+        # the victim's directory is retired only after the drain
+        # completes, so a crash mid-drain recovers the old topology
+        # with the victim still a member — and the repair removes the
+        # half-adopted duplicates from the survivors
+        recovered = _run_crash_rebalance(
+            tmp_path,
+            crash_shard=lambda router: target,
+            occurrence=occurrence,
+            operation=lambda router: router.remove_shard("shard-00"),
+        )
+        assert sorted(recovered.shards) == ["shard-00", "shard-01"]

@@ -1,0 +1,170 @@
+"""Consistent-hash ring properties.
+
+The ring is the sharding layer's placement oracle, so its guarantees
+are stated as hypothesis properties rather than examples:
+
+- **determinism** — placement is a pure function of (nodes, vnodes,
+  key); node insertion order is irrelevant;
+- **balance** — with enough virtual nodes, no shard owns more than
+  ``ceil(K / N)`` keys plus a slack factor;
+- **minimal movement** — removing a node relocates *only* the keys it
+  owned; every other key keeps its shard (the property that makes
+  rebalancing a handoff instead of a reshuffle).
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ValidationError
+from repro.sharding.ring import HashRing
+
+NODE_NAMES = st.lists(
+    st.sampled_from([f"shard-{i:02d}" for i in range(12)]),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+KEYS = st.lists(
+    st.one_of(
+        st.text(min_size=0, max_size=12),
+        st.integers(min_value=-(10**6), max_value=10**6),
+    ),
+    min_size=1,
+    max_size=300,
+    unique=True,
+)
+
+
+class TestPlacementDeterminism:
+    @settings(max_examples=80, deadline=None)
+    @given(NODE_NAMES, KEYS)
+    def test_same_topology_same_placement(self, nodes, keys):
+        a = HashRing(nodes)
+        b = HashRing(nodes)
+        assert a.placement(keys) == b.placement(keys)
+
+    @settings(max_examples=80, deadline=None)
+    @given(NODE_NAMES, KEYS, st.randoms(use_true_random=False))
+    def test_insertion_order_is_irrelevant(self, nodes, keys, rng):
+        shuffled = list(nodes)
+        rng.shuffle(shuffled)
+        ordered = HashRing(nodes)
+        scrambled = HashRing(shuffled)
+        assert ordered.placement(keys) == scrambled.placement(keys)
+
+    @settings(max_examples=60, deadline=None)
+    @given(NODE_NAMES, KEYS)
+    def test_every_key_lands_on_a_member(self, nodes, keys):
+        ring = HashRing(nodes)
+        for key, owner in ring.placement(keys).items():
+            assert owner in ring.nodes
+
+    @settings(max_examples=60, deadline=None)
+    @given(NODE_NAMES, KEYS)
+    def test_copy_is_independent_but_identical(self, nodes, keys):
+        ring = HashRing(nodes)
+        clone = ring.copy()
+        assert ring.placement(keys) == clone.placement(keys)
+        clone.add_node("extra-node")
+        assert "extra-node" not in ring
+        assert "extra-node" in clone
+
+
+class TestBalance:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=200, max_value=600),
+    )
+    def test_imbalance_bounded(self, shard_count, key_count):
+        """No shard owns more than ceil(K/N) keys times a slack factor.
+
+        md5-point placement is uniform but not perfectly even; 128
+        vnodes per node keeps the expected spread well inside 2x the
+        fair share for the key volumes the middleware routes (regions,
+        not raw documents).
+        """
+        nodes = [f"shard-{i:02d}" for i in range(shard_count)]
+        ring = HashRing(nodes)
+        keys = [f"g{i}:{i * 7}" for i in range(key_count)]
+        placement = ring.placement(keys)
+        per_node = {node: 0 for node in nodes}
+        for owner in placement.values():
+            per_node[owner] += 1
+        fair = math.ceil(key_count / shard_count)
+        slack = 2.0
+        worst = max(per_node.values())
+        assert worst <= fair * slack, (
+            f"worst shard owns {worst} of {key_count} keys "
+            f"(fair={fair}, allowed={fair * slack}): {per_node}"
+        )
+
+    def test_every_node_owns_something_at_volume(self):
+        ring = HashRing([f"shard-{i:02d}" for i in range(8)])
+        keys = [f"g{i}:{i}" for i in range(2000)]
+        owners = set(ring.placement(keys).values())
+        assert owners == set(ring.nodes)
+
+
+class TestMinimalMovement:
+    @settings(max_examples=60, deadline=None)
+    @given(NODE_NAMES, KEYS, st.data())
+    def test_removal_moves_only_the_victims_keys(self, nodes, keys, data):
+        assume(len(nodes) >= 2)  # removal needs a surviving node
+        ring = HashRing(nodes)
+        before = ring.placement(keys)
+        victim = data.draw(st.sampled_from(nodes), label="victim")
+        ring.remove_node(victim)
+        after = ring.placement(keys)
+        for key in keys:
+            if before[key] == victim:
+                assert after[key] != victim
+            else:
+                # the defining consistent-hashing property: keys not on
+                # the removed node do not move at all
+                assert after[key] == before[key], (
+                    f"key {key!r} moved {before[key]} -> {after[key]} "
+                    f"though {victim} was removed"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(NODE_NAMES, KEYS)
+    def test_addition_only_steals_keys(self, nodes, keys):
+        ring = HashRing(nodes)
+        before = ring.placement(keys)
+        ring.add_node("newcomer")
+        after = ring.placement(keys)
+        for key in keys:
+            assert after[key] in (before[key], "newcomer")
+
+    @settings(max_examples=40, deadline=None)
+    @given(NODE_NAMES, KEYS)
+    def test_add_then_remove_restores_placement(self, nodes, keys):
+        ring = HashRing(nodes)
+        before = ring.placement(keys)
+        ring.add_node("transient")
+        ring.remove_node("transient")
+        assert ring.placement(keys) == before
+
+
+class TestRingEdgeCases:
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ValidationError):
+            HashRing().node_for("anything")
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValidationError):
+            ring.add_node("a")
+
+    def test_unknown_node_removal_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing(["a"]).remove_node("b")
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert {ring.node_for(k) for k in range(100)} == {"solo"}
