@@ -26,9 +26,13 @@ Two suites are available:
   (``after`` → ``REPRO_WAL_MODE=durable``), plus durable-only
   sync-policy and recovery-replay benches.
 - ``sharding``: horizontal scaling — the same live ingest window over
-  a 200k standing corpus routed through 1, 2, 4 and 8 shards. The
-  post-run summary also records ``sharding_scaling``: the live-window
-  speedup of every shard count over the single-shard run.
+  a 200k standing corpus routed through 1, 2, 4 and 8 shards, once per
+  shard execution backend (``inproc`` threads and ``process`` worker
+  pools; see ``REPRO_SHARD_BACKENDS``). The ``baseline`` stage runs
+  only the ``shards=1`` in-process reference; the ``after`` stage runs
+  the full backend × shard-count matrix. The post-run summary records
+  ``sharding_scaling``: each leg's live-window speedup over that
+  single-shard baseline, grouped by backend.
 
 Usage::
 
@@ -36,9 +40,17 @@ Usage::
     python benchmarks/run_bench.py --stage after      # after the change
     python benchmarks/run_bench.py --suite faults --stage after
     python benchmarks/run_bench.py --stage after --from-json raw.json
+    python benchmarks/run_bench.py --suite sharding --profile
 
 ``--from-json`` imports an existing pytest-benchmark JSON file instead
 of running the suite (useful when the raw run was captured separately).
+
+``--profile`` wraps every benchmark in cProfile: the top-20 cumulative
+hotspots print per benchmark and the raw ``.prof`` dumps persist under
+``benchmarks/profiles/`` for later ``pstats``/``snakeviz`` digging.
+Profiled timings carry tracer overhead, so the run is *not* recorded
+into the stage file — it is evidence for "where does the time go",
+not "how fast is it".
 """
 
 from __future__ import annotations
@@ -66,8 +78,16 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 KEPT_STATS = ("min", "max", "mean", "stddev", "median", "rounds", "iterations")
 
 
+#: where ``--profile`` persists its cProfile dumps
+PROFILE_DIR = REPO_ROOT / "benchmarks" / "profiles"
+PROFILE_TOP = 20
+
+
 def run_suite(
-    bench_file: str, keyword: str | None, extra_env: dict | None = None
+    bench_file: str,
+    keyword: str | None,
+    extra_env: dict | None = None,
+    profile: str | None = None,
 ) -> dict:
     """Run a bench suite, returning the parsed pytest-benchmark JSON."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
@@ -82,6 +102,13 @@ def run_suite(
         str(raw_path),
         "-q",
     ]
+    if profile is not None:
+        PROFILE_DIR.mkdir(parents=True, exist_ok=True)
+        command += [
+            "--benchmark-cprofile=cumtime",
+            f"--benchmark-cprofile-top={PROFILE_TOP}",
+            f"--benchmark-cprofile-dump={PROFILE_DIR / profile}",
+        ]
     if keyword:
         command += ["-k", keyword]
     env_path = str(REPO_ROOT / "src")
@@ -138,28 +165,57 @@ def speedups(stages: dict) -> dict:
     return result
 
 
-def sharding_scaling(stages: dict) -> dict:
-    """Live-window speedup of each shard count over the 1-shard run.
+def _best(benches: dict, name: str):
+    stats = benches.get(name, {})
+    return stats.get("min") or stats.get("mean")
 
-    Reads the ``sharding:*`` stages; the interesting number is the
-    ``shards=8`` entry — the acceptance bar for horizontal scaling.
+
+def _single_shard_reference(stages: dict, benches: dict):
+    """The ``shards=1`` in-process live-window time every scaling ratio
+    divides by — the dedicated ``sharding:baseline`` stage when
+    recorded, else the stage's own single-shard leg. The legacy
+    un-backended bench name keeps pre-backend files readable."""
+    for source in (stages.get("sharding:baseline", {}).get("benchmarks", {}), benches):
+        for name in (
+            "test_sharded_ingest_scaling[inproc-1]",
+            "test_sharded_ingest_scaling[1]",
+        ):
+            reference = _best(source, name)
+            if reference:
+                return reference
+    return None
+
+
+def sharding_scaling(stages: dict) -> dict:
+    """Live-window speedup of each backend × shard-count leg over the
+    single-shard baseline.
+
+    Reads the ``sharding:*`` stages; the interesting numbers are the
+    ``process`` backend's ``shards=4``/``shards=8`` entries — the
+    acceptance bar for the worker-pool execution plane.
     """
     result = {}
     for stage, summary in stages.items():
-        if not stage.startswith("sharding:"):
+        if not stage.startswith("sharding:") or stage == "sharding:baseline":
             continue
         benches = summary.get("benchmarks", {})
-
-        def best(name):
-            stats = benches.get(name, {})
-            return stats.get("min") or stats.get("mean")
-
-        single = best("test_sharded_ingest_scaling[1]")
+        single = _single_shard_reference(stages, benches)
         if not single:
             continue
         ratios = {}
+        for backend in ("inproc", "process"):
+            per_backend = {}
+            for shards in (1, 2, 4, 8):
+                fastest = _best(
+                    benches, f"test_sharded_ingest_scaling[{backend}-{shards}]"
+                )
+                if fastest:
+                    per_backend[f"shards={shards}"] = round(single / fastest, 2)
+            if per_backend:
+                ratios[backend] = per_backend
+        # legacy stages recorded before the backend split
         for shards in (2, 4, 8):
-            fastest = best(f"test_sharded_ingest_scaling[{shards}]")
+            fastest = _best(benches, f"test_sharded_ingest_scaling[{shards}]")
             if fastest:
                 ratios[f"shards={shards}"] = round(single / fastest, 2)
         if ratios:
@@ -184,6 +240,16 @@ def main(argv: list[str] | None = None) -> None:
         default=None,
         help="import an existing pytest-benchmark JSON instead of running",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "wrap the suite in cProfile: print the top-20 cumulative "
+            "hotspots per benchmark and persist .prof dumps under "
+            "benchmarks/profiles/ (timings are not recorded to the stage "
+            "file — profiled runs carry tracer overhead)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.from_json is not None:
@@ -191,6 +257,7 @@ def main(argv: list[str] | None = None) -> None:
             raise SystemExit(f"no such benchmark JSON: {args.from_json}")
         raw = json.loads(args.from_json.read_text())
     else:
+        keyword = args.keyword
         extra_env = None
         if args.suite == "batch":
             # the stage selects the ingest mode: the baseline stage
@@ -210,7 +277,24 @@ def main(argv: list[str] | None = None) -> None:
                     "memory" if args.stage == "baseline" else "durable"
                 )
             }
-        raw = run_suite(SUITES[args.suite], args.keyword, extra_env)
+        elif args.suite == "sharding" and args.stage == "baseline":
+            # the baseline stage pins the shards=1 in-process reference
+            # every scaling ratio divides by; the after stage runs the
+            # full backend × shard-count matrix.
+            extra_env = {"REPRO_SHARD_BACKENDS": "inproc"}
+            keyword = keyword or "inproc-1"
+        raw = run_suite(
+            SUITES[args.suite],
+            keyword,
+            extra_env,
+            profile=f"{args.suite}-{args.stage}" if args.profile else None,
+        )
+        if args.profile:
+            print(
+                f"profiled {args.suite!r}: top-{PROFILE_TOP} cumulative hotspots "
+                f"above; .prof dumps in {PROFILE_DIR}/ (stage file untouched)"
+            )
+            return
 
     # non-default suites get their own stage namespace so a faults run
     # never clobbers the throughput baseline/after evidence
@@ -231,8 +315,12 @@ def main(argv: list[str] | None = None) -> None:
     for name, factor in sorted(ratio.items()):
         print(f"  {name}: {factor}x")
     for stage_name, ratios in sorted(scaling.items()):
-        for shards, factor in sorted(ratios.items()):
-            print(f"  {stage_name} {shards}: {factor}x vs 1 shard")
+        for key, value in sorted(ratios.items()):
+            if isinstance(value, dict):
+                for shards, factor in sorted(value.items()):
+                    print(f"  {stage_name} {key} {shards}: {factor}x vs 1 shard")
+            else:
+                print(f"  {stage_name} {key}: {value}x vs 1 shard")
 
 
 if __name__ == "__main__":

@@ -126,6 +126,22 @@ def main() -> None:
     # across appends; see docs/ARCHITECTURE.md "Durability & crash
     # recovery" for the record format and the recovery guarantees.
 
+    # -- scale-out (opt-in sharding, opt-in process workers) -----------------------
+    # Pass sharding=N to partition the store over N consistent-hash
+    # shards (same API, scatter-gather reads), and backend="process" to
+    # host each shard in its own worker process behind batched binary
+    # IPC — per-shard CPU work then runs outside this interpreter's
+    # GIL, and a killed worker respawns, recovers its WAL, and keeps
+    # ingest exactly-once:
+    #
+    #     server = GoFlowServer(sharding=4, backend="process")
+    #     server.register_app("SC")
+    #     server.data.ingest_many("SC", backlog_documents)
+    #     server.middleware_stats()["sharding"]["workers"]  # pid/rss/queue per worker
+    #     server.router.close()  # drain and reap the workers
+    #
+    # See docs/ARCHITECTURE.md "Process scale-out & IPC plane".
+
 
 if __name__ == "__main__":
     main()

@@ -45,6 +45,7 @@ class GoFlowServer:
         data_dir: Optional[str] = None,
         wal_config: Optional[Any] = None,
         sharding: Optional[Union[int, ShardingConfig]] = None,
+        backend: str = "inproc",
     ) -> None:
         """Args beyond the obvious:
 
@@ -64,6 +65,12 @@ class GoFlowServer:
             the router; accounts, jobs and tokens stay on the server's
             own store. With ``durable`` the shards journal under
             ``data_dir/shards/<name>``.
+        backend: shard execution plane — ``"inproc"`` (default) keeps
+            every shard in this interpreter; ``"process"`` hosts each
+            shard's vertical slice in a long-lived worker process
+            behind batched binary IPC (``GoFlowServer(sharding=N,
+            backend="process")``). Ignored unless ``sharding`` is set;
+            a full :class:`ShardingConfig` carries its own backend.
         """
         self._clock = clock or (lambda: 0.0)
         self.broker = broker or Broker(
@@ -87,7 +94,7 @@ class GoFlowServer:
             config = (
                 sharding
                 if isinstance(sharding, ShardingConfig)
-                else ShardingConfig(shards=sharding)
+                else ShardingConfig(shards=sharding, backend=backend)
             )
             self.router: Optional[ShardRouter] = ShardRouter(
                 self.privacy,

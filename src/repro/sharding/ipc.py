@@ -1,0 +1,204 @@
+"""Binary IPC transport for the process-backed shard plane.
+
+Shard workers live in their own OS processes (:mod:`repro.sharding.workers`);
+this module is the wire between them and the coordinator: length-prefixed
+binary frames over a stream socket, carrying batched commands.
+
+Frame layout (all integers big-endian)::
+
+    u32 payload_len | u8 codec | u32 nsegs | nsegs * u32 seg_len | segments
+
+Segment 0 is the message body; segments 1..n are out-of-band buffers.
+Two codecs share the framing:
+
+- ``CODEC_PICKLE`` — pickle protocol 5 with out-of-band buffers: large
+  contiguous payloads (e.g. numpy-backed columns) are carried as raw
+  segments instead of being copied through the pickle stream.
+- ``CODEC_JSON`` — the fallback wire form: anything pickle refuses (or a
+  deployment that bans pickle via ``REPRO_IPC_CODEC=json``) is encoded
+  as one UTF-8 JSON segment. JSON loses tuple/set typing, so messages
+  that must survive it are designed as lists/dicts/scalars.
+
+Requests are *pipelined*: each message is ``(correlation id, command,
+args)`` and a coordinator may have many requests in flight per worker —
+the worker answers in arrival order with ``(correlation id, status,
+payload)`` frames, and :class:`FrameConnection` only frames/deframes, so
+correlation bookkeeping stays in the caller.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import socket
+import struct
+from typing import Any, List, Tuple
+
+CODEC_PICKLE = 0
+CODEC_JSON = 1
+
+#: frame header: payload length (the length prefix itself excluded)
+_LEN = struct.Struct("!I")
+#: payload header: codec byte + segment count
+_HEAD = struct.Struct("!BI")
+
+#: refuse absurd frames instead of attempting a multi-GiB recv: a
+#: corrupted length prefix must fail loudly, not allocate blindly.
+MAX_FRAME_BYTES = 1 << 31
+
+#: default documents per ``ingest_many`` sub-frame — bounds both the
+#: per-frame memory spike and the response backlog a pipelined worker
+#: can accumulate while the coordinator is still sending.
+DEFAULT_CHUNK_DOCS = 2048
+
+
+class IpcError(Exception):
+    """Framing or codec failure on the shard wire."""
+
+
+class EncodeError(IpcError):
+    """The payload survived neither pickle nor the JSON fallback."""
+
+
+class ConnectionClosed(IpcError):
+    """The peer hung up (worker death, or coordinator shutdown)."""
+
+
+def encode_message(message: Any, codec: str = "auto") -> bytes:
+    """Serialize ``message`` into one wire frame (length prefix included).
+
+    ``codec``: ``"auto"`` tries pickle-5 first and falls back to JSON;
+    ``"json"`` forces the JSON wire form (raising :class:`EncodeError`
+    when the message is not JSON-representable); ``"pickle"`` disables
+    the fallback.
+    """
+    segments: List[bytes] = []
+    if codec != "json":
+        try:
+            buffers: List[pickle.PickleBuffer] = []
+            body = pickle.dumps(message, protocol=5, buffer_callback=buffers.append)
+            segments = [body] + [buf.raw().tobytes() for buf in buffers]
+            return _frame(CODEC_PICKLE, segments)
+        except Exception:
+            if codec == "pickle":
+                raise EncodeError(f"unpicklable message: {type(message).__name__}")
+    try:
+        body = json.dumps(message, ensure_ascii=False).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise EncodeError(f"message not JSON-representable: {exc}") from exc
+    return _frame(CODEC_JSON, [body])
+
+
+def _frame(codec: int, segments: List[bytes]) -> bytes:
+    parts = [_HEAD.pack(codec, len(segments))]
+    for segment in segments:
+        parts.append(_LEN.pack(len(segment)))
+    parts.extend(segments)
+    payload = b"".join(parts)
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Any:
+    """Inverse of :func:`encode_message` minus the length prefix."""
+    if len(payload) < _HEAD.size:
+        raise IpcError(f"truncated frame header ({len(payload)} bytes)")
+    codec, nsegs = _HEAD.unpack_from(payload, 0)
+    offset = _HEAD.size
+    lengths = []
+    for _ in range(nsegs):
+        if offset + _LEN.size > len(payload):
+            raise IpcError("truncated segment table")
+        (seg_len,) = _LEN.unpack_from(payload, offset)
+        offset += _LEN.size
+        lengths.append(seg_len)
+    view = memoryview(payload)
+    segments = []
+    for seg_len in lengths:
+        if offset + seg_len > len(payload):
+            raise IpcError("segment overruns frame")
+        segments.append(view[offset : offset + seg_len])
+        offset += seg_len
+    if not segments:
+        raise IpcError("frame carries no body segment")
+    if codec == CODEC_PICKLE:
+        return pickle.loads(segments[0], buffers=segments[1:])
+    if codec == CODEC_JSON:
+        return json.loads(bytes(segments[0]).decode("utf-8"))
+    raise IpcError(f"unknown codec {codec}")
+
+
+def chunk_documents(documents: List[Any], chunk: int = DEFAULT_CHUNK_DOCS) -> List[List[Any]]:
+    """Split a batch into wire-sized sub-batches (order preserved)."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    if len(documents) <= chunk:
+        return [documents]
+    return [documents[i : i + chunk] for i in range(0, len(documents), chunk)]
+
+
+def default_codec() -> str:
+    """Deployment codec policy (``REPRO_IPC_CODEC=json`` bans pickle)."""
+    return os.environ.get("REPRO_IPC_CODEC", "auto")
+
+
+class FrameConnection:
+    """One end of a shard wire: blocking framed send/recv + counters."""
+
+    def __init__(self, sock: socket.socket, codec: str = "auto") -> None:
+        self._sock = sock
+        self.codec = codec
+        self.frames_out = 0
+        self.frames_in = 0
+        self.bytes_out = 0
+        self.bytes_in = 0
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def send(self, message: Any) -> None:
+        frame = encode_message(message, self.codec)
+        try:
+            self._sock.sendall(frame)
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ConnectionClosed(f"peer gone during send: {exc}") from exc
+        self.frames_out += 1
+        self.bytes_out += len(frame)
+
+    def recv(self) -> Any:
+        header = self._recv_exact(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise IpcError(f"frame length {length} exceeds cap")
+        payload = self._recv_exact(length)
+        self.frames_in += 1
+        self.bytes_in += _LEN.size + length
+        return decode_payload(payload)
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except (ConnectionResetError, OSError) as exc:
+                raise ConnectionClosed(f"peer gone during recv: {exc}") from exc
+            if not chunk:
+                raise ConnectionClosed("peer closed the wire mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def info(self) -> dict:
+        return {
+            "frames_out": self.frames_out,
+            "frames_in": self.frames_in,
+            "bytes_out": self.bytes_out,
+            "bytes_in": self.bytes_in,
+        }

@@ -40,7 +40,6 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro import concurrency
 from repro.broker.broker import Broker
-from repro.broker.exchange import ExchangeType
 from repro.core.datamgmt import (
     DEFAULT_DEDUP_CAPACITY,
     DataManager,
@@ -54,9 +53,21 @@ from repro.docstore.clone import json_clone
 from repro.docstore.collection import AggregationResult, CollectionStats
 from repro.docstore.cursor import Cursor, sort_documents
 from repro.docstore.store import DocumentStore
+from repro.sharding import ipc
 from repro.sharding.merge import fold_is_exact, global_order_key, plan_scatter
 from repro.sharding.region import DEFAULT_CELL_M, region_of
 from repro.sharding.ring import DEFAULT_VNODES, HashRing
+from repro.sharding.workers import (
+    Done,
+    ProcessShard,
+    ShardSpec,
+    build_vertical_slice,
+)
+
+#: router backends: ``inproc`` keeps every shard in this interpreter
+#: (the oracle reference); ``process`` hosts each shard in a worker
+#: process behind the :mod:`repro.sharding.ipc` wire.
+BACKENDS = ("inproc", "process")
 
 #: a shard directory renamed to this suffix is dead: ``remove_shard``
 #: retires it atomically before best-effort deletion, so a crash during
@@ -72,6 +83,10 @@ class ShardingConfig:
         vnodes: virtual nodes per shard on the hash ring.
         cell_m: grid cell size of the region routing key.
         dedup_capacity: per-shard dedup ledger bound.
+        backend: ``"inproc"`` (default, the oracle reference) or
+            ``"process"`` — one worker process per shard.
+        ipc_chunk: documents per ``ingest_many`` wire frame
+            (process backend only).
     """
 
     def __init__(
@@ -80,7 +95,15 @@ class ShardingConfig:
         vnodes: int = DEFAULT_VNODES,
         cell_m: float = DEFAULT_CELL_M,
         dedup_capacity: int = DEFAULT_DEDUP_CAPACITY,
+        backend: str = "inproc",
+        ipc_chunk: int = ipc.DEFAULT_CHUNK_DOCS,
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown sharding backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if ipc_chunk < 1:
+            raise ValidationError("ipc_chunk must be >= 1")
         if isinstance(shards, int):
             if shards < 1:
                 raise ValidationError("shard count must be >= 1")
@@ -94,6 +117,8 @@ class ShardingConfig:
         self.vnodes = vnodes
         self.cell_m = cell_m
         self.dedup_capacity = dedup_capacity
+        self.backend = backend
+        self.ipc_chunk = ipc_chunk
 
 
 class Shard:
@@ -123,6 +148,80 @@ class Shard:
         if self._channel is None:
             self._channel = self.broker.connect(f"router:{self.name}").channel()
         self._channel.basic_publish(self.exchange, routing_key, body)
+
+    def notify(
+        self, region: str, app_id: str, document: Dict[str, Any], doc_id: Any
+    ) -> None:
+        datatype = document.get("datatype") or "Observation"
+        self.publish(
+            f"{region}.{datatype}",
+            {
+                "_id": doc_id,
+                "region": region,
+                "app_id": app_id,
+                "datatype": datatype,
+                "taken_at": document.get("taken_at"),
+            },
+        )
+
+    # -- backend seam (mirrored by workers.ProcessShard) ------------------
+
+    def submit_ingest_many(
+        self,
+        app_id: str,
+        documents: List[Dict[str, Any]],
+        owned: bool,
+        region_for: Optional[Callable[[Dict[str, Any]], str]] = None,
+    ) -> Done:
+        """Apply a sub-batch now (in-process backends have no wire to
+        overlap); counters and notifications ride the same ingest-lock
+        acquisition as the ledger, keeping stats snapshots coherent."""
+        with self.data.ingest_lock:
+            ids = self.data.ingest_many(app_id, documents, owned=owned)
+            stored = sum(1 for doc_id in ids if doc_id is not None)
+            self.ingested += stored
+            self.deduped += len(ids) - stored
+            if self.subscriptions and region_for is not None:
+                for doc, doc_id in zip(documents, ids):
+                    if doc_id is not None:
+                        self.notify(region_for(doc), app_id, doc, doc_id)
+        return Done(ids)
+
+    def submit_partial_fold(self, pipeline: List[Dict[str, Any]], plan: Any) -> Done:
+        documents = self.collection.iter_documents()
+        partial = plan.partial_fold(documents)
+        # the gathered snapshot rides along so an inexact fold can fall
+        # back to the central path without re-reading the shard
+        return Done((partial, len(documents), documents))
+
+    def submit_documents(self) -> Done:
+        return Done(self.collection.iter_documents())
+
+    def submit(self, command: str, *args: Any) -> Done:
+        if command == "reliability":
+            with self.data.ingest_lock:
+                return Done(
+                    {
+                        "ingested": self.ingested,
+                        "deduped": self.deduped,
+                        "dedup_info": self.data.dedup_info(),
+                    }
+                )
+        raise ValidationError(f"unknown inproc submit command {command!r}")
+
+    def max_int_id(self) -> int:
+        top = 0
+        for doc in self.collection.iter_documents():
+            doc_id = doc.get("_id")
+            if isinstance(doc_id, int) and not isinstance(doc_id, bool):
+                if doc_id > top:
+                    top = doc_id
+        return top
+
+    def shutdown(self) -> None:
+        journal = self.store.journal
+        if journal is not None:
+            journal.close()
 
 
 class ShardedObservations:
@@ -360,6 +459,7 @@ class ShardRouter:
         self._config = config or ShardingConfig()
         self._cell_m = self._config.cell_m
         self._dedup_capacity = self._config.dedup_capacity
+        self._backend = self._config.backend
         self._durable = durable
         self._wal_config = wal_config
         if durable:
@@ -415,42 +515,38 @@ class ShardRouter:
                 return found
         return list(self._config.names)
 
-    def _build_shard(self, name: str) -> Shard:
-        broker = Broker(clock=self._clock)
+    def _build_shard(self, name: str) -> Union[Shard, ProcessShard]:
         if self._data_dir is not None:
-            shard_dir = self._data_dir / name
-            shard_dir.mkdir(parents=True, exist_ok=True)
-            store = DocumentStore.recover(
-                shard_dir,
-                name=f"shard:{name}",
-                clock=self._clock,
-                config=self._wal_config,
-            )
-        else:
-            store = DocumentStore(name=f"shard:{name}", clock=self._clock)
-        data = DataManager(
-            store,
-            self._privacy,
+            # the directory is the durable topology record: create it
+            # in the coordinator *before* any worker fork, so a crash
+            # between spawn and the worker's first write still recovers
+            # the new topology.
+            (self._data_dir / name).mkdir(parents=True, exist_ok=True)
+        spec = ShardSpec(
+            name=name,
+            cell_m=self._cell_m,
             dedup_capacity=self._dedup_capacity,
-            region_fn=lambda doc: region_of(doc, self._cell_m),
+            data_dir=str(self._data_dir / name) if self._data_dir is not None else None,
+            wal_config=self._wal_config,
+            clock=self._clock,
+            privacy_source=self._privacy,
         )
-        if self._data_dir is not None:
-            state = store.recovered_state
-            data.restore_ledger(
-                state.get("dedup_ledger", []), state.get("dedup_regions")
+        if self._backend == "process":
+            return ProcessShard(
+                spec,
+                self._privacy,
+                codec=ipc.default_codec(),
+                ipc_chunk=self._config.ipc_chunk,
             )
-        shard = Shard(name, store, broker, data)
-        broker.declare_exchange(shard.exchange, ExchangeType.TOPIC)
-        return shard
+        store, broker, data = build_vertical_slice(spec, self._privacy)
+        return Shard(name, store, broker, data)
 
     def _advance_id_past_existing(self) -> None:
         top = 0
         for shard in self._shards.values():
-            for doc in shard.collection.iter_documents():
-                doc_id = doc.get("_id")
-                if isinstance(doc_id, int) and not isinstance(doc_id, bool):
-                    if doc_id > top:
-                        top = doc_id
+            shard_top = shard.max_int_id()
+            if shard_top > top:
+                top = shard_top
         with self._state_lock:
             if self._next_id <= top:
                 self._next_id = top + 1
@@ -498,23 +594,7 @@ class ShardRouter:
                 shard.subscriptions += 1
             return shard.broker
 
-    def _notify(
-        self, shard: Shard, region: str, app_id: str, document: Dict[str, Any],
-        doc_id: Any,
-    ) -> None:
-        datatype = document.get("datatype") or "Observation"
-        shard.publish(
-            f"{region}.{datatype}",
-            {
-                "_id": doc_id,
-                "region": region,
-                "app_id": app_id,
-                "datatype": datatype,
-                "taken_at": document.get("taken_at"),
-            },
-        )
-
-    def _shard(self, name: str) -> Shard:
+    def _shard(self, name: str) -> Union[Shard, ProcessShard]:
         shard = self._shards.get(name)
         if shard is None:
             raise ValidationError(f"unknown shard {name!r}")
@@ -551,7 +631,7 @@ class ShardRouter:
                 else:
                     shard.ingested += 1
                     if shard.subscriptions:
-                        self._notify(shard, region, app_id, document, result)
+                        shard.notify(region, app_id, document, result)
             return result
 
     def ingest_many(
@@ -562,6 +642,12 @@ class ShardRouter:
         A batch whose documents all route to one shard takes the
         single-shard fast path: one sub-batch, one ingest-lock
         acquisition, exactly like the unsharded batch path.
+
+        Sub-batches go through the backend's ``submit_ingest_many``
+        seam: the in-process backend applies each synchronously, while
+        the process backend pipelines every shard's chunks onto its
+        worker's wire *before* gathering any result, so N workers chew
+        their sub-batches concurrently.
         """
         for document in documents:
             if not isinstance(document, dict):
@@ -590,20 +676,20 @@ class ShardRouter:
                 elif buckets:
                     self._split_batches += 1
             results: List[Optional[Any]] = [None] * len(docs)
+            pendings = []
             for name in sorted(buckets):
                 shard = self._shard(name)
                 sub, slots = buckets[name]
-                with shard.data.ingest_lock:
-                    ids = shard.data.ingest_many(app_id, sub, owned=owned)
-                    stored = sum(1 for doc_id in ids if doc_id is not None)
-                    shard.ingested += stored
-                    shard.deduped += len(ids) - stored
-                    if shard.subscriptions:
-                        for doc, doc_id in zip(sub, ids):
-                            if doc_id is not None:
-                                self._notify(
-                                    shard, self.region_for(doc), app_id, doc, doc_id
-                                )
+                pendings.append(
+                    (
+                        slots,
+                        shard.submit_ingest_many(
+                            app_id, sub, owned, region_for=self.region_for
+                        ),
+                    )
+                )
+            for slots, pending in pendings:
+                ids = pending.result()
                 for slot, doc_id in zip(slots, ids):
                     results[slot] = doc_id
             return results
@@ -614,7 +700,12 @@ class ShardRouter:
         """Scatter ``pipeline`` across shards and merge on the
         coordinator — partial accumulator folds when the pipeline is
         fold-mergeable, central gather (in global ``_id`` order)
-        otherwise."""
+        otherwise.
+
+        Fold requests fan out through ``submit_partial_fold`` before
+        any result is awaited: process-backed shards fold their corpora
+        concurrently while the in-process backend degenerates to the
+        sequential loop it always ran."""
         with self._topology.read():
             shards = [self._shards[name] for name in sorted(self._shards)]
             plan = plan_scatter(pipeline)
@@ -623,29 +714,44 @@ class ShardRouter:
             merge_kind = "central"
             per_shard_docs: List[List[Dict[str, Any]]] = []
             if plan is not None:
+                folds = [
+                    (shard, shard.submit_partial_fold(pipeline, plan))
+                    for shard in shards
+                ]
                 partials = []
-                for shard in shards:
-                    documents = shard.collection.iter_documents()
-                    per_shard_docs.append(documents)
-                    partial = plan.partial_fold(documents)
+                fold_failed = False
+                for shard, pending in folds:
+                    outcome = pending.result()
+                    if outcome is None:
+                        # the fold states could not cross the worker
+                        # wire (JSON-only codec): gather centrally
+                        fold_failed = True
+                        continue
+                    partial, ndocs, documents = outcome
+                    if documents is not None:
+                        per_shard_docs.append(documents)
                     partials.append(partial)
                     detail[shard.name] = {
-                        "documents": len(documents),
+                        "documents": ndocs,
                         "groups": len(partial),
                     }
-                if fold_is_exact(partials):
+                if not fold_failed and fold_is_exact(partials):
                     rows = plan.merge(partials)
                     merge_kind = "partial_folds"
                 # a float fed a $sum/$avg: the merged total would not be
                 # bit-identical to the sequential one — gather instead
             if rows is None:
                 gathered: List[Dict[str, Any]] = []
-                if per_shard_docs:
+                if len(per_shard_docs) == len(shards):
                     for documents in per_shard_docs:
                         gathered.extend(documents)
                 else:
-                    for shard in shards:
-                        documents = shard.collection.iter_documents()
+                    detail = {}
+                    doc_pendings = [
+                        (shard, shard.submit_documents()) for shard in shards
+                    ]
+                    for shard, pending in doc_pendings:
+                        documents = pending.result()
                         gathered.extend(documents)
                         detail[shard.name] = {"documents": len(documents)}
                 gathered.sort(key=global_order_key)
@@ -724,9 +830,32 @@ class ShardRouter:
 
     def reliability_snapshot(self) -> Dict[str, Any]:
         """Ingest/dedup totals with every shard's ingest lock held, so
-        the merged counters are as coherent as one shard's would be."""
+        the merged counters are as coherent as one shard's would be.
+
+        Process backend: each worker snapshots its own counters under
+        its own ingest lock (per-shard coherence) and the pipelined
+        responses merge here — a cross-process all-locks hold would
+        mean stalling every worker for a stats read."""
         with self._topology.read():
             shards = [self._shards[name] for name in sorted(self._shards)]
+            if self._backend == "process":
+                pendings = [shard.submit("reliability") for shard in shards]
+                ingested = deduped = size = hits = 0
+                for pending in pendings:
+                    snap = pending.result()
+                    ingested += snap["ingested"]
+                    deduped += snap["deduped"]
+                    size += snap["dedup_info"]["size"]
+                    hits += snap["dedup_info"]["hits"]
+                return {
+                    "ingested": ingested,
+                    "deduped": deduped,
+                    "dedup_ledger": {
+                        "size": size,
+                        "capacity": self._dedup_capacity,
+                        "hits": hits,
+                    },
+                }
             with ExitStack() as stack:
                 for shard in shards:
                     stack.enter_context(shard.data.ingest_lock)
@@ -756,23 +885,41 @@ class ShardRouter:
         return sum(shard.deduped for shard in self._shards_snapshot())
 
     def sharding_stats(self) -> Dict[str, Any]:
+        workers: Optional[Dict[str, Any]] = None
         with self._topology.read():
             names = sorted(self._shards)
             per_shard: Dict[str, Any] = {}
-            for name in names:
-                shard = self._shards[name]
-                with shard.data.ingest_lock:
+            if self._backend == "process":
+                pendings = [(name, self._shards[name].submit("stats")) for name in names]
+                for name, pending in pendings:
+                    shard = self._shards[name]
+                    snap = pending.result()
                     per_shard[name] = {
-                        "documents": len(shard.collection),
-                        "ingested": shard.ingested,
-                        "deduped": shard.deduped,
-                        "ledger": shard.data.dedup_info()["size"],
+                        "documents": snap["documents"],
+                        "ingested": snap["ingested"],
+                        "deduped": snap["deduped"],
+                        "ledger": snap["ledger"],
                         "subscriptions": shard.subscriptions,
                     }
+                workers = {
+                    name: self._shards[name].worker_info() for name in names
+                }
+            else:
+                for name in names:
+                    shard = self._shards[name]
+                    with shard.data.ingest_lock:
+                        per_shard[name] = {
+                            "documents": len(shard.collection),
+                            "ingested": shard.ingested,
+                            "deduped": shard.deduped,
+                            "ledger": shard.data.dedup_info()["size"],
+                            "subscriptions": shard.subscriptions,
+                        }
             ring = {"nodes": self._ring.nodes, "vnodes": self._ring.vnodes}
         with self._state_lock:
-            return {
+            stats = {
                 "enabled": True,
+                "backend": self._backend,
                 "shards": per_shard,
                 "ring": ring,
                 "router": {
@@ -787,6 +934,9 @@ class ShardRouter:
                     "repaired": self._repaired,
                 },
             }
+            if workers is not None:
+                stats["workers"] = workers
+            return stats
 
     # -- rebalancing ----------------------------------------------------------
 
@@ -829,8 +979,7 @@ class ShardRouter:
             del self._shards[name]
             moved = self._handoff_misplaced(victim)
             self._handoff_ledger_orphans(victim)
-            if victim.store.journal is not None:
-                victim.store.journal.close()
+            victim.shutdown()
             if self._data_dir is not None:
                 live = self._data_dir / name
                 retired = self._data_dir / f"{name}{RETIRED_SUFFIX}"
@@ -945,6 +1094,4 @@ class ShardRouter:
 
     def close(self) -> None:
         for shard in self._shards_snapshot():
-            journal = shard.store.journal
-            if journal is not None:
-                journal.close()
+            shard.shutdown()

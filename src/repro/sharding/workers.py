@@ -1,0 +1,945 @@
+"""Process-backed shard workers: the GIL-escaping execution plane.
+
+The in-process :class:`~repro.sharding.router.Shard` keeps every shard
+inside one interpreter, so CPU-bound ingest (dedup, pseudonymization,
+index maintenance, columnar fold, WAL framing) serializes on the GIL no
+matter how many shards exist. This module hosts each shard's full
+vertical slice — broker, :class:`~repro.docstore.store.DocumentStore`
+(with its per-shard WAL when durable) and
+:class:`~repro.core.datamgmt.DataManager` — in a long-lived **worker
+process**, talking to the coordinator over the batched binary framing
+of :mod:`repro.sharding.ipc`.
+
+Design points:
+
+- **Warm spawn.** Workers fork from the coordinator at router
+  construction (and on respawn), so they inherit the loaded interpreter
+  instead of re-importing the world; each builds its slice fresh,
+  including crash recovery from its own WAL directory in durable mode.
+- **Pipelined, chunked batches.** ``ingest_many`` splits a shard's
+  sub-batch into wire-sized chunks and keeps a bounded window of them
+  in flight, so a batch costs one round-trip per chunk per shard — not
+  per observation — and a slow worker can never deadlock the wire by
+  backing up responses while the coordinator is still sending.
+- **Deterministic respawn-and-replay.** A dead worker (kill -9, seeded
+  kill-point, OOM) surfaces as :class:`WorkerDied`; the coordinator
+  forks a replacement from the same :class:`ShardSpec`, which in
+  durable mode replays the shard's WAL — dedup ledger included — so a
+  retried batch dedups against everything the dead worker had applied:
+  exactly-once storage survives the kill. (A non-durable worker
+  restarts empty, exactly like a non-durable server would.)
+- **Coordinator-side subscription plane.** Subscriber callbacks are
+  Python closures in the coordinator process, so the region-feed broker
+  a :class:`ProcessShard` publishes notifications on lives with the
+  coordinator; the worker's own broker exists for slice parity and
+  future worker-side consumers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import socket
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import multiprocessing
+
+from repro import concurrency
+from repro.broker.broker import Broker
+from repro.broker.exchange import ExchangeType
+from repro.core.datamgmt import DataManager, DataQuery
+from repro.core.errors import ValidationError
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.collection import CollectionStats
+from repro.docstore.cursor import Cursor
+from repro.docstore.store import DocumentStore
+from repro.sharding import ipc
+from repro.sharding.merge import plan_scatter
+from repro.sharding.region import region_of
+
+#: exit code a seeded kill-point uses — distinguishable from crashes
+KILLPOINT_EXIT = 9
+
+#: in-flight request window per worker during chunked batch ingest
+DEFAULT_PIPELINE_WINDOW = 4
+
+
+class WorkerDied(Exception):
+    """The shard worker process is gone (EOF / broken pipe / exit)."""
+
+
+class WorkerError(Exception):
+    """The worker's command handler raised a non-validation error."""
+
+
+class WorkerEncodingError(WorkerError):
+    """The worker produced a result the wire codec cannot carry."""
+
+
+@dataclass
+class ShardSpec:
+    """Everything needed to (re)build one shard's vertical slice.
+
+    The spec is what makes respawn *deterministic*: a replacement
+    worker built from the same spec recovers the same durable state
+    (snapshot + WAL + dedup ledger) the dead one had journaled.
+    """
+
+    name: str
+    cell_m: float
+    dedup_capacity: int
+    data_dir: Optional[str] = None
+    wal_config: Any = None
+    clock: Optional[Callable[[], float]] = None
+    privacy_source: Optional[PrivacyPolicy] = None
+    exchange: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.exchange = f"SHARD.{self.name}"
+
+
+def build_vertical_slice(
+    spec: ShardSpec, privacy: PrivacyPolicy
+) -> Tuple[DocumentStore, Broker, DataManager]:
+    """One shard's full stack, durable recovery included.
+
+    Shared by the in-process backend (which passes the router's own
+    privacy policy) and the worker main (which passes a fresh clone, so
+    the child never touches a lock the parent forked in an unknown
+    state).
+    """
+    broker = Broker(clock=spec.clock)
+    if spec.data_dir is not None:
+        shard_dir = spec.data_dir
+        os.makedirs(shard_dir, exist_ok=True)
+        store = DocumentStore.recover(
+            shard_dir,
+            name=f"shard:{spec.name}",
+            clock=spec.clock,
+            config=spec.wal_config,
+        )
+    else:
+        store = DocumentStore(name=f"shard:{spec.name}", clock=spec.clock)
+    cell_m = spec.cell_m
+    data = DataManager(
+        store,
+        privacy,
+        dedup_capacity=spec.dedup_capacity,
+        region_fn=lambda doc: region_of(doc, cell_m),
+    )
+    if spec.data_dir is not None:
+        state = store.recovered_state
+        data.restore_ledger(state.get("dedup_ledger", []), state.get("dedup_regions"))
+    broker.declare_exchange(spec.exchange, ExchangeType.TOPIC)
+    return store, broker, data
+
+
+# --------------------------------------------------------------------------
+# worker (child process) side
+# --------------------------------------------------------------------------
+
+
+class _WorkerServer:
+    """The command loop a shard worker runs until shutdown or EOF."""
+
+    def __init__(self, spec: ShardSpec, conn: ipc.FrameConnection) -> None:
+        privacy = (
+            spec.privacy_source.clone()
+            if spec.privacy_source is not None
+            else PrivacyPolicy()
+        )
+        self.privacy = privacy
+        self.store, self.broker, self.data = build_vertical_slice(spec, privacy)
+        self.spec = spec
+        self.conn = conn
+        self.collection = self.data.collection
+        self.ingested = 0
+        self.deduped = 0
+        self.ops = 0
+        #: seeded kill-points: command -> [occurrence, when, seen]
+        self._armed: Dict[str, List[Any]] = {}
+        self.handlers: Dict[str, Callable[..., Any]] = {
+            "ping": self._ping,
+            "ingest": self._ingest,
+            "ingest_many": self._ingest_many,
+            "fold": self._fold,
+            "documents": lambda: self.collection.iter_documents(),
+            "find": lambda filter_doc: self.collection.find(filter_doc).to_list(),
+            "count": lambda filter_doc: self.collection.count(filter_doc),
+            "distinct": lambda path, filter_doc: self.collection.distinct(
+                path, filter_doc
+            ),
+            "collection_len": lambda: len(self.collection),
+            "write_marker": lambda: list(self.collection.write_marker()),
+            "stats_snapshot": lambda: dict(vars(self.collection.stats_snapshot())),
+            "explain": lambda filter_doc: self.collection.explain(filter_doc),
+            "columnar_info": lambda: self.collection.columnar_info(),
+            "retrieve": self._retrieve,
+            "query_count": lambda fields: self.data.count(DataQuery(**fields)),
+            "delete_contributor": self.data.delete_contributor_data,
+            "dedup_info": self.data.dedup_info,
+            "ledger_entries": lambda regions: [
+                list(entry) for entry in self.data.ledger_entries_for(regions)
+            ],
+            "adopt": self._adopt,
+            "release_keys": lambda keys: self.data.release_keys(keys),
+            "remove_documents": lambda ids: self.data.remove_documents(ids),
+            "materialized": self._materialized,
+            "reliability": self._reliability,
+            "stats": self._stats,
+            "max_id": self._max_id,
+            "checkpoint": self.store.checkpoint,
+            "durability_info": self.store.durability_info,
+            "arm_exit": self._arm_exit,
+        }
+
+    # -- command handlers --------------------------------------------------
+
+    def _ping(self) -> Dict[str, Any]:
+        return {"pid": os.getpid(), "ops": self.ops, "rss_bytes": _rss_bytes(os.getpid())}
+
+    def _ingest(self, app_id: str, document: Dict[str, Any]) -> Any:
+        with self.data.ingest_lock:
+            result = self.data.ingest(app_id, document)
+            if result is None:
+                self.deduped += 1
+            else:
+                self.ingested += 1
+            return result
+
+    def _ingest_many(self, app_id: str, documents: List[Dict[str, Any]]) -> List[Any]:
+        # documents crossed the wire, so this process owns them: the
+        # privacy scrub may run in place, exactly like the REST batch
+        # endpoint's freshly parsed wire bodies.
+        with self.data.ingest_lock:
+            ids = self.data.ingest_many(app_id, documents, owned=True)
+            stored = sum(1 for doc_id in ids if doc_id is not None)
+            self.ingested += stored
+            self.deduped += len(ids) - stored
+            return ids
+
+    def _fold(self, pipeline: List[Dict[str, Any]]) -> List[Any]:
+        plan = plan_scatter(pipeline)
+        if plan is None:
+            return ["gather"]
+        documents = self.collection.iter_documents()
+        partial = plan.partial_fold(documents)
+        return ["fold", partial, len(documents)]
+
+    def _retrieve(self, fields: Dict[str, Any], limit: Optional[int]) -> List[Any]:
+        # share_with_app stripping happens on the coordinator, whose
+        # policy holds the live per-app private-field declarations.
+        return self.data.retrieve(DataQuery(**fields), limit=limit)
+
+    def _adopt(self, documents: List[Dict[str, Any]], entries: List[Any]) -> List[Any]:
+        return self.data.adopt(documents, [tuple(entry) for entry in entries])
+
+    def _materialized(self, method: str) -> Any:
+        if method not in (
+            "totals",
+            "model_entries",
+            "day_counts",
+            "provider_counts",
+            "info",
+        ):
+            raise ValidationError(f"unknown materialized probe {method!r}")
+        return getattr(self.data.materialized, method)()
+
+    def _reliability(self) -> Dict[str, Any]:
+        with self.data.ingest_lock:
+            return {
+                "ingested": self.ingested,
+                "deduped": self.deduped,
+                "dedup_info": self.data.dedup_info(),
+            }
+
+    def _stats(self) -> Dict[str, Any]:
+        with self.data.ingest_lock:
+            return {
+                "documents": len(self.collection),
+                "ingested": self.ingested,
+                "deduped": self.deduped,
+                "ledger": self.data.dedup_info()["size"],
+            }
+
+    def _max_id(self) -> int:
+        top = 0
+        for doc in self.collection.iter_documents():
+            doc_id = doc.get("_id")
+            if isinstance(doc_id, int) and not isinstance(doc_id, bool):
+                if doc_id > top:
+                    top = doc_id
+        return top
+
+    def _arm_exit(self, command: str, occurrence: int, when: str) -> bool:
+        """Seed a deterministic kill: die at the n-th ``command``.
+
+        ``when="before"`` exits before the handler touches any state;
+        ``when="after"`` exits after the handler ran (state applied,
+        WAL written) but *before* the response frame — the classic
+        acked-by-disk, unacked-on-the-wire crash window.
+        """
+        if when not in ("before", "after"):
+            raise ValidationError(f"arm_exit when must be before/after, got {when!r}")
+        self._armed[command] = [int(occurrence), when, 0]
+        return True
+
+    def _maybe_exit(self, command: str, phase: str) -> None:
+        armed = self._armed.get(command)
+        if armed is None:
+            return
+        occurrence, when, seen = armed
+        if phase == "before":
+            armed[2] = seen + 1
+        if armed[2] == occurrence and when == phase:
+            os._exit(KILLPOINT_EXIT)
+
+    # -- loop ---------------------------------------------------------------
+
+    def serve(self) -> None:
+        while True:
+            try:
+                message = self.conn.recv()
+            except ipc.ConnectionClosed:
+                break  # coordinator is gone: fold the tent
+            corr, command, args = message[0], message[1], tuple(message[2])
+            self.ops += 1
+            if command == "shutdown":
+                self._close_stores()
+                self._reply(corr, "ok", True)
+                break
+            handler = self.handlers.get(command)
+            if handler is None:
+                self._reply(corr, "err", ["ValidationError", f"unknown command {command!r}"])
+                continue
+            self._maybe_exit(command, "before")
+            try:
+                result = handler(*args)
+            except ValidationError as exc:
+                self._reply(corr, "err", ["ValidationError", str(exc)])
+                continue
+            except Exception as exc:  # noqa: BLE001 - forwarded to coordinator
+                self._reply(corr, "err", [type(exc).__name__, str(exc)])
+                continue
+            self._maybe_exit(command, "after")
+            self._reply(corr, "ok", result)
+        self._close_stores()
+
+    def _reply(self, corr: int, status: str, payload: Any) -> None:
+        try:
+            self.conn.send([corr, status, payload])
+        except ipc.EncodeError as exc:
+            # the handler produced something the wire cannot carry
+            # (e.g. accumulator states under a pickle-banning codec):
+            # degrade to a typed error the coordinator can fall back on.
+            self.conn.send([corr, "err", ["EncodeError", str(exc)]])
+
+    def _close_stores(self) -> None:
+        journal = self.store.journal
+        if journal is not None:
+            try:
+                journal.close()
+            except Exception:  # pragma: no cover - best-effort drain
+                pass
+
+
+def _worker_main(
+    spec: ShardSpec,
+    child_sock: socket.socket,
+    parent_sock: socket.socket,
+    codec: str,
+) -> None:
+    # the fork copied the whole fd table: drop the coordinator's end so
+    # a dead coordinator reads as EOF here (and vice versa).
+    parent_sock.close()
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    conn = ipc.FrameConnection(child_sock, codec)
+    try:
+        _WorkerServer(spec, conn).serve()
+    finally:
+        conn.close()
+    os._exit(0)
+
+
+def _rss_bytes(pid: int) -> int:
+    try:
+        with open(f"/proc/{pid}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-proc OS
+        return 0
+
+
+# --------------------------------------------------------------------------
+# coordinator side
+# --------------------------------------------------------------------------
+
+
+class WorkerHandle:
+    """Coordinator endpoint of one worker: pipelined framed requests.
+
+    ``submit`` writes a request frame and returns its correlation id;
+    ``result`` blocks until that id's response arrives, parking any
+    other responses it drains for their own waiters (several threads
+    may await different correlation ids on one wire).
+    """
+
+    def __init__(self, spec: ShardSpec, codec: str = "auto") -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ValidationError(
+                "backend='process' requires the fork start method (POSIX)"
+            )
+        parent_sock, child_sock = socket.socketpair()
+        ctx = multiprocessing.get_context("fork")
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(spec, child_sock, parent_sock, codec),
+            daemon=True,
+            name=f"shard-worker-{spec.name}",
+        )
+        self.process.start()
+        child_sock.close()
+        self.spec = spec
+        self.conn = ipc.FrameConnection(parent_sock, codec)
+        self.dead = False
+        self.round_trips = 0
+        self._corr = itertools.count(1)
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition(threading.Lock())
+        self._responses: Dict[int, Tuple[str, Any]] = {}
+        self._receiving = False
+        self._pending: set = set()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+    def submit(self, command: str, *args: Any) -> int:
+        with self._send_lock:
+            if self.dead:
+                raise WorkerDied(f"worker {self.spec.name} is gone")
+            corr = next(self._corr)
+            try:
+                self.conn.send([corr, command, list(args)])
+            except ipc.ConnectionClosed as exc:
+                self._mark_dead()
+                raise WorkerDied(str(exc)) from exc
+            with self._cond:
+                self._pending.add(corr)
+            return corr
+
+    def result(self, corr: int) -> Any:
+        while True:
+            with self._cond:
+                if corr in self._responses:
+                    status, payload = self._responses.pop(corr)
+                    self._pending.discard(corr)
+                    self.round_trips += 1
+                    return self._unwrap(status, payload)
+                if self.dead:
+                    raise WorkerDied(f"worker {self.spec.name} died mid-request")
+                if self._receiving:
+                    self._cond.wait(0.05)
+                    continue
+                self._receiving = True
+            try:
+                message = self.conn.recv()
+            except ipc.ConnectionClosed as exc:
+                self._mark_dead()
+                raise WorkerDied(str(exc)) from exc
+            finally:
+                with self._cond:
+                    self._receiving = False
+                    self._cond.notify_all()
+            rcorr, status, payload = message[0], message[1], message[2]
+            with self._cond:
+                self._responses[rcorr] = (status, payload)
+                self._cond.notify_all()
+
+    def call(self, command: str, *args: Any) -> Any:
+        return self.result(self.submit(command, *args))
+
+    @staticmethod
+    def _unwrap(status: str, payload: Any) -> Any:
+        if status == "ok":
+            return payload
+        kind, text = payload[0], payload[1]
+        if kind == "ValidationError":
+            raise ValidationError(text)
+        if kind == "EncodeError":
+            raise WorkerEncodingError(text)
+        raise WorkerError(f"{kind}: {text}")
+
+    def _mark_dead(self) -> None:
+        with self._cond:
+            self.dead = True
+            self._cond.notify_all()
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def rss_bytes(self) -> int:
+        pid = self.pid
+        return _rss_bytes(pid) if pid and self.alive() else 0
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def kill(self) -> None:
+        """SIGKILL the worker (tests: the undeclared kill -9)."""
+        if self.process.pid and self.process.is_alive():
+            os.kill(self.process.pid, signal.SIGKILL)
+        self.process.join(timeout=5)
+        self._mark_dead()
+
+    def close(self, graceful: bool = True, timeout: float = 5.0) -> None:
+        """Drain and stop the worker.
+
+        Graceful: a ``shutdown`` command lets the worker close its WAL
+        segment cleanly; a worker that does not exit in ``timeout`` is
+        terminated (its WAL stays recoverable — that is the point of
+        journal-before-apply).
+        """
+        if graceful and self.alive():
+            try:
+                self.call("shutdown")
+            except (WorkerDied, WorkerError):
+                pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=timeout)
+        self._mark_dead()
+        self.conn.close()
+
+    def info(self) -> Dict[str, Any]:
+        wire = self.conn.info()
+        return {
+            "pid": self.pid,
+            "alive": self.alive(),
+            "rss_bytes": self.rss_bytes(),
+            "round_trips": self.round_trips,
+            "queue_depth": self.queue_depth(),
+            **wire,
+        }
+
+
+class Done:
+    """Already-computed pending result (the in-process backend)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any) -> None:
+        self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+class _CallPending:
+    """One in-flight RPC; retries once through a respawned worker."""
+
+    def __init__(self, shard: "ProcessShard", command: str, args: Tuple[Any, ...]) -> None:
+        self._shard = shard
+        self._command = command
+        self._args = args
+        self._corr = shard.handle.submit(command, *args)
+        self._handle = shard.handle
+
+    def result(self) -> Any:
+        try:
+            return self._handle.result(self._corr)
+        except WorkerDied:
+            self._shard.respawn()
+            return self._shard.handle.call(self._command, *self._args)
+
+
+class _IngestPending:
+    """A shard's chunked, windowed ``ingest_many`` in flight.
+
+    Keeps at most ``window`` chunks outstanding: responses drain as new
+    chunks go out, so neither side can fill both socket buffers and
+    deadlock. On worker death the remaining chunks replay through the
+    respawned worker — its recovered ledger collapses everything the
+    dead worker already applied, so replay never double-stores (durable
+    mode), exactly like a client retransmit would.
+
+    ``result()`` also records the batch on the coordinator (mirror
+    counters + subscription notifications) under the shard's
+    coordinator-side ingest lock, mirroring the in-process backend's
+    single-lock-acquisition discipline.
+    """
+
+    def __init__(
+        self,
+        shard: "ProcessShard",
+        app_id: str,
+        documents: List[Dict[str, Any]],
+        region_for: Optional[Callable[[Dict[str, Any]], str]] = None,
+        window: int = DEFAULT_PIPELINE_WINDOW,
+    ) -> None:
+        self._shard = shard
+        self._app_id = app_id
+        self._documents = documents
+        self._region_for = region_for
+        self._chunks = ipc.chunk_documents(documents, shard.ipc_chunk)
+        self._corrs: List[Optional[int]] = [None] * len(self._chunks)
+        self._sent = 0
+        self._handle = shard.handle
+        try:
+            while self._sent < min(window, len(self._chunks)):
+                self._send_next()
+        except WorkerDied:
+            pass  # result() replays through the respawned worker
+
+    def _send_next(self) -> None:
+        self._corrs[self._sent] = self._handle.submit(
+            "ingest_many", self._app_id, self._chunks[self._sent]
+        )
+        self._sent += 1
+
+    def result(self) -> List[Any]:
+        ids: List[Any] = []
+        index = 0
+        try:
+            while index < len(self._chunks):
+                corr = self._corrs[index]
+                if corr is None:
+                    raise WorkerDied("chunk was never submitted")
+                ids.extend(self._handle.result(corr))
+                index += 1
+                if self._sent < len(self._chunks):
+                    self._send_next()
+        except WorkerDied:
+            self._shard.respawn()
+            for chunk in self._chunks[index:]:
+                ids.extend(self._shard.handle.call("ingest_many", self._app_id, chunk))
+        shard = self._shard
+        with shard.data.ingest_lock:
+            stored = sum(1 for doc_id in ids if doc_id is not None)
+            shard.ingested += stored
+            shard.deduped += len(ids) - stored
+            if shard.subscriptions and self._region_for is not None:
+                for doc, doc_id in zip(self._documents, ids):
+                    if doc_id is not None:
+                        shard.notify(
+                            self._region_for(doc), self._app_id, doc, doc_id
+                        )
+        return ids
+
+
+@contextmanager
+def _noop_context():
+    yield
+
+
+class _ProcessCollection:
+    """Read-side Collection facade over the worker's observations."""
+
+    def __init__(self, shard: "ProcessShard") -> None:
+        self._shard = shard
+        self.name = "observations"
+
+    def __len__(self) -> int:
+        return self._shard.rpc("collection_len")
+
+    def count(self, filter_doc: Optional[Dict[str, Any]] = None) -> int:
+        return self._shard.rpc("count", filter_doc)
+
+    def iter_documents(self) -> List[Dict[str, Any]]:
+        return self._shard.rpc("documents")
+
+    def find(self, filter_doc: Optional[Dict[str, Any]] = None) -> Cursor:
+        return Cursor(self._shard.rpc("find", filter_doc))
+
+    def distinct(
+        self, path: str, filter_doc: Optional[Dict[str, Any]] = None
+    ) -> List[Any]:
+        return self._shard.rpc("distinct", path, filter_doc)
+
+    def read_locked(self):
+        # each worker command is atomic under the worker's own locks; a
+        # cross-command coordinator hold is not available over IPC.
+        return _noop_context()
+
+    def write_marker(self) -> Tuple[int, int, int]:
+        return tuple(self._shard.rpc("write_marker"))
+
+    def stats_snapshot(self) -> CollectionStats:
+        stats = CollectionStats()
+        for key, value in self._shard.rpc("stats_snapshot").items():
+            setattr(stats, key, value)
+        return stats
+
+    def explain(self, filter_doc: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        return self._shard.rpc("explain", filter_doc)
+
+    def columnar_info(self) -> Dict[str, Any]:
+        return self._shard.rpc("columnar_info")
+
+
+class _ProcessMaterialized:
+    """Per-shard materialized probes; wire failures degrade to None,
+    which every merged consumer already treats as 'recompute instead'."""
+
+    def __init__(self, shard: "ProcessShard") -> None:
+        self._shard = shard
+
+    def _probe(self, method: str) -> Any:
+        try:
+            return self._shard.rpc("materialized", method)
+        except WorkerEncodingError:
+            return None
+
+    def totals(self):
+        return self._probe("totals")
+
+    def model_entries(self):
+        return self._probe("model_entries")
+
+    def day_counts(self):
+        return self._probe("day_counts")
+
+    def provider_counts(self):
+        return self._probe("provider_counts")
+
+    def info(self):
+        info = self._probe("info")
+        if info is None:  # pragma: no cover - defensive
+            info = {
+                "fresh": False,
+                "rebuilds": 0,
+                "incremental_updates": 0,
+                "invalidations": 0,
+                "degraded": True,
+            }
+        return info
+
+
+class _ProcessData:
+    """DataManager facade: the worker owns the ledger and documents."""
+
+    def __init__(self, shard: "ProcessShard", privacy: PrivacyPolicy) -> None:
+        self._shard = shard
+        self._privacy = privacy
+        #: coordinator-side serialization of this shard's ingest +
+        #: mirror counters — the per-shard coherence point the router's
+        #: locking discipline expects. The worker holds its own
+        #: authoritative ingest lock around every applied command.
+        self.ingest_lock = concurrency.make_rlock()
+        self.materialized = _ProcessMaterialized(shard)
+
+    def ingest(self, app_id: str, document: Dict[str, Any]) -> Any:
+        return self._shard.rpc("ingest", app_id, document)
+
+    def ingest_many(
+        self, app_id: str, documents: List[Dict[str, Any]], owned: bool = False
+    ) -> List[Any]:
+        ids: List[Any] = []
+        for chunk in ipc.chunk_documents(documents, self._shard.ipc_chunk):
+            ids.extend(self._shard.rpc("ingest_many", app_id, chunk))
+        return ids
+
+    def retrieve(
+        self,
+        query: DataQuery,
+        limit: Optional[int] = None,
+        share_with_app: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        documents = self._shard.rpc("retrieve", dict(vars(query)), limit)
+        if share_with_app is not None and query.app_id is not None and (
+            share_with_app != query.app_id
+        ):
+            documents = [
+                self._privacy.for_sharing(query.app_id, doc) for doc in documents
+            ]
+        return documents
+
+    def count(self, query: DataQuery) -> int:
+        return self._shard.rpc("query_count", dict(vars(query)))
+
+    def delete_contributor_data(self, app_id: str, user_id: str) -> int:
+        return self._shard.rpc("delete_contributor", app_id, user_id)
+
+    def dedup_info(self) -> Dict[str, int]:
+        return self._shard.rpc("dedup_info")
+
+    def ledger_entries_for(self, regions) -> List[Tuple[str, Any]]:
+        wanted = regions if regions is None else list(regions)
+        return [tuple(e) for e in self._shard.rpc("ledger_entries", wanted)]
+
+    def adopt(self, documents, ledger_entries) -> List[Any]:
+        return self._shard.rpc(
+            "adopt", documents, [list(entry) for entry in ledger_entries]
+        )
+
+    def release_keys(self, keys) -> int:
+        return self._shard.rpc("release_keys", list(keys))
+
+    def remove_documents(self, ids) -> int:
+        return self._shard.rpc("remove_documents", list(ids))
+
+
+class _ProcessStore:
+    """Durability facade; the journal itself lives in the worker."""
+
+    journal = None  # the coordinator never writes this shard's WAL
+
+    def __init__(self, shard: "ProcessShard") -> None:
+        self._shard = shard
+
+    def checkpoint(self) -> int:
+        return self._shard.rpc("checkpoint")
+
+    def durability_info(self) -> Dict[str, Any]:
+        return self._shard.rpc("durability_info")
+
+
+class ProcessShard:
+    """One shard hosted in a worker process, coordinator-side view.
+
+    Speaks the same surface as :class:`repro.sharding.router.Shard`
+    (``data``/``collection``/``store`` plus the notification broker and
+    ingest/dedup mirror counters), so the router's code paths are
+    backend-oblivious; the scatter/ingest hot paths additionally use
+    ``submit_*`` to overlap work across workers.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        privacy: PrivacyPolicy,
+        codec: str = "auto",
+        ipc_chunk: int = ipc.DEFAULT_CHUNK_DOCS,
+    ) -> None:
+        self.name = spec.name
+        self.spec = spec
+        self.exchange = spec.exchange
+        self.codec = codec
+        self.ipc_chunk = ipc_chunk
+        self.handle = WorkerHandle(spec, codec)
+        self.respawns = 0
+        self._respawn_lock = threading.Lock()
+        #: coordinator-side mirrors of the worker's authoritative
+        #: counters (kept for cheap ``total_ingested`` sums; the stats
+        #: surface reads the worker's own numbers)
+        self.ingested = 0
+        self.deduped = 0
+        self.subscriptions = 0
+        self.broker = Broker(clock=spec.clock)
+        self.broker.declare_exchange(self.exchange, ExchangeType.TOPIC)
+        self._channel = None
+        self.data = _ProcessData(self, privacy)
+        self.collection = _ProcessCollection(self)
+        self.store = _ProcessStore(self)
+
+    # -- wire helpers ------------------------------------------------------
+
+    def rpc(self, command: str, *args: Any) -> Any:
+        """One call, retried once through a respawned worker."""
+        try:
+            return self.handle.call(command, *args)
+        except WorkerDied:
+            self.respawn()
+            return self.handle.call(command, *args)
+
+    def submit(self, command: str, *args: Any) -> Any:
+        try:
+            return _CallPending(self, command, args)
+        except WorkerDied:
+            self.respawn()
+            return _CallPending(self, command, args)
+
+    def respawn(self) -> None:
+        """Deterministic replacement: same spec, fresh fork, WAL replay."""
+        with self._respawn_lock:
+            if self.handle.alive():
+                return  # another caller already replaced it
+            self.handle.close(graceful=False, timeout=1.0)
+            self.handle = WorkerHandle(self.spec, self.codec)
+            self.respawns += 1
+
+    # -- router seam -------------------------------------------------------
+
+    def publish(self, routing_key: str, body: Dict[str, Any]) -> None:
+        if self._channel is None:
+            self._channel = self.broker.connect(f"router:{self.name}").channel()
+        self._channel.basic_publish(self.exchange, routing_key, body)
+
+    def notify(self, region: str, app_id: str, document: Dict[str, Any], doc_id: Any) -> None:
+        datatype = document.get("datatype") or "Observation"
+        self.publish(
+            f"{region}.{datatype}",
+            {
+                "_id": doc_id,
+                "region": region,
+                "app_id": app_id,
+                "datatype": datatype,
+                "taken_at": document.get("taken_at"),
+            },
+        )
+
+    def submit_ingest_many(
+        self,
+        app_id: str,
+        documents: List[Dict[str, Any]],
+        owned: bool,
+        region_for: Optional[Callable[[Dict[str, Any]], str]] = None,
+    ) -> _IngestPending:
+        # ``owned`` is moot across a process boundary: the wire copy is
+        # the worker's own either way.
+        return _IngestPending(self, app_id, documents, region_for)
+
+    def submit_partial_fold(self, pipeline: List[Dict[str, Any]], plan: Any) -> Any:
+        return _FoldPending(self, pipeline)
+
+    def submit_documents(self) -> Any:
+        return self.submit("documents")
+
+    def max_int_id(self) -> int:
+        return self.rpc("max_id")
+
+    def reliability(self) -> Dict[str, Any]:
+        return self.rpc("reliability")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.rpc("stats")
+
+    def worker_info(self) -> Dict[str, Any]:
+        info = self.handle.info()
+        info["respawns"] = self.respawns
+        return info
+
+    def shutdown(self) -> None:
+        self.handle.close(graceful=True)
+
+
+class _FoldPending:
+    """A worker-side partial fold in flight; degrades to ``None`` when
+    the fold states cannot cross the wire (JSON-only codec) so the
+    router falls back to the central gather path."""
+
+    def __init__(self, shard: ProcessShard, pipeline: List[Dict[str, Any]]) -> None:
+        self._pending = shard.submit("fold", pipeline)
+
+    def result(self) -> Optional[Tuple[Dict[Any, list], int, int]]:
+        try:
+            outcome = self._pending.result()
+        except WorkerEncodingError:
+            return None
+        if not outcome or outcome[0] != "fold":
+            return None
+        # (partial, document count, gathered docs — None: the docs
+        # stayed in the worker; a central fallback refetches)
+        return outcome[1], outcome[2], None

@@ -1,0 +1,178 @@
+"""Worker-death crash safety for the process shard backend.
+
+The process-plane analogue of ``test_rebalance_crash``: a durable
+process-backed :class:`ShardRouter` ingests through worker processes,
+a seeded kill-point (``arm_exit``) makes one worker ``os._exit`` at a
+chosen command — a real process death, not an exception — and the
+router must respawn a replacement that recovers the shard's WAL and
+dedup ledger. The guarantees under test:
+
+- **Exactly-once storage across respawn.** A kill *after* the worker
+  applied and journaled a batch but *before* it acked (the classic
+  acked-by-disk, lost-on-the-wire window) must not double-store: the
+  in-flight replay and any later full client retransmit both collapse
+  against the recovered ledger.
+- **A kill before apply loses nothing acked.** The coordinator replays
+  the unacked chunks into the respawned worker; every document lands
+  exactly once.
+- **Cold restart agrees.** A fresh router over the same directory tree
+  (either backend) sees exactly the surviving documents.
+"""
+
+import pytest
+
+from repro.core.datamgmt import DataQuery
+from repro.core.privacy import PrivacyPolicy
+from repro.docstore.wal import WalConfig
+from repro.sharding.router import ShardRouter, ShardingConfig
+from repro.sharding.workers import KILLPOINT_EXIT
+
+from tests.integration.test_rebalance_crash import make_observations
+
+APP = "SC"
+
+
+def make_process_router(data_dir, shards=2):
+    return ShardRouter(
+        PrivacyPolicy(),
+        config=ShardingConfig(shards=shards, backend="process"),
+        durable=True,
+        data_dir=str(data_dir),
+        wal_config=WalConfig(sync_policy="always"),
+    )
+
+
+def _stored(ids):
+    return sum(1 for doc_id in ids if doc_id is not None)
+
+
+@pytest.fixture
+def router(tmp_path):
+    router = make_process_router(tmp_path / "shards")
+    yield router
+    router.close()
+
+
+def _arm(router, shard_name, command, occurrence, when):
+    shard = router.shards[shard_name]
+    shard.handle.call("arm_exit", command, occurrence, when)
+    return shard
+
+
+@pytest.mark.parametrize("when", ["before", "after"])
+def test_seeded_kill_mid_ingest_many(router, tmp_path, when):
+    """Worker dies at its first ingest_many chunk — before or after
+    applying it — and the batch still lands exactly once."""
+    docs = make_observations(160)
+    warm = docs[:40]
+    live = docs[40:]
+    assert _stored(router.ingest_many(APP, [dict(d) for d in warm])) == 40
+
+    victim_name = sorted(router.shards)[0]
+    victim = _arm(router, victim_name, "ingest_many", 1, when)
+    doomed = victim.handle
+
+    ids = router.ingest_many(APP, [dict(d) for d in live])
+    # "before": nothing was applied pre-kill, so the replay stores the
+    # whole sub-batch and every id comes back. "after": the killed
+    # worker had journaled its chunk without acking, so the replay
+    # dedups it (ids None) — but the documents are all there.
+    assert victim.respawns == 1
+    assert victim.handle is not doomed
+    assert victim.handle.pid != doomed.pid
+    assert doomed.process.exitcode == KILLPOINT_EXIT  # a real process death
+    if when == "before":
+        assert _stored(ids) == len(live)
+
+    assert router.collection.count(None) == len(docs)
+    expected_ids = {f"obs:{i}" for i in range(len(docs))}
+    assert {
+        doc["obs_id"] for doc in router.collection.iter_documents()
+    } == expected_ids
+
+    # full client retransmit: the recovered ledger stores nothing new
+    retransmit = router.ingest_many(APP, [dict(d) for d in docs])
+    assert retransmit == [None] * len(docs)
+    assert router.collection.count(None) == len(docs)
+
+    snap = router.reliability_snapshot()
+    assert snap["dedup_ledger"]["size"] == len(docs)
+
+
+def test_killpoint_is_a_real_exit_code(router):
+    victim_name = sorted(router.shards)[1]
+    victim = _arm(router, victim_name, "documents", 1, "before")
+    doomed = victim.handle
+    assert router.collection.count(None) == 0  # count → no kill
+    router.collection.iter_documents()  # documents → armed kill + respawn
+    assert victim.respawns == 1
+    assert doomed.process.exitcode == KILLPOINT_EXIT
+
+
+def test_repeated_deaths_remain_exactly_once(router):
+    """Two kills on the same shard across two batches: the ledger
+    accretes across both respawns."""
+    docs = make_observations(200)
+    first, second = docs[:100], docs[100:]
+    victim_name = sorted(router.shards)[0]
+
+    _arm(router, victim_name, "ingest_many", 1, "after")
+    router.ingest_many(APP, [dict(d) for d in first])
+    assert router.collection.count(None) == 100
+
+    _arm(router, victim_name, "ingest_many", 1, "after")
+    router.ingest_many(APP, [dict(d) for d in second])
+    assert router.collection.count(None) == 200
+    assert router.shards[victim_name].respawns == 2
+
+    assert router.ingest_many(APP, [dict(d) for d in docs]) == [None] * 200
+    assert router.collection.count(None) == 200
+
+
+def test_cold_restart_after_worker_death_sees_same_rows(tmp_path):
+    """After a seeded death + replay, a *fresh* router over the same
+    tree — process or inproc backend — recovers identical documents."""
+    shards_dir = tmp_path / "shards"
+    router = make_process_router(shards_dir)
+    docs = make_observations(120)
+    victim_name = sorted(router.shards)[0]
+    _arm(router, victim_name, "ingest_many", 1, "after")
+    router.ingest_many(APP, [dict(d) for d in docs])
+    assert router.collection.count(None) == 120
+    survivors = [
+        (doc["obs_id"], doc["_id"]) for doc in router.collection.iter_documents()
+    ]
+    query_rows = router.retrieve(DataQuery(app_id=APP), limit=11)
+    router.close()
+
+    reborn = make_process_router(shards_dir)
+    try:
+        assert [
+            (doc["obs_id"], doc["_id"])
+            for doc in reborn.collection.iter_documents()
+        ] == survivors
+        assert reborn.retrieve(DataQuery(app_id=APP), limit=11) == query_rows
+        assert reborn.ingest_many(APP, [dict(d) for d in docs]) == [None] * 120
+    finally:
+        reborn.close()
+
+    # the inproc backend reads the very same directories: backends are
+    # interchangeable over one durable tree
+    inproc = ShardRouter(
+        PrivacyPolicy(),
+        config=ShardingConfig(shards=2),
+        durable=True,
+        data_dir=str(shards_dir),
+        wal_config=WalConfig(sync_policy="always"),
+    )
+    try:
+        assert [
+            (doc["obs_id"], doc["_id"])
+            for doc in inproc.collection.iter_documents()
+        ] == survivors
+    finally:
+        inproc.close()
+
+
+def test_exit_code_constant_is_distinguishable():
+    assert KILLPOINT_EXIT not in (0, 1)

@@ -1,0 +1,36 @@
+"""Watchdog for the process-backend suites.
+
+A wedged shard worker (or a coordinator blocked on a wire that will
+never answer) must fail the test, not hang the whole run. CI layers
+``pytest-timeout`` on top; this SIGALRM watchdog keeps the guarantee
+in plain local runs where that plugin is not installed.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+WATCHDOG_SECONDS = 180
+
+
+@pytest.fixture(autouse=True)
+def _worker_watchdog(request):
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded {WATCHDOG_SECONDS}s — "
+            "a shard worker or its wire is likely wedged"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(WATCHDOG_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

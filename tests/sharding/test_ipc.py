@@ -1,0 +1,124 @@
+"""Unit tests for the shard wire: framing, codecs, chunking."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.sharding import ipc
+
+
+class TestCodecs:
+    def test_pickle_round_trip_preserves_python_types(self):
+        message = {
+            "tuples": (1, 2, 3),
+            "sets": {"a", "b"},
+            "nested": [{"k": (None, True)}],
+        }
+        assert ipc.decode_payload(
+            ipc.encode_message(message)[4:]
+        ) == message
+
+    def test_json_round_trip(self):
+        message = [7, "ingest_many", [["app", [{"obs_id": "a", "v": 1.5}]]]]
+        frame = ipc.encode_message(message, codec="json")
+        assert ipc.decode_payload(frame[4:]) == message
+
+    def test_json_codec_rejects_unrepresentable(self):
+        with pytest.raises(ipc.EncodeError):
+            ipc.encode_message({"states": object()}, codec="json")
+
+    def test_auto_falls_back_to_json_for_unpicklable(self):
+        # a lambda defeats pickle; auto must not blow up if the rest of
+        # the message is JSON-representable — and must raise EncodeError
+        # when neither codec works
+        with pytest.raises(ipc.EncodeError):
+            ipc.encode_message({"fn": lambda: None}, codec="auto")
+
+    def test_out_of_band_buffers_survive(self):
+        blob = bytearray(b"\x00\x01" * 50_000)
+        message = {"corr": 1, "payload": blob}
+        decoded = ipc.decode_payload(ipc.encode_message(message)[4:])
+        assert bytes(decoded["payload"]) == bytes(blob)
+
+    def test_truncated_payload_fails_loudly(self):
+        frame = ipc.encode_message({"k": "v"})
+        with pytest.raises(ipc.IpcError):
+            ipc.decode_payload(frame[4:10])
+
+
+class TestChunking:
+    def test_small_batch_is_one_chunk(self):
+        docs = [{"i": i} for i in range(10)]
+        assert ipc.chunk_documents(docs, 2048) == [docs]
+
+    def test_chunks_preserve_order_and_cover_batch(self):
+        docs = [{"i": i} for i in range(5000)]
+        chunks = ipc.chunk_documents(docs, 2048)
+        assert [len(c) for c in chunks] == [2048, 2048, 904]
+        flattened = [doc for chunk in chunks for doc in chunk]
+        assert flattened == docs
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ipc.chunk_documents([], 0)
+
+
+class TestFrameConnection:
+    def _pair(self, codec="auto"):
+        left, right = socket.socketpair()
+        return ipc.FrameConnection(left, codec), ipc.FrameConnection(right, codec)
+
+    def test_send_recv_round_trip_and_counters(self):
+        a, b = self._pair()
+        try:
+            a.send([1, "ping", []])
+            a.send([2, "ingest", ["app", {"obs_id": "x"}]])
+            assert b.recv() == [1, "ping", []]
+            assert b.recv() == [2, "ingest", ["app", {"obs_id": "x"}]]
+            assert a.frames_out == 2 and b.frames_in == 2
+            assert a.bytes_out == b.bytes_in > 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_interleaved_frames_from_thread(self):
+        a, b = self._pair()
+        payloads = [[i, "cmd", [list(range(i % 50))]] for i in range(200)]
+
+        def pump():
+            for message in payloads:
+                a.send(message)
+
+        thread = threading.Thread(target=pump)
+        thread.start()
+        try:
+            received = [b.recv() for _ in range(len(payloads))]
+            assert received == payloads
+        finally:
+            thread.join()
+            a.close()
+            b.close()
+
+    def test_peer_close_raises_connection_closed(self):
+        a, b = self._pair()
+        a.close()
+        with pytest.raises(ipc.ConnectionClosed):
+            b.recv()
+        b.close()
+
+    def test_json_wire_degrades_tuples_to_lists(self):
+        a, b = self._pair(codec="json")
+        try:
+            a.send([3, "write_marker", []])
+            assert b.recv() == [3, "write_marker", []]
+        finally:
+            a.close()
+            b.close()
+
+
+def test_default_codec_reads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_IPC_CODEC", raising=False)
+    assert ipc.default_codec() == "auto"
+    monkeypatch.setenv("REPRO_IPC_CODEC", "json")
+    assert ipc.default_codec() == "json"
