@@ -33,6 +33,11 @@ Two suites are available:
   the full backend × shard-count matrix. The post-run summary records
   ``sharding_scaling``: each leg's live-window speedup over that
   single-shard baseline, grouped by backend.
+- ``streaming``: live subscription fan-out — the same ingest window
+  pushed to 1, 64 and 512 continuous queries, with a foreground
+  consumer draining via ack cursors mid-ingest. Each bench records
+  ``fanout_msgs_per_sec`` and ``p99_tile_staleness_ms`` in its
+  ``extra_info``.
 
 Usage::
 
@@ -71,6 +76,7 @@ SUITES = {
     "batch": "benchmarks/test_batch_ingest.py",
     "wal": "benchmarks/test_wal_ingest.py",
     "sharding": "benchmarks/test_sharded_ingest.py",
+    "streaming": "benchmarks/test_streaming_fanout.py",
 }
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_middleware.json"
 
@@ -132,7 +138,13 @@ def summarize(raw: dict) -> dict:
     benches = {}
     for bench in raw.get("benchmarks", []):
         stats = bench.get("stats", {})
-        benches[bench["name"]] = {key: stats.get(key) for key in KEPT_STATS}
+        entry = {key: stats.get(key) for key in KEPT_STATS}
+        # benches that publish derived figures (fan-out msgs/sec, p99
+        # staleness) carry them in extra_info — keep those verbatim
+        extra = bench.get("extra_info") or {}
+        if extra:
+            entry["extra_info"] = extra
+        benches[bench["name"]] = entry
     return {
         "datetime": raw.get("datetime"),
         "python": raw.get("machine_info", {}).get("python_version"),

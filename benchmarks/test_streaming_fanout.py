@@ -1,0 +1,151 @@
+"""Streaming fan-out: push delivery cost at 1 / 64 / 512 subscribers.
+
+Each round registers N live subscriptions against one server, then
+ingests a window of fresh observations in batches while a foreground
+consumer drains with ack cursors (interleaved with ingest, the way a
+live dashboard polls) and the remaining N-1 subscribers drain at the
+end. Two figures of merit land in ``extra_info``:
+
+- ``fanout_msgs_per_sec`` — events delivered to subscriber outboxes
+  and drained, per wall second, across the whole round;
+- ``p99_tile_staleness_ms`` — 99th percentile of (drain time −
+  ``emitted_wall``) over the foreground consumer's tile delta events:
+  how stale the push-maintained noise map tile is by the time the
+  consumer folds the delta, including the poll latency.
+
+``run_bench.py --suite streaming`` records the three subscriber counts
+as separate benches in ``BENCH_middleware.json``. Environment knobs
+(for CI smoke legs):
+
+- ``REPRO_STREAM_EVENTS`` — observations ingested per round
+  (default 2000)
+"""
+
+import gc
+import itertools
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.server import GoFlowServer
+
+APP = "SC"
+EVENTS = int(os.environ.get("REPRO_STREAM_EVENTS", "2000"))
+CHUNK = 200
+ROUNDS = 3
+SUBSCRIBER_COUNTS = (1, 64, 512)
+
+MODELS = ["GT-I9300", "GT-I9505", "Nexus 5", "Nexus 4", "Moto G"]
+
+_seq = itertools.count()
+
+
+def _payloads(count, base):
+    docs = []
+    for i in range(count):
+        n = base + i
+        docs.append(
+            {
+                "obs_id": f"stream:{n}",
+                "user_id": f"u{n % 50}",
+                "model": MODELS[n % len(MODELS)],
+                "taken_at": float((n * 2654435761) % 10_000_000),
+                "noise_dba": 40.0 + (n % 35),
+                "location": {
+                    # 16x16 grid cells: enough regions for real tile
+                    # churn without the map dominating the fan-out cost
+                    "x_m": float((n * 1237) % 16) * 500.0,
+                    "y_m": float((n * 911) % 16) * 500.0,
+                },
+            }
+        )
+    return docs
+
+
+def _drain(server, sub_id, cursor, staleness, received):
+    """Drain whatever is pending; staleness sampled at drain time."""
+    while True:
+        response = server.streaming.next_events(sub_id, ack=cursor, limit=1000)
+        now = time.perf_counter()
+        for event in response["events"]:
+            received[0] += 1
+            if event["kind"] == "tile":
+                staleness.append(now - event["emitted_wall"])
+        cursor = max(cursor, response["cursor"])
+        if not response["events"] and response["pending"] == 0:
+            return cursor
+
+
+@pytest.mark.parametrize("subscribers", SUBSCRIBER_COUNTS)
+def test_streaming_fanout(benchmark, subscribers):
+    server = GoFlowServer()
+    server.register_app(APP)
+    state = {
+        "base": next(_seq) * 100_000_000,
+        "subs": [],
+        "docs": [],
+        "elapsed": 0.0,
+        "received": [0],
+        "staleness": [],
+    }
+
+    def fresh_round():
+        # fresh subscriptions and a fresh obs_id namespace per round:
+        # the ledger never collapses a round into no-ops, and no round
+        # inherits a previous round's backlog
+        for sub in state["subs"]:
+            server.streaming.unsubscribe(sub)
+        # the foreground consumer also folds the live tile deltas
+        foreground = server.streaming.subscribe(
+            tiles=True, capacity=2 * EVENTS + 16, max_overruns=0
+        )
+        background = [
+            server.streaming.subscribe(capacity=EVENTS + 16, max_overruns=0)
+            for _ in range(subscribers - 1)
+        ]
+        state["subs"] = [foreground] + background
+        state["docs"] = _payloads(EVENTS, state["base"])
+        state["base"] += EVENTS
+        gc.collect()  # keep collector pauses out of the timed window
+        return (), {}
+
+    def fanout_round():
+        start = time.perf_counter()
+        foreground, background = state["subs"][0], state["subs"][1:]
+        cursor = 0
+        for offset in range(0, EVENTS, CHUNK):
+            server.data.ingest_many(
+                APP, state["docs"][offset : offset + CHUNK]
+            )
+            cursor = _drain(
+                server,
+                foreground,
+                cursor,
+                state["staleness"],
+                state["received"],
+            )
+        for sub in background:
+            _drain(server, sub, 0, state["staleness"], state["received"])
+        state["elapsed"] += time.perf_counter() - start
+
+    benchmark.pedantic(fanout_round, rounds=ROUNDS, iterations=1, setup=fresh_round)
+
+    # delivery conservation: every subscriber saw every observation of
+    # its rounds, the foreground one additionally every tile delta.
+    # cProfile re-runs add whole extra rounds, so check per-round shape.
+    per_round = subscribers * EVENTS + EVENTS
+    assert state["received"][0] % per_round == 0
+    assert state["received"][0] >= ROUNDS * per_round
+    stats = server.middleware_stats()["streaming"]
+    assert stats["dropped"] == 0 and stats["evicted"] == 0
+
+    benchmark.extra_info["subscribers"] = subscribers
+    benchmark.extra_info["events_per_round"] = EVENTS
+    benchmark.extra_info["fanout_msgs_per_sec"] = round(
+        state["received"][0] / state["elapsed"], 1
+    )
+    benchmark.extra_info["p99_tile_staleness_ms"] = round(
+        float(np.percentile(state["staleness"], 99)) * 1000.0, 3
+    )

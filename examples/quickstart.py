@@ -20,6 +20,7 @@ from repro.core import GoFlowServer, Request
 from repro.devices import DeviceRegistry
 from repro.sensing import PhoneContext, SensingScheduler
 from repro.simulation import Simulator
+from repro.webapp import SoundCityApp
 
 
 def main() -> None:
@@ -111,6 +112,29 @@ def main() -> None:
     print(f"bob uploaded {backlog.produced} observations in "
           f"{bob_client.stats.transmissions} batched transmissions; "
           f"server now holds {server.ingested} observations")
+
+    # -- live subscription: push instead of poll ----------------------------------
+    # A continuous query: the server fans matching observations out to
+    # the subscription's outbox at ingest time (bounded queue,
+    # drop-oldest + lagged markers if we fall behind), and folds a live
+    # noise-map tile per 500 m grid cell — no per-poll rescans.
+    live = bob_client.subscribe(
+        server, token=bob["token"], tiles=True, filter_spec={"model": "A0001"}
+    )
+    backlog.start_opportunistic(until=simulator.now + 1800.0)
+    simulator.run_until(simulator.now + 1800.0)
+    bob_client.flush()
+    events = live.drain()  # long-poll with automatic ack cursors
+    pushed = [e for e in events if e["kind"] == "observation"]
+    tiles = [e for e in events if e["kind"] == "tile"]
+    print(f"live subscription pushed {len(pushed)} observations and "
+          f"{len(tiles)} noise-map tile deltas (missed={live.missed})")
+    webapp = SoundCityApp(server)  # the user-facing app server (Figure 1)
+    live_map = webapp.handle(Request("GET", "/map/live", token=bob["token"]))
+    print(f"GET /map/live -> {live_map.status}; "
+          f"{len(live_map.body['tiles'])} tiles of "
+          f"{live_map.body['cell_m']:.0f}m")
+    live.close()
 
     # -- durable mode (opt-in crash safety) ---------------------------------------
     # The server above is in-memory: a crash loses everything. Pass

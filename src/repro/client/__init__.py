@@ -24,6 +24,7 @@ from repro.client.buffer import ObservationBuffer
 from repro.client.retry import BackoffState, RetryPolicy
 from repro.client.uplink import BrokerUplink, TransmitResult, Uplink, UplinkError
 from repro.client.client import ClientStats, GoFlowClient
+from repro.client.subscriber import StreamConsumer, StreamError
 
 __all__ = [
     "AppVersion",
@@ -33,6 +34,8 @@ __all__ = [
     "GoFlowClient",
     "ObservationBuffer",
     "RetryPolicy",
+    "StreamConsumer",
+    "StreamError",
     "TransmitResult",
     "Uplink",
     "UplinkError",

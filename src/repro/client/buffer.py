@@ -9,7 +9,7 @@ next cycle" retry semantics (§5.3) possible.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.sensing.scheduler import Observation
@@ -57,6 +57,20 @@ class ObservationBuffer:
     def peek_all(self) -> List[Observation]:
         """Everything, oldest first, without removing."""
         return list(self._items)
+
+    def pop_while(self, predicate: Callable[[Observation], bool]) -> List[Observation]:
+        """Remove and return the oldest-first prefix satisfying
+        ``predicate`` (stops at the first non-match).
+
+        The ack-cursor primitive: a consumer that acknowledged up to
+        cursor N pops exactly the ``<= N`` prefix, leaving unacked items
+        queued. Popping a prefix is not an eviction, so ``evicted`` does
+        not move.
+        """
+        popped: List[Observation] = []
+        while self._items and predicate(self._items[0]):
+            popped.append(self._items.popleft())
+        return popped
 
     def requeue_front(self, observations: List[Observation]) -> List[Observation]:
         """Put back observations after a failed transmission (order kept).

@@ -314,6 +314,32 @@ class GoFlowClient:
             self._backoff.next_attempt_at = float("-inf")
         return self.try_transmit()
 
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(
+        self,
+        server,
+        token: Optional[str] = None,
+        app_id: str = "SC",
+        filter_spec=None,
+        **options,
+    ):
+        """Open a continuous query against ``server``.
+
+        Returns a :class:`~repro.client.subscriber.StreamConsumer`
+        tracking its own ack cursor; ``options`` are forwarded
+        (``observations``, ``tiles``, ``capacity``, ``max_overruns``).
+        """
+        from repro.client.subscriber import StreamConsumer
+
+        return StreamConsumer(
+            server,
+            app_id=app_id,
+            token=token,
+            filter_spec=filter_spec,
+            **options,
+        )
+
     # -- reporting -----------------------------------------------------------------
 
     @property

@@ -139,6 +139,15 @@ class DataManager:
         self._dedup_ledger: "OrderedDict[str, Any]" = OrderedDict()
         self._region_fn = region_fn
         self.dedup_hits = 0
+        # ingest listeners receive every *stored* observation as
+        # ``(document, stored_id)`` pairs, called after the insert and
+        # the ledger commit, still inside the ingest lock: listener
+        # order therefore equals insertion order, which is what gives
+        # the subscription plane gap-free, duplicate-free streams.
+        # Deduplicated deliveries never reach a listener.
+        self._ingest_listeners: List[
+            Callable[[str, List[Tuple[Dict[str, Any], Any]]], None]
+        ] = []
         #: public, re-entrant: serializes the whole dedup-check → insert
         #: → observe → ledger-commit sequence. The server wraps its own
         #: delivery counters in the same lock so reliability accounting
@@ -149,6 +158,18 @@ class DataManager:
     def collection(self):
         """Direct access to the observations collection (analytics use)."""
         return self._observations
+
+    def add_ingest_listener(
+        self,
+        listener: Callable[[str, List[Tuple[Dict[str, Any], Any]]], None],
+    ) -> None:
+        """Register a stored-observation listener (the delta stream).
+
+        ``listener(app_id, [(document, stored_id), ...])`` runs under
+        the ingest lock, after the ledger committed — exactly once per
+        stored observation, never for a deduplicated delivery.
+        """
+        self._ingest_listeners.append(listener)
 
     # -- ingest --------------------------------------------------------------
 
@@ -208,6 +229,8 @@ class DataManager:
                 self._dedup_ledger[ledger_key] = ledger_value
                 if len(self._dedup_ledger) > self._dedup_capacity:
                     self._dedup_ledger.popitem(last=False)
+            for listener in self._ingest_listeners:
+                listener(app_id, [(stored, result)])
             return result
 
     def ingest_many(
@@ -292,6 +315,8 @@ class DataManager:
                         self._dedup_ledger[ledger_key] = ledger_value
                 while len(self._dedup_ledger) > self._dedup_capacity:
                     self._dedup_ledger.popitem(last=False)
+                for listener in self._ingest_listeners:
+                    listener(app_id, list(zip(to_store, ids)))
             return results
 
     def restore_ledger(

@@ -28,7 +28,10 @@ from repro.core.errors import ValidationError
 from repro.core.jobs import JobManager
 from repro.core.privacy import PrivacyPolicy
 from repro.docstore.store import DocumentStore
+from repro.sharding.region import DEFAULT_CELL_M
 from repro.sharding.router import ShardRouter, ShardingConfig
+from repro.streaming.filters import FilterSpec
+from repro.streaming.subscriptions import SubscriptionManager
 
 
 class GoFlowServer:
@@ -136,6 +139,27 @@ class GoFlowServer:
             observations=(self.data.collection if self.router is not None else None),
         )
         self.api = GoFlowAPI(self.tokens)
+        # the live subscription plane. Deliberately transient — never
+        # journaled — so a recovered durable server starts with zero
+        # subscriptions (no phantom cursors); consumers re-subscribe
+        # and stream post-recovery deltas only.
+        self.streaming = SubscriptionManager(
+            clock=self._clock,
+            cell_m=(
+                self.router.cell_m if self.router is not None else DEFAULT_CELL_M
+            ),
+        )
+        if self.router is not None:
+            # per-shard delta streams come back through the router in
+            # global _id order (the coordinator-side merge).
+            self.router.set_delta_listener(self.streaming.on_stored)
+        else:
+            self.data.add_ingest_listener(self.streaming.on_stored)
+        # the post-confirm broker tap: counts GoFlow-queue deliveries
+        # the broker took responsibility for — by the time it fires,
+        # the inline consumer already ingested and the matching events
+        # are already in subscriber outboxes.
+        self.broker.add_delivery_tap(self._on_confirmed_delivery)
         # counters exist before the consumer is registered: a delivery
         # racing construction must find them, not an AttributeError.
         self._ingested = 0
@@ -196,6 +220,12 @@ class GoFlowServer:
         # client publishes route "<zone>.<datatype>"; the app id travels
         # in the exchange chain, so default to the datatype's owner.
         return "unknown-app"
+
+    def _on_confirmed_delivery(self, queue_name: str, message: Any) -> None:
+        # only the ingest queue is streaming-relevant; client-facing
+        # subscription queues tap nothing.
+        if queue_name == GOFLOW_QUEUE:
+            self.streaming.on_broker_delivery(queue_name, message)
 
     # -- observability ----------------------------------------------------------
 
@@ -268,6 +298,7 @@ class GoFlowServer:
                 if self.router is not None
                 else {"enabled": False}
             ),
+            "streaming": self.streaming.stats(),
         }
 
     def checkpoint(self) -> int:
@@ -330,6 +361,9 @@ class GoFlowServer:
         api.route("GET", "/apps/{app_id}/data", self._r_get_data, Role.CONTRIBUTOR)
         api.route("GET", "/apps/{app_id}/data/count", self._r_count_data, Role.CONTRIBUTOR)
         api.route("POST", "/apps/{app_id}/subscriptions", self._r_subscribe, Role.CONTRIBUTOR)
+        api.route("POST", "/apps/{app_id}/stream/subscriptions", self._r_stream_subscribe, Role.CONTRIBUTOR)
+        api.route("GET", "/apps/{app_id}/stream/subscriptions/{sub_id}/events", self._r_stream_events, Role.CONTRIBUTOR)
+        api.route("DELETE", "/apps/{app_id}/stream/subscriptions/{sub_id}", self._r_stream_unsubscribe, Role.CONTRIBUTOR)
         api.route("POST", "/apps/{app_id}/jobs", self._r_submit_job, Role.MANAGER)
         api.route("POST", "/apps/{app_id}/jobs/{job_id}/run", self._r_run_job, Role.MANAGER)
         api.route("GET", "/apps/{app_id}/jobs/{job_id}", self._r_get_job, Role.CONTRIBUTOR)
@@ -478,6 +512,54 @@ class GoFlowServer:
             path["app_id"], principal.user_id, body["location_id"], body["datatype"]
         )
         return {"routing_exchange": routing}
+
+    def _r_stream_subscribe(self, request: Request, path: Dict[str, str], principal) -> Any:
+        """Register a continuous query; the long-poll subscribe verb.
+
+        The path app is forced into the filter spec: a stream only ever
+        carries observations of the app the caller authenticated
+        against (same isolation as ``GET /apps/{app_id}/data``).
+        """
+        body = request.body or {}
+        if not isinstance(body, dict):
+            raise ValidationError("subscription body must be an object")
+        spec = FilterSpec.from_body(path["app_id"], body)
+        for knob in ("capacity", "max_overruns"):
+            value = body.get(knob)
+            if value is not None and (
+                not isinstance(value, int) or isinstance(value, bool)
+            ):
+                raise ValidationError(f"{knob!r} must be an integer")
+        sub_id = self.streaming.subscribe(
+            spec,
+            observations=bool(body.get("observations", True)),
+            tiles=bool(body.get("tiles", False)),
+            capacity=body.get("capacity"),
+            max_overruns=body.get("max_overruns"),
+        )
+        return {"subscription_id": sub_id, "cursor": 0}
+
+    def _r_stream_events(self, request: Request, path: Dict[str, str], principal) -> Any:
+        """The ``next_events`` long-poll: ack a cursor, fetch past it."""
+
+        def _int(name: str) -> Optional[int]:
+            raw = request.params.get(name)
+            if raw is None:
+                return None
+            try:
+                return int(raw)
+            except ValueError:
+                raise ValidationError(f"parameter {name!r} must be an integer")
+
+        limit = _int("limit")
+        return self.streaming.next_events(
+            path["sub_id"],
+            ack=_int("ack"),
+            limit=100 if limit is None else limit,
+        )
+
+    def _r_stream_unsubscribe(self, request: Request, path: Dict[str, str], principal) -> Any:
+        return self.streaming.unsubscribe(path["sub_id"])
 
     def _r_submit_job(self, request: Request, path: Dict[str, str], principal) -> Any:
         body = request.body or {}

@@ -478,6 +478,12 @@ class ShardRouter:
         #: only here, for a few increments.
         self._state_lock = concurrency.make_rlock()
         self._next_id = 1
+        #: coordinator-side stored-observation listener (the streaming
+        #: plane): called with ``(document, stored_id)`` pairs merged
+        #: back into global ``_id`` order, one call per ingest/batch.
+        self._delta_listener: Optional[
+            Callable[[str, List[Tuple[Dict[str, Any], Any]]], None]
+        ] = None
         self._routes: Dict[str, int] = {}
         self._fanout_queries = 0
         self._single_shard_batches = 0
@@ -565,6 +571,11 @@ class ShardRouter:
     def ring(self) -> HashRing:
         return self._ring
 
+    @property
+    def cell_m(self) -> float:
+        """Region grid cell size (the subscription plane reuses it)."""
+        return self._cell_m
+
     def region_for(self, document: Dict[str, Any]) -> str:
         return region_of(document, self._cell_m)
 
@@ -600,6 +611,25 @@ class ShardRouter:
             raise ValidationError(f"unknown shard {name!r}")
         return shard
 
+    def set_delta_listener(
+        self,
+        listener: Optional[
+            Callable[[str, List[Tuple[Dict[str, Any], Any]]], None]
+        ],
+    ) -> None:
+        """Install the coordinator-side stored-observation listener.
+
+        The per-shard delta streams are routed back through the router:
+        every batch's stored documents are merged into **global ``_id``
+        order** before the listener runs, so downstream consumers see
+        one totally ordered stream no matter how many shards (or worker
+        processes) stored the pieces. The listener receives the
+        coordinator-held wire forms — the event projection is
+        ingest-stable, so wire vs stored makes no difference, and the
+        process backend needs no extra IPC for it.
+        """
+        self._delta_listener = listener
+
     # -- ingest ---------------------------------------------------------------
 
     def ingest(self, app_id: str, document: Dict[str, Any]) -> Any:
@@ -632,6 +662,8 @@ class ShardRouter:
                     shard.ingested += 1
                     if shard.subscriptions:
                         shard.notify(region, app_id, document, result)
+            if result is not None and self._delta_listener is not None:
+                self._delta_listener(app_id, [(doc, result)])
             return result
 
     def ingest_many(
@@ -692,6 +724,18 @@ class ShardRouter:
                 ids = pending.result()
                 for slot, doc_id in zip(slots, ids):
                     results[slot] = doc_id
+            if self._delta_listener is not None:
+                # global-order merge: the batch scattered by shard, the
+                # delta stream re-assembles in router-stamped ``_id``
+                # order — one ordered stream across the whole fleet.
+                stored_pairs = [
+                    (doc, doc_id)
+                    for doc, doc_id in zip(docs, results)
+                    if doc_id is not None
+                ]
+                stored_pairs.sort(key=lambda pair: pair[0]["_id"])
+                if stored_pairs:
+                    self._delta_listener(app_id, stored_pairs)
             return results
 
     # -- reads ----------------------------------------------------------------

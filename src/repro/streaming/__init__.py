@@ -1,0 +1,32 @@
+"""The live subscription plane: continuous queries, push-based tile
+deltas, and per-subscriber backpressure."""
+
+from repro.streaming.filters import DEFAULT_DATATYPE, FilterSpec, datatype_of
+from repro.streaming.subscriptions import (
+    DEFAULT_MAX_OVERRUNS,
+    DEFAULT_OUTBOX_CAPACITY,
+    Subscription,
+    SubscriptionManager,
+    observation_event,
+)
+from repro.streaming.tiles import (
+    TileDeltaEngine,
+    fold_tile_deltas,
+    observation_events,
+    tiles_from_documents,
+)
+
+__all__ = [
+    "DEFAULT_DATATYPE",
+    "DEFAULT_MAX_OVERRUNS",
+    "DEFAULT_OUTBOX_CAPACITY",
+    "FilterSpec",
+    "Subscription",
+    "SubscriptionManager",
+    "TileDeltaEngine",
+    "datatype_of",
+    "fold_tile_deltas",
+    "observation_event",
+    "observation_events",
+    "tiles_from_documents",
+]

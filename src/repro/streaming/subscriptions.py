@@ -1,0 +1,439 @@
+"""The live subscription plane: continuous queries with backpressure.
+
+One :class:`SubscriptionManager` per server. Registration installs a
+standing :class:`~repro.streaming.filters.FilterSpec`; the ingest path
+(``DataManager`` listener unsharded, router delta listener sharded)
+calls :meth:`SubscriptionManager.on_stored` with every *stored*
+observation, and the manager fans matching events out to per-subscriber
+bounded outboxes — the same drop-oldest
+:class:`~repro.client.buffer.ObservationBuffer` machinery the phone
+uses, pointed the other way.
+
+Event projection and privacy: a pushed observation event carries only
+the ingest-stable projection ``{_id, region, app_id, datatype, model,
+noise_dba, taken_at}`` — never the document body. The scrubbed
+``user_id`` and the per-client ``obs_id`` stamp cannot leak because
+they are never projected, and per-app private fields (stripped only at
+*sharing* time) never enter an event either.
+
+Backpressure, per subscriber (no head-of-line blocking — each
+subscription owns its outbox and its cursor space):
+
+1. the outbox is capacity-bounded; overflow drops the **oldest**
+   undelivered event (freshest-data-wins, like the phone outbox);
+2. a poll that lands after drops sees one ``lagged`` marker naming the
+   missed cursor range, then resumes from what survived;
+3. a subscriber that keeps overrunning — more than ``max_overruns``
+   events dropped — is **evicted**: its outbox is discarded and polls
+   report ``state == "evicted"`` until it unsubscribes.
+
+Cursors are per-subscription, contiguous from 1, assigned under the
+manager's lock at fan-out time: a drained stream is gap-free and
+duplicate-free in cursor order, which is exactly what the soak legs
+assert under 8-thread ingest.
+
+Staleness model: events are stamped with the simulated clock
+(``emitted_at``) *and* a wall clock (``emitted_wall``, ``time.
+perf_counter`` by default). Tile staleness — the benchmark's p99 — is
+measured wall-to-wall: drain time minus ``emitted_wall`` of the folded
+tile delta.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro import concurrency
+from repro.client.buffer import ObservationBuffer
+from repro.core.errors import NotFoundError, ValidationError
+from repro.sharding.region import DEFAULT_CELL_M, region_of
+from repro.streaming.filters import FilterSpec, datatype_of
+from repro.streaming.tiles import TileDeltaEngine
+
+#: default per-subscriber outbox bound (events, not bytes)
+DEFAULT_OUTBOX_CAPACITY = 1024
+#: default dropped-event budget before a slow consumer is evicted
+DEFAULT_MAX_OVERRUNS = 4096
+
+
+def observation_event(
+    document: Dict[str, Any], doc_id: Any, app_id: str, region: str
+) -> Dict[str, Any]:
+    """The push projection of one stored observation.
+
+    Computable identically from the wire form and the stored form — the
+    fields below are exactly the ones the ingest scrub never touches.
+    """
+    return {
+        "kind": "observation",
+        "_id": doc_id,
+        "region": region,
+        "app_id": app_id,
+        "datatype": datatype_of(document),
+        "model": document.get("model"),
+        "noise_dba": document.get("noise_dba"),
+        "taken_at": document.get("taken_at"),
+    }
+
+
+class Subscription:
+    """One continuous query and its delivery state."""
+
+    def __init__(
+        self,
+        sub_id: str,
+        spec: FilterSpec,
+        observations: bool,
+        tiles: bool,
+        capacity: Optional[int],
+        max_overruns: Optional[int],
+    ) -> None:
+        self.sub_id = sub_id
+        self.spec = spec
+        self.observations = observations
+        self.tiles = tiles
+        self.capacity = capacity
+        self.max_overruns = max_overruns
+        self.outbox = ObservationBuffer(capacity=capacity)
+        #: next cursor to assign (cursors are contiguous from 1)
+        self.next_cursor = 1
+        #: highest cursor the consumer has acknowledged
+        self.acked = 0
+        self.state = "live"
+        self.delivered = 0
+        self.dropped = 0
+        self.overruns = 0
+        self.lagged_markers = 0
+        self.polls = 0
+        self._eviction_reported = False
+
+    def info(self) -> Dict[str, Any]:
+        """Observability snapshot (caller holds the manager lock)."""
+        return {
+            "state": self.state,
+            "pending": len(self.outbox),
+            "acked": self.acked,
+            "next_cursor": self.next_cursor,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "overruns": self.overruns,
+            "lagged_markers": self.lagged_markers,
+            "polls": self.polls,
+            "capacity": self.capacity,
+            "max_overruns": self.max_overruns,
+        }
+
+
+class SubscriptionManager:
+    """Registers continuous queries and fans stored observations out.
+
+    Args:
+        clock: simulated-time source (event ``emitted_at`` stamps).
+        wall_clock: real-time source for staleness measurement
+            (``emitted_wall`` stamps); defaults to ``time.perf_counter``.
+        cell_m: region grid cell size — must match the sharding
+            layer's so a subscription's region filter and the router's
+            placement speak the same keys.
+        default_capacity: outbox bound when ``subscribe`` passes none.
+        default_max_overruns: eviction budget when none is passed.
+
+    Subscriptions are deliberately **transient** (never journaled): a
+    recovered durable server starts with an empty manager, so a crash
+    can never leave phantom cursors behind — consumers re-subscribe and
+    stream post-recovery deltas only.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        wall_clock: Optional[Callable[[], float]] = None,
+        cell_m: float = DEFAULT_CELL_M,
+        default_capacity: int = DEFAULT_OUTBOX_CAPACITY,
+        default_max_overruns: int = DEFAULT_MAX_OVERRUNS,
+    ) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._wall = wall_clock or time.perf_counter
+        self._cell_m = cell_m
+        self._default_capacity = default_capacity
+        self._default_max_overruns = default_max_overruns
+        #: one lock covers the registry, every outbox, every cursor and
+        #: the tile engine: cursor assignment and outbox append must be
+        #: atomic per event, or a drained stream shows gaps/duplicates.
+        self._lock = concurrency.make_rlock()
+        self._subs: Dict[str, Subscription] = {}
+        self._ids = itertools.count(1)
+        self.tiles = TileDeltaEngine(cell_m)
+        self._created = 0
+        self._unsubscribed = 0
+        self._evictions = 0
+        self._fanned_out = 0
+        self._dropped = 0
+        self._lagged = 0
+        self._polls = 0
+        #: post-confirm deliveries observed through the broker tap
+        self._confirmed_deliveries = 0
+
+    @property
+    def cell_m(self) -> float:
+        """Region grid cell size the manager filters and tiles by."""
+        return self._cell_m
+
+    # -- registration --------------------------------------------------------
+
+    def subscribe(
+        self,
+        spec: Optional[FilterSpec] = None,
+        observations: bool = True,
+        tiles: bool = False,
+        capacity: Optional[int] = None,
+        max_overruns: Optional[int] = None,
+    ) -> str:
+        """Register a continuous query; returns the subscription id.
+
+        ``capacity``/``max_overruns``: per-subscriber backpressure
+        knobs; None takes the manager defaults, 0 ``max_overruns``
+        disables eviction (drop-oldest forever).
+        """
+        if not observations and not tiles:
+            raise ValidationError(
+                "subscription must request observations, tiles, or both"
+            )
+        if capacity is not None and capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        if max_overruns is not None and max_overruns < 0:
+            raise ValidationError(
+                f"max_overruns must be >= 0, got {max_overruns}"
+            )
+        if capacity is None:
+            capacity = self._default_capacity
+        if max_overruns is None:
+            max_overruns = self._default_max_overruns
+        with self._lock:
+            sub_id = f"sub-{next(self._ids)}"
+            self._subs[sub_id] = Subscription(
+                sub_id,
+                spec or FilterSpec(),
+                observations,
+                tiles,
+                capacity,
+                max_overruns,
+            )
+            self._created += 1
+            return sub_id
+
+    def unsubscribe(self, sub_id: str) -> Dict[str, Any]:
+        """Remove a subscription (evicted ones included)."""
+        with self._lock:
+            sub = self._subs.pop(sub_id, None)
+            if sub is None:
+                raise NotFoundError(f"unknown subscription {sub_id!r}")
+            self._unsubscribed += 1
+            return {"removed": True, "state": sub.state}
+
+    def get(self, sub_id: str) -> Subscription:
+        """The live subscription object (tests, observability)."""
+        with self._lock:
+            sub = self._subs.get(sub_id)
+            if sub is None:
+                raise NotFoundError(f"unknown subscription {sub_id!r}")
+            return sub
+
+    # -- ingest-side fan-out -------------------------------------------------
+
+    def on_stored(
+        self, app_id: str, pairs: Iterable[Tuple[Dict[str, Any], Any]]
+    ) -> None:
+        """Fan freshly stored observations out to matching outboxes.
+
+        ``pairs`` are ``(document, stored_id)`` in global insertion
+        order — the unsharded ingest listener passes stored forms, the
+        router's delta listener wire forms; the event projection is
+        identical either way. The whole fan-out runs under the manager
+        lock so per-subscription cursors stay contiguous.
+        """
+        with self._lock:
+            emitted_at = self._clock()
+            emitted_wall = self._wall()
+            subs = list(self._subs.values())
+            for document, doc_id in pairs:
+                region = region_of(document, self._cell_m)
+                event = observation_event(document, doc_id, app_id, region)
+                event["emitted_at"] = emitted_at
+                event["emitted_wall"] = emitted_wall
+                tile_event: Optional[Dict[str, Any]] = None
+                tile_state = self.tiles.observe(document, region)
+                for sub in subs:
+                    if sub.state != "live":
+                        continue
+                    if sub.observations and sub.spec.matches(
+                        app_id, document, region
+                    ):
+                        self._push(sub, event)
+                    if (
+                        sub.state == "live"
+                        and sub.tiles
+                        and sub.spec.wants_region(region)
+                    ):
+                        if tile_event is None:
+                            tile_event = {
+                                "kind": "tile",
+                                **tile_state,
+                                "emitted_at": emitted_at,
+                                "emitted_wall": emitted_wall,
+                            }
+                        self._push(sub, tile_event)
+
+    def _push(self, sub: Subscription, event: Dict[str, Any]) -> None:
+        """Stamp the next cursor and append; applies the drop policy."""
+        stamped = dict(event)
+        stamped["cursor"] = sub.next_cursor
+        sub.next_cursor += 1
+        sub.delivered += 1
+        self._fanned_out += 1
+        evicted = sub.outbox.push(stamped)
+        if evicted:
+            sub.dropped += len(evicted)
+            sub.overruns += len(evicted)
+            self._dropped += len(evicted)
+            if sub.max_overruns and sub.overruns >= sub.max_overruns:
+                # the slow consumer exhausted its budget: discard the
+                # outbox (those events were never going to be drained
+                # in time anyway) and stop fanning out to it.
+                sub.state = "evicted"
+                sub.outbox.drain()
+                self._evictions += 1
+
+    # -- broker delivery tap -------------------------------------------------
+
+    def on_broker_delivery(self, queue_name: str, message: Any) -> None:
+        """Post-confirm broker tap: counts deliveries that reached a
+        queue. The streaming plane's evidence that push happens *after*
+        the broker took responsibility — by the time the tap fires for
+        an ingest delivery, the matching events are already fanned out
+        (the consumer dispatch ran inside the enqueue)."""
+        with self._lock:
+            self._confirmed_deliveries += 1
+
+    # -- consumer side -------------------------------------------------------
+
+    def next_events(
+        self,
+        sub_id: str,
+        ack: Optional[int] = None,
+        limit: int = 100,
+    ) -> Dict[str, Any]:
+        """Long-poll surface: acknowledge up to ``ack``, return what's
+        pending past it (at-least-once — unacked events are re-served).
+
+        The response's ``events`` may start with a ``lagged`` marker
+        when backpressure dropped events since the last poll; ``cursor``
+        is the ack value that acknowledges everything returned.
+        """
+        if limit < 1:
+            raise ValidationError(f"limit must be >= 1, got {limit}")
+        with self._lock:
+            sub = self._subs.get(sub_id)
+            if sub is None:
+                raise NotFoundError(f"unknown subscription {sub_id!r}")
+            sub.polls += 1
+            self._polls += 1
+            if ack is not None:
+                if ack < 0:
+                    raise ValidationError(f"ack must be >= 0, got {ack}")
+                sub.acked = min(max(sub.acked, ack), sub.next_cursor - 1)
+                sub.outbox.pop_while(
+                    lambda event: event["cursor"] <= sub.acked
+                )
+            if sub.state == "evicted":
+                events: List[Dict[str, Any]] = []
+                if not sub._eviction_reported:
+                    sub._eviction_reported = True
+                    events.append(
+                        {"kind": "evicted", "overruns": sub.overruns}
+                    )
+                return {
+                    "subscription_id": sub_id,
+                    "state": "evicted",
+                    "events": events,
+                    "cursor": sub.acked,
+                    "pending": 0,
+                }
+            pending = sub.outbox.peek_all()
+            events = []
+            front = pending[0]["cursor"] if pending else sub.next_cursor
+            if front > sub.acked + 1:
+                # the drop-oldest policy consumed the gap: surface it
+                # once, then resume from the oldest surviving event.
+                events.append(
+                    {
+                        "kind": "lagged",
+                        "missed_from": sub.acked + 1,
+                        "missed_to": front - 1,
+                        "missed": front - 1 - sub.acked,
+                    }
+                )
+                sub.acked = front - 1
+                sub.lagged_markers += 1
+                self._lagged += 1
+            returned = 0
+            cursor = sub.acked
+            for event in pending:
+                if event["cursor"] <= sub.acked:
+                    continue
+                if returned >= limit:
+                    break
+                events.append(event)
+                cursor = event["cursor"]
+                returned += 1
+            return {
+                "subscription_id": sub_id,
+                "state": sub.state,
+                "events": events,
+                "cursor": cursor,
+                "pending": len(pending) - returned,
+            }
+
+    # -- map surface ---------------------------------------------------------
+
+    def tiles_snapshot(
+        self, region: Optional[str] = None
+    ) -> Dict[str, Dict[str, Any]]:
+        """Current live-map tile state (one region, or all of them)."""
+        with self._lock:
+            if region is not None:
+                tile = self.tiles.tile(region)
+                return {} if tile is None else {region: tile}
+            return self.tiles.snapshot()
+
+    # -- observability -------------------------------------------------------
+
+    def subscription_info(self, sub_id: str) -> Dict[str, Any]:
+        with self._lock:
+            sub = self._subs.get(sub_id)
+            if sub is None:
+                raise NotFoundError(f"unknown subscription {sub_id!r}")
+            return sub.info()
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``middleware_stats()["streaming"]`` section."""
+        with self._lock:
+            live = sum(1 for sub in self._subs.values() if sub.state == "live")
+            return {
+                "subscriptions": live,
+                "created": self._created,
+                "unsubscribed": self._unsubscribed,
+                "evicted": self._evictions,
+                "fanned_out": self._fanned_out,
+                "dropped": self._dropped,
+                "lagged_markers": self._lagged,
+                "polls": self._polls,
+                "tiles": {
+                    "regions": len(self.tiles),
+                    "deltas": self.tiles.deltas,
+                },
+                "broker_tap": {
+                    "confirmed_deliveries": self._confirmed_deliveries
+                },
+            }

@@ -67,6 +67,7 @@ class SoundCityApp:
         )
         api.route("POST", "/feedback", self._r_submit_feedback, Role.CONTRIBUTOR)
         api.route("GET", "/me/sensitivity", self._r_sensitivity, Role.CONTRIBUTOR)
+        api.route("GET", "/map/live", self._r_live_map, Role.CONTRIBUTOR)
 
     def handle(self, request: Request) -> Response:
         """Entry point (shares the GoFlow router)."""
@@ -153,3 +154,10 @@ class SoundCityApp:
 
     def _r_sensitivity(self, request: Request, path, principal) -> Any:
         return self.feedback.sensitivity_profile(principal.user_id)
+
+    def _r_live_map(self, request: Request, path, principal) -> Any:
+        """The push-maintained noise map: tile aggregates folded at
+        ingest, so serving the map never rescans the store."""
+        region = request.params.get("region")
+        tiles = self.server.streaming.tiles_snapshot(region=region)
+        return {"cell_m": self.server.streaming.cell_m, "tiles": tiles}

@@ -47,6 +47,8 @@ from repro.core.materialized import MaterializedAnalytics
 from repro.core.server import GoFlowServer
 from repro.docstore.aggregate import aggregate
 from repro.docstore.naive import naive_aggregate
+from repro.sharding.region import region_of
+from repro.streaming import observation_event
 
 APP_ID = "SC"
 ROUTING_KEYS = ("FR75013.Feedback", "FR75019.Feedback", "FR92120.Feedback")
@@ -92,6 +94,14 @@ class ThreadedSoak:
             unsharded ``GoFlowServer()``). The sharded soak passes a
             factory so the same workload and invariants drive a
             :class:`~repro.sharding.router.ShardRouter` fleet.
+        subscribers: live streaming subscriptions registered before the
+            run. Their outboxes are sized to hold the whole workload
+            (backpressure is tested elsewhere; here the invariant is
+            delivery itself): every subscriber's event stream must come
+            out cursor-contiguous, gap-free and duplicate-free, and
+            row-exact against a brute-force re-filter of the store.
+            Subscriber 0 is additionally consumed *during* the run by
+            the reader ops (concurrent ack-cursor polling).
     """
 
     def __init__(
@@ -102,6 +112,7 @@ class ThreadedSoak:
         read_every: int = 5,
         join_timeout_s: float = 30.0,
         server_factory: Optional[Callable[[], GoFlowServer]] = None,
+        subscribers: int = 0,
     ) -> None:
         self.seed = seed
         self.threads = threads
@@ -119,6 +130,21 @@ class ThreadedSoak:
         pool_size = max(1, (threads * ops_per_thread) // 2)
         self._obs_pool = [f"obs-{i}" for i in range(pool_size)]
         self._book = threading.Lock()  # harness bookkeeping, always real
+        self.subscribers = subscribers
+        self._subscriber_ids: List[str] = []
+        #: events subscriber 0 drained mid-run, in consumption order
+        self._live_events: List[Dict[str, Any]] = []
+        self._live_cursor = 0
+        #: serializes mid-run consumption of subscriber 0 (the server's
+        #: poll is at-least-once; concurrent stale-ack polls would
+        #: legitimately re-serve events and muddy the duplicate check)
+        self._consume = threading.Lock()
+        if subscribers:
+            capacity = threads * ops_per_thread * 2 + 16
+            self._subscriber_ids = [
+                self.server.streaming.subscribe(capacity=capacity, max_overruns=0)
+                for _ in range(subscribers)
+            ]
 
     # -- driving ----------------------------------------------------------------
 
@@ -237,6 +263,17 @@ class ThreadedSoak:
         if breaches:
             with self._book:
                 result.violations.extend(breaches)
+        if self._subscriber_ids:
+            self._consume_live(result)
+
+    def _consume_live(self, result: SoakResult) -> None:
+        """Drain a slice of subscriber 0 concurrently with ingest."""
+        with self._consume:
+            response = self.server.streaming.next_events(
+                self._subscriber_ids[0], ack=self._live_cursor, limit=50
+            )
+            self._live_events.extend(response["events"])
+            self._live_cursor = max(self._live_cursor, response["cursor"])
 
     # -- final invariants --------------------------------------------------------
 
@@ -366,4 +403,108 @@ class ThreadedSoak:
                 f"collection inserts={stats['observations']['inserts']} "
                 f"!= ingested={stats['ingested']}"
             )
+        problems += self._streaming_problems()
+        return problems
+
+    # -- streaming invariants ----------------------------------------------------
+
+    def _drain_subscription(
+        self, sub_id: str, start_cursor: int, problems: List[str]
+    ) -> List[Dict[str, Any]]:
+        """Drain a subscription to empty; bounded so a corrupted cursor
+        stream (the lock-disabled legs) cannot hang the verifier."""
+        events: List[Dict[str, Any]] = []
+        cursor = start_cursor
+        for _ in range(10_000):
+            response = self.server.streaming.next_events(
+                sub_id, ack=cursor, limit=500
+            )
+            events.extend(response["events"])
+            cursor = max(cursor, response["cursor"])
+            if not response["events"] and response["pending"] == 0:
+                return events
+        problems.append(f"subscription {sub_id} never drained (stuck cursor)")
+        return events
+
+    @staticmethod
+    def _event_projection(event: Dict[str, Any]) -> Dict[str, Any]:
+        out = dict(event)
+        out.pop("cursor", None)
+        out.pop("emitted_at", None)
+        out.pop("emitted_wall", None)
+        return out
+
+    def _streaming_problems(self) -> List[str]:
+        """Per-subscriber delivery invariants after the dust settles.
+
+        Every subscriber (match-all spec, workload-sized outbox) must
+        hold a cursor-contiguous, gap-free, duplicate-free event stream
+        that re-derives exactly from the stored documents — the push ≡
+        poll oracle under 8-thread ingest.
+        """
+        if not self._subscriber_ids:
+            return []
+        problems: List[str] = []
+        streaming = self.server.middleware_stats()["streaming"]
+        if streaming["dropped"] or streaming["lagged_markers"]:
+            problems.append(
+                "ample outboxes still dropped: "
+                f"dropped={streaming['dropped']} "
+                f"lagged={streaming['lagged_markers']}"
+            )
+        if streaming["evicted"]:
+            problems.append(f"subscribers evicted: {streaming['evicted']}")
+        cell_m = self.server.streaming.cell_m
+        expected = [
+            observation_event(doc, doc["_id"], APP_ID, region_of(doc, cell_m))
+            for doc in sorted(
+                self.server.data.collection.iter_documents(),
+                key=lambda d: d["_id"],
+            )
+        ]
+        unsharded = getattr(self.server, "router", None) is None
+        for position, sub_id in enumerate(self._subscriber_ids):
+            if position == 0:
+                events = list(self._live_events)
+                events += self._drain_subscription(
+                    sub_id, self._live_cursor, problems
+                )
+            else:
+                events = self._drain_subscription(sub_id, 0, problems)
+            cursors = [event.get("cursor") for event in events]
+            if cursors != list(range(1, len(cursors) + 1)):
+                gaps = [
+                    (a, b)
+                    for a, b in zip(cursors, range(1, len(cursors) + 1))
+                    if a != b
+                ][:5]
+                problems.append(
+                    f"{sub_id}: cursor stream not contiguous "
+                    f"(len={len(cursors)}, first mismatches={gaps})"
+                )
+            stray = {event.get("kind") for event in events} - {"observation"}
+            if stray:
+                problems.append(f"{sub_id}: unexpected event kinds {stray}")
+                continue
+            received = sorted(
+                (self._event_projection(event) for event in events),
+                key=lambda e: e["_id"],
+            )
+            if received != expected:
+                problems.append(
+                    f"{sub_id}: push != brute-force re-filter "
+                    f"(received {len(received)} events, "
+                    f"store holds {len(expected)})"
+                )
+            if unsharded:
+                # the unsharded listener runs inside the ingest lock, so
+                # fan-out order *is* insertion order: _ids must arrive
+                # strictly increasing. (The sharded router emits single
+                # ingests outside the shard lock, so only the set/row
+                # equality above is promised there.)
+                ids = [event["_id"] for event in events]
+                if ids != sorted(ids):
+                    problems.append(
+                        f"{sub_id}: events out of insertion order"
+                    )
         return problems

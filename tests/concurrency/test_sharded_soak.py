@@ -147,6 +147,27 @@ def test_sharded_soak_all_invariants_hold_with_locks(seed):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_soak_with_live_subscribers(seed):
+    """The 4-shard fleet with live subscriptions: the router's delta
+    stream must deliver the merged store to every subscriber with
+    contiguous cursors and row-exact content, under 8-thread ingest."""
+    soak = ShardedSoak(
+        seed=seed,
+        threads=THREADS,
+        ops_per_thread=OPS_PER_THREAD,
+        subscribers=3,
+    )
+    result = soak.run()
+    assert result.errors == []
+    assert result.violations == []
+    assert soak.verify(result) == []
+    assert _sharding_problems(soak) == []
+    stats = soak.server.middleware_stats()["streaming"]
+    assert stats["fanned_out"] == 3 * soak.server.ingested
+    assert stats["dropped"] == 0 and stats["evicted"] == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
 def test_sharded_soak_same_seed_fails_without_locks(seed):
     with concurrency.lock_mode("off"):
         soak = ShardedSoak(

@@ -50,3 +50,48 @@ def test_soak_same_seed_fails_without_locks(seed):
         "lock-disabled soak ran clean — the locks would be decorative "
         f"for seed {seed}"
     )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_soak_with_live_subscribers(seed):
+    """8-thread ingest with three live subscriptions: every stream must
+    come out cursor-contiguous (gap-free, duplicate-free) and row-exact
+    against a brute-force re-filter of the store. Subscriber 0 is
+    consumed concurrently with ingest by the reader ops."""
+    soak = ThreadedSoak(
+        seed=seed,
+        threads=THREADS,
+        ops_per_thread=OPS_PER_THREAD,
+        subscribers=3,
+    )
+    result = soak.run()
+    assert result.errors == []
+    assert result.violations == []
+    assert soak.verify(result) == []
+    stats = soak.server.middleware_stats()["streaming"]
+    # every subscriber saw every ingested observation, none dropped
+    assert stats["fanned_out"] == 3 * soak.server.ingested
+    assert stats["dropped"] == 0 and stats["evicted"] == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_soak_with_subscribers_fails_without_locks(seed):
+    """The same subscriber soak with every lock a yielding no-op: the
+    unlocked cursor assignment (read-modify-write on ``next_cursor``)
+    races, so the combined invariants must break somewhere."""
+    with concurrency.lock_mode("off"):
+        soak = ThreadedSoak(
+            seed=seed,
+            threads=THREADS,
+            ops_per_thread=OPS_PER_THREAD,
+            subscribers=3,
+        )
+        result = soak.run()
+    problems = list(result.violations)
+    problems += [error for _, error in result.errors]
+    if not result.stalled_threads:
+        problems += soak.verify(result)
+    assert problems, (
+        "lock-disabled subscriber soak ran clean — the streaming "
+        f"plane's locks would be decorative for seed {seed}"
+    )

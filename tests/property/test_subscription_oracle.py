@@ -1,0 +1,229 @@
+"""Push ≡ poll, row-exact, under hypothesis.
+
+The live subscription plane must be a *view* of the store, never a
+second source of truth. Two oracles pin that down:
+
+1. **Subscription oracle**: whatever a subscriber received must equal a
+   brute-force re-filter of everything ingested — same rows, same
+   global (``_id``) order — for random documents and random filter
+   specs, on the unsharded ingest plane and through the sharded
+   router's delta stream alike.
+2. **Tile oracle**: folding the incremental tile deltas a subscriber
+   received must reproduce the from-scratch tile recompute over the
+   stored documents, bit-exact (both are the same left fold in ``_id``
+   order).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.datamgmt import DataQuery
+from repro.core.server import GoFlowServer
+from repro.sharding.region import region_of
+from repro.streaming import (
+    FilterSpec,
+    fold_tile_deltas,
+    observation_event,
+    tiles_from_documents,
+)
+
+APP = "oracle-app"
+
+DOCUMENTS = st.lists(
+    st.fixed_dictionaries(
+        {
+            "noise_dba": st.one_of(
+                st.none(),
+                st.integers(min_value=30, max_value=90),
+                st.floats(
+                    min_value=30.0, max_value=100.0, allow_nan=False
+                ),
+            ),
+            "model": st.sampled_from([None, "nexus5", "iphone6", "pixel"]),
+            "datatype": st.sampled_from([None, "Observation", "BatteryLevel"]),
+        }
+    ),
+    max_size=40,
+)
+
+REGION_KEYS = ["g0:0", "g1:0", "g2:1", "g0:1", "default", "d1"]
+
+SPECS = st.builds(
+    FilterSpec,
+    app_id=st.sampled_from([None, APP, "other-app"]),
+    datatype=st.sampled_from([None, "Observation", "BatteryLevel"]),
+    model=st.sampled_from([None, "nexus5", "pixel"]),
+    regions=st.one_of(
+        st.none(),
+        st.sets(st.sampled_from(REGION_KEYS), max_size=4).map(frozenset),
+    ),
+    since=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=2e5, allow_nan=False)
+    ),
+    until=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=2e5, allow_nan=False)
+    ),
+)
+
+
+def _wire_documents(docs):
+    """Stamp identity + routing spread (same lattice as the sharded
+    oracle: grid cells, day buckets, and the no-key fallback)."""
+    wire = []
+    for index, doc in enumerate(docs):
+        out = {k: v for k, v in doc.items() if v is not None}
+        out["obs_id"] = f"obs-{index}"
+        out["user_id"] = f"user{index % 4}"
+        if index % 11 == 10:
+            pass  # no routing hints: the "default" region
+        elif index % 5 == 0:
+            out["taken_at"] = float(index * 43200)
+        else:
+            out["taken_at"] = float(index * 100)
+            out["location"] = {
+                "x_m": float((index * 1237) % 4) * 600.0,
+                "y_m": float((index * 911) % 4) * 600.0,
+            }
+        wire.append(out)
+    return wire
+
+
+def _drain(server, sub_id, chunk=7):
+    """Consume a subscription with ack cursors, in small chunks."""
+    events = []
+    cursor = 0
+    while True:
+        result = server.streaming.next_events(sub_id, ack=cursor, limit=chunk)
+        events.extend(result["events"])
+        cursor = result["cursor"]
+        if not result["events"] and result["pending"] == 0:
+            return events
+
+
+def _strip(events):
+    """Drop delivery-time stamps, keeping the data projection."""
+    projected = []
+    for event in events:
+        out = dict(event)
+        out.pop("cursor", None)
+        out.pop("emitted_at", None)
+        out.pop("emitted_wall", None)
+        projected.append(out)
+    return projected
+
+
+def _stored(server):
+    documents = server.data.retrieve(DataQuery(app_id=APP))
+    return sorted(documents, key=lambda d: d["_id"])
+
+
+def _brute_force(server, spec, cell_m):
+    """The oracle: re-filter everything stored, in global order."""
+    expected = []
+    for document in _stored(server):
+        region = region_of(document, cell_m)
+        if spec.matches(APP, document, region):
+            expected.append(
+                observation_event(document, document["_id"], APP, region)
+            )
+    return expected
+
+
+class TestSubscriptionOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(DOCUMENTS, SPECS)
+    def test_push_equals_brute_force_refilter(self, docs, spec):
+        server = GoFlowServer()
+        server.register_app(APP)
+        sub = server.streaming.subscribe(spec)
+        server.data.ingest_many(APP, _wire_documents(docs))
+        received = _drain(server, sub)
+        assert all(e["kind"] == "observation" for e in received)
+        # cursors are contiguous from 1 — no gaps, no duplicates
+        assert [e["cursor"] for e in received] == list(
+            range(1, len(received) + 1)
+        )
+        assert _strip(received) == _brute_force(
+            server, spec, server.streaming.cell_m
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(DOCUMENTS, SPECS, st.sampled_from([2, 3, 5]))
+    def test_sharded_push_matches_unsharded(self, docs, spec, shards):
+        sharded = GoFlowServer(sharding=shards)
+        sharded.register_app(APP)
+        unsharded = GoFlowServer()
+        unsharded.register_app(APP)
+        wire = _wire_documents(docs)
+        sharded_sub = sharded.streaming.subscribe(spec)
+        unsharded_sub = unsharded.streaming.subscribe(spec)
+        sharded.data.ingest_many(APP, [dict(d) for d in wire])
+        unsharded.data.ingest_many(APP, [dict(d) for d in wire])
+        from_sharded = _strip(_drain(sharded, sharded_sub))
+        from_unsharded = _strip(_drain(unsharded, unsharded_sub))
+        # the router's global-order merge makes the planes row-exact
+        assert from_sharded == from_unsharded
+        assert from_sharded == _brute_force(
+            sharded, spec, sharded.streaming.cell_m
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(DOCUMENTS, st.integers(min_value=1, max_value=7))
+    def test_interleaved_ingest_and_polls(self, docs, batch):
+        """Polling mid-stream changes nothing about the union."""
+        server = GoFlowServer()
+        server.register_app(APP)
+        spec = FilterSpec(app_id=APP)
+        sub = server.streaming.subscribe(spec)
+        wire = _wire_documents(docs)
+        received = []
+        cursor = 0
+        for start in range(0, len(wire), batch):
+            server.data.ingest_many(APP, wire[start : start + batch])
+            result = server.streaming.next_events(sub, ack=cursor, limit=3)
+            received.extend(result["events"])
+            cursor = result["cursor"]
+        while True:
+            result = server.streaming.next_events(sub, ack=cursor, limit=3)
+            received.extend(result["events"])
+            cursor = result["cursor"]
+            if not result["events"] and result["pending"] == 0:
+                break
+        assert [e["cursor"] for e in received] == list(
+            range(1, len(received) + 1)
+        )
+        assert _strip(received) == _brute_force(
+            server, spec, server.streaming.cell_m
+        )
+
+
+class TestTileOracle:
+    @settings(max_examples=50, deadline=None)
+    @given(DOCUMENTS)
+    def test_folded_deltas_equal_recompute(self, docs):
+        server = GoFlowServer()
+        server.register_app(APP)
+        sub = server.streaming.subscribe(observations=False, tiles=True)
+        server.data.ingest_many(APP, _wire_documents(docs))
+        events = _drain(server, sub)
+        assert all(e["kind"] == "tile" for e in events)
+        folded = fold_tile_deltas(events)
+        recomputed = tiles_from_documents(
+            _stored(server), server.streaming.cell_m
+        )
+        # bit-exact: both are the same left fold in _id order
+        assert folded == recomputed
+        # the engine's own snapshot agrees too
+        assert server.streaming.tiles_snapshot() == recomputed
+
+    @settings(max_examples=25, deadline=None)
+    @given(DOCUMENTS, st.sampled_from([2, 3]))
+    def test_sharded_tile_deltas_fold_exactly(self, docs, shards):
+        server = GoFlowServer(sharding=shards)
+        server.register_app(APP)
+        sub = server.streaming.subscribe(observations=False, tiles=True)
+        server.data.ingest_many(APP, _wire_documents(docs))
+        folded = fold_tile_deltas(_drain(server, sub))
+        assert folded == tiles_from_documents(
+            _stored(server), server.streaming.cell_m
+        )

@@ -1,0 +1,1 @@
+"""Live subscription plane tests."""

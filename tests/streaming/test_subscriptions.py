@@ -1,0 +1,372 @@
+"""Live subscription plane: continuous queries end to end.
+
+Covers the delivery hook path on both ingest planes (unsharded
+listener, sharded router delta stream), filtering, the REST surface,
+the client-side consumer, and the broker delivery tap.
+"""
+
+import pytest
+
+from repro.client.subscriber import StreamConsumer, StreamError
+from repro.client.uplink import RestBatchUplink
+from repro.core.api import Request
+from repro.core.datamgmt import DataQuery
+from repro.core.errors import NotFoundError, ValidationError
+from repro.core.server import GoFlowServer
+from repro.streaming import (
+    FilterSpec,
+    SubscriptionManager,
+    fold_tile_deltas,
+    tiles_from_documents,
+)
+from repro.webapp.server import SoundCityApp
+
+APP = "SC"
+
+
+def make_server(**kwargs):
+    server = GoFlowServer(**kwargs)
+    server.register_app(APP)
+    return server
+
+
+def ingest(server, documents):
+    """Drive the real ingest plane (router when sharded)."""
+    return server.data.ingest_many(APP, documents)
+
+
+def stored(server):
+    """Everything stored for APP, in global insertion (_id) order."""
+    documents = server.data.retrieve(DataQuery(app_id=APP))
+    return sorted(documents, key=lambda d: d["_id"])
+
+
+def doc(i, x_m=0.0, y_m=0.0, **extra):
+    base = {
+        "obs_id": f"o{i}",
+        "user_id": "alice",
+        "taken_at": 100.0 + i,
+        "noise_dba": 50.0 + i,
+        "location": {"x_m": x_m, "y_m": y_m},
+    }
+    base.update(extra)
+    return base
+
+
+class TestFanOut:
+    def test_matching_observations_are_pushed(self):
+        server = make_server()
+        sub = server.streaming.subscribe(FilterSpec(app_id=APP))
+        ingest(server, [doc(0), doc(1)])
+        result = server.streaming.next_events(sub)
+        assert [e["kind"] for e in result["events"]] == [
+            "observation",
+            "observation",
+        ]
+        assert [e["cursor"] for e in result["events"]] == [1, 2]
+        assert result["state"] == "live"
+
+    def test_event_projection_has_no_identifiers(self):
+        server = make_server()
+        sub = server.streaming.subscribe()
+        ingest(server, [doc(0, model="nexus5")])
+        (event,) = server.streaming.next_events(sub)["events"]
+        assert "user_id" not in event and "obs_id" not in event
+        assert "contributor" not in event
+        assert event["model"] == "nexus5"
+        assert event["noise_dba"] == 50.0
+        assert event["region"] == "g0:0"
+
+    def test_ack_pops_prefix_and_reserves_rest(self):
+        server = make_server()
+        sub = server.streaming.subscribe()
+        ingest(server, [doc(i) for i in range(5)])
+        first = server.streaming.next_events(sub, limit=2)
+        assert [e["cursor"] for e in first["events"]] == [1, 2]
+        assert first["pending"] == 3
+        # unacked events are re-served
+        again = server.streaming.next_events(sub, limit=2)
+        assert [e["cursor"] for e in again["events"]] == [1, 2]
+        rest = server.streaming.next_events(sub, ack=first["cursor"])
+        assert [e["cursor"] for e in rest["events"]] == [3, 4, 5]
+
+    def test_unknown_subscription_404s(self):
+        server = make_server()
+        with pytest.raises(NotFoundError):
+            server.streaming.next_events("sub-999")
+        with pytest.raises(NotFoundError):
+            server.streaming.unsubscribe("sub-999")
+
+    def test_subscribe_validation(self):
+        server = make_server()
+        with pytest.raises(ValidationError):
+            server.streaming.subscribe(observations=False, tiles=False)
+        with pytest.raises(ValidationError):
+            server.streaming.subscribe(capacity=0)
+        with pytest.raises(ValidationError):
+            server.streaming.subscribe(max_overruns=-1)
+        with pytest.raises(ValidationError):
+            server.streaming.next_events(
+                server.streaming.subscribe(), limit=0
+            )
+
+    def test_unsubscribed_stops_delivery(self):
+        server = make_server()
+        sub = server.streaming.subscribe()
+        ingest(server, [doc(0)])
+        server.streaming.unsubscribe(sub)
+        ingest(server, [doc(1)])
+        with pytest.raises(NotFoundError):
+            server.streaming.next_events(sub)
+        stats = server.middleware_stats()["streaming"]
+        assert stats["subscriptions"] == 0
+        assert stats["unsubscribed"] == 1
+
+    def test_duplicate_ingest_emits_no_event(self):
+        server = make_server()
+        sub = server.streaming.subscribe()
+        ingest(server, [doc(0)])
+        ingest(server, [doc(0)])  # dedup ledger absorbs it
+        result = server.streaming.next_events(sub)
+        assert len(result["events"]) == 1
+
+
+class TestFilters:
+    def test_region_filter(self):
+        server = make_server()
+        sub = server.streaming.subscribe(
+            FilterSpec(regions=frozenset({"g0:0"}))
+        )
+        ingest(server, [doc(0, x_m=0.0), doc(1, x_m=900.0)])
+        events = server.streaming.next_events(sub)["events"]
+        assert [e["region"] for e in events] == ["g0:0"]
+
+    def test_model_and_window_filter(self):
+        server = make_server()
+        sub = server.streaming.subscribe(
+            FilterSpec(model="nexus5", since=100.0, until=102.0)
+        )
+        ingest(
+            server,
+            [
+                doc(0, model="nexus5"),  # taken_at 100 -> in window
+                doc(1, model="iphone6"),  # wrong model
+                doc(2, model="nexus5"),  # taken_at 102 -> out of window
+            ],
+        )
+        events = server.streaming.next_events(sub)["events"]
+        assert len(events) == 1
+        assert events[0]["taken_at"] == 100.0
+
+    def test_tile_only_subscription(self):
+        server = make_server()
+        sub = server.streaming.subscribe(observations=False, tiles=True)
+        ingest(server, [doc(0), doc(1)])
+        events = server.streaming.next_events(sub)["events"]
+        assert {e["kind"] for e in events} == {"tile"}
+        folded = fold_tile_deltas(events)
+        assert folded == tiles_from_documents(
+            stored(server), server.streaming.cell_m
+        )
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("backend", ["inproc"])
+    def test_sharded_stream_matches_poll(self, backend):
+        server = make_server(sharding=4, backend=backend)
+        sub = server.streaming.subscribe(tiles=True)
+        documents = [doc(i, x_m=300.0 * i, y_m=200.0 * (i % 3)) for i in range(12)]
+        ingest(server, documents)
+        events = server.streaming.next_events(sub, limit=1000)["events"]
+        obs = [e for e in events if e["kind"] == "observation"]
+        # router-stamped ids arrive in global order, cursors contiguous
+        assert [e["_id"] for e in obs] == sorted(e["_id"] for e in obs)
+        assert [e["cursor"] for e in events] == list(
+            range(1, len(events) + 1)
+        )
+        kept = stored(server)
+        assert {e["_id"] for e in obs} == {d["_id"] for d in kept}
+        folded = fold_tile_deltas(events)
+        assert folded == tiles_from_documents(kept, server.streaming.cell_m)
+
+    def test_single_ingest_also_streams(self):
+        server = make_server(sharding=2)
+        sub = server.streaming.subscribe()
+        server.data.ingest(APP, doc(0))
+        events = server.streaming.next_events(sub)["events"]
+        assert len(events) == 1
+
+
+class TestRestSurface:
+    def login(self, server):
+        return server.enroll_user(APP, "alice", "pw")["token"]
+
+    def test_subscribe_poll_unsubscribe(self):
+        server = make_server()
+        token = self.login(server)
+        resp = server.handle(
+            Request(
+                "POST",
+                f"/apps/{APP}/stream/subscriptions",
+                body={"tiles": True},
+                token=token,
+            )
+        )
+        assert resp.status == 200
+        sub_id = resp.body["subscription_id"]
+        ingest(server, [doc(0)])
+        events = server.handle(
+            Request(
+                "GET",
+                f"/apps/{APP}/stream/subscriptions/{sub_id}/events",
+                token=token,
+            )
+        )
+        assert events.status == 200
+        assert [e["kind"] for e in events.body["events"]] == [
+            "observation",
+            "tile",
+        ]
+        gone = server.handle(
+            Request(
+                "DELETE",
+                f"/apps/{APP}/stream/subscriptions/{sub_id}",
+                token=token,
+            )
+        )
+        assert gone.status == 200 and gone.body["removed"]
+
+    def test_requires_auth(self):
+        server = make_server()
+        resp = server.handle(
+            Request("POST", f"/apps/{APP}/stream/subscriptions", body={})
+        )
+        assert resp.status == 401
+
+    def test_bad_bodies_400(self):
+        server = make_server()
+        token = self.login(server)
+
+        def post(body):
+            return server.handle(
+                Request(
+                    "POST",
+                    f"/apps/{APP}/stream/subscriptions",
+                    body=body,
+                    token=token,
+                )
+            ).status
+
+        assert post({"regions": "g0:0"}) == 400
+        assert post({"since": "yesterday"}) == 400
+        assert post({"capacity": "big"}) == 400
+        assert post({"observations": False, "tiles": False}) == 400
+        assert post([1, 2, 3]) == 400
+
+    def test_bad_query_params_400(self):
+        server = make_server()
+        token = self.login(server)
+        sub_id = server.streaming.subscribe()
+        resp = server.handle(
+            Request(
+                "GET",
+                f"/apps/{APP}/stream/subscriptions/{sub_id}/events",
+                params={"ack": "soon"},
+                token=token,
+            )
+        )
+        assert resp.status == 400
+
+    def test_unknown_subscription_404(self):
+        server = make_server()
+        token = self.login(server)
+        resp = server.handle(
+            Request(
+                "GET",
+                f"/apps/{APP}/stream/subscriptions/sub-404/events",
+                token=token,
+            )
+        )
+        assert resp.status == 404
+
+
+class TestClientConsumer:
+    def test_consumer_tracks_cursor(self):
+        server = make_server()
+        token = server.enroll_user(APP, "alice", "pw")["token"]
+        consumer = StreamConsumer(server, app_id=APP, token=token)
+        uplink = RestBatchUplink(server, app_id=APP, token=token)
+        uplink.send([doc(i) for i in range(4)])
+        events = consumer.drain(limit=3)
+        assert consumer.events_received == 4
+        assert consumer.cursor == 4
+        assert [e["cursor"] for e in events] == [1, 2, 3, 4]
+        # polling again re-serves nothing: everything got acked
+        assert consumer.poll() == []
+        assert consumer.close()["removed"]
+        with pytest.raises(StreamError):
+            consumer._request(
+                "GET",
+                f"/apps/{APP}/stream/subscriptions/"
+                f"{consumer.subscription_id}/events",
+            )
+
+    def test_rejected_subscription_raises(self):
+        server = make_server()
+        token = server.enroll_user(APP, "alice", "pw")["token"]
+        with pytest.raises(StreamError):
+            StreamConsumer(
+                server,
+                app_id=APP,
+                token=token,
+                observations=False,
+                tiles=False,
+            )
+
+
+class TestBrokerTap:
+    def test_tap_counts_confirmed_ingest_deliveries(self):
+        server = make_server()
+        sub = server.streaming.subscribe()
+        credentials = server.enroll_user(APP, "alice", "pw")
+        channel = server.broker.connect("tap-test").channel()
+        for i in range(3):
+            channel.basic_publish(
+                credentials["exchange"],
+                "Z0-0.NoiseObservation",
+                doc(i),
+            )
+        stats = server.middleware_stats()["streaming"]
+        assert stats["broker_tap"]["confirmed_deliveries"] == 3
+        # by tap time the events were already fanned out
+        assert stats["fanned_out"] == 3
+        assert len(server.streaming.next_events(sub)["events"]) == 3
+
+
+class TestLiveMap:
+    def test_live_map_served_from_tile_engine(self):
+        server = make_server()
+        app = SoundCityApp(server)
+        token = server.enroll_user(APP, "alice", "pw")["token"]
+        ingest(server, [doc(0, x_m=0.0), doc(1, x_m=900.0)])
+        resp = app.handle(Request("GET", "/map/live", token=token))
+        assert resp.status == 200
+        assert resp.body["cell_m"] == 500.0
+        assert resp.body["tiles"] == tiles_from_documents(stored(server), 500.0)
+        one = app.handle(
+            Request("GET", "/map/live", params={"region": "g0:0"}, token=token)
+        )
+        assert list(one.body["tiles"]) == ["g0:0"]
+
+
+class TestManagerClockIsolation:
+    def test_events_carry_sim_and_wall_stamps(self):
+        ticks = iter([5.0, 6.0])
+        manager = SubscriptionManager(
+            clock=lambda: next(ticks), wall_clock=lambda: 42.0
+        )
+        sub = manager.subscribe()
+        manager.on_stored(APP, [(doc(0), 1)])
+        (event,) = manager.next_events(sub)["events"]
+        assert event["emitted_at"] == 5.0
+        assert event["emitted_wall"] == 42.0
