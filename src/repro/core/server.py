@@ -536,11 +536,18 @@ class GoFlowServer:
             tiles=bool(body.get("tiles", False)),
             capacity=body.get("capacity"),
             max_overruns=body.get("max_overruns"),
+            owner_app=path["app_id"],
+            owner_user=principal.user_id if principal else None,
         )
         return {"subscription_id": sub_id, "cursor": 0}
 
     def _r_stream_events(self, request: Request, path: Dict[str, str], principal) -> Any:
-        """The ``next_events`` long-poll: ack a cursor, fetch past it."""
+        """The ``next_events`` long-poll: ack a cursor, fetch past it.
+
+        Scoped like every other ``/apps/{app_id}`` verb: sub ids are
+        guessable, so the manager 404s any poll whose path app or
+        authenticated user isn't the subscription's owner.
+        """
 
         def _int(name: str) -> Optional[int]:
             raw = request.params.get(name)
@@ -556,10 +563,16 @@ class GoFlowServer:
             path["sub_id"],
             ack=_int("ack"),
             limit=100 if limit is None else limit,
+            app_id=path["app_id"],
+            user_id=principal.user_id if principal else None,
         )
 
     def _r_stream_unsubscribe(self, request: Request, path: Dict[str, str], principal) -> Any:
-        return self.streaming.unsubscribe(path["sub_id"])
+        return self.streaming.unsubscribe(
+            path["sub_id"],
+            app_id=path["app_id"],
+            user_id=principal.user_id if principal else None,
+        )
 
     def _r_submit_job(self, request: Request, path: Dict[str, str], principal) -> Any:
         body = request.body or {}

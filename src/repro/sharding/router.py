@@ -621,12 +621,17 @@ class ShardRouter:
 
         The per-shard delta streams are routed back through the router:
         every batch's stored documents are merged into **global ``_id``
-        order** before the listener runs, so downstream consumers see
-        one totally ordered stream no matter how many shards (or worker
-        processes) stored the pieces. The listener receives the
-        coordinator-held wire forms — the event projection is
-        ingest-stable, so wire vs stored makes no difference, and the
-        process backend needs no extra IPC for it.
+        order** before the listener runs, so one ``ingest``/
+        ``ingest_many`` call delivers one ``_id``-ordered stream no
+        matter how many shards (or worker processes) stored the pieces.
+        The guarantee is **per call**: the listener fires outside the
+        shard ingest locks, so two concurrent ingest calls may deliver
+        their (individually ordered) batches in either order —
+        downstream consumers that need a total order must impose it
+        themselves. The listener receives the coordinator-held wire
+        forms — the event projection is ingest-stable, so wire vs
+        stored makes no difference, and the process backend needs no
+        extra IPC for it.
         """
         self._delta_listener = listener
 

@@ -9,6 +9,15 @@ bounded outboxes — the same drop-oldest
 :class:`~repro.client.buffer.ObservationBuffer` machinery the phone
 uses, pointed the other way.
 
+Isolation: subscription ids are sequential and therefore guessable, so
+each subscription records the principal scope (``owner_app``,
+``owner_user``) it was created under, and polls/deletes from any other
+scope 404 exactly like a bogus id. Tile aggregates are scoped the same
+way: an app-filtered subscription streams tiles folded from that app's
+observations only (a per-app :class:`~repro.streaming.tiles.
+TileDeltaEngine`), while the global engine remains the deliberate
+cross-app map surface for unscoped, in-process consumers.
+
 Event projection and privacy: a pushed observation event carries only
 the ingest-stable projection ``{_id, region, app_id, datatype, model,
 noise_dba, taken_at}`` — never the document body. The scrubbed
@@ -89,6 +98,8 @@ class Subscription:
         tiles: bool,
         capacity: Optional[int],
         max_overruns: Optional[int],
+        owner_app: Optional[str] = None,
+        owner_user: Optional[str] = None,
     ) -> None:
         self.sub_id = sub_id
         self.spec = spec
@@ -96,6 +107,12 @@ class Subscription:
         self.tiles = tiles
         self.capacity = capacity
         self.max_overruns = max_overruns
+        #: principal scope stamped at subscribe time. Sub ids are
+        #: guessable (sub-1, sub-2, ...), so possession of an id is not
+        #: authorization: polls and deletes must come from the owning
+        #: app (and, when recorded, the owning user) or they 404.
+        self.owner_app = owner_app
+        self.owner_user = owner_user
         self.outbox = ObservationBuffer(capacity=capacity)
         #: next cursor to assign (cursors are contiguous from 1)
         self.next_cursor = 1
@@ -113,6 +130,7 @@ class Subscription:
         """Observability snapshot (caller holds the manager lock)."""
         return {
             "state": self.state,
+            "owner_app": self.owner_app,
             "pending": len(self.outbox),
             "acked": self.acked,
             "next_cursor": self.next_cursor,
@@ -164,7 +182,13 @@ class SubscriptionManager:
         self._lock = concurrency.make_rlock()
         self._subs: Dict[str, Subscription] = {}
         self._ids = itertools.count(1)
+        #: the global tile accumulator — every app's observations fold
+        #: in. Serves app-unscoped subscriptions and direct snapshots.
         self.tiles = TileDeltaEngine(cell_m)
+        #: per-app tile accumulators, fed in lockstep with the global
+        #: one: a subscription whose spec names an app streams *these*
+        #: tiles, so its aggregates never include other apps' data.
+        self._app_tiles: Dict[str, TileDeltaEngine] = {}
         self._created = 0
         self._unsubscribed = 0
         self._evictions = 0
@@ -189,12 +213,20 @@ class SubscriptionManager:
         tiles: bool = False,
         capacity: Optional[int] = None,
         max_overruns: Optional[int] = None,
+        owner_app: Optional[str] = None,
+        owner_user: Optional[str] = None,
     ) -> str:
         """Register a continuous query; returns the subscription id.
 
         ``capacity``/``max_overruns``: per-subscriber backpressure
         knobs; None takes the manager defaults, 0 ``max_overruns``
         disables eviction (drop-oldest forever).
+
+        ``owner_app``/``owner_user``: the principal scope recorded on
+        the subscription — the REST layer always passes both, and
+        ``next_events``/``unsubscribe`` then 404 any caller whose path
+        app or authenticated user doesn't match. In-process callers may
+        leave them None (an unowned subscription skips the check).
         """
         if not observations and not tiles:
             raise ValidationError(
@@ -219,16 +251,59 @@ class SubscriptionManager:
                 tiles,
                 capacity,
                 max_overruns,
+                owner_app=owner_app,
+                owner_user=owner_user,
             )
             self._created += 1
             return sub_id
 
-    def unsubscribe(self, sub_id: str) -> Dict[str, Any]:
-        """Remove a subscription (evicted ones included)."""
+    def _checked(
+        self,
+        sub_id: str,
+        app_id: Optional[str],
+        user_id: Optional[str],
+    ) -> Subscription:
+        """Look a subscription up, enforcing principal scope.
+
+        Caller holds the manager lock. An owned subscription is only
+        visible to its owning app (and owning user, when one was
+        recorded); a mismatch raises the same :class:`NotFoundError` a
+        bogus id does, so a prober can't distinguish "not yours" from
+        "doesn't exist". ``None`` check values skip that dimension —
+        the trusted in-process surface.
+        """
+        sub = self._subs.get(sub_id)
+        if sub is not None:
+            if (
+                sub.owner_app is not None
+                and app_id is not None
+                and app_id != sub.owner_app
+            ):
+                sub = None
+            elif (
+                sub.owner_user is not None
+                and user_id is not None
+                and user_id != sub.owner_user
+            ):
+                sub = None
+        if sub is None:
+            raise NotFoundError(f"unknown subscription {sub_id!r}")
+        return sub
+
+    def unsubscribe(
+        self,
+        sub_id: str,
+        app_id: Optional[str] = None,
+        user_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Remove a subscription (evicted ones included).
+
+        ``app_id``/``user_id``: the caller's scope — an owned
+        subscription 404s unless they match its owner.
+        """
         with self._lock:
-            sub = self._subs.pop(sub_id, None)
-            if sub is None:
-                raise NotFoundError(f"unknown subscription {sub_id!r}")
+            sub = self._checked(sub_id, app_id, user_id)
+            del self._subs[sub_id]
             self._unsubscribed += 1
             return {"removed": True, "state": sub.state}
 
@@ -247,23 +322,38 @@ class SubscriptionManager:
     ) -> None:
         """Fan freshly stored observations out to matching outboxes.
 
-        ``pairs`` are ``(document, stored_id)`` in global insertion
-        order — the unsharded ingest listener passes stored forms, the
-        router's delta listener wire forms; the event projection is
-        identical either way. The whole fan-out runs under the manager
-        lock so per-subscription cursors stay contiguous.
+        ``pairs`` are ``(document, stored_id)`` in insertion order —
+        the unsharded ingest listener passes stored forms, the router's
+        delta listener wire forms; the event projection is identical
+        either way. The whole fan-out runs under the manager lock so
+        per-subscription cursors stay contiguous.
+
+        Tile scoping: every observation folds into the global tile
+        engine *and* into its app's engine. A subscription whose spec
+        names an app (every REST subscription — ``FilterSpec.
+        from_body`` forces the path app in) streams the app-scoped
+        tiles, so its aggregates carry that app's data only; an
+        app-unscoped spec streams the global map.
         """
         with self._lock:
             emitted_at = self._clock()
             emitted_wall = self._wall()
             subs = list(self._subs.values())
+            app_engine = self._app_tiles.get(app_id)
+            if app_engine is None:
+                app_engine = self._app_tiles[app_id] = TileDeltaEngine(
+                    self._cell_m
+                )
             for document, doc_id in pairs:
                 region = region_of(document, self._cell_m)
                 event = observation_event(document, doc_id, app_id, region)
                 event["emitted_at"] = emitted_at
                 event["emitted_wall"] = emitted_wall
-                tile_event: Optional[Dict[str, Any]] = None
-                tile_state = self.tiles.observe(document, region)
+                global_state = self.tiles.observe(document, region)
+                app_state = app_engine.observe(document, region)
+                #: tile events by scope (None = global, str = that
+                #: app), built lazily once per stored document
+                tile_events: Dict[Optional[str], Dict[str, Any]] = {}
                 for sub in subs:
                     if sub.state != "live":
                         continue
@@ -276,10 +366,20 @@ class SubscriptionManager:
                         and sub.tiles
                         and sub.spec.wants_region(region)
                     ):
+                        scope = sub.spec.app_id
+                        if scope is not None and scope != app_id:
+                            # another app's observation: this sub's
+                            # tiles are untouched, nothing to push.
+                            continue
+                        tile_event = tile_events.get(scope)
                         if tile_event is None:
-                            tile_event = {
+                            tile_event = tile_events[scope] = {
                                 "kind": "tile",
-                                **tile_state,
+                                **(
+                                    global_state
+                                    if scope is None
+                                    else app_state
+                                ),
                                 "emitted_at": emitted_at,
                                 "emitted_wall": emitted_wall,
                             }
@@ -323,6 +423,8 @@ class SubscriptionManager:
         sub_id: str,
         ack: Optional[int] = None,
         limit: int = 100,
+        app_id: Optional[str] = None,
+        user_id: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Long-poll surface: acknowledge up to ``ack``, return what's
         pending past it (at-least-once — unacked events are re-served).
@@ -330,13 +432,16 @@ class SubscriptionManager:
         The response's ``events`` may start with a ``lagged`` marker
         when backpressure dropped events since the last poll; ``cursor``
         is the ack value that acknowledges everything returned.
+        Returned events are copies — mutating them never corrupts the
+        queued originals that an unacked re-poll will serve again.
+
+        ``app_id``/``user_id``: the caller's scope — an owned
+        subscription 404s unless they match its owner.
         """
         if limit < 1:
             raise ValidationError(f"limit must be >= 1, got {limit}")
         with self._lock:
-            sub = self._subs.get(sub_id)
-            if sub is None:
-                raise NotFoundError(f"unknown subscription {sub_id!r}")
+            sub = self._checked(sub_id, app_id, user_id)
             sub.polls += 1
             self._polls += 1
             if ack is not None:
@@ -384,7 +489,7 @@ class SubscriptionManager:
                     continue
                 if returned >= limit:
                     break
-                events.append(event)
+                events.append(dict(event))
                 cursor = event["cursor"]
                 returned += 1
             return {
@@ -398,14 +503,26 @@ class SubscriptionManager:
     # -- map surface ---------------------------------------------------------
 
     def tiles_snapshot(
-        self, region: Optional[str] = None
+        self,
+        region: Optional[str] = None,
+        app_id: Optional[str] = None,
     ) -> Dict[str, Dict[str, Any]]:
-        """Current live-map tile state (one region, or all of them)."""
+        """Current live-map tile state (one region, or all of them).
+
+        ``app_id`` selects that app's scoped tile engine — aggregates
+        over its observations only; ``None`` is the global map.
+        """
         with self._lock:
+            if app_id is None:
+                engine: Optional[TileDeltaEngine] = self.tiles
+            else:
+                engine = self._app_tiles.get(app_id)
+            if engine is None:
+                return {}
             if region is not None:
-                tile = self.tiles.tile(region)
+                tile = engine.tile(region)
                 return {} if tile is None else {region: tile}
-            return self.tiles.snapshot()
+            return engine.snapshot()
 
     # -- observability -------------------------------------------------------
 
@@ -432,6 +549,7 @@ class SubscriptionManager:
                 "tiles": {
                     "regions": len(self.tiles),
                     "deltas": self.tiles.deltas,
+                    "app_engines": len(self._app_tiles),
                 },
                 "broker_tap": {
                     "confirmed_deliveries": self._confirmed_deliveries

@@ -157,7 +157,11 @@ class SoundCityApp:
 
     def _r_live_map(self, request: Request, path, principal) -> Any:
         """The push-maintained noise map: tile aggregates folded at
-        ingest, so serving the map never rescans the store."""
+        ingest, so serving the map never rescans the store. Scoped to
+        this application's tile engine — co-hosted apps' observations
+        never surface here."""
         region = request.params.get("region")
-        tiles = self.server.streaming.tiles_snapshot(region=region)
+        tiles = self.server.streaming.tiles_snapshot(
+            region=region, app_id=self.app_id
+        )
         return {"cell_m": self.server.streaming.cell_m, "tiles": tiles}

@@ -289,6 +289,85 @@ class TestRestSurface:
         )
         assert resp.status == 404
 
+    def test_cross_app_access_404s(self):
+        """Sub ids are guessable; another app's principal gets a 404
+        indistinguishable from a bogus id — never the event stream."""
+        server = make_server()
+        server.register_app("OTHER")
+        alice = self.login(server)
+        bob = server.enroll_user("OTHER", "bob", "pw")["token"]
+        resp = server.handle(
+            Request(
+                "POST",
+                f"/apps/{APP}/stream/subscriptions",
+                body={},
+                token=alice,
+            )
+        )
+        sub_id = resp.body["subscription_id"]
+        ingest(server, [doc(0)])
+        for method, path in [
+            ("GET", f"/apps/OTHER/stream/subscriptions/{sub_id}/events"),
+            ("DELETE", f"/apps/OTHER/stream/subscriptions/{sub_id}"),
+        ]:
+            stolen = server.handle(Request(method, path, token=bob))
+            assert stolen.status == 404
+        # a cross-app poll must not ack/discard events either: the
+        # owner still sees everything.
+        mine = server.handle(
+            Request(
+                "GET",
+                f"/apps/{APP}/stream/subscriptions/{sub_id}/events",
+                token=alice,
+            )
+        )
+        assert mine.status == 200
+        assert len(mine.body["events"]) == 1
+
+    def test_same_app_other_user_404s(self):
+        server = make_server()
+        alice = self.login(server)
+        mallory = server.enroll_user(APP, "mallory", "pw")["token"]
+        resp = server.handle(
+            Request(
+                "POST",
+                f"/apps/{APP}/stream/subscriptions",
+                body={},
+                token=alice,
+            )
+        )
+        sub_id = resp.body["subscription_id"]
+        probe = server.handle(
+            Request(
+                "GET",
+                f"/apps/{APP}/stream/subscriptions/{sub_id}/events",
+                token=mallory,
+            )
+        )
+        assert probe.status == 404
+        gone = server.handle(
+            Request(
+                "DELETE",
+                f"/apps/{APP}/stream/subscriptions/{sub_id}",
+                token=mallory,
+            )
+        )
+        assert gone.status == 404
+
+    def test_returned_events_are_copies(self):
+        """Mutating a polled event can't corrupt the queued original
+        that an unacked re-poll serves again (in-process transport
+        hands the response back un-serialized)."""
+        server = make_server()
+        sub = server.streaming.subscribe()
+        ingest(server, [doc(0)])
+        (event,) = server.streaming.next_events(sub)["events"]
+        event["noise_dba"] = 999.0
+        event.clear()
+        (again,) = server.streaming.next_events(sub)["events"]
+        assert again["noise_dba"] == 50.0
+        assert again["kind"] == "observation"
+
 
 class TestClientConsumer:
     def test_consumer_tracks_cursor(self):
@@ -357,6 +436,97 @@ class TestLiveMap:
             Request("GET", "/map/live", params={"region": "g0:0"}, token=token)
         )
         assert list(one.body["tiles"]) == ["g0:0"]
+
+
+class TestTileIsolation:
+    """An app-scoped subscription's tiles carry that app's data only."""
+
+    def other_doc(self, i):
+        return {
+            "obs_id": f"x{i}",
+            "user_id": "eve",
+            "taken_at": 500.0 + i,
+            "noise_dba": 90.0,
+            "location": {"x_m": 0.0, "y_m": 0.0},
+        }
+
+    def two_app_server(self):
+        server = make_server()
+        server.register_app("OTHER")
+        server.data.ingest_many(APP, [doc(0), doc(1, x_m=900.0)])
+        server.data.ingest_many("OTHER", [self.other_doc(i) for i in range(3)])
+        return server
+
+    def stored_for(self, server, app_id):
+        documents = server.data.retrieve(DataQuery(app_id=app_id))
+        return sorted(documents, key=lambda d: d["_id"])
+
+    def test_rest_tile_stream_excludes_other_apps(self):
+        server = make_server()
+        server.register_app("OTHER")
+        token = server.enroll_user(APP, "alice", "pw")["token"]
+        resp = server.handle(
+            Request(
+                "POST",
+                f"/apps/{APP}/stream/subscriptions",
+                body={"observations": False, "tiles": True},
+                token=token,
+            )
+        )
+        sub_id = resp.body["subscription_id"]
+        server.data.ingest_many(APP, [doc(0), doc(1, x_m=900.0)])
+        server.data.ingest_many("OTHER", [self.other_doc(i) for i in range(3)])
+        events = server.handle(
+            Request(
+                "GET",
+                f"/apps/{APP}/stream/subscriptions/{sub_id}/events",
+                params={"limit": "1000"},
+                token=token,
+            )
+        ).body["events"]
+        # only APP's two observations produced tile deltas here
+        assert len(events) == 2
+        folded = fold_tile_deltas(events)
+        assert folded == tiles_from_documents(
+            self.stored_for(server, APP), server.streaming.cell_m
+        )
+        # OTHER's 90 dB(A) samples at g0:0 never entered the fold
+        assert folded["g0:0"]["max_dba"] == 50.0
+
+    def test_scoped_and_global_snapshots(self):
+        server = self.two_app_server()
+        cell_m = server.streaming.cell_m
+        assert server.streaming.tiles_snapshot(
+            app_id=APP
+        ) == tiles_from_documents(self.stored_for(server, APP), cell_m)
+        assert server.streaming.tiles_snapshot(
+            app_id="OTHER"
+        ) == tiles_from_documents(self.stored_for(server, "OTHER"), cell_m)
+        assert server.streaming.tiles_snapshot() == tiles_from_documents(
+            self.stored_for(server, APP)
+            + self.stored_for(server, "OTHER"),
+            cell_m,
+        )
+        assert server.streaming.tiles_snapshot(app_id="unseen-app") == {}
+
+    def test_unscoped_subscription_still_sees_global_map(self):
+        server = make_server()
+        server.register_app("OTHER")
+        sub = server.streaming.subscribe(observations=False, tiles=True)
+        server.data.ingest_many(APP, [doc(0)])
+        server.data.ingest_many("OTHER", [self.other_doc(0)])
+        events = server.streaming.next_events(sub, limit=100)["events"]
+        assert len(events) == 2
+        assert fold_tile_deltas(events) == server.streaming.tiles_snapshot()
+
+    def test_live_map_is_app_scoped(self):
+        server = self.two_app_server()
+        app = SoundCityApp(server)
+        token = server.enroll_user(APP, "alice", "pw")["token"]
+        resp = app.handle(Request("GET", "/map/live", token=token))
+        assert resp.body["tiles"] == tiles_from_documents(
+            self.stored_for(server, APP), server.streaming.cell_m
+        )
 
 
 class TestManagerClockIsolation:
